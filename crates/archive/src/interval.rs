@@ -1,0 +1,163 @@
+//! Version-interval sets.
+//!
+//! Archiving merges all versions of a database into one tree whose
+//! edges are stamped with the versions during which they existed
+//! (Buneman, Khanna, Tajima, Tan — *Archiving scientific data*, the
+//! SIGMOD-2006 paper's reference [5]). Because curated databases change
+//! slowly, the stamps are long runs: an [`IntervalSet`] stores maximal
+//! inclusive `[lo, hi]` runs of version numbers.
+
+use std::fmt;
+
+/// A set of version numbers, kept as sorted maximal inclusive runs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IntervalSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// A set containing a single version.
+    pub fn single(v: u64) -> IntervalSet {
+        IntervalSet { runs: vec![(v, v)] }
+    }
+
+    /// Adds a version (amortized O(1) for the append-in-order case that
+    /// archiving produces).
+    pub fn add(&mut self, v: u64) {
+        if let Some(last) = self.runs.last_mut() {
+            if v == last.1 + 1 {
+                last.1 = v;
+                return;
+            }
+            if v >= last.0 && v <= last.1 {
+                return;
+            }
+            if v > last.1 {
+                self.runs.push((v, v));
+                return;
+            }
+        } else {
+            self.runs.push((v, v));
+            return;
+        }
+        // Out-of-order insert: rebuild (rare).
+        let mut versions: Vec<u64> = self.iter().collect();
+        versions.push(v);
+        versions.sort_unstable();
+        versions.dedup();
+        *self = versions.into_iter().collect();
+    }
+
+    /// Whether the set contains `v`.
+    pub fn contains(&self, v: u64) -> bool {
+        self.runs
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of versions in the set.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|(lo, hi)| hi - lo + 1).sum()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The runs.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Iterates all versions.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+}
+
+impl FromIterator<u64> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> IntervalSet {
+        let mut versions: Vec<u64> = iter.into_iter().collect();
+        versions.sort_unstable();
+        versions.dedup();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for v in versions {
+            match runs.last_mut() {
+                Some(last) if v == last.1 + 1 => last.1 = v,
+                _ => runs.push((v, v)),
+            }
+        }
+        IntervalSet { runs }
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    /// Renders like `1-3,7,9-12`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (lo, hi)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            if lo == hi {
+                write!(f, "{lo}")?;
+            } else {
+                write!(f, "{lo}-{hi}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_adds_coalesce() {
+        let mut s = IntervalSet::new();
+        for v in 1..=5 {
+            s.add(v);
+        }
+        assert_eq!(s.runs(), &[(1, 5)]);
+        assert_eq!(s.len(), 5);
+        s.add(7);
+        assert_eq!(s.runs(), &[(1, 5), (7, 7)]);
+        assert_eq!(s.to_string(), "1-5,7");
+    }
+
+    #[test]
+    fn contains_and_gaps() {
+        let s: IntervalSet = [1, 2, 3, 7, 9, 10].into_iter().collect();
+        for v in [1, 2, 3, 7, 9, 10] {
+            assert!(s.contains(v), "{v}");
+        }
+        for v in [0, 4, 6, 8, 11] {
+            assert!(!s.contains(v), "{v}");
+        }
+        assert_eq!(s.to_string(), "1-3,7,9-10");
+    }
+
+    #[test]
+    fn out_of_order_adds_are_handled() {
+        let mut s = IntervalSet::new();
+        s.add(5);
+        s.add(2);
+        s.add(3);
+        s.add(5);
+        assert_eq!(s.to_string(), "2-3,5");
+    }
+}

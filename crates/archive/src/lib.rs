@@ -1,0 +1,28 @@
+//! # cpdb-archive — version-stamped archiving of curated databases
+//!
+//! An implementation of merged-tree archiving in the style of Buneman,
+//! Khanna, Tajima & Tan, *Archiving scientific data* (reference \[5\] of
+//! the SIGMOD 2006 provenance paper, and the technique its Section 5
+//! names as provenance's necessary complement). All versions of the
+//! target database share one tree whose edges carry version-interval
+//! stamps; any version is exactly recoverable, and unchanged structure
+//! is stored once.
+//!
+//! ```
+//! use cpdb_archive::Archive;
+//! use cpdb_tree::tree;
+//!
+//! let mut ar = Archive::new("T");
+//! ar.add_version(1, &tree! { "rec" => { "x" => 1 } });
+//! ar.add_version(2, &tree! { "rec" => { "x" => 2 } });
+//! assert_eq!(ar.retrieve(1).unwrap(), tree! { "rec" => { "x" => 1 } });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod archive;
+mod interval;
+
+pub use archive::Archive;
+pub use interval::IntervalSet;

@@ -1,0 +1,81 @@
+//! Property tests: archiving any history of curation produces an
+//! archive from which every version is exactly recoverable, at a
+//! fraction of the total snapshot size.
+
+use cpdb_archive::Archive;
+use cpdb_tree::Path;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Snapshot every step of a generated curation history, archive the
+    /// snapshots, and require bit-exact retrieval of each version.
+    #[test]
+    fn every_version_is_exactly_recoverable(seed in 0u64..1000) {
+        let cfg = GenConfig {
+            pattern: UpdatePattern::Mix,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed,
+            source_records: 8,
+            target_records: 6,
+        };
+        let wl = generate(&cfg, 40);
+        let mut ws = wl.workspace();
+        let mut archive = Archive::new("T");
+        let mut snapshots = Vec::new();
+        archive.add_version(0, ws.target().root());
+        snapshots.push((0u64, ws.target().root().clone()));
+        for (i, u) in wl.script.iter().enumerate() {
+            ws.apply(u).unwrap();
+            let vid = i as u64 + 1;
+            archive.add_version(vid, ws.target().root());
+            snapshots.push((vid, ws.target().root().clone()));
+        }
+        for (vid, snapshot) in &snapshots {
+            let retrieved = archive.retrieve(*vid);
+            prop_assert_eq!(retrieved.as_ref(), Some(snapshot), "version {}", vid);
+        }
+        // Sharing: the merged archive is far smaller than the snapshots.
+        let total: usize = snapshots.iter().map(|(_, t)| t.node_count()).sum();
+        prop_assert!(
+            archive.node_count() * 4 < total,
+            "merged {} vs snapshot total {}",
+            archive.node_count(),
+            total
+        );
+    }
+
+    /// History timelines agree with the snapshots they summarize.
+    #[test]
+    fn history_matches_snapshots(seed in 0u64..1000) {
+        let cfg = GenConfig {
+            pattern: UpdatePattern::Real,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed,
+            source_records: 8,
+            target_records: 4,
+        };
+        let wl = generate(&cfg, 21);
+        let mut ws = wl.workspace();
+        let mut archive = Archive::new("T");
+        let mut snapshots = Vec::new();
+        for (i, u) in wl.script.iter().enumerate() {
+            ws.apply(u).unwrap();
+            archive.add_version(i as u64, ws.target().root());
+            snapshots.push(ws.target().root().clone());
+        }
+        // Probe a handful of paths present in the final version.
+        let root: Path = "".parse().unwrap();
+        for path in ws.target().root().all_paths(&root).into_iter().take(12) {
+            let hist = archive.history(&path);
+            for (vid, value) in hist {
+                let snapshot = &snapshots[vid as usize];
+                let node = snapshot.get(&path);
+                prop_assert!(node.is_some(), "history said {path} exists in v{vid}");
+                prop_assert_eq!(node.unwrap().as_value().cloned(), value);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablations for the design choices called out in `DESIGN.md`:
+//!
+//! 1. **Store backend** — tracking into the paged SQL store vs the
+//!    in-memory store (what does the storage engine cost?).
+//! 2. **Store indexing** — `getSrc` over an indexed vs unindexed
+//!    provenance relation (the paper ran unindexed as worst case).
+//! 3. **Commit batching** — one batched write per commit vs one write
+//!    per record (the transactional methods' whole advantage).
+
+use cpdb_bench::session::{build_session, sample_locations, LatencyConfig};
+use cpdb_core::{MemStore, ProvStore, Strategy, Tid, Tracker};
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn store_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_store_backend");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Mix, 400, 2006);
+    let wl = generate(&cfg, 400);
+
+    group.bench_function("sql_store", |b| {
+        b.iter(|| {
+            let mut s = build_session(&wl, Strategy::Naive, true, &LatencyConfig::zero());
+            s.editor.run_script(&wl.script, 1).unwrap();
+        })
+    });
+    group.bench_function("mem_store", |b| {
+        b.iter(|| {
+            let store = Arc::new(MemStore::new());
+            let mut tracker = Tracker::new(Strategy::Naive, store, Tid(1));
+            let mut ws = wl.workspace();
+            for u in &wl.script {
+                let e = ws.apply(u).unwrap();
+                tracker.track(&e).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn store_indexing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_indexing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Real, 700, 2006);
+    let wl = generate(&cfg, 700);
+    for indexed in [false, true] {
+        let mut session = build_session(&wl, Strategy::Naive, indexed, &LatencyConfig::zero());
+        session.editor.run_script(&wl.script, 1).unwrap();
+        let locations = sample_locations(&session, 20, 2006);
+        group.bench_with_input(
+            BenchmarkId::new("getSrc", if indexed { "indexed" } else { "unindexed" }),
+            &locations,
+            |b, locations| {
+                b.iter(|| {
+                    for loc in locations {
+                        session.editor.get_src(loc).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn commit_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_commit_batching");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Copy, 300, 2006);
+    let wl = generate(&cfg, 300);
+    // Gather the records one transactional run would commit.
+    let store = Arc::new(MemStore::new());
+    let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+    let mut ws = wl.workspace();
+    for u in &wl.script {
+        let e = ws.apply(u).unwrap();
+        tracker.track(&e).unwrap();
+    }
+    tracker.commit().unwrap();
+    let records = store.all().unwrap();
+
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let s = MemStore::new();
+            s.insert_batch(&records).unwrap();
+            s.len()
+        })
+    });
+    group.bench_function("per_record", |b| {
+        b.iter(|| {
+            let s = MemStore::new();
+            for r in &records {
+                s.insert(r).unwrap();
+            }
+            s.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, store_backend, store_indexing, commit_batching);
+criterion_main!(benches);

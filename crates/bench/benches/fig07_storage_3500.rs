@@ -1,0 +1,35 @@
+//! Criterion bench for Experiment 1 (Figure 7): tracking throughput of
+//! each storage method over the five Table 2 patterns, scaled down from
+//! 3500 to 350 steps per iteration. Run the `experiments` binary for the
+//! paper-scale row counts; this bench tracks the *processing* cost of
+//! the same workloads.
+
+use cpdb_bench::session::{run_workload, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_storage");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for pattern in UpdatePattern::EXPERIMENT_1 {
+        let cfg = GenConfig::for_length(pattern, 350, 2006);
+        let wl = generate(&cfg, 350);
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            group.bench_with_input(
+                BenchmarkId::new(pattern.name(), strategy.short_name()),
+                &wl,
+                |b, wl| {
+                    b.iter(|| run_workload(wl, strategy, txn_len, true, &LatencyConfig::zero()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

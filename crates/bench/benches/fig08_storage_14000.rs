@@ -1,0 +1,33 @@
+//! Criterion bench for Experiment 2's storage half (Figure 8): the
+//! 14000-step `mix` and `real` workloads, scaled to 700 steps per
+//! iteration.
+
+use cpdb_bench::session::{run_workload, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_storage");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for pattern in [UpdatePattern::Mix, UpdatePattern::Real] {
+        let cfg = GenConfig::for_length(pattern, 700, 2006);
+        let wl = generate(&cfg, 700);
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            group.bench_with_input(
+                BenchmarkId::new(pattern.name(), strategy.short_name()),
+                &wl,
+                |b, wl| {
+                    b.iter(|| run_workload(wl, strategy, txn_len, true, &LatencyConfig::zero()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Experiment 2's timing half (Figure 9): raw
+//! per-operation provenance-manipulation cost per method, measured
+//! without simulated latency so the engine's own work is visible.
+
+use cpdb_bench::session::{build_session, LatencyConfig};
+use cpdb_core::{ProvStore, Strategy};
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Mix, 400, 2006);
+    let wl = generate(&cfg, 400);
+    for strategy in Strategy::ALL {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+        group.bench_with_input(
+            BenchmarkId::new("mix400", strategy.short_name()),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
+                    s.editor.run_script(&wl.script, txn_len).unwrap();
+                    s.store.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

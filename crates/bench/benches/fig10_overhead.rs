@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 10: provenance overhead as the difference
+//! between a tracked and an untracked replay of the same workload.
+
+use cpdb_bench::session::{build_session, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Mix, 400, 2006);
+    let wl = generate(&cfg, 400);
+
+    // Baseline: dataset updates only, no tracking.
+    group.bench_function("untracked", |b| {
+        b.iter(|| {
+            let mut s =
+                build_session(&wl, Strategy::Naive, true, &LatencyConfig::zero());
+            for u in &wl.script {
+                s.editor.apply_untracked(u).unwrap();
+            }
+        })
+    });
+    // Tracked, per method.
+    for strategy in Strategy::ALL {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+        group.bench_with_input(
+            BenchmarkId::new("tracked", strategy.short_name()),
+            &wl,
+            |b, wl| {
+                b.iter(|| {
+                    let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
+                    s.editor.run_script(&wl.script, txn_len).unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Experiment 3 (Figure 11): tracking cost under
+//! the Table 3 deletion patterns (HT and N, the extremes).
+
+use cpdb_bench::session::{run_workload, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, DeletionPattern, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_deletion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for deletion in DeletionPattern::EXPERIMENT_3 {
+        let cfg =
+            GenConfig::for_length(UpdatePattern::Mix, 400, 2006).with_deletion(deletion);
+        let wl = generate(&cfg, 400);
+        for strategy in [Strategy::Naive, Strategy::HierarchicalTransactional] {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            group.bench_with_input(
+                BenchmarkId::new(deletion.name(), strategy.short_name()),
+                &wl,
+                |b, wl| {
+                    b.iter(|| run_workload(wl, strategy, txn_len, true, &LatencyConfig::zero()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Experiment 4 (Figure 12): commit cost as a
+//! function of transaction length (HT on the `real` pattern).
+
+use cpdb_bench::session::{run_workload, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_txn_length");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Real, 700, 2006);
+    let wl = generate(&cfg, 700);
+    for txn_len in [7usize, 100, 350, 700] {
+        group.bench_with_input(BenchmarkId::from_parameter(txn_len), &wl, |b, wl| {
+            b.iter(|| {
+                run_workload(
+                    wl,
+                    Strategy::HierarchicalTransactional,
+                    txn_len,
+                    true,
+                    &LatencyConfig::zero(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

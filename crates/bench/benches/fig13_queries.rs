@@ -1,0 +1,49 @@
+//! Criterion bench for Experiment 5 (Figure 13): `getSrc` / `getMod` /
+//! `getHist` latency per storage method over an unindexed store.
+
+use cpdb_bench::session::{build_session, sample_locations, LatencyConfig};
+use cpdb_core::Strategy;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let cfg = GenConfig::for_length(UpdatePattern::Real, 700, 2006);
+    let wl = generate(&cfg, 700);
+    for strategy in Strategy::ALL {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+        let mut session = build_session(&wl, strategy, false, &LatencyConfig::zero());
+        session.editor.run_script(&wl.script, txn_len).unwrap();
+        let locations = sample_locations(&session, 20, 2006);
+        for (query, which) in [("getSrc", 0u8), ("getHist", 1), ("getMod", 2)] {
+            group.bench_with_input(
+                BenchmarkId::new(query, strategy.short_name()),
+                &locations,
+                |b, locations| {
+                    b.iter(|| {
+                        for loc in locations {
+                            match which {
+                                0 => {
+                                    session.editor.get_src(loc).unwrap();
+                                }
+                                1 => {
+                                    session.editor.get_hist(loc).unwrap();
+                                }
+                                _ => {
+                                    session.editor.get_mod(loc).unwrap();
+                                }
+                            }
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

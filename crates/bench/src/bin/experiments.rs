@@ -1,0 +1,128 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments [targets…] [--quick N] [--json DIR]
+//!
+//! targets: all | tables | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13
+//! --quick N   divide script lengths by N (default: full paper scale)
+//! --json DIR  also dump machine-readable results under DIR
+//! ```
+
+use cpdb_bench::experiments::{self, Scale};
+use cpdb_bench::report;
+use std::time::Instant;
+
+fn write_json<T: serde::Serialize>(dir: Option<&str>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    let path = std::path::Path::new(dir);
+    if std::fs::create_dir_all(path).is_err() {
+        eprintln!("warning: cannot create {dir}; skipping JSON dump");
+        return;
+    }
+    let file = path.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&file, body) {
+                eprintln!("warning: cannot write {}: {e}", file.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale = Scale::full();
+    let mut json_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                i += 1;
+                let divisor = args.get(i).and_then(|a| a.parse().ok()).unwrap_or(10);
+                scale = Scale::quick(divisor);
+            }
+            "--json" => {
+                i += 1;
+                json_dir = args.get(i).cloned();
+            }
+            other => targets.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+    let json = json_dir.as_deref();
+
+    println!(
+        "cpdb experiment harness — scale: short={} long={} queries={}\n",
+        scale.short, scale.long, scale.queries
+    );
+
+    if want("tables") {
+        println!("{}", experiments::table1());
+        println!("{}", experiments::tables_2_and_3());
+    }
+    if want("fig7") {
+        let t = Instant::now();
+        let bars = experiments::fig7(&scale);
+        write_json(json, "fig7", &bars);
+        println!(
+            "{}",
+            report::render_storage(
+                &format!("Figure 7: provenance rows after {}-step updates", scale.short),
+                &bars,
+                false
+            )
+        );
+        println!("  [fig7 took {:.1?}]\n", t.elapsed());
+    }
+    if want("fig8") {
+        let t = Instant::now();
+        let bars = experiments::fig8(&scale);
+        write_json(json, "fig8", &bars);
+        println!(
+            "{}",
+            report::render_storage(
+                &format!("Figure 8: provenance rows after {}-step mix/real updates", scale.long),
+                &bars,
+                true
+            )
+        );
+        println!("  [fig8 took {:.1?}]\n", t.elapsed());
+    }
+    if want("fig9") || want("fig10") {
+        let t = Instant::now();
+        let rows = experiments::fig9_fig10(&scale);
+        write_json(json, "fig9_fig10", &rows);
+        println!("{}", report::render_fig9(&rows));
+        println!("{}", report::render_fig10(&rows));
+        println!("  [fig9+fig10 took {:.1?}]\n", t.elapsed());
+    }
+    if want("fig11") {
+        let t = Instant::now();
+        let bars = experiments::fig11(&scale);
+        write_json(json, "fig11", &bars);
+        println!("{}", report::render_fig11(&bars));
+        println!("  [fig11 took {:.1?}]\n", t.elapsed());
+    }
+    if want("fig12") {
+        let t = Instant::now();
+        let rows = experiments::fig12(&scale);
+        write_json(json, "fig12", &rows);
+        println!("{}", report::render_fig12(&rows));
+        println!("  [fig12 took {:.1?}]\n", t.elapsed());
+    }
+    if want("fig13") {
+        let t = Instant::now();
+        let rows = experiments::fig13(&scale);
+        write_json(json, "fig13", &rows);
+        println!("{}", report::render_fig13(&rows));
+        println!("  [fig13 took {:.1?}]\n", t.elapsed());
+    }
+}

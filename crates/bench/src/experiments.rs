@@ -1,0 +1,363 @@
+//! The five experiments of Section 4, one function per table/figure.
+//!
+//! Each function regenerates the paper's workload (Table 1 row),
+//! replays it through a full CPDB session, and returns the series the
+//! corresponding figure plots. `Scale` lets CI run shrunken versions;
+//! the paper-scale defaults are 3,500- and 14,000-step scripts with
+//! commits every 5 operations.
+
+use crate::session::{
+    build_session, run_queries, run_workload, sample_locations, LatencyConfig, OpClass, QueryTimes,
+    RunResult,
+};
+use cpdb_core::Strategy;
+use cpdb_update::{AtomicUpdate, UpdateScript};
+use cpdb_workload::{generate, DeletionPattern, GenConfig, UpdatePattern, Workload};
+use serde::Serialize;
+
+/// Experiment sizes. `full()` is the paper's Table 1; `quick()` divides
+/// script lengths by `factor` for CI and smoke runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Length of the "3500-step" scripts.
+    pub short: usize,
+    /// Length of the "14000-step" scripts.
+    pub long: usize,
+    /// Random query locations for Experiment 5.
+    pub queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-scale experiments (Table 1).
+    pub fn full() -> Scale {
+        Scale { short: 3500, long: 14_000, queries: 100, seed: 2006 }
+    }
+
+    /// Scaled-down experiments.
+    pub fn quick(divisor: usize) -> Scale {
+        let d = divisor.max(1);
+        Scale { short: 3500 / d, long: 14_000 / d, queries: (100 / d).max(10), seed: 2006 }
+    }
+}
+
+/// The paper's Table 1 summary of transactions, echoed for the record.
+pub fn table1() -> String {
+    let rows = [
+        ("1", "3500", "5", "add, delete, copy, ac-mix, mix", "N, H, T, HT", "space", "7"),
+        ("2", "14000", "5", "mix, real", "N, H, T, HT", "space, time", "8, 9, 10"),
+        (
+            "3",
+            "14000",
+            "5",
+            "del-random, del-add, del-mix, del-copy, del-real",
+            "N, H, T, HT",
+            "space",
+            "11",
+        ),
+        ("4", "3500", "7, 100, 500, 1000", "real", "HT", "time", "12"),
+        ("5", "14000", "5", "real", "N, H, T, HT", "query time", "13"),
+    ];
+    let mut out = String::from(
+        "Table 1: Summary of experiments\n\
+         exp  len    txn-len          update pattern                                    methods      measured     figures\n",
+    );
+    for (e, len, txn, pat, m, meas, figs) in rows {
+        out.push_str(&format!("{e:<4} {len:<6} {txn:<16} {pat:<49} {m:<12} {meas:<12} {figs}\n"));
+    }
+    out
+}
+
+/// Tables 2 and 3, echoed from the workload generator's definitions.
+pub fn tables_2_and_3() -> String {
+    let mut out = String::from("Table 2: Update patterns\n");
+    for (p, desc) in [
+        (UpdatePattern::Add, "All random adds"),
+        (UpdatePattern::Delete, "All random deletes"),
+        (UpdatePattern::Copy, "All random copies"),
+        (UpdatePattern::AcMix, "Equal mix of random adds and copies"),
+        (UpdatePattern::Mix, "Equal mix of random adds, deletes, copies"),
+        (UpdatePattern::Real, "Copy one subtree, add 3 nodes, delete 3 nodes"),
+    ] {
+        out.push_str(&format!("  {:<9} {desc}\n", p.name()));
+    }
+    out.push_str("\nTable 3: Deletion patterns\n");
+    for (p, desc) in [
+        (DeletionPattern::Random, "Paths deleted at random"),
+        (DeletionPattern::Added, "All added paths deleted"),
+        (DeletionPattern::Copied, "Only copies deleted"),
+        (DeletionPattern::MixAddCopy, "50-50 mix of adds and copies deleted"),
+        (DeletionPattern::Real, "3 nodes from copied subtree deleted"),
+    ] {
+        out.push_str(&format!("  {:<11} {desc}\n", p.name()));
+    }
+    out
+}
+
+/// One bar of Figures 7/8/11: records stored for a (pattern, method).
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageBar {
+    /// Workload pattern name.
+    pub pattern: String,
+    /// Tracking method (N/H/T/HT).
+    pub method: String,
+    /// Provenance rows stored.
+    pub rows: u64,
+    /// Physical table size in bytes.
+    pub physical_bytes: u64,
+    /// Logical row bytes.
+    pub live_bytes: u64,
+}
+
+fn storage_run(wl: &Workload, strategy: Strategy, txn_len: usize) -> StorageBar {
+    let r = run_workload(wl, strategy, txn_len, true, &LatencyConfig::zero());
+    StorageBar {
+        pattern: wl.config.pattern.name().to_owned(),
+        method: strategy.short_name().to_owned(),
+        rows: r.rows,
+        physical_bytes: r.physical_bytes,
+        live_bytes: r.live_bytes,
+    }
+}
+
+/// Experiment 1 / **Figure 7**: provenance rows after 3500-step runs of
+/// the five random patterns under each method (commits every 5 ops).
+pub fn fig7(scale: &Scale) -> Vec<StorageBar> {
+    let mut out = Vec::new();
+    for pattern in UpdatePattern::EXPERIMENT_1 {
+        let cfg = GenConfig::for_length(pattern, scale.short, scale.seed);
+        let wl = generate(&cfg, scale.short);
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            out.push(storage_run(&wl, strategy, txn_len));
+        }
+    }
+    out
+}
+
+/// Experiment 2 (space half) / **Figure 8**: rows and physical bytes
+/// after 14000-step `mix` and `real` runs.
+pub fn fig8(scale: &Scale) -> Vec<StorageBar> {
+    let mut out = Vec::new();
+    for pattern in [UpdatePattern::Mix, UpdatePattern::Real] {
+        let cfg = GenConfig::for_length(pattern, scale.long, scale.seed);
+        let wl = generate(&cfg, scale.long);
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            out.push(storage_run(&wl, strategy, txn_len));
+        }
+    }
+    out
+}
+
+/// One method's timing row for Figures 9 and 10.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimingRow {
+    /// Tracking method.
+    pub method: String,
+    /// Mean dataset (target DB) time per operation, microseconds.
+    pub dataset_us: f64,
+    /// Mean provenance time per add, microseconds.
+    pub add_us: f64,
+    /// Mean provenance time per delete, microseconds.
+    pub delete_us: f64,
+    /// Mean provenance time per copy (paste), microseconds.
+    pub paste_us: f64,
+    /// Mean commit time, microseconds.
+    pub commit_us: f64,
+    /// Overhead percentages per class (Figure 10).
+    pub add_pct: f64,
+    /// Delete overhead (% of dataset delete time).
+    pub delete_pct: f64,
+    /// Copy overhead (% of dataset copy time).
+    pub copy_pct: f64,
+}
+
+fn timing_row(r: &RunResult) -> TimingRow {
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    TimingRow {
+        method: r.strategy.short_name().to_owned(),
+        dataset_us: us(r.dataset_mean()),
+        add_us: us(r.prov[OpClass::Add as usize].mean()),
+        delete_us: us(r.prov[OpClass::Delete as usize].mean()),
+        paste_us: us(r.prov[OpClass::Copy as usize].mean()),
+        commit_us: us(r.commit.mean()),
+        add_pct: r.overhead_pct(OpClass::Add),
+        delete_pct: r.overhead_pct(OpClass::Delete),
+        copy_pct: r.overhead_pct(OpClass::Copy),
+    }
+}
+
+/// Experiment 2 (time half) / **Figures 9 and 10**: per-operation
+/// timings during a 14000-step `mix` run with the paper-like latency
+/// model.
+pub fn fig9_fig10(scale: &Scale) -> Vec<TimingRow> {
+    let cfg = GenConfig::for_length(UpdatePattern::Mix, scale.long, scale.seed);
+    let wl = generate(&cfg, scale.long);
+    Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            let r = run_workload(&wl, strategy, txn_len, true, &LatencyConfig::paper_like());
+            timing_row(&r)
+        })
+        .collect()
+}
+
+/// One bar pair of **Figure 11**: rows with (`acd`) and without (`ac`)
+/// the deletes of a 14000-step mix variant.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeletionBar {
+    /// Deletion pattern name (Table 3).
+    pub deletion: String,
+    /// Tracking method.
+    pub method: String,
+    /// Rows when adds+copies only are performed.
+    pub ac_rows: u64,
+    /// Rows when deletes are performed too.
+    pub acd_rows: u64,
+}
+
+/// Drops the delete operations from a script (the `ac` runs of
+/// Figure 11). Fresh labels make the remaining script valid on its own.
+fn without_deletes(script: &UpdateScript) -> UpdateScript {
+    script
+        .iter()
+        .filter(|u| !matches!(u, AtomicUpdate::Delete { .. }))
+        .cloned()
+        .collect()
+}
+
+/// Experiment 3 / **Figure 11**: the effect of the Table 3 deletion
+/// patterns on provenance storage.
+pub fn fig11(scale: &Scale) -> Vec<DeletionBar> {
+    let mut out = Vec::new();
+    for deletion in DeletionPattern::EXPERIMENT_3 {
+        let cfg = GenConfig::for_length(UpdatePattern::Mix, scale.long, scale.seed)
+            .with_deletion(deletion);
+        let wl = generate(&cfg, scale.long);
+        let ac_script = without_deletes(&wl.script);
+        let ac_wl = Workload {
+            target_name: wl.target_name,
+            target_initial: wl.target_initial.clone(),
+            source_name: wl.source_name,
+            source: wl.source.clone(),
+            script: ac_script,
+            config: wl.config.clone(),
+        };
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            let ac = run_workload(&ac_wl, strategy, txn_len, true, &LatencyConfig::zero());
+            let acd = run_workload(&wl, strategy, txn_len, true, &LatencyConfig::zero());
+            out.push(DeletionBar {
+                deletion: deletion.name().to_owned(),
+                method: strategy.short_name().to_owned(),
+                ac_rows: ac.rows,
+                acd_rows: acd.rows,
+            });
+        }
+    }
+    out
+}
+
+/// One row of **Figure 12**: HT timings at a transaction length.
+#[derive(Clone, Debug, Serialize)]
+pub struct TxnLengthRow {
+    /// Operations per transaction.
+    pub txn_len: usize,
+    /// Mean add / delete / copy provenance time, microseconds.
+    pub add_us: f64,
+    /// Delete time.
+    pub delete_us: f64,
+    /// Copy time.
+    pub copy_us: f64,
+    /// Mean commit time, microseconds.
+    pub commit_us: f64,
+    /// Amortized per-operation time (commit spread over ops).
+    pub amortized_us: f64,
+}
+
+/// Experiment 4 / **Figure 12**: transaction length vs processing time,
+/// hierarchical-transactional method on the 3500-step `real` pattern.
+pub fn fig12(scale: &Scale) -> Vec<TxnLengthRow> {
+    let cfg = GenConfig::for_length(UpdatePattern::Real, scale.short, scale.seed);
+    let wl = generate(&cfg, scale.short);
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    [7usize, 100, 500, 1000]
+        .iter()
+        .map(|&txn_len| {
+            let r = run_workload(
+                &wl,
+                Strategy::HierarchicalTransactional,
+                txn_len,
+                true,
+                &LatencyConfig::paper_like(),
+            );
+            TxnLengthRow {
+                txn_len,
+                add_us: us(r.prov[OpClass::Add as usize].mean()),
+                delete_us: us(r.prov[OpClass::Delete as usize].mean()),
+                copy_us: us(r.prov[OpClass::Copy as usize].mean()),
+                commit_us: us(r.commit.mean()),
+                amortized_us: us(r.amortized()),
+            }
+        })
+        .collect()
+}
+
+/// One method's query-time row for **Figure 13**.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryRow {
+    /// Tracking method.
+    pub method: String,
+    /// getSrc mean/min/max, milliseconds.
+    pub src_ms: (f64, f64, f64),
+    /// getMod mean/min/max, milliseconds.
+    pub mod_ms: (f64, f64, f64),
+    /// getHist mean/min/max, milliseconds.
+    pub hist_ms: (f64, f64, f64),
+}
+
+fn query_row(q: &QueryTimes) -> QueryRow {
+    let ms = |trip: (std::time::Duration, std::time::Duration, std::time::Duration)| {
+        (
+            trip.0.as_secs_f64() * 1e3,
+            trip.1.as_secs_f64() * 1e3,
+            trip.2.as_secs_f64() * 1e3,
+        )
+    };
+    QueryRow {
+        method: q.strategy.short_name().to_owned(),
+        src_ms: ms(q.src),
+        mod_ms: ms(q.modt),
+        hist_ms: ms(q.hist),
+    }
+}
+
+/// Experiment 5 / **Figure 13**: `getSrc` / `getMod` / `getHist` times
+/// at random locations after a 14000-step `real` run; the provenance
+/// relation is **unindexed**, the paper's worst case.
+pub fn fig13(scale: &Scale) -> Vec<QueryRow> {
+    let cfg = GenConfig::for_length(UpdatePattern::Real, scale.long, scale.seed);
+    let wl = generate(&cfg, scale.long);
+    Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+            let mut session = build_session(&wl, strategy, false, &LatencyConfig::zero());
+            session
+                .editor
+                .run_script(&wl.script, txn_len)
+                .expect("replay");
+            // Query latency: paper-like store probes.
+            cpdb_core::ProvStore::set_latency(
+                session.store.as_ref(),
+                LatencyConfig::paper_like().prov_read,
+                LatencyConfig::paper_like().prov_write,
+            );
+            let locations = sample_locations(&session, scale.queries, scale.seed);
+            query_row(&run_queries(&session, &locations))
+        })
+        .collect()
+}

@@ -1,0 +1,19 @@
+//! # cpdb-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the evaluation section of
+//! Buneman, Chapman & Cheney (SIGMOD 2006): Tables 1–3 and Figures
+//! 7–13. See `DESIGN.md` for the per-experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Run the full suite with:
+//!
+//! ```text
+//! cargo run -p cpdb-bench --release --bin experiments -- all
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod session;

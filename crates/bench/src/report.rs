@@ -1,0 +1,125 @@
+//! Plain-text rendering of the experiment results, one block per
+//! figure, in a layout that reads like the paper's charts.
+
+use crate::experiments::{DeletionBar, QueryRow, StorageBar, TimingRow, TxnLengthRow};
+use std::fmt::Write as _;
+
+fn mb(bytes: u64) -> String {
+    format!("{:.1}MB", bytes as f64 / 1_048_576.0)
+}
+
+/// Renders Figure 7/8-style storage results grouped by pattern.
+pub fn render_storage(title: &str, bars: &[StorageBar], with_bytes: bool) -> String {
+    let mut out = format!("{title}\n");
+    let mut patterns: Vec<&str> = bars.iter().map(|b| b.pattern.as_str()).collect();
+    patterns.dedup();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>10} {:>12}{}",
+        "pattern",
+        "method",
+        "rows",
+        if with_bytes { "physical" } else { "" },
+        if with_bytes { "   live-bytes" } else { "" },
+    );
+    for b in bars {
+        if with_bytes {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>10} {:>12} {:>12}",
+                b.pattern,
+                b.method,
+                b.rows,
+                mb(b.physical_bytes),
+                mb(b.live_bytes)
+            );
+        } else {
+            let _ = writeln!(out, "{:<10} {:>6} {:>10}", b.pattern, b.method, b.rows);
+        }
+    }
+    out
+}
+
+/// Renders the Figure 9 timing table.
+pub fn render_fig9(rows: &[TimingRow]) -> String {
+    let mut out = String::from(
+        "Figure 9: average time per operation class, 14000-mix (µs)\n\
+         method  dataset      add   delete    paste   commit\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8.0} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            r.method, r.dataset_us, r.add_us, r.delete_us, r.paste_us, r.commit_us
+        );
+    }
+    out
+}
+
+/// Renders the Figure 10 overhead table.
+pub fn render_fig10(rows: &[TimingRow]) -> String {
+    let mut out = String::from(
+        "Figure 10: provenance overhead per operation (% of dataset time)\n\
+         method      add   delete     copy\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8.1} {:>8.1} {:>8.1}",
+            r.method, r.add_pct, r.delete_pct, r.copy_pct
+        );
+    }
+    out
+}
+
+/// Renders the Figure 11 deletion-effect table.
+pub fn render_fig11(bars: &[DeletionBar]) -> String {
+    let mut out = String::from(
+        "Figure 11: effect of deletion patterns on provenance storage (rows)\n\
+         deletion     method    ac-rows   acd-rows\n",
+    );
+    for b in bars {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>10} {:>10}",
+            b.deletion, b.method, b.ac_rows, b.acd_rows
+        );
+    }
+    out
+}
+
+/// Renders the Figure 12 transaction-length table.
+pub fn render_fig12(rows: &[TxnLengthRow]) -> String {
+    let mut out = String::from(
+        "Figure 12: transaction length vs processing time, HT on 3500-real (µs)\n\
+         txn-len      add   delete     copy     commit  amortized\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1}",
+            r.txn_len, r.add_us, r.delete_us, r.copy_us, r.commit_us, r.amortized_us
+        );
+    }
+    out
+}
+
+/// Renders the Figure 13 query-time table.
+pub fn render_fig13(rows: &[QueryRow]) -> String {
+    let mut out = String::from(
+        "Figure 13: provenance query times, 14000-real, unindexed store (ms; mean [min..max])\n\
+         method            getSrc                getMod               getHist\n",
+    );
+    for r in rows {
+        let cell = |t: (f64, f64, f64)| format!("{:>6.2} [{:>5.2}..{:>6.2}]", t.0, t.1, t.2);
+        let _ = writeln!(
+            out,
+            "{:<6} {}  {}  {}",
+            r.method,
+            cell(r.src_ms),
+            cell(r.mod_ms),
+            cell(r.hist_ms)
+        );
+    }
+    out
+}

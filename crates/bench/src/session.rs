@@ -1,0 +1,383 @@
+//! Experiment sessions: a full CPDB deployment (XmlDb target,
+//! relational source, SQL provenance store) built from a generated
+//! workload, plus the instrumented replay loop that produces the
+//! figures' measurements.
+//!
+//! ## Latency calibration
+//!
+//! The paper's numbers are dominated by client↔server round trips (SOAP
+//! to Timber for the target, JDBC to MySQL for the provenance store).
+//! The defaults below keep the paper's *ratios* at a laptop-friendly
+//! absolute scale:
+//!
+//! * target interaction: **300 µs per node touched** (`pasteNode` is
+//!   per-node, so pasting a size-4 record costs 4 interactions);
+//! * provenance `INSERT`: **90 µs** (≈ 30 % of a single-node dataset
+//!   op — Figure 10's naïve overhead);
+//! * provenance `SELECT` probe: **25 µs** (cheaper than a write; the
+//!   extra probe is why hierarchical inserts are slower than naïve);
+//! * batched commit: one write round trip plus **9 µs per additional
+//!   row** (commit time grows linearly with transaction length,
+//!   Figure 12).
+
+use cpdb_core::{Editor, ProvStore, SqlStore, Strategy, Tid};
+use cpdb_storage::{Column, DataType, Datum, Engine, Schema};
+use cpdb_tree::{Path, Tree, Value};
+use cpdb_update::AtomicUpdate;
+use cpdb_workload::Workload;
+use cpdb_xmldb::{RelationalSource, XmlDb};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Simulated round-trip latencies for one session.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyConfig {
+    /// Target database, per node touched.
+    pub target_per_node: Duration,
+    /// Source database, per browse/copy call.
+    pub source_call: Duration,
+    /// Provenance store write.
+    pub prov_write: Duration,
+    /// Provenance store read probe.
+    pub prov_read: Duration,
+    /// Extra per-row cost inside a batched commit write.
+    pub prov_batch_row: Duration,
+}
+
+impl LatencyConfig {
+    /// The calibration described in the module docs.
+    pub fn paper_like() -> LatencyConfig {
+        LatencyConfig {
+            target_per_node: Duration::from_micros(300),
+            source_call: Duration::from_micros(300),
+            prov_write: Duration::from_micros(90),
+            prov_read: Duration::from_micros(25),
+            prov_batch_row: Duration::from_micros(9),
+        }
+    }
+
+    /// No simulated latency (for storage-only experiments, where only
+    /// record counts and bytes matter).
+    pub fn zero() -> LatencyConfig {
+        LatencyConfig {
+            target_per_node: Duration::ZERO,
+            source_call: Duration::ZERO,
+            prov_write: Duration::ZERO,
+            prov_read: Duration::ZERO,
+            prov_batch_row: Duration::ZERO,
+        }
+    }
+}
+
+/// A deployed session: editor over real databases, ready to replay.
+pub struct Session {
+    /// The provenance-aware editor.
+    pub editor: Editor,
+    /// The provenance store (shared with the editor's tracker).
+    pub store: Arc<SqlStore>,
+}
+
+/// Loads the workload's source tree into a relational engine table so
+/// the session browses it through the four-level `DB/R/tid/F` view.
+fn relational_source(wl: &Workload) -> RelationalSource {
+    let engine = Arc::new(Engine::in_memory().with_pool_capacity(256));
+    let table = engine
+        .create_table(
+            "proteins",
+            Schema::new(vec![
+                Column::new("acc", DataType::Str),
+                Column::new("evidence", DataType::I64),
+                Column::new("name", DataType::Str),
+                Column::new("organelle", DataType::Str),
+            ]),
+        )
+        .expect("fresh engine");
+    let proteins = wl
+        .source
+        .get(&"proteins".parse::<Path>().expect("path"))
+        .expect("workload source has a proteins table");
+    for (key, rec) in proteins.children().expect("table node") {
+        let field = |name: &str| -> &Tree {
+            rec.child(cpdb_tree::Label::new(name)).expect("record field")
+        };
+        let evidence = match field("evidence").as_value() {
+            Some(Value::Int(i)) => *i,
+            _ => 0,
+        };
+        let text = |t: &Tree| t.as_value().and_then(Value::as_str).unwrap_or("").to_owned();
+        table
+            .insert(&[
+                Datum::str(key.as_str()),
+                Datum::I64(evidence),
+                Datum::str(text(field("name"))),
+                Datum::str(text(field("organelle"))),
+            ])
+            .expect("row fits");
+    }
+    RelationalSource::new(wl.source_name, engine)
+}
+
+/// Builds a session for `strategy` over the workload's databases.
+pub fn build_session(
+    wl: &Workload,
+    strategy: Strategy,
+    indexed_store: bool,
+    lat: &LatencyConfig,
+) -> Session {
+    let target_engine = Engine::in_memory().with_pool_capacity(512);
+    let target = XmlDb::create(wl.target_name, &target_engine).expect("fresh engine");
+    target.load(&wl.target_initial).expect("load target");
+    target.set_latency(lat.target_per_node);
+
+    let source = relational_source(wl);
+    source.set_latency(lat.source_call);
+
+    let prov_engine = Engine::in_memory().with_pool_capacity(512);
+    let store = Arc::new(SqlStore::create(&prov_engine, indexed_store).expect("fresh engine"));
+    store.set_latency(lat.prov_read, lat.prov_write);
+    store.set_batch_row_latency(lat.prov_batch_row);
+
+    let editor = Editor::new("bench", Arc::new(target), strategy, store.clone(), Tid(1))
+        .with_source(Arc::new(source));
+    Session { editor, store }
+}
+
+/// Operation classes reported by the timing figures.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OpClass {
+    /// `ins` operations ("Add" in the figures).
+    Add,
+    /// `del` operations.
+    Delete,
+    /// `copy` operations ("Copy"/"Paste" in the figures).
+    Copy,
+}
+
+impl OpClass {
+    /// Classifies an update.
+    pub fn of(u: &AtomicUpdate) -> OpClass {
+        match u {
+            AtomicUpdate::Insert { .. } => OpClass::Add,
+            AtomicUpdate::Delete { .. } => OpClass::Delete,
+            AtomicUpdate::Copy { .. } => OpClass::Copy,
+        }
+    }
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Add => "add",
+            OpClass::Delete => "delete",
+            OpClass::Copy => "copy",
+        }
+    }
+}
+
+/// Accumulated time and count per class.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ClassStat {
+    /// Total time.
+    pub total: Duration,
+    /// Number of operations.
+    pub count: u64,
+}
+
+impl ClassStat {
+    fn add(&mut self, d: Duration) {
+        self.total += d;
+        self.count += 1;
+    }
+
+    /// Mean duration (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Everything one replay produces: storage sizes and per-class timings.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The tracking strategy.
+    pub strategy: Strategy,
+    /// Commit interval (0 = single final commit).
+    pub txn_len: usize,
+    /// Script length.
+    pub steps: usize,
+    /// Records in the provenance store at the end.
+    pub rows: u64,
+    /// Physical bytes of the provenance table (allocated pages).
+    pub physical_bytes: u64,
+    /// Logical row bytes.
+    pub live_bytes: u64,
+    /// Dataset (target/source database) time per class.
+    pub dataset: [ClassStat; 3],
+    /// Provenance-manipulation time per class.
+    pub prov: [ClassStat; 3],
+    /// Commit time.
+    pub commit: ClassStat,
+    /// Provenance store read/write round trips.
+    pub prov_reads: u64,
+    /// Provenance store write round trips.
+    pub prov_writes: u64,
+    /// Total wall-clock of the replay.
+    pub wall: Duration,
+}
+
+impl RunResult {
+    /// Mean dataset time over all operations.
+    pub fn dataset_mean(&self) -> Duration {
+        let total: Duration = self.dataset.iter().map(|s| s.total).sum();
+        let count: u64 = self.dataset.iter().map(|s| s.count).sum();
+        if count == 0 {
+            Duration::ZERO
+        } else {
+            total / count as u32
+        }
+    }
+
+    /// Provenance overhead of one class as a percentage of its dataset
+    /// time (Figure 10's metric).
+    pub fn overhead_pct(&self, class: OpClass) -> f64 {
+        let i = class as usize;
+        let d = self.dataset[i].total.as_secs_f64();
+        if d == 0.0 {
+            0.0
+        } else {
+            100.0 * self.prov[i].total.as_secs_f64() / d
+        }
+    }
+
+    /// Amortized per-operation time including commits (Figure 12).
+    pub fn amortized(&self) -> Duration {
+        let ops: u64 = self.dataset.iter().map(|s| s.count).sum();
+        if ops == 0 {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.dataset.iter().map(|s| s.total).sum::<Duration>()
+            + self.prov.iter().map(|s| s.total).sum::<Duration>()
+            + self.commit.total;
+        total / ops as u32
+    }
+}
+
+/// Replays `wl` under `strategy`, committing every `txn_len` operations
+/// (`0` = only once at the end), timing dataset and provenance phases
+/// separately.
+pub fn run_workload(
+    wl: &Workload,
+    strategy: Strategy,
+    txn_len: usize,
+    indexed_store: bool,
+    lat: &LatencyConfig,
+) -> RunResult {
+    let mut session = build_session(wl, strategy, indexed_store, lat);
+    let started = Instant::now();
+    let mut dataset = [ClassStat::default(); 3];
+    let mut prov = [ClassStat::default(); 3];
+    let mut commit = ClassStat::default();
+
+    for (i, u) in wl.script.iter().enumerate() {
+        let class = OpClass::of(u) as usize;
+        let t0 = Instant::now();
+        let effect = session.editor.apply_untracked(u).expect("valid script");
+        dataset[class].add(t0.elapsed());
+        let t1 = Instant::now();
+        session.editor.track(&effect).expect("tracking");
+        prov[class].add(t1.elapsed());
+        if txn_len != 0 && (i + 1) % txn_len == 0 {
+            let t2 = Instant::now();
+            session.editor.commit().expect("commit");
+            commit.add(t2.elapsed());
+        }
+    }
+    let t2 = Instant::now();
+    session.editor.commit().expect("final commit");
+    if txn_len == 0 || !wl.script.len().is_multiple_of(txn_len.max(1)) {
+        commit.add(t2.elapsed());
+    }
+
+    RunResult {
+        strategy,
+        txn_len,
+        steps: wl.script.len(),
+        rows: session.store.len(),
+        physical_bytes: session.store.physical_bytes(),
+        live_bytes: session.store.live_bytes().expect("live bytes"),
+        dataset,
+        prov,
+        commit,
+        prov_reads: session.store.read_trips(),
+        prov_writes: session.store.write_trips(),
+        wall: started.elapsed(),
+    }
+}
+
+/// Per-query-class timing for the query experiment (Figure 13).
+#[derive(Clone, Debug)]
+pub struct QueryTimes {
+    /// The strategy whose store was queried.
+    pub strategy: Strategy,
+    /// Mean / min / max time of `getSrc`.
+    pub src: (Duration, Duration, Duration),
+    /// Mean / min / max time of `getMod`.
+    pub modt: (Duration, Duration, Duration),
+    /// Mean / min / max time of `getHist`.
+    pub hist: (Duration, Duration, Duration),
+}
+
+fn summarize(samples: &[Duration]) -> (Duration, Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    (mean, min, max)
+}
+
+/// Runs `getSrc`, `getMod`, `getHist` at `locations` against a finished
+/// session and reports time distributions.
+pub fn run_queries(session: &Session, locations: &[Path]) -> QueryTimes {
+    let mut src = Vec::with_capacity(locations.len());
+    let mut modt = Vec::with_capacity(locations.len());
+    let mut hist = Vec::with_capacity(locations.len());
+    for loc in locations {
+        let t = Instant::now();
+        let _ = session.editor.get_src(loc).expect("src query");
+        src.push(t.elapsed());
+        let t = Instant::now();
+        let _ = session.editor.get_hist(loc).expect("hist query");
+        hist.push(t.elapsed());
+        let t = Instant::now();
+        let _ = session.editor.get_mod(loc).expect("mod query");
+        modt.push(t.elapsed());
+    }
+    QueryTimes {
+        strategy: session.editor.tracker().strategy(),
+        src: summarize(&src),
+        modt: summarize(&modt),
+        hist: summarize(&hist),
+    }
+}
+
+/// Samples `n` random node locations from the final target database
+/// (deterministic in `seed`).
+pub fn sample_locations(session: &Session, n: usize, seed: u64) -> Vec<Path> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let root = Path::single(session.editor.target().db_name());
+    let tree = session.editor.target().tree_from_db().expect("target readable");
+    let mut all = tree.all_paths(&root);
+    // Skip the database root itself: Mod over the whole database is a
+    // different (much bigger) query than the paper's random locations.
+    all.retain(|p| p.len() > 1);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}

@@ -1,0 +1,323 @@
+//! The provenance-aware editor of Figure 2.
+//!
+//! "As the user copies, inserts, or deletes data in her local database
+//! T, provenance links are stored in an auxiliary provenance database
+//! P." The [`Editor`] is the shaded component in the middle: it routes
+//! every action through the Figure 6 wrappers (so the databases stay
+//! consistent) *and* through the [`Tracker`] (so the provenance record
+//! stays consistent). "It is essential that the target database and
+//! provenance record are writable only via high-level interfaces that
+//! track provenance" — in Rust terms, the editor owns both and nothing
+//! else hands out mutation.
+
+use crate::error::{CoreError, Result};
+use crate::query::QueryEngine;
+use crate::record::{Tid, TxnMeta};
+use crate::store::ProvStore;
+use crate::tracker::{Strategy, Tracker};
+use cpdb_tree::{Label, Path, Tree};
+use cpdb_update::{AtomicUpdate, Effect, UpdateScript};
+use cpdb_xmldb::{rebuild_subtree, SourceDb, TargetDb};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A provenance-aware editing session over a target database and a set
+/// of read-only sources.
+pub struct Editor {
+    target: Arc<dyn TargetDb>,
+    sources: BTreeMap<Label, Arc<dyn SourceDb>>,
+    tracker: Tracker,
+    user: String,
+    /// Logical commit clock (deterministic in tests and benchmarks).
+    clock: u64,
+    /// Commit-time metadata, keyed by tid (Section 2.1: "stored in a
+    /// separate table with key Tid").
+    meta: Vec<TxnMeta>,
+}
+
+impl Editor {
+    /// Opens a session for `user` on `target`, tracking with `strategy`
+    /// into `store`. Transaction ids start at `first_tid`.
+    pub fn new(
+        user: impl Into<String>,
+        target: Arc<dyn TargetDb>,
+        strategy: Strategy,
+        store: Arc<dyn ProvStore>,
+        first_tid: Tid,
+    ) -> Editor {
+        Editor {
+            target,
+            sources: BTreeMap::new(),
+            tracker: Tracker::new(strategy, store, first_tid),
+            user: user.into(),
+            clock: 0,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Connects a source database for browsing and copying.
+    pub fn add_source(&mut self, source: Arc<dyn SourceDb>) -> &mut Self {
+        self.sources.insert(source.db_name(), source);
+        self
+    }
+
+    /// Builder-style variant of [`Editor::add_source`].
+    pub fn with_source(mut self, source: Arc<dyn SourceDb>) -> Editor {
+        self.add_source(source);
+        self
+    }
+
+    /// The target database wrapper.
+    pub fn target(&self) -> &Arc<dyn TargetDb> {
+        &self.target
+    }
+
+    /// The tracker (strategy, provlist state, tids).
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
+    /// The transaction id in effect for the next operation.
+    pub fn current_tid(&self) -> Tid {
+        self.tracker.current_tid()
+    }
+
+    /// The last *completed* transaction — what queries should use as
+    /// `tnow`.
+    pub fn tnow(&self) -> Tid {
+        Tid(self.tracker.current_tid().0.saturating_sub(1))
+    }
+
+    /// Per-transaction metadata recorded at commits.
+    pub fn txn_meta(&self) -> &[TxnMeta] {
+        &self.meta
+    }
+
+    /// Reads the subtree at a qualified path from whichever database the
+    /// path names (target or source).
+    pub fn browse(&self, path: &Path) -> Result<Tree> {
+        let first = path.first().ok_or_else(|| CoreError::Editor {
+            reason: format!("path {path} does not name a database"),
+        })?;
+        if first == self.target.db_name() {
+            return self.target.subtree(path).map_err(Into::into);
+        }
+        match self.sources.get(&first) {
+            Some(src) => src.subtree(path).map_err(Into::into),
+            None => Err(CoreError::Editor { reason: format!("unknown database {first}") }),
+        }
+    }
+
+    /// Applies one atomic update to the target database and tracks its
+    /// provenance. Returns the update's [`Effect`].
+    pub fn apply(&mut self, u: &AtomicUpdate) -> Result<Effect> {
+        let effect = self.apply_untracked(u)?;
+        self.track(&effect)?;
+        Ok(effect)
+    }
+
+    /// The database half of [`Editor::apply`], *without* provenance
+    /// tracking. Exposed so the experiment harness can time dataset
+    /// interaction and provenance manipulation separately (the paper's
+    /// Figure 9 methodology). Every effect returned from here must be
+    /// passed to [`Editor::track`], or the provenance record will lose
+    /// consistency with the target database.
+    pub fn apply_untracked(&mut self, u: &AtomicUpdate) -> Result<Effect> {
+        let effect = match u {
+            AtomicUpdate::Insert { target, label, content } => {
+                self.target.add_node(target, *label, content)?;
+                Effect::Inserted { path: target.child(*label), subtree: content.to_tree() }
+            }
+            AtomicUpdate::Delete { target, label } => {
+                let path = target.child(*label);
+                let removed = self.target.delete_node(&path)?;
+                Effect::Deleted { path, subtree: removed }
+            }
+            AtomicUpdate::Copy { src, target } => {
+                // Figure 6 flow: copyNode() on the source wrapper, then
+                // pasteNode() per node on the target wrapper.
+                let src_db = src.first().ok_or_else(|| CoreError::Editor {
+                    reason: format!("path {src} does not name a database"),
+                })?;
+                let nodes = if src_db == self.target.db_name() {
+                    self.target.copy_node(src)?
+                } else {
+                    let source = self.sources.get(&src_db).ok_or_else(|| CoreError::Editor {
+                        reason: format!("unknown database {src_db}"),
+                    })?;
+                    source.copy_node(src)?
+                };
+                let subtree = rebuild_subtree(src, &nodes)?;
+                let replaced = self.target.paste_node(target, &subtree)?;
+                Effect::Copied { src: src.clone(), target: target.clone(), subtree, replaced }
+            }
+        };
+        Ok(effect)
+    }
+
+    /// The tracking half of [`Editor::apply`]; see
+    /// [`Editor::apply_untracked`].
+    pub fn track(&mut self, effect: &Effect) -> Result<()> {
+        self.tracker.track(effect)
+    }
+
+    /// Commits the open transaction (meaningful in transactional
+    /// strategies) and records its metadata.
+    pub fn commit(&mut self) -> Result<()> {
+        let tid = self.tracker.current_tid();
+        let had_pending = self.tracker.provlist_len() > 0 || !self.tracker.strategy().is_transactional();
+        self.tracker.commit()?;
+        self.clock += 1;
+        if had_pending && self.tracker.strategy().is_transactional() {
+            self.meta.push(TxnMeta { tid, user: self.user.clone(), committed_at: self.clock });
+        }
+        Ok(())
+    }
+
+    /// Applies a whole script, committing every `txn_len` operations
+    /// (and once at the end).
+    pub fn run_script(&mut self, script: &UpdateScript, txn_len: usize) -> Result<Vec<Effect>> {
+        let mut effects = Vec::with_capacity(script.len());
+        for (i, u) in script.iter().enumerate() {
+            effects.push(self.apply(u)?);
+            if txn_len != 0 && (i + 1) % txn_len == 0 {
+                self.commit()?;
+            }
+        }
+        self.commit()?;
+        Ok(effects)
+    }
+
+    /// A query engine over this session's provenance store.
+    pub fn queries(&self) -> QueryEngine {
+        QueryEngine::new(
+            self.tracker.store().clone(),
+            self.tracker.strategy().is_hierarchical(),
+            self.target.db_name(),
+        )
+    }
+
+    /// `Src(p)` for a location in the target database.
+    pub fn get_src(&self, loc: &Path) -> Result<Option<Tid>> {
+        self.queries().get_src(loc, self.tnow())
+    }
+
+    /// `Hist(p)` for a location in the target database.
+    pub fn get_hist(&self, loc: &Path) -> Result<Vec<Tid>> {
+        self.queries().get_hist(loc, self.tnow())
+    }
+
+    /// `Mod(p)`: transactions that touched the subtree under `loc`,
+    /// reading the current subtree from the target database.
+    pub fn get_mod(&self, loc: &Path) -> Result<std::collections::BTreeSet<Tid>> {
+        let subtree = self.target.subtree(loc)?;
+        let nodes = subtree.all_paths(loc);
+        self.queries().get_mod(&nodes, self.tnow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use cpdb_storage::Engine;
+    use cpdb_tree::tree;
+    use cpdb_update::fixtures;
+    use cpdb_xmldb::XmlDb;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    /// Builds a full editor session over real XmlDb instances loaded
+    /// with the Figure 4 trees.
+    fn figure4_editor(strategy: Strategy) -> Editor {
+        let t_engine = Engine::in_memory();
+        let target = XmlDb::create("T", &t_engine).unwrap();
+        target.load(&fixtures::t_initial()).unwrap();
+
+        let s1_engine = Engine::in_memory();
+        let s1 = XmlDb::create("S1", &s1_engine).unwrap();
+        s1.load(&fixtures::s1()).unwrap();
+
+        let s2_engine = Engine::in_memory();
+        let s2 = XmlDb::create("S2", &s2_engine).unwrap();
+        s2.load(&fixtures::s2()).unwrap();
+
+        Editor::new("curator", Arc::new(target), strategy, Arc::new(MemStore::new()), Tid(121))
+            .with_source(Arc::new(s1))
+            .with_source(Arc::new(s2))
+    }
+
+    #[test]
+    fn editor_replays_figure_3_to_figure_4() {
+        for strategy in Strategy::ALL {
+            let mut ed = figure4_editor(strategy);
+            let txn_len = if strategy.is_transactional() { 0 } else { 1 };
+            ed.run_script(&fixtures::figure3_script(), txn_len).unwrap();
+            let final_tree = ed.target().tree_from_db().unwrap();
+            assert_eq!(final_tree, fixtures::t_final(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn editor_matches_formal_semantics_on_figure_3() {
+        // The editor's database-backed execution must agree with the
+        // in-memory formal semantics [[U]] of cpdb-update.
+        let mut ws = fixtures::figure4_workspace();
+        ws.apply_script(&fixtures::figure3_script()).unwrap();
+        let mut ed = figure4_editor(Strategy::Naive);
+        ed.run_script(&fixtures::figure3_script(), 1).unwrap();
+        assert_eq!(&ed.target().tree_from_db().unwrap(), ws.target().root());
+    }
+
+    #[test]
+    fn provenance_queries_work_end_to_end() {
+        let mut ed = figure4_editor(Strategy::HierarchicalTransactional);
+        ed.run_script(&fixtures::figure3_script(), 5).unwrap();
+        // Two commits: tids 121 (ops 1-5) and 122 (ops 6-10).
+        assert_eq!(ed.tnow(), Tid(122));
+        // c4/y inserted in the second transaction.
+        assert_eq!(ed.get_src(&p("T/c4/y")).unwrap(), Some(Tid(122)));
+        // c2/x copied with c2 in the first transaction.
+        assert_eq!(ed.get_hist(&p("T/c2/x")).unwrap(), vec![Tid(121)]);
+        // The c3 subtree was copied in txn 122 (op 7).
+        let mods = ed.get_mod(&p("T/c3")).unwrap();
+        assert_eq!(mods.into_iter().collect::<Vec<_>>(), vec![Tid(122)]);
+        // Commit metadata recorded per transaction.
+        assert_eq!(ed.txn_meta().len(), 2);
+        assert_eq!(ed.txn_meta()[0].tid, Tid(121));
+        assert_eq!(ed.txn_meta()[0].user, "curator");
+    }
+
+    #[test]
+    fn browse_reads_any_connected_database() {
+        let ed = figure4_editor(Strategy::Naive);
+        assert_eq!(ed.browse(&p("S1/a2/x")).unwrap(), Tree::leaf(3));
+        assert_eq!(ed.browse(&p("T/c1")).unwrap(), tree! { "x" => 1, "y" => 3 });
+        assert!(ed.browse(&p("S9/a")).is_err());
+    }
+
+    #[test]
+    fn errors_do_not_corrupt_tracking() {
+        let mut ed = figure4_editor(Strategy::Naive);
+        let before = ed.current_tid();
+        // Bad update: duplicate edge.
+        let err = ed
+            .apply(&AtomicUpdate::insert(p("T"), "c1", cpdb_update::InsertContent::Empty))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Db(_)));
+        assert_eq!(ed.current_tid(), before, "failed ops must not consume tids");
+        assert_eq!(ed.tracker().store().len(), 0, "failed ops must not store records");
+    }
+
+    #[test]
+    fn copy_within_target_database() {
+        let mut ed = figure4_editor(Strategy::Naive);
+        ed.apply(&AtomicUpdate::copy(p("T/c1"), p("T/c9"))).unwrap();
+        assert_eq!(ed.browse(&p("T/c9/y")).unwrap(), Tree::leaf(3));
+        // Provenance recorded with an intra-T source.
+        let recs = ed.tracker().store().by_loc(&p("T/c9")).unwrap();
+        assert_eq!(recs[0].src, Some(p("T/c1")));
+    }
+}

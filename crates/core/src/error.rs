@@ -1,0 +1,78 @@
+//! Errors for the provenance layer.
+
+use std::fmt;
+
+/// Failure of a provenance operation.
+#[derive(Clone)]
+pub enum CoreError {
+    /// The provenance store's storage engine failed.
+    Storage(cpdb_storage::StorageError),
+    /// The target or source database failed.
+    Db(cpdb_xmldb::XmlDbError),
+    /// An update was ill-formed (the points where `[[U]]` is undefined).
+    Update(cpdb_update::UpdateError),
+    /// A tree/path-level failure.
+    Tree(cpdb_tree::TreeError),
+    /// The editor was asked to do something inconsistent with its state.
+    Editor {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "provenance store: {e}"),
+            CoreError::Db(e) => write!(f, "database: {e}"),
+            CoreError::Update(e) => write!(f, "update: {e}"),
+            CoreError::Tree(e) => write!(f, "{e}"),
+            CoreError::Editor { reason } => write!(f, "editor: {reason}"),
+        }
+    }
+}
+
+impl fmt::Debug for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Db(e) => Some(e),
+            CoreError::Update(e) => Some(e),
+            CoreError::Tree(e) => Some(e),
+            CoreError::Editor { .. } => None,
+        }
+    }
+}
+
+impl From<cpdb_storage::StorageError> for CoreError {
+    fn from(e: cpdb_storage::StorageError) -> CoreError {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<cpdb_xmldb::XmlDbError> for CoreError {
+    fn from(e: cpdb_xmldb::XmlDbError) -> CoreError {
+        CoreError::Db(e)
+    }
+}
+
+impl From<cpdb_update::UpdateError> for CoreError {
+    fn from(e: cpdb_update::UpdateError) -> CoreError {
+        CoreError::Update(e)
+    }
+}
+
+impl From<cpdb_tree::TreeError> for CoreError {
+    fn from(e: cpdb_tree::TreeError) -> CoreError {
+        CoreError::Tree(e)
+    }
+}
+
+/// Result alias for provenance operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,293 @@
+//! Cross-database provenance: the `Own` query (Section 2.2).
+//!
+//! A single target's provenance is necessarily partial: "the Hist and
+//! Mod queries stop following the chain of provenance of a piece of
+//! data when it exits T." But "if source databases also store
+//! provenance, we can provide more complete answers by combining the
+//! provenance information of all of the databases. In addition, there
+//! are queries which only make sense if several databases track
+//! provenance, such as: **Own** — What is the history of 'ownership' of
+//! a piece of data? That is, what sequence of databases contained the
+//! previous copies of a node?"
+//!
+//! A [`Federation`] registers the provenance stores of every
+//! cooperating database and continues `Trace` chains across database
+//! boundaries, yielding the ownership history.
+
+use crate::error::Result;
+use crate::query::{FromStep, QueryEngine, TraceStep};
+use crate::record::Tid;
+use crate::store::ProvStore;
+use cpdb_tree::{Label, Path};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One database's provenance publication: its store, whether the
+/// records are hierarchical, and its last transaction.
+pub struct Member {
+    engine: QueryEngine,
+    tnow: Tid,
+}
+
+/// One hop of an ownership history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OwnStep {
+    /// The database that held the data.
+    pub db: Label,
+    /// Where in that database it sat.
+    pub loc: Path,
+    /// The transaction (in that database's numbering) that brought it
+    /// there, or `None` for the chain's origin (initially present or
+    /// untracked).
+    pub arrived_by: Option<Tid>,
+}
+
+/// A set of cooperating databases that publish their provenance.
+#[derive(Default)]
+pub struct Federation {
+    members: BTreeMap<Label, Member>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Federation {
+        Federation::default()
+    }
+
+    /// Registers a database's provenance store.
+    pub fn register(
+        &mut self,
+        db: impl Into<Label>,
+        store: Arc<dyn ProvStore>,
+        hierarchical: bool,
+        tnow: Tid,
+    ) -> &mut Self {
+        let db = db.into();
+        self.members
+            .insert(db, Member { engine: QueryEngine::new(store, hierarchical, db), tnow });
+        self
+    }
+
+    /// The registered database names.
+    pub fn members(&self) -> Vec<Label> {
+        self.members.keys().copied().collect()
+    }
+
+    /// `Own(p)`: the sequence of databases that held the data now at
+    /// `loc`, newest first — starting with `loc`'s own database and
+    /// following copies across every member that tracks provenance.
+    ///
+    /// Chains stop (with a final origin step, `arrived_by: None`) at
+    /// data that was initially present, locally inserted, or copied
+    /// from a database outside the federation.
+    pub fn own(&self, loc: &Path) -> Result<Vec<OwnStep>> {
+        let mut steps = Vec::new();
+        let mut cur = loc.clone();
+        // Cap hops defensively: a cycle would require a copy chain
+        // A→B→A with consistent timestamps, which tids prevent within
+        // one member but clock skew across members could fake.
+        for _ in 0..64 {
+            let Some(db_name) = cur.first() else { break };
+            let Some(member) = self.members.get(&db_name) else {
+                // The data came from an untracked database: the trail
+                // ends here, but the location is still part of the
+                // ownership history.
+                steps.push(OwnStep { db: db_name, loc: cur, arrived_by: None });
+                return Ok(steps);
+            };
+            let trace = member.engine.trace(&cur, member.tnow)?;
+            match trace.last() {
+                None => {
+                    // Unchanged since this database's initial version.
+                    steps.push(OwnStep { db: db_name, loc: cur, arrived_by: None });
+                    return Ok(steps);
+                }
+                Some(TraceStep { tid, action: FromStep::Inserted, .. }) => {
+                    steps.push(OwnStep { db: db_name, loc: cur, arrived_by: Some(*tid) });
+                    return Ok(steps);
+                }
+                Some(TraceStep { tid, action: FromStep::Copied { src }, .. }) => {
+                    steps.push(OwnStep {
+                        db: db_name,
+                        loc: cur.clone(),
+                        arrived_by: Some(*tid),
+                    });
+                    cur = src.clone();
+                }
+                Some(TraceStep { action: FromStep::Deleted | FromStep::Unchanged, .. }) => {
+                    // Anomalous store; stop rather than guess.
+                    steps.push(OwnStep { db: db_name, loc: cur, arrived_by: None });
+                    return Ok(steps);
+                }
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Combined `Hist` across the federation: every `(database, tid)`
+    /// copy involved in moving the data to its current position.
+    pub fn hist_across(&self, loc: &Path) -> Result<Vec<(Label, Tid)>> {
+        let mut out = Vec::new();
+        let mut cur = loc.clone();
+        for _ in 0..64 {
+            let Some(db_name) = cur.first() else { break };
+            let Some(member) = self.members.get(&db_name) else { break };
+            let trace = member.engine.trace(&cur, member.tnow)?;
+            let mut next = None;
+            for step in &trace {
+                if let FromStep::Copied { src } = &step.action {
+                    out.push((db_name, step.tid));
+                    next = Some(src.clone());
+                }
+            }
+            // Follow only the final (oldest) hop out of this database.
+            match trace.last() {
+                Some(TraceStep { action: FromStep::Copied { src }, .. }) => {
+                    let _ = next;
+                    if src.first() == Some(db_name) {
+                        break; // intra-db chains were already followed by trace()
+                    }
+                    cur = src.clone();
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use crate::tracker::{Strategy, Tracker};
+    use cpdb_tree::{tree, Database, Tree};
+    use cpdb_update::{parse_script, Workspace};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    /// Builds a provenance-tracked database from sources, returning
+    /// (final tree, store, tnow).
+    fn tracked(
+        name: &str,
+        initial: Tree,
+        sources: Vec<(Label, Tree)>,
+        script: &str,
+        strategy: Strategy,
+    ) -> (Tree, Arc<MemStore>, Tid) {
+        let mut ws = Workspace::new(Database::new(name, initial));
+        for (src_name, tree) in sources {
+            ws.add_source(Database::new(src_name, tree));
+        }
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(strategy, store.clone(), Tid(1));
+        for u in &parse_script(script).unwrap() {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+        }
+        tracker.commit().unwrap();
+        (ws.target().root().clone(), store, Tid(tracker.current_tid().0 - 1))
+    }
+
+    /// A three-database chain: UniProt → MidDB → MyDB. `Own` on MyDB's
+    /// copy walks all the way back to UniProt.
+    #[test]
+    fn own_follows_chains_across_databases() {
+        let uniprot = tree! { "P01" => { "seq" => "MKV" } };
+
+        // MidDB copies from UniProt (and tracks provenance).
+        let (mid_tree, mid_store, mid_tnow) = tracked(
+            "MidDB",
+            tree! {},
+            vec![(Label::new("UniProt"), uniprot.clone())],
+            "copy UniProt/P01 into MidDB/entry",
+            Strategy::Hierarchical,
+        );
+
+        // MyDB copies from MidDB (and tracks provenance).
+        let (_, my_store, my_tnow) = tracked(
+            "MyDB",
+            tree! {},
+            vec![(Label::new("MidDB"), mid_tree)],
+            "copy MidDB/entry into MyDB/mine",
+            Strategy::HierarchicalTransactional,
+        );
+
+        let mut fed = Federation::new();
+        fed.register("MyDB", my_store, true, my_tnow);
+        fed.register("MidDB", mid_store, true, mid_tnow);
+        // UniProt does not track provenance and is not registered.
+
+        let own = fed.own(&p("MyDB/mine/seq")).unwrap();
+        let dbs: Vec<&str> = own.iter().map(|s| s.db.as_str()).collect();
+        assert_eq!(dbs, vec!["MyDB", "MidDB", "UniProt"]);
+        assert_eq!(own[0].loc, p("MyDB/mine/seq"));
+        assert_eq!(own[1].loc, p("MidDB/entry/seq"));
+        assert_eq!(own[2].loc, p("UniProt/P01/seq"));
+        assert!(own[0].arrived_by.is_some());
+        assert!(own[1].arrived_by.is_some());
+        assert_eq!(own[2].arrived_by, None, "UniProt is the untracked origin");
+    }
+
+    #[test]
+    fn own_stops_at_local_inserts() {
+        let (_, store, tnow) = tracked(
+            "MyDB",
+            tree! {},
+            vec![],
+            "insert {note : \"local\"} into MyDB",
+            Strategy::Naive,
+        );
+        let mut fed = Federation::new();
+        fed.register("MyDB", store, false, tnow);
+        let own = fed.own(&p("MyDB/note")).unwrap();
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].arrived_by, Some(Tid(1)), "created by the local insert");
+    }
+
+    #[test]
+    fn own_handles_initially_present_data() {
+        let (_, store, tnow) = tracked(
+            "MyDB",
+            tree! { "old" => 1 },
+            vec![],
+            "insert {unrelated : 2} into MyDB",
+            Strategy::Naive,
+        );
+        let mut fed = Federation::new();
+        fed.register("MyDB", store, false, tnow);
+        let own = fed.own(&p("MyDB/old")).unwrap();
+        assert_eq!(own, vec![OwnStep { db: Label::new("MyDB"), loc: p("MyDB/old"), arrived_by: None }]);
+    }
+
+    #[test]
+    fn hist_across_collects_every_copy() {
+        let uniprot = tree! { "P01" => { "seq" => "MKV" } };
+        let (mid_tree, mid_store, mid_tnow) = tracked(
+            "MidDB",
+            tree! {},
+            vec![(Label::new("UniProt"), uniprot)],
+            "copy UniProt/P01 into MidDB/e1;
+             copy MidDB/e1 into MidDB/e2",
+            Strategy::Naive,
+        );
+        let (_, my_store, my_tnow) = tracked(
+            "MyDB",
+            tree! {},
+            vec![(Label::new("MidDB"), mid_tree)],
+            "copy MidDB/e2 into MyDB/mine",
+            Strategy::Naive,
+        );
+        let mut fed = Federation::new();
+        fed.register("MyDB", my_store, false, my_tnow);
+        fed.register("MidDB", mid_store, false, mid_tnow);
+        let hops = fed.hist_across(&p("MyDB/mine/seq")).unwrap();
+        // One copy in MyDB, two in MidDB (e1→e2 and UniProt→e1).
+        assert_eq!(hops.len(), 3, "{hops:?}");
+        assert_eq!(hops[0].0.as_str(), "MyDB");
+        assert_eq!(hops[1].0.as_str(), "MidDB");
+        assert_eq!(hops[2].0.as_str(), "MidDB");
+    }
+}

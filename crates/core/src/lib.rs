@@ -1,0 +1,76 @@
+//! # cpdb-core — provenance management for curated databases
+//!
+//! The primary contribution of Buneman, Chapman & Cheney, *Provenance
+//! Management in Curated Databases* (SIGMOD 2006): automatic tracking of
+//! copy-paste provenance as a curator edits a target database, with four
+//! storage strategies and the provenance queries built on them.
+//!
+//! * [`ProvRecord`] / [`Tid`] / [`Op`] — the `Prov(Tid, Op, Loc, Src)`
+//!   relation of Section 2.1;
+//! * [`ProvStore`] — the auxiliary store `P` ([`SqlStore`] over the
+//!   `cpdb-storage` engine, [`MemStore`] for tests);
+//! * [`Tracker`] / [`Strategy`] — naïve, transactional, hierarchical,
+//!   and hierarchical-transactional tracking (Sections 2.1.1–2.1.4);
+//! * [`QueryEngine`] — `From`, `Trace`, `Src`, `Hist`, `Mod`
+//!   (Section 2.2), with hierarchical inference;
+//! * [`Editor`] — the provenance-aware editor of Figure 2, wired to the
+//!   Figure 6 database wrappers of `cpdb-xmldb`;
+//! * [`rules`] — the paper's Datalog rules, runnable on `cpdb-datalog`
+//!   to cross-check the hand-coded queries;
+//! * [`approx`] — approximate provenance for bulk updates (Section 6);
+//! * [`recovery`] — reconstructing lost sources from provenance
+//!   (Section 5, "Data availability");
+//! * [`federation`] — combining the provenance of several databases to
+//!   answer the `Own` ownership-history query (Section 2.2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpdb_core::{Editor, MemStore, Strategy, Tid};
+//! use cpdb_storage::Engine;
+//! use cpdb_tree::tree;
+//! use cpdb_xmldb::XmlDb;
+//! use std::sync::Arc;
+//!
+//! // A target database and one source.
+//! let target = XmlDb::create("T", &Engine::in_memory()).unwrap();
+//! target.load(&tree! {}).unwrap();
+//! let source = XmlDb::create("S", &Engine::in_memory()).unwrap();
+//! source.load(&tree! { "rec" => { "x" => 1 } }).unwrap();
+//!
+//! let mut editor = Editor::new(
+//!     "curator",
+//!     Arc::new(target),
+//!     Strategy::HierarchicalTransactional,
+//!     Arc::new(MemStore::new()),
+//!     Tid(1),
+//! ).with_source(Arc::new(source));
+//!
+//! let script = cpdb_update::parse_script("copy S/rec into T/mine").unwrap();
+//! editor.run_script(&script, 0).unwrap();
+//! assert_eq!(
+//!     editor.get_hist(&"T/mine/x".parse().unwrap()).unwrap(),
+//!     vec![Tid(1)],
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod approx;
+mod editor;
+pub mod federation;
+mod error;
+mod query;
+mod record;
+pub mod recovery;
+pub mod rules;
+mod store;
+mod tracker;
+
+pub use editor::Editor;
+pub use error::{CoreError, Result};
+pub use query::{FromStep, QueryEngine, TraceStep};
+pub use record::{Op, ProvRecord, Tid, TxnMeta};
+pub use store::{prov_schema, MemStore, ProvStore, SqlStore};
+pub use tracker::{Strategy, Tracker};

@@ -1,0 +1,360 @@
+//! Provenance queries: `From`, `Trace`, and the user-facing `Src`,
+//! `Hist`, `Mod` of Section 2.2.
+//!
+//! `Trace` is the reflexive-transitive closure of `From`; because each
+//! output location comes from at most one input location per
+//! transaction, the closure restricted to one node is a *chain*, and the
+//! implementation walks it backwards record-by-record (this mirrors the
+//! paper's implementation, which issues "several basic queries" instead
+//! of evaluating the recursive Datalog — which is cross-checked against
+//! this code in `tests/datalog_equiv.rs`).
+//!
+//! For hierarchical stores the effective record at a location may live
+//! at an *ancestor* (Section 2.1.3's inference rules); the walk probes
+//! ancestors location by location — the extra store traffic behind
+//! Figure 13's observation that `getMod` is slower on hierarchical
+//! provenance ("each query must process all the descendants of a node,
+//! including ones not listed in the provenance store").
+
+use crate::error::Result;
+use crate::record::{Op, ProvRecord, Tid};
+use crate::store::ProvStore;
+use cpdb_tree::Path;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// What happened to a node in one transaction, resolved through
+/// inference if necessary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FromStep {
+    /// The node was copied here (the paper's `Copy(t, p, q)`).
+    Copied {
+        /// Where it came from.
+        src: Path,
+    },
+    /// The node was created by an insert.
+    Inserted,
+    /// The node was untouched (`Unch`): it came from itself.
+    Unchanged,
+    /// Anomaly: the governing record says the data was deleted. A
+    /// well-formed store never yields this for a live node.
+    Deleted,
+}
+
+/// One backward step of a `Trace` chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// The transaction this step describes.
+    pub tid: Tid,
+    /// The node's location at the *end* of that transaction.
+    pub loc: Path,
+    /// What that transaction did to it.
+    pub action: FromStep,
+}
+
+/// Query engine over a provenance store.
+pub struct QueryEngine {
+    store: Arc<dyn ProvStore>,
+    hierarchical: bool,
+    /// Database name prefix of target locations (e.g. `T`) — copies
+    /// whose source lies outside stop the chain (Section 2.2: queries
+    /// "stop following the chain of provenance of a piece of data when
+    /// it exits T").
+    target: Path,
+}
+
+impl QueryEngine {
+    /// Creates a query engine. `hierarchical` must match the strategy
+    /// that populated the store.
+    pub fn new(store: Arc<dyn ProvStore>, hierarchical: bool, target_db: impl Into<cpdb_tree::Label>) -> QueryEngine {
+        QueryEngine { store, hierarchical, target: Path::single(target_db.into()) }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<dyn ProvStore> {
+        &self.store
+    }
+
+    /// Finds the governing record for `loc` at or before `t_max`: the
+    /// newest record at `loc` — or, for hierarchical stores, at its
+    /// nearest ancestor (deepest location wins ties within one
+    /// transaction, because an explicit record overrides inference).
+    /// Returns the record and the location it is anchored at.
+    fn governing(&self, loc: &Path, t_max: Tid) -> Result<Option<(ProvRecord, Path)>> {
+        let mut best: Option<(ProvRecord, Path)> = None;
+        #[allow(clippy::type_complexity)]
+        let mut consider = |records: Vec<ProvRecord>, at: &Path| {
+            for r in records {
+                if r.tid > t_max {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((b, at_b)) => {
+                        r.tid > b.tid || (r.tid == b.tid && at.len() > at_b.len())
+                    }
+                };
+                if better {
+                    best = Some((r, at.clone()));
+                }
+            }
+        };
+        consider(self.store.by_loc(loc)?, loc);
+        if self.hierarchical {
+            for anc in loc.ancestors() {
+                if anc.len() < self.target.len() {
+                    break; // don't probe above the database root
+                }
+                consider(self.store.by_loc(&anc)?, &anc);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Resolves a governing record into the action at `loc` itself,
+    /// applying the inference rules when the record sits at an ancestor:
+    /// children of copied nodes come from the corresponding source
+    /// child; children of inserted (deleted) nodes are inserted
+    /// (deleted).
+    fn resolve(record: &ProvRecord, at: &Path, loc: &Path) -> FromStep {
+        match record.op {
+            Op::Insert => FromStep::Inserted,
+            Op::Delete => FromStep::Deleted,
+            Op::Copy => {
+                let src_root = record.src.as_ref().expect("copy record has src");
+                match loc.replace_prefix(at, src_root) {
+                    Some(src) => FromStep::Copied { src },
+                    None => FromStep::Deleted, // unreachable by construction
+                }
+            }
+        }
+    }
+
+    /// `From(t, p, ·)` with inference: what happened to `p` in
+    /// transaction `t`, given `p` exists at the end of `t`.
+    pub fn from_step(&self, tid: Tid, loc: &Path) -> Result<FromStep> {
+        match self.governing(loc, tid)? {
+            Some((r, at)) if r.tid == tid => Ok(Self::resolve(&r, &at, loc)),
+            _ => Ok(FromStep::Unchanged),
+        }
+    }
+
+    /// The full backward `Trace` chain of the node at `loc` as of
+    /// transaction `tnow`: each step names a transaction that moved or
+    /// created the data, newest first. Transactions with no effect on
+    /// the node are skipped (they would be `Unchanged` steps).
+    pub fn trace(&self, loc: &Path, tnow: Tid) -> Result<Vec<TraceStep>> {
+        let mut steps = Vec::new();
+        let mut cur = loc.clone();
+        let mut t = tnow;
+        // Ends when governing() finds nothing: the node was unchanged
+        // all the way back to the initial version.
+        while let Some((record, at)) = self.governing(&cur, t)? {
+            let action = Self::resolve(&record, &at, &cur);
+            steps.push(TraceStep { tid: record.tid, loc: cur.clone(), action: action.clone() });
+            match action {
+                FromStep::Inserted | FromStep::Deleted => break,
+                FromStep::Unchanged => break, // cannot happen: governing returned a record
+                FromStep::Copied { src } => {
+                    if !src.starts_with(&self.target) {
+                        break; // the chain exits T — sources don't track provenance
+                    }
+                    let Some(prev) = record.tid.prev() else { break };
+                    cur = src;
+                    t = prev;
+                }
+            }
+        }
+        Ok(steps)
+    }
+
+    /// `Src(p)`: the transaction that *inserted* the data now at `loc`,
+    /// or `None` if it was present initially or entered by a copy from
+    /// outside the target database.
+    pub fn get_src(&self, loc: &Path, tnow: Tid) -> Result<Option<Tid>> {
+        let steps = self.trace(loc, tnow)?;
+        Ok(steps.last().and_then(|s| match s.action {
+            FromStep::Inserted => Some(s.tid),
+            _ => None,
+        }))
+    }
+
+    /// `Hist(p)`: every transaction that copied the data to its current
+    /// position, newest first.
+    pub fn get_hist(&self, loc: &Path, tnow: Tid) -> Result<Vec<Tid>> {
+        Ok(self
+            .trace(loc, tnow)?
+            .into_iter()
+            .filter(|s| matches!(s.action, FromStep::Copied { .. }))
+            .map(|s| s.tid)
+            .collect())
+    }
+
+    /// `Mod(p)`: every transaction that created or modified data in the
+    /// subtree under `p`. The caller supplies the paths of the subtree's
+    /// nodes in the *current* version (the editor reads them from the
+    /// target database), matching the paper's definition
+    /// `Mod(p) = {u | ∃q ≥ p. Trace(q, tnow, r, u), ¬Unch(u, r)}`.
+    pub fn get_mod(&self, subtree_nodes: &[Path], tnow: Tid) -> Result<BTreeSet<Tid>> {
+        let mut out = BTreeSet::new();
+        for q in subtree_nodes {
+            for step in self.trace(q, tnow)? {
+                out.insert(step.tid);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use crate::tracker::{Strategy, Tracker};
+    use cpdb_update::fixtures::{figure3_script, figure4_workspace};
+    use cpdb_update::Workspace;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    /// Replays Figure 3 and returns (query engine, final workspace,
+    /// last tid) for a strategy.
+    fn setup(strategy: Strategy, txn_len: usize) -> (QueryEngine, Workspace, Tid) {
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(strategy, store.clone(), Tid(121));
+        let mut ws = figure4_workspace();
+        for (i, u) in figure3_script().iter().enumerate() {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+            if (i + 1) % txn_len == 0 {
+                tracker.commit().unwrap();
+            }
+        }
+        tracker.commit().unwrap();
+        let tnow = Tid(tracker.current_tid().0 - 1);
+        let engine = QueryEngine::new(store, strategy.is_hierarchical(), "T");
+        (engine, ws, tnow)
+    }
+
+    #[test]
+    fn from_step_resolves_explicit_and_inferred() {
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { usize::MAX } else { 1 };
+            let (q, _, _) = setup(strategy, txn_len);
+            // Op (4)/(124): T/c2 copied from S1/a2 — T/c2/x must resolve
+            // to S1/a2/x, explicitly (N/T) or by inference (H/HT).
+            let tid = if strategy.is_transactional() { Tid(121) } else { Tid(124) };
+            assert_eq!(
+                q.from_step(tid, &p("T/c2/x")).unwrap(),
+                FromStep::Copied { src: p("S1/a2/x") },
+                "{strategy}"
+            );
+            // A node untouched by that transaction.
+            assert_eq!(
+                q.from_step(Tid(124), &p("T/c1/x")).unwrap(),
+                FromStep::Unchanged,
+                "{strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn src_finds_the_inserting_transaction() {
+        for strategy in [Strategy::Naive, Strategy::Hierarchical] {
+            let (q, _, tnow) = setup(strategy, 1);
+            // T/c4/y was inserted by op (10) = tid 130.
+            assert_eq!(q.get_src(&p("T/c4/y"), tnow).unwrap(), Some(Tid(130)), "{strategy}");
+            // T/c4/x arrived via copy from S2 — source outside T.
+            assert_eq!(q.get_src(&p("T/c4/x"), tnow).unwrap(), None, "{strategy}");
+            // T/c1/x was present initially.
+            assert_eq!(q.get_src(&p("T/c1/x"), tnow).unwrap(), None, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn hist_lists_copying_transactions() {
+        for strategy in [Strategy::Naive, Strategy::Hierarchical] {
+            let (q, _, tnow) = setup(strategy, 1);
+            // T/c2/y: inserted (125) then overwritten by copy (126).
+            assert_eq!(q.get_hist(&p("T/c2/y"), tnow).unwrap(), vec![Tid(126)], "{strategy}");
+            // T/c3/x came with the copy of c3 (127).
+            assert_eq!(q.get_hist(&p("T/c3/x"), tnow).unwrap(), vec![Tid(127)], "{strategy}");
+            // T/c1/x was never copied.
+            assert!(q.get_hist(&p("T/c1/x"), tnow).unwrap().is_empty(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn trace_follows_chains_within_target() {
+        // Build a two-hop chain: copy S1/a1 → T/n1 (txn A), then
+        // T/n1 → T/n2 (txn B). Tracing T/n2/x crosses both.
+        for strategy in [Strategy::Naive, Strategy::Hierarchical] {
+            let store = Arc::new(MemStore::new());
+            let mut tracker = Tracker::new(strategy, store.clone(), Tid(1));
+            let mut ws = figure4_workspace();
+            let script = cpdb_update::parse_script(
+                "copy S1/a1 into T/n1;
+                 copy T/n1 into T/n2",
+            )
+            .unwrap();
+            for u in &script {
+                let e = ws.apply(u).unwrap();
+                tracker.track(&e).unwrap();
+            }
+            let q = QueryEngine::new(store, strategy.is_hierarchical(), "T");
+            let steps = q.trace(&p("T/n2/x"), Tid(2)).unwrap();
+            assert_eq!(steps.len(), 2, "{strategy}: {steps:?}");
+            assert_eq!(steps[0].tid, Tid(2));
+            assert_eq!(steps[0].action, FromStep::Copied { src: p("T/n1/x") });
+            assert_eq!(steps[1].tid, Tid(1));
+            assert_eq!(steps[1].action, FromStep::Copied { src: p("S1/a1/x") });
+            // Hist sees both copies; Src is unknown (chain exits T).
+            assert_eq!(q.get_hist(&p("T/n2/x"), Tid(2)).unwrap(), vec![Tid(2), Tid(1)]);
+            assert_eq!(q.get_src(&p("T/n2/x"), Tid(2)).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn mod_collects_subtree_transactions() {
+        for strategy in [Strategy::Naive, Strategy::Hierarchical] {
+            let (q, ws, tnow) = setup(strategy, 1);
+            // Subtree under T/c2: c2 copied (124), y inserted (125) then
+            // copied over (126); x via c2's copy (124).
+            let sub = ws.target().get(&p("T/c2")).unwrap().all_paths(&p("T/c2"));
+            let mods = q.get_mod(&sub, tnow).unwrap();
+            let tids: Vec<u64> = mods.iter().map(|t| t.0).collect();
+            assert_eq!(tids, vec![124, 126], "{strategy}: insert 125 was overwritten; {tids:?}");
+            // Whole database: every change surviving to tnow shows up.
+            // 123, 125, 128 created nodes that copies then wholly
+            // replaced, so no surviving data traces to them; 121 deleted
+            // data that has no surviving descendants.
+            let all = ws.target().root().all_paths(&p("T"));
+            let mods = q.get_mod(&all, tnow).unwrap();
+            let tids: Vec<u64> = mods.iter().map(|t| t.0).collect();
+            assert_eq!(tids, vec![122, 124, 126, 127, 129, 130], "{strategy}");
+        }
+    }
+
+    #[test]
+    fn transactional_queries_use_commit_tids() {
+        for strategy in [Strategy::Transactional, Strategy::HierarchicalTransactional] {
+            let (q, _, tnow) = setup(strategy, usize::MAX);
+            assert_eq!(tnow, Tid(121), "one commit = one transaction");
+            assert_eq!(q.get_src(&p("T/c4/y"), tnow).unwrap(), Some(Tid(121)), "{strategy}");
+            assert_eq!(q.get_hist(&p("T/c3/x"), tnow).unwrap(), vec![Tid(121)], "{strategy}");
+            assert_eq!(q.get_src(&p("T/c1/x"), tnow).unwrap(), None, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn mod_excludes_untouched_subtrees() {
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { usize::MAX } else { 1 };
+            let (q, ws, tnow) = setup(strategy, txn_len);
+            // T/c1/x was never touched; its singleton subtree has no mods.
+            let sub = ws.target().get(&p("T/c1/x")).unwrap().all_paths(&p("T/c1/x"));
+            assert!(q.get_mod(&sub, tnow).unwrap().is_empty(), "{strategy}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Provenance records.
+//!
+//! The provenance store holds the relation `Prov(Tid, Op, Loc, Src)` of
+//! Section 2.1: `Tid` is the transaction sequence number, `Op ∈ {I, C,
+//! D}`, `Loc` the affected location in the target, and `Src` the source
+//! location for copies (`⊥` otherwise). `{Tid, Loc}` is a key.
+
+use cpdb_tree::Path;
+use std::fmt;
+
+/// A transaction sequence number.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tid(pub u64);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Tid {
+    /// The transaction before this one (`t − 1` in the `Trace` rules).
+    pub fn prev(self) -> Option<Tid> {
+        self.0.checked_sub(1).map(Tid)
+    }
+
+    /// The transaction after this one.
+    pub fn next(self) -> Tid {
+        Tid(self.0 + 1)
+    }
+}
+
+/// The operation recorded for a location.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Op {
+    /// Inserted (`I`).
+    Insert,
+    /// Copied (`C`).
+    Copy,
+    /// Deleted (`D`).
+    Delete,
+}
+
+impl Op {
+    /// The single-letter code used in the paper's tables.
+    pub fn code(self) -> &'static str {
+        match self {
+            Op::Insert => "I",
+            Op::Copy => "C",
+            Op::Delete => "D",
+        }
+    }
+
+    /// Parses the single-letter code.
+    pub fn from_code(code: &str) -> Option<Op> {
+        match code {
+            "I" => Some(Op::Insert),
+            "C" => Some(Op::Copy),
+            "D" => Some(Op::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One provenance record — a row of `Prov` (or `HProv`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProvRecord {
+    /// Transaction number.
+    pub tid: Tid,
+    /// What happened at `loc`.
+    pub op: Op,
+    /// The affected location (output location for I/C, input location
+    /// for D).
+    pub loc: Path,
+    /// The source location, for copies; `None` (`⊥`) otherwise.
+    pub src: Option<Path>,
+}
+
+impl ProvRecord {
+    /// An insert record.
+    pub fn insert(tid: Tid, loc: Path) -> ProvRecord {
+        ProvRecord { tid, op: Op::Insert, loc, src: None }
+    }
+
+    /// A delete record.
+    pub fn delete(tid: Tid, loc: Path) -> ProvRecord {
+        ProvRecord { tid, op: Op::Delete, loc, src: None }
+    }
+
+    /// A copy record.
+    pub fn copy(tid: Tid, loc: Path, src: Path) -> ProvRecord {
+        ProvRecord { tid, op: Op::Copy, loc, src: Some(src) }
+    }
+
+    /// Renders one row in the layout of Figure 5: `121 C T/c2 S1/a2`.
+    pub fn as_table_row(&self) -> String {
+        match &self.src {
+            Some(src) => format!("{} {} {} {}", self.tid, self.op, self.loc, src),
+            None => format!("{} {} {} ⊥", self.tid, self.op, self.loc),
+        }
+    }
+}
+
+impl fmt::Display for ProvRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_table_row())
+    }
+}
+
+/// Per-transaction metadata: "Additional information about each
+/// transaction, such as commit time and user identity, can be stored in
+/// a separate table with key Tid" (Section 2.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TxnMeta {
+    /// The transaction.
+    pub tid: Tid,
+    /// Who performed it.
+    pub user: String,
+    /// Commit timestamp (seconds since the epoch; the harness uses a
+    /// logical clock for determinism).
+    pub committed_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn table_rows_match_figure_5_layout() {
+        let r = ProvRecord::delete(Tid(121), p("T/c5"));
+        assert_eq!(r.as_table_row(), "121 D T/c5 ⊥");
+        let r = ProvRecord::copy(Tid(122), p("T/c1/y"), p("S1/a1/y"));
+        assert_eq!(r.as_table_row(), "122 C T/c1/y S1/a1/y");
+        let r = ProvRecord::insert(Tid(123), p("T/c2"));
+        assert_eq!(r.as_table_row(), "123 I T/c2 ⊥");
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in [Op::Insert, Op::Copy, Op::Delete] {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code("X"), None);
+    }
+
+    #[test]
+    fn tid_arithmetic() {
+        assert_eq!(Tid(5).prev(), Some(Tid(4)));
+        assert_eq!(Tid(0).prev(), None);
+        assert_eq!(Tid(5).next(), Tid(6));
+    }
+}

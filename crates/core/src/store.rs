@@ -1,0 +1,532 @@
+//! Provenance stores.
+//!
+//! The auxiliary database `P` of Figure 2. Two backends:
+//!
+//! * [`SqlStore`] — rows in a `cpdb-storage` table (the paper's MySQL
+//!   provenance store), optionally indexed; the unindexed configuration
+//!   is the paper's worst-case query setup ("No indexing was performed
+//!   on the provenance relation").
+//! * [`MemStore`] — an indexed in-memory store, used in fast tests and
+//!   as an ablation point.
+//!
+//! Every store separates **read** and **write** round trips, each with
+//! its own simulated latency, because the timing experiments depend on
+//! the asymmetry (a `SELECT` probe is cheaper than an `INSERT` round
+//! trip — see `cpdb-bench`'s calibration notes).
+
+use crate::error::Result;
+use crate::record::{Op, ProvRecord, Tid};
+use cpdb_storage::{Column, DataType, Datum, Engine, Meter, Schema, TableHandle};
+use cpdb_tree::Path;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Interface of a provenance store.
+pub trait ProvStore: Send + Sync {
+    /// Appends one record (one write round trip).
+    fn insert(&self, record: &ProvRecord) -> Result<()>;
+
+    /// Appends many records in one batched statement (one write round
+    /// trip — what a transactional commit issues).
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()>;
+
+    /// All records, unordered (one read round trip).
+    fn all(&self) -> Result<Vec<ProvRecord>>;
+
+    /// Records with exactly this `tid` and `loc` (one read round trip).
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records at a location, any transaction (one read round trip).
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records of a transaction (one read round trip).
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>>;
+
+    /// Records whose `loc` starts with `prefix` (one read round trip).
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Number of stored records (client-side bookkeeping, no round trip).
+    fn len(&self) -> u64;
+
+    /// `true` iff the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical size in bytes (pages for [`SqlStore`], an estimate for
+    /// [`MemStore`]).
+    fn physical_bytes(&self) -> u64;
+
+    /// Read round trips so far.
+    fn read_trips(&self) -> u64;
+
+    /// Write round trips so far.
+    fn write_trips(&self) -> u64;
+
+    /// Resets both round-trip counters.
+    fn reset_trips(&self);
+
+    /// Sets the simulated latencies for read and write round trips.
+    fn set_latency(&self, read: Duration, write: Duration);
+
+    /// Sets the simulated per-additional-row cost inside a batched
+    /// write. Commits of long transactions grow linearly with this
+    /// (Figure 12's observation).
+    fn set_batch_row_latency(&self, per_row: Duration);
+}
+
+fn record_to_row(r: &ProvRecord) -> Vec<Datum> {
+    vec![
+        Datum::U64(r.tid.0),
+        Datum::str(r.op.code()),
+        Datum::str(r.loc.to_string()),
+        r.src.as_ref().map_or(Datum::Null, |s| Datum::str(s.to_string())),
+    ]
+}
+
+fn row_to_record(row: &[Datum]) -> Result<ProvRecord> {
+    let corrupt = |what: &str| crate::CoreError::Editor {
+        reason: format!("provenance row corrupt: bad {what}"),
+    };
+    let tid = Tid(row[0].as_u64().ok_or_else(|| corrupt("tid"))?);
+    let op = Op::from_code(row[1].as_str().ok_or_else(|| corrupt("op"))?)
+        .ok_or_else(|| corrupt("op code"))?;
+    let loc: Path = row[2]
+        .as_str()
+        .ok_or_else(|| corrupt("loc"))?
+        .parse()
+        .map_err(|_| corrupt("loc path"))?;
+    let src = match &row[3] {
+        Datum::Null => None,
+        Datum::Str(s) => Some(s.parse().map_err(|_| corrupt("src path"))?),
+        _ => return Err(corrupt("src")),
+    };
+    Ok(ProvRecord { tid, op, loc, src })
+}
+
+/// The provenance table schema: `Prov(tid, op, loc, src)`.
+pub fn prov_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("tid", DataType::U64),
+        Column::new("op", DataType::Str),
+        Column::new("loc", DataType::Str),
+        Column::nullable("src", DataType::Str),
+    ])
+}
+
+/// A provenance store persisted in a `cpdb-storage` table.
+pub struct SqlStore {
+    table: Arc<TableHandle>,
+    indexed: bool,
+    reads: Meter,
+    writes: Meter,
+    batch_row_ns: std::sync::atomic::AtomicU64,
+}
+
+const IDX_TID_LOC: &str = "prov_by_tid_loc";
+const IDX_LOC: &str = "prov_by_loc";
+const IDX_TID: &str = "prov_by_tid";
+
+impl SqlStore {
+    /// Creates the `Prov` table inside `engine`. `indexed` controls
+    /// whether secondary indexes are built (the paper's query experiment
+    /// runs unindexed as worst case).
+    pub fn create(engine: &Engine, indexed: bool) -> Result<SqlStore> {
+        let table = engine.create_table("Prov", prov_schema())?;
+        if indexed {
+            table.add_index(IDX_TID_LOC, &["tid", "loc"], false)?;
+            table.add_index(IDX_LOC, &["loc"], false)?;
+            table.add_index(IDX_TID, &["tid"], false)?;
+        }
+        Ok(SqlStore {
+            table,
+            indexed,
+            reads: Meter::new(),
+            writes: Meter::new(),
+            batch_row_ns: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing `Prov` table from `engine`.
+    pub fn open(engine: &Engine, indexed: bool) -> Result<SqlStore> {
+        let table = engine.open_table("Prov")?;
+        if indexed {
+            table.add_index(IDX_TID_LOC, &["tid", "loc"], false)?;
+            table.add_index(IDX_LOC, &["loc"], false)?;
+            table.add_index(IDX_TID, &["tid"], false)?;
+        }
+        Ok(SqlStore {
+            table,
+            indexed,
+            reads: Meter::new(),
+            writes: Meter::new(),
+            batch_row_ns: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Flushes dirty pages of the underlying table.
+    pub fn flush(&self) -> Result<()> {
+        self.table.flush().map_err(Into::into)
+    }
+
+    /// Logical bytes of live rows.
+    pub fn live_bytes(&self) -> Result<u64> {
+        self.table.live_bytes().map_err(Into::into)
+    }
+
+    fn rows_to_records(rows: Vec<(cpdb_storage::RowId, Vec<Datum>)>) -> Result<Vec<ProvRecord>> {
+        rows.iter().map(|(_, row)| row_to_record(row)).collect()
+    }
+}
+
+impl ProvStore for SqlStore {
+    fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.writes.round_trip();
+        self.table.insert(&record_to_row(record))?;
+        Ok(())
+    }
+
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.writes.round_trip();
+        let per_row = self.batch_row_ns.load(std::sync::atomic::Ordering::Relaxed);
+        cpdb_storage::spin(Duration::from_nanos(per_row * (records.len() as u64 - 1)));
+        for r in records {
+            self.table.insert(&record_to_row(r))?;
+        }
+        Ok(())
+    }
+
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        Self::rows_to_records(self.table.select(|_| true)?)
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let rows = if self.indexed {
+            self.table
+                .lookup(IDX_TID_LOC, &[Datum::U64(tid.0), Datum::str(loc.to_string())])?
+        } else {
+            let loc_s = loc.to_string();
+            self.table
+                .select(|row| row[0] == Datum::U64(tid.0) && row[2].as_str() == Some(&loc_s))?
+        };
+        Self::rows_to_records(rows)
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let rows = if self.indexed {
+            self.table.lookup(IDX_LOC, &[Datum::str(loc.to_string())])?
+        } else {
+            let loc_s = loc.to_string();
+            self.table.select(|row| row[2].as_str() == Some(&loc_s))?
+        };
+        Self::rows_to_records(rows)
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let rows = if self.indexed {
+            self.table.lookup(IDX_TID, &[Datum::U64(tid.0)])?
+        } else {
+            self.table.select(|row| row[0] == Datum::U64(tid.0))?
+        };
+        Self::rows_to_records(rows)
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        // A LIKE 'prefix/%' scan; done client-side on segments so that
+        // `T/c2` does not match `T/c20`.
+        let records = Self::rows_to_records(self.table.select(|_| true)?)?;
+        Ok(records.into_iter().filter(|r| r.loc.starts_with(prefix)).collect())
+    }
+
+    fn len(&self) -> u64 {
+        self.table.row_count()
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        self.table.physical_bytes()
+    }
+
+    fn read_trips(&self) -> u64 {
+        self.reads.count()
+    }
+
+    fn write_trips(&self) -> u64 {
+        self.writes.count()
+    }
+
+    fn reset_trips(&self) {
+        self.reads.reset();
+        self.writes.reset();
+    }
+
+    fn set_latency(&self, read: Duration, write: Duration) {
+        self.reads.set_latency(read);
+        self.writes.set_latency(write);
+    }
+
+    fn set_batch_row_latency(&self, per_row: Duration) {
+        self.batch_row_ns
+            .store(per_row.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// An in-memory provenance store with hash indexes.
+#[derive(Default)]
+pub struct MemStore {
+    inner: RwLock<MemInner>,
+    reads: Meter,
+    writes: Meter,
+}
+
+#[derive(Default)]
+struct MemInner {
+    records: Vec<ProvRecord>,
+    by_loc: HashMap<Path, Vec<usize>>,
+    by_tid: HashMap<Tid, Vec<usize>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    fn push(inner: &mut MemInner, record: &ProvRecord) {
+        let i = inner.records.len();
+        inner.records.push(record.clone());
+        inner.by_loc.entry(record.loc.clone()).or_default().push(i);
+        inner.by_tid.entry(record.tid).or_default().push(i);
+    }
+}
+
+impl ProvStore for MemStore {
+    fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.writes.round_trip();
+        Self::push(&mut self.inner.write(), record);
+        Ok(())
+    }
+
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.writes.round_trip();
+        let mut inner = self.inner.write();
+        for r in records {
+            Self::push(&mut inner, r);
+        }
+        Ok(())
+    }
+
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        Ok(self.inner.read().records.clone())
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        Ok(inner
+            .by_loc
+            .get(loc)
+            .map(|ids| {
+                ids.iter()
+                    .map(|&i| &inner.records[i])
+                    .filter(|r| r.tid == tid)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        Ok(inner
+            .by_loc
+            .get(loc)
+            .map(|ids| ids.iter().map(|&i| inner.records[i].clone()).collect())
+            .unwrap_or_default())
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        Ok(inner
+            .by_tid
+            .get(&tid)
+            .map(|ids| ids.iter().map(|&i| inner.records[i].clone()).collect())
+            .unwrap_or_default())
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        Ok(inner.records.iter().filter(|r| r.loc.starts_with(prefix)).cloned().collect())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.read().records.len() as u64
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        // Estimate: path strings plus fixed fields.
+        let inner = self.inner.read();
+        inner
+            .records
+            .iter()
+            .map(|r| {
+                16 + r.loc.to_string().len() as u64
+                    + r.src.as_ref().map_or(0, |s| s.to_string().len() as u64)
+            })
+            .sum()
+    }
+
+    fn read_trips(&self) -> u64 {
+        self.reads.count()
+    }
+
+    fn write_trips(&self) -> u64 {
+        self.writes.count()
+    }
+
+    fn reset_trips(&self) {
+        self.reads.reset();
+        self.writes.reset();
+    }
+
+    fn set_latency(&self, read: Duration, write: Duration) {
+        self.reads.set_latency(read);
+        self.writes.set_latency(write);
+    }
+
+    fn set_batch_row_latency(&self, _per_row: Duration) {
+        // MemStore is a test double; batch-row latency is not simulated.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn sample_records() -> Vec<ProvRecord> {
+        vec![
+            ProvRecord::delete(Tid(121), p("T/c5")),
+            ProvRecord::copy(Tid(122), p("T/c1/y"), p("S1/a1/y")),
+            ProvRecord::insert(Tid(123), p("T/c2")),
+            ProvRecord::copy(Tid(124), p("T/c2"), p("S1/a2")),
+            ProvRecord::copy(Tid(124), p("T/c2/x"), p("S1/a2/x")),
+        ]
+    }
+
+    fn exercise(store: &dyn ProvStore) {
+        for r in sample_records() {
+            store.insert(&r).unwrap();
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.by_tid(Tid(124)).unwrap().len(), 2);
+        assert_eq!(store.by_loc(&p("T/c2")).unwrap().len(), 2);
+        assert_eq!(store.at(Tid(124), &p("T/c2")).unwrap().len(), 1);
+        assert_eq!(store.at(Tid(999), &p("T/c2")).unwrap().len(), 0);
+        let prefix = store.by_loc_prefix(&p("T/c2")).unwrap();
+        assert_eq!(prefix.len(), 3, "c2 records incl. child: {prefix:?}");
+        let mut all = store.all().unwrap();
+        all.sort();
+        let mut want = sample_records();
+        want.sort();
+        assert_eq!(all, want);
+        // Batch insert counts one write trip.
+        let w0 = store.write_trips();
+        store
+            .insert_batch(&[
+                ProvRecord::insert(Tid(130), p("T/z1")),
+                ProvRecord::insert(Tid(130), p("T/z2")),
+            ])
+            .unwrap();
+        assert_eq!(store.write_trips() - w0, 1);
+        assert_eq!(store.len(), 7);
+    }
+
+    #[test]
+    fn mem_store_works() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn sql_store_indexed_works() {
+        let engine = Engine::in_memory();
+        exercise(&SqlStore::create(&engine, true).unwrap());
+    }
+
+    #[test]
+    fn sql_store_unindexed_works() {
+        let engine = Engine::in_memory();
+        exercise(&SqlStore::create(&engine, false).unwrap());
+    }
+
+    #[test]
+    fn indexed_and_unindexed_agree() {
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let a = SqlStore::create(&e1, true).unwrap();
+        let b = SqlStore::create(&e2, false).unwrap();
+        for r in sample_records() {
+            a.insert(&r).unwrap();
+            b.insert(&r).unwrap();
+        }
+        for loc in ["T/c2", "T/c1/y", "T/zz"] {
+            let mut ra = a.by_loc(&p(loc)).unwrap();
+            let mut rb = b.by_loc(&p(loc)).unwrap();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb, "loc {loc}");
+        }
+    }
+
+    #[test]
+    fn round_trip_meters_distinguish_reads_and_writes() {
+        let store = MemStore::new();
+        store.insert(&ProvRecord::insert(Tid(1), p("T/a"))).unwrap();
+        store.by_loc(&p("T/a")).unwrap();
+        store.by_tid(Tid(1)).unwrap();
+        assert_eq!(store.write_trips(), 1);
+        assert_eq!(store.read_trips(), 2);
+        store.reset_trips();
+        assert_eq!(store.write_trips() + store.read_trips(), 0);
+    }
+
+    #[test]
+    fn sql_store_reopens_with_data() {
+        let dir = std::env::temp_dir().join(format!("cpdb-provstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let store = SqlStore::create(&engine, true).unwrap();
+            for r in sample_records() {
+                store.insert(&r).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let store = SqlStore::open(&engine, true).unwrap();
+            assert_eq!(store.len(), 5);
+            assert_eq!(store.by_tid(Tid(124)).unwrap().len(), 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

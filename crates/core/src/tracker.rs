@@ -1,0 +1,633 @@
+//! The four provenance-tracking strategies of Section 2.1 / 3.2.
+//!
+//! | Strategy | Records stored | Store traffic per op |
+//! |---|---|---|
+//! | **Naïve (N)** | one per touched node, one txn per op | 1 write per record |
+//! | **Transactional (T)** | net changes per user txn | 0 per op; 1 batched write per commit |
+//! | **Hierarchical (H)** | one per op (subtree roots only) | copy/delete: 1 write; insert: 1 read + 1 write |
+//! | **Hier.-transactional (HT)** | net hierarchical changes | 0 per op; 1 batched write per commit |
+//!
+//! The transactional modes maintain the paper's `provlist` — "an active
+//! list of provenance links that will be added to the provenance store
+//! when the user commits"; copies and deletes *remove* list entries for
+//! overwritten or temporary data (Section 3.2.2). Hierarchical inserts
+//! reproduce the implementation detail that makes them slower than naïve
+//! inserts in Figure 10: "we must first query the provenance database to
+//! determine whether to add the provenance record."
+//!
+//! Corner cases the paper leaves open are pinned down here (and
+//! exercised in tests):
+//!
+//! * `{Tid, Loc}` is a key of `Prov`, so when a location is deleted and
+//!   then re-occupied within one transaction, the output-side record
+//!   (`I`/`C`) wins and the `D` at exactly that location is dropped;
+//!   `D` records for its former descendants are kept.
+//! * Data that arrived *during* the transaction (an `I`/`C` entry at the
+//!   location or an ancestor) is temporary: deleting it removes the
+//!   entries and records nothing.
+//! * Redundant hierarchical links (copy `S/a → T/a` then `S/a/b →
+//!   T/a/b` in one txn) are *not* coalesced, matching Section 3.2.4
+//!   ("such redundancy is unusual, so this extra processing appears not
+//!   to be worthwhile").
+
+use crate::error::Result;
+use crate::record::{Op, ProvRecord, Tid};
+use crate::store::ProvStore;
+use cpdb_tree::{Path, Tree};
+use cpdb_update::Effect;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which storage method a tracker uses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// One record per touched node, one transaction per operation.
+    Naive,
+    /// Net changes per user-delimited transaction.
+    Transactional,
+    /// One record per operation; descendants inferred.
+    Hierarchical,
+    /// Both: net hierarchical changes per transaction.
+    HierarchicalTransactional,
+}
+
+impl Strategy {
+    /// All four strategies, in the paper's N/H/T/HT presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Naive,
+        Strategy::Hierarchical,
+        Strategy::Transactional,
+        Strategy::HierarchicalTransactional,
+    ];
+
+    /// `true` for the per-transaction (provlist) modes.
+    pub fn is_transactional(self) -> bool {
+        matches!(self, Strategy::Transactional | Strategy::HierarchicalTransactional)
+    }
+
+    /// `true` for the modes whose stored records require inference.
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, Strategy::Hierarchical | Strategy::HierarchicalTransactional)
+    }
+
+    /// The abbreviation used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "N",
+            Strategy::Transactional => "T",
+            Strategy::Hierarchical => "H",
+            Strategy::HierarchicalTransactional => "HT",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// An output-side provlist entry at a location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum OutEntry {
+    Ins,
+    Copy(Path),
+}
+
+/// A provenance tracker: receives the [`Effect`] of every applied
+/// update and maintains the provenance store per its [`Strategy`].
+pub struct Tracker {
+    strategy: Strategy,
+    store: Arc<dyn ProvStore>,
+    next_tid: Tid,
+    /// Output-side entries (`I`/`C`) of the open transaction.
+    outs: BTreeMap<Path, OutEntry>,
+    /// Input-side `D` entries of the open transaction.
+    dels: BTreeSet<Path>,
+    /// Operations tracked since the last commit.
+    pending_ops: usize,
+}
+
+impl Tracker {
+    /// Creates a tracker writing to `store`, starting at `first_tid`.
+    pub fn new(strategy: Strategy, store: Arc<dyn ProvStore>, first_tid: Tid) -> Tracker {
+        Tracker {
+            strategy,
+            store,
+            next_tid: first_tid,
+            outs: BTreeMap::new(),
+            dels: BTreeSet::new(),
+            pending_ops: 0,
+        }
+    }
+
+    /// The tracker's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The transaction id that the next tracked operation belongs to.
+    pub fn current_tid(&self) -> Tid {
+        self.next_tid
+    }
+
+    /// Entries currently on the provlist (0 outside transactional modes
+    /// or right after a commit).
+    pub fn provlist_len(&self) -> usize {
+        self.outs.len() + self.dels.len()
+    }
+
+    /// The provenance store.
+    pub fn store(&self) -> &Arc<dyn ProvStore> {
+        &self.store
+    }
+
+    /// Tracks one applied update.
+    pub fn track(&mut self, effect: &Effect) -> Result<()> {
+        self.pending_ops += 1;
+        match self.strategy {
+            Strategy::Naive => self.track_naive(effect),
+            Strategy::Hierarchical => self.track_hierarchical(effect),
+            Strategy::Transactional | Strategy::HierarchicalTransactional => {
+                self.track_provlist(effect);
+                Ok(())
+            }
+        }
+    }
+
+    /// Commits the open transaction (transactional modes): flushes the
+    /// provlist as one batched write and advances the transaction id.
+    /// A no-op in per-operation modes and when nothing was tracked.
+    pub fn commit(&mut self) -> Result<()> {
+        if !self.strategy.is_transactional() {
+            self.pending_ops = 0;
+            return Ok(());
+        }
+        if self.pending_ops == 0 {
+            return Ok(());
+        }
+        let tid = self.next_tid;
+        let mut records = Vec::with_capacity(self.outs.len() + self.dels.len());
+        for loc in &self.dels {
+            records.push(ProvRecord::delete(tid, loc.clone()));
+        }
+        for (loc, entry) in &self.outs {
+            records.push(match entry {
+                OutEntry::Ins => ProvRecord::insert(tid, loc.clone()),
+                OutEntry::Copy(src) => ProvRecord::copy(tid, loc.clone(), src.clone()),
+            });
+        }
+        self.store.insert_batch(&records)?;
+        self.outs.clear();
+        self.dels.clear();
+        self.pending_ops = 0;
+        self.next_tid = tid.next();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Per-operation modes.
+
+    fn bump_tid(&mut self) -> Tid {
+        let tid = self.next_tid;
+        self.next_tid = tid.next();
+        self.pending_ops = 0;
+        tid
+    }
+
+    /// The aligned (target, source) paths of every node in a copied
+    /// subtree — naïve provenance stores one record per pair.
+    fn copy_pairs(subtree: &Tree, target: &Path, src: &Path) -> Vec<(Path, Path)> {
+        let t_paths = subtree.all_paths(target);
+        let s_paths = subtree.all_paths(src);
+        t_paths.into_iter().zip(s_paths).collect()
+    }
+
+    fn track_naive(&mut self, effect: &Effect) -> Result<()> {
+        let tid = self.bump_tid();
+        match effect {
+            Effect::Inserted { path, .. } => {
+                self.store.insert(&ProvRecord::insert(tid, path.clone()))?;
+            }
+            Effect::Deleted { path, subtree } => {
+                for p in subtree.all_paths(path) {
+                    self.store.insert(&ProvRecord::delete(tid, p))?;
+                }
+            }
+            Effect::Copied { src, target, subtree, .. } => {
+                for (loc, s) in Self::copy_pairs(subtree, target, src) {
+                    self.store.insert(&ProvRecord::copy(tid, loc, s))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn track_hierarchical(&mut self, effect: &Effect) -> Result<()> {
+        let tid = self.bump_tid();
+        match effect {
+            Effect::Inserted { path, .. } => {
+                // Query the store first: is this record inferable from an
+                // ancestor insert in the same transaction? (With one
+                // transaction per operation the answer is always no, but
+                // the probe is issued regardless — the cost the paper
+                // observes in Figure 10.)
+                let same_tid = self.store.by_tid(tid)?;
+                let inferable = same_tid.iter().any(|r| {
+                    r.op == Op::Insert && r.loc.is_prefix_of(path) && r.loc != *path
+                });
+                if !inferable {
+                    self.store.insert(&ProvRecord::insert(tid, path.clone()))?;
+                }
+            }
+            Effect::Deleted { path, .. } => {
+                // One record at the subtree root; descendants follow from
+                // the D-inference rule.
+                self.store.insert(&ProvRecord::delete(tid, path.clone()))?;
+            }
+            Effect::Copied { src, target, .. } => {
+                // One record connecting the roots (Section 3.2.3).
+                self.store.insert(&ProvRecord::copy(tid, target.clone(), src.clone()))?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional modes (provlist).
+
+    /// `true` iff provlist output entries show that the data at `path`
+    /// arrived during the open transaction (entry at `path` or at any
+    /// ancestor).
+    fn is_txn_temporary(&self, path: &Path) -> bool {
+        if self.outs.contains_key(path) {
+            return true;
+        }
+        path.ancestors().any(|a| self.outs.contains_key(&a))
+    }
+
+    fn remove_outs_under(&mut self, path: &Path) {
+        let doomed: Vec<Path> =
+            self.outs.keys().filter(|p| p.starts_with(path)).cloned().collect();
+        for p in doomed {
+            self.outs.remove(&p);
+        }
+    }
+
+    fn remove_dels_under(&mut self, path: &Path) {
+        let doomed: Vec<Path> = self.dels.iter().filter(|p| p.starts_with(path)).cloned().collect();
+        for p in doomed {
+            self.dels.remove(&p);
+        }
+    }
+
+    fn track_provlist(&mut self, effect: &Effect) {
+        let hierarchical = self.strategy.is_hierarchical();
+        match effect {
+            Effect::Inserted { path, .. } => {
+                // The location is re-occupied; an earlier D at exactly
+                // this loc would collide with the I under the {Tid, Loc}
+                // key, and the output-side record wins.
+                self.dels.remove(path);
+                self.outs.insert(path.clone(), OutEntry::Ins);
+            }
+            Effect::Deleted { path, subtree } => {
+                let temporary = self.is_txn_temporary(path);
+                // Which nodes inside the deleted subtree arrived during
+                // this transaction? (They get no D record.)
+                let txn_created: BTreeSet<Path> = if temporary {
+                    subtree.all_paths(path).into_iter().collect()
+                } else {
+                    subtree
+                        .all_paths(path)
+                        .iter()
+                        .filter(|p| {
+                            self.outs.contains_key(*p)
+                                || p.ancestors()
+                                    .take_while(|a| path.is_prefix_of(a))
+                                    .any(|a| self.outs.contains_key(&a))
+                        })
+                        .cloned()
+                        .collect()
+                };
+                self.remove_outs_under(path);
+                if !temporary {
+                    if hierarchical {
+                        self.dels.insert(path.clone());
+                    } else {
+                        for p in subtree.all_paths(path) {
+                            if !txn_created.contains(&p) {
+                                self.dels.insert(p);
+                            }
+                        }
+                    }
+                }
+            }
+            Effect::Copied { src, target, subtree, .. } => {
+                // Overwritten and destroyed entries go away ("any
+                // provenance links on the list corresponding to
+                // overwritten or deleted data are removed").
+                self.remove_outs_under(target);
+                self.remove_dels_under(target);
+                if hierarchical {
+                    self.outs.insert(target.clone(), OutEntry::Copy(src.clone()));
+                } else {
+                    for (loc, s) in Self::copy_pairs(subtree, target, src) {
+                        self.outs.insert(loc, OutEntry::Copy(s));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use cpdb_update::fixtures::{figure3_script, figure4_workspace};
+
+    /// Runs the Figure 3 script under a strategy; commits after every
+    /// `txn_len` operations (usize::MAX = one big transaction).
+    fn run_figure3(strategy: Strategy, txn_len: usize) -> Vec<ProvRecord> {
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(strategy, store.clone(), Tid(121));
+        let mut ws = figure4_workspace();
+        for (i, u) in figure3_script().iter().enumerate() {
+            let effect = ws.apply(u).unwrap();
+            tracker.track(&effect).unwrap();
+            if (i + 1) % txn_len == 0 {
+                tracker.commit().unwrap();
+            }
+        }
+        tracker.commit().unwrap();
+        let mut records = store.all().unwrap();
+        records.sort();
+        records
+    }
+
+    fn rows(records: &[ProvRecord]) -> Vec<String> {
+        let mut rows: Vec<String> = records.iter().map(ProvRecord::as_table_row).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn figure_5a_naive() {
+        let records = run_figure3(Strategy::Naive, 1);
+        assert_eq!(
+            rows(&records),
+            vec![
+                "121 D T/c5 ⊥",
+                "121 D T/c5/x ⊥",
+                "121 D T/c5/y ⊥",
+                "122 C T/c1/y S1/a1/y",
+                "123 I T/c2 ⊥",
+                "124 C T/c2 S1/a2",
+                "124 C T/c2/x S1/a2/x",
+                "125 I T/c2/y ⊥",
+                "126 C T/c2/y S2/b3/y",
+                "127 C T/c3 S1/a3",
+                "127 C T/c3/x S1/a3/x",
+                "127 C T/c3/y S1/a3/y",
+                "128 I T/c4 ⊥",
+                "129 C T/c4 S2/b2",
+                "129 C T/c4/x S2/b2/x",
+                "130 I T/c4/y ⊥",
+            ],
+            "Figure 5(a), all 16 rows"
+        );
+    }
+
+    #[test]
+    fn figure_5b_transactional() {
+        let records = run_figure3(Strategy::Transactional, usize::MAX);
+        assert_eq!(
+            rows(&records),
+            vec![
+                "121 C T/c1/y S1/a1/y",
+                "121 C T/c2 S1/a2",
+                "121 C T/c2/x S1/a2/x",
+                "121 C T/c2/y S2/b3/y",
+                "121 C T/c3 S1/a3",
+                "121 C T/c3/x S1/a3/x",
+                "121 C T/c3/y S1/a3/y",
+                "121 C T/c4 S2/b2",
+                "121 C T/c4/x S2/b2/x",
+                "121 D T/c5 ⊥",
+                "121 D T/c5/x ⊥",
+                "121 D T/c5/y ⊥",
+                "121 I T/c4/y ⊥",
+            ],
+            "Figure 5(b), all 13 rows (sorted)"
+        );
+    }
+
+    #[test]
+    fn figure_5c_hierarchical() {
+        let records = run_figure3(Strategy::Hierarchical, 1);
+        assert_eq!(
+            rows(&records),
+            vec![
+                "121 D T/c5 ⊥",
+                "122 C T/c1/y S1/a1/y",
+                "123 I T/c2 ⊥",
+                "124 C T/c2 S1/a2",
+                "125 I T/c2/y ⊥",
+                "126 C T/c2/y S2/b3/y",
+                "127 C T/c3 S1/a3",
+                "128 I T/c4 ⊥",
+                "129 C T/c4 S2/b2",
+                "130 I T/c4/y ⊥",
+            ],
+            "Figure 5(c), one row per operation"
+        );
+    }
+
+    #[test]
+    fn figure_5d_hierarchical_transactional() {
+        let records = run_figure3(Strategy::HierarchicalTransactional, usize::MAX);
+        assert_eq!(
+            rows(&records),
+            vec![
+                "121 C T/c1/y S1/a1/y",
+                "121 C T/c2 S1/a2",
+                "121 C T/c2/y S2/b3/y",
+                "121 C T/c3 S1/a3",
+                "121 C T/c4 S2/b2",
+                "121 D T/c5 ⊥",
+                "121 I T/c4/y ⊥",
+            ],
+            "Figure 5(d), all 7 rows (sorted)"
+        );
+    }
+
+    #[test]
+    fn hierarchical_is_25_percent_smaller_on_figure_3() {
+        // "the reduced table is about 25% smaller than Prov" (§2.1.3).
+        let naive = run_figure3(Strategy::Naive, 1).len() as f64;
+        let hier = run_figure3(Strategy::Hierarchical, 1).len() as f64;
+        let shrink = 1.0 - hier / naive;
+        assert!((0.20..0.45).contains(&shrink), "shrink = {shrink:.2}");
+    }
+
+    #[test]
+    fn transactional_drops_temporary_data() {
+        // Copy from S1, delete it again, commit: net effect is nothing.
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+        let mut ws = figure4_workspace();
+        let script = cpdb_update::parse_script(
+            "copy S1/a1 into T/tmp;
+             delete tmp from T",
+        )
+        .unwrap();
+        for u in &script {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+        }
+        tracker.commit().unwrap();
+        assert_eq!(store.len(), 0, "copy-then-delete within a txn leaves no records");
+    }
+
+    #[test]
+    fn transactional_keeps_deletes_of_preexisting_data() {
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+        let mut ws = figure4_workspace();
+        let script = cpdb_update::parse_script("delete c5 from T").unwrap();
+        for u in &script {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+        }
+        tracker.commit().unwrap();
+        assert_eq!(store.len(), 3, "c5 and its two children were destroyed");
+    }
+
+    #[test]
+    fn mixed_delete_spares_txn_created_children() {
+        // Pre-existing c1 gains a txn-inserted child, then c1 is deleted:
+        // D records must cover c1's original nodes but not the new child.
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+        let mut ws = figure4_workspace();
+        let script = cpdb_update::parse_script(
+            "insert {z : 99} into T/c1;
+             delete c1 from T",
+        )
+        .unwrap();
+        for u in &script {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+        }
+        tracker.commit().unwrap();
+        let locs: Vec<String> =
+            store.all().unwrap().iter().map(|r| r.loc.to_string()).collect();
+        let mut locs_sorted = locs.clone();
+        locs_sorted.sort();
+        assert_eq!(locs_sorted, vec!["T/c1", "T/c1/x", "T/c1/y"], "no D for T/c1/z");
+    }
+
+    #[test]
+    fn reoccupied_location_keeps_output_record() {
+        // Delete pre-existing c5, then insert a fresh c5: the I wins at
+        // exactly T/c5; D records remain for the former children.
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+        let mut ws = figure4_workspace();
+        let script = cpdb_update::parse_script(
+            "delete c5 from T;
+             insert {c5 : {}} into T",
+        )
+        .unwrap();
+        for u in &script {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+        }
+        tracker.commit().unwrap();
+        let records = store.all().unwrap();
+        let at_c5: Vec<&ProvRecord> =
+            records.iter().filter(|r| r.loc.to_string() == "T/c5").collect();
+        assert_eq!(at_c5.len(), 1, "{{Tid, Loc}} must stay a key");
+        assert_eq!(at_c5[0].op, Op::Insert);
+        assert_eq!(records.len(), 3, "I at c5 + D for the two former children");
+    }
+
+    #[test]
+    fn store_traffic_matches_the_cost_model() {
+        let mut ws = figure4_workspace();
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Naive, store.clone(), Tid(1));
+        // Naive copy of a size-3 subtree (a1 + two leaves) = 3 writes.
+        let e = ws
+            .apply(&cpdb_update::AtomicUpdate::copy(
+                "S1/a1".parse().unwrap(),
+                "T/n1".parse().unwrap(),
+            ))
+            .unwrap();
+        store.reset_trips();
+        tracker.track(&e).unwrap();
+        assert_eq!(store.write_trips(), 3, "size-3 subtree → 3 naive writes");
+        assert_eq!(store.read_trips(), 0);
+
+        // Hierarchical copy = 1 write, no read; insert = 1 read + 1 write.
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Hierarchical, store.clone(), Tid(1));
+        let e = ws
+            .apply(&cpdb_update::AtomicUpdate::copy(
+                "S1/a1".parse().unwrap(),
+                "T/n2".parse().unwrap(),
+            ))
+            .unwrap();
+        tracker.track(&e).unwrap();
+        assert_eq!((store.read_trips(), store.write_trips()), (0, 1));
+        let e = ws
+            .apply(&cpdb_update::AtomicUpdate::insert(
+                "T".parse().unwrap(),
+                "n3",
+                cpdb_update::InsertContent::Empty,
+            ))
+            .unwrap();
+        store.reset_trips();
+        tracker.track(&e).unwrap();
+        assert_eq!((store.read_trips(), store.write_trips()), (1, 1));
+
+        // Transactional ops touch the store only at commit.
+        let store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(Strategy::Transactional, store.clone(), Tid(1));
+        let e = ws
+            .apply(&cpdb_update::AtomicUpdate::copy(
+                "S1/a1".parse().unwrap(),
+                "T/n4".parse().unwrap(),
+            ))
+            .unwrap();
+        tracker.track(&e).unwrap();
+        assert_eq!(store.write_trips() + store.read_trips(), 0);
+        tracker.commit().unwrap();
+        assert_eq!(store.write_trips(), 1, "one batched write per commit");
+    }
+
+    #[test]
+    fn tids_advance_per_op_or_per_commit() {
+        let store = Arc::new(MemStore::new());
+        let mut ws = figure4_workspace();
+        let e = ws.apply(&cpdb_update::AtomicUpdate::delete("T".parse().unwrap(), "c5")).unwrap();
+
+        let mut n = Tracker::new(Strategy::Naive, store.clone(), Tid(10));
+        assert_eq!(n.current_tid(), Tid(10));
+        n.track(&e).unwrap();
+        assert_eq!(n.current_tid(), Tid(11));
+        n.commit().unwrap();
+        assert_eq!(n.current_tid(), Tid(11), "commit is a no-op for naive");
+
+        let mut ws = figure4_workspace();
+        let e = ws.apply(&cpdb_update::AtomicUpdate::delete("T".parse().unwrap(), "c5")).unwrap();
+        let mut t = Tracker::new(Strategy::Transactional, store, Tid(10));
+        t.track(&e).unwrap();
+        assert_eq!(t.current_tid(), Tid(10), "tid advances only at commit");
+        t.commit().unwrap();
+        assert_eq!(t.current_tid(), Tid(11));
+        t.commit().unwrap();
+        assert_eq!(t.current_tid(), Tid(11), "empty commit does not advance");
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-checks the hand-coded `QueryEngine` against the paper's own
+//! Datalog rules (Section 2.2), evaluated by `cpdb-datalog`.
+//!
+//! For every strategy we replay a history, collect the version domains,
+//! run the rules, and require identical `Src`/`Hist`/`Mod` answers at
+//! every node of the final database.
+
+use cpdb_core::{rules, MemStore, QueryEngine, Strategy, Tid, Tracker};
+use cpdb_tree::Path;
+use cpdb_update::fixtures;
+use cpdb_update::Workspace;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use std::sync::Arc;
+
+/// One replayed history: store, final workspace, version domains, tnow.
+type Replay = (Arc<MemStore>, Workspace, Vec<(Tid, Vec<Path>)>, Tid);
+
+/// Replays `script` under `strategy`.
+fn replay(
+    mut ws: Workspace,
+    script: &cpdb_update::UpdateScript,
+    strategy: Strategy,
+    txn_len: usize,
+    first_tid: Tid,
+) -> Replay {
+    let store = Arc::new(MemStore::new());
+    let mut tracker = Tracker::new(strategy, store.clone(), first_tid);
+    let root = ws.target().root_path();
+    let initial_tid = Tid(first_tid.0 - 1);
+    let mut versions = vec![(initial_tid, ws.target().root().all_paths(&root))];
+    for (i, u) in script.iter().enumerate() {
+        let before = tracker.current_tid();
+        let e = ws.apply(u).unwrap();
+        tracker.track(&e).unwrap();
+        if strategy.is_transactional() {
+            if (i + 1) % txn_len == 0 || i + 1 == script.len() {
+                let tid = tracker.current_tid();
+                tracker.commit().unwrap();
+                versions.push((tid, ws.target().root().all_paths(&root)));
+            }
+        } else {
+            versions.push((before, ws.target().root().all_paths(&root)));
+        }
+    }
+    let tnow = Tid(tracker.current_tid().0 - 1);
+    (store, ws, versions, tnow)
+}
+
+fn check_equivalence(
+    ws: &Workspace,
+    store: Arc<MemStore>,
+    versions: &[(Tid, Vec<Path>)],
+    tnow: Tid,
+    strategy: Strategy,
+) {
+    use cpdb_core::ProvStore;
+    let root = ws.target().root_path();
+    let all_locs = ws.target().root().all_paths(&root);
+    let records = store.all().unwrap();
+    let db = rules::evaluate(&rules::RuleInputs {
+        records: &records,
+        versions,
+        tnow,
+        query_locs: &all_locs,
+        mod_roots: &all_locs,
+    })
+    .unwrap();
+    let engine = QueryEngine::new(store, strategy.is_hierarchical(), "T");
+
+    for loc in &all_locs {
+        // Src: the engine returns at most one tid; the rules return all
+        // inserting transactions on the trace (also at most one).
+        let dl_src = rules::src_answers(&db, loc);
+        let qe_src = engine.get_src(loc, tnow).unwrap();
+        assert_eq!(
+            dl_src,
+            qe_src.into_iter().collect::<Vec<_>>(),
+            "{strategy}: Src({loc}) disagrees"
+        );
+
+        let mut qe_hist = engine.get_hist(loc, tnow).unwrap();
+        qe_hist.sort();
+        assert_eq!(rules::hist_answers(&db, loc), qe_hist, "{strategy}: Hist({loc}) disagrees");
+
+        let subtree = ws.target().get(loc).unwrap().all_paths(loc);
+        let qe_mod: Vec<Tid> = engine.get_mod(&subtree, tnow).unwrap().into_iter().collect();
+        assert_eq!(rules::mod_answers(&db, loc), qe_mod, "{strategy}: Mod({loc}) disagrees");
+    }
+}
+
+#[test]
+fn figure3_queries_agree_with_datalog_all_strategies() {
+    for strategy in Strategy::ALL {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+        let (store, ws, versions, tnow) = replay(
+            fixtures::figure4_workspace(),
+            &fixtures::figure3_script(),
+            strategy,
+            txn_len,
+            Tid(121),
+        );
+        check_equivalence(&ws, store, &versions, tnow, strategy);
+    }
+}
+
+#[test]
+fn random_workload_queries_agree_with_datalog() {
+    for (pattern, seed) in [
+        (UpdatePattern::Mix, 1u64),
+        (UpdatePattern::AcMix, 2),
+        (UpdatePattern::Real, 3),
+    ] {
+        // Tiny databases keep the Datalog Trace closure tractable.
+        let cfg = GenConfig {
+            pattern,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed,
+            source_records: 5,
+            target_records: 3,
+        };
+        let wl = generate(&cfg, 14);
+        for strategy in Strategy::ALL {
+            let txn_len = if strategy.is_transactional() { 4 } else { 1 };
+            let (store, ws, versions, tnow) =
+                replay(wl.workspace(), &wl.script, strategy, txn_len, Tid(1));
+            check_equivalence(&ws, store, &versions, tnow, strategy);
+        }
+    }
+}
+
+#[test]
+fn naive_and_hierarchical_answers_coincide() {
+    // The two per-operation strategies encode the same history, so all
+    // queries must agree between them — on a larger workload than the
+    // Datalog check can afford.
+    let cfg = GenConfig {
+        pattern: UpdatePattern::Mix,
+        deletion: cpdb_workload::DeletionPattern::Random,
+        seed: 99,
+        source_records: 20,
+        target_records: 12,
+    };
+    let wl = generate(&cfg, 120);
+    let (n_store, ws, _, tnow) = replay(wl.workspace(), &wl.script, Strategy::Naive, 1, Tid(1));
+    let (h_store, _, _, h_tnow) =
+        replay(wl.workspace(), &wl.script, Strategy::Hierarchical, 1, Tid(1));
+    assert_eq!(tnow, h_tnow);
+    let n = QueryEngine::new(n_store, false, "T");
+    let h = QueryEngine::new(h_store, true, "T");
+    let root = ws.target().root_path();
+    for loc in ws.target().root().all_paths(&root) {
+        assert_eq!(
+            n.get_src(&loc, tnow).unwrap(),
+            h.get_src(&loc, tnow).unwrap(),
+            "Src({loc})"
+        );
+        assert_eq!(
+            n.get_hist(&loc, tnow).unwrap(),
+            h.get_hist(&loc, tnow).unwrap(),
+            "Hist({loc})"
+        );
+        let sub = ws.target().get(&loc).unwrap().all_paths(&loc);
+        assert_eq!(
+            n.get_mod(&sub, tnow).unwrap(),
+            h.get_mod(&sub, tnow).unwrap(),
+            "Mod({loc})"
+        );
+    }
+}
+
+#[test]
+fn transactional_pair_answers_coincide() {
+    let cfg = GenConfig {
+        pattern: UpdatePattern::Mix,
+        deletion: cpdb_workload::DeletionPattern::Random,
+        seed: 123,
+        source_records: 20,
+        target_records: 12,
+    };
+    let wl = generate(&cfg, 120);
+    let (t_store, ws, _, tnow) =
+        replay(wl.workspace(), &wl.script, Strategy::Transactional, 5, Tid(1));
+    let (ht_store, _, _, ht_tnow) = replay(
+        wl.workspace(),
+        &wl.script,
+        Strategy::HierarchicalTransactional,
+        5,
+        Tid(1),
+    );
+    assert_eq!(tnow, ht_tnow);
+    let t = QueryEngine::new(t_store, false, "T");
+    let ht = QueryEngine::new(ht_store, true, "T");
+    let root = ws.target().root_path();
+    for loc in ws.target().root().all_paths(&root) {
+        assert_eq!(t.get_src(&loc, tnow).unwrap(), ht.get_src(&loc, tnow).unwrap(), "Src({loc})");
+        assert_eq!(
+            t.get_hist(&loc, tnow).unwrap(),
+            ht.get_hist(&loc, tnow).unwrap(),
+            "Hist({loc})"
+        );
+        let sub = ws.target().get(&loc).unwrap().all_paths(&loc);
+        assert_eq!(t.get_mod(&sub, tnow).unwrap(), ht.get_mod(&sub, tnow).unwrap(), "Mod({loc})");
+    }
+}

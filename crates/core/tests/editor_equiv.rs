@@ -1,0 +1,111 @@
+//! The database-backed editor must agree exactly with the formal
+//! semantics `[[U]]` and with direct tracker runs, across strategies and
+//! workload patterns.
+
+use cpdb_core::{Editor, MemStore, ProvStore, Strategy, Tid, Tracker};
+use cpdb_storage::Engine;
+use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
+use cpdb_xmldb::XmlDb;
+use std::sync::Arc;
+
+fn editor_for(wl: &Workload, strategy: Strategy, store: Arc<MemStore>) -> Editor {
+    let target = XmlDb::create(wl.target_name, &Engine::in_memory()).unwrap();
+    target.load(&wl.target_initial).unwrap();
+    let source = XmlDb::create(wl.source_name, &Engine::in_memory()).unwrap();
+    source.load(&wl.source).unwrap();
+    Editor::new("curator", Arc::new(target), strategy, store, Tid(1))
+        .with_source(Arc::new(source))
+}
+
+#[test]
+fn editor_tree_matches_formal_semantics() {
+    for (pattern, seed) in [
+        (UpdatePattern::Add, 10u64),
+        (UpdatePattern::Delete, 11),
+        (UpdatePattern::Copy, 12),
+        (UpdatePattern::AcMix, 13),
+        (UpdatePattern::Mix, 14),
+        (UpdatePattern::Real, 15),
+    ] {
+        let cfg = GenConfig {
+            pattern,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed,
+            source_records: 16,
+            target_records: 60,
+        };
+        let wl = generate(&cfg, 200);
+        // Formal semantics.
+        let mut ws = wl.workspace();
+        ws.apply_script(&wl.script).unwrap();
+        // Editor over real databases.
+        let mut ed = editor_for(&wl, Strategy::Naive, Arc::new(MemStore::new()));
+        ed.run_script(&wl.script, 1).unwrap();
+        assert_eq!(
+            ed.target().tree_from_db().unwrap(),
+            *ws.target().root(),
+            "{pattern}: editor and [[U]] disagree"
+        );
+    }
+}
+
+#[test]
+fn editor_store_matches_direct_tracker_run() {
+    // Tracking through the editor (database effects) must yield exactly
+    // the records a direct Workspace+Tracker replay yields.
+    let cfg = GenConfig {
+        pattern: UpdatePattern::Mix,
+        deletion: cpdb_workload::DeletionPattern::Random,
+        seed: 77,
+        source_records: 16,
+        target_records: 40,
+    };
+    let wl = generate(&cfg, 150);
+    for strategy in Strategy::ALL {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+
+        let direct_store = Arc::new(MemStore::new());
+        let mut tracker = Tracker::new(strategy, direct_store.clone(), Tid(1));
+        let mut ws = wl.workspace();
+        for (i, u) in wl.script.iter().enumerate() {
+            let e = ws.apply(u).unwrap();
+            tracker.track(&e).unwrap();
+            if (i + 1) % txn_len == 0 {
+                tracker.commit().unwrap();
+            }
+        }
+        tracker.commit().unwrap();
+
+        let editor_store = Arc::new(MemStore::new());
+        let mut ed = editor_for(&wl, strategy, editor_store.clone());
+        ed.run_script(&wl.script, txn_len).unwrap();
+
+        let mut a = direct_store.all().unwrap();
+        let mut b = editor_store.all().unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{strategy}: editor-tracked records diverge from direct tracking");
+    }
+}
+
+#[test]
+fn round_trip_accounting_scales_with_subtree_sizes() {
+    // Pasting k-node subtrees costs k target interactions (Figure 6's
+    // per-node pasteNode) — the basis of the timing experiments.
+    let cfg = GenConfig {
+        pattern: UpdatePattern::Copy,
+        deletion: cpdb_workload::DeletionPattern::Random,
+        seed: 5,
+        source_records: 16,
+        target_records: 8,
+    };
+    let wl = generate(&cfg, 50);
+    let mut ed = editor_for(&wl, Strategy::Naive, Arc::new(MemStore::new()));
+    let base = ed.target().round_trips();
+    ed.run_script(&wl.script, 1).unwrap();
+    let paste_trips = ed.target().round_trips() - base;
+    // 50 copies of size-4 records: 4 paste interactions each.
+    assert_eq!(paste_trips, 50 * 4);
+    // Naive provenance wrote 4 records per copy.
+    assert_eq!(ed.tracker().store().write_trips(), 50 * 4);
+}

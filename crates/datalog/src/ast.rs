@@ -1,0 +1,242 @@
+//! Abstract syntax for Datalog programs.
+//!
+//! Values are integers or interned symbols; terms are constants or
+//! variables; body literals are positive atoms, negated atoms, or
+//! built-in constraints. The built-ins cover exactly what the paper's
+//! provenance rules need: equality tests, successor arithmetic
+//! (`Trace(p,t,q,t−1)`), path-prefix (`p ≤ q` in `Mod`), and path
+//! extension (`p/a` in the hierarchical inference rules).
+
+use std::fmt;
+
+/// A ground value: an integer (transaction ids) or a symbol (paths,
+/// operation codes).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Val {
+    /// Integer constant.
+    Int(i64),
+    /// Symbolic constant (interned by the evaluator on load).
+    Sym(String),
+}
+
+impl Val {
+    /// Builds a symbol.
+    pub fn sym(s: impl Into<String>) -> Val {
+        Val::Sym(s.into())
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            Val::Sym(_) => None,
+        }
+    }
+
+    /// The symbol payload, if any.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Val::Int(_) => None,
+            Val::Sym(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Val {
+        Val::Int(i)
+    }
+}
+
+impl From<u64> for Val {
+    fn from(i: u64) -> Val {
+        Val::Int(i as i64)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(s: &str) -> Val {
+        Val::sym(s)
+    }
+}
+
+/// A term: a constant or a variable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A ground constant.
+    Const(Val),
+    /// A named variable.
+    Var(String),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Shorthand for a constant term.
+    pub fn val(v: impl Into<Val>) -> Term {
+        Term::Const(v.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A predicate applied to terms: `Prov(t, op, p, q)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom { pred: pred.into(), args }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Built-in constraints and functions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Builtin {
+    /// `x == y` (both sides must be bound).
+    Eq(Term, Term),
+    /// `x != y`.
+    Ne(Term, Term),
+    /// `x < y` (integers).
+    Lt(Term, Term),
+    /// `succ(s, t)`: `t = s + 1`. Either side may be unbound; the other
+    /// binds it.
+    Succ(Term, Term),
+    /// `prefix(p, q)`: path `p` is a prefix of path `q` (`p ≤ q`). Both
+    /// must be bound; paths are compared as `/`-separated symbols.
+    Prefix(Term, Term),
+    /// `child(p, a, pa)`: `pa = p · a`. Works forwards (p, a bound) or
+    /// backwards (pa bound ⇒ binds p and a).
+    Child(Term, Term, Term),
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Builtin::Eq(a, b) => write!(f, "{a} == {b}"),
+            Builtin::Ne(a, b) => write!(f, "{a} != {b}"),
+            Builtin::Lt(a, b) => write!(f, "{a} < {b}"),
+            Builtin::Succ(a, b) => write!(f, "succ({a}, {b})"),
+            Builtin::Prefix(a, b) => write!(f, "prefix({a}, {b})"),
+            Builtin::Child(a, b, c) => write!(f, "child({a}, {b}, {c})"),
+        }
+    }
+}
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (must be over a lower stratum).
+    Neg(Atom),
+    /// A built-in constraint.
+    Builtin(Builtin),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+            Literal::Builtin(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A rule `head :- body.` (facts have empty bodies).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// A full program: rules plus extensional facts added programmatically.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors for program validation, parsing, and evaluation.
+
+use std::fmt;
+
+/// Failure while building or running a Datalog program.
+#[derive(Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Negation cycles make the program unstratifiable.
+    Unstratifiable {
+        /// A predicate on the offending cycle.
+        pred: String,
+    },
+    /// A rule is unsafe: a variable cannot be bound by the time it is
+    /// needed, under left-to-right evaluation.
+    UnsafeRule {
+        /// The rule, rendered.
+        rule: String,
+        /// The unbindable variable.
+        var: String,
+    },
+    /// A source-text parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A builtin was applied to the wrong value kinds at runtime.
+    BuiltinType {
+        /// The builtin, rendered.
+        builtin: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A fact's arity disagreed with earlier uses of its predicate.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Arity seen now.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Unstratifiable { pred } => {
+                write!(f, "program is not stratifiable (negation cycle through {pred:?})")
+            }
+            DatalogError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule {rule}: variable {var:?} cannot be bound")
+            }
+            DatalogError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            DatalogError::BuiltinType { builtin, reason } => {
+                write!(f, "builtin {builtin} misapplied: {reason}")
+            }
+            DatalogError::ArityMismatch { pred, expected, actual } => {
+                write!(f, "predicate {pred:?} used with arity {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -1,0 +1,688 @@
+//! Stratified semi-naive evaluation.
+//!
+//! The pipeline: validate (arity, safety, stratifiability) → order
+//! strata → evaluate each stratum to fixpoint with semi-naive deltas.
+//! Negated atoms may only mention predicates from strictly lower strata,
+//! so they are evaluated against completed relations.
+
+use crate::ast::{Atom, Builtin, Literal, Program, Rule, Term, Val};
+use crate::error::{DatalogError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// A set of ground tuples per predicate.
+pub type Relation = HashSet<Vec<Val>>;
+
+/// The result of evaluating a program: every relation, extensional and
+/// derived.
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// The tuples of `pred`, sorted for deterministic output.
+    pub fn relation(&self, pred: &str) -> Vec<Vec<Val>> {
+        let mut rows: Vec<Vec<Val>> =
+            self.relations.get(pred).map(|r| r.iter().cloned().collect()).unwrap_or_default();
+        rows.sort();
+        rows
+    }
+
+    /// Whether `pred` contains `tuple`.
+    pub fn contains(&self, pred: &str, tuple: &[Val]) -> bool {
+        self.relations.get(pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Number of tuples in `pred`.
+    pub fn len(&self, pred: &str) -> usize {
+        self.relations.get(pred).map_or(0, HashSet::len)
+    }
+
+    /// All predicate names with at least one tuple.
+    pub fn predicates(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn get(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    fn insert(&mut self, pred: &str, tuple: Vec<Val>) -> bool {
+        self.relations.entry(pred.to_owned()).or_default().insert(tuple)
+    }
+}
+
+/// A validated program plus extensional facts, ready to run.
+pub struct Engine {
+    program: Program,
+    edb: Database,
+    arities: HashMap<String, usize>,
+    strata: Vec<Vec<usize>>, // rule indices per stratum, in order
+}
+
+/// Variable bindings during rule evaluation.
+type Env = HashMap<String, Val>;
+
+fn resolve(term: &Term, env: &Env) -> Option<Val> {
+    match term {
+        Term::Const(v) => Some(v.clone()),
+        Term::Var(n) => env.get(n).cloned(),
+    }
+}
+
+/// Path helpers for the `prefix` and `child` builtins. Paths are
+/// symbols in the `a/b/c` notation of the paper (`ε` is the empty path).
+fn path_segments(s: &str) -> Vec<&str> {
+    if s.is_empty() || s == "ε" {
+        Vec::new()
+    } else {
+        s.split('/').collect()
+    }
+}
+
+fn path_join(parent: &str, label: &str) -> String {
+    if parent.is_empty() || parent == "ε" {
+        label.to_owned()
+    } else {
+        format!("{parent}/{label}")
+    }
+}
+
+impl Engine {
+    /// Validates and prepares a program.
+    pub fn new(program: Program) -> Result<Engine> {
+        let mut arities = HashMap::new();
+        for rule in &program.rules {
+            check_arity(&mut arities, &rule.head)?;
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => check_arity(&mut arities, a)?,
+                    Literal::Builtin(_) => {}
+                }
+            }
+            check_safety(rule)?;
+        }
+        let strata = stratify(&program)?;
+        Ok(Engine { program, edb: Database::default(), arities, strata })
+    }
+
+    /// Adds an extensional fact.
+    pub fn add_fact(&mut self, pred: &str, tuple: Vec<Val>) -> Result<()> {
+        match self.arities.get(pred) {
+            Some(&a) if a != tuple.len() => {
+                return Err(DatalogError::ArityMismatch {
+                    pred: pred.to_owned(),
+                    expected: a,
+                    actual: tuple.len(),
+                })
+            }
+            Some(_) => {}
+            None => {
+                self.arities.insert(pred.to_owned(), tuple.len());
+            }
+        }
+        self.edb.insert(pred, tuple);
+        Ok(())
+    }
+
+    /// Evaluates the program to fixpoint and returns all relations.
+    pub fn run(&self) -> Result<Database> {
+        let mut db = self.edb.clone();
+        for stratum in &self.strata {
+            self.eval_stratum(&mut db, stratum)?;
+        }
+        Ok(db)
+    }
+
+    fn eval_stratum(&self, db: &mut Database, rule_ids: &[usize]) -> Result<()> {
+        let rules: Vec<&Rule> = rule_ids.iter().map(|&i| &self.program.rules[i]).collect();
+        let stratum_preds: HashSet<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
+
+        // Initial round: evaluate every rule against the current db.
+        let mut delta: HashMap<String, Relation> = HashMap::new();
+        for rule in &rules {
+            let derived = self.eval_rule(db, rule, None)?;
+            for tuple in derived {
+                if db.insert(&rule.head.pred, tuple.clone()) {
+                    delta.entry(rule.head.pred.clone()).or_default().insert(tuple);
+                }
+            }
+        }
+
+        // Semi-naive iterations: re-evaluate only rules that mention a
+        // predicate with fresh tuples, seeding one body atom from delta.
+        while !delta.is_empty() {
+            let mut next: HashMap<String, Relation> = HashMap::new();
+            for rule in &rules {
+                // For each positive body literal over a delta'd predicate,
+                // evaluate with that literal drawn from the delta.
+                for (i, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(atom) = lit else { continue };
+                    if !stratum_preds.contains(atom.pred.as_str()) {
+                        continue;
+                    }
+                    let Some(d) = delta.get(&atom.pred) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let derived = self.eval_rule(db, rule, Some((i, d)))?;
+                    for tuple in derived {
+                        if db.insert(&rule.head.pred, tuple.clone()) {
+                            next.entry(rule.head.pred.clone()).or_default().insert(tuple);
+                        }
+                    }
+                }
+            }
+            delta = next;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one rule, optionally pinning body literal `i` to a
+    /// delta relation; returns the set of derived head tuples.
+    fn eval_rule(
+        &self,
+        db: &Database,
+        rule: &Rule,
+        delta: Option<(usize, &Relation)>,
+    ) -> Result<Relation> {
+        let mut out = Relation::new();
+        let env = Env::new();
+        self.eval_body(db, rule, 0, env, delta, &mut out)?;
+        Ok(out)
+    }
+
+    fn eval_body(
+        &self,
+        db: &Database,
+        rule: &Rule,
+        idx: usize,
+        env: Env,
+        delta: Option<(usize, &Relation)>,
+        out: &mut Relation,
+    ) -> Result<()> {
+        if idx == rule.body.len() {
+            let tuple: Option<Vec<Val>> =
+                rule.head.args.iter().map(|t| resolve(t, &env)).collect();
+            match tuple {
+                Some(t) => {
+                    out.insert(t);
+                    Ok(())
+                }
+                None => Err(DatalogError::UnsafeRule {
+                    rule: rule.to_string(),
+                    var: "<head>".into(),
+                }),
+            }
+        } else {
+            match &rule.body[idx] {
+                Literal::Pos(atom) => {
+                    let empty = Relation::new();
+                    let rel: &Relation = match delta {
+                        Some((i, d)) if i == idx => d,
+                        _ => db.get(&atom.pred).unwrap_or(&empty),
+                    };
+                    for tuple in rel {
+                        if tuple.len() != atom.args.len() {
+                            continue;
+                        }
+                        if let Some(env2) = unify(atom, tuple, &env) {
+                            self.eval_body(db, rule, idx + 1, env2, delta, out)?;
+                        }
+                    }
+                    Ok(())
+                }
+                Literal::Neg(atom) => {
+                    let ground: Option<Vec<Val>> =
+                        atom.args.iter().map(|t| resolve(t, &env)).collect();
+                    let ground = ground.ok_or_else(|| DatalogError::UnsafeRule {
+                        rule: rule.to_string(),
+                        var: "<negation>".into(),
+                    })?;
+                    if !db.contains(&atom.pred, &ground) {
+                        self.eval_body(db, rule, idx + 1, env, delta, out)?;
+                    }
+                    Ok(())
+                }
+                Literal::Builtin(b) => {
+                    for env2 in eval_builtin(b, &env)? {
+                        self.eval_body(db, rule, idx + 1, env2, delta, out)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn check_arity(arities: &mut HashMap<String, usize>, atom: &Atom) -> Result<()> {
+    match arities.get(&atom.pred) {
+        Some(&a) if a != atom.args.len() => Err(DatalogError::ArityMismatch {
+            pred: atom.pred.clone(),
+            expected: a,
+            actual: atom.args.len(),
+        }),
+        Some(_) => Ok(()),
+        None => {
+            arities.insert(atom.pred.clone(), atom.args.len());
+            Ok(())
+        }
+    }
+}
+
+/// Left-to-right safety: every variable must be bound (by a positive
+/// atom or a generating builtin) before a negation, comparison, or the
+/// head needs it.
+fn check_safety(rule: &Rule) -> Result<()> {
+    let mut bound: HashSet<&str> = HashSet::new();
+    let is_bound = |bound: &HashSet<&str>, t: &Term| match t {
+        Term::Const(_) => true,
+        Term::Var(n) => bound.contains(n.as_str()),
+    };
+    let unsafe_var = |t: &Term| -> String {
+        match t {
+            Term::Var(n) => n.clone(),
+            Term::Const(_) => "<const>".into(),
+        }
+    };
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(atom) => {
+                for t in &atom.args {
+                    if let Term::Var(n) = t {
+                        bound.insert(n);
+                    }
+                }
+            }
+            Literal::Neg(atom) => {
+                for t in &atom.args {
+                    if !is_bound(&bound, t) {
+                        return Err(DatalogError::UnsafeRule {
+                            rule: rule.to_string(),
+                            var: unsafe_var(t),
+                        });
+                    }
+                }
+            }
+            Literal::Builtin(b) => match b {
+                Builtin::Eq(a, c) | Builtin::Ne(a, c) | Builtin::Lt(a, c) | Builtin::Prefix(a, c) => {
+                    for t in [a, c] {
+                        if !is_bound(&bound, t) {
+                            return Err(DatalogError::UnsafeRule {
+                                rule: rule.to_string(),
+                                var: unsafe_var(t),
+                            });
+                        }
+                    }
+                }
+                Builtin::Succ(a, c) => {
+                    let (ba, bc) = (is_bound(&bound, a), is_bound(&bound, c));
+                    if !ba && !bc {
+                        return Err(DatalogError::UnsafeRule {
+                            rule: rule.to_string(),
+                            var: unsafe_var(if ba { c } else { a }),
+                        });
+                    }
+                    for t in [a, c] {
+                        if let Term::Var(n) = t {
+                            bound.insert(n);
+                        }
+                    }
+                }
+                Builtin::Child(p, a, pa) => {
+                    let forwards = is_bound(&bound, p) && is_bound(&bound, a);
+                    let backwards = is_bound(&bound, pa);
+                    if !forwards && !backwards {
+                        return Err(DatalogError::UnsafeRule {
+                            rule: rule.to_string(),
+                            var: unsafe_var(pa),
+                        });
+                    }
+                    for t in [p, a, pa] {
+                        if let Term::Var(n) = t {
+                            bound.insert(n);
+                        }
+                    }
+                }
+            },
+        }
+    }
+    for t in &rule.head.args {
+        if !is_bound(&bound, t) {
+            return Err(DatalogError::UnsafeRule {
+                rule: rule.to_string(),
+                var: unsafe_var(t),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Assigns strata: `stratum(head) ≥ stratum(pos body)` and
+/// `stratum(head) ≥ stratum(neg body) + 1`, to fixpoint. Returns rules
+/// grouped by the stratum of their head predicate.
+fn stratify(program: &Program) -> Result<Vec<Vec<usize>>> {
+    let mut preds: HashSet<&str> = HashSet::new();
+    for rule in &program.rules {
+        preds.insert(&rule.head.pred);
+        for lit in &rule.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                preds.insert(&a.pred);
+            }
+        }
+    }
+    let mut stratum: HashMap<&str, usize> = preds.iter().map(|&p| (p, 0)).collect();
+    let max_rounds = preds.len() + 1;
+    for round in 0..=max_rounds {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head_s = stratum[rule.head.pred.as_str()];
+            let mut need = head_s;
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) => need = need.max(stratum[a.pred.as_str()]),
+                    Literal::Neg(a) => need = need.max(stratum[a.pred.as_str()] + 1),
+                    Literal::Builtin(_) => {}
+                }
+            }
+            if need > head_s {
+                stratum.insert(&rule.head.pred, need);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == max_rounds {
+            let worst = stratum.iter().max_by_key(|(_, &s)| s).map(|(p, _)| (*p).to_owned());
+            return Err(DatalogError::Unstratifiable { pred: worst.unwrap_or_default() });
+        }
+    }
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        grouped[stratum[rule.head.pred.as_str()]].push(i);
+    }
+    grouped.retain(|g| !g.is_empty());
+    Ok(grouped)
+}
+
+fn unify(atom: &Atom, tuple: &[Val], env: &Env) -> Option<Env> {
+    let mut env2 = env.clone();
+    for (term, val) in atom.args.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != val {
+                    return None;
+                }
+            }
+            Term::Var(n) => match env2.get(n) {
+                Some(existing) if existing != val => return None,
+                Some(_) => {}
+                None => {
+                    env2.insert(n.clone(), val.clone());
+                }
+            },
+        }
+    }
+    Some(env2)
+}
+
+/// Evaluates a builtin under `env`, yielding zero or more extended
+/// environments.
+fn eval_builtin(b: &Builtin, env: &Env) -> Result<Vec<Env>> {
+    let type_err = |reason: &str| DatalogError::BuiltinType {
+        builtin: b.to_string(),
+        reason: reason.to_owned(),
+    };
+    let bind = |env: &Env, term: &Term, val: Val| -> Option<Env> {
+        match term {
+            Term::Const(c) => (*c == val).then(|| env.clone()),
+            Term::Var(n) => match env.get(n) {
+                Some(existing) => (*existing == val).then(|| env.clone()),
+                None => {
+                    let mut e = env.clone();
+                    e.insert(n.clone(), val);
+                    Some(e)
+                }
+            },
+        }
+    };
+    match b {
+        Builtin::Eq(a, c) => {
+            let (va, vc) = (resolve(a, env), resolve(c, env));
+            match (va, vc) {
+                (Some(x), Some(y)) => Ok(if x == y { vec![env.clone()] } else { vec![] }),
+                _ => Err(type_err("both sides must be bound")),
+            }
+        }
+        Builtin::Ne(a, c) => {
+            let (va, vc) = (resolve(a, env), resolve(c, env));
+            match (va, vc) {
+                (Some(x), Some(y)) => Ok(if x != y { vec![env.clone()] } else { vec![] }),
+                _ => Err(type_err("both sides must be bound")),
+            }
+        }
+        Builtin::Lt(a, c) => {
+            let (va, vc) = (resolve(a, env), resolve(c, env));
+            match (va, vc) {
+                (Some(Val::Int(x)), Some(Val::Int(y))) => {
+                    Ok(if x < y { vec![env.clone()] } else { vec![] })
+                }
+                (Some(_), Some(_)) => Err(type_err("< compares integers")),
+                _ => Err(type_err("both sides must be bound")),
+            }
+        }
+        Builtin::Succ(a, c) => {
+            let (va, vc) = (resolve(a, env), resolve(c, env));
+            match (va, vc) {
+                (Some(Val::Int(x)), _) => {
+                    Ok(bind(env, c, Val::Int(x + 1)).map_or(vec![], |e| vec![e]))
+                }
+                (None, Some(Val::Int(y))) => {
+                    Ok(bind(env, a, Val::Int(y - 1)).map_or(vec![], |e| vec![e]))
+                }
+                (Some(_), _) | (None, Some(_)) => Err(type_err("succ works on integers")),
+                (None, None) => Err(type_err("at least one side must be bound")),
+            }
+        }
+        Builtin::Prefix(a, c) => {
+            let (va, vc) = (resolve(a, env), resolve(c, env));
+            match (va, vc) {
+                (Some(Val::Sym(p)), Some(Val::Sym(q))) => {
+                    let (ps, qs) = (path_segments(&p), path_segments(&q));
+                    let ok = qs.len() >= ps.len() && qs[..ps.len()] == ps[..];
+                    Ok(if ok { vec![env.clone()] } else { vec![] })
+                }
+                (Some(_), Some(_)) => Err(type_err("prefix compares path symbols")),
+                _ => Err(type_err("both sides must be bound")),
+            }
+        }
+        Builtin::Child(p, a, pa) => {
+            let (vp, va, vpa) = (resolve(p, env), resolve(a, env), resolve(pa, env));
+            match (vp, va, vpa) {
+                // Forwards: pa := p · a.
+                (Some(Val::Sym(ps)), Some(Val::Sym(alab)), _) => {
+                    if alab.contains('/') || alab.is_empty() {
+                        return Err(type_err("label must be a single segment"));
+                    }
+                    let joined = Val::Sym(path_join(&ps, &alab));
+                    Ok(bind(env, pa, joined).map_or(vec![], |e| vec![e]))
+                }
+                // Backwards: split pa into parent and final label.
+                (_, _, Some(Val::Sym(pas))) => {
+                    let segs = path_segments(&pas);
+                    if segs.is_empty() {
+                        return Ok(vec![]); // ε has no parent
+                    }
+                    let parent = if segs.len() == 1 {
+                        "ε".to_owned()
+                    } else {
+                        segs[..segs.len() - 1].join("/")
+                    };
+                    let label = segs[segs.len() - 1].to_owned();
+                    let e1 = bind(env, p, Val::Sym(parent));
+                    let Some(e1) = e1 else { return Ok(vec![]) };
+                    Ok(bind(&e1, a, Val::Sym(label)).map_or(vec![], |e| vec![e]))
+                }
+                (Some(_), Some(_), _) => Err(type_err("child works on path symbols")),
+                _ => Err(type_err("need (p, a) bound or pa bound")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn vals(items: &[&str]) -> Vec<Val> {
+        items.iter().map(|s| Val::sym(*s)).collect()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let program = parse_program(
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            engine.add_fact("Edge", vals(&[a, b])).unwrap();
+        }
+        let db = engine.run().unwrap();
+        assert_eq!(db.len("Path"), 6);
+        assert!(db.contains("Path", &vals(&["a", "d"])));
+        assert!(!db.contains("Path", &vals(&["d", "a"])));
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let program = parse_program(
+            "Reach(x) :- Start(x).
+             Reach(y) :- Reach(x), Edge(x, y).
+             Node(x) :- Edge(x, y).
+             Node(y) :- Edge(x, y).
+             Unreached(x) :- Node(x), !Reach(x).",
+        )
+        .unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        engine.add_fact("Start", vals(&["a"])).unwrap();
+        for (a, b) in [("a", "b"), ("c", "d")] {
+            engine.add_fact("Edge", vals(&[a, b])).unwrap();
+        }
+        let db = engine.run().unwrap();
+        assert!(db.contains("Reach", &vals(&["b"])));
+        assert!(db.contains("Unreached", &vals(&["c"])));
+        assert!(db.contains("Unreached", &vals(&["d"])));
+        assert!(!db.contains("Unreached", &vals(&["a"])));
+    }
+
+    #[test]
+    fn unstratifiable_program_is_rejected() {
+        let program = parse_program(
+            "P(x) :- Q(x), !R(x).
+             R(x) :- Q(x), !P(x).",
+        )
+        .unwrap();
+        assert!(matches!(Engine::new(program), Err(DatalogError::Unstratifiable { .. })));
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected() {
+        // Head variable never bound.
+        let program = parse_program("P(x, y) :- Q(x).").unwrap();
+        assert!(matches!(Engine::new(program), Err(DatalogError::UnsafeRule { .. })));
+        // Negation over unbound variable.
+        let program = parse_program("P(x) :- !Q(x).").unwrap();
+        assert!(matches!(Engine::new(program), Err(DatalogError::UnsafeRule { .. })));
+    }
+
+    #[test]
+    fn succ_builtin_binds_either_side() {
+        let program = parse_program(
+            "Prev(p, s) :- Now(p, t), succ(s, t).
+             Next(p, u) :- Now(p, t), succ(t, u).",
+        )
+        .unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        engine.add_fact("Now", vec![Val::sym("T/a"), Val::Int(5)]).unwrap();
+        let db = engine.run().unwrap();
+        assert!(db.contains("Prev", &[Val::sym("T/a"), Val::Int(4)]));
+        assert!(db.contains("Next", &[Val::sym("T/a"), Val::Int(6)]));
+    }
+
+    #[test]
+    fn child_builtin_works_both_directions() {
+        let program = parse_program(
+            "Down(pa) :- Node(p), Lab(a), child(p, a, pa).
+             Up(p, a) :- Full(pa), child(p, a, pa).",
+        )
+        .unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        engine.add_fact("Node", vals(&["T/c2"])).unwrap();
+        engine.add_fact("Lab", vals(&["y"])).unwrap();
+        engine.add_fact("Full", vals(&["T/c2/y"])).unwrap();
+        engine.add_fact("Full", vals(&["T"])).unwrap();
+        let db = engine.run().unwrap();
+        assert!(db.contains("Down", &vals(&["T/c2/y"])));
+        assert!(db.contains("Up", &vals(&["T/c2", "y"])));
+        assert!(db.contains("Up", &vals(&["ε", "T"])));
+    }
+
+    #[test]
+    fn prefix_builtin_matches_paper_order() {
+        let program = parse_program("Under(q) :- Root(p), Cand(q), prefix(p, q).").unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        engine.add_fact("Root", vals(&["T/c2"])).unwrap();
+        for c in ["T/c2", "T/c2/y", "T/c20", "T", "S/c2"] {
+            engine.add_fact("Cand", vals(&[c])).unwrap();
+        }
+        let db = engine.run().unwrap();
+        let under = db.relation("Under");
+        assert_eq!(under.len(), 2, "{under:?}");
+        assert!(db.contains("Under", &vals(&["T/c2"])));
+        assert!(db.contains("Under", &vals(&["T/c2/y"])));
+        assert!(!db.contains("Under", &vals(&["T/c20"])), "T/c20 is not under T/c2");
+    }
+
+    #[test]
+    fn arity_mismatch_is_caught() {
+        let program = parse_program("P(x) :- Q(x). P(x, y) :- Q(x), Q(y).");
+        // Parser returns a program; Engine::new validates arity.
+        if let Ok(p) = program {
+            assert!(matches!(Engine::new(p), Err(DatalogError::ArityMismatch { .. })));
+        }
+        let program = parse_program("P(x) :- Q(x).").unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        assert!(matches!(
+            engine.add_fact("Q", vec![Val::Int(1), Val::Int(2)]),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn same_generation_runs_semi_naive() {
+        // A classic recursive query needing repeated delta rounds.
+        let program = parse_program(
+            "Sg(x, y) :- Flat(x, y).
+             Sg(x, y) :- Up(x, a), Sg(a, b), Down(b, y).",
+        )
+        .unwrap();
+        let mut engine = Engine::new(program).unwrap();
+        for (a, b) in [("a", "p"), ("b", "q")] {
+            engine.add_fact("Up", vals(&[a, b])).unwrap();
+        }
+        engine.add_fact("Flat", vals(&["p", "q"])).unwrap();
+        for (a, b) in [("p", "a2"), ("q", "b2")] {
+            engine.add_fact("Down", vals(&[a, b])).unwrap();
+        }
+        let db = engine.run().unwrap();
+        // Up(a,p), Sg(p,q) [flat], Down(q,b2) derives Sg(a, b2).
+        assert!(db.contains("Sg", &vals(&["a", "b2"])));
+    }
+}

@@ -1,0 +1,41 @@
+//! # cpdb-datalog — a stratified, semi-naive Datalog evaluator
+//!
+//! Section 2.2 of Buneman, Chapman & Cheney (SIGMOD 2006) specifies the
+//! provenance machinery — the `Prov`-from-`HProv` view, `From`, the
+//! recursive `Trace` closure, and the `Src`/`Hist`/`Mod` user queries —
+//! as Datalog rules. This crate evaluates those rules directly, so the
+//! hand-optimized query implementations in `cpdb-core` can be
+//! cross-checked against the paper's own definitions (see the
+//! equivalence tests in the core crate).
+//!
+//! Features: stratified negation, semi-naive fixpoints, and the built-ins
+//! the paper's rules need — `succ` (for `Trace(p,t,q,t−1)`), `prefix`
+//! (for `p ≤ q` in `Mod`), and `child` (for the `p/a` path extension in
+//! the hierarchical inference rules).
+//!
+//! ```
+//! use cpdb_datalog::{parse_program, Engine, Val};
+//!
+//! let program = parse_program(
+//!     "Path(x, y) :- Edge(x, y).
+//!      Path(x, z) :- Path(x, y), Edge(y, z).",
+//! ).unwrap();
+//! let mut engine = Engine::new(program).unwrap();
+//! engine.add_fact("Edge", vec![Val::sym("a"), Val::sym("b")]).unwrap();
+//! engine.add_fact("Edge", vec![Val::sym("b"), Val::sym("c")]).unwrap();
+//! let db = engine.run().unwrap();
+//! assert!(db.contains("Path", &[Val::sym("a"), Val::sym("c")]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ast;
+mod error;
+mod eval;
+mod parse;
+
+pub use ast::{Atom, Builtin, Literal, Program, Rule, Term, Val};
+pub use error::{DatalogError, Result};
+pub use eval::{Database, Engine, Relation};
+pub use parse::{parse_program, NULL};

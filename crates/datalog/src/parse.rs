@@ -1,0 +1,379 @@
+//! A parser for Datalog source text.
+//!
+//! Syntax, one rule per `.`-terminated statement:
+//!
+//! ```text
+//! Prov(t, op, p, q) :- HProv(t, op, p, q).        % copy rule
+//! Infer(t, p)       :- Node(t, p), !HProvAt(t, p).
+//! Trace(p, t, q, s) :- From(t, p, q), succ(s, t).
+//! ```
+//!
+//! * Identifiers are **variables** (`t`, `p`, `op`); quoted strings
+//!   (`"C"`, `"T/c5"`) and integers are constants; `⊥` (or `null`) is
+//!   the null-source constant.
+//! * `!A(..)` (or `not A(..)`) negates an atom.
+//! * Builtins: `succ(a, b)`, `prefix(p, q)`, `child(p, a, pa)`,
+//!   `x == y`, `x != y`, `x < y`.
+//! * `%` and `#` start comments.
+
+use crate::ast::{Atom, Builtin, Literal, Program, Rule, Term, Val};
+use crate::error::{DatalogError, Result};
+
+/// The constant used for "no source" (`⊥` in the paper's tables).
+pub const NULL: &str = "⊥";
+
+struct Tokens<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Punct(char),
+    Turnstile, // :-
+    EqEq,
+    NotEq,
+    Eof,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(src: &'a str) -> Tokens<'a> {
+        Tokens { src, pos: 0, line: 1 }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> DatalogError {
+        DatalogError::Parse { line: self.line, reason: reason.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.rest().chars().next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = self.rest();
+            let Some(c) = rest.chars().next() else { return };
+            if c.is_whitespace() {
+                self.bump_char();
+            } else if c == '%' || c == '#' {
+                while let Some(c) = self.bump_char() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        self.skip_trivia();
+        let Some(c) = self.rest().chars().next() else { return Ok(Tok::Eof) };
+        match c {
+            '(' | ')' | ',' | '.' | '<' => {
+                self.bump_char();
+                Ok(Tok::Punct(c))
+            }
+            '!' => {
+                self.bump_char();
+                if self.rest().starts_with('=') {
+                    self.bump_char();
+                    Ok(Tok::NotEq)
+                } else {
+                    Ok(Tok::Punct('!'))
+                }
+            }
+            ':' => {
+                self.bump_char();
+                if self.rest().starts_with('-') {
+                    self.bump_char();
+                    Ok(Tok::Turnstile)
+                } else {
+                    Err(self.err("expected ':-'"))
+                }
+            }
+            '=' => {
+                self.bump_char();
+                if self.rest().starts_with('=') {
+                    self.bump_char();
+                    Ok(Tok::EqEq)
+                } else {
+                    Err(self.err("expected '=='"))
+                }
+            }
+            '"' => {
+                self.bump_char();
+                let mut s = String::new();
+                loop {
+                    match self.bump_char() {
+                        None => return Err(self.err("unterminated string")),
+                        Some('"') => return Ok(Tok::Str(s)),
+                        Some('\\') => match self.bump_char() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => return Err(self.err(format!("bad escape {other:?}"))),
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+            }
+            '⊥' => {
+                self.bump_char();
+                Ok(Tok::Str(NULL.to_owned()))
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.bump_char();
+                while self.rest().chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump_char();
+                }
+                let text = &self.src[start..self.pos];
+                text.parse::<i64>()
+                    .map(Tok::Int)
+                    .map_err(|e| self.err(format!("bad integer {text:?}: {e}")))
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .rest()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    self.bump_char();
+                }
+                let ident = &self.src[start..self.pos];
+                if ident == "null" {
+                    Ok(Tok::Str(NULL.to_owned()))
+                } else {
+                    Ok(Tok::Ident(ident.to_owned()))
+                }
+            }
+            other => Err(self.err(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn peek(&mut self) -> Result<Tok> {
+        let save = (self.pos, self.line);
+        let tok = self.next();
+        (self.pos, self.line) = save;
+        tok
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(self.err(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses one term.
+fn term(tokens: &mut Tokens<'_>) -> Result<Term> {
+    match tokens.next()? {
+        Tok::Ident(name) => Ok(Term::Var(name)),
+        Tok::Str(s) => Ok(Term::Const(Val::Sym(s))),
+        Tok::Int(i) => Ok(Term::Const(Val::Int(i))),
+        other => Err(tokens.err(format!("expected a term, found {other:?}"))),
+    }
+}
+
+/// Parses `Name(args)` given the name already consumed.
+fn args(tokens: &mut Tokens<'_>) -> Result<Vec<Term>> {
+    tokens.expect_punct('(')?;
+    let mut out = Vec::new();
+    if tokens.peek()? == Tok::Punct(')') {
+        tokens.next()?;
+        return Ok(out);
+    }
+    loop {
+        out.push(term(tokens)?);
+        match tokens.next()? {
+            Tok::Punct(',') => {}
+            Tok::Punct(')') => return Ok(out),
+            other => return Err(tokens.err(format!("expected ',' or ')', found {other:?}"))),
+        }
+    }
+}
+
+/// Parses one body literal.
+fn literal(tokens: &mut Tokens<'_>) -> Result<Literal> {
+    // Negation?
+    if tokens.peek()? == Tok::Punct('!') {
+        tokens.next()?;
+        let name = match tokens.next()? {
+            Tok::Ident(n) => n,
+            other => return Err(tokens.err(format!("expected predicate after '!', found {other:?}"))),
+        };
+        return Ok(Literal::Neg(Atom::new(name, args(tokens)?)));
+    }
+    // `not Atom(...)`?
+    if let Tok::Ident(name) = tokens.peek()? {
+        if name == "not" {
+            tokens.next()?;
+            let name = match tokens.next()? {
+                Tok::Ident(n) => n,
+                other => {
+                    return Err(tokens.err(format!("expected predicate after 'not', found {other:?}")))
+                }
+            };
+            return Ok(Literal::Neg(Atom::new(name, args(tokens)?)));
+        }
+    }
+    // First term (for comparisons) or predicate name.
+    let save_pos = tokens.pos;
+    let save_line = tokens.line;
+    let first = tokens.next()?;
+    if let Tok::Ident(name) = &first {
+        if tokens.peek()? == Tok::Punct('(') {
+            let a = args(tokens)?;
+            return Ok(match name.as_str() {
+                "succ" if a.len() == 2 => {
+                    Literal::Builtin(Builtin::Succ(a[0].clone(), a[1].clone()))
+                }
+                "prefix" if a.len() == 2 => {
+                    Literal::Builtin(Builtin::Prefix(a[0].clone(), a[1].clone()))
+                }
+                "child" if a.len() == 3 => {
+                    Literal::Builtin(Builtin::Child(a[0].clone(), a[1].clone(), a[2].clone()))
+                }
+                "succ" | "prefix" | "child" => {
+                    return Err(tokens.err(format!("builtin {name} has wrong arity")))
+                }
+                _ => Literal::Pos(Atom::new(name.clone(), a)),
+            });
+        }
+    }
+    // Comparison: rewind and parse `term OP term`.
+    tokens.pos = save_pos;
+    tokens.line = save_line;
+    let lhs = term(tokens)?;
+    match tokens.next()? {
+        Tok::EqEq => Ok(Literal::Builtin(Builtin::Eq(lhs, term(tokens)?))),
+        Tok::NotEq => Ok(Literal::Builtin(Builtin::Ne(lhs, term(tokens)?))),
+        Tok::Punct('<') => Ok(Literal::Builtin(Builtin::Lt(lhs, term(tokens)?))),
+        other => Err(tokens.err(format!("expected a comparison operator, found {other:?}"))),
+    }
+}
+
+/// Parses a whole program.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let mut tokens = Tokens::new(src);
+    let mut program = Program::new();
+    loop {
+        if tokens.peek()? == Tok::Eof {
+            return Ok(program);
+        }
+        // Head.
+        let name = match tokens.next()? {
+            Tok::Ident(n) => n,
+            other => return Err(tokens.err(format!("expected a rule head, found {other:?}"))),
+        };
+        let head = Atom::new(name, args(&mut tokens)?);
+        let mut body = Vec::new();
+        match tokens.next()? {
+            Tok::Punct('.') => {
+                program.push(Rule { head, body });
+                continue;
+            }
+            Tok::Turnstile => {}
+            other => return Err(tokens.err(format!("expected ':-' or '.', found {other:?}"))),
+        }
+        loop {
+            body.push(literal(&mut tokens)?);
+            match tokens.next()? {
+                Tok::Punct(',') => {}
+                Tok::Punct('.') => break,
+                other => return Err(tokens.err(format!("expected ',' or '.', found {other:?}"))),
+            }
+        }
+        program.push(Rule { head, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_program(
+            "Edge(\"a\", \"b\").
+             Path(x, y) :- Edge(x, y).   % comment
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[2].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_negation_and_builtins() {
+        let p = parse_program(
+            "Unch(t, p) :- Node(t, p), !ProvAt(t, p).
+             Prev(p, s) :- Now(p, t), succ(s, t).
+             Mod(p, u) :- Cand(p, q), prefix(p, q).
+             Kid(pa) :- N(p), L(a), child(p, a, pa).
+             Diff(x, y) :- R(x), R(y), x != y.
+             Same(x) :- R(x), S(y), x == y.
+             Less(x) :- R(x), S(y), x < y.
+             NotKw(x) :- R(x), not S(x).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 8);
+        let rendered = p.to_string();
+        assert!(rendered.contains("!ProvAt(t, p)"));
+        assert!(rendered.contains("succ(s, t)"));
+        assert!(rendered.contains("child(p, a, pa)"));
+        assert!(rendered.contains("x != y"));
+        assert!(rendered.contains("!S(x)"));
+    }
+
+    #[test]
+    fn null_and_bottom_are_constants() {
+        let p = parse_program("Ins(t, p) :- Prov(t, op, p, q), q == ⊥. Del(t) :- P(t, null).")
+            .unwrap();
+        let shown = p.to_string();
+        assert!(shown.contains('⊥'));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let src = "Prov(t, op, p, q) :- HProv(t, op, p, q).
+                   Prov(t, \"C\", pa, qa) :- Prov(t, \"C\", p, q), Node(t, pa), child(p, a, pa), child(q, a, qa), !HProvAt(t, pa).";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        assert_eq!(p1.rules, p2.rules);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_program("P(x) :- Q(x).\nR( :- ").unwrap_err();
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["P(", "P(x) :-", "P(x) Q(x).", "P(x) :- 3(x).", ":- Q(x)."] {
+            assert!(parse_program(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

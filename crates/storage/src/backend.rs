@@ -1,0 +1,267 @@
+//! Page-granular storage backends.
+//!
+//! A [`Backend`] persists fixed-size pages by number. Three
+//! implementations:
+//!
+//! * [`DiskBackend`] — a real file, positioned reads/writes;
+//! * [`MemBackend`] — in-memory, for tests and ephemeral stores;
+//! * [`FaultyBackend`] — wraps another backend and injects I/O errors
+//!   after a countdown, for failure-injection tests.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::path::Path as FsPath;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A numbered-page store. Implementations must be thread-safe.
+pub trait Backend: Send + Sync {
+    /// Reads page `no` into a validated [`Page`].
+    fn read_page(&self, no: u64) -> Result<Page>;
+    /// Writes page `no`.
+    fn write_page(&self, no: u64, page: &Page) -> Result<()>;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+    /// Extends the store by one freshly formatted page, returning its
+    /// number.
+    fn allocate(&self) -> Result<u64>;
+    /// Flushes to durable storage (no-op for memory).
+    fn sync(&self) -> Result<()>;
+}
+
+/// File-backed page store.
+pub struct DiskBackend {
+    file: File,
+    pages: AtomicU64,
+}
+
+impl DiskBackend {
+    /// Opens (creating if needed) the file at `path`.
+    pub fn open(path: impl AsRef<FsPath>) -> Result<DiskBackend> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::PageCorrupt {
+                page: len / PAGE_SIZE as u64,
+                reason: format!("file length {len} is not a whole number of pages"),
+            });
+        }
+        Ok(DiskBackend { file, pages: AtomicU64::new(len / PAGE_SIZE as u64) })
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+impl Backend for DiskBackend {
+    fn read_page(&self, no: u64) -> Result<Page> {
+        if no >= self.num_pages() {
+            return Err(StorageError::PageCorrupt { page: no, reason: "page beyond EOF".into() });
+        }
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        read_exact_at(&self.file, &mut buf, no * PAGE_SIZE as u64)?;
+        Page::from_bytes(buf.try_into().expect("PAGE_SIZE box"), no)
+    }
+
+    fn write_page(&self, no: u64, page: &Page) -> Result<()> {
+        if no >= self.num_pages() {
+            return Err(StorageError::PageCorrupt { page: no, reason: "page beyond EOF".into() });
+        }
+        write_all_at(&self.file, page.as_bytes(), no * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.load(Ordering::SeqCst)
+    }
+
+    fn allocate(&self) -> Result<u64> {
+        let no = self.pages.fetch_add(1, Ordering::SeqCst);
+        write_all_at(&self.file, Page::new().as_bytes(), no * PAGE_SIZE as u64)?;
+        Ok(no)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// In-memory page store.
+#[derive(Default)]
+pub struct MemBackend {
+    pages: Mutex<Vec<Page>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory store.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn read_page(&self, no: u64) -> Result<Page> {
+        self.pages
+            .lock()
+            .get(no as usize)
+            .cloned()
+            .ok_or(StorageError::PageCorrupt { page: no, reason: "page beyond EOF".into() })
+    }
+
+    fn write_page(&self, no: u64, page: &Page) -> Result<()> {
+        let mut pages = self.pages.lock();
+        match pages.get_mut(no as usize) {
+            Some(slot) => {
+                *slot = page.clone();
+                Ok(())
+            }
+            None => Err(StorageError::PageCorrupt { page: no, reason: "page beyond EOF".into() }),
+        }
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn allocate(&self) -> Result<u64> {
+        let mut pages = self.pages.lock();
+        pages.push(Page::new());
+        Ok(pages.len() as u64 - 1)
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Wraps a backend and fails every operation once a countdown of
+/// successful operations is exhausted. Used to prove that I/O errors
+/// propagate as typed errors instead of panics.
+pub struct FaultyBackend<B> {
+    inner: B,
+    remaining: AtomicU64,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Allows `successes` operations, then fails everything.
+    pub fn new(inner: B, successes: u64) -> FaultyBackend<B> {
+        FaultyBackend { inner, remaining: AtomicU64::new(successes) }
+    }
+
+    fn tick(&self) -> Result<()> {
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .unwrap_or(0);
+        if prev == 0 {
+            return Err(StorageError::Io(std::sync::Arc::new(std::io::Error::other(
+                "injected fault",
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn read_page(&self, no: u64) -> Result<Page> {
+        self.tick()?;
+        self.inner.read_page(no)
+    }
+    fn write_page(&self, no: u64, page: &Page) -> Result<()> {
+        self.tick()?;
+        self.inner.write_page(no, page)
+    }
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+    fn allocate(&self) -> Result<u64> {
+        self.tick()?;
+        self.inner.allocate()
+    }
+    fn sync(&self) -> Result<()> {
+        self.tick()?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn Backend) {
+        let a = backend.allocate().unwrap();
+        let b = backend.allocate().unwrap();
+        assert_eq!((a, b), (0, 1));
+        let mut p = Page::new();
+        p.insert(b"payload").unwrap();
+        backend.write_page(1, &p).unwrap();
+        let back = backend.read_page(1).unwrap();
+        assert_eq!(back.get(0), Some(&b"payload"[..]));
+        assert_eq!(backend.num_pages(), 2);
+        assert!(backend.read_page(2).is_err());
+        assert!(backend.write_page(9, &p).is_err());
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_round_trips() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_round_trips_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("cpdb-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let b = DiskBackend::open(&path).unwrap();
+            exercise(&b);
+        }
+        {
+            let b = DiskBackend::open(&path).unwrap();
+            assert_eq!(b.num_pages(), 2);
+            let back = b.read_page(1).unwrap();
+            assert_eq!(back.get(0), Some(&b"payload"[..]));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_rejects_truncated_files() {
+        let dir = std::env::temp_dir().join(format!("cpdb-storage-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.db");
+        std::fs::write(&path, b"not a page").unwrap();
+        assert!(DiskBackend::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faulty_backend_fails_after_countdown() {
+        let b = FaultyBackend::new(MemBackend::new(), 3);
+        b.allocate().unwrap();
+        b.allocate().unwrap();
+        let p = Page::new();
+        b.write_page(0, &p).unwrap();
+        let err = b.write_page(1, &p).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(b.read_page(0).is_err(), "still failing afterwards");
+    }
+}

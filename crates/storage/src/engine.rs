@@ -1,0 +1,423 @@
+//! The engine: named tables with secondary indexes behind one façade,
+//! with per-interaction round-trip metering. This is the component that
+//! stands in for the paper's MySQL instance — the provenance store and
+//! the relational source database both live in an [`Engine`].
+
+use crate::backend::{Backend, DiskBackend, MemBackend};
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::index::Index;
+use crate::meter::Meter;
+use crate::row::{Datum, Schema};
+use crate::table::{RowId, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where an engine keeps its tables.
+enum Location {
+    /// Ephemeral, for tests and benchmarks.
+    Memory,
+    /// One file per table under this directory (`<name>.tbl`).
+    Disk(PathBuf),
+}
+
+/// A named table plus its secondary indexes.
+pub struct TableHandle {
+    table: Table,
+    indexes: RwLock<Vec<Index>>,
+    meter: Arc<Meter>,
+}
+
+/// A multi-table storage engine with a shared round-trip meter.
+pub struct Engine {
+    location: Location,
+    pool_capacity: usize,
+    tables: RwLock<HashMap<String, Arc<TableHandle>>>,
+    meter: Arc<Meter>,
+}
+
+impl Engine {
+    /// An in-memory engine (each table gets a [`MemBackend`]).
+    pub fn in_memory() -> Engine {
+        Engine {
+            location: Location::Memory,
+            pool_capacity: 64,
+            tables: RwLock::new(HashMap::new()),
+            meter: Arc::new(Meter::new()),
+        }
+    }
+
+    /// A disk-backed engine storing one file per table under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Result<Engine> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Engine {
+            location: Location::Disk(dir),
+            pool_capacity: 64,
+            tables: RwLock::new(HashMap::new()),
+            meter: Arc::new(Meter::new()),
+        })
+    }
+
+    /// Sets the per-table buffer-pool capacity (pages).
+    pub fn with_pool_capacity(mut self, pages: usize) -> Engine {
+        self.pool_capacity = pages;
+        self
+    }
+
+    /// The engine-wide interaction meter.
+    pub fn meter(&self) -> &Arc<Meter> {
+        &self.meter
+    }
+
+    fn make_backend(&self, name: &str, must_exist: bool) -> Result<Arc<dyn Backend>> {
+        match &self.location {
+            Location::Memory => {
+                if must_exist {
+                    return Err(StorageError::NotFound { what: "table", name: name.into() });
+                }
+                Ok(Arc::new(MemBackend::new()))
+            }
+            Location::Disk(dir) => {
+                let path = dir.join(format!("{name}.tbl"));
+                if must_exist && !path.exists() {
+                    return Err(StorageError::NotFound { what: "table", name: name.into() });
+                }
+                Ok(Arc::new(DiskBackend::open(path)?))
+            }
+        }
+    }
+
+    /// Creates a table. Fails if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableHandle>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(StorageError::SchemaViolation {
+                reason: format!("table {name:?} already exists"),
+            });
+        }
+        let backend = self.make_backend(name, false)?;
+        let pool = Arc::new(BufferPool::new(backend, self.pool_capacity));
+        let table = Table::create(name, schema, pool)?;
+        let handle = Arc::new(TableHandle {
+            table,
+            indexes: RwLock::new(Vec::new()),
+            meter: self.meter.clone(),
+        });
+        tables.insert(name.to_owned(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Opens an existing on-disk table (rebuilding nothing but the row
+    /// count; indexes are added with [`TableHandle::add_index`]).
+    pub fn open_table(&self, name: &str) -> Result<Arc<TableHandle>> {
+        if let Some(h) = self.tables.read().get(name) {
+            return Ok(h.clone());
+        }
+        let backend = self.make_backend(name, true)?;
+        let pool = Arc::new(BufferPool::new(backend, self.pool_capacity));
+        let table = Table::open(pool)?;
+        let handle = Arc::new(TableHandle {
+            table,
+            indexes: RwLock::new(Vec::new()),
+            meter: self.meter.clone(),
+        });
+        self.tables.write().insert(name.to_owned(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Fetches a table previously created or opened through this engine.
+    pub fn table(&self, name: &str) -> Result<Arc<TableHandle>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(StorageError::NotFound { what: "table", name: name.into() })
+    }
+
+    /// Names of all known tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl TableHandle {
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        self.table.name()
+    }
+
+    /// Adds (and builds) a secondary index over the named columns.
+    pub fn add_index(&self, name: &str, columns: &[&str], unique: bool) -> Result<()> {
+        let cols: Result<Vec<usize>> = columns
+            .iter()
+            .map(|c| {
+                self.table.schema().column_index(c).ok_or(StorageError::NotFound {
+                    what: "column",
+                    name: (*c).to_owned(),
+                })
+            })
+            .collect();
+        let mut index = Index::new(name, cols?, unique);
+        index.rebuild(&self.table)?;
+        self.indexes.write().push(index);
+        Ok(())
+    }
+
+    /// Drops the named index. Returns whether it existed.
+    pub fn drop_index(&self, name: &str) -> bool {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| i.name() != name);
+        indexes.len() != before
+    }
+
+    /// Inserts a row, maintaining all indexes. One round trip.
+    pub fn insert(&self, row: &[Datum]) -> Result<RowId> {
+        self.meter.round_trip();
+        let rid = self.table.insert(row)?;
+        let mut indexes = self.indexes.write();
+        for (i, index) in indexes.iter_mut().enumerate() {
+            if let Err(e) = index.insert(row, rid) {
+                // Roll back: undo earlier index entries and the heap row.
+                for earlier in indexes.iter_mut().take(i) {
+                    earlier.remove(row, rid);
+                }
+                let _ = self.table.delete(rid);
+                return Err(e);
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Fetches a row by id. One round trip.
+    pub fn get(&self, rid: RowId) -> Result<Vec<Datum>> {
+        self.meter.round_trip();
+        self.table.get(rid)
+    }
+
+    /// Deletes a row, maintaining indexes. One round trip.
+    pub fn delete(&self, rid: RowId) -> Result<Vec<Datum>> {
+        self.meter.round_trip();
+        let old = self.table.delete(rid)?;
+        let mut indexes = self.indexes.write();
+        for index in indexes.iter_mut() {
+            index.remove(&old, rid);
+        }
+        Ok(old)
+    }
+
+    /// Full-scan select. One round trip (a single query statement).
+    pub fn select(&self, pred: impl FnMut(&[Datum]) -> bool) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.meter.round_trip();
+        self.table.select(pred)
+    }
+
+    /// Streaming scan. One round trip.
+    pub fn scan(&self, f: impl FnMut(RowId, Vec<Datum>) -> bool) -> Result<()> {
+        self.meter.round_trip();
+        self.table.scan(f)
+    }
+
+    /// Point lookup through an index. One round trip.
+    pub fn lookup(&self, index: &str, key: &[Datum]) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.meter.round_trip();
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        idx.lookup(key)
+            .iter()
+            .map(|&rid| Ok((rid, self.table.get(rid)?)))
+            .collect()
+    }
+
+    /// Prefix lookup through a multi-column index. One round trip.
+    pub fn lookup_prefix(&self, index: &str, prefix: &[Datum]) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.meter.round_trip();
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        idx.prefix(prefix)
+            .into_iter()
+            .map(|rid| Ok((rid, self.table.get(rid)?)))
+            .collect()
+    }
+
+    /// Range lookup through an index. One round trip.
+    pub fn lookup_range(
+        &self,
+        index: &str,
+        lo: Bound<Vec<Datum>>,
+        hi: Bound<Vec<Datum>>,
+    ) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.meter.round_trip();
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        let rids: Vec<RowId> = idx.range(lo, hi).flat_map(|(_, r)| r.iter().copied()).collect();
+        rids.into_iter().map(|rid| Ok((rid, self.table.get(rid)?))).collect()
+    }
+
+    /// Live row count (no round trip — client-side bookkeeping).
+    pub fn row_count(&self) -> u64 {
+        self.table.row_count()
+    }
+
+    /// Physical bytes (all allocated pages).
+    pub fn physical_bytes(&self) -> u64 {
+        self.table.physical_bytes()
+    }
+
+    /// Logical payload bytes of live rows.
+    pub fn live_bytes(&self) -> Result<u64> {
+        self.table.live_bytes()
+    }
+
+    /// Flushes dirty pages.
+    pub fn flush(&self) -> Result<()> {
+        self.table.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("tid", DataType::U64),
+            Column::new("op", DataType::Str),
+            Column::new("loc", DataType::Str),
+            Column::nullable("src", DataType::Str),
+        ])
+    }
+
+    fn row(tid: u64, op: &str, loc: &str, src: Option<&str>) -> Vec<Datum> {
+        vec![
+            Datum::U64(tid),
+            Datum::str(op),
+            Datum::str(loc),
+            src.map_or(Datum::Null, Datum::str),
+        ]
+    }
+
+    #[test]
+    fn create_insert_lookup_via_index() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_loc", &["loc"], false).unwrap();
+        t.add_index("by_tid", &["tid"], false).unwrap();
+        for i in 0..200u64 {
+            t.insert(&row(i / 10, "C", &format!("T/c{}", i % 7), Some("S1/a"))).unwrap();
+        }
+        let hits = t.lookup("by_loc", &[Datum::str("T/c3")]).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|(_, r)| r[2] == Datum::str("T/c3")));
+        let by_tid = t.lookup("by_tid", &[Datum::U64(5)]).unwrap();
+        assert_eq!(by_tid.len(), 10);
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_loc", &["loc"], false).unwrap();
+        let rid = t.insert(&row(1, "I", "T/x", None)).unwrap();
+        assert_eq!(t.lookup("by_loc", &[Datum::str("T/x")]).unwrap().len(), 1);
+        t.delete(rid).unwrap();
+        assert_eq!(t.lookup("by_loc", &[Datum::str("T/x")]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unique_violation_rolls_back_heap_insert() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("uniq_loc", &["loc"], true).unwrap();
+        t.insert(&row(1, "I", "T/x", None)).unwrap();
+        let err = t.insert(&row(2, "C", "T/x", Some("S/a"))).unwrap_err();
+        assert!(matches!(err, StorageError::Duplicate { .. }));
+        assert_eq!(t.row_count(), 1, "failed insert must not leave a heap row");
+        let all = t.select(|_| true).unwrap();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn meter_counts_interactions() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        engine.meter().reset();
+        let rid = t.insert(&row(1, "I", "T/x", None)).unwrap();
+        t.get(rid).unwrap();
+        t.select(|_| true).unwrap();
+        assert_eq!(engine.meter().count(), 3);
+    }
+
+    #[test]
+    fn unknown_table_and_index_errors() {
+        let engine = Engine::in_memory();
+        assert!(matches!(engine.table("nope"), Err(StorageError::NotFound { .. })));
+        let t = engine.create_table("prov", schema()).unwrap();
+        assert!(matches!(
+            t.lookup("no_index", &[Datum::U64(1)]),
+            Err(StorageError::NotFound { .. })
+        ));
+        assert!(t.add_index("bad", &["zzz"], false).is_err());
+    }
+
+    #[test]
+    fn disk_engine_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("cpdb-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let t = engine.create_table("prov", schema()).unwrap();
+            for i in 0..100 {
+                t.insert(&row(i, "C", &format!("T/p{i}"), None)).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let t = engine.open_table("prov").unwrap();
+            assert_eq!(t.row_count(), 100);
+            t.add_index("by_tid", &["tid"], false).unwrap();
+            assert_eq!(t.lookup("by_tid", &[Datum::U64(42)]).unwrap().len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_lookup_by_tid() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_tid", &["tid"], false).unwrap();
+        for i in 0..50u64 {
+            t.insert(&row(i, "C", "T/x", None)).unwrap();
+        }
+        let rows = t
+            .lookup_range(
+                "by_tid",
+                Bound::Included(vec![Datum::U64(10)]),
+                Bound::Excluded(vec![Datum::U64(20)]),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+    }
+}

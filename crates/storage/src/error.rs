@@ -1,0 +1,106 @@
+//! Storage-engine errors.
+//!
+//! All storage failures — I/O, corruption, schema violations — surface
+//! as typed [`StorageError`]s; the engine never panics on bad input or
+//! injected I/O faults (see `backend::FaultyBackend` and the failure-
+//! injection tests).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Failure of a storage-engine operation.
+#[derive(Clone)]
+pub enum StorageError {
+    /// An operating-system I/O failure (wrapped for cloneability).
+    Io(Arc<std::io::Error>),
+    /// A page failed validation when read back.
+    PageCorrupt {
+        /// The page in question.
+        page: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A record was too large to fit in any page.
+    RowTooLarge {
+        /// Encoded size of the record.
+        size: usize,
+        /// Largest encodable size.
+        max: usize,
+    },
+    /// A row id did not point at a live record.
+    RowNotFound {
+        /// Page component.
+        page: u64,
+        /// Slot component.
+        slot: u16,
+    },
+    /// A row did not match the table schema.
+    SchemaViolation {
+        /// Explanation (column, expected/actual type).
+        reason: String,
+    },
+    /// A value failed to decode.
+    Codec {
+        /// Explanation.
+        reason: String,
+    },
+    /// A named table or index does not exist.
+    NotFound {
+        /// What was looked up.
+        what: &'static str,
+        /// Its name.
+        name: String,
+    },
+    /// A uniqueness constraint was violated.
+    Duplicate {
+        /// The index whose constraint failed.
+        index: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageCorrupt { page, reason } => {
+                write!(f, "page {page} corrupt: {reason}")
+            }
+            StorageError::RowTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::RowNotFound { page, slot } => {
+                write!(f, "no live record at page {page} slot {slot}")
+            }
+            StorageError::SchemaViolation { reason } => write!(f, "schema violation: {reason}"),
+            StorageError::Codec { reason } => write!(f, "decode failure: {reason}"),
+            StorageError::NotFound { what, name } => write!(f, "{what} {name:?} not found"),
+            StorageError::Duplicate { index } => {
+                write!(f, "uniqueness violated on index {index:?}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(Arc::new(e))
+    }
+}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,55 @@
+//! # cpdb-storage — a small paged relational storage engine
+//!
+//! The substrate standing in for **MySQL** in the CPDB architecture of
+//! Buneman, Chapman & Cheney (SIGMOD 2006): the provenance store
+//! `Prov(Tid, Op, Loc, Src)` and the relational source database both
+//! live in an [`Engine`].
+//!
+//! From the bottom up:
+//!
+//! * [`Page`] — 8 KiB slotted pages with stable slot ids;
+//! * [`Backend`] — page persistence ([`DiskBackend`], [`MemBackend`],
+//!   and [`FaultyBackend`] for failure-injection tests);
+//! * [`BufferPool`] — pinned frames, LRU eviction, dirty write-back;
+//! * [`Table`] — schema-validated heap tables with stable [`RowId`]s;
+//! * [`Index`] — multi-column B-tree secondary indexes;
+//! * [`Engine`] / [`TableHandle`] — the façade, with per-interaction
+//!   round-trip metering ([`Meter`]) used by the experiment harness.
+//!
+//! ```
+//! use cpdb_storage::{Column, DataType, Datum, Engine, Schema};
+//!
+//! let engine = Engine::in_memory();
+//! let prov = engine.create_table("Prov", Schema::new(vec![
+//!     Column::new("tid", DataType::U64),
+//!     Column::new("op", DataType::Str),
+//!     Column::new("loc", DataType::Str),
+//!     Column::nullable("src", DataType::Str),
+//! ])).unwrap();
+//! prov.add_index("by_loc", &["loc"], false).unwrap();
+//! prov.insert(&[Datum::U64(121), Datum::str("D"), Datum::str("T/c5"), Datum::Null]).unwrap();
+//! assert_eq!(prov.lookup("by_loc", &[Datum::str("T/c5")]).unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backend;
+mod buffer;
+mod engine;
+mod error;
+mod index;
+mod meter;
+mod page;
+mod row;
+mod table;
+
+pub use backend::{Backend, DiskBackend, FaultyBackend, MemBackend};
+pub use buffer::{BufferPool, PageGuard, PoolStats};
+pub use engine::{Engine, TableHandle};
+pub use error::{Result, StorageError};
+pub use index::Index;
+pub use meter::{spin, Meter};
+pub use page::{Page, MAX_CELL, PAGE_SIZE};
+pub use row::{decode_row, encode_row, Column, DataType, Datum, Schema};
+pub use table::{RowId, Table};

@@ -1,0 +1,100 @@
+//! Round-trip accounting and the simulated-latency model.
+//!
+//! The paper's timing results are dominated by client↔server round trips
+//! (JDBC to MySQL, SOAP to Timber): "The savings seem to be due to the
+//! reduced number of round-trips to the provenance database." Our
+//! engines are in-process, so to reproduce the *shape* of Figures 9, 10,
+//! and 12 the harness (a) counts round trips explicitly and (b) can
+//! impose a deterministic per-round-trip latency, configurable per
+//! database, standing in for the network hop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Busy-waits for `d` (deterministic, scheduler-independent) — the
+/// primitive behind all simulated latencies.
+pub fn spin(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = std::time::Instant::now() + d;
+    while std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Counts database interactions and optionally simulates per-interaction
+/// latency by spinning (deterministic, scheduler-independent).
+#[derive(Debug, Default)]
+pub struct Meter {
+    round_trips: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+impl Meter {
+    /// A meter with no simulated latency.
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// A meter imposing `latency` on every round trip.
+    pub fn with_latency(latency: Duration) -> Meter {
+        let m = Meter::new();
+        m.set_latency(latency);
+        m
+    }
+
+    /// Changes the simulated latency (0 disables).
+    pub fn set_latency(&self, latency: Duration) {
+        self.latency_ns.store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed))
+    }
+
+    /// Records one database interaction, spinning for the configured
+    /// latency.
+    pub fn round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        spin(Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)));
+    }
+
+    /// Number of interactions recorded so far.
+    pub fn count(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter (not the latency).
+    pub fn reset(&self) {
+        self.round_trips.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_round_trips() {
+        let m = Meter::new();
+        for _ in 0..5 {
+            m.round_trip();
+        }
+        assert_eq!(m.count(), 5);
+        m.reset();
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn latency_slows_round_trips() {
+        let m = Meter::with_latency(Duration::from_micros(200));
+        let start = std::time::Instant::now();
+        for _ in 0..10 {
+            m.round_trip();
+        }
+        assert!(start.elapsed() >= Duration::from_micros(2000));
+        assert_eq!(m.latency(), Duration::from_micros(200));
+    }
+}

@@ -1,0 +1,371 @@
+//! Slotted pages.
+//!
+//! The classic variable-length-record page layout used by MySQL-era
+//! engines, which this crate stands in for:
+//!
+//! ```text
+//! +--------+-------------------+------------------→ free ←-----+-------+
+//! | header | slot 0 | slot 1 | …                    | cell 1 | cell 0 |
+//! +--------+-------------------+-------------------------------+-------+
+//! ```
+//!
+//! The header records the slot count and the bounds of the free gap.
+//! Slots grow from the front, cells from the back. Deleting a record
+//! tombstones its slot (slot ids — and therefore row ids — stay stable);
+//! the space is reclaimed by compaction when an insert needs it.
+
+use crate::error::{Result, StorageError};
+
+/// Size of every page, in bytes. 8 KiB mirrors common engine defaults.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes of page header: slot count (u16), free_start (u16), free_end
+/// (u16), dead bytes (u16).
+const HEADER: usize = 8;
+/// Bytes per slot entry: cell offset (u16), cell length (u16).
+const SLOT: usize = 4;
+/// Offset marker for a tombstoned slot (0 can never be a cell offset —
+/// it is inside the header).
+const DEAD: u16 = 0;
+
+/// Largest record a single page can hold.
+pub const MAX_CELL: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// One fixed-size page of record storage.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Page {
+        Page::new()
+    }
+}
+
+impl Page {
+    /// A freshly formatted, empty page.
+    pub fn new() -> Page {
+        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        p.set_slot_count(0);
+        p.set_free_start(HEADER as u16);
+        p.set_free_end(PAGE_SIZE as u16);
+        p.set_dead_bytes(0);
+        p
+    }
+
+    /// Wraps raw bytes read from a backend, validating the header.
+    pub fn from_bytes(data: Box<[u8; PAGE_SIZE]>, page_no: u64) -> Result<Page> {
+        let p = Page { data };
+        let (n, fs, fe) = (p.slot_count() as usize, p.free_start() as usize, p.free_end() as usize);
+        if fs < HEADER || fe > PAGE_SIZE || fs > fe || fs != HEADER + n * SLOT {
+            return Err(StorageError::PageCorrupt {
+                page: page_no,
+                reason: format!("bad header: slots={n} free_start={fs} free_end={fe}"),
+            });
+        }
+        for i in 0..n {
+            let (off, len) = p.slot(i as u16);
+            if off != DEAD && (off as usize) < fe {
+                return Err(StorageError::PageCorrupt {
+                    page: page_no,
+                    reason: format!("slot {i} overlaps free space"),
+                });
+            }
+            if off != DEAD && off as usize + len as usize > PAGE_SIZE {
+                return Err(StorageError::PageCorrupt {
+                    page: page_no,
+                    reason: format!("slot {i} runs past end of page"),
+                });
+            }
+        }
+        Ok(p)
+    }
+
+    /// The raw bytes, for the backend to persist.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+    fn set_slot_count(&mut self, v: u16) {
+        self.write_u16(0, v);
+    }
+    fn free_start(&self) -> u16 {
+        self.read_u16(2)
+    }
+    fn set_free_start(&mut self, v: u16) {
+        self.write_u16(2, v);
+    }
+    fn free_end(&self) -> u16 {
+        self.read_u16(4)
+    }
+    fn set_free_end(&mut self, v: u16) {
+        self.write_u16(4, v);
+    }
+    /// Bytes occupied by tombstoned cells, reclaimable by compaction.
+    pub fn dead_bytes(&self) -> u16 {
+        self.read_u16(6)
+    }
+    fn set_dead_bytes(&mut self, v: u16) {
+        self.write_u16(6, v);
+    }
+
+    fn slot(&self, i: u16) -> (u16, u16) {
+        let at = HEADER + i as usize * SLOT;
+        (self.read_u16(at), self.read_u16(at + 2))
+    }
+
+    fn set_slot(&mut self, i: u16, off: u16, len: u16) {
+        let at = HEADER + i as usize * SLOT;
+        self.write_u16(at, off);
+        self.write_u16(at + 2, len);
+    }
+
+    /// Bytes available in the free gap (a new slot entry also eats gap).
+    pub fn contiguous_free(&self) -> usize {
+        (self.free_end() - self.free_start()) as usize
+    }
+
+    /// Bytes that would be available after compaction.
+    pub fn usable_free(&self) -> usize {
+        self.contiguous_free() + self.dead_bytes() as usize
+    }
+
+    /// `true` iff a cell of `len` bytes fits (possibly after compaction),
+    /// accounting for the slot entry a fresh insert may need.
+    pub fn fits(&self, len: usize) -> bool {
+        // A tombstoned slot may be reusable; be conservative and assume a
+        // new slot entry is required.
+        self.usable_free() >= len + SLOT
+    }
+
+    /// Inserts a cell, compacting first if fragmentation requires it.
+    /// Returns the slot id. Errors only if the cell cannot fit.
+    pub fn insert(&mut self, cell: &[u8]) -> Result<u16> {
+        if cell.len() > MAX_CELL {
+            return Err(StorageError::RowTooLarge { size: cell.len(), max: MAX_CELL });
+        }
+        // Prefer reusing a tombstoned slot (no new slot entry needed).
+        let reuse = (0..self.slot_count()).find(|&i| self.slot(i).0 == DEAD);
+        let slot_entry = if reuse.is_some() { 0 } else { SLOT };
+        if self.contiguous_free() < cell.len() + slot_entry {
+            if self.usable_free() < cell.len() + slot_entry {
+                return Err(StorageError::RowTooLarge {
+                    size: cell.len(),
+                    max: self.usable_free().saturating_sub(slot_entry),
+                });
+            }
+            self.compact();
+        }
+        let off = self.free_end() as usize - cell.len();
+        self.data[off..off + cell.len()].copy_from_slice(cell);
+        self.set_free_end(off as u16);
+        match reuse {
+            Some(i) => {
+                self.set_slot(i, off as u16, cell.len() as u16);
+                Ok(i)
+            }
+            None => {
+                let i = self.slot_count();
+                self.set_slot(i, off as u16, cell.len() as u16);
+                self.set_slot_count(i + 1);
+                self.set_free_start(self.free_start() + SLOT as u16);
+                Ok(i)
+            }
+        }
+    }
+
+    /// Reads the cell in `slot`, if live.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstones `slot`, returning whether it was live. Slot ids of
+    /// other records are unaffected.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD {
+            return false;
+        }
+        self.set_slot(slot, DEAD, 0);
+        self.set_dead_bytes(self.dead_bytes() + len);
+        true
+    }
+
+    /// Iterates `(slot, cell)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| self.get(i).map(|c| (i, c)))
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count()).filter(|&i| self.slot(i).0 != DEAD).count()
+    }
+
+    /// Total bytes of live cells.
+    pub fn live_bytes(&self) -> usize {
+        (0..self.slot_count())
+            .filter_map(|i| {
+                let (off, len) = self.slot(i);
+                (off != DEAD).then_some(len as usize)
+            })
+            .sum()
+    }
+
+    /// Rewrites live cells contiguously at the end of the page,
+    /// eliminating dead space. Slot ids are preserved.
+    fn compact(&mut self) {
+        let mut live: Vec<(u16, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|i| self.get(i).map(|c| (i, c.to_vec())))
+            .collect();
+        // Write cells back from the page end, largest offsets first.
+        let mut cursor = PAGE_SIZE;
+        for (slot, cell) in live.iter_mut() {
+            cursor -= cell.len();
+            self.data[cursor..cursor + cell.len()].copy_from_slice(cell);
+            self.set_slot(*slot, cursor as u16, cell.len() as u16);
+        }
+        self.set_free_end(cursor as u16);
+        self.set_dead_bytes(0);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Page {{ slots: {}, live: {}, free: {}B (+{}B dead) }}",
+            self.slot_count(),
+            self.live_count(),
+            self.contiguous_free(),
+            self.dead_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+        assert_eq!(p.live_bytes(), 11);
+    }
+
+    #[test]
+    fn delete_tombstones_and_preserves_other_slots() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaa").unwrap();
+        let b = p.insert(b"bbb").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"bbb"[..]));
+        assert_eq!(p.dead_bytes(), 3);
+    }
+
+    #[test]
+    fn tombstoned_slots_are_reused() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaa").unwrap();
+        p.insert(b"bbb").unwrap();
+        p.delete(a);
+        let c = p.insert(b"ccc").unwrap();
+        assert_eq!(c, a, "freed slot id should be recycled");
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_page_then_errors() {
+        let mut p = Page::new();
+        let cell = [7u8; 128];
+        let mut n = 0;
+        while p.fits(cell.len()) {
+            p.insert(&cell).unwrap();
+            n += 1;
+        }
+        assert!(n >= (PAGE_SIZE / (128 + SLOT)) - 1);
+        let err = p.insert(&cell).unwrap_err();
+        assert!(matches!(err, StorageError::RowTooLarge { .. }));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = Page::new();
+        let big = vec![1u8; 2000];
+        let a = p.insert(&big).unwrap();
+        let b = p.insert(&big).unwrap();
+        let c = p.insert(&big).unwrap();
+        p.insert(&vec![2u8; 1500]).unwrap();
+        // Page nearly full; free another 2000B and insert something that
+        // only fits after compaction.
+        p.delete(b);
+        let d = p.insert(&vec![3u8; 2100]).unwrap();
+        assert_eq!(p.get(d).unwrap()[0], 3);
+        assert_eq!(p.get(a).unwrap()[0], 1);
+        assert_eq!(p.get(c).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn oversized_cell_is_rejected() {
+        let mut p = Page::new();
+        let err = p.insert(&vec![0u8; MAX_CELL + 1]).unwrap_err();
+        assert!(matches!(err, StorageError::RowTooLarge { .. }));
+    }
+
+    #[test]
+    fn from_bytes_validates() {
+        let p = Page::new();
+        assert!(Page::from_bytes(p.as_bytes().to_vec().into_boxed_slice().try_into().unwrap(), 0).is_ok());
+        let mut bad = *p.as_bytes();
+        bad[2] = 0xFF; // free_start way past free_end
+        bad[3] = 0xFF;
+        let err = Page::from_bytes(Box::new(bad), 7).unwrap_err();
+        assert!(matches!(err, StorageError::PageCorrupt { page: 7, .. }));
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = Page::new();
+        let a = p.insert(b"a").unwrap();
+        p.insert(b"b").unwrap();
+        p.delete(a);
+        let cells: Vec<&[u8]> = p.iter().map(|(_, c)| c).collect();
+        assert_eq!(cells, vec![&b"b"[..]]);
+    }
+
+    #[test]
+    fn empty_cells_are_allowed() {
+        let mut p = Page::new();
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+}

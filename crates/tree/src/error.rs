@@ -1,0 +1,119 @@
+//! Error types for tree operations.
+//!
+//! Each variant corresponds to a point where the paper's semantics is
+//! *undefined*: `t ⊎ {a:v}` "fails if there are any shared edge names",
+//! `t − a` "fails if no such node exists", and `t[p := t']` "fails if
+//! path `p` is not present in `t`" (Section 2). The library surfaces
+//! those failures as typed errors rather than panicking.
+
+use crate::{Label, Path};
+use std::fmt;
+
+/// Failure of a tree operation.
+#[derive(Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A path did not resolve to a node.
+    PathNotFound {
+        /// The path that failed to resolve.
+        path: Path,
+    },
+    /// A path tried to descend through a leaf value.
+    ThroughLeaf {
+        /// The path of the leaf that blocked descent.
+        at: Path,
+    },
+    /// Inserting an edge that already exists (`⊎` name clash).
+    DuplicateEdge {
+        /// The node under which the clash occurred.
+        at: Path,
+        /// The clashing label.
+        label: Label,
+    },
+    /// Deleting an edge that does not exist (`t − a` failure).
+    EdgeNotFound {
+        /// The node under which deletion was attempted.
+        at: Path,
+        /// The missing label.
+        label: Label,
+    },
+    /// Structural edit applied to a leaf node.
+    NotATree {
+        /// The leaf's path.
+        at: Path,
+    },
+    /// A path string failed to parse.
+    BadPath {
+        /// The offending text.
+        text: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A tree literal failed to parse.
+    BadLiteral {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What was expected.
+        reason: String,
+    },
+    /// A database-qualified path named the wrong database.
+    WrongDatabase {
+        /// The database that was addressed.
+        expected: Label,
+        /// The path that named something else.
+        path: Path,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::PathNotFound { path } => write!(f, "path {path} not found"),
+            TreeError::ThroughLeaf { at } => {
+                write!(f, "cannot descend through leaf value at {at}")
+            }
+            TreeError::DuplicateEdge { at, label } => {
+                write!(f, "edge {label} already exists under {at}")
+            }
+            TreeError::EdgeNotFound { at, label } => {
+                write!(f, "no edge {label} under {at}")
+            }
+            TreeError::NotATree { at } => {
+                write!(f, "node at {at} is a leaf, not a tree")
+            }
+            TreeError::BadPath { text, reason } => {
+                write!(f, "invalid path {text:?}: {reason}")
+            }
+            TreeError::BadLiteral { offset, reason } => {
+                write!(f, "invalid tree literal at byte {offset}: {reason}")
+            }
+            TreeError::WrongDatabase { expected, path } => {
+                write!(f, "path {path} does not address database {expected}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_path() {
+        let e = TreeError::PathNotFound { path: "T/c9".parse().unwrap() };
+        assert!(e.to_string().contains("T/c9"));
+        let e = TreeError::DuplicateEdge {
+            at: "T".parse().unwrap(),
+            label: Label::new("c1"),
+        };
+        assert!(e.to_string().contains("c1"));
+        assert!(e.to_string().contains('T'));
+    }
+}

@@ -1,0 +1,178 @@
+//! Interned edge labels.
+//!
+//! The paper (Section 2) fixes a set of labels `Σ` and addresses data by
+//! paths `p ∈ Σ*`. Labels occur everywhere — in every path of every
+//! provenance record — so they are interned: each distinct spelling is
+//! stored once in a process-wide table and a [`Label`] is a copyable
+//! 32-bit symbol. Equality and hashing are O(1); ordering compares the
+//! underlying spellings so that collections keyed by `Label` iterate in
+//! a deterministic, human-meaningful order regardless of interning order.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The process-wide label interner.
+struct Interner {
+    /// Spelling → symbol.
+    map: HashMap<&'static str, u32>,
+    /// Symbol → spelling. Entries are leaked `Box<str>` so the `&'static`
+    /// borrows stay valid for the life of the process; the leak is bounded
+    /// by the number of *distinct* labels, which for a curated database is
+    /// small (schema vocabulary plus record identifiers).
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::with_capacity(1024),
+            names: Vec::with_capacity(1024),
+        })
+    })
+}
+
+/// An interned edge label: one step of a path such as `T`, `c1`, or
+/// `Release{20}`.
+///
+/// `Label` is `Copy` and 4 bytes; cloning paths and provenance records is
+/// cheap. Two labels are equal iff their spellings are equal.
+///
+/// ```
+/// use cpdb_tree::Label;
+/// let a = Label::new("citation");
+/// let b = Label::new("citation");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "citation");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    /// Interns `name` and returns its label.
+    ///
+    /// Any non-empty string not containing the path separator `/` or the
+    /// tree-literal metacharacters `{: ,}` quotes is a valid label; this
+    /// constructor does not validate (the path and tree parsers do) so it
+    /// can be used freely with trusted, programmatic names.
+    pub fn new(name: &str) -> Label {
+        // Fast path: read lock only.
+        if let Some(&id) = interner().read().map.get(name) {
+            return Label(id);
+        }
+        let mut w = interner().write();
+        if let Some(&id) = w.map.get(name) {
+            return Label(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(w.names.len()).expect("more than u32::MAX distinct labels");
+        w.names.push(leaked);
+        w.map.insert(leaked, id);
+        Label(id)
+    }
+
+    /// The spelling of this label.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// The raw symbol id. Exposed for storage codecs; ids are stable within
+    /// a process but **not** across processes — persist spellings, not ids.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    /// Orders by spelling, so `BTreeMap<Label, _>` iterates children in
+    /// the order a reader of the paper's figures expects (`c1 < c2 < …`).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Label {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Label {
+        Label::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = Label::new("abc");
+        let b = Label::new("abc");
+        let c = Label::new("abd");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_by_spelling() {
+        // Intern in reverse order; Ord must still follow the spelling.
+        let z = Label::new("zz-order-test");
+        let a = Label::new("aa-order-test");
+        assert!(a < z);
+        let mut v = [z, a];
+        v.sort();
+        assert_eq!(v[0].as_str(), "aa-order-test");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let l = Label::new("Release{20}");
+        assert_eq!(l.to_string(), "Release{20}");
+        assert_eq!(format!("{l:?}"), "Label(\"Release{20}\")");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| Label::new(&format!("concurrent-{i}")).id())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

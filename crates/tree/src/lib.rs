@@ -1,0 +1,52 @@
+//! # cpdb-tree — the curated-database data model
+//!
+//! Unordered, edge-labeled trees with values at the leaves, addressed by
+//! paths, exactly as in Section 2 of Buneman, Chapman & Cheney,
+//! *Provenance Management in Curated Databases* (SIGMOD 2006):
+//!
+//! > "The first \[assumption\] is that the database can be viewed as a
+//! > tree; the second is that the edges of that tree can be labeled in
+//! > such a way that a given sequence of labels occurs on at most one
+//! > path from the root and therefore identifies at most one data
+//! > element."
+//!
+//! The model is deliberately storage-agnostic: relational databases map
+//! onto it as `DB/R/tid/F` four-level paths, filesystems and XML views
+//! map onto it directly. Higher layers (`cpdb-xmldb`, the provenance
+//! trackers in `cpdb-core`) build on these types.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use cpdb_tree::{tree, Database, Label, Path, Tree};
+//!
+//! // Build the source tree S1 from Figure 4 of the paper.
+//! let s1 = tree! {
+//!     "a1" => { "x" => 1, "y" => 2 },
+//!     "a2" => { "x" => 3 },
+//!     "a3" => { "x" => 7, "y" => 6 },
+//! };
+//! let db = Database::new("S1", s1);
+//!
+//! // Address data by qualified paths.
+//! let p: Path = "S1/a1/y".parse().unwrap();
+//! assert_eq!(db.get(&p).unwrap(), &Tree::leaf(2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod label;
+mod macros;
+mod parse;
+mod path;
+mod tree;
+mod value;
+
+pub use error::TreeError;
+pub use label::Label;
+pub use parse::parse_tree;
+pub use path::Path;
+pub use tree::{Database, Tree};
+pub use value::Value;

@@ -1,0 +1,72 @@
+//! Convenience macros for building trees in tests and examples.
+
+/// Builds a [`crate::Tree`] from a literal structure.
+///
+/// Keys are string literals (or expressions evaluating to something
+/// `Display`able); values are either nested `{ … }` blocks or expressions
+/// convertible into a leaf [`crate::Value`] (`i64`, `&str`, `String`).
+///
+/// ```
+/// use cpdb_tree::tree;
+/// let t = tree! {
+///     "protein" => {
+///         "name" => "ABC1",
+///         "id" => 95477,
+///         "PTM" => {},
+///     },
+/// };
+/// assert_eq!(t.node_count(), 5);
+/// ```
+#[macro_export]
+macro_rules! tree {
+    () => { $crate::Tree::empty() };
+    ( $( $k:tt => $v:tt ),+ $(,)? ) => {{
+        let mut m = ::std::collections::BTreeMap::new();
+        $(
+            m.insert($crate::Label::new($k), $crate::tree_subtree!($v));
+        )+
+        $crate::Tree::from_map(m)
+    }};
+}
+
+/// Internal helper for [`tree!`]: interprets one right-hand side.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! tree_subtree {
+    ( { $( $k:tt => $v:tt ),* $(,)? } ) => {
+        $crate::tree!( $( $k => $v ),* )
+    };
+    // Parenthesized escape hatch for values that span several token
+    // trees, e.g. negative literals: `"n" => (-5)`.
+    ( ( $e:expr ) ) => {
+        $crate::Tree::from($e)
+    };
+    ( $e:expr ) => {
+        $crate::Tree::from($e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Label, Tree, Value};
+
+    #[test]
+    fn empty_and_nested() {
+        assert_eq!(tree! {}, Tree::empty());
+        let t = tree! {
+            "a" => { "b" => {}, "c" => 1 },
+            "d" => "str",
+        };
+        assert_eq!(t.child(Label::new("a")).unwrap().node_count(), 3);
+        assert_eq!(
+            t.get(&"d".parse().unwrap()).unwrap().as_value(),
+            Some(&Value::str("str"))
+        );
+    }
+
+    #[test]
+    fn trailing_commas_ok() {
+        let t = tree! { "a" => 1, };
+        assert_eq!(t.node_count(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Parsing of tree literals.
+//!
+//! Trees render and parse in a compact literal syntax used throughout the
+//! examples, tests, and fixtures:
+//!
+//! ```text
+//! {a1: {x: 1, y: 2}, note: "copied from SwissProt"}
+//! ```
+//!
+//! An interior node is `{label: tree, …}` (possibly `{}`), a leaf is an
+//! integer or a double-quoted string. Labels may be bare (`Release{20}`,
+//! `NP_005493`) or quoted when they contain reserved characters.
+//! [`Tree`]'s `Display` implementation emits this syntax canonically
+//! (children sorted by label), and [`parse_tree`] accepts it back, so
+//! `parse_tree(&t.to_string()) == Ok(t)` for every tree.
+
+use crate::{Label, Tree, TreeError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Characters that end a bare label or bare value token.
+fn is_reserved(c: char) -> bool {
+    matches!(c, ':' | ',' | '"' | '/') || c.is_whitespace()
+}
+
+/// Writes a label, quoting it if it contains reserved characters or could
+/// be confused with a leaf (starts with a digit, `-`, `{`, or is empty).
+pub(crate) fn write_label(f: &mut fmt::Formatter<'_>, label: Label) -> fmt::Result {
+    let s = label.as_str();
+    let needs_quotes = s.is_empty()
+        || s.chars().any(is_reserved)
+        || s.starts_with(['{', '-'])
+        || s.starts_with(|c: char| c.is_ascii_digit());
+    if needs_quotes {
+        write!(f, "{s:?}")
+    } else {
+        f.write_str(s)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { input, pos: 0 }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> TreeError {
+        TreeError::BadLiteral { offset: self.pos, reason: reason.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TreeError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn quoted_string(&mut self) -> Result<String, TreeError> {
+        debug_assert_eq!(self.peek(), Some('"'));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => {
+                        return Err(self.err(format!("bad escape {other:?}")));
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// A label in key position: quoted, or bare text up to the `:`.
+    fn label(&mut self) -> Result<Label, TreeError> {
+        self.skip_ws();
+        if self.peek() == Some('"') {
+            let s = self.quoted_string()?;
+            if s.is_empty() {
+                return Err(self.err("empty label"));
+            }
+            return Ok(Label::new(&s));
+        }
+        let start = self.pos;
+        // Bare labels may contain balanced braces (`Release{20}`) — scan
+        // to the colon that must follow a key, tracking brace depth so an
+        // embedded `}` doesn't end the label, then validate.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            match c {
+                ':' | ',' => break,
+                '{' => depth += 1,
+                '}' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        let raw = self.input[start..self.pos].trim();
+        if raw.is_empty() {
+            return Err(self.err("empty label"));
+        }
+        if raw.contains(['"', '/']) || raw.chars().any(char::is_whitespace) {
+            return Err(self.err(format!("label {raw:?} contains a reserved character")));
+        }
+        Ok(Label::new(raw))
+    }
+
+    fn value(&mut self) -> Result<Value, TreeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.quoted_string()?.into())),
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = &self.input[start..self.pos];
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|e| self.err(format!("bad integer {text:?}: {e}")))
+            }
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn tree(&mut self) -> Result<Tree, TreeError> {
+        self.skip_ws();
+        if self.peek() != Some('{') {
+            return Ok(Tree::Leaf(self.value()?));
+        }
+        self.bump();
+        let mut children = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Tree::Node(children));
+        }
+        loop {
+            let label = self.label()?;
+            self.expect(':')?;
+            let sub = self.tree()?;
+            if children.insert(label, sub).is_some() {
+                return Err(self.err(format!("duplicate edge label {label}")));
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {
+                    // Allow a trailing comma before `}`.
+                    self.skip_ws();
+                    if self.peek() == Some('}') {
+                        self.bump();
+                        return Ok(Tree::Node(children));
+                    }
+                }
+                Some('}') => return Ok(Tree::Node(children)),
+                other => return Err(self.err(format!("expected ',' or '}}', found {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Parses a tree literal. Inverse of [`Tree`]'s `Display`.
+///
+/// ```
+/// use cpdb_tree::{parse_tree, tree};
+/// let t = parse_tree("{a: 1, b: {c: \"x\"}}").unwrap();
+/// assert_eq!(t, tree! { "a" => 1, "b" => { "c" => "x" } });
+/// ```
+pub fn parse_tree(input: &str) -> Result<Tree, TreeError> {
+    let mut p = Parser::new(input);
+    let t = p.tree()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after tree"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree;
+
+    #[test]
+    fn parses_leaves() {
+        assert_eq!(parse_tree("42").unwrap(), Tree::leaf(42));
+        assert_eq!(parse_tree("-7").unwrap(), Tree::leaf(-7));
+        assert_eq!(parse_tree("\"hi\"").unwrap(), Tree::leaf("hi"));
+        assert_eq!(parse_tree(r#""a\"b\\c\n""#).unwrap(), Tree::leaf("a\"b\\c\n"));
+    }
+
+    #[test]
+    fn parses_nodes() {
+        assert_eq!(parse_tree("{}").unwrap(), Tree::empty());
+        assert_eq!(parse_tree("{ }").unwrap(), Tree::empty());
+        assert_eq!(
+            parse_tree("{a: 1, b: {c: \"x\"}}").unwrap(),
+            tree! { "a" => 1, "b" => { "c" => "x" } }
+        );
+        // Trailing comma and loose whitespace are fine.
+        assert_eq!(
+            parse_tree(" { a : 1 , } ").unwrap(),
+            tree! { "a" => 1 }
+        );
+    }
+
+    #[test]
+    fn parses_braced_and_quoted_labels() {
+        let t = parse_tree("{Release{20}: {Q01780: \"entry\"}}").unwrap();
+        assert!(t.child(Label::new("Release{20}")).is_some());
+        let t = parse_tree(r#"{"label with spaces": 1}"#).unwrap();
+        assert!(t.child(Label::new("label with spaces")).is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "", "{", "}", "{a}", "{a:}", "{a: 1,, b: 2}", "{a: 1} extra", "{: 1}",
+            "{a: 1, a: 2}", "\"unterminated", "{a: 12x}",
+        ] {
+            assert!(parse_tree(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_tree("{a: ?}").unwrap_err();
+        match err {
+            TreeError::BadLiteral { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let t = tree! {
+            "a1" => { "x" => 1, "y" => "two" },
+            "Release{20}" => {},
+            "z" => { "deep" => { "deeper" => (-5) } },
+        };
+        assert_eq!(parse_tree(&t.to_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn display_quotes_awkward_labels() {
+        let t = Tree::node([(Label::new("has space"), Tree::leaf(1))]);
+        let s = t.to_string();
+        assert_eq!(s, "{\"has space\": 1}");
+        assert_eq!(parse_tree(&s).unwrap(), t);
+        // Numeric-looking labels must be quoted too.
+        let t = Tree::node([(Label::new("42"), Tree::leaf(1))]);
+        assert_eq!(parse_tree(&t.to_string()).unwrap(), t);
+    }
+}

@@ -1,0 +1,311 @@
+//! Path addresses.
+//!
+//! A path `p ∈ Σ*` identifies at most one node in a tree (Section 2 of
+//! the paper): the sequence of edge labels from the root. Provenance
+//! records are pairs of paths, so paths must be cheap to clone, hash,
+//! compare, and extend. A [`Path`] is an immutable, reference-counted
+//! slice of interned labels; cloning is a refcount bump.
+//!
+//! Paths render and parse in the paper's notation: `T/c2/y`,
+//! `SwissProt/Release{20}/Q01780/Citation{3}/Title`. The *first* segment
+//! of a database-qualified path names the database (`T`, `S1`, …).
+
+use crate::{Label, TreeError};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// An immutable sequence of labels addressing a node in a tree.
+///
+/// The empty path `ε` addresses the root.
+///
+/// ```
+/// use cpdb_tree::Path;
+/// let p: Path = "T/c2/y".parse().unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.to_string(), "T/c2/y");
+/// assert!(p.starts_with(&"T/c2".parse().unwrap()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    segs: Arc<[Label]>,
+}
+
+impl Path {
+    /// The empty path `ε`, addressing the root.
+    pub fn epsilon() -> Path {
+        static EMPTY: OnceEmpty = OnceEmpty(std::sync::OnceLock::new());
+        EMPTY.get().clone()
+    }
+
+    /// Builds a path from a sequence of labels.
+    pub fn from_labels(segs: impl Into<Vec<Label>>) -> Path {
+        Path { segs: segs.into().into() }
+    }
+
+    /// Builds a single-segment path.
+    pub fn single(label: impl Into<Label>) -> Path {
+        Path { segs: Arc::from(vec![label.into()]) }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` iff this is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[Label] {
+        &self.segs
+    }
+
+    /// Iterates over segments.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.segs.iter().copied()
+    }
+
+    /// First segment (the database name, for qualified paths).
+    pub fn first(&self) -> Option<Label> {
+        self.segs.first().copied()
+    }
+
+    /// Last segment (the edge into the addressed node).
+    pub fn last(&self) -> Option<Label> {
+        self.segs.last().copied()
+    }
+
+    /// The path with the last segment removed; `None` for `ε`.
+    pub fn parent(&self) -> Option<Path> {
+        match self.segs.len() {
+            0 => None,
+            n => Some(Path { segs: Arc::from(&self.segs[..n - 1]) }),
+        }
+    }
+
+    /// Extends this path by one label: `p/a`.
+    pub fn child(&self, label: impl Into<Label>) -> Path {
+        let mut v = Vec::with_capacity(self.segs.len() + 1);
+        v.extend_from_slice(&self.segs);
+        v.push(label.into());
+        Path { segs: v.into() }
+    }
+
+    /// Concatenates two paths: `p · q`.
+    pub fn join(&self, other: &Path) -> Path {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut v = Vec::with_capacity(self.segs.len() + other.segs.len());
+        v.extend_from_slice(&self.segs);
+        v.extend_from_slice(&other.segs);
+        Path { segs: v.into() }
+    }
+
+    /// The paper's prefix order `p ≤ q`: `true` iff `self` is a prefix of
+    /// `other` (including `self == other`).
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.segs.len() >= self.segs.len() && other.segs[..self.segs.len()] == self.segs[..]
+    }
+
+    /// `true` iff `prefix ≤ self`.
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        prefix.is_prefix_of(self)
+    }
+
+    /// Removes `prefix` from the front: if `self = prefix · r`, returns
+    /// `Some(r)`.
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        if self.starts_with(prefix) {
+            Some(Path { segs: Arc::from(&self.segs[prefix.len()..]) })
+        } else {
+            None
+        }
+    }
+
+    /// Rewrites a prefix: if `self = old · r`, returns `Some(new · r)`.
+    ///
+    /// This is the step used by hierarchical provenance inference: when a
+    /// record says `q` was copied to `p`, the provenance of `p/a/b` is
+    /// `p/a/b` with prefix `p` replaced by `q`, i.e. `q/a/b`.
+    pub fn replace_prefix(&self, old: &Path, new: &Path) -> Option<Path> {
+        self.strip_prefix(old).map(|rest| new.join(&rest))
+    }
+
+    /// All proper ancestors from longest (the parent) to shortest (`ε`),
+    /// excluding `self`.
+    pub fn ancestors(&self) -> impl Iterator<Item = Path> + '_ {
+        (0..self.segs.len()).rev().map(move |n| Path { segs: Arc::from(&self.segs[..n]) })
+    }
+}
+
+struct OnceEmpty(std::sync::OnceLock<Path>);
+impl OnceEmpty {
+    fn get(&self) -> &Path {
+        self.0.get_or_init(|| Path { segs: Arc::from(Vec::new()) })
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Path {
+    /// Lexicographic over labels (which order by spelling), so sorted
+    /// provenance tables read in document order: `T/c1 < T/c1/y < T/c2`.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.segs.iter().cmp(other.segs.iter())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("ε");
+        }
+        for (i, seg) in self.segs.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            f.write_str(seg.as_str())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path({self})")
+    }
+}
+
+impl FromStr for Path {
+    type Err = TreeError;
+
+    /// Parses `a/b/c`. Segments must be non-empty and must not contain
+    /// `/`, `:`, `,`, `"`, or whitespace (so tree literals stay
+    /// unambiguous). The empty string and `ε` parse to the empty path.
+    fn from_str(s: &str) -> Result<Path, TreeError> {
+        if s.is_empty() || s == "ε" {
+            return Ok(Path::epsilon());
+        }
+        let mut segs = Vec::new();
+        for seg in s.split('/') {
+            if seg.is_empty() {
+                return Err(TreeError::BadPath { text: s.to_owned(), reason: "empty segment" });
+            }
+            if seg.contains([':', ',', '"']) || seg.chars().any(char::is_whitespace) {
+                return Err(TreeError::BadPath {
+                    text: s.to_owned(),
+                    reason: "segment contains a reserved character",
+                });
+            }
+            segs.push(Label::new(seg));
+        }
+        Ok(Path::from_labels(segs))
+    }
+}
+
+impl From<&[Label]> for Path {
+    fn from(segs: &[Label]) -> Path {
+        Path { segs: Arc::from(segs) }
+    }
+}
+
+impl From<Vec<Label>> for Path {
+    fn from(segs: Vec<Label>) -> Path {
+        Path { segs: segs.into() }
+    }
+}
+
+/// Builds a [`Path`] from label spellings: `path!["T", "c1", "y"]`.
+#[macro_export]
+macro_rules! path {
+    [] => { $crate::Path::epsilon() };
+    [ $( $seg:expr ),+ $(,)? ] => {
+        $crate::Path::from_labels(vec![ $( $crate::Label::new(&$seg.to_string()) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["T", "T/c1/y", "SwissProt/Release{20}/Q01780/Citation{3}/Title"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+        assert_eq!(Path::epsilon().to_string(), "ε");
+        assert_eq!(p(""), Path::epsilon());
+        assert_eq!(p("ε"), Path::epsilon());
+    }
+
+    #[test]
+    fn parse_rejects_bad_segments() {
+        assert!("a//b".parse::<Path>().is_err());
+        assert!("/a".parse::<Path>().is_err());
+        assert!("a/".parse::<Path>().is_err());
+        assert!("a/b c".parse::<Path>().is_err());
+        assert!("a:b".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn prefix_relations() {
+        assert!(p("T").is_prefix_of(&p("T/c1")));
+        assert!(p("T/c1").is_prefix_of(&p("T/c1")));
+        assert!(!p("T/c1").is_prefix_of(&p("T")));
+        assert!(!p("T/c1").is_prefix_of(&p("T/c2/c1")));
+        assert!(Path::epsilon().is_prefix_of(&p("T")));
+    }
+
+    #[test]
+    fn strip_and_replace_prefix() {
+        assert_eq!(p("T/c2/y").strip_prefix(&p("T")).unwrap(), p("c2/y"));
+        assert_eq!(p("T/c2/y").strip_prefix(&p("T/c2/y")).unwrap(), Path::epsilon());
+        assert_eq!(p("T/c2/y").strip_prefix(&p("S1")), None);
+        // The hierarchical-inference rewrite from the paper: T/c2 copied
+        // from S1/a2, so T/c2/x came from S1/a2/x.
+        assert_eq!(p("T/c2/x").replace_prefix(&p("T/c2"), &p("S1/a2")).unwrap(), p("S1/a2/x"));
+    }
+
+    #[test]
+    fn family_accessors() {
+        let q = p("T/c2/y");
+        assert_eq!(q.parent().unwrap(), p("T/c2"));
+        assert_eq!(q.first().unwrap().as_str(), "T");
+        assert_eq!(q.last().unwrap().as_str(), "y");
+        assert_eq!(q.child("z"), p("T/c2/y/z"));
+        assert_eq!(Path::epsilon().parent(), None);
+        let ancs: Vec<Path> = q.ancestors().collect();
+        assert_eq!(ancs, vec![p("T/c2"), p("T"), Path::epsilon()]);
+    }
+
+    #[test]
+    fn ordering_is_document_order() {
+        let mut v = vec![p("T/c2"), p("T/c1/y"), p("T/c1"), p("S1/a1")];
+        v.sort();
+        assert_eq!(v, vec![p("S1/a1"), p("T/c1"), p("T/c1/y"), p("T/c2")]);
+    }
+
+    #[test]
+    fn join_and_macro() {
+        assert_eq!(p("T").join(&p("c1/y")), p("T/c1/y"));
+        assert_eq!(p("T").join(&Path::epsilon()), p("T"));
+        assert_eq!(Path::epsilon().join(&p("T")), p("T"));
+        assert_eq!(path!["T", "c1", "y"], p("T/c1/y"));
+        assert_eq!(path![], Path::epsilon());
+    }
+}

@@ -1,0 +1,524 @@
+//! Unordered, edge-labeled trees with values at the leaves.
+//!
+//! This is the data model of Section 2: a tree is either a leaf holding
+//! a value from `D`, or an interior node `{a1: t1, …, an: tn}` whose
+//! outgoing edges carry distinct labels. The primitive operations are
+//! exactly the ones the update semantics `[[U]]` needs:
+//!
+//! * `t.p` — [`Tree::get`] / [`Tree::subtree`];
+//! * `t[p := t']` — [`Tree::replace`];
+//! * `t ⊎ {a: v}` — [`Tree::insert_edge`] (fails on a shared edge name);
+//! * `t − a` — [`Tree::delete_edge`] (fails if the edge is absent).
+
+use crate::{Label, Path, TreeError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An unordered edge-labeled tree; values live only at leaves.
+///
+/// Children are kept in a `BTreeMap` ordered by label spelling, so
+/// traversal order is deterministic and matches the order the paper's
+/// figures list siblings in.
+///
+/// ```
+/// use cpdb_tree::{tree, Tree, Value};
+/// let t: Tree = tree! { "x" => 1, "y" => { "z" => "hello" } };
+/// assert_eq!(t.node_count(), 4); // root, x, y, z
+/// assert_eq!(
+///     t.get(&"y/z".parse().unwrap()).unwrap().as_value(),
+///     Some(&Value::str("hello"))
+/// );
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// A leaf holding a data value.
+    Leaf(Value),
+    /// An interior node; may be empty (`{}`).
+    Node(BTreeMap<Label, Tree>),
+}
+
+impl Tree {
+    /// The empty tree `{}`.
+    pub fn empty() -> Tree {
+        Tree::Node(BTreeMap::new())
+    }
+
+    /// A leaf holding `value`.
+    pub fn leaf(value: impl Into<Value>) -> Tree {
+        Tree::Leaf(value.into())
+    }
+
+    /// Builds an interior node from `(label, subtree)` pairs.
+    ///
+    /// Later duplicates overwrite earlier ones; use [`Tree::insert_edge`]
+    /// when the paper's failing `⊎` semantics is wanted.
+    pub fn node(pairs: impl IntoIterator<Item = (Label, Tree)>) -> Tree {
+        Tree::Node(pairs.into_iter().collect())
+    }
+
+    /// Builds an interior node directly from a child map.
+    pub fn from_map(children: BTreeMap<Label, Tree>) -> Tree {
+        Tree::Node(children)
+    }
+
+    /// `true` iff this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Tree::Leaf(_))
+    }
+
+    /// `true` iff this is `{}`.
+    pub fn is_empty_node(&self) -> bool {
+        matches!(self, Tree::Node(m) if m.is_empty())
+    }
+
+    /// The leaf value, if this is a leaf.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            Tree::Leaf(v) => Some(v),
+            Tree::Node(_) => None,
+        }
+    }
+
+    /// The child map, if this is an interior node.
+    pub fn children(&self) -> Option<&BTreeMap<Label, Tree>> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Node(m) => Some(m),
+        }
+    }
+
+    /// Immediate child under `label`.
+    pub fn child(&self, label: Label) -> Option<&Tree> {
+        self.children().and_then(|m| m.get(&label))
+    }
+
+    /// `t.p`: the subtree at `path`, or `None`.
+    pub fn get(&self, path: &Path) -> Option<&Tree> {
+        let mut cur = self;
+        for seg in path.iter() {
+            cur = cur.child(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Mutable variant of [`Tree::get`].
+    pub fn get_mut(&mut self, path: &Path) -> Option<&mut Tree> {
+        let mut cur = self;
+        for seg in path.iter() {
+            cur = match cur {
+                Tree::Leaf(_) => return None,
+                Tree::Node(m) => m.get_mut(&seg)?,
+            };
+        }
+        Some(cur)
+    }
+
+    /// `t.p` with a typed error instead of `None`.
+    pub fn subtree(&self, path: &Path) -> Result<&Tree, TreeError> {
+        self.get(path).ok_or_else(|| TreeError::PathNotFound { path: path.clone() })
+    }
+
+    /// `true` iff `path` resolves to a node.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.get(path).is_some()
+    }
+
+    /// `t[p := t.p ⊎ {label: child}]`: inserts a new edge under the node
+    /// at `at`.
+    ///
+    /// Fails with [`TreeError::PathNotFound`] if `at` is absent, with
+    /// [`TreeError::NotATree`] if `at` is a leaf, and with
+    /// [`TreeError::DuplicateEdge`] if the label is already present —
+    /// precisely where the paper's `⊎` is undefined.
+    pub fn insert_edge(&mut self, at: &Path, label: Label, child: Tree) -> Result<(), TreeError> {
+        let node = self
+            .get_mut(at)
+            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        match node {
+            Tree::Leaf(_) => Err(TreeError::NotATree { at: at.clone() }),
+            Tree::Node(m) => {
+                if m.contains_key(&label) {
+                    return Err(TreeError::DuplicateEdge { at: at.clone(), label });
+                }
+                m.insert(label, child);
+                Ok(())
+            }
+        }
+    }
+
+    /// `t[p := t.p − label]`: deletes the edge `label` (and its subtree)
+    /// under the node at `at`, returning the removed subtree.
+    ///
+    /// Fails with [`TreeError::EdgeNotFound`] if the edge is absent, as
+    /// `t − a` is undefined there.
+    pub fn delete_edge(&mut self, at: &Path, label: Label) -> Result<Tree, TreeError> {
+        let node = self
+            .get_mut(at)
+            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        match node {
+            Tree::Leaf(_) => Err(TreeError::NotATree { at: at.clone() }),
+            Tree::Node(m) => m
+                .remove(&label)
+                .ok_or_else(|| TreeError::EdgeNotFound { at: at.clone(), label }),
+        }
+    }
+
+    /// `t[p := new]`: replaces the subtree at `at`, returning the old
+    /// subtree. Fails if `at` is not present (the paper's side condition).
+    pub fn replace(&mut self, at: &Path, new: Tree) -> Result<Tree, TreeError> {
+        let node = self
+            .get_mut(at)
+            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        Ok(std::mem::replace(node, new))
+    }
+
+    /// General union `t ⊎ u`: fails on any shared top-level edge name, or
+    /// if either side is a leaf.
+    pub fn union(self, other: Tree) -> Result<Tree, TreeError> {
+        match (self, other) {
+            (Tree::Node(mut a), Tree::Node(b)) => {
+                for (label, sub) in b {
+                    if a.contains_key(&label) {
+                        return Err(TreeError::DuplicateEdge { at: Path::epsilon(), label });
+                    }
+                    a.insert(label, sub);
+                }
+                Ok(Tree::Node(a))
+            }
+            _ => Err(TreeError::NotATree { at: Path::epsilon() }),
+        }
+    }
+
+    /// Number of nodes, counting this root. The paper's "subtrees of size
+    /// four" are a parent with three leaf children: `node_count() == 4`.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 1,
+            Tree::Node(m) => 1 + m.values().map(Tree::node_count).sum::<usize>(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 1,
+            Tree::Node(m) => m.values().map(Tree::leaf_count).sum(),
+        }
+    }
+
+    /// Length of the longest root-to-node path.
+    pub fn depth(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 0,
+            Tree::Node(m) => m.values().map(|t| 1 + t.depth()).max().unwrap_or(0),
+        }
+    }
+
+    /// Total payload bytes across all leaves (for storage reporting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Tree::Leaf(v) => v.payload_bytes(),
+            Tree::Node(m) => m.values().map(Tree::payload_bytes).sum(),
+        }
+    }
+
+    /// Visits every node in deterministic preorder (root first, children
+    /// by label spelling), passing each node's path relative to `base`.
+    pub fn walk<'t>(&'t self, base: &Path, f: &mut impl FnMut(&Path, &'t Tree)) {
+        f(base, self);
+        if let Tree::Node(m) = self {
+            for (label, sub) in m {
+                sub.walk(&base.child(*label), f);
+            }
+        }
+    }
+
+    /// The paths of all nodes in this tree (preorder), prefixed by `base`.
+    /// The root itself appears first, as `base`.
+    ///
+    /// Naïve provenance stores one record per element of this list when a
+    /// subtree is copied or deleted (Section 2.1.1).
+    pub fn all_paths(&self, base: &Path) -> Vec<Path> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.walk(base, &mut |p, _| out.push(p.clone()));
+        out
+    }
+
+    /// Iterates `(path, value)` for every leaf, paths relative to `base`.
+    pub fn leaves(&self, base: &Path) -> Vec<(Path, Value)> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.walk(base, &mut |p, t| {
+            if let Tree::Leaf(v) = t {
+                out.push((p.clone(), v.clone()));
+            }
+        });
+        out
+    }
+}
+
+impl Default for Tree {
+    fn default() -> Tree {
+        Tree::empty()
+    }
+}
+
+impl fmt::Display for Tree {
+    /// Canonical literal syntax: `{a: 1, b: {c: "x"}}`, children sorted
+    /// by label spelling. Round-trips through [`crate::parse_tree`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tree::Leaf(v) => write!(f, "{v}"),
+            Tree::Node(m) => {
+                f.write_str("{")?;
+                for (i, (label, sub)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    crate::parse::write_label(f, *label)?;
+                    write!(f, ": {sub}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Value> for Tree {
+    fn from(v: Value) -> Tree {
+        Tree::Leaf(v)
+    }
+}
+
+impl From<i64> for Tree {
+    fn from(i: i64) -> Tree {
+        Tree::Leaf(Value::Int(i))
+    }
+}
+
+impl From<&str> for Tree {
+    fn from(s: &str) -> Tree {
+        Tree::Leaf(Value::str(s))
+    }
+}
+
+/// A named database whose contents form a tree.
+///
+/// Paths in provenance records are *database-qualified*: their first
+/// segment names the database (`T/c1/y`, `S1/a2/x`). A `Database` resolves
+/// such qualified paths against its root tree.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Database {
+    name: Label,
+    root: Tree,
+}
+
+impl Database {
+    /// Creates a database called `name` with the given contents.
+    pub fn new(name: impl Into<Label>, root: Tree) -> Database {
+        Database { name: name.into(), root }
+    }
+
+    /// The database's name — the first segment of its qualified paths.
+    pub fn name(&self) -> Label {
+        self.name
+    }
+
+    /// The root tree.
+    pub fn root(&self) -> &Tree {
+        &self.root
+    }
+
+    /// Mutable access to the root tree.
+    pub fn root_mut(&mut self) -> &mut Tree {
+        &mut self.root
+    }
+
+    /// Replaces the entire contents.
+    pub fn set_root(&mut self, root: Tree) {
+        self.root = root;
+    }
+
+    /// The qualified path of the root: just the database name.
+    pub fn root_path(&self) -> Path {
+        Path::single(self.name)
+    }
+
+    /// Converts a qualified path (`T/c1/y`) to a path relative to the
+    /// root (`c1/y`); fails if the first segment is not this database.
+    pub fn relative(&self, qualified: &Path) -> Result<Path, TreeError> {
+        match qualified.first() {
+            Some(first) if first == self.name => {
+                Ok(qualified.strip_prefix(&self.root_path()).expect("checked prefix"))
+            }
+            _ => Err(TreeError::WrongDatabase { expected: self.name, path: qualified.clone() }),
+        }
+    }
+
+    /// Resolves a qualified path to a subtree.
+    pub fn get(&self, qualified: &Path) -> Result<&Tree, TreeError> {
+        let rel = self.relative(qualified)?;
+        self.root
+            .get(&rel)
+            .ok_or_else(|| TreeError::PathNotFound { path: qualified.clone() })
+    }
+
+    /// `true` iff the qualified path resolves.
+    pub fn contains(&self, qualified: &Path) -> bool {
+        self.get(qualified).is_ok()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Tree {
+        tree! {
+            "a1" => { "x" => 1, "y" => 2 },
+            "a2" => { "x" => 3 },
+            "a3" => { "x" => 7, "y" => 6 },
+        }
+    }
+
+    #[test]
+    fn get_resolves_paths() {
+        let t = sample();
+        assert_eq!(t.get(&p("a1/y")).unwrap(), &Tree::leaf(2));
+        assert_eq!(t.get(&p("a2")).unwrap(), &tree! { "x" => 3 });
+        assert!(t.get(&p("a9")).is_none());
+        assert!(t.get(&p("a1/y/z")).is_none(), "cannot descend through a leaf");
+        assert_eq!(t.get(&Path::epsilon()).unwrap(), &t);
+    }
+
+    #[test]
+    fn insert_edge_follows_union_semantics() {
+        let mut t = sample();
+        t.insert_edge(&p("a2"), Label::new("y"), Tree::leaf(9)).unwrap();
+        assert_eq!(t.get(&p("a2/y")).unwrap(), &Tree::leaf(9));
+
+        // ⊎ fails on a shared edge name.
+        let err = t.insert_edge(&p("a2"), Label::new("y"), Tree::leaf(0)).unwrap_err();
+        assert_eq!(err, TreeError::DuplicateEdge { at: p("a2"), label: Label::new("y") });
+
+        // Fails if the target path is missing.
+        assert!(matches!(
+            t.insert_edge(&p("zz"), Label::new("y"), Tree::empty()),
+            Err(TreeError::PathNotFound { .. })
+        ));
+
+        // Fails when inserting under a leaf.
+        assert!(matches!(
+            t.insert_edge(&p("a2/x"), Label::new("y"), Tree::empty()),
+            Err(TreeError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_edge_returns_subtree_and_fails_when_absent() {
+        let mut t = sample();
+        let removed = t.delete_edge(&Path::epsilon(), Label::new("a1")).unwrap();
+        assert_eq!(removed, tree! { "x" => 1, "y" => 2 });
+        assert!(!t.contains(&p("a1")));
+        assert!(matches!(
+            t.delete_edge(&Path::epsilon(), Label::new("a1")),
+            Err(TreeError::EdgeNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_swaps_subtrees() {
+        let mut t = sample();
+        let old = t.replace(&p("a2/x"), Tree::leaf(42)).unwrap();
+        assert_eq!(old, Tree::leaf(3));
+        assert_eq!(t.get(&p("a2/x")).unwrap(), &Tree::leaf(42));
+        assert!(matches!(t.replace(&p("zz"), Tree::empty()), Err(TreeError::PathNotFound { .. })));
+        // Root replacement is allowed: ε is always present.
+        let old = t.replace(&Path::epsilon(), Tree::empty()).unwrap();
+        assert_eq!(old.node_count(), sample().node_count());
+        assert!(t.is_empty_node());
+    }
+
+    #[test]
+    fn union_merges_disjoint_and_rejects_clash() {
+        let a = tree! { "x" => 1 };
+        let b = tree! { "y" => 2 };
+        assert_eq!(a.clone().union(b).unwrap(), tree! { "x" => 1, "y" => 2 });
+        let clash = tree! { "x" => 9 };
+        assert!(matches!(a.union(clash), Err(TreeError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = sample();
+        assert_eq!(t.node_count(), 1 + 3 + 5);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(Tree::empty().node_count(), 1);
+        assert_eq!(Tree::empty().leaf_count(), 0);
+        assert_eq!(Tree::leaf(1).node_count(), 1);
+        assert_eq!(Tree::leaf(1).leaf_count(), 1);
+    }
+
+    #[test]
+    fn walk_is_deterministic_preorder() {
+        let t = sample();
+        let paths = t.all_paths(&p("T"));
+        let rendered: Vec<String> = paths.iter().map(Path::to_string).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "T", "T/a1", "T/a1/x", "T/a1/y", "T/a2", "T/a2/x", "T/a3", "T/a3/x", "T/a3/y"
+            ]
+        );
+    }
+
+    #[test]
+    fn leaves_lists_values() {
+        let t = tree! { "a" => { "b" => 1 }, "c" => "s" };
+        let leaves = t.leaves(&Path::epsilon());
+        assert_eq!(
+            leaves,
+            vec![(p("a/b"), Value::int(1)), (p("c"), Value::str("s"))]
+        );
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let t = sample();
+        assert_eq!(
+            t.to_string(),
+            "{a1: {x: 1, y: 2}, a2: {x: 3}, a3: {x: 7, y: 6}}"
+        );
+        assert_eq!(Tree::empty().to_string(), "{}");
+        assert_eq!(Tree::leaf("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn database_resolves_qualified_paths() {
+        let db = Database::new("T", sample());
+        assert_eq!(db.get(&p("T/a1/x")).unwrap(), &Tree::leaf(1));
+        assert_eq!(db.get(&p("T")).unwrap(), db.root());
+        assert!(matches!(db.get(&p("S1/a1")), Err(TreeError::WrongDatabase { .. })));
+        assert!(matches!(db.get(&p("T/zz")), Err(TreeError::PathNotFound { .. })));
+        assert_eq!(db.relative(&p("T/a1/x")).unwrap(), p("a1/x"));
+        assert!(db.contains(&p("T/a3/y")));
+        assert!(!db.contains(&p("T/a3/z")));
+    }
+}

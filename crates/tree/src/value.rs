@@ -1,0 +1,134 @@
+//! Leaf values.
+//!
+//! The paper's trees "store data values from some domain `D` only at the
+//! leaves" (Section 2). Curated biological databases hold mostly text
+//! (protein names, PubMed identifiers) and numbers, so `D` here is the
+//! union of strings and 64-bit integers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A data value stored at a leaf of a tree.
+///
+/// Strings are reference-counted so that copying a subtree — the paper's
+/// central operation — shares leaf payloads instead of reallocating them.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer datum, e.g. a count or identifier (`12504680`).
+    Int(i64),
+    /// A textual datum, e.g. `"P02741"`.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// Approximate in-memory size of the payload in bytes, used by the
+    /// experiment harness to report storage figures.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders in tree-literal syntax: integers bare, strings quoted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{:?}", s.as_ref()),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::str("a b").to_string(), "\"a b\"");
+        assert_eq!(Value::str("say \"hi\"").to_string(), "\"say \\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn clone_shares_string_storage() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn payload_bytes() {
+        assert_eq!(Value::int(1).payload_bytes(), 8);
+        assert_eq!(Value::str("abcd").payload_bytes(), 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the tree data model.
+
+use cpdb_tree::{parse_tree, Label, Path, Tree, Value};
+use proptest::prelude::*;
+
+/// Labels drawn from a safe charset (also exercises braces, which the
+/// paper's examples use in `Release{20}`-style names).
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        "[a-z][a-z0-9_.]{0,6}",
+        "[A-Z]{1,3}[0-9]{1,4}",
+        "[a-z]{1,4}\\{[0-9]{1,2}\\}",
+    ]
+    .prop_map(|s| Label::new(&s))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = arb_value().prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        proptest::collection::btree_map(arb_label(), inner, 0..6).prop_map(Tree::from_map)
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(arb_label(), 0..6).prop_map(Path::from_labels)
+}
+
+proptest! {
+    #[test]
+    fn literal_round_trip(t in arb_tree()) {
+        let rendered = t.to_string();
+        let parsed = parse_tree(&rendered).expect("canonical output must parse");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn path_display_round_trip(p in arb_path()) {
+        let parsed: Path = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn join_then_strip_is_identity(a in arb_path(), b in arb_path()) {
+        let joined = a.join(&b);
+        prop_assert!(joined.starts_with(&a));
+        prop_assert_eq!(joined.strip_prefix(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn replace_prefix_round_trips(a in arb_path(), b in arb_path(), rest in arb_path()) {
+        let p = a.join(&rest);
+        let q = p.replace_prefix(&a, &b).unwrap();
+        prop_assert_eq!(q.replace_prefix(&b, &a).unwrap(), p);
+    }
+
+    #[test]
+    fn replace_makes_get_return_new(t in arb_tree(), new in arb_tree()) {
+        // Pick every existing path and check the replace/get law on each.
+        let paths = t.all_paths(&Path::epsilon());
+        for p in paths.into_iter().take(8) {
+            let mut u = t.clone();
+            u.replace(&p, new.clone()).unwrap();
+            prop_assert_eq!(u.get(&p).unwrap(), &new);
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity(t in arb_tree(), label in arb_label(), sub in arb_tree()) {
+        // Find interior nodes without `label`; insert+delete must be a no-op.
+        let mut candidates = Vec::new();
+        t.walk(&Path::epsilon(), &mut |p, node| {
+            if node.children().is_some_and(|m| !m.contains_key(&label)) {
+                candidates.push(p.clone());
+            }
+        });
+        for p in candidates.into_iter().take(8) {
+            let mut u = t.clone();
+            u.insert_edge(&p, label, sub.clone()).unwrap();
+            prop_assert_eq!(u.get(&p.child(label)).unwrap(), &sub);
+            u.delete_edge(&p, label).unwrap();
+            prop_assert_eq!(&u, &t);
+        }
+    }
+
+    #[test]
+    fn node_count_equals_walk_count(t in arb_tree()) {
+        let mut n = 0usize;
+        t.walk(&Path::epsilon(), &mut |_, _| n += 1);
+        prop_assert_eq!(n, t.node_count());
+        prop_assert_eq!(t.all_paths(&Path::epsilon()).len(), t.node_count());
+    }
+
+    #[test]
+    fn every_listed_path_resolves(t in arb_tree()) {
+        for p in t.all_paths(&Path::epsilon()) {
+            prop_assert!(t.get(&p).is_some());
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_leaves(t in arb_tree()) {
+        prop_assert_eq!(t.leaves(&Path::epsilon()).len(), t.leaf_count());
+    }
+}

@@ -1,0 +1,348 @@
+//! The update semantics `[[U]]`.
+//!
+//! Section 2 gives each operation a meaning as a function on trees:
+//!
+//! ```text
+//! [[ins {a : v} into p]](t) = t[p := (t.p ⊎ {a : v})]
+//! [[del a from p]](t)       = t[p := (t.p − a)]
+//! [[copy q into p]](t)      = t[p := t.q]
+//! [[U ; U′]](t)             = [[U′]]([[U]](t))
+//! ```
+//!
+//! and restricts writes to the target database: "Insertions, copies, and
+//! deletes can only be performed in a subtree of the target database T."
+//!
+//! One clarification is needed to execute the paper's own Figure 3: step
+//! (7) is `copy S1/a3 into T/c3` with no prior insert of `c3`, and the
+//! figure shows `c3` appearing in `T′`. So `copy q into p` *creates* the
+//! final edge of `p` when it is absent, provided `p`'s parent exists —
+//! this is exactly what a paste into a fresh position does in the CPDB
+//! editor (`pasteNode` "inserts node X as a child of the specified
+//! node"). When `p` exists it is replaced, per `t[p := t.q]`.
+
+use crate::{AtomicUpdate, UpdateError, UpdateScript};
+use cpdb_tree::{Database, Label, Path, Tree, TreeError};
+use std::collections::BTreeMap;
+
+/// The observable effect of one applied update, carrying everything a
+/// provenance tracker needs: which paths were written, and the subtrees
+/// that moved (so naïve provenance can enumerate every touched node).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// An edge was inserted; `path` is the new edge's qualified path.
+    Inserted {
+        /// Qualified path of the new node.
+        path: Path,
+        /// What was inserted (`{}` or a leaf).
+        subtree: Tree,
+    },
+    /// An edge was deleted; `subtree` is what was removed.
+    Deleted {
+        /// Qualified path of the removed node.
+        path: Path,
+        /// The entire removed subtree.
+        subtree: Tree,
+    },
+    /// A subtree was copied from `src` over (or into) `target`.
+    Copied {
+        /// Qualified source path (any database).
+        src: Path,
+        /// Qualified paste path (target database).
+        target: Path,
+        /// The copied subtree, as pasted.
+        subtree: Tree,
+        /// The subtree that was overwritten, if the paste replaced one.
+        replaced: Option<Tree>,
+    },
+}
+
+impl Effect {
+    /// The qualified target-database path this effect wrote.
+    pub fn written_path(&self) -> &Path {
+        match self {
+            Effect::Inserted { path, .. } => path,
+            Effect::Deleted { path, .. } => path,
+            Effect::Copied { target, .. } => target,
+        }
+    }
+}
+
+/// A target database plus the read-only source databases visible to the
+/// curator — the editing universe of Figure 2.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    target: Database,
+    sources: BTreeMap<Label, Database>,
+}
+
+impl Workspace {
+    /// Creates a workspace around a target database.
+    pub fn new(target: Database) -> Workspace {
+        Workspace { target, sources: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a read-only source database.
+    pub fn add_source(&mut self, source: Database) -> &mut Self {
+        self.sources.insert(source.name(), source);
+        self
+    }
+
+    /// Builder-style variant of [`Workspace::add_source`].
+    pub fn with_source(mut self, source: Database) -> Workspace {
+        self.add_source(source);
+        self
+    }
+
+    /// The target database.
+    pub fn target(&self) -> &Database {
+        &self.target
+    }
+
+    /// Mutable access to the target database (used by tests and by the
+    /// editor when loading a new version).
+    pub fn target_mut(&mut self) -> &mut Database {
+        &mut self.target
+    }
+
+    /// The source databases, by name.
+    pub fn sources(&self) -> impl Iterator<Item = &Database> {
+        self.sources.values()
+    }
+
+    /// Looks up any database (target or source) by name.
+    pub fn database(&self, name: Label) -> Option<&Database> {
+        if name == self.target.name() {
+            Some(&self.target)
+        } else {
+            self.sources.get(&name)
+        }
+    }
+
+    /// Resolves a qualified path against whichever database it names.
+    pub fn resolve(&self, path: &Path) -> Result<&Tree, UpdateError> {
+        let first = path.first().ok_or_else(|| UpdateError::UnqualifiedPath {
+            path: path.clone(),
+        })?;
+        let db = self
+            .database(first)
+            .ok_or(UpdateError::UnknownDatabase { name: first })?;
+        db.get(path).map_err(UpdateError::Tree)
+    }
+
+    /// Checks that `path` addresses the target database and returns the
+    /// root-relative remainder.
+    fn target_relative(&self, path: &Path) -> Result<Path, UpdateError> {
+        self.target.relative(path).map_err(|_| UpdateError::NotInTarget {
+            path: path.clone(),
+            target: self.target.name(),
+        })
+    }
+
+    /// Applies one atomic update, returning its [`Effect`].
+    ///
+    /// The workspace is unchanged if an error is returned.
+    pub fn apply(&mut self, u: &AtomicUpdate) -> Result<Effect, UpdateError> {
+        match u {
+            AtomicUpdate::Insert { target, label, content } => {
+                let rel = self.target_relative(target)?;
+                let subtree = content.to_tree();
+                self.target
+                    .root_mut()
+                    .insert_edge(&rel, *label, subtree.clone())
+                    .map_err(|e| requalify(e, target))?;
+                Ok(Effect::Inserted { path: target.child(*label), subtree })
+            }
+            AtomicUpdate::Delete { target, label } => {
+                let rel = self.target_relative(target)?;
+                let removed = self
+                    .target
+                    .root_mut()
+                    .delete_edge(&rel, *label)
+                    .map_err(|e| requalify(e, target))?;
+                Ok(Effect::Deleted { path: target.child(*label), subtree: removed })
+            }
+            AtomicUpdate::Copy { src, target } => {
+                let subtree = self.resolve(src)?.clone();
+                let rel = self.target_relative(target)?;
+                if self.target.root().contains(&rel) {
+                    let replaced = self
+                        .target
+                        .root_mut()
+                        .replace(&rel, subtree.clone())
+                        .map_err(|e| requalify(e, target))?;
+                    Ok(Effect::Copied {
+                        src: src.clone(),
+                        target: target.clone(),
+                        subtree,
+                        replaced: Some(replaced),
+                    })
+                } else {
+                    // Paste into a fresh position: the final edge is
+                    // created under the (existing) parent node.
+                    let (parent, label) = match (rel.parent(), rel.last()) {
+                        (Some(parent), Some(label)) => (parent, label),
+                        _ => {
+                            return Err(UpdateError::Tree(TreeError::PathNotFound {
+                                path: target.clone(),
+                            }))
+                        }
+                    };
+                    self.target
+                        .root_mut()
+                        .insert_edge(&parent, label, subtree.clone())
+                        .map_err(|e| requalify(e, target))?;
+                    Ok(Effect::Copied {
+                        src: src.clone(),
+                        target: target.clone(),
+                        subtree,
+                        replaced: None,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Applies `u1; …; un`, stopping at the first error.
+    ///
+    /// On error the target may reflect a prefix of the script (the paper's
+    /// sequencing `[[U;U′]] = [[U′]] ∘ [[U]]` has no rollback; transactional
+    /// behaviour lives in the provenance layer).
+    pub fn apply_script(&mut self, script: &UpdateScript) -> Result<Vec<Effect>, UpdateError> {
+        let mut effects = Vec::with_capacity(script.len());
+        for u in script {
+            effects.push(self.apply(u)?);
+        }
+        Ok(effects)
+    }
+}
+
+/// Tree errors from root-relative operations carry root-relative paths;
+/// re-qualify them so messages show full `T/...` paths.
+fn requalify(e: TreeError, qualified_target: &Path) -> UpdateError {
+    let db = Path::single(qualified_target.first().expect("qualified path"));
+    UpdateError::Tree(match e {
+        TreeError::PathNotFound { path } => TreeError::PathNotFound { path: db.join(&path) },
+        TreeError::ThroughLeaf { at } => TreeError::ThroughLeaf { at: db.join(&at) },
+        TreeError::DuplicateEdge { at, label } => {
+            TreeError::DuplicateEdge { at: db.join(&at), label }
+        }
+        TreeError::EdgeNotFound { at, label } => TreeError::EdgeNotFound { at: db.join(&at), label },
+        TreeError::NotATree { at } => TreeError::NotATree { at: db.join(&at) },
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    use crate::fixtures::{figure3_script, figure4_workspace};
+    use cpdb_tree::tree;
+
+    #[test]
+    fn figure3_produces_figure4_t_prime() {
+        let mut ws = figure4_workspace();
+        let effects = ws.apply_script(&figure3_script()).unwrap();
+        assert_eq!(effects.len(), 10);
+
+        // T′ from Figure 4: c1 {x:1, y:2}, c2 {x:3, y:6}, c3 {x:7, y:5},
+        // c4 {x:4, y:12}. (c2's y comes from S2/b3/y = 6; c4 is S2/b2
+        // plus the freshly inserted y = 12.)
+        let expected = tree! {
+            "c1" => { "x" => 1, "y" => 2 },
+            "c2" => { "x" => 3, "y" => 6 },
+            "c3" => { "x" => 7, "y" => 5 },
+            "c4" => { "x" => 4, "y" => 12 },
+        };
+        assert_eq!(ws.target().root(), &expected);
+    }
+
+    #[test]
+    fn insert_fails_on_duplicate_edge() {
+        let mut ws = figure4_workspace();
+        let err = ws
+            .apply(&AtomicUpdate::insert(p("T"), "c1", crate::InsertContent::Empty))
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+    }
+
+    #[test]
+    fn delete_fails_on_missing_edge() {
+        let mut ws = figure4_workspace();
+        let err = ws.apply(&AtomicUpdate::delete(p("T"), "zz")).unwrap_err();
+        assert!(err.to_string().contains("no edge"), "{err}");
+    }
+
+    #[test]
+    fn copy_requires_existing_parent() {
+        let mut ws = figure4_workspace();
+        let err = ws
+            .apply(&AtomicUpdate::copy(p("S1/a1"), p("T/nowhere/deep")))
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::Tree(TreeError::PathNotFound { .. })), "{err}");
+    }
+
+    #[test]
+    fn copy_within_target_is_allowed() {
+        let mut ws = figure4_workspace();
+        let effect = ws.apply(&AtomicUpdate::copy(p("T/c1"), p("T/c9"))).unwrap();
+        match effect {
+            Effect::Copied { replaced: None, .. } => {}
+            other => panic!("expected fresh paste, got {other:?}"),
+        }
+        assert_eq!(ws.target().get(&p("T/c9/x")).unwrap(), &Tree::leaf(1));
+    }
+
+    #[test]
+    fn writes_outside_target_are_rejected() {
+        let mut ws = figure4_workspace();
+        let err = ws
+            .apply(&AtomicUpdate::copy(p("T/c1"), p("S1/a1")))
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::NotInTarget { .. }), "{err}");
+        let err = ws
+            .apply(&AtomicUpdate::insert(p("S1"), "zz", crate::InsertContent::Empty))
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::NotInTarget { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_database_is_reported() {
+        let mut ws = figure4_workspace();
+        let err = ws.apply(&AtomicUpdate::copy(p("S9/a"), p("T/c9"))).unwrap_err();
+        assert!(matches!(err, UpdateError::UnknownDatabase { .. }), "{err}");
+    }
+
+    #[test]
+    fn effects_carry_subtrees() {
+        let mut ws = figure4_workspace();
+        let e = ws.apply(&AtomicUpdate::delete(p("T"), "c5")).unwrap();
+        match e {
+            Effect::Deleted { path, subtree } => {
+                assert_eq!(path, p("T/c5"));
+                assert_eq!(subtree.node_count(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let e = ws.apply(&AtomicUpdate::copy(p("S1/a1"), p("T/c1"))).unwrap();
+        match e {
+            Effect::Copied { subtree, replaced, .. } => {
+                assert_eq!(subtree.node_count(), 3);
+                assert!(replaced.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_apply_leaves_workspace_unchanged() {
+        let mut ws = figure4_workspace();
+        let before = ws.target().root().clone();
+        let _ = ws.apply(&AtomicUpdate::copy(p("S1/zzz"), p("T/c1"))).unwrap_err();
+        assert_eq!(ws.target().root(), &before);
+    }
+}

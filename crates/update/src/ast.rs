@@ -1,0 +1,265 @@
+//! The atomic update language.
+//!
+//! Section 2 of the paper models the curator's actions with three atomic
+//! operations:
+//!
+//! ```text
+//! u ::= ins {a : v} into p  |  del a from p  |  copy q into p
+//! ```
+//!
+//! sequenced as `u1; …; un`. The inserted `v` is "either the empty tree
+//! or a data value" — structure is built up one edge at a time, exactly
+//! as a copy-paste editor does.
+
+use cpdb_tree::{Label, Path, Tree, Value};
+use std::fmt;
+
+/// What an insert puts under the new edge: `{}` or a single data value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InsertContent {
+    /// The empty tree `{}` — a fresh interior node.
+    Empty,
+    /// A leaf value.
+    Value(Value),
+}
+
+impl InsertContent {
+    /// Materializes the content as a tree.
+    pub fn to_tree(&self) -> Tree {
+        match self {
+            InsertContent::Empty => Tree::empty(),
+            InsertContent::Value(v) => Tree::Leaf(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for InsertContent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertContent::Empty => f.write_str("{}"),
+            InsertContent::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Value> for InsertContent {
+    fn from(v: Value) -> InsertContent {
+        InsertContent::Value(v)
+    }
+}
+
+impl From<i64> for InsertContent {
+    fn from(i: i64) -> InsertContent {
+        InsertContent::Value(Value::Int(i))
+    }
+}
+
+impl From<&str> for InsertContent {
+    fn from(s: &str) -> InsertContent {
+        InsertContent::Value(Value::str(s))
+    }
+}
+
+/// One atomic update. Paths are database-qualified (`T/c2`, `S1/a2`).
+///
+/// Inserts and deletes may only address the target database; a copy may
+/// draw its source from any database (including the target itself) but
+/// must paste into the target. The [`crate::Workspace`] enforces this.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AtomicUpdate {
+    /// `ins {label : content} into target`: add a fresh edge under the
+    /// node at `target`.
+    Insert {
+        /// Node under which the new edge is added.
+        target: Path,
+        /// The new edge's label.
+        label: Label,
+        /// `{}` or a data value.
+        content: InsertContent,
+    },
+    /// `del label from target`: remove the edge `label` (and its whole
+    /// subtree) under the node at `target`.
+    Delete {
+        /// Node under which the edge is removed.
+        target: Path,
+        /// The edge to remove.
+        label: Label,
+    },
+    /// `copy src into target`: replace (or create) the subtree at
+    /// `target` with a copy of the subtree at `src`.
+    Copy {
+        /// Where the data comes from — any database.
+        src: Path,
+        /// Where it is pasted — in the target database.
+        target: Path,
+    },
+}
+
+impl AtomicUpdate {
+    /// Convenience constructor for `ins {label : content} into target`.
+    pub fn insert(target: Path, label: impl Into<Label>, content: impl Into<InsertContent>) -> Self {
+        AtomicUpdate::Insert { target, label: label.into(), content: content.into() }
+    }
+
+    /// Convenience constructor for `del label from target`.
+    pub fn delete(target: Path, label: impl Into<Label>) -> Self {
+        AtomicUpdate::Delete { target, label: label.into() }
+    }
+
+    /// Convenience constructor for `copy src into target`.
+    pub fn copy(src: Path, target: Path) -> Self {
+        AtomicUpdate::Copy { src, target }
+    }
+
+    /// The path in the *target* database this update writes to: the new
+    /// edge for inserts, the removed edge for deletes, the paste location
+    /// for copies.
+    pub fn written_path(&self) -> Path {
+        match self {
+            AtomicUpdate::Insert { target, label, .. } => target.child(*label),
+            AtomicUpdate::Delete { target, label } => target.child(*label),
+            AtomicUpdate::Copy { target, .. } => target.clone(),
+        }
+    }
+}
+
+impl fmt::Display for AtomicUpdate {
+    /// Renders in the concrete syntax of Figure 3:
+    /// `insert {c2 : {}} into T`, `delete c5 from T`,
+    /// `copy S1/a1/y into T/c1/y`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicUpdate::Insert { target, label, content } => {
+                write!(f, "insert {{{label} : {content}}} into {target}")
+            }
+            AtomicUpdate::Delete { target, label } => {
+                write!(f, "delete {label} from {target}")
+            }
+            AtomicUpdate::Copy { src, target } => {
+                write!(f, "copy {src} into {target}")
+            }
+        }
+    }
+}
+
+/// A sequence `u1; …; un` of atomic updates.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct UpdateScript {
+    /// The updates, in execution order.
+    pub updates: Vec<AtomicUpdate>,
+}
+
+impl UpdateScript {
+    /// An empty script.
+    pub fn new() -> UpdateScript {
+        UpdateScript::default()
+    }
+
+    /// Wraps a vector of updates.
+    pub fn from_updates(updates: Vec<AtomicUpdate>) -> UpdateScript {
+        UpdateScript { updates }
+    }
+
+    /// Number of atomic updates (`|U|` in the paper's storage bounds).
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` iff the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Appends an update.
+    pub fn push(&mut self, u: AtomicUpdate) {
+        self.updates.push(u);
+    }
+
+    /// Iterates over the updates.
+    pub fn iter(&self) -> std::slice::Iter<'_, AtomicUpdate> {
+        self.updates.iter()
+    }
+}
+
+impl fmt::Display for UpdateScript {
+    /// One numbered statement per line, exactly like Figure 3:
+    ///
+    /// ```text
+    /// (1) delete c5 from T;
+    /// (2) copy S1/a1/y into T/c1/y;
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, u) in self.updates.iter().enumerate() {
+            writeln!(f, "({}) {};", i + 1, u)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for UpdateScript {
+    type Item = AtomicUpdate;
+    type IntoIter = std::vec::IntoIter<AtomicUpdate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateScript {
+    type Item = &'a AtomicUpdate;
+    type IntoIter = std::slice::Iter<'a, AtomicUpdate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+impl FromIterator<AtomicUpdate> for UpdateScript {
+    fn from_iter<I: IntoIterator<Item = AtomicUpdate>>(iter: I) -> UpdateScript {
+        UpdateScript { updates: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_matches_figure_3_syntax() {
+        let u = AtomicUpdate::delete(p("T"), "c5");
+        assert_eq!(u.to_string(), "delete c5 from T");
+        let u = AtomicUpdate::copy(p("S1/a1/y"), p("T/c1/y"));
+        assert_eq!(u.to_string(), "copy S1/a1/y into T/c1/y");
+        let u = AtomicUpdate::insert(p("T"), "c2", InsertContent::Empty);
+        assert_eq!(u.to_string(), "insert {c2 : {}} into T");
+        let u = AtomicUpdate::insert(p("T/c4"), "y", 12);
+        assert_eq!(u.to_string(), "insert {y : 12} into T/c4");
+    }
+
+    #[test]
+    fn script_display_numbers_lines() {
+        let script = UpdateScript::from_updates(vec![
+            AtomicUpdate::delete(p("T"), "c5"),
+            AtomicUpdate::copy(p("S1/a1/y"), p("T/c1/y")),
+        ]);
+        assert_eq!(
+            script.to_string(),
+            "(1) delete c5 from T;\n(2) copy S1/a1/y into T/c1/y;\n"
+        );
+    }
+
+    #[test]
+    fn written_path() {
+        assert_eq!(AtomicUpdate::delete(p("T"), "c5").written_path(), p("T/c5"));
+        assert_eq!(
+            AtomicUpdate::insert(p("T/c4"), "y", 12).written_path(),
+            p("T/c4/y")
+        );
+        assert_eq!(
+            AtomicUpdate::copy(p("S1/a2"), p("T/c2")).written_path(),
+            p("T/c2")
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors raised while applying or parsing updates.
+
+use cpdb_tree::{Label, Path, TreeError};
+use std::fmt;
+
+/// Failure of an update operation or of script parsing.
+#[derive(Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The underlying tree operation failed (missing path, duplicate
+    /// edge, …) — the points where `[[U]]` is undefined.
+    Tree(TreeError),
+    /// A path did not start with a database name.
+    UnqualifiedPath {
+        /// The offending path.
+        path: Path,
+    },
+    /// A path named a database the workspace doesn't know.
+    UnknownDatabase {
+        /// The unknown name.
+        name: Label,
+    },
+    /// A write addressed a database other than the target. The paper:
+    /// "Insertions, copies, and deletes can only be performed in a
+    /// subtree of the target database T."
+    NotInTarget {
+        /// The path that was written.
+        path: Path,
+        /// The target database's name.
+        target: Label,
+    },
+    /// An update script failed to parse.
+    Parse {
+        /// 1-based statement number.
+        statement: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Tree(e) => write!(f, "{e}"),
+            UpdateError::UnqualifiedPath { path } => {
+                write!(f, "path {path} does not name a database")
+            }
+            UpdateError::UnknownDatabase { name } => {
+                write!(f, "unknown database {name}")
+            }
+            UpdateError::NotInTarget { path, target } => {
+                write!(f, "updates may only write to the target database {target}, not {path}")
+            }
+            UpdateError::Parse { statement, reason } => {
+                write!(f, "parse error in statement {statement}: {reason}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for UpdateError {
+    fn from(e: TreeError) -> UpdateError {
+        UpdateError::Tree(e)
+    }
+}

@@ -1,0 +1,38 @@
+//! # cpdb-update — the copy-paste update language
+//!
+//! The atomic update language of Section 2 of Buneman, Chapman & Cheney,
+//! *Provenance Management in Curated Databases* (SIGMOD 2006), with its
+//! formal semantics `[[U]]` and the concrete syntax of Figure 3.
+//!
+//! ```text
+//! u ::= ins {a : v} into p  |  del a from p  |  copy q into p
+//! ```
+//!
+//! A [`Workspace`] holds the writable target database and the read-only
+//! sources; applying an update yields an [`Effect`] describing exactly
+//! what moved — the raw material for provenance tracking in `cpdb-core`.
+//!
+//! ```
+//! use cpdb_tree::{tree, Database};
+//! use cpdb_update::{parse_script, Workspace};
+//!
+//! let mut ws = Workspace::new(Database::new("T", tree! {}))
+//!     .with_source(Database::new("S1", tree! { "a" => { "x" => 1 } }));
+//! let script = parse_script("copy S1/a into T/mine").unwrap();
+//! ws.apply_script(&script).unwrap();
+//! assert_eq!(ws.target().root().to_string(), "{mine: {x: 1}}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod apply;
+mod ast;
+mod error;
+pub mod fixtures;
+mod parse;
+
+pub use apply::{Effect, Workspace};
+pub use ast::{AtomicUpdate, InsertContent, UpdateScript};
+pub use error::UpdateError;
+pub use parse::parse_script;

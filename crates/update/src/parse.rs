@@ -1,0 +1,264 @@
+//! Parser for the concrete update-script syntax of Figure 3.
+//!
+//! ```text
+//! (1) delete c5 from T;
+//! (2) copy S1/a1/y into T/c1/y;
+//! (3) insert {c2 : {}} into T;
+//! (10) insert {y : 12} into T/c4;
+//! ```
+//!
+//! Statement numbers are optional (they are checked against position when
+//! present), `ins`/`del` abbreviations are accepted, `#`-to-end-of-line
+//! comments are allowed, and statements are separated by `;`. The parser
+//! is the inverse of `UpdateScript`'s `Display`; see the round-trip
+//! property test in `tests/prop.rs`.
+
+use crate::{AtomicUpdate, InsertContent, UpdateError, UpdateScript};
+use cpdb_tree::{parse_tree, Label, Path, Tree};
+
+/// Strips `#` comments and splits the input into statements on `;`,
+/// respecting double-quoted strings (a value may contain `;` or `#`).
+fn split_statements(input: &str) -> Vec<String> {
+    let mut statements = Vec::new();
+    let mut cur = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            '\\' if in_quotes => {
+                cur.push(c);
+                if let Some(next) = chars.next() {
+                    cur.push(next);
+                }
+            }
+            '#' if !in_quotes => {
+                // Comment to end of line.
+                for next in chars.by_ref() {
+                    if next == '\n' {
+                        break;
+                    }
+                }
+            }
+            ';' if !in_quotes => {
+                statements.push(std::mem::take(&mut cur));
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    statements.push(cur);
+    statements
+        .into_iter()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Strips an optional leading `(n)` statement number, validating it
+/// against the expected 1-based position when present.
+fn strip_number(stmt: &str, position: usize) -> Result<&str, String> {
+    let stmt = stmt.trim_start();
+    if !stmt.starts_with('(') {
+        return Ok(stmt);
+    }
+    let close = stmt
+        .find(')')
+        .ok_or_else(|| "unterminated statement number".to_owned())?;
+    let num: usize = stmt[1..close]
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad statement number {:?}", &stmt[1..close]))?;
+    if num != position {
+        return Err(format!("statement number ({num}) out of order; expected ({position})"));
+    }
+    Ok(stmt[close + 1..].trim_start())
+}
+
+fn parse_path(text: &str) -> Result<Path, String> {
+    text.trim()
+        .parse()
+        .map_err(|e: cpdb_tree::TreeError| e.to_string())
+}
+
+fn parse_label(text: &str) -> Result<Label, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty label".to_owned());
+    }
+    if text.contains(['/', ':', ',', '"']) || text.chars().any(char::is_whitespace) {
+        return Err(format!("label {text:?} contains a reserved character"));
+    }
+    Ok(Label::new(text))
+}
+
+/// Parses one statement body (number already stripped).
+fn parse_atomic(stmt: &str) -> Result<AtomicUpdate, String> {
+    let (keyword, rest) = stmt
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("incomplete statement {stmt:?}"))?;
+    match keyword {
+        "copy" => {
+            let (src, target) = rest
+                .rsplit_once(" into ")
+                .ok_or_else(|| "copy statement missing 'into'".to_owned())?;
+            Ok(AtomicUpdate::Copy { src: parse_path(src)?, target: parse_path(target)? })
+        }
+        "delete" | "del" => {
+            let (label, target) = rest
+                .rsplit_once(" from ")
+                .ok_or_else(|| "delete statement missing 'from'".to_owned())?;
+            Ok(AtomicUpdate::Delete { target: parse_path(target)?, label: parse_label(label)? })
+        }
+        "insert" | "ins" => {
+            let (braced, target) = rest
+                .rsplit_once(" into ")
+                .ok_or_else(|| "insert statement missing 'into'".to_owned())?;
+            let braced = braced.trim();
+            let inner = braced
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| format!("insert payload {braced:?} must be {{label : value}}"))?;
+            let (label, content) = inner
+                .split_once(':')
+                .ok_or_else(|| "insert payload missing ':'".to_owned())?;
+            let content = content.trim();
+            let content = match parse_tree(content) {
+                Ok(t) if t.is_empty_node() => InsertContent::Empty,
+                Ok(Tree::Leaf(v)) => InsertContent::Value(v),
+                Ok(_) => {
+                    return Err(format!(
+                        "insert payload {content:?} must be the empty tree or a data value"
+                    ))
+                }
+                Err(e) => return Err(format!("bad insert payload {content:?}: {e}")),
+            };
+            Ok(AtomicUpdate::Insert {
+                target: parse_path(target)?,
+                label: parse_label(label)?,
+                content,
+            })
+        }
+        other => Err(format!("unknown operation {other:?}")),
+    }
+}
+
+/// Parses a whole update script in the syntax of Figure 3.
+///
+/// ```
+/// use cpdb_update::parse_script;
+/// let script = parse_script(
+///     "(1) delete c5 from T;  # remove the stale record
+///      (2) copy S1/a1/y into T/c1/y;"
+/// ).unwrap();
+/// assert_eq!(script.len(), 2);
+/// ```
+pub fn parse_script(input: &str) -> Result<UpdateScript, UpdateError> {
+    let mut updates = Vec::new();
+    for (i, stmt) in split_statements(input).into_iter().enumerate() {
+        let statement = i + 1;
+        let body = strip_number(&stmt, statement)
+            .map_err(|reason| UpdateError::Parse { statement, reason })?;
+        let u = parse_atomic(body).map_err(|reason| UpdateError::Parse { statement, reason })?;
+        updates.push(u);
+    }
+    Ok(UpdateScript::from_updates(updates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_tree::Value;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parses_figure_3_verbatim() {
+        let script = parse_script(
+            "(1) delete c5 from T;
+             (2) copy S1/a1/y into T/c1/y;
+             (3) insert {c2 : {}} into T;
+             (4) copy S1/a2 into T/c2;
+             (5) insert {y : {}} into T/c2;
+             (6) copy S2/b3/y into T/c2/y;
+             (7) copy S1/a3 into T/c3;
+             (8) insert {c4 : {}} into T;
+             (9) copy S2/b2 into T/c4;
+             (10) insert {y : 12} into T/c4;",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 10);
+        assert_eq!(script.updates[0], AtomicUpdate::delete(p("T"), "c5"));
+        assert_eq!(script.updates[3], AtomicUpdate::copy(p("S1/a2"), p("T/c2")));
+        assert_eq!(
+            script.updates[9],
+            AtomicUpdate::insert(p("T/c4"), "y", Value::int(12))
+        );
+    }
+
+    #[test]
+    fn numbers_are_optional_but_checked() {
+        assert!(parse_script("delete c5 from T; copy S1/a into T/b").is_ok());
+        let err = parse_script("(2) delete c5 from T").unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn accepts_abbreviations_and_comments() {
+        let script = parse_script(
+            "# preamble comment
+             ins {a : \"v\"} into T;   # trailing comment
+             del a from T",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 2);
+        assert_eq!(
+            script.updates[0],
+            AtomicUpdate::insert(p("T"), "a", Value::str("v"))
+        );
+    }
+
+    #[test]
+    fn string_values_may_contain_separators() {
+        let script = parse_script(r#"insert {note : "a; b # c into d"} into T"#).unwrap();
+        assert_eq!(
+            script.updates[0],
+            AtomicUpdate::insert(p("T"), "note", Value::str("a; b # c into d"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "explode T",
+            "copy S1/a T/b",
+            "delete from T",
+            "insert {a : {b: 1}} into T", // structured payloads are not atomic inserts
+            "insert a into T",
+            "copy S1//a into T/b",
+            "(x) delete a from T",
+        ] {
+            let err = parse_script(bad).unwrap_err();
+            assert!(matches!(err, UpdateError::Parse { .. }), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let script = parse_script(
+            "(1) delete c5 from T;
+             (2) copy S1/a1/y into T/c1/y;
+             (3) insert {c2 : {}} into T;
+             (4) insert {y : 12} into T/c4;
+             (5) insert {n : \"text value\"} into T;",
+        )
+        .unwrap();
+        let reparsed = parse_script(&script.to_string()).unwrap();
+        assert_eq!(reparsed, script);
+    }
+}

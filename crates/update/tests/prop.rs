@@ -1,0 +1,78 @@
+//! Property-based tests: parser round-trips and semantic laws.
+
+use cpdb_tree::{Label, Path, Tree, Value};
+use cpdb_update::{parse_script, AtomicUpdate, InsertContent, UpdateScript, Workspace};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        "[a-z][a-z0-9_.]{0,6}",
+        "[A-Z]{1,2}[0-9]{1,4}",
+        "[a-z]{1,4}\\{[0-9]{1,2}\\}",
+    ]
+    .prop_map(|s| Label::new(&s))
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(arb_label(), 1..5).prop_map(Path::from_labels)
+}
+
+fn arb_content() -> impl Strategy<Value = InsertContent> {
+    prop_oneof![
+        Just(InsertContent::Empty),
+        any::<i64>().prop_map(|i| InsertContent::Value(Value::Int(i))),
+        "[ -~]{0,10}".prop_map(|s| InsertContent::Value(Value::str(s))),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = AtomicUpdate> {
+    prop_oneof![
+        (arb_path(), arb_label(), arb_content())
+            .prop_map(|(target, label, content)| AtomicUpdate::Insert { target, label, content }),
+        (arb_path(), arb_label())
+            .prop_map(|(target, label)| AtomicUpdate::Delete { target, label }),
+        (arb_path(), arb_path()).prop_map(|(src, target)| AtomicUpdate::Copy { src, target }),
+    ]
+}
+
+fn arb_script() -> impl Strategy<Value = UpdateScript> {
+    proptest::collection::vec(arb_update(), 0..20).prop_map(UpdateScript::from_updates)
+}
+
+proptest! {
+    /// `parse(print(script)) == script` for arbitrary scripts, including
+    /// string values full of separators.
+    #[test]
+    fn script_round_trips(script in arb_script()) {
+        let printed = script.to_string();
+        let reparsed = parse_script(&printed).expect("canonical output must parse");
+        prop_assert_eq!(reparsed, script);
+    }
+
+    /// Applying a script never corrupts the sources, and a failed step
+    /// leaves the target exactly as the successful prefix left it.
+    #[test]
+    fn sources_are_never_mutated(script in arb_script()) {
+        use cpdb_tree::{tree, Database};
+        let s1 = tree! { "a" => { "x" => 1 } };
+        let mut ws = Workspace::new(Database::new("T", tree! { "c" => { "x" => 2 } }))
+            .with_source(Database::new("S1", s1.clone()));
+        let _ = ws.apply_script(&script); // errors are fine
+        let s1_after = ws.database(Label::new("S1")).unwrap().root().clone();
+        prop_assert_eq!(s1_after, s1);
+    }
+
+    /// Copy semantics: after a successful `copy q into p`, `t.p` equals
+    /// the source subtree at copy time.
+    #[test]
+    fn copy_establishes_equality(label in arb_label()) {
+        use cpdb_tree::{tree, Database};
+        let mut ws = Workspace::new(Database::new("T", tree! {}))
+            .with_source(Database::new("S", tree! { "a" => { "x" => 1, "y" => "v" } }));
+        let src: Path = "S/a".parse().unwrap();
+        let target = Path::single("T").child(label);
+        ws.apply(&AtomicUpdate::copy(src.clone(), target.clone())).unwrap();
+        let expected: Tree = tree! { "x" => 1, "y" => "v" };
+        prop_assert_eq!(ws.target().get(&target).unwrap(), &expected);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cpdb-workload — synthetic databases and evaluation workloads
+//!
+//! The experimental setup of Section 4 of Buneman, Chapman & Cheney
+//! (SIGMOD 2006): MiMI-like target and OrganelleDB-like source
+//! generators, the six update patterns of Table 2, and the five
+//! deletion patterns of Table 3. Workloads are deterministic functions
+//! of a seed, and every generated script replays cleanly against the
+//! formal semantics of `cpdb-update`.
+//!
+//! ```
+//! use cpdb_workload::{generate, GenConfig, UpdatePattern};
+//!
+//! let cfg = GenConfig::for_length(UpdatePattern::Mix, 100, 42);
+//! let workload = generate(&cfg, 100);
+//! let mut ws = workload.workspace();
+//! ws.apply_script(&workload.script).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod patterns;
+mod synthetic;
+
+pub use patterns::{generate, DeletionPattern, GenConfig, UpdatePattern, Workload};
+pub use synthetic::{mimi_like, organelle_like};

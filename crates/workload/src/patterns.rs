@@ -1,0 +1,564 @@
+//! The update patterns of Table 2 and deletion patterns of Table 3.
+//!
+//! | Pattern | Meaning (Table 2) |
+//! |---|---|
+//! | `add` | all random adds |
+//! | `delete` | all random deletes |
+//! | `copy` | all random copies |
+//! | `ac-mix` | equal mix of random adds and copies |
+//! | `mix` | equal mix of random adds, deletes, copies |
+//! | `real` | copy one subtree, add 3 nodes, delete 3 nodes |
+//!
+//! | Deletion pattern | Meaning (Table 3) |
+//! |---|---|
+//! | `del-random` | paths deleted at random |
+//! | `del-add` | all added paths deleted |
+//! | `del-copy` | only copies deleted |
+//! | `del-mix` | 50–50 mix of adds and copies deleted |
+//! | `del-real` | 3 nodes from copied subtree deleted |
+//!
+//! The generator simulates the evolving target so every emitted update
+//! is valid when replayed in order; scripts are deterministic functions
+//! of the seed.
+
+use crate::synthetic::{mimi_like, organelle_like};
+use cpdb_tree::{Database, Label, Path, Tree};
+use cpdb_update::{AtomicUpdate, InsertContent, UpdateScript, Workspace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// An update pattern from Table 2.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UpdatePattern {
+    /// All random adds.
+    Add,
+    /// All random deletes.
+    Delete,
+    /// All random copies.
+    Copy,
+    /// Equal mix of random adds and copies.
+    AcMix,
+    /// Equal mix of random adds, deletes, copies.
+    Mix,
+    /// Copy one subtree, add 3 nodes, delete 3 nodes.
+    Real,
+}
+
+impl UpdatePattern {
+    /// The patterns of Experiment 1 (Figure 7), in the paper's order.
+    pub const EXPERIMENT_1: [UpdatePattern; 5] = [
+        UpdatePattern::Add,
+        UpdatePattern::Copy,
+        UpdatePattern::Delete,
+        UpdatePattern::AcMix,
+        UpdatePattern::Mix,
+    ];
+
+    /// The Table 2 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdatePattern::Add => "add",
+            UpdatePattern::Delete => "delete",
+            UpdatePattern::Copy => "copy",
+            UpdatePattern::AcMix => "ac-mix",
+            UpdatePattern::Mix => "mix",
+            UpdatePattern::Real => "real",
+        }
+    }
+}
+
+impl fmt::Display for UpdatePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deletion-victim pattern from Table 3 (applies to patterns that
+/// delete — `mix`, `delete`, `real`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeletionPattern {
+    /// Paths deleted at random.
+    Random,
+    /// All added paths deleted.
+    Added,
+    /// Only copies deleted.
+    Copied,
+    /// 50–50 mix of adds and copies deleted.
+    MixAddCopy,
+    /// 3 nodes from a copied subtree deleted.
+    Real,
+}
+
+impl DeletionPattern {
+    /// The patterns of Experiment 3 (Figure 11), in the paper's order.
+    pub const EXPERIMENT_3: [DeletionPattern; 5] = [
+        DeletionPattern::Random,
+        DeletionPattern::Added,
+        DeletionPattern::MixAddCopy,
+        DeletionPattern::Copied,
+        DeletionPattern::Real,
+    ];
+
+    /// The Table 3 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeletionPattern::Random => "del-random",
+            DeletionPattern::Added => "del-add",
+            DeletionPattern::Copied => "del-copy",
+            DeletionPattern::MixAddCopy => "del-mix",
+            DeletionPattern::Real => "del-real",
+        }
+    }
+}
+
+impl fmt::Display for DeletionPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one generated workload.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Which Table 2 pattern to follow.
+    pub pattern: UpdatePattern,
+    /// Which Table 3 victim policy deletes use.
+    pub deletion: DeletionPattern,
+    /// RNG seed; equal configs generate equal workloads.
+    pub seed: u64,
+    /// Records in the OrganelleDB-like source.
+    pub source_records: usize,
+    /// Records in the initial MiMI-like target.
+    pub target_records: usize,
+}
+
+impl GenConfig {
+    /// A sensible configuration for a script of `len` steps.
+    pub fn for_length(pattern: UpdatePattern, len: usize, seed: u64) -> GenConfig {
+        GenConfig {
+            pattern,
+            deletion: DeletionPattern::Random,
+            seed,
+            source_records: (len / 4).max(64),
+            // Enough pre-existing records that delete-heavy patterns
+            // never run dry (each record has 3 deletable children).
+            target_records: len.max(256),
+        }
+    }
+
+    /// Overrides the deletion pattern.
+    pub fn with_deletion(mut self, deletion: DeletionPattern) -> GenConfig {
+        self.deletion = deletion;
+        self
+    }
+}
+
+/// A generated workload: initial databases plus a valid update script.
+pub struct Workload {
+    /// The target database's name (`T`).
+    pub target_name: Label,
+    /// Initial contents of the target.
+    pub target_initial: Tree,
+    /// The source database's name (`OrganelleDB`).
+    pub source_name: Label,
+    /// Contents of the source.
+    pub source: Tree,
+    /// The update script (valid when replayed in order).
+    pub script: UpdateScript,
+    /// The configuration that produced it.
+    pub config: GenConfig,
+}
+
+impl Workload {
+    /// A fresh in-memory workspace over this workload's databases (for
+    /// formal-semantics replay).
+    pub fn workspace(&self) -> Workspace {
+        Workspace::new(Database::new(self.target_name, self.target_initial.clone()))
+            .with_source(Database::new(self.source_name, self.source.clone()))
+    }
+}
+
+/// Internal generator state: simulates the target to keep updates valid.
+struct Generator {
+    rng: SmallRng,
+    ws: Workspace,
+    target_name: Label,
+    /// Interior nodes of the target that can host adds/pastes.
+    hosts: Vec<Path>,
+    /// Deletable edges: (parent, label), by origin.
+    added: Vec<(Path, Label)>,
+    copied: Vec<(Path, Label)>,
+    /// Pre-existing leaf fields (the bulk of random delete victims).
+    preexisting: Vec<(Path, Label)>,
+    /// Pre-existing whole records (deleted occasionally — a record
+    /// delete removes a size-4 subtree).
+    preexisting_records: Vec<(Path, Label)>,
+    /// Children of copied subtrees (victims for del-real).
+    copied_children: Vec<(Path, Label)>,
+    source_recs: Vec<Path>,
+    fresh: u64,
+    deletion: DeletionPattern,
+}
+
+impl Generator {
+    fn new(cfg: &GenConfig) -> Generator {
+        let target_name = Label::new("T");
+        let source_name = Label::new("OrganelleDB");
+        let target_initial = mimi_like(cfg.target_records, cfg.seed);
+        // The source presents the paper's four-level relational view:
+        // OrganelleDB/proteins/recN/field (Section 2's DB/R/tid/F).
+        let source = Tree::node([(Label::new("proteins"), organelle_like(cfg.source_records, cfg.seed))]);
+        let t_root = Path::single(target_name);
+        let mut preexisting = Vec::new();
+        let mut preexisting_records = Vec::new();
+        let mut hosts = vec![t_root.clone()];
+        for (label, rec) in target_initial.children().expect("target root is a node") {
+            preexisting_records.push((t_root.clone(), *label));
+            let rec_path = t_root.child(*label);
+            hosts.push(rec_path.clone());
+            if let Some(children) = rec.children() {
+                for child in children.keys() {
+                    preexisting.push((rec_path.clone(), *child));
+                }
+            }
+        }
+        let table_path = Path::single(source_name).child("proteins");
+        let source_recs = source
+            .get(&"proteins".parse().expect("path"))
+            .and_then(Tree::children)
+            .expect("proteins table present")
+            .keys()
+            .map(|l| table_path.child(*l))
+            .collect();
+        let ws = Workspace::new(Database::new(target_name, target_initial))
+            .with_source(Database::new(source_name, source));
+        Generator {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            ws,
+            target_name,
+            hosts,
+            added: Vec::new(),
+            copied: Vec::new(),
+            preexisting,
+            preexisting_records,
+            copied_children: Vec::new(),
+            source_recs,
+            fresh: 0,
+            deletion: cfg.deletion,
+        }
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        self.fresh += 1;
+        Label::new(&format!("n{}", self.fresh))
+    }
+
+    fn pick_host(&mut self) -> Path {
+        // Hosts may have been deleted; retry until a live one is found.
+        loop {
+            let i = self.rng.gen_range(0..self.hosts.len());
+            let host = self.hosts[i].clone();
+            if self.ws.target().contains(&host) {
+                return host;
+            }
+            self.hosts.swap_remove(i);
+            if self.hosts.is_empty() {
+                return Path::single(self.target_name);
+            }
+        }
+    }
+
+    fn gen_add(&mut self) -> AtomicUpdate {
+        let host = self.pick_host();
+        let label = self.fresh_label();
+        let content = if self.rng.gen_bool(0.5) {
+            InsertContent::Empty
+        } else {
+            InsertContent::Value(cpdb_tree::Value::Int(self.rng.gen_range(0..1_000_000)))
+        };
+        self.added.push((host.clone(), label));
+        if matches!(content, InsertContent::Empty) {
+            self.hosts.push(host.child(label));
+        }
+        AtomicUpdate::Insert { target: host, label, content }
+    }
+
+    fn gen_copy(&mut self) -> AtomicUpdate {
+        let src = self.source_recs[self.rng.gen_range(0..self.source_recs.len())].clone();
+        let host = self.pick_host();
+        let label = self.fresh_label();
+        let target = host.child(label);
+        self.copied.push((host, label));
+        self.hosts.push(target.clone());
+        // Record the copied record's children as del-real victims.
+        if let Ok(sub) = self.ws.resolve(&src) {
+            if let Some(children) = sub.children() {
+                for child in children.keys() {
+                    self.copied_children.push((target.clone(), *child));
+                }
+            }
+        }
+        AtomicUpdate::Copy { src, target }
+    }
+
+    /// Picks a delete victim per the Table 3 policy; falls back to an
+    /// add when the victim pool is dry (keeps scripts the right length).
+    fn gen_delete(&mut self) -> AtomicUpdate {
+        let pick = |rng: &mut SmallRng, pool: &mut Vec<(Path, Label)>, ws: &Workspace| loop {
+            if pool.is_empty() {
+                return None;
+            }
+            let i = rng.gen_range(0..pool.len());
+            let (parent, label) = pool.swap_remove(i);
+            if ws.target().contains(&parent.child(label)) {
+                return Some((parent, label));
+            }
+        };
+        let victim = match self.deletion {
+            DeletionPattern::Random => {
+                // Any live edge. Leaf fields dominate the tree (3 per
+                // record), so random victims are leaf-heavy; whole
+                // records go occasionally (10%), exercising subtree
+                // deletion without letting it dominate the figures.
+                let take_record = self.rng.gen_bool(0.10) && !self.preexisting_records.is_empty();
+                if take_record {
+                    pick(&mut self.rng, &mut self.preexisting_records, &self.ws)
+                } else {
+                    let mut all: Vec<u8> = Vec::new();
+                    if !self.preexisting.is_empty() {
+                        all.push(0);
+                    }
+                    if !self.added.is_empty() {
+                        all.push(1);
+                    }
+                    if !self.copied.is_empty() {
+                        all.push(2);
+                    }
+                    match all.as_slice() {
+                        [] => None,
+                        pools => {
+                            let which = pools[self.rng.gen_range(0..pools.len())];
+                            let pool = match which {
+                                0 => &mut self.preexisting,
+                                1 => &mut self.added,
+                                _ => &mut self.copied,
+                            };
+                            pick(&mut self.rng, pool, &self.ws)
+                        }
+                    }
+                }
+            }
+            DeletionPattern::Added => pick(&mut self.rng, &mut self.added, &self.ws),
+            DeletionPattern::Copied => pick(&mut self.rng, &mut self.copied, &self.ws),
+            DeletionPattern::MixAddCopy => {
+                if self.rng.gen_bool(0.5) {
+                    pick(&mut self.rng, &mut self.added, &self.ws)
+                        .or_else(|| pick(&mut self.rng, &mut self.copied, &self.ws))
+                } else {
+                    pick(&mut self.rng, &mut self.copied, &self.ws)
+                        .or_else(|| pick(&mut self.rng, &mut self.added, &self.ws))
+                }
+            }
+            DeletionPattern::Real => pick(&mut self.rng, &mut self.copied_children, &self.ws),
+        };
+        match victim {
+            Some((target, label)) => AtomicUpdate::Delete { target, label },
+            None => self.gen_add(),
+        }
+    }
+
+    fn next(&mut self, step: usize, pattern: UpdatePattern) -> AtomicUpdate {
+        match pattern {
+            UpdatePattern::Add => self.gen_add(),
+            UpdatePattern::Delete => self.gen_delete(),
+            UpdatePattern::Copy => self.gen_copy(),
+            UpdatePattern::AcMix => {
+                if self.rng.gen_bool(0.5) {
+                    self.gen_add()
+                } else {
+                    self.gen_copy()
+                }
+            }
+            UpdatePattern::Mix => match self.rng.gen_range(0..3) {
+                0 => self.gen_add(),
+                1 => self.gen_delete(),
+                _ => self.gen_copy(),
+            },
+            UpdatePattern::Real => {
+                // Cycle of 7: copy, add ×3 (under the copied root),
+                // delete ×3 (per the deletion policy; default: the
+                // copied record's original children).
+                match step % 7 {
+                    0 => self.gen_copy(),
+                    1..=3 => {
+                        // Add under the most recent copied subtree root
+                        // when alive, else anywhere.
+                        let host = match self.copied.last() {
+                            Some((parent, label)) => {
+                                let p = parent.child(*label);
+                                if self.ws.target().contains(&p) {
+                                    p
+                                } else {
+                                    self.pick_host()
+                                }
+                            }
+                            None => self.pick_host(),
+                        };
+                        let label = self.fresh_label();
+                        self.added.push((host.clone(), label));
+                        AtomicUpdate::Insert {
+                            target: host,
+                            label,
+                            content: InsertContent::Value(cpdb_tree::Value::Int(
+                                self.rng.gen_range(0..1_000_000),
+                            )),
+                        }
+                    }
+                    _ => {
+                        // In the real pattern deletes default to the
+                        // copied subtree's nodes unless overridden.
+                        if self.deletion == DeletionPattern::Random {
+                            let saved = self.deletion;
+                            self.deletion = DeletionPattern::Real;
+                            let u = self.gen_delete();
+                            self.deletion = saved;
+                            u
+                        } else {
+                            self.gen_delete()
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Generates a workload of `len` updates under `cfg`.
+pub fn generate(cfg: &GenConfig, len: usize) -> Workload {
+    let mut g = Generator::new(cfg);
+    let target_initial = g.ws.target().root().clone();
+    let source = g
+        .ws
+        .database(Label::new("OrganelleDB"))
+        .expect("source connected")
+        .root()
+        .clone();
+    let mut updates = Vec::with_capacity(len);
+    for step in 0..len {
+        let u = g.next(step, cfg.pattern);
+        g.ws.apply(&u).unwrap_or_else(|e| {
+            panic!("generator produced an invalid update at step {step}: {u} ({e})")
+        });
+        updates.push(u);
+    }
+    Workload {
+        target_name: Label::new("T"),
+        target_initial,
+        source_name: Label::new("OrganelleDB"),
+        source,
+        script: UpdateScript::from_updates(updates),
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_replay_cleanly_for_every_pattern() {
+        for pattern in [
+            UpdatePattern::Add,
+            UpdatePattern::Delete,
+            UpdatePattern::Copy,
+            UpdatePattern::AcMix,
+            UpdatePattern::Mix,
+            UpdatePattern::Real,
+        ] {
+            let cfg = GenConfig::for_length(pattern, 300, 42);
+            let wl = generate(&cfg, 300);
+            assert_eq!(wl.script.len(), 300, "{pattern}");
+            let mut ws = wl.workspace();
+            ws.apply_script(&wl.script).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::for_length(UpdatePattern::Mix, 200, 7);
+        let a = generate(&cfg, 200);
+        let b = generate(&cfg, 200);
+        assert_eq!(a.script, b.script);
+        assert_eq!(a.target_initial, b.target_initial);
+        let cfg2 = GenConfig::for_length(UpdatePattern::Mix, 200, 8);
+        let c = generate(&cfg2, 200);
+        assert_ne!(a.script, c.script);
+    }
+
+    #[test]
+    fn copy_pattern_copies_size_four_records() {
+        let cfg = GenConfig::for_length(UpdatePattern::Copy, 100, 1);
+        let wl = generate(&cfg, 100);
+        let mut ws = wl.workspace();
+        for u in &wl.script {
+            match u {
+                AtomicUpdate::Copy { src, .. } => {
+                    let sub = ws.resolve(src).unwrap();
+                    assert_eq!(sub.node_count(), 4);
+                }
+                other => panic!("copy pattern produced {other}"),
+            }
+            ws.apply(u).unwrap();
+        }
+    }
+
+    #[test]
+    fn deletion_patterns_restrict_victims() {
+        for deletion in DeletionPattern::EXPERIMENT_3 {
+            let cfg = GenConfig::for_length(UpdatePattern::Mix, 400, 11).with_deletion(deletion);
+            let wl = generate(&cfg, 400);
+            let mut ws = wl.workspace();
+            ws.apply_script(&wl.script).unwrap_or_else(|e| panic!("{deletion}: {e}"));
+        }
+    }
+
+    #[test]
+    fn del_add_only_deletes_added_paths() {
+        let cfg =
+            GenConfig::for_length(UpdatePattern::Mix, 500, 3).with_deletion(DeletionPattern::Added);
+        let wl = generate(&cfg, 500);
+        let mut added: std::collections::HashSet<Path> = std::collections::HashSet::new();
+        for u in &wl.script {
+            match u {
+                AtomicUpdate::Insert { target, label, .. } => {
+                    added.insert(target.child(*label));
+                }
+                AtomicUpdate::Delete { target, label } => {
+                    assert!(
+                        added.contains(&target.child(*label)),
+                        "del-add deleted a non-added path {}",
+                        target.child(*label)
+                    );
+                }
+                AtomicUpdate::Copy { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn real_pattern_cycles_copy_add_delete() {
+        let cfg = GenConfig::for_length(UpdatePattern::Real, 70, 5);
+        let wl = generate(&cfg, 70);
+        for (i, u) in wl.script.iter().enumerate() {
+            match i % 7 {
+                0 => assert!(matches!(u, AtomicUpdate::Copy { .. }), "step {i}: {u}"),
+                1..=3 => assert!(matches!(u, AtomicUpdate::Insert { .. }), "step {i}: {u}"),
+                _ => assert!(
+                    matches!(u, AtomicUpdate::Delete { .. }),
+                    "step {i}: {u} (delete expected; pool never dry in real pattern)"
+                ),
+            }
+        }
+    }
+}

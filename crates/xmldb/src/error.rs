@@ -1,0 +1,61 @@
+//! Errors for the tree-database layer.
+
+use cpdb_storage::StorageError;
+use cpdb_tree::TreeError;
+use std::fmt;
+
+/// Failure of a tree-database operation.
+#[derive(Clone)]
+pub enum XmlDbError {
+    /// The underlying storage engine failed.
+    Storage(StorageError),
+    /// A path/tree-level failure (missing path, duplicate edge, …).
+    Tree(TreeError),
+    /// The node store is internally inconsistent (dangling parent,
+    /// duplicate root, …) — indicates corruption.
+    Inconsistent {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for XmlDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlDbError::Storage(e) => write!(f, "storage: {e}"),
+            XmlDbError::Tree(e) => write!(f, "{e}"),
+            XmlDbError::Inconsistent { reason } => write!(f, "node store inconsistent: {reason}"),
+        }
+    }
+}
+
+impl fmt::Debug for XmlDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for XmlDbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlDbError::Storage(e) => Some(e),
+            XmlDbError::Tree(e) => Some(e),
+            XmlDbError::Inconsistent { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for XmlDbError {
+    fn from(e: StorageError) -> XmlDbError {
+        XmlDbError::Storage(e)
+    }
+}
+
+impl From<TreeError> for XmlDbError {
+    fn from(e: TreeError) -> XmlDbError {
+        XmlDbError::Tree(e)
+    }
+}
+
+/// Result alias for tree-database operations.
+pub type Result<T> = std::result::Result<T, XmlDbError>;

@@ -1,0 +1,38 @@
+//! # cpdb-xmldb — native tree database and database wrappers
+//!
+//! The substrate standing in for **Timber** (the native XML DBMS hosting
+//! the target database in Buneman, Chapman & Cheney, SIGMOD 2006) plus
+//! the Figure 6 wrapper interface that CPDB uses to talk to *any*
+//! database as a fully-keyed tree view:
+//!
+//! * [`XmlDb`] — a persistent tree store over `cpdb-storage` node
+//!   records; implements both [`SourceDb`] and [`TargetDb`];
+//! * [`RelationalSource`] — a read-only four-level (`DB/R/tid/F`) tree
+//!   view of a relational engine, standing in for OrganelleDB on MySQL;
+//! * round-trip accounting per wrapper call (one interaction per node
+//!   touched), mirroring the client↔server traffic the paper measures.
+//!
+//! ```
+//! use cpdb_storage::Engine;
+//! use cpdb_tree::tree;
+//! use cpdb_xmldb::{SourceDb, TargetDb, XmlDb};
+//!
+//! let engine = Engine::in_memory();
+//! let db = XmlDb::create("T", &engine).unwrap();
+//! db.load(&tree! { "c1" => { "x" => 1 } }).unwrap();
+//! let nodes = db.copy_node(&"T/c1".parse().unwrap()).unwrap();
+//! assert_eq!(nodes.len(), 2); // interior node + one leaf
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod relational;
+mod wrapper;
+mod xmldb;
+
+pub use error::{Result, XmlDbError};
+pub use relational::RelationalSource;
+pub use wrapper::{rebuild_subtree, CopiedNode, SourceDb, TargetDb};
+pub use xmldb::XmlDb;

@@ -1,0 +1,224 @@
+//! A relational database wrapped as a tree view — the
+//! **OrganelleDB-on-MySQL** stand-in.
+//!
+//! Section 2: "the data values in a relational database can be addressed
+//! using four-level paths where `DB/R/tid/F` addresses the field value
+//! `F` in the tuple with identifier or key `tid` in table `R` of
+//! database `DB`." [`RelationalSource`] exposes exactly that view over a
+//! `cpdb-storage` [`Engine`]: one subtree per table, one child per row
+//! (keyed by the first column), one leaf per remaining field.
+//!
+//! The wrapper is read-only, as sources are in CPDB; it implements
+//! [`SourceDb`] so the editor can browse and copy from it.
+
+use crate::error::{Result, XmlDbError};
+use crate::wrapper::SourceDb;
+use cpdb_storage::{Datum, Engine, Meter, TableHandle};
+use cpdb_tree::{Label, Path, Tree, TreeError, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn datum_to_value(d: &Datum) -> Value {
+    match d {
+        Datum::Null => Value::str(""),
+        Datum::U64(v) => Value::Int(*v as i64),
+        Datum::I64(v) => Value::Int(*v),
+        Datum::Str(s) => Value::str(s),
+    }
+}
+
+/// Key for a row in the tree view: the first column's value, rendered.
+fn row_key(row: &[Datum]) -> String {
+    row.first().map_or_else(|| "?".to_owned(), |d| d.to_string())
+}
+
+/// A read-only tree view of a relational engine.
+pub struct RelationalSource {
+    name: Label,
+    engine: Arc<Engine>,
+    client: Meter,
+}
+
+impl RelationalSource {
+    /// Wraps `engine` as the database named `name`.
+    pub fn new(name: impl Into<Label>, engine: Arc<Engine>) -> RelationalSource {
+        RelationalSource { name: name.into(), engine, client: Meter::new() }
+    }
+
+    /// Sets the simulated per-round-trip latency of the client link.
+    pub fn set_latency(&self, latency: std::time::Duration) {
+        self.client.set_latency(latency);
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<TableHandle>> {
+        self.engine.table(name).map_err(Into::into)
+    }
+
+    /// The tree of one row: `{field: value, …}` over non-key columns.
+    fn row_tree(table: &TableHandle, row: &[Datum]) -> Tree {
+        let mut fields = BTreeMap::new();
+        for (col, datum) in table.schema().columns().iter().zip(row).skip(1) {
+            fields.insert(Label::new(&col.name), Tree::Leaf(datum_to_value(datum)));
+        }
+        Tree::from_map(fields)
+    }
+
+    /// The tree of one table: `{rowkey: rowtree, …}`.
+    fn table_tree(&self, table: &TableHandle) -> Result<Tree> {
+        let mut rows = BTreeMap::new();
+        let mut dup = None;
+        table.scan(|_, row| {
+            let key = Label::new(&row_key(&row));
+            if rows.insert(key, Self::row_tree(table, &row)).is_some() {
+                dup = Some(key);
+                return false;
+            }
+            true
+        })?;
+        if let Some(key) = dup {
+            return Err(XmlDbError::Inconsistent {
+                reason: format!("duplicate row key {key} breaks the fully-keyed view"),
+            });
+        }
+        Ok(Tree::from_map(rows))
+    }
+}
+
+impl SourceDb for RelationalSource {
+    fn db_name(&self) -> Label {
+        self.name
+    }
+
+    fn tree_from_db(&self) -> Result<Tree> {
+        self.client.round_trip();
+        let mut tables = BTreeMap::new();
+        for name in self.engine.table_names() {
+            let handle = self.table(&name)?;
+            tables.insert(Label::new(&name), self.table_tree(&handle)?);
+        }
+        Ok(Tree::from_map(tables))
+    }
+
+    fn subtree(&self, path: &Path) -> Result<Tree> {
+        self.client.round_trip();
+        if path.first() != Some(self.name) {
+            return Err(TreeError::WrongDatabase { expected: self.name, path: path.clone() }.into());
+        }
+        let segs: Vec<Label> = path.iter().skip(1).collect();
+        let not_found = || XmlDbError::Tree(TreeError::PathNotFound { path: path.clone() });
+        match segs.len() {
+            0 => self.tree_from_db(),
+            _ => {
+                let table = self.table(segs[0].as_str()).map_err(|_| not_found())?;
+                if segs.len() == 1 {
+                    return self.table_tree(&table);
+                }
+                // Find the row by key (first column).
+                let want = segs[1].as_str();
+                let mut found: Option<Vec<Datum>> = None;
+                table.scan(|_, row| {
+                    if row_key(&row) == want {
+                        found = Some(row);
+                        false
+                    } else {
+                        true
+                    }
+                })?;
+                let row = found.ok_or_else(not_found)?;
+                let row_tree = Self::row_tree(&table, &row);
+                match segs.len() {
+                    2 => Ok(row_tree),
+                    3 => row_tree
+                        .child(segs[2])
+                        .cloned()
+                        .ok_or_else(not_found),
+                    _ => Err(not_found()),
+                }
+            }
+        }
+    }
+
+    fn contains(&self, path: &Path) -> bool {
+        self.subtree(path).is_ok()
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.client.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_storage::{Column, DataType, Schema};
+    use cpdb_tree::tree;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn organelle_engine() -> Arc<Engine> {
+        let engine = Engine::in_memory();
+        let proteins = engine
+            .create_table(
+                "proteins",
+                Schema::new(vec![
+                    Column::new("acc", DataType::Str),
+                    Column::new("name", DataType::Str),
+                    Column::new("organelle", DataType::Str),
+                    Column::new("length", DataType::I64),
+                ]),
+            )
+            .unwrap();
+        proteins
+            .insert(&[Datum::str("O95477"), Datum::str("ABC1"), Datum::str("membrane"), Datum::I64(2261)])
+            .unwrap();
+        proteins
+            .insert(&[Datum::str("P02741"), Datum::str("CRP"), Datum::str("secreted"), Datum::I64(224)])
+            .unwrap();
+        Arc::new(engine)
+    }
+
+    #[test]
+    fn four_level_paths_resolve() {
+        let src = RelationalSource::new("OrganelleDB", organelle_engine());
+        // DB/R/tid/F — the paper's addressing scheme.
+        let leaf = src.subtree(&p("OrganelleDB/proteins/O95477/name")).unwrap();
+        assert_eq!(leaf, Tree::leaf("ABC1"));
+        let row = src.subtree(&p("OrganelleDB/proteins/P02741")).unwrap();
+        assert_eq!(
+            row,
+            tree! { "name" => "CRP", "organelle" => "secreted", "length" => 224 }
+        );
+    }
+
+    #[test]
+    fn whole_view_is_fully_keyed() {
+        let src = RelationalSource::new("OrganelleDB", organelle_engine());
+        let t = src.tree_from_db().unwrap();
+        assert_eq!(t.node_count(), 1 + 1 + 2 + 6, "db, table, 2 rows, 6 fields");
+        assert!(src.contains(&p("OrganelleDB/proteins")));
+        assert!(!src.contains(&p("OrganelleDB/nope")));
+        assert!(!src.contains(&p("OrganelleDB/proteins/XXXX")));
+    }
+
+    #[test]
+    fn copy_node_flattens_a_row() {
+        let src = RelationalSource::new("OrganelleDB", organelle_engine());
+        let nodes = src.copy_node(&p("OrganelleDB/proteins/O95477")).unwrap();
+        // Row node + three fields = "subtrees of size four", as in the
+        // paper's experiments.
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0].value, None);
+        assert!(nodes.iter().skip(1).all(|n| n.value.is_some()));
+    }
+
+    #[test]
+    fn wrong_database_is_rejected() {
+        let src = RelationalSource::new("OrganelleDB", organelle_engine());
+        assert!(matches!(
+            src.subtree(&p("Other/proteins")),
+            Err(XmlDbError::Tree(TreeError::WrongDatabase { .. }))
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! The wrapper interface of Figure 6.
+//!
+//! CPDB talks to every database through a wrapper that presents a
+//! "fully-keyed XML view" of the underlying data. The paper's Figure 6
+//! specifies the contract:
+//!
+//! * **SourceDB** — `treeFromDB()` returns a tree with unique
+//!   identifiers; `copyNode()` returns the list of nodes the user
+//!   copied (one entry per node of the selected subtree, each carrying
+//!   its identifying path and data value).
+//! * **TargetDB** — additionally `addNode(name)`, `deleteNode()`, and
+//!   `pasteNode(X)` translate tree edits into native updates.
+//!
+//! Implementations here: [`crate::XmlDb`] (native tree store — the
+//! Timber stand-in) and [`crate::RelationalSource`] (a relational
+//! database viewed as a four-level tree — the OrganelleDB-on-MySQL
+//! stand-in).
+
+use crate::error::Result;
+use cpdb_tree::{Label, Path, Tree, Value};
+use cpdb_update::InsertContent;
+
+/// One node of a copied selection, as returned by `copyNode()`:
+/// "Each node contains the identifying path and data value."
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CopiedNode {
+    /// The node's qualified path in its source database.
+    pub path: Path,
+    /// Its data value, for leaves; `None` for interior nodes.
+    pub value: Option<Value>,
+}
+
+/// A database that CPDB can browse and copy from (Figure 6, `SourceDB`).
+pub trait SourceDb {
+    /// The database's name (first segment of its qualified paths).
+    fn db_name(&self) -> Label;
+
+    /// `treeFromDB()`: the full fully-keyed tree view.
+    fn tree_from_db(&self) -> Result<Tree>;
+
+    /// The subtree at a qualified path.
+    fn subtree(&self, path: &Path) -> Result<Tree>;
+
+    /// `copyNode()`: the flattened node list for the subtree the user
+    /// selected — size 1 for a leaf, one entry per descendant otherwise.
+    fn copy_node(&self, path: &Path) -> Result<Vec<CopiedNode>> {
+        let sub = self.subtree(path)?;
+        let mut out = Vec::with_capacity(sub.node_count());
+        sub.walk(path, &mut |p, t| {
+            out.push(CopiedNode { path: p.clone(), value: t.as_value().cloned() });
+        });
+        Ok(out)
+    }
+
+    /// Whether a qualified path resolves.
+    fn contains(&self, path: &Path) -> bool;
+
+    /// Number of round trips this wrapper has made to its database.
+    fn round_trips(&self) -> u64;
+}
+
+/// Rebuilds the subtree a `copyNode()` call described. `nodes` must be
+/// in preorder (parents before children), as [`SourceDb::copy_node`]
+/// produces; all paths must extend `src`, the selection root.
+pub fn rebuild_subtree(src: &Path, nodes: &[CopiedNode]) -> Result<Tree> {
+    use crate::error::XmlDbError;
+    use cpdb_tree::TreeError;
+
+    if nodes.len() == 1 {
+        return Ok(match &nodes[0].value {
+            Some(v) => Tree::Leaf(v.clone()),
+            None => Tree::empty(),
+        });
+    }
+    let mut t = Tree::empty();
+    for node in nodes {
+        let rel = node.path.strip_prefix(src).ok_or_else(|| {
+            XmlDbError::Tree(TreeError::BadPath {
+                text: node.path.to_string(),
+                reason: "copied node outside the copied subtree",
+            })
+        })?;
+        if rel.is_empty() {
+            continue; // the selection root itself
+        }
+        let parent = rel.parent().expect("non-root");
+        let label = rel.last().expect("non-root");
+        let content = node.value.clone().map_or(Tree::empty(), Tree::Leaf);
+        t.insert_edge(&parent, label, content).map_err(XmlDbError::Tree)?;
+    }
+    Ok(t)
+}
+
+/// A database that CPDB can edit (Figure 6, `TargetDB`).
+pub trait TargetDb: SourceDb {
+    /// `addNode(nodename)`: insert a new node (empty or leaf) under the
+    /// node at `parent`. Fails on missing parent or duplicate edge.
+    fn add_node(&self, parent: &Path, label: Label, content: &InsertContent) -> Result<()>;
+
+    /// `deleteNode()`: remove the node at `path` and its subtree,
+    /// returning what was removed (provenance needs to enumerate it).
+    fn delete_node(&self, path: &Path) -> Result<Tree>;
+
+    /// `pasteNode(X)`: write `subtree` at `path`, replacing an existing
+    /// node or creating the final edge under an existing parent.
+    /// Returns the replaced subtree, if any.
+    fn paste_node(&self, path: &Path, subtree: &Tree) -> Result<Option<Tree>>;
+}

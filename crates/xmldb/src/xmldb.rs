@@ -1,0 +1,510 @@
+//! The native tree database — the **Timber** stand-in.
+//!
+//! Trees are stored as node records in a `cpdb-storage` table:
+//!
+//! ```text
+//! nodes(id U64, parent U64, label Str, kind Str, vint I64?, vstr Str?)
+//! ```
+//!
+//! with indexes on `id` (unique), `parent`, and `(parent, label)`
+//! (unique — the tree invariant that sibling labels are distinct).
+//! Paths resolve by walking `(parent, label)` lookups from the root,
+//! exactly what a fully-keyed XML view needs.
+//!
+//! The wrapper-level round-trip accounting mirrors the paper's client ↔
+//! Timber SOAP traffic: every [`SourceDb`]/[`TargetDb`] call counts one
+//! client round trip **per node touched** (Figure 6's `pasteNode(Node X)`
+//! writes one node at a time, so pasting a size-4 subtree costs 4
+//! interactions — the reason copies dominate the timing figures).
+
+use crate::error::{Result, XmlDbError};
+use crate::wrapper::{CopiedNode, SourceDb, TargetDb};
+use cpdb_storage::{Column, DataType, Datum, Engine, Meter, RowId, Schema, TableHandle};
+use cpdb_tree::{Label, Path, Tree, TreeError, Value};
+use cpdb_update::InsertContent;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NODES: &str = "nodes";
+const BY_ID: &str = "by_id";
+const BY_PARENT: &str = "by_parent";
+const BY_PARENT_LABEL: &str = "by_parent_label";
+/// Sentinel parent id for the root node.
+const NO_PARENT: u64 = 0;
+
+fn nodes_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::U64),
+        Column::new("parent", DataType::U64),
+        Column::new("label", DataType::Str),
+        Column::new("kind", DataType::Str), // "N" interior, "L" leaf
+        Column::nullable("vint", DataType::I64),
+        Column::nullable("vstr", DataType::Str),
+    ])
+}
+
+/// One decoded node record.
+struct NodeRec {
+    id: u64,
+    label: Label,
+    value: Option<Value>,
+}
+
+fn decode_node(row: &[Datum]) -> Result<NodeRec> {
+    let bad = |reason: &str| XmlDbError::Inconsistent { reason: reason.to_owned() };
+    let id = row[0].as_u64().ok_or_else(|| bad("id not u64"))?;
+    let label = Label::new(row[2].as_str().ok_or_else(|| bad("label not str"))?);
+    let kind = row[3].as_str().ok_or_else(|| bad("kind not str"))?;
+    let value = match kind {
+        "N" => None,
+        "L" => Some(match (&row[4], &row[5]) {
+            (Datum::I64(i), Datum::Null) => Value::Int(*i),
+            (Datum::Null, Datum::Str(s)) => Value::str(s),
+            _ => return Err(bad("leaf must have exactly one of vint/vstr")),
+        }),
+        _ => return Err(bad("kind must be N or L")),
+    };
+    Ok(NodeRec { id, label, value })
+}
+
+fn encode_node(id: u64, parent: u64, label: Label, value: Option<&Value>) -> Vec<Datum> {
+    let (kind, vint, vstr) = match value {
+        None => ("N", Datum::Null, Datum::Null),
+        Some(Value::Int(i)) => ("L", Datum::I64(*i), Datum::Null),
+        Some(Value::Str(s)) => ("L", Datum::Null, Datum::str(s.as_ref())),
+    };
+    vec![
+        Datum::U64(id),
+        Datum::U64(parent),
+        Datum::str(label.as_str()),
+        Datum::str(kind),
+        vint,
+        vstr,
+    ]
+}
+
+/// A persistent tree database exposing the Figure 6 wrapper API.
+pub struct XmlDb {
+    name: Label,
+    nodes: Arc<TableHandle>,
+    next_id: AtomicU64,
+    root_id: u64,
+    /// Client-side round trips (the SOAP/JDBC hop the paper measures).
+    client: Meter,
+}
+
+impl XmlDb {
+    /// Creates an empty database called `name` inside `engine`.
+    pub fn create(name: impl Into<Label>, engine: &Engine) -> Result<XmlDb> {
+        let name = name.into();
+        let nodes = engine.create_table(NODES, nodes_schema())?;
+        nodes.add_index(BY_ID, &["id"], true)?;
+        nodes.add_index(BY_PARENT, &["parent"], false)?;
+        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true)?;
+        let root_id = 1;
+        nodes.insert(&encode_node(root_id, NO_PARENT, name, None))?;
+        Ok(XmlDb { name, nodes, next_id: AtomicU64::new(root_id + 1), root_id, client: Meter::new() })
+    }
+
+    /// Opens an existing database named `name` from `engine` (rebuilding
+    /// indexes from the node table).
+    pub fn open(name: impl Into<Label>, engine: &Engine) -> Result<XmlDb> {
+        let name = name.into();
+        let nodes = engine.open_table(NODES)?;
+        nodes.add_index(BY_ID, &["id"], true)?;
+        nodes.add_index(BY_PARENT, &["parent"], false)?;
+        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true)?;
+        let mut max_id = 0u64;
+        let mut root_id = None;
+        nodes.scan(|_, row| {
+            let id = row[0].as_u64().unwrap_or(0);
+            max_id = max_id.max(id);
+            if row[1] == Datum::U64(NO_PARENT) {
+                root_id = Some(id);
+            }
+            true
+        })?;
+        let root_id = root_id.ok_or(XmlDbError::Inconsistent { reason: "no root node".into() })?;
+        Ok(XmlDb {
+            name,
+            nodes,
+            next_id: AtomicU64::new(max_id + 1),
+            root_id,
+            client: Meter::new(),
+        })
+    }
+
+    /// Sets the simulated per-round-trip latency of the client link.
+    pub fn set_latency(&self, latency: std::time::Duration) {
+        self.client.set_latency(latency);
+    }
+
+    /// Bulk-loads `tree` under the root (the database must be empty).
+    pub fn load(&self, tree: &Tree) -> Result<()> {
+        if self.nodes.row_count() != 1 {
+            return Err(XmlDbError::Inconsistent { reason: "load requires an empty database".into() });
+        }
+        self.insert_subtree(self.root_id, tree)?;
+        Ok(())
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn child_of(&self, parent: u64, label: Label) -> Result<Option<(RowId, Vec<Datum>)>> {
+        let hits = self
+            .nodes
+            .lookup(BY_PARENT_LABEL, &[Datum::U64(parent), Datum::str(label.as_str())])?;
+        Ok(hits.into_iter().next())
+    }
+
+    fn children_of(&self, parent: u64) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.nodes.lookup(BY_PARENT, &[Datum::U64(parent)]).map_err(Into::into)
+    }
+
+    /// Resolves a qualified path to `(row id, node record)`.
+    fn resolve(&self, path: &Path) -> Result<(RowId, Vec<Datum>)> {
+        if path.first() != Some(self.name) {
+            return Err(TreeError::WrongDatabase { expected: self.name, path: path.clone() }.into());
+        }
+        let mut cur = self
+            .nodes
+            .lookup(BY_ID, &[Datum::U64(self.root_id)])?
+            .into_iter()
+            .next()
+            .ok_or(XmlDbError::Inconsistent { reason: "root record missing".into() })?;
+        for seg in path.iter().skip(1) {
+            let id = cur.1[0].as_u64().expect("id");
+            cur = self
+                .child_of(id, seg)?
+                .ok_or_else(|| TreeError::PathNotFound { path: path.clone() })?;
+        }
+        Ok(cur)
+    }
+
+    /// Builds the tree under node `id`.
+    fn build_tree(&self, id: u64, rec: &NodeRec) -> Result<Tree> {
+        match &rec.value {
+            Some(v) => Ok(Tree::Leaf(v.clone())),
+            None => {
+                let mut children = std::collections::BTreeMap::new();
+                for (_, row) in self.children_of(id)? {
+                    let child = decode_node(&row)?;
+                    let sub = self.build_tree(child.id, &child)?;
+                    children.insert(child.label, sub);
+                }
+                Ok(Tree::from_map(children))
+            }
+        }
+    }
+
+    fn insert_subtree(&self, parent: u64, tree: &Tree) -> Result<u64> {
+        // `parent` must already exist and be interior; insert children.
+        let mut count = 0;
+        if let Some(children) = tree.children() {
+            for (label, sub) in children {
+                count += self.insert_node(parent, *label, sub)?;
+            }
+        }
+        Ok(count)
+    }
+
+    fn insert_node(&self, parent: u64, label: Label, tree: &Tree) -> Result<u64> {
+        let id = self.alloc_id();
+        self.nodes.insert(&encode_node(id, parent, label, tree.as_value()))?;
+        let mut count = 1;
+        if let Some(children) = tree.children() {
+            for (child_label, sub) in children {
+                count += self.insert_node(id, *child_label, sub)?;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Deletes node `id` and its descendants, returning how many records
+    /// were removed.
+    fn delete_rec(&self, rid: RowId, id: u64) -> Result<u64> {
+        let mut removed = 0;
+        // Children first (avoid orphan records if interrupted).
+        for (child_rid, row) in self.children_of(id)? {
+            let child_id = row[0].as_u64().expect("id");
+            removed += self.delete_rec(child_rid, child_id)?;
+        }
+        self.nodes.delete(rid)?;
+        Ok(removed + 1)
+    }
+
+    /// Number of node records (including the root).
+    pub fn node_count(&self) -> u64 {
+        self.nodes.row_count()
+    }
+
+    /// Physical bytes of the node table.
+    pub fn physical_bytes(&self) -> u64 {
+        self.nodes.physical_bytes()
+    }
+
+    /// Flushes the node table.
+    pub fn flush(&self) -> Result<()> {
+        self.nodes.flush().map_err(Into::into)
+    }
+
+    /// Pastes a flattened node list (as produced by
+    /// [`SourceDb::copy_node`] at `src`) to `target`, node by node —
+    /// Figure 6's `pasteNode(Node X)` loop. Returns the replaced subtree
+    /// if the target existed.
+    pub fn paste_nodes(
+        &self,
+        src: &Path,
+        nodes: &[CopiedNode],
+        target: &Path,
+    ) -> Result<Option<Tree>> {
+        let tree = crate::wrapper::rebuild_subtree(src, nodes)?;
+        self.paste_node(target, &tree)
+    }
+}
+
+impl SourceDb for XmlDb {
+    fn db_name(&self) -> Label {
+        self.name
+    }
+
+    fn tree_from_db(&self) -> Result<Tree> {
+        self.client.round_trip();
+        let (_, row) = self
+            .nodes
+            .lookup(BY_ID, &[Datum::U64(self.root_id)])?
+            .into_iter()
+            .next()
+            .ok_or(XmlDbError::Inconsistent { reason: "root record missing".into() })?;
+        let rec = decode_node(&row)?;
+        self.build_tree(self.root_id, &rec)
+    }
+
+    fn subtree(&self, path: &Path) -> Result<Tree> {
+        self.client.round_trip();
+        let (_, row) = self.resolve(path)?;
+        let rec = decode_node(&row)?;
+        self.build_tree(rec.id, &rec)
+    }
+
+    fn contains(&self, path: &Path) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.client.count()
+    }
+}
+
+impl TargetDb for XmlDb {
+    fn add_node(&self, parent: &Path, label: Label, content: &InsertContent) -> Result<()> {
+        self.client.round_trip();
+        let (_, row) = self.resolve(parent)?;
+        let rec = decode_node(&row)?;
+        if rec.value.is_some() {
+            return Err(TreeError::NotATree { at: parent.clone() }.into());
+        }
+        if self.child_of(rec.id, label)?.is_some() {
+            return Err(TreeError::DuplicateEdge { at: parent.clone(), label }.into());
+        }
+        let tree = content.to_tree();
+        self.insert_node(rec.id, label, &tree)?;
+        Ok(())
+    }
+
+    fn delete_node(&self, path: &Path) -> Result<Tree> {
+        let (rid, row) = self.resolve(path)?;
+        let rec = decode_node(&row)?;
+        if rec.id == self.root_id {
+            self.client.round_trip();
+            return Err(XmlDbError::Inconsistent { reason: "cannot delete the root".into() });
+        }
+        let subtree = self.build_tree(rec.id, &rec)?;
+        // Like pasteNode, removal costs one interaction per node: the
+        // server walks and unlinks every record of the subtree.
+        for _ in 0..subtree.node_count() {
+            self.client.round_trip();
+        }
+        self.delete_rec(rid, rec.id)?;
+        Ok(subtree)
+    }
+
+    fn paste_node(&self, path: &Path, subtree: &Tree) -> Result<Option<Tree>> {
+        // One client round trip per node written (pasteNode is per-node).
+        for _ in 0..subtree.node_count() {
+            self.client.round_trip();
+        }
+        let parent_path = path.parent().ok_or_else(|| TreeError::BadPath {
+            text: path.to_string(),
+            reason: "cannot paste over a database root",
+        })?;
+        let label = path.last().expect("checked non-empty");
+
+        let replaced = match self.resolve(path) {
+            Ok((rid, row)) => {
+                let rec = decode_node(&row)?;
+                let old = self.build_tree(rec.id, &rec)?;
+                self.delete_rec(rid, rec.id)?;
+                Some(old)
+            }
+            Err(XmlDbError::Tree(TreeError::PathNotFound { .. })) => None,
+            Err(other) => return Err(other),
+        };
+        let (_, parent_row) = self.resolve(&parent_path)?;
+        let parent_rec = decode_node(&parent_row)?;
+        if parent_rec.value.is_some() {
+            return Err(TreeError::NotATree { at: parent_path.clone() }.into());
+        }
+        self.insert_node(parent_rec.id, label, subtree)?;
+        Ok(replaced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_tree::tree;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn fresh(name: &str) -> XmlDb {
+        let engine = Engine::in_memory();
+        XmlDb::create(name, &engine).unwrap()
+    }
+
+    #[test]
+    fn load_and_read_back() {
+        let db = fresh("T");
+        let t = tree! {
+            "c1" => { "x" => 1, "y" => 3 },
+            "c5" => { "x" => 9, "y" => "seven" },
+        };
+        db.load(&t).unwrap();
+        assert_eq!(db.tree_from_db().unwrap(), t);
+        assert_eq!(db.subtree(&p("T/c1")).unwrap(), tree! { "x" => 1, "y" => 3 });
+        assert_eq!(db.subtree(&p("T/c5/y")).unwrap(), Tree::leaf("seven"));
+        assert_eq!(db.node_count(), t.node_count() as u64, "root record + six children");
+    }
+
+    #[test]
+    fn resolve_failures_are_typed() {
+        let db = fresh("T");
+        db.load(&tree! { "c1" => 1 }).unwrap();
+        assert!(matches!(
+            db.subtree(&p("T/zz")),
+            Err(XmlDbError::Tree(TreeError::PathNotFound { .. }))
+        ));
+        assert!(matches!(
+            db.subtree(&p("S/c1")),
+            Err(XmlDbError::Tree(TreeError::WrongDatabase { .. }))
+        ));
+        assert!(!db.contains(&p("T/c1/deep")));
+        assert!(db.contains(&p("T/c1")));
+    }
+
+    #[test]
+    fn add_node_inserts_and_rejects_duplicates() {
+        let db = fresh("T");
+        db.add_node(&p("T"), Label::new("c2"), &InsertContent::Empty).unwrap();
+        db.add_node(&p("T/c2"), Label::new("y"), &InsertContent::Value(Value::int(12)))
+            .unwrap();
+        assert_eq!(db.subtree(&p("T/c2")).unwrap(), tree! { "y" => 12 });
+        assert!(matches!(
+            db.add_node(&p("T"), Label::new("c2"), &InsertContent::Empty),
+            Err(XmlDbError::Tree(TreeError::DuplicateEdge { .. }))
+        ));
+        // Cannot add under a leaf.
+        assert!(matches!(
+            db.add_node(&p("T/c2/y"), Label::new("z"), &InsertContent::Empty),
+            Err(XmlDbError::Tree(TreeError::NotATree { .. }))
+        ));
+    }
+
+    #[test]
+    fn delete_node_removes_subtree() {
+        let db = fresh("T");
+        db.load(&tree! { "c5" => { "x" => 9, "y" => 7 }, "keep" => 1 }).unwrap();
+        let removed = db.delete_node(&p("T/c5")).unwrap();
+        assert_eq!(removed, tree! { "x" => 9, "y" => 7 });
+        assert_eq!(db.tree_from_db().unwrap(), tree! { "keep" => 1 });
+        assert_eq!(db.node_count(), 2, "root + keep");
+        assert!(matches!(
+            db.delete_node(&p("T/c5")),
+            Err(XmlDbError::Tree(TreeError::PathNotFound { .. }))
+        ));
+    }
+
+    #[test]
+    fn paste_replaces_or_creates() {
+        let db = fresh("T");
+        db.load(&tree! { "c1" => { "x" => 1 } }).unwrap();
+        // Fresh position.
+        let replaced = db.paste_node(&p("T/c2"), &tree! { "a" => 5 }).unwrap();
+        assert!(replaced.is_none());
+        // Existing position.
+        let replaced = db.paste_node(&p("T/c1"), &Tree::leaf(42)).unwrap();
+        assert_eq!(replaced, Some(tree! { "x" => 1 }));
+        assert_eq!(db.tree_from_db().unwrap(), tree! { "c1" => 42, "c2" => { "a" => 5 } });
+    }
+
+    #[test]
+    fn copy_node_lists_subtree_and_paste_nodes_round_trips() {
+        let src_db = fresh("S1");
+        src_db.load(&tree! { "a2" => { "x" => 3, "sub" => { "d" => "deep" } } }).unwrap();
+        let nodes = src_db.copy_node(&p("S1/a2")).unwrap();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0].path, p("S1/a2"));
+        assert_eq!(nodes[0].value, None);
+
+        let dst = fresh("T");
+        dst.add_node(&p("T"), Label::new("c2"), &InsertContent::Empty).unwrap();
+        dst.paste_nodes(&p("S1/a2"), &nodes, &p("T/c2")).unwrap();
+        assert_eq!(
+            dst.subtree(&p("T/c2")).unwrap(),
+            tree! { "x" => 3, "sub" => { "d" => "deep" } }
+        );
+        // Leaf copy: list of size 1.
+        let leaf_nodes = src_db.copy_node(&p("S1/a2/x")).unwrap();
+        assert_eq!(leaf_nodes.len(), 1);
+        dst.paste_nodes(&p("S1/a2/x"), &leaf_nodes, &p("T/leaf")).unwrap();
+        assert_eq!(dst.subtree(&p("T/leaf")).unwrap(), Tree::leaf(3));
+    }
+
+    #[test]
+    fn round_trips_count_per_node_for_paste() {
+        let db = fresh("T");
+        db.load(&tree! {}).unwrap();
+        let before = db.round_trips();
+        db.paste_node(&p("T/c"), &tree! { "x" => 1, "y" => 2, "z" => 3 }).unwrap();
+        assert_eq!(db.round_trips() - before, 4, "size-4 subtree = 4 interactions");
+        let before = db.round_trips();
+        db.add_node(&p("T"), Label::new("solo"), &InsertContent::Empty).unwrap();
+        assert_eq!(db.round_trips() - before, 1);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("cpdb-xmldb-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = tree! { "c1" => { "x" => 1 }, "c2" => "v" };
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let db = XmlDb::create("T", &engine).unwrap();
+            db.load(&t).unwrap();
+            db.flush().unwrap();
+        }
+        {
+            let engine = Engine::on_disk(&dir).unwrap();
+            let db = XmlDb::open("T", &engine).unwrap();
+            assert_eq!(db.tree_from_db().unwrap(), t);
+            // New ids must not collide with loaded ones.
+            db.add_node(&p("T"), Label::new("c3"), &InsertContent::Empty).unwrap();
+            assert_eq!(db.tree_from_db().unwrap().node_count(), t.node_count() + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,30 @@
+//! # cpdb — provenance management in curated databases
+//!
+//! A Rust implementation of Buneman, Chapman & Cheney, *Provenance
+//! Management in Curated Databases* (SIGMOD 2006). This facade crate
+//! re-exports the public API of the workspace crates:
+//!
+//! * [`tree`] — the edge-labeled tree data model and path addressing;
+//! * [`update`] — the `ins`/`del`/`copy` update language and `[[U]]`;
+//! * [`storage`] — the paged relational storage engine (provenance store);
+//! * [`xmldb`] — the native tree database (target/source substrate);
+//! * [`datalog`] — the Datalog evaluator for the paper's query rules;
+//! * [`core`] — provenance records, trackers, queries, and the editor;
+//! * [`archive`] — version-stamped archiving of the target database;
+//! * [`workload`] — synthetic databases and the evaluation's workloads.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+#![warn(missing_docs)]
+
+pub use cpdb_archive as archive;
+pub use cpdb_core as core;
+pub use cpdb_datalog as datalog;
+pub use cpdb_storage as storage;
+pub use cpdb_tree as tree;
+pub use cpdb_update as update;
+pub use cpdb_workload as workload;
+pub use cpdb_xmldb as xmldb;
+
+pub use cpdb_tree::{Database, Label, Path, Tree, Value};
+pub use cpdb_update::{AtomicUpdate, InsertContent, UpdateScript, Workspace};

@@ -1,0 +1,147 @@
+//! End-to-end integration tests through the `cpdb` facade: a full
+//! curation session across the XML-tree target, the relational-style
+//! provenance store, the archive, and the query layer — everything a
+//! downstream user touches.
+
+use cpdb::archive::Archive;
+use cpdb::core::{Editor, SqlStore, Strategy, Tid};
+use cpdb::storage::Engine;
+use cpdb::tree::{tree, Path, Tree};
+use cpdb::update::parse_script;
+use cpdb::xmldb::XmlDb;
+use std::sync::Arc;
+
+fn p(s: &str) -> Path {
+    s.parse().unwrap()
+}
+
+/// A complete curation story: browse, copy, edit, commit, query, and
+/// archive — with the provenance store persisted on disk and reopened.
+#[test]
+fn full_curation_lifecycle_with_disk_store() {
+    let dir = std::env::temp_dir().join(format!("cpdb-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let target = XmlDb::create("T", &Engine::in_memory()).unwrap();
+    target.load(&tree! {}).unwrap();
+    let source = XmlDb::create("S", &Engine::in_memory()).unwrap();
+    source
+        .load(&tree! {
+            "r1" => { "name" => "Lamin-A", "loc" => "lamina" },
+            "r2" => { "name" => "Nucleolin", "loc" => "nucleolus" },
+        })
+        .unwrap();
+
+    let prov_engine = Engine::on_disk(&dir).unwrap();
+    let store = Arc::new(SqlStore::create(&prov_engine, true).unwrap());
+    let mut editor = Editor::new(
+        "tester",
+        Arc::new(target),
+        Strategy::HierarchicalTransactional,
+        store.clone(),
+        Tid(1),
+    )
+    .with_source(Arc::new(source));
+    let mut archive = Archive::new("T");
+
+    // Transaction 1: copy both records.
+    editor
+        .run_script(
+            &parse_script("copy S/r1 into T/a; copy S/r2 into T/b").unwrap(),
+            0,
+        )
+        .unwrap();
+    archive.add_version(1, &editor.target().tree_from_db().unwrap());
+
+    // Transaction 2: correct a field.
+    editor
+        .run_script(
+            &parse_script("delete loc from T/a; insert {loc : \"nuclear lamina\"} into T/a")
+                .unwrap(),
+            0,
+        )
+        .unwrap();
+    archive.add_version(2, &editor.target().tree_from_db().unwrap());
+
+    // Queries across the whole stack.
+    assert_eq!(editor.get_hist(&p("T/a/name")).unwrap(), vec![Tid(1)]);
+    assert_eq!(editor.get_src(&p("T/a/loc")).unwrap(), Some(Tid(2)));
+    let mods = editor.get_mod(&p("T/a")).unwrap();
+    assert_eq!(mods.into_iter().collect::<Vec<_>>(), vec![Tid(1), Tid(2)]);
+
+    // The archive can reproduce the pre-correction version.
+    let v1 = archive.retrieve(1).unwrap();
+    assert_eq!(v1.get(&p("a/loc")).unwrap(), &Tree::leaf("lamina"));
+
+    // Persistence: flush, reopen the provenance store, same answers.
+    store.flush().unwrap();
+    drop(editor);
+    let reopened_engine = Engine::on_disk(&dir).unwrap();
+    let reopened = Arc::new(SqlStore::open(&reopened_engine, true).unwrap());
+    use cpdb::core::ProvStore;
+    assert_eq!(reopened.len(), store.len());
+    let q = cpdb::core::QueryEngine::new(reopened, true, "T");
+    assert_eq!(q.get_hist(&p("T/a/name"), Tid(2)).unwrap(), vec![Tid(1)]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The facade re-exports compose: workload → editor → queries.
+#[test]
+fn workload_through_facade() {
+    use cpdb::workload::{generate, GenConfig, UpdatePattern};
+    let cfg = GenConfig::for_length(UpdatePattern::Mix, 150, 42);
+    let wl = generate(&cfg, 150);
+
+    let target = XmlDb::create(wl.target_name, &Engine::in_memory()).unwrap();
+    target.load(&wl.target_initial).unwrap();
+    let source = XmlDb::create(wl.source_name, &Engine::in_memory()).unwrap();
+    source.load(&wl.source).unwrap();
+
+    let mut editor = Editor::new(
+        "tester",
+        Arc::new(target),
+        Strategy::Naive,
+        Arc::new(cpdb::core::MemStore::new()),
+        Tid(1),
+    )
+    .with_source(Arc::new(source));
+    editor.run_script(&wl.script, 1).unwrap();
+
+    // The editor's tree equals the formal semantics' tree.
+    let mut ws = wl.workspace();
+    ws.apply_script(&wl.script).unwrap();
+    assert_eq!(editor.target().tree_from_db().unwrap(), *ws.target().root());
+}
+
+/// Datalog rules, approximate provenance, and recovery all reachable
+/// and consistent through the facade.
+#[test]
+fn extensions_through_facade() {
+    use cpdb::core::approx::{summarize, ApproxStore, MayAnswer};
+    use cpdb::core::{rules, ProvRecord};
+
+    // Approximate provenance.
+    let exact = vec![
+        ProvRecord::copy(Tid(3), p("T/a/x"), p("S/a/x")),
+        ProvRecord::copy(Tid(3), p("T/b/x"), p("S/b/x")),
+    ];
+    let mut approx = ApproxStore::new();
+    approx.add(summarize(&exact));
+    assert_eq!(approx.len(), 1);
+    assert_eq!(approx.may_come_from(&p("T/q/x"), &p("S/q/x")), MayAnswer::May);
+
+    // Datalog rules parse and evaluate.
+    let db = rules::evaluate(&rules::RuleInputs {
+        records: &exact,
+        versions: &[
+            (Tid(2), vec![p("T")]),
+            (Tid(3), vec![p("T"), p("T/a"), p("T/a/x"), p("T/b"), p("T/b/x")]),
+        ],
+        tnow: Tid(3),
+        query_locs: &[p("T/a/x")],
+        mod_roots: &[],
+    })
+    .unwrap();
+    assert_eq!(rules::hist_answers(&db, &p("T/a/x")), vec![Tid(3)]);
+}
