@@ -125,11 +125,8 @@ impl Archive {
                     _ => continue 'version,
                 }
             }
-            let value = node
-                .values
-                .iter()
-                .find(|(stamps, _)| stamps.contains(vid))
-                .map(|(_, v)| v.clone());
+            let value =
+                node.values.iter().find(|(stamps, _)| stamps.contains(vid)).map(|(_, v)| v.clone());
             out.push((vid, value));
         }
         out

@@ -16,17 +16,13 @@ fn bench(c: &mut Criterion) {
     let wl = generate(&cfg, 400);
     for strategy in Strategy::ALL {
         let txn_len = if strategy.is_transactional() { 5 } else { 1 };
-        group.bench_with_input(
-            BenchmarkId::new("mix400", strategy.short_name()),
-            &wl,
-            |b, wl| {
-                b.iter(|| {
-                    let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
-                    s.editor.run_script(&wl.script, txn_len).unwrap();
-                    s.store.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mix400", strategy.short_name()), &wl, |b, wl| {
+            b.iter(|| {
+                let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
+                s.editor.run_script(&wl.script, txn_len).unwrap();
+                s.store.len()
+            })
+        });
     }
     group.finish();
 }

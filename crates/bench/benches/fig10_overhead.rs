@@ -17,8 +17,7 @@ fn bench(c: &mut Criterion) {
     // Baseline: dataset updates only, no tracking.
     group.bench_function("untracked", |b| {
         b.iter(|| {
-            let mut s =
-                build_session(&wl, Strategy::Naive, true, &LatencyConfig::zero());
+            let mut s = build_session(&wl, Strategy::Naive, true, &LatencyConfig::zero());
             for u in &wl.script {
                 s.editor.apply_untracked(u).unwrap();
             }
@@ -27,16 +26,12 @@ fn bench(c: &mut Criterion) {
     // Tracked, per method.
     for strategy in Strategy::ALL {
         let txn_len = if strategy.is_transactional() { 5 } else { 1 };
-        group.bench_with_input(
-            BenchmarkId::new("tracked", strategy.short_name()),
-            &wl,
-            |b, wl| {
-                b.iter(|| {
-                    let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
-                    s.editor.run_script(&wl.script, txn_len).unwrap();
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("tracked", strategy.short_name()), &wl, |b, wl| {
+            b.iter(|| {
+                let mut s = build_session(wl, strategy, true, &LatencyConfig::zero());
+                s.editor.run_script(&wl.script, txn_len).unwrap();
+            })
+        });
     }
     group.finish();
 }

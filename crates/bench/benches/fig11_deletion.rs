@@ -12,8 +12,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
 
     for deletion in DeletionPattern::EXPERIMENT_3 {
-        let cfg =
-            GenConfig::for_length(UpdatePattern::Mix, 400, 2006).with_deletion(deletion);
+        let cfg = GenConfig::for_length(UpdatePattern::Mix, 400, 2006).with_deletion(deletion);
         let wl = generate(&cfg, 400);
         for strategy in [Strategy::Naive, Strategy::HierarchicalTransactional] {
             let txn_len = if strategy.is_transactional() { 5 } else { 1 };

@@ -1,0 +1,46 @@
+//! Fig-13-style bench for the range-scan read path: `by_loc_prefix`
+//! latency on the 14,000-insertion workload, full table scan
+//! (unindexed) vs ordered-index range scan (indexed).
+
+use cpdb_bench::session::{build_session, LatencyConfig};
+use cpdb_core::{ProvStore, Strategy};
+use cpdb_tree::Path;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_scan");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // The paper's Experiment-5 scale: a 14,000-step `real` workload.
+    let cfg = GenConfig::for_length(UpdatePattern::Real, 14_000, 2006);
+    let wl = generate(&cfg, 14_000);
+
+    for (label, indexed) in [("full_scan", false), ("range_scan", true)] {
+        let mut session =
+            build_session(&wl, Strategy::Hierarchical, indexed, &LatencyConfig::zero());
+        session.editor.run_script(&wl.script, 1).unwrap();
+        let store = session.store.clone();
+        // Probe subtree roots that exist in every run: copied records
+        // live under fresh labels n1, n2, … directly below T.
+        let prefixes: Vec<Path> = (1..=20).map(|i| format!("T/n{i}").parse().unwrap()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("by_loc_prefix", label),
+            &prefixes,
+            |b, prefixes| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for p in prefixes {
+                        hits += store.by_loc_prefix(p).unwrap().len();
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ use cpdb_bench::experiments::{self, Scale};
 use cpdb_bench::report;
 use std::time::Instant;
 
-fn write_json<T: serde::Serialize>(dir: Option<&str>, name: &str, value: &T) {
+fn write_json<T: cpdb_bench::json::ToJson>(dir: Option<&str>, name: &str, value: &T) {
     let Some(dir) = dir else { return };
     let path = std::path::Path::new(dir);
     if std::fs::create_dir_all(path).is_err() {
@@ -21,13 +21,8 @@ fn write_json<T: serde::Serialize>(dir: Option<&str>, name: &str, value: &T) {
         return;
     }
     let file = path.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => {
-            if let Err(e) = std::fs::write(&file, body) {
-                eprintln!("warning: cannot write {}: {e}", file.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&file, value.to_json()) {
+        eprintln!("warning: cannot write {}: {e}", file.display());
     }
 }
 

@@ -13,7 +13,6 @@ use crate::session::{
 use cpdb_core::Strategy;
 use cpdb_update::{AtomicUpdate, UpdateScript};
 use cpdb_workload::{generate, DeletionPattern, GenConfig, UpdatePattern, Workload};
-use serde::Serialize;
 
 /// Experiment sizes. `full()` is the paper's Table 1; `quick()` divides
 /// script lengths by `factor` for CI and smoke runs.
@@ -96,7 +95,7 @@ pub fn tables_2_and_3() -> String {
 }
 
 /// One bar of Figures 7/8/11: records stored for a (pattern, method).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct StorageBar {
     /// Workload pattern name.
     pub pattern: String,
@@ -152,7 +151,7 @@ pub fn fig8(scale: &Scale) -> Vec<StorageBar> {
 }
 
 /// One method's timing row for Figures 9 and 10.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TimingRow {
     /// Tracking method.
     pub method: String,
@@ -207,7 +206,7 @@ pub fn fig9_fig10(scale: &Scale) -> Vec<TimingRow> {
 
 /// One bar pair of **Figure 11**: rows with (`acd`) and without (`ac`)
 /// the deletes of a 14000-step mix variant.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeletionBar {
     /// Deletion pattern name (Table 3).
     pub deletion: String,
@@ -222,11 +221,7 @@ pub struct DeletionBar {
 /// Drops the delete operations from a script (the `ac` runs of
 /// Figure 11). Fresh labels make the remaining script valid on its own.
 fn without_deletes(script: &UpdateScript) -> UpdateScript {
-    script
-        .iter()
-        .filter(|u| !matches!(u, AtomicUpdate::Delete { .. }))
-        .cloned()
-        .collect()
+    script.iter().filter(|u| !matches!(u, AtomicUpdate::Delete { .. })).cloned().collect()
 }
 
 /// Experiment 3 / **Figure 11**: the effect of the Table 3 deletion
@@ -262,7 +257,7 @@ pub fn fig11(scale: &Scale) -> Vec<DeletionBar> {
 }
 
 /// One row of **Figure 12**: HT timings at a transaction length.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TxnLengthRow {
     /// Operations per transaction.
     pub txn_len: usize,
@@ -307,7 +302,7 @@ pub fn fig12(scale: &Scale) -> Vec<TxnLengthRow> {
 }
 
 /// One method's query-time row for **Figure 13**.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct QueryRow {
     /// Tracking method.
     pub method: String,
@@ -321,11 +316,7 @@ pub struct QueryRow {
 
 fn query_row(q: &QueryTimes) -> QueryRow {
     let ms = |trip: (std::time::Duration, std::time::Duration, std::time::Duration)| {
-        (
-            trip.0.as_secs_f64() * 1e3,
-            trip.1.as_secs_f64() * 1e3,
-            trip.2.as_secs_f64() * 1e3,
-        )
+        (trip.0.as_secs_f64() * 1e3, trip.1.as_secs_f64() * 1e3, trip.2.as_secs_f64() * 1e3)
     };
     QueryRow {
         method: q.strategy.short_name().to_owned(),
@@ -346,10 +337,7 @@ pub fn fig13(scale: &Scale) -> Vec<QueryRow> {
         .map(|&strategy| {
             let txn_len = if strategy.is_transactional() { 5 } else { 1 };
             let mut session = build_session(&wl, strategy, false, &LatencyConfig::zero());
-            session
-                .editor
-                .run_script(&wl.script, txn_len)
-                .expect("replay");
+            session.editor.run_script(&wl.script, txn_len).expect("replay");
             // Query latency: paper-like store probes.
             cpdb_core::ProvStore::set_latency(
                 session.store.as_ref(),

@@ -1,0 +1,140 @@
+//! Hand-rolled JSON serialization for the experiment result types.
+//!
+//! The build environment has no crates.io access, so instead of serde
+//! the handful of flat result structs write themselves out through this
+//! small trait. Output is standard JSON (objects, arrays, numbers,
+//! strings) — downstream tooling reading the `--json` dumps sees the
+//! same shape serde produced.
+
+use crate::experiments::{DeletionBar, QueryRow, StorageBar, TimingRow, TxnLengthRow};
+
+/// A value that can render itself as a JSON document fragment.
+pub trait ToJson {
+    /// The JSON text of this value.
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string per JSON rules.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as a JSON number (JSON has no NaN/inf; clamp to 0).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("{}: {v}", esc(k))).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        let body: Vec<String> = self.iter().map(ToJson::to_json).collect();
+        format!("[\n  {}\n]", body.join(",\n  "))
+    }
+}
+
+impl ToJson for StorageBar {
+    fn to_json(&self) -> String {
+        obj(&[
+            ("pattern", esc(&self.pattern)),
+            ("method", esc(&self.method)),
+            ("rows", self.rows.to_string()),
+            ("physical_bytes", self.physical_bytes.to_string()),
+            ("live_bytes", self.live_bytes.to_string()),
+        ])
+    }
+}
+
+impl ToJson for TimingRow {
+    fn to_json(&self) -> String {
+        obj(&[
+            ("method", esc(&self.method)),
+            ("dataset_us", num(self.dataset_us)),
+            ("add_us", num(self.add_us)),
+            ("delete_us", num(self.delete_us)),
+            ("paste_us", num(self.paste_us)),
+            ("commit_us", num(self.commit_us)),
+            ("add_pct", num(self.add_pct)),
+            ("delete_pct", num(self.delete_pct)),
+            ("copy_pct", num(self.copy_pct)),
+        ])
+    }
+}
+
+impl ToJson for DeletionBar {
+    fn to_json(&self) -> String {
+        obj(&[
+            ("deletion", esc(&self.deletion)),
+            ("method", esc(&self.method)),
+            ("ac_rows", self.ac_rows.to_string()),
+            ("acd_rows", self.acd_rows.to_string()),
+        ])
+    }
+}
+
+impl ToJson for TxnLengthRow {
+    fn to_json(&self) -> String {
+        obj(&[
+            ("txn_len", self.txn_len.to_string()),
+            ("add_us", num(self.add_us)),
+            ("delete_us", num(self.delete_us)),
+            ("copy_us", num(self.copy_us)),
+            ("commit_us", num(self.commit_us)),
+            ("amortized_us", num(self.amortized_us)),
+        ])
+    }
+}
+
+impl ToJson for QueryRow {
+    fn to_json(&self) -> String {
+        let trip = |t: (f64, f64, f64)| format!("[{}, {}, {}]", num(t.0), num(t.1), num(t.2));
+        obj(&[
+            ("method", esc(&self.method)),
+            ("src_ms", trip(self.src_ms)),
+            ("mod_ms", trip(self.mod_ms)),
+            ("hist_ms", trip(self.hist_ms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_shapes() {
+        assert_eq!(esc("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        let bar = StorageBar {
+            pattern: "mix".into(),
+            method: "HT".into(),
+            rows: 7,
+            physical_bytes: 8192,
+            live_bytes: 900,
+        };
+        let json = vec![bar].to_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains(r#""pattern": "mix""#), "{json}");
+        assert!(json.contains(r#""rows": 7"#), "{json}");
+    }
+}

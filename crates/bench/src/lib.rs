@@ -15,5 +15,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod session;

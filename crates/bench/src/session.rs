@@ -97,9 +97,8 @@ fn relational_source(wl: &Workload) -> RelationalSource {
         .get(&"proteins".parse::<Path>().expect("path"))
         .expect("workload source has a proteins table");
     for (key, rec) in proteins.children().expect("table node") {
-        let field = |name: &str| -> &Tree {
-            rec.child(cpdb_tree::Label::new(name)).expect("record field")
-        };
+        let field =
+            |name: &str| -> &Tree { rec.child(cpdb_tree::Label::new(name)).expect("record field") };
         let evidence = match field("evidence").as_value() {
             Some(Value::Int(i)) => *i,
             _ => 0,

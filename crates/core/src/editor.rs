@@ -165,7 +165,8 @@ impl Editor {
     /// strategies) and records its metadata.
     pub fn commit(&mut self) -> Result<()> {
         let tid = self.tracker.current_tid();
-        let had_pending = self.tracker.provlist_len() > 0 || !self.tracker.strategy().is_transactional();
+        let had_pending =
+            self.tracker.provlist_len() > 0 || !self.tracker.strategy().is_transactional();
         self.tracker.commit()?;
         self.clock += 1;
         if had_pending && self.tracker.strategy().is_transactional() {

@@ -63,8 +63,7 @@ impl Federation {
         tnow: Tid,
     ) -> &mut Self {
         let db = db.into();
-        self.members
-            .insert(db, Member { engine: QueryEngine::new(store, hierarchical, db), tnow });
+        self.members.insert(db, Member { engine: QueryEngine::new(store, hierarchical, db), tnow });
         self
     }
 
@@ -107,11 +106,7 @@ impl Federation {
                     return Ok(steps);
                 }
                 Some(TraceStep { tid, action: FromStep::Copied { src }, .. }) => {
-                    steps.push(OwnStep {
-                        db: db_name,
-                        loc: cur.clone(),
-                        arrived_by: Some(*tid),
-                    });
+                    steps.push(OwnStep { db: db_name, loc: cur.clone(), arrived_by: Some(*tid) });
                     cur = src.clone();
                 }
                 Some(TraceStep { action: FromStep::Deleted | FromStep::Unchanged, .. }) => {
@@ -259,7 +254,10 @@ mod tests {
         let mut fed = Federation::new();
         fed.register("MyDB", store, false, tnow);
         let own = fed.own(&p("MyDB/old")).unwrap();
-        assert_eq!(own, vec![OwnStep { db: Label::new("MyDB"), loc: p("MyDB/old"), arrived_by: None }]);
+        assert_eq!(
+            own,
+            vec![OwnStep { db: Label::new("MyDB"), loc: p("MyDB/old"), arrived_by: None }]
+        );
     }
 
     #[test]

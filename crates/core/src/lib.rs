@@ -59,8 +59,8 @@
 
 pub mod approx;
 mod editor;
-pub mod federation;
 mod error;
+pub mod federation;
 mod query;
 mod record;
 pub mod recovery;

@@ -10,17 +10,23 @@
 //! this code in `tests/datalog_equiv.rs`).
 //!
 //! For hierarchical stores the effective record at a location may live
-//! at an *ancestor* (Section 2.1.3's inference rules); the walk probes
-//! ancestors location by location — the extra store traffic behind
-//! Figure 13's observation that `getMod` is slower on hierarchical
-//! provenance ("each query must process all the descendants of a node,
-//! including ones not listed in the provenance store").
+//! at an *ancestor* (Section 2.1.3's inference rules). The governing
+//! probe fetches the whole ancestor chain in **one** read round trip
+//! ([`crate::ProvStore::by_loc_chain`], a batched `IN`-list probe)
+//! instead of one probe per ancestor, and `getMod` — the query that
+//! "must process all the descendants of a node" (Figure 13) — seeds
+//! itself with a **single index range scan** over the subtree
+//! ([`crate::ProvStore::by_loc_prefix`]) plus one chain probe, so the
+//! per-descendant resolution that dominates hierarchical `getMod` runs
+//! against prefetched records rather than the store. Only trace steps
+//! that leave the queried subtree (copies from elsewhere) go back to
+//! the store.
 
 use crate::error::Result;
 use crate::record::{Op, ProvRecord, Tid};
 use crate::store::ProvStore;
 use cpdb_tree::Path;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// What happened to a node in one transaction, resolved through
@@ -66,7 +72,11 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Creates a query engine. `hierarchical` must match the strategy
     /// that populated the store.
-    pub fn new(store: Arc<dyn ProvStore>, hierarchical: bool, target_db: impl Into<cpdb_tree::Label>) -> QueryEngine {
+    pub fn new(
+        store: Arc<dyn ProvStore>,
+        hierarchical: bool,
+        target_db: impl Into<cpdb_tree::Label>,
+    ) -> QueryEngine {
         QueryEngine { store, hierarchical, target: Path::single(target_db.into()) }
     }
 
@@ -75,40 +85,48 @@ impl QueryEngine {
         &self.store
     }
 
-    /// Finds the governing record for `loc` at or before `t_max`: the
-    /// newest record at `loc` — or, for hierarchical stores, at its
-    /// nearest ancestor (deepest location wins ties within one
-    /// transaction, because an explicit record overrides inference).
-    /// Returns the record and the location it is anchored at.
-    fn governing(&self, loc: &Path, t_max: Tid) -> Result<Option<(ProvRecord, Path)>> {
-        let mut best: Option<(ProvRecord, Path)> = None;
-        #[allow(clippy::type_complexity)]
-        let mut consider = |records: Vec<ProvRecord>, at: &Path| {
-            for r in records {
-                if r.tid > t_max {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((b, at_b)) => {
-                        r.tid > b.tid || (r.tid == b.tid && at.len() > at_b.len())
-                    }
-                };
-                if better {
-                    best = Some((r, at.clone()));
-                }
+    /// Picks the governing record out of candidates anchored at `loc`
+    /// or its ancestors: newest `tid ≤ t_max` wins; within one
+    /// transaction the deepest anchor wins, because an explicit record
+    /// overrides inference.
+    fn best_governing(
+        candidates: impl IntoIterator<Item = ProvRecord>,
+        t_max: Tid,
+    ) -> Option<(ProvRecord, Path)> {
+        let mut best: Option<ProvRecord> = None;
+        for r in candidates {
+            if r.tid > t_max {
+                continue;
             }
-        };
-        consider(self.store.by_loc(loc)?, loc);
-        if self.hierarchical {
-            for anc in loc.ancestors() {
-                if anc.len() < self.target.len() {
-                    break; // don't probe above the database root
-                }
-                consider(self.store.by_loc(&anc)?, &anc);
+            let better = match &best {
+                None => true,
+                Some(b) => r.tid > b.tid || (r.tid == b.tid && r.loc.len() > b.loc.len()),
+            };
+            if better {
+                best = Some(r);
             }
         }
-        Ok(best)
+        best.map(|r| {
+            let at = r.loc.clone();
+            (r, at)
+        })
+    }
+
+    /// Finds the governing record for `loc` at or before `t_max`: the
+    /// newest record at `loc` — or, for hierarchical stores, at its
+    /// nearest ancestor. Returns the record and the location it is
+    /// anchored at. One read round trip: a point lookup for flat
+    /// stores, a batched ancestor-chain probe for hierarchical ones.
+    fn governing(&self, loc: &Path, t_max: Tid) -> Result<Option<(ProvRecord, Path)>> {
+        let candidates = if self.hierarchical {
+            // `loc` plus every ancestor down to the database root, in
+            // one statement (records above the root are never
+            // consulted, matching the paper's "for paths in T").
+            self.store.by_loc_chain(loc, self.target.len())?
+        } else {
+            self.store.by_loc(loc)?
+        };
+        Ok(Self::best_governing(candidates, t_max))
     }
 
     /// Resolves a governing record into the action at `loc` itself,
@@ -144,12 +162,29 @@ impl QueryEngine {
     /// created the data, newest first. Transactions with no effect on
     /// the node are skipped (they would be `Unchanged` steps).
     pub fn trace(&self, loc: &Path, tnow: Tid) -> Result<Vec<TraceStep>> {
+        self.trace_with_seed(loc, tnow, None)
+    }
+
+    /// [`QueryEngine::trace`] resolving through a prefetched subtree
+    /// seed where it covers the current location, and through the store
+    /// otherwise.
+    fn trace_with_seed(
+        &self,
+        loc: &Path,
+        tnow: Tid,
+        seed: Option<&PrefixSeed>,
+    ) -> Result<Vec<TraceStep>> {
         let mut steps = Vec::new();
         let mut cur = loc.clone();
         let mut t = tnow;
-        // Ends when governing() finds nothing: the node was unchanged
+        // Ends when governing finds nothing: the node was unchanged
         // all the way back to the initial version.
-        while let Some((record, at)) = self.governing(&cur, t)? {
+        loop {
+            let gov = match seed {
+                Some(s) if s.covers(&cur) => s.governing(self, &cur, t),
+                _ => self.governing(&cur, t)?,
+            };
+            let Some((record, at)) = gov else { break };
             let action = Self::resolve(&record, &at, &cur);
             steps.push(TraceStep { tid: record.tid, loc: cur.clone(), action: action.clone() });
             match action {
@@ -195,14 +230,98 @@ impl QueryEngine {
     /// nodes in the *current* version (the editor reads them from the
     /// target database), matching the paper's definition
     /// `Mod(p) = {u | ∃q ≥ p. Trace(q, tnow, r, u), ¬Unch(u, r)}`.
+    ///
+    /// Instead of probing the store per descendant, the whole subtree's
+    /// records are prefetched with one index range scan (plus, for
+    /// hierarchical stores, one ancestor-chain probe for the records
+    /// governing the root from above); per-node traces then resolve
+    /// client-side and only return to the store when a copy chain
+    /// leaves the subtree.
     pub fn get_mod(&self, subtree_nodes: &[Path], tnow: Tid) -> Result<BTreeSet<Tid>> {
         let mut out = BTreeSet::new();
+        let seed = self.seed_for(subtree_nodes)?;
         for q in subtree_nodes {
-            for step in self.trace(q, tnow)? {
+            for step in self.trace_with_seed(q, tnow, seed.as_ref())? {
                 out.insert(step.tid);
             }
         }
         Ok(out)
+    }
+
+    /// Builds the prefetched seed for a `get_mod` call: valid whenever
+    /// the supplied nodes share a common root (which `Tree::all_paths`
+    /// output always does).
+    fn seed_for(&self, subtree_nodes: &[Path]) -> Result<Option<PrefixSeed>> {
+        let Some(root) = subtree_nodes.iter().min_by_key(|p| p.len()).cloned() else {
+            return Ok(None);
+        };
+        if !subtree_nodes.iter().all(|q| q.starts_with(&root)) {
+            return Ok(None);
+        }
+        // One range scan covers every record anchored inside the
+        // subtree …
+        let mut under: BTreeMap<String, Vec<ProvRecord>> = BTreeMap::new();
+        for r in self.store.by_loc_prefix(&root)? {
+            under.entry(r.loc.key()).or_default().push(r);
+        }
+        // … and for hierarchical stores one chain probe covers the
+        // records governing the root from its ancestors.
+        let mut above: BTreeMap<String, Vec<ProvRecord>> = BTreeMap::new();
+        if self.hierarchical && root.len() > self.target.len() {
+            for r in self.store.by_loc_chain(&root, self.target.len())? {
+                if r.loc.len() < root.len() {
+                    above.entry(r.loc.key()).or_default().push(r);
+                }
+            }
+        }
+        Ok(Some(PrefixSeed { root, under, above }))
+    }
+}
+
+/// Prefetched records for one subtree: everything anchored at or below
+/// `root` (from one range scan) plus everything anchored at `root`'s
+/// ancestors (from one chain probe). For any location inside the
+/// subtree this answers the governing-record query without touching
+/// the store.
+struct PrefixSeed {
+    root: Path,
+    /// Encoded loc key → records anchored there, for keys under `root`.
+    under: BTreeMap<String, Vec<ProvRecord>>,
+    /// Encoded loc key → records anchored there, for `root`'s proper
+    /// ancestors.
+    above: BTreeMap<String, Vec<ProvRecord>>,
+}
+
+impl PrefixSeed {
+    /// `true` iff the seed has complete data for `loc`'s governing
+    /// query.
+    fn covers(&self, loc: &Path) -> bool {
+        loc.starts_with(&self.root)
+    }
+
+    /// Client-side [`QueryEngine::governing`] over the prefetched
+    /// records: same candidates, same tie-breaks, zero round trips.
+    fn governing(
+        &self,
+        engine: &QueryEngine,
+        loc: &Path,
+        t_max: Tid,
+    ) -> Option<(ProvRecord, Path)> {
+        debug_assert!(self.covers(loc));
+        let lookup = |p: &Path| -> Vec<ProvRecord> {
+            let map = if p.starts_with(&self.root) { &self.under } else { &self.above };
+            map.get(&p.key()).cloned().unwrap_or_default()
+        };
+        let mut candidates = lookup(loc);
+        if engine.hierarchical {
+            for anc in loc.ancestors() {
+                if anc.len() < engine.target.len() {
+                    break;
+                }
+                candidates.extend(lookup(&anc));
+            }
+        }
+        QueryEngine::best_governing(candidates, t_max)
     }
 }
 

@@ -147,8 +147,8 @@ mod tests {
     use crate::store::MemStore;
     use crate::tracker::{Strategy, Tracker};
     use cpdb_tree::tree;
-    use cpdb_update::{parse_script, Workspace};
     use cpdb_tree::Database;
+    use cpdb_update::{parse_script, Workspace};
 
     fn p(s: &str) -> Path {
         s.parse().unwrap()
@@ -160,8 +160,8 @@ mod tests {
             "a1" => { "x" => 1, "y" => 2 },
             "a2" => { "x" => 3 },
         };
-        let mut ws = Workspace::new(Database::new(name, tree! {}))
-            .with_source(Database::new("S", s));
+        let mut ws =
+            Workspace::new(Database::new(name, tree! {})).with_source(Database::new("S", s));
         let store = Arc::new(MemStore::new());
         let mut tracker = Tracker::new(strategy, store.clone(), Tid(1));
         for u in &parse_script(script).unwrap() {
@@ -193,10 +193,7 @@ mod tests {
         let w1 = witness("T1", "copy S/a1 into T1/one", Strategy::Hierarchical);
         let w2 = witness("T2", "copy S/a2 into T2/two", Strategy::HierarchicalTransactional);
         let rec = reconstruct(Label::new("S"), &[w1, w2]).unwrap();
-        assert_eq!(
-            rec.tree,
-            tree! { "a1" => { "x" => 1, "y" => 2 }, "a2" => { "x" => 3 } }
-        );
+        assert_eq!(rec.tree, tree! { "a1" => { "x" => 1, "y" => 2 }, "a2" => { "x" => 3 } });
         assert!(rec.conflicts.is_empty());
     }
 

@@ -178,10 +178,8 @@ mod tests {
         .unwrap();
 
         // The inference rule derives the child copy record.
-        assert!(db.contains(
-            "Prov",
-            &[Val::Int(1), Val::sym("C"), Val::sym("T/n/x"), Val::sym("S/a/x")]
-        ));
+        assert!(db
+            .contains("Prov", &[Val::Int(1), Val::sym("C"), Val::sym("T/n/x"), Val::sym("S/a/x")]));
         // z was inserted at txn 2; x has no inserting transaction.
         assert_eq!(src_answers(&db, &p("T/n/z")), vec![Tid(2)]);
         assert!(src_answers(&db, &p("T/n/x")).is_empty());
@@ -208,9 +206,8 @@ mod tests {
             mod_roots: &[],
         })
         .unwrap();
-        assert!(db.contains(
-            "Prov",
-            &[Val::Int(1), Val::sym("D"), Val::sym("T/gone/x"), Val::sym("⊥")]
-        ));
+        assert!(
+            db.contains("Prov", &[Val::Int(1), Val::sym("D"), Val::sym("T/gone/x"), Val::sym("⊥")])
+        );
     }
 }

@@ -9,17 +9,44 @@
 //! * [`MemStore`] — an indexed in-memory store, used in fast tests and
 //!   as an ablation point.
 //!
+//! ## Read-path architecture
+//!
+//! Locations are persisted in their **order-preserving key encoding**
+//! ([`Path::key`]): the `loc`/`src` columns hold encoded keys, so the
+//! provenance table's secondary indexes are ordered by *segment-wise
+//! path order* and a subtree probe is a contiguous key range
+//! ([`Path::prefix_range_bounds`] — `T/c2`'s range excludes `T/c20`).
+//! On an indexed [`SqlStore`] each query maps to exactly one access
+//! path:
+//!
+//! | query | access path (indexed) | access path (unindexed) |
+//! |---|---|---|
+//! | [`ProvStore::at`] | point lookup on `(tid, loc)` | full scan |
+//! | [`ProvStore::by_loc`] | point lookup on `loc` | full scan |
+//! | [`ProvStore::by_tid`] | point lookup on `tid` | full scan |
+//! | [`ProvStore::by_loc_prefix`] | **index range scan** on `loc` | full scan |
+//! | [`ProvStore::by_tid_loc_prefix`] | **index range scan** on `(tid, loc)` | full scan |
+//! | [`ProvStore::by_loc_chain`] | batched point lookup (`IN`-list) on `loc` | full scan |
+//!
+//! ## Round-trip model
+//!
 //! Every store separates **read** and **write** round trips, each with
 //! its own simulated latency, because the timing experiments depend on
 //! the asymmetry (a `SELECT` probe is cheaper than an `INSERT` round
-//! trip — see `cpdb-bench`'s calibration notes).
+//! trip — see `cpdb-bench`'s calibration notes). The unit of
+//! accounting is one *statement*: a range scan is one read round trip
+//! no matter how many rows it returns, a batched insert is one write
+//! round trip no matter how many rows it carries (plus a simulated
+//! per-additional-row cost, Figure 12), and a batched `IN`-list probe
+//! is one read round trip no matter how many keys it names.
 
 use crate::error::Result;
 use crate::record::{Op, ProvRecord, Tid};
 use cpdb_storage::{Column, DataType, Datum, Engine, Meter, Schema, TableHandle};
 use cpdb_tree::Path;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,7 +56,8 @@ pub trait ProvStore: Send + Sync {
     fn insert(&self, record: &ProvRecord) -> Result<()>;
 
     /// Appends many records in one batched statement (one write round
-    /// trip — what a transactional commit issues).
+    /// trip — what a transactional commit issues). An empty batch
+    /// issues no statement and costs nothing.
     fn insert_batch(&self, records: &[ProvRecord]) -> Result<()>;
 
     /// All records, unordered (one read round trip).
@@ -44,8 +72,25 @@ pub trait ProvStore: Send + Sync {
     /// Records of a transaction (one read round trip).
     fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>>;
 
-    /// Records whose `loc` starts with `prefix` (one read round trip).
+    /// Records whose `loc` lies in the subtree under `prefix`,
+    /// including `prefix` itself (one read round trip — a single index
+    /// range scan on an indexed store).
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records of one transaction whose `loc` lies in the subtree
+    /// under `prefix` (one read round trip — a single range scan over
+    /// the `(tid, loc)` index on an indexed store). This is the
+    /// hierarchical tracker's insert probe: it never fetches records
+    /// of unrelated transactions or databases.
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records anchored at `loc` **or any of its ancestors** with at
+    /// least `min_depth` segments (one read round trip — a batched
+    /// `IN`-list probe on an indexed store). This is the hierarchical
+    /// query engine's governing-record probe: inference rules resolve a
+    /// location through its ancestor chain, and the whole chain is one
+    /// statement instead of one probe per ancestor.
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>>;
 
     /// Number of stored records (client-side bookkeeping, no round trip).
     fn len(&self) -> u64;
@@ -77,12 +122,20 @@ pub trait ProvStore: Send + Sync {
     fn set_batch_row_latency(&self, per_row: Duration);
 }
 
+/// The keys probed by [`ProvStore::by_loc_chain`]: `loc` itself plus
+/// every ancestor with at least `min_depth` segments, encoded.
+fn chain_keys(loc: &Path, min_depth: usize) -> Vec<String> {
+    let mut keys = vec![loc.key()];
+    keys.extend(loc.ancestors().filter(|a| a.len() >= min_depth).map(|a| a.key()));
+    keys
+}
+
 fn record_to_row(r: &ProvRecord) -> Vec<Datum> {
     vec![
         Datum::U64(r.tid.0),
         Datum::str(r.op.code()),
-        Datum::str(r.loc.to_string()),
-        r.src.as_ref().map_or(Datum::Null, |s| Datum::str(s.to_string())),
+        Datum::str(r.loc.key()),
+        r.src.as_ref().map_or(Datum::Null, |s| Datum::str(s.key())),
     ]
 }
 
@@ -93,20 +146,19 @@ fn row_to_record(row: &[Datum]) -> Result<ProvRecord> {
     let tid = Tid(row[0].as_u64().ok_or_else(|| corrupt("tid"))?);
     let op = Op::from_code(row[1].as_str().ok_or_else(|| corrupt("op"))?)
         .ok_or_else(|| corrupt("op code"))?;
-    let loc: Path = row[2]
-        .as_str()
-        .ok_or_else(|| corrupt("loc"))?
-        .parse()
-        .map_err(|_| corrupt("loc path"))?;
+    let loc = Path::from_key(row[2].as_str().ok_or_else(|| corrupt("loc"))?)
+        .map_err(|_| corrupt("loc key"))?;
     let src = match &row[3] {
         Datum::Null => None,
-        Datum::Str(s) => Some(s.parse().map_err(|_| corrupt("src path"))?),
+        Datum::Str(s) => Some(Path::from_key(s).map_err(|_| corrupt("src key"))?),
         _ => return Err(corrupt("src")),
     };
     Ok(ProvRecord { tid, op, loc, src })
 }
 
-/// The provenance table schema: `Prov(tid, op, loc, src)`.
+/// The provenance table schema: `Prov(tid, op, loc, src)`. The `loc`
+/// and `src` columns hold the order-preserving key encoding of paths
+/// ([`Path::key`]), so indexes over them are ordered by path order.
 pub fn prov_schema() -> Schema {
     Schema::new(vec![
         Column::new("tid", DataType::U64),
@@ -129,33 +181,59 @@ const IDX_TID_LOC: &str = "prov_by_tid_loc";
 const IDX_LOC: &str = "prov_by_loc";
 const IDX_TID: &str = "prov_by_tid";
 
+/// Bounds for a `(tid, loc)` range covering one transaction's records
+/// under `prefix`.
+fn tid_loc_bounds(tid: Tid, prefix: &Path) -> (Bound<Vec<Datum>>, Bound<Vec<Datum>>) {
+    let (lo, hi) = prefix.prefix_range_bounds();
+    let lo = match lo {
+        Bound::Included(k) => Bound::Included(vec![Datum::U64(tid.0), Datum::str(k)]),
+        Bound::Excluded(k) => Bound::Excluded(vec![Datum::U64(tid.0), Datum::str(k)]),
+        // Whole database: from the first key of this tid …
+        Bound::Unbounded => Bound::Included(vec![Datum::U64(tid.0)]),
+    };
+    let hi = match hi {
+        Bound::Included(k) => Bound::Included(vec![Datum::U64(tid.0), Datum::str(k)]),
+        Bound::Excluded(k) => Bound::Excluded(vec![Datum::U64(tid.0), Datum::str(k)]),
+        // … to just before the next tid.
+        Bound::Unbounded => Bound::Excluded(vec![Datum::U64(tid.0 + 1)]),
+    };
+    (lo, hi)
+}
+
+/// Bounds for a `loc` range covering the subtree under `prefix`.
+fn loc_bounds(prefix: &Path) -> (Bound<Vec<Datum>>, Bound<Vec<Datum>>) {
+    let (lo, hi) = prefix.prefix_range_bounds();
+    let wrap = |b: Bound<String>| match b {
+        Bound::Included(k) => Bound::Included(vec![Datum::str(k)]),
+        Bound::Excluded(k) => Bound::Excluded(vec![Datum::str(k)]),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    (wrap(lo), wrap(hi))
+}
+
 impl SqlStore {
     /// Creates the `Prov` table inside `engine`. `indexed` controls
     /// whether secondary indexes are built (the paper's query experiment
     /// runs unindexed as worst case).
     pub fn create(engine: &Engine, indexed: bool) -> Result<SqlStore> {
         let table = engine.create_table("Prov", prov_schema())?;
-        if indexed {
-            table.add_index(IDX_TID_LOC, &["tid", "loc"], false)?;
-            table.add_index(IDX_LOC, &["loc"], false)?;
-            table.add_index(IDX_TID, &["tid"], false)?;
-        }
-        Ok(SqlStore {
-            table,
-            indexed,
-            reads: Meter::new(),
-            writes: Meter::new(),
-            batch_row_ns: std::sync::atomic::AtomicU64::new(0),
-        })
+        Self::finish(table, indexed)
     }
 
     /// Opens an existing `Prov` table from `engine`.
     pub fn open(engine: &Engine, indexed: bool) -> Result<SqlStore> {
         let table = engine.open_table("Prov")?;
+        Self::finish(table, indexed)
+    }
+
+    fn finish(table: Arc<TableHandle>, indexed: bool) -> Result<SqlStore> {
         if indexed {
-            table.add_index(IDX_TID_LOC, &["tid", "loc"], false)?;
-            table.add_index(IDX_LOC, &["loc"], false)?;
-            table.add_index(IDX_TID, &["tid"], false)?;
+            // `loc` holds order-preserving keys, so the loc-leading
+            // indexes are ordered and serve subtree probes as range
+            // scans; `tid` alone is a point-lookup index.
+            table.add_index(IDX_TID_LOC, &["tid", "loc"], false, true)?;
+            table.add_index(IDX_LOC, &["loc"], false, true)?;
+            table.add_index(IDX_TID, &["tid"], false, false)?;
         }
         Ok(SqlStore {
             table,
@@ -189,12 +267,14 @@ impl ProvStore for SqlStore {
     }
 
     fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
-        if records.is_empty() {
+        // An empty batch issues no statement: no round trip, no
+        // simulated latency.
+        let Some(extra_rows) = records.len().checked_sub(1) else {
             return Ok(());
-        }
+        };
         self.writes.round_trip();
         let per_row = self.batch_row_ns.load(std::sync::atomic::Ordering::Relaxed);
-        cpdb_storage::spin(Duration::from_nanos(per_row * (records.len() as u64 - 1)));
+        cpdb_storage::spin(Duration::from_nanos(per_row.saturating_mul(extra_rows as u64)));
         for r in records {
             self.table.insert(&record_to_row(r))?;
         }
@@ -209,12 +289,10 @@ impl ProvStore for SqlStore {
     fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
         let rows = if self.indexed {
-            self.table
-                .lookup(IDX_TID_LOC, &[Datum::U64(tid.0), Datum::str(loc.to_string())])?
+            self.table.lookup(IDX_TID_LOC, &[Datum::U64(tid.0), Datum::str(loc.key())])?
         } else {
-            let loc_s = loc.to_string();
-            self.table
-                .select(|row| row[0] == Datum::U64(tid.0) && row[2].as_str() == Some(&loc_s))?
+            let key = loc.key();
+            self.table.select(|row| row[0] == Datum::U64(tid.0) && row[2].as_str() == Some(&key))?
         };
         Self::rows_to_records(rows)
     }
@@ -222,10 +300,10 @@ impl ProvStore for SqlStore {
     fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
         let rows = if self.indexed {
-            self.table.lookup(IDX_LOC, &[Datum::str(loc.to_string())])?
+            self.table.lookup(IDX_LOC, &[Datum::str(loc.key())])?
         } else {
-            let loc_s = loc.to_string();
-            self.table.select(|row| row[2].as_str() == Some(&loc_s))?
+            let key = loc.key();
+            self.table.select(|row| row[2].as_str() == Some(&key))?
         };
         Self::rows_to_records(rows)
     }
@@ -242,10 +320,46 @@ impl ProvStore for SqlStore {
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
-        // A LIKE 'prefix/%' scan; done client-side on segments so that
-        // `T/c2` does not match `T/c20`.
-        let records = Self::rows_to_records(self.table.select(|_| true)?)?;
-        Ok(records.into_iter().filter(|r| r.loc.starts_with(prefix)).collect())
+        let rows = if self.indexed {
+            // One contiguous range scan over the ordered loc index; the
+            // key encoding guarantees `T/c2`'s range excludes `T/c20`.
+            let (lo, hi) = loc_bounds(prefix);
+            self.table.range_scan(IDX_LOC, lo, hi)?
+        } else {
+            // The paper's worst case: one full scan, filtered
+            // client-side on the encoded key range.
+            let (lo, hi) = prefix.prefix_range_bounds();
+            self.table.select(|row| row[2].as_str().is_some_and(|k| key_in_bounds(k, &lo, &hi)))?
+        };
+        Self::rows_to_records(rows)
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let rows = if self.indexed {
+            let (lo, hi) = tid_loc_bounds(tid, prefix);
+            self.table.range_scan(IDX_TID_LOC, lo, hi)?
+        } else {
+            let (lo, hi) = prefix.prefix_range_bounds();
+            self.table.select(|row| {
+                row[0] == Datum::U64(tid.0)
+                    && row[2].as_str().is_some_and(|k| key_in_bounds(k, &lo, &hi))
+            })?
+        };
+        Self::rows_to_records(rows)
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let keys = chain_keys(loc, min_depth);
+        let rows = if self.indexed {
+            let probe: Vec<Vec<Datum>> = keys.into_iter().map(|k| vec![Datum::str(k)]).collect();
+            self.table.lookup_many(IDX_LOC, &probe)?
+        } else {
+            let wanted: std::collections::HashSet<String> = keys.into_iter().collect();
+            self.table.select(|row| row[2].as_str().is_some_and(|k| wanted.contains(k)))?
+        };
+        Self::rows_to_records(rows)
     }
 
     fn len(&self) -> u64 {
@@ -275,12 +389,28 @@ impl ProvStore for SqlStore {
     }
 
     fn set_batch_row_latency(&self, per_row: Duration) {
-        self.batch_row_ns
-            .store(per_row.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.batch_row_ns.store(per_row.as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
-/// An in-memory provenance store with hash indexes.
+/// `true` iff the encoded key falls inside the bound pair.
+fn key_in_bounds(key: &str, lo: &Bound<String>, hi: &Bound<String>) -> bool {
+    let above = match lo {
+        Bound::Included(l) => key >= l.as_str(),
+        Bound::Excluded(l) => key > l.as_str(),
+        Bound::Unbounded => true,
+    };
+    let below = match hi {
+        Bound::Included(h) => key <= h.as_str(),
+        Bound::Excluded(h) => key < h.as_str(),
+        Bound::Unbounded => true,
+    };
+    above && below
+}
+
+/// An in-memory provenance store whose side tables are ordered by the
+/// same encoded keys the SQL store indexes — subtree probes are
+/// `BTreeMap::range` calls, not filters over all records.
 #[derive(Default)]
 pub struct MemStore {
     inner: RwLock<MemInner>,
@@ -291,8 +421,17 @@ pub struct MemStore {
 #[derive(Default)]
 struct MemInner {
     records: Vec<ProvRecord>,
-    by_loc: HashMap<Path, Vec<usize>>,
-    by_tid: HashMap<Tid, Vec<usize>>,
+    /// Encoded `loc` key → record indexes, in path order.
+    by_key: BTreeMap<String, Vec<usize>>,
+    /// `(tid, encoded loc key)` → record indexes; one transaction's
+    /// records are a contiguous sub-range.
+    by_tid_key: BTreeMap<(Tid, String), Vec<usize>>,
+}
+
+impl MemInner {
+    fn collect(&self, ids: impl IntoIterator<Item = usize>) -> Vec<ProvRecord> {
+        ids.into_iter().map(|i| self.records[i].clone()).collect()
+    }
 }
 
 impl MemStore {
@@ -303,9 +442,10 @@ impl MemStore {
 
     fn push(inner: &mut MemInner, record: &ProvRecord) {
         let i = inner.records.len();
+        let key = record.loc.key();
         inner.records.push(record.clone());
-        inner.by_loc.entry(record.loc.clone()).or_default().push(i);
-        inner.by_tid.entry(record.tid).or_default().push(i);
+        inner.by_key.entry(key.clone()).or_default().push(i);
+        inner.by_tid_key.entry((record.tid, key)).or_default().push(i);
     }
 }
 
@@ -337,15 +477,9 @@ impl ProvStore for MemStore {
         self.reads.round_trip();
         let inner = self.inner.read();
         Ok(inner
-            .by_loc
-            .get(loc)
-            .map(|ids| {
-                ids.iter()
-                    .map(|&i| &inner.records[i])
-                    .filter(|r| r.tid == tid)
-                    .cloned()
-                    .collect()
-            })
+            .by_tid_key
+            .get(&(tid, loc.key()))
+            .map(|ids| inner.collect(ids.iter().copied()))
             .unwrap_or_default())
     }
 
@@ -353,26 +487,60 @@ impl ProvStore for MemStore {
         self.reads.round_trip();
         let inner = self.inner.read();
         Ok(inner
-            .by_loc
-            .get(loc)
-            .map(|ids| ids.iter().map(|&i| inner.records[i].clone()).collect())
+            .by_key
+            .get(&loc.key())
+            .map(|ids| inner.collect(ids.iter().copied()))
             .unwrap_or_default())
     }
 
     fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
         let inner = self.inner.read();
-        Ok(inner
-            .by_tid
-            .get(&tid)
-            .map(|ids| ids.iter().map(|&i| inner.records[i].clone()).collect())
-            .unwrap_or_default())
+        let ids: Vec<usize> = inner
+            .by_tid_key
+            .range((tid, String::new())..(Tid(tid.0 + 1), String::new()))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        Ok(inner.collect(ids))
     }
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
         let inner = self.inner.read();
-        Ok(inner.records.iter().filter(|r| r.loc.starts_with(prefix)).cloned().collect())
+        let (lo, hi) = prefix.prefix_range_bounds();
+        let ids: Vec<usize> =
+            inner.by_key.range((lo, hi)).flat_map(|(_, ids)| ids.iter().copied()).collect();
+        Ok(inner.collect(ids))
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        let (lo, hi) = prefix.prefix_range_bounds();
+        let lo = match lo {
+            Bound::Included(k) => Bound::Included((tid, k)),
+            Bound::Excluded(k) => Bound::Excluded((tid, k)),
+            Bound::Unbounded => Bound::Included((tid, String::new())),
+        };
+        let hi = match hi {
+            Bound::Included(k) => Bound::Included((tid, k)),
+            Bound::Excluded(k) => Bound::Excluded((tid, k)),
+            Bound::Unbounded => Bound::Excluded((Tid(tid.0 + 1), String::new())),
+        };
+        let ids: Vec<usize> =
+            inner.by_tid_key.range((lo, hi)).flat_map(|(_, ids)| ids.iter().copied()).collect();
+        Ok(inner.collect(ids))
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        let ids: Vec<usize> = chain_keys(loc, min_depth)
+            .into_iter()
+            .filter_map(|k| inner.by_key.get(&k))
+            .flat_map(|ids| ids.iter().copied())
+            .collect();
+        Ok(inner.collect(ids))
     }
 
     fn len(&self) -> u64 {
@@ -444,6 +612,15 @@ mod tests {
         assert_eq!(store.at(Tid(999), &p("T/c2")).unwrap().len(), 0);
         let prefix = store.by_loc_prefix(&p("T/c2")).unwrap();
         assert_eq!(prefix.len(), 3, "c2 records incl. child: {prefix:?}");
+        // Scoped to one transaction: only tid 124's records under c2.
+        let scoped = store.by_tid_loc_prefix(Tid(124), &p("T/c2")).unwrap();
+        assert_eq!(scoped.len(), 2, "{scoped:?}");
+        assert!(scoped.iter().all(|r| r.tid == Tid(124)));
+        assert_eq!(store.by_tid_loc_prefix(Tid(123), &p("T/c2")).unwrap().len(), 1);
+        assert_eq!(store.by_tid_loc_prefix(Tid(124), &p("T/c5")).unwrap().len(), 0);
+        // Ancestor chain: records at T/c2/x or its ancestors (≥ 1 seg).
+        let chain = store.by_loc_chain(&p("T/c2/x"), 1).unwrap();
+        assert_eq!(chain.len(), 3, "x + two records at ancestor c2: {chain:?}");
         let mut all = store.all().unwrap();
         all.sort();
         let mut want = sample_records();
@@ -458,6 +635,11 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(store.write_trips() - w0, 1);
+        assert_eq!(store.len(), 7);
+        // An empty batch is free: no statement, no round trip.
+        let w1 = store.write_trips();
+        store.insert_batch(&[]).unwrap();
+        assert_eq!(store.write_trips(), w1);
         assert_eq!(store.len(), 7);
     }
 
@@ -497,6 +679,58 @@ mod tests {
         }
     }
 
+    /// The acceptance check for the range-scan read path: on every
+    /// store the prefix probe is a single read round trip, its results
+    /// match the seed's client-side filter semantics exactly, and the
+    /// `T/c2` / `T/c20` boundary never bleeds.
+    #[test]
+    fn prefix_probes_agree_across_stores_and_respect_boundaries() {
+        let mem = MemStore::new();
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let indexed = SqlStore::create(&e1, true).unwrap();
+        let unindexed = SqlStore::create(&e2, false).unwrap();
+        let stores: [&dyn ProvStore; 3] = [&mem, &indexed, &unindexed];
+
+        // Adversarial layout around the prefix boundary.
+        let records = vec![
+            ProvRecord::insert(Tid(1), p("T/c2")),
+            ProvRecord::insert(Tid(2), p("T/c2/y")),
+            ProvRecord::insert(Tid(3), p("T/c2/y/deep")),
+            ProvRecord::insert(Tid(4), p("T/c20")),
+            ProvRecord::insert(Tid(5), p("T/c20/x")),
+            ProvRecord::insert(Tid(6), p("T/c1")),
+            ProvRecord::insert(Tid(7), p("T")),
+            ProvRecord::insert(Tid(8), p("S1/c2/x")),
+        ];
+        for s in stores {
+            for r in &records {
+                s.insert(r).unwrap();
+            }
+        }
+
+        for prefix in ["T/c2", "T/c20", "T", "S1", "T/c2/y", "T/zzz"] {
+            let prefix = p(prefix);
+            // The seed's client-side filter is the semantic oracle.
+            let mut want: Vec<ProvRecord> =
+                records.iter().filter(|r| r.loc.starts_with(&prefix)).cloned().collect();
+            want.sort();
+            for s in stores {
+                let r0 = s.read_trips();
+                let mut got = s.by_loc_prefix(&prefix).unwrap();
+                assert_eq!(s.read_trips() - r0, 1, "one read round trip");
+                got.sort();
+                assert_eq!(got, want, "prefix {prefix}");
+            }
+        }
+        // The boundary case called out in the issue: T/c2 excludes T/c20.
+        for s in stores {
+            let got = s.by_loc_prefix(&p("T/c2")).unwrap();
+            assert_eq!(got.len(), 3);
+            assert!(got.iter().all(|r| r.loc.starts_with(&p("T/c2"))));
+        }
+    }
+
     #[test]
     fn round_trip_meters_distinguish_reads_and_writes() {
         let store = MemStore::new();
@@ -507,6 +741,25 @@ mod tests {
         assert_eq!(store.read_trips(), 2);
         store.reset_trips();
         assert_eq!(store.write_trips() + store.read_trips(), 0);
+    }
+
+    #[test]
+    fn empty_batch_never_spins_the_latency_path() {
+        let engine = Engine::in_memory();
+        let store = SqlStore::create(&engine, false).unwrap();
+        // A pathological per-row latency: if the empty batch entered
+        // the latency path (or underflowed `len - 1`), this would hang
+        // for eons rather than return instantly.
+        store.set_batch_row_latency(Duration::from_secs(3600));
+        let t0 = std::time::Instant::now();
+        store.insert_batch(&[]).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(store.write_trips(), 0);
+        // A 1-row batch spins 0 × per_row: also instant, one trip.
+        let t0 = std::time::Instant::now();
+        store.insert_batch(&[ProvRecord::insert(Tid(1), p("T/a"))]).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(store.write_trips(), 1);
     }
 
     #[test]
@@ -526,6 +779,7 @@ mod tests {
             let store = SqlStore::open(&engine, true).unwrap();
             assert_eq!(store.len(), 5);
             assert_eq!(store.by_tid(Tid(124)).unwrap().len(), 2);
+            assert_eq!(store.by_loc_prefix(&p("T/c2")).unwrap().len(), 3);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -231,11 +231,15 @@ impl Tracker {
                 // ancestor insert in the same transaction? (With one
                 // transaction per operation the answer is always no, but
                 // the probe is issued regardless — the cost the paper
-                // observes in Figure 10.)
-                let same_tid = self.store.by_tid(tid)?;
-                let inferable = same_tid.iter().any(|r| {
-                    r.op == Op::Insert && r.loc.is_prefix_of(path) && r.loc != *path
-                });
+                // observes in Figure 10.) The probe is one range scan
+                // over the `(tid, loc)` index, scoped to this
+                // transaction's records inside `path`'s database — it
+                // never fetches unrelated transactions.
+                let db_root = path.first().map(Path::single).unwrap_or_else(Path::epsilon);
+                let same_txn = self.store.by_tid_loc_prefix(tid, &db_root)?;
+                let inferable = same_txn
+                    .iter()
+                    .any(|r| r.op == Op::Insert && r.loc.is_prefix_of(path) && r.loc != *path);
                 if !inferable {
                     self.store.insert(&ProvRecord::insert(tid, path.clone()))?;
                 }
@@ -267,8 +271,7 @@ impl Tracker {
     }
 
     fn remove_outs_under(&mut self, path: &Path) {
-        let doomed: Vec<Path> =
-            self.outs.keys().filter(|p| p.starts_with(path)).cloned().collect();
+        let doomed: Vec<Path> = self.outs.keys().filter(|p| p.starts_with(path)).cloned().collect();
         for p in doomed {
             self.outs.remove(&p);
         }
@@ -521,8 +524,7 @@ mod tests {
             tracker.track(&e).unwrap();
         }
         tracker.commit().unwrap();
-        let locs: Vec<String> =
-            store.all().unwrap().iter().map(|r| r.loc.to_string()).collect();
+        let locs: Vec<String> = store.all().unwrap().iter().map(|r| r.loc.to_string()).collect();
         let mut locs_sorted = locs.clone();
         locs_sorted.sort();
         assert_eq!(locs_sorted, vec!["T/c1", "T/c1/x", "T/c1/y"], "no D for T/c1/z");

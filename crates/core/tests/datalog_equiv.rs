@@ -105,11 +105,9 @@ fn figure3_queries_agree_with_datalog_all_strategies() {
 
 #[test]
 fn random_workload_queries_agree_with_datalog() {
-    for (pattern, seed) in [
-        (UpdatePattern::Mix, 1u64),
-        (UpdatePattern::AcMix, 2),
-        (UpdatePattern::Real, 3),
-    ] {
+    for (pattern, seed) in
+        [(UpdatePattern::Mix, 1u64), (UpdatePattern::AcMix, 2), (UpdatePattern::Real, 3)]
+    {
         // Tiny databases keep the Datalog Trace closure tractable.
         let cfg = GenConfig {
             pattern,
@@ -149,22 +147,10 @@ fn naive_and_hierarchical_answers_coincide() {
     let h = QueryEngine::new(h_store, true, "T");
     let root = ws.target().root_path();
     for loc in ws.target().root().all_paths(&root) {
-        assert_eq!(
-            n.get_src(&loc, tnow).unwrap(),
-            h.get_src(&loc, tnow).unwrap(),
-            "Src({loc})"
-        );
-        assert_eq!(
-            n.get_hist(&loc, tnow).unwrap(),
-            h.get_hist(&loc, tnow).unwrap(),
-            "Hist({loc})"
-        );
+        assert_eq!(n.get_src(&loc, tnow).unwrap(), h.get_src(&loc, tnow).unwrap(), "Src({loc})");
+        assert_eq!(n.get_hist(&loc, tnow).unwrap(), h.get_hist(&loc, tnow).unwrap(), "Hist({loc})");
         let sub = ws.target().get(&loc).unwrap().all_paths(&loc);
-        assert_eq!(
-            n.get_mod(&sub, tnow).unwrap(),
-            h.get_mod(&sub, tnow).unwrap(),
-            "Mod({loc})"
-        );
+        assert_eq!(n.get_mod(&sub, tnow).unwrap(), h.get_mod(&sub, tnow).unwrap(), "Mod({loc})");
     }
 }
 
@@ -180,13 +166,8 @@ fn transactional_pair_answers_coincide() {
     let wl = generate(&cfg, 120);
     let (t_store, ws, _, tnow) =
         replay(wl.workspace(), &wl.script, Strategy::Transactional, 5, Tid(1));
-    let (ht_store, _, _, ht_tnow) = replay(
-        wl.workspace(),
-        &wl.script,
-        Strategy::HierarchicalTransactional,
-        5,
-        Tid(1),
-    );
+    let (ht_store, _, _, ht_tnow) =
+        replay(wl.workspace(), &wl.script, Strategy::HierarchicalTransactional, 5, Tid(1));
     assert_eq!(tnow, ht_tnow);
     let t = QueryEngine::new(t_store, false, "T");
     let ht = QueryEngine::new(ht_store, true, "T");

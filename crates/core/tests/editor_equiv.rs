@@ -13,8 +13,7 @@ fn editor_for(wl: &Workload, strategy: Strategy, store: Arc<MemStore>) -> Editor
     target.load(&wl.target_initial).unwrap();
     let source = XmlDb::create(wl.source_name, &Engine::in_memory()).unwrap();
     source.load(&wl.source).unwrap();
-    Editor::new("curator", Arc::new(target), strategy, store, Tid(1))
-        .with_source(Arc::new(source))
+    Editor::new("curator", Arc::new(target), strategy, store, Tid(1)).with_source(Arc::new(source))
 }
 
 #[test]

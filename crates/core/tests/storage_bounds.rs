@@ -74,11 +74,7 @@ fn ht_is_bounded_by_both_alternatives() {
             let (_, t) = records_for(&wl, Strategy::Transactional, txn_len);
             let (_, ht) = records_for(&wl, Strategy::HierarchicalTransactional, txn_len);
             let (_, h) = records_for(&wl, Strategy::Hierarchical, 1);
-            assert!(
-                ht <= t,
-                "{} txn={txn_len}: HT {ht} > T {t}",
-                wl.config.pattern
-            );
+            assert!(ht <= t, "{} txn={txn_len}: HT {ht} > T {t}", wl.config.pattern);
             // i + d + C ≤ |U| — via H's per-op bound with the same net
             // semantics HT commits can only drop records.
             assert!(
@@ -100,11 +96,7 @@ fn naive_dominates_everything() {
             (Strategy::HierarchicalTransactional, 5),
         ] {
             let (_, other) = records_for(&wl, strategy, txn_len);
-            assert!(
-                other <= n,
-                "{}: {strategy} stored {other} > naive {n}",
-                wl.config.pattern
-            );
+            assert!(other <= n, "{}: {strategy} stored {other} > naive {n}", wl.config.pattern);
         }
     }
 }

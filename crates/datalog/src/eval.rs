@@ -4,13 +4,23 @@
 //! strata → evaluate each stratum to fixpoint with semi-naive deltas.
 //! Negated atoms may only mention predicates from strictly lower strata,
 //! so they are evaluated against completed relations.
+//!
+//! Relations are **ordered** ([`std::collections::BTreeSet`]) so that a
+//! body atom whose leading arguments are already bound joins via a
+//! range scan over exactly the matching tuples instead of a full scan
+//! of the relation — the same ordered-key access path the storage and
+//! provenance layers use for subtree probes. Rules are written with
+//! their most selective arguments first (e.g. `Prov(t, op, p, q)` joins
+//! on a bound `t`), so the common joins touch only their own tuples.
 
 use crate::ast::{Atom, Builtin, Literal, Program, Rule, Term, Val};
 use crate::error::{DatalogError, Result};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::Bound;
 
-/// A set of ground tuples per predicate.
-pub type Relation = HashSet<Vec<Val>>;
+/// An ordered set of ground tuples per predicate. Lexicographic tuple
+/// order makes bound-prefix joins contiguous ranges.
+pub type Relation = BTreeSet<Vec<Val>>;
 
 /// The result of evaluating a program: every relation, extensional and
 /// derived.
@@ -20,12 +30,10 @@ pub struct Database {
 }
 
 impl Database {
-    /// The tuples of `pred`, sorted for deterministic output.
+    /// The tuples of `pred`, in sorted order (relations are ordered, so
+    /// this is a plain copy).
     pub fn relation(&self, pred: &str) -> Vec<Vec<Val>> {
-        let mut rows: Vec<Vec<Val>> =
-            self.relations.get(pred).map(|r| r.iter().cloned().collect()).unwrap_or_default();
-        rows.sort();
-        rows
+        self.relations.get(pred).map(|r| r.iter().cloned().collect()).unwrap_or_default()
     }
 
     /// Whether `pred` contains `tuple`.
@@ -35,7 +43,7 @@ impl Database {
 
     /// Number of tuples in `pred`.
     pub fn len(&self, pred: &str) -> usize {
-        self.relations.get(pred).map_or(0, HashSet::len)
+        self.relations.get(pred).map_or(0, BTreeSet::len)
     }
 
     /// All predicate names with at least one tuple.
@@ -204,17 +212,15 @@ impl Engine {
         out: &mut Relation,
     ) -> Result<()> {
         if idx == rule.body.len() {
-            let tuple: Option<Vec<Val>> =
-                rule.head.args.iter().map(|t| resolve(t, &env)).collect();
+            let tuple: Option<Vec<Val>> = rule.head.args.iter().map(|t| resolve(t, &env)).collect();
             match tuple {
                 Some(t) => {
                     out.insert(t);
                     Ok(())
                 }
-                None => Err(DatalogError::UnsafeRule {
-                    rule: rule.to_string(),
-                    var: "<head>".into(),
-                }),
+                None => {
+                    Err(DatalogError::UnsafeRule { rule: rule.to_string(), var: "<head>".into() })
+                }
             }
         } else {
             match &rule.body[idx] {
@@ -224,7 +230,28 @@ impl Engine {
                         Some((i, d)) if i == idx => d,
                         _ => db.get(&atom.pred).unwrap_or(&empty),
                     };
-                    for tuple in rel {
+                    // The longest run of leading arguments already
+                    // ground under `env` selects a contiguous range of
+                    // the ordered relation — scan only that range
+                    // instead of the whole relation.
+                    let mut prefix: Vec<Val> = Vec::new();
+                    for t in &atom.args {
+                        match resolve(t, &env) {
+                            Some(v) => prefix.push(v),
+                            None => break,
+                        }
+                    }
+                    let k = prefix.len();
+                    let candidates: Box<dyn Iterator<Item = &Vec<Val>>> = if k == 0 {
+                        Box::new(rel.iter())
+                    } else {
+                        let lo = Bound::Included(prefix.clone());
+                        Box::new(
+                            rel.range((lo, Bound::Unbounded))
+                                .take_while(move |t| t.len() >= k && t[..k] == prefix[..]),
+                        )
+                    };
+                    for tuple in candidates {
                         if tuple.len() != atom.args.len() {
                             continue;
                         }
@@ -307,7 +334,10 @@ fn check_safety(rule: &Rule) -> Result<()> {
                 }
             }
             Literal::Builtin(b) => match b {
-                Builtin::Eq(a, c) | Builtin::Ne(a, c) | Builtin::Lt(a, c) | Builtin::Prefix(a, c) => {
+                Builtin::Eq(a, c)
+                | Builtin::Ne(a, c)
+                | Builtin::Lt(a, c)
+                | Builtin::Prefix(a, c) => {
                     for t in [a, c] {
                         if !is_bound(&bound, t) {
                             return Err(DatalogError::UnsafeRule {
@@ -351,10 +381,7 @@ fn check_safety(rule: &Rule) -> Result<()> {
     }
     for t in &rule.head.args {
         if !is_bound(&bound, t) {
-            return Err(DatalogError::UnsafeRule {
-                rule: rule.to_string(),
-                var: unsafe_var(t),
-            });
+            return Err(DatalogError::UnsafeRule { rule: rule.to_string(), var: unsafe_var(t) });
         }
     }
     Ok(())

@@ -148,12 +148,7 @@ impl<'a> Tokens<'a> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = self.pos;
-                while self
-                    .rest()
-                    .chars()
-                    .next()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
-                {
+                while self.rest().chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') {
                     self.bump_char();
                 }
                 let ident = &self.src[start..self.pos];
@@ -217,7 +212,9 @@ fn literal(tokens: &mut Tokens<'_>) -> Result<Literal> {
         tokens.next()?;
         let name = match tokens.next()? {
             Tok::Ident(n) => n,
-            other => return Err(tokens.err(format!("expected predicate after '!', found {other:?}"))),
+            other => {
+                return Err(tokens.err(format!("expected predicate after '!', found {other:?}")))
+            }
         };
         return Ok(Literal::Neg(Atom::new(name, args(tokens)?)));
     }
@@ -228,7 +225,9 @@ fn literal(tokens: &mut Tokens<'_>) -> Result<Literal> {
             let name = match tokens.next()? {
                 Tok::Ident(n) => n,
                 other => {
-                    return Err(tokens.err(format!("expected predicate after 'not', found {other:?}")))
+                    return Err(
+                        tokens.err(format!("expected predicate after 'not', found {other:?}"))
+                    )
                 }
             };
             return Ok(Literal::Neg(Atom::new(name, args(tokens)?)));
@@ -346,8 +345,8 @@ mod tests {
 
     #[test]
     fn null_and_bottom_are_constants() {
-        let p = parse_program("Ins(t, p) :- Prov(t, op, p, q), q == ⊥. Del(t) :- P(t, null).")
-            .unwrap();
+        let p =
+            parse_program("Ins(t, p) :- Prov(t, op, p, q), q == ⊥. Del(t) :- P(t, null).").unwrap();
         let shown = p.to_string();
         assert!(shown.contains('⊥'));
     }

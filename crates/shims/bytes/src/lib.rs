@@ -1,0 +1,150 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] subset used by the storage row
+//! codec: little-endian integer get/put, slice put, and cursor-style
+//! consumption over `&[u8]`.
+
+/// Read cursor over a byte source. Implemented for `&[u8]`, advancing
+/// the slice as values are consumed.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// `true` iff any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+
+    /// Consumes `len` bytes and returns them as an owned buffer.
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8>;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().expect("2 bytes"));
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        *self = &self[4..];
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        *self = &self[8..];
+        v
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        *self = &self[8..];
+        v
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8> {
+        let v = self[..len].to_vec();
+        *self = &self[len..];
+        v
+    }
+}
+
+/// Write sink for encoded bytes. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(300);
+        out.put_u32_le(70_000);
+        out.put_u64_le(u64::MAX - 1);
+        out.put_i64_le(-5);
+        out.put_slice(b"abc");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16_le(), 300);
+        assert_eq!(buf.get_u32_le(), 70_000);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.get_i64_le(), -5);
+        assert_eq!(buf.copy_to_bytes(2), b"ab".to_vec());
+        assert!(buf.has_remaining());
+        assert_eq!(buf.remaining(), 1);
+    }
+}

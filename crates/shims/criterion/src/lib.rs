@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is deliberately simple — warm up once, then run
+//! batches of iterations until the configured measurement time is
+//! spent, and report mean / min per-iteration wall time to stdout.
+//!
+//! When invoked by `cargo test` (Cargo passes `--test` to harness-less
+//! bench targets), benchmarks run a single iteration each so the tier-1
+//! suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Passes a value through an `std::hint::black_box` to defeat
+/// optimization of benchmarked expressions.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Builds a parameterless id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// (total time, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the aggregate for the caller to report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.smoke {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.result = Some((t0.elapsed(), 1));
+            return;
+        }
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let budget = self.config.measurement_time;
+        // Iteration cap so very fast routines don't spin forever once
+        // the budget's clock resolution stops mattering.
+        let cap = (self.config.sample_size.max(1) as u64) * 10_000;
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters == 0 || (measured < budget && iters < cap) {
+            let t0 = Instant::now();
+            black_box(routine());
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.result = Some((measured, iters));
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut b = Bencher { config: &self.config, result: None };
+        f(&mut b);
+        match b.result {
+            Some((total, iters)) if iters > 0 => {
+                let mean = total / iters as u32;
+                println!("{}/{id}: {mean:?}/iter ({iters} iterations)", self.name);
+            }
+            _ => println!("{}/{id}: no measurement (b.iter not called)", self.name),
+        }
+    }
+
+    /// Benchmarks a closure under a string id.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher<'_>)) {
+        let id = id.into();
+        self.run_one(&id.name, f);
+    }
+
+    /// Benchmarks a closure receiving a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) {
+        self.run_one(&id.name, |b| f(b, input));
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: Config::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher<'_>)) -> &mut Self {
+        let group = BenchmarkGroup {
+            name: "bench".to_owned(),
+            config: Config::default(),
+            _marker: std::marker::PhantomData,
+        };
+        group.run_one(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_reports_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

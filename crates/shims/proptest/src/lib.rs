@@ -1,0 +1,598 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API that this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive`, regex-literal string strategies, integer ranges
+//! and `any::<T>()`, tuple/`Just`/`prop_oneof!` composition, the
+//! `collection::{vec, btree_map}` strategies, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (derived from the test name, overridable
+//! with `PROPTEST_SEED`), and failing cases are **not shrunk** — the
+//! panic message carries the case number and seed instead so a failure
+//! is still reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod test_runner {
+    //! Test-case generation state.
+
+    use super::*;
+
+    /// Per-test generation state: the RNG every strategy draws from.
+    pub struct Runner {
+        pub(crate) rng: SmallRng,
+        pub(crate) seed: u64,
+    }
+
+    impl Runner {
+        /// A runner with a deterministic seed derived from `name`
+        /// (override with the `PROPTEST_SEED` environment variable).
+        pub fn new(name: &str) -> Runner {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    // FNV-1a over the test name: stable across runs.
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                });
+            Runner { rng: SmallRng::seed_from_u64(seed), seed }
+        }
+
+        /// The seed this runner was built from (for failure reports).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+    }
+}
+
+use test_runner::Runner;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (returned early by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Strategy trait and combinators.
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut Runner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `recurse` receives a strategy for the
+    /// whole recursive type and builds one level on top of it; `depth`
+    /// bounds the nesting. (`desired_size` / `expected_branch_size` are
+    /// accepted for API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: BoxedStrategy(Arc::new(self)),
+            recurse: Arc::new(move |inner| BoxedStrategy(Arc::new(recurse(inner)))),
+            depth,
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, shareable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut Runner) -> V {
+        self.0.generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut Runner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    leaf: BoxedStrategy<V>,
+    recurse: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut Runner) -> V {
+        if self.depth == 0 || runner.rng.gen_bool(0.25) {
+            return self.leaf.generate(runner);
+        }
+        let inner = Recursive {
+            leaf: self.leaf.clone(),
+            recurse: self.recurse.clone(),
+            depth: self.depth - 1,
+        };
+        (self.recurse)(BoxedStrategy(Arc::new(inner))).generate(runner)
+    }
+}
+
+/// A constant strategy (generates clones of its value).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut Runner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut Runner) -> V {
+        let i = runner.rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(runner)
+    }
+}
+
+/// Boxes a strategy for use in [`Union`] (used by `prop_oneof!`).
+pub fn box_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Arc::new(s))
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: any::<T>(), ranges, tuples, regex literals.
+
+/// Types with a full-range uniform generator.
+pub trait Arbitrary {
+    /// Draws a uniform value.
+    fn arbitrary(runner: &mut Runner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut Runner) -> $t {
+                runner.rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut Runner) -> bool {
+        runner.rng.next_u64() & 1 == 1
+    }
+}
+
+use rand::RngCore;
+
+/// Full-range strategy for a primitive type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut Runner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// The full-range strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut Runner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut Runner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut Runner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D));
+
+// A `&'static str` is a strategy generating strings matching the
+// pattern, supporting the regex subset the workspace uses: literal
+// chars, `\`-escapes, `[..]` classes with ranges, and `{m}` / `{m,n}`
+// quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, runner: &mut Runner) -> String {
+        generate_from_pattern(self, runner)
+    }
+}
+
+enum PatAtom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated [..] class in pattern");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                return set;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                for v in lo as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().expect("escape")) {
+                    set.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    set.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    match body.split_once(',') {
+        Some((m, n)) => {
+            (m.trim().parse().expect("quantifier min"), n.trim().parse().expect("quantifier max"))
+        }
+        None => {
+            let n = body.trim().parse().expect("quantifier count");
+            (n, n)
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, runner: &mut Runner) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(PatAtom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => PatAtom::Class(parse_class(&mut chars)),
+            '\\' => PatAtom::Lit(chars.next().expect("dangling escape in pattern")),
+            other => PatAtom::Lit(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = runner.rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            match &atom {
+                PatAtom::Lit(c) => out.push(*c),
+                PatAtom::Class(set) => {
+                    out.push(set[runner.rng.gen_range(0..set.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Collection strategies.
+
+pub mod collection {
+    //! `vec` and `btree_map` strategies.
+
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut Runner) -> Vec<S::Value> {
+            let n = runner.rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// A map with keys/values from the given strategies, sized within
+    /// `size` (fewer entries when duplicate keys collide, matching
+    /// proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, runner: &mut Runner) -> Self::Value {
+            let n = runner.rng.gen_range(self.size.clone());
+            (0..n).map(|_| (self.keys.generate(runner), self.values.generate(runner))).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::box_strategy($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (with a message) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Declares property tests: each function runs its body against many
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::Runner::new(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {}): {}",
+                            stringify!($name),
+                            case,
+                            cfg.cases,
+                            runner.seed(),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut runner = crate::test_runner::Runner::new("pattern");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z][a-z0-9_.]{0,6}", &mut runner);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = crate::Strategy::generate(&"[a-z]{1,4}\\{[0-9]{1,2}\\}", &mut runner);
+            assert!(t.contains('{') && t.ends_with('}'), "{t:?}");
+            let u = crate::Strategy::generate(&"[ -~]{0,12}", &mut runner);
+            assert!(u.len() <= 12 && u.chars().all(|c| (' '..='~').contains(&c)), "{u:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn oneof_map_and_ranges_compose(
+            v in prop_oneof![any::<u8>().prop_map(u64::from), 1000u64..2000],
+            xs in collection::vec(0usize..10, 0..5),
+        ) {
+            prop_assert!(v < 2000);
+            prop_assert!(xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+}

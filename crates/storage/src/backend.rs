@@ -39,12 +39,8 @@ pub struct DiskBackend {
 impl DiskBackend {
     /// Opens (creating if needed) the file at `path`.
     pub fn open(path: impl AsRef<FsPath>) -> Result<DiskBackend> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::PageCorrupt {

@@ -112,16 +112,9 @@ impl BufferPool {
     /// failing — correctness first, budget second.
     fn evict_if_needed(&self, inner: &mut Inner) -> Result<()> {
         while inner.frames.len() > self.capacity {
-            let victim = inner
-                .lru
-                .iter()
-                .copied()
-                .find(|no| {
-                    inner
-                        .frames
-                        .get(no)
-                        .is_some_and(|f| f.pins.load(Ordering::Acquire) == 0)
-                });
+            let victim = inner.lru.iter().copied().find(|no| {
+                inner.frames.get(no).is_some_and(|f| f.pins.load(Ordering::Acquire) == 0)
+            });
             let Some(no) = victim else { break };
             let frame = inner.frames.remove(&no).expect("victim present");
             inner.lru.retain(|&n| n != no);

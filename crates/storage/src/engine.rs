@@ -158,17 +158,27 @@ impl TableHandle {
     }
 
     /// Adds (and builds) a secondary index over the named columns.
-    pub fn add_index(&self, name: &str, columns: &[&str], unique: bool) -> Result<()> {
+    /// `ordered` declares the index range-scannable: only ordered
+    /// indexes may serve [`TableHandle::range_scan`] /
+    /// [`TableHandle::lookup_range`]; unordered indexes promise point
+    /// lookups only.
+    pub fn add_index(
+        &self,
+        name: &str,
+        columns: &[&str],
+        unique: bool,
+        ordered: bool,
+    ) -> Result<()> {
         let cols: Result<Vec<usize>> = columns
             .iter()
             .map(|c| {
-                self.table.schema().column_index(c).ok_or(StorageError::NotFound {
-                    what: "column",
-                    name: (*c).to_owned(),
-                })
+                self.table
+                    .schema()
+                    .column_index(c)
+                    .ok_or(StorageError::NotFound { what: "column", name: (*c).to_owned() })
             })
             .collect();
-        let mut index = Index::new(name, cols?, unique);
+        let mut index = Index::new(name, cols?, unique, ordered);
         index.rebuild(&self.table)?;
         self.indexes.write().push(index);
         Ok(())
@@ -237,13 +247,12 @@ impl TableHandle {
             .iter()
             .find(|i| i.name() == index)
             .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
-        idx.lookup(key)
-            .iter()
-            .map(|&rid| Ok((rid, self.table.get(rid)?)))
-            .collect()
+        idx.lookup(key).iter().map(|&rid| Ok((rid, self.table.get(rid)?))).collect()
     }
 
     /// Prefix lookup through a multi-column index. One round trip.
+    /// Like range scans, this walks keys in order, so it requires an
+    /// index declared `ordered`.
     pub fn lookup_prefix(&self, index: &str, prefix: &[Datum]) -> Result<Vec<(RowId, Vec<Datum>)>> {
         self.meter.round_trip();
         let indexes = self.indexes.read();
@@ -251,14 +260,41 @@ impl TableHandle {
             .iter()
             .find(|i| i.name() == index)
             .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
-        idx.prefix(prefix)
-            .into_iter()
-            .map(|rid| Ok((rid, self.table.get(rid)?)))
-            .collect()
+        if !idx.is_ordered() {
+            return Err(StorageError::NotOrdered { index: index.into() });
+        }
+        idx.prefix(prefix).into_iter().map(|rid| Ok((rid, self.table.get(rid)?))).collect()
     }
 
-    /// Range lookup through an index. One round trip.
-    pub fn lookup_range(
+    /// Batched point lookup through an index: all rows whose key equals
+    /// *any* of `keys` — the moral equivalent of one `WHERE key IN
+    /// (...)` statement, so it costs one round trip regardless of how
+    /// many keys are probed. Rows are returned grouped in `keys` order.
+    pub fn lookup_many(
+        &self,
+        index: &str,
+        keys: &[Vec<Datum>],
+    ) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.meter.round_trip();
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        let mut out = Vec::new();
+        for key in keys {
+            for &rid in idx.lookup(key) {
+                out.push((rid, self.table.get(rid)?));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index range scan: all rows whose index key falls within the
+    /// bounds, in key order. One round trip (a single range query).
+    /// Fails with [`StorageError::NotOrdered`] unless the index was
+    /// added with the `ordered` flag.
+    pub fn range_scan(
         &self,
         index: &str,
         lo: Bound<Vec<Datum>>,
@@ -270,8 +306,26 @@ impl TableHandle {
             .iter()
             .find(|i| i.name() == index)
             .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
-        let rids: Vec<RowId> = idx.range(lo, hi).flat_map(|(_, r)| r.iter().copied()).collect();
-        rids.into_iter().map(|rid| Ok((rid, self.table.get(rid)?))).collect()
+        if !idx.is_ordered() {
+            return Err(StorageError::NotOrdered { index: index.into() });
+        }
+        let mut out = Vec::new();
+        self.table.range_scan(idx, lo, hi, |rid, row| {
+            out.push((rid, row));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Range lookup through an index. One round trip. Alias of
+    /// [`TableHandle::range_scan`], kept for call-site readability.
+    pub fn lookup_range(
+        &self,
+        index: &str,
+        lo: Bound<Vec<Datum>>,
+        hi: Bound<Vec<Datum>>,
+    ) -> Result<Vec<(RowId, Vec<Datum>)>> {
+        self.range_scan(index, lo, hi)
     }
 
     /// Live row count (no round trip — client-side bookkeeping).
@@ -310,20 +364,15 @@ mod tests {
     }
 
     fn row(tid: u64, op: &str, loc: &str, src: Option<&str>) -> Vec<Datum> {
-        vec![
-            Datum::U64(tid),
-            Datum::str(op),
-            Datum::str(loc),
-            src.map_or(Datum::Null, Datum::str),
-        ]
+        vec![Datum::U64(tid), Datum::str(op), Datum::str(loc), src.map_or(Datum::Null, Datum::str)]
     }
 
     #[test]
     fn create_insert_lookup_via_index() {
         let engine = Engine::in_memory();
         let t = engine.create_table("prov", schema()).unwrap();
-        t.add_index("by_loc", &["loc"], false).unwrap();
-        t.add_index("by_tid", &["tid"], false).unwrap();
+        t.add_index("by_loc", &["loc"], false, false).unwrap();
+        t.add_index("by_tid", &["tid"], false, true).unwrap();
         for i in 0..200u64 {
             t.insert(&row(i / 10, "C", &format!("T/c{}", i % 7), Some("S1/a"))).unwrap();
         }
@@ -338,7 +387,7 @@ mod tests {
     fn delete_maintains_indexes() {
         let engine = Engine::in_memory();
         let t = engine.create_table("prov", schema()).unwrap();
-        t.add_index("by_loc", &["loc"], false).unwrap();
+        t.add_index("by_loc", &["loc"], false, false).unwrap();
         let rid = t.insert(&row(1, "I", "T/x", None)).unwrap();
         assert_eq!(t.lookup("by_loc", &[Datum::str("T/x")]).unwrap().len(), 1);
         t.delete(rid).unwrap();
@@ -349,7 +398,7 @@ mod tests {
     fn unique_violation_rolls_back_heap_insert() {
         let engine = Engine::in_memory();
         let t = engine.create_table("prov", schema()).unwrap();
-        t.add_index("uniq_loc", &["loc"], true).unwrap();
+        t.add_index("uniq_loc", &["loc"], true, false).unwrap();
         t.insert(&row(1, "I", "T/x", None)).unwrap();
         let err = t.insert(&row(2, "C", "T/x", Some("S/a"))).unwrap_err();
         assert!(matches!(err, StorageError::Duplicate { .. }));
@@ -378,7 +427,7 @@ mod tests {
             t.lookup("no_index", &[Datum::U64(1)]),
             Err(StorageError::NotFound { .. })
         ));
-        assert!(t.add_index("bad", &["zzz"], false).is_err());
+        assert!(t.add_index("bad", &["zzz"], false, false).is_err());
     }
 
     #[test]
@@ -397,7 +446,7 @@ mod tests {
             let engine = Engine::on_disk(&dir).unwrap();
             let t = engine.open_table("prov").unwrap();
             assert_eq!(t.row_count(), 100);
-            t.add_index("by_tid", &["tid"], false).unwrap();
+            t.add_index("by_tid", &["tid"], false, true).unwrap();
             assert_eq!(t.lookup("by_tid", &[Datum::U64(42)]).unwrap().len(), 1);
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -407,7 +456,7 @@ mod tests {
     fn range_lookup_by_tid() {
         let engine = Engine::in_memory();
         let t = engine.create_table("prov", schema()).unwrap();
-        t.add_index("by_tid", &["tid"], false).unwrap();
+        t.add_index("by_tid", &["tid"], false, true).unwrap();
         for i in 0..50u64 {
             t.insert(&row(i, "C", "T/x", None)).unwrap();
         }

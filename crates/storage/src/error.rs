@@ -56,6 +56,12 @@ pub enum StorageError {
         /// The index whose constraint failed.
         index: String,
     },
+    /// A range scan was issued against an index that was not declared
+    /// ordered (see `TableHandle::add_index`'s `ordered` flag).
+    NotOrdered {
+        /// The index the scan was issued against.
+        index: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -76,6 +82,9 @@ impl fmt::Display for StorageError {
             StorageError::NotFound { what, name } => write!(f, "{what} {name:?} not found"),
             StorageError::Duplicate { index } => {
                 write!(f, "uniqueness violated on index {index:?}")
+            }
+            StorageError::NotOrdered { index } => {
+                write!(f, "index {index:?} is not ordered; range scans need an ordered index")
             }
         }
     }

@@ -13,17 +13,32 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 
 /// A multi-column secondary index.
+///
+/// Physically every index is a `BTreeMap`, so exact lookups always
+/// work; the `ordered` flag declares that *key order is meaningful* to
+/// callers — only ordered indexes may serve range scans (see
+/// [`Index::range`] via `Table::range_scan`). This mirrors a real
+/// engine's distinction between hash and B-tree access paths: an
+/// unordered index promises point lookups only, leaving the engine
+/// free to change its physical layout.
 pub struct Index {
     name: String,
     key_cols: Vec<usize>,
     unique: bool,
+    ordered: bool,
     map: BTreeMap<Vec<Datum>, Vec<RowId>>,
 }
 
 impl Index {
     /// Creates an empty index over the given column positions.
-    pub fn new(name: impl Into<String>, key_cols: Vec<usize>, unique: bool) -> Index {
-        Index { name: name.into(), key_cols, unique, map: BTreeMap::new() }
+    /// `ordered` declares the index range-scannable.
+    pub fn new(
+        name: impl Into<String>,
+        key_cols: Vec<usize>,
+        unique: bool,
+        ordered: bool,
+    ) -> Index {
+        Index { name: name.into(), key_cols, unique, ordered, map: BTreeMap::new() }
     }
 
     /// The index name.
@@ -34,6 +49,11 @@ impl Index {
     /// The indexed column positions.
     pub fn key_cols(&self) -> &[usize] {
         &self.key_cols
+    }
+
+    /// Whether this index was declared ordered (range-scannable).
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
     }
 
     /// Extracts this index's key from a row.
@@ -125,10 +145,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(Arc::new(MemBackend::new()), 16));
         let t = Table::create(
             "t",
-            Schema::new(vec![
-                Column::new("tid", DataType::U64),
-                Column::new("loc", DataType::Str),
-            ]),
+            Schema::new(vec![Column::new("tid", DataType::U64), Column::new("loc", DataType::Str)]),
             pool,
         )
         .unwrap();
@@ -141,7 +158,7 @@ mod tests {
     #[test]
     fn lookup_after_rebuild() {
         let t = table_with_rows(100);
-        let mut idx = Index::new("by_tid", vec![0], false);
+        let mut idx = Index::new("by_tid", vec![0], false, false);
         idx.rebuild(&t).unwrap();
         assert_eq!(idx.lookup(&[Datum::U64(3)]).len(), 10);
         assert_eq!(idx.lookup(&[Datum::U64(99)]).len(), 0);
@@ -151,7 +168,7 @@ mod tests {
     #[test]
     fn incremental_maintenance_matches_rebuild() {
         let t = table_with_rows(0);
-        let mut live = Index::new("by_tid", vec![0], false);
+        let mut live = Index::new("by_tid", vec![0], false, false);
         let mut rids = Vec::new();
         for i in 0..50u64 {
             let row = vec![Datum::U64(i % 5), Datum::str(format!("T/x{i}"))];
@@ -163,7 +180,7 @@ mod tests {
             t.delete(*rid).unwrap();
             live.remove(row, *rid);
         }
-        let mut rebuilt = Index::new("by_tid", vec![0], false);
+        let mut rebuilt = Index::new("by_tid", vec![0], false, false);
         rebuilt.rebuild(&t).unwrap();
         for k in 0..5u64 {
             let mut a = live.lookup(&[Datum::U64(k)]).to_vec();
@@ -177,7 +194,7 @@ mod tests {
     #[test]
     fn unique_index_rejects_duplicates() {
         let t = table_with_rows(0);
-        let mut idx = Index::new("uniq", vec![1], true);
+        let mut idx = Index::new("uniq", vec![1], true, false);
         let row1 = vec![Datum::U64(1), Datum::str("same")];
         let rid1 = t.insert(&row1).unwrap();
         idx.insert(&row1, rid1).unwrap();
@@ -189,7 +206,7 @@ mod tests {
     #[test]
     fn range_and_prefix_queries() {
         let t = table_with_rows(0);
-        let mut idx = Index::new("by_both", vec![0, 1], false);
+        let mut idx = Index::new("by_both", vec![0, 1], false, true);
         for i in 0..30u64 {
             let row = vec![Datum::U64(i / 10), Datum::str(format!("p{:02}", i))];
             let rid = t.insert(&row).unwrap();

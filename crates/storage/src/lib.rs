@@ -26,7 +26,7 @@
 //!     Column::new("loc", DataType::Str),
 //!     Column::nullable("src", DataType::Str),
 //! ])).unwrap();
-//! prov.add_index("by_loc", &["loc"], false).unwrap();
+//! prov.add_index("by_loc", &["loc"], false, true).unwrap();
 //! prov.insert(&[Datum::U64(121), Datum::str("D"), Datum::str("T/c5"), Datum::Null]).unwrap();
 //! assert_eq!(prov.lookup("by_loc", &[Datum::str("T/c5")]).unwrap().len(), 1);
 //! ```

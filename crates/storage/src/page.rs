@@ -237,9 +237,8 @@ impl Page {
     /// Rewrites live cells contiguously at the end of the page,
     /// eliminating dead space. Slot ids are preserved.
     fn compact(&mut self) {
-        let mut live: Vec<(u16, Vec<u8>)> = (0..self.slot_count())
-            .filter_map(|i| self.get(i).map(|c| (i, c.to_vec())))
-            .collect();
+        let mut live: Vec<(u16, Vec<u8>)> =
+            (0..self.slot_count()).filter_map(|i| self.get(i).map(|c| (i, c.to_vec()))).collect();
         // Write cells back from the page end, largest offsets first.
         let mut cursor = PAGE_SIZE;
         for (slot, cell) in live.iter_mut() {
@@ -344,7 +343,8 @@ mod tests {
     #[test]
     fn from_bytes_validates() {
         let p = Page::new();
-        assert!(Page::from_bytes(p.as_bytes().to_vec().into_boxed_slice().try_into().unwrap(), 0).is_ok());
+        assert!(Page::from_bytes(p.as_bytes().to_vec().into_boxed_slice().try_into().unwrap(), 0)
+            .is_ok());
         let mut bad = *p.as_bytes();
         bad[2] = 0xFF; // free_start way past free_end
         bad[3] = 0xFF;

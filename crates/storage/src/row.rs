@@ -270,9 +270,7 @@ pub fn decode_row(mut buf: &[u8]) -> Result<Vec<Datum>> {
                     return Err(bad(format!("string field {i} body truncated")));
                 }
                 let bytes = buf.copy_to_bytes(len).to_vec();
-                Datum::Str(
-                    String::from_utf8(bytes).map_err(|e| bad(format!("field {i}: {e}")))?,
-                )
+                Datum::Str(String::from_utf8(bytes).map_err(|e| bad(format!("field {i}: {e}")))?)
             }
             t => return Err(bad(format!("unknown field tag {t}"))),
         };

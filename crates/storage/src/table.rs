@@ -86,7 +86,10 @@ impl Table {
         }
         let name_len = u32::from_le_bytes(cell[0..4].try_into().unwrap()) as usize;
         if cell.len() < 4 + name_len {
-            return Err(StorageError::PageCorrupt { page: 0, reason: "header name truncated".into() });
+            return Err(StorageError::PageCorrupt {
+                page: 0,
+                reason: "header name truncated".into(),
+            });
         }
         let name = String::from_utf8(cell[4..4 + name_len].to_vec())
             .map_err(|e| StorageError::Codec { reason: e.to_string() })?;
@@ -247,8 +250,36 @@ impl Table {
         }
     }
 
+    /// Streams the rows whose index keys fall in `[lo, hi]`, in key
+    /// order, without touching any page outside the hit set — the
+    /// access path behind subtree (path-prefix) provenance probes. The
+    /// callback returns `false` to stop early.
+    ///
+    /// The caller supplies the index (indexes are owned by the engine
+    /// layer, not the heap table); `Table` only promises that each hit
+    /// is fetched by row id, never by scanning.
+    pub fn range_scan(
+        &self,
+        index: &crate::index::Index,
+        lo: std::ops::Bound<Vec<Datum>>,
+        hi: std::ops::Bound<Vec<Datum>>,
+        mut f: impl FnMut(RowId, Vec<Datum>) -> bool,
+    ) -> Result<()> {
+        for (_key, rids) in index.range(lo, hi) {
+            for &rid in rids {
+                if !f(rid, self.get(rid)?) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Collects all rows matching a predicate.
-    pub fn select(&self, mut pred: impl FnMut(&[Datum]) -> bool) -> Result<Vec<(RowId, Vec<Datum>)>> {
+    pub fn select(
+        &self,
+        mut pred: impl FnMut(&[Datum]) -> bool,
+    ) -> Result<Vec<(RowId, Vec<Datum>)>> {
         let mut out = Vec::new();
         self.scan(|rid, row| {
             if pred(&row) {
@@ -291,12 +322,7 @@ mod tests {
     }
 
     fn row(tid: u64, op: &str, loc: &str, src: Option<&str>) -> Vec<Datum> {
-        vec![
-            Datum::U64(tid),
-            Datum::str(op),
-            Datum::str(loc),
-            src.map_or(Datum::Null, Datum::str),
-        ]
+        vec![Datum::U64(tid), Datum::str(op), Datum::str(loc), src.map_or(Datum::Null, Datum::str)]
     }
 
     #[test]
@@ -317,9 +343,7 @@ mod tests {
     fn schema_is_enforced() {
         let t = mem_table();
         assert!(t.insert(&[Datum::U64(1)]).is_err());
-        assert!(t
-            .insert(&[Datum::Null, Datum::str("C"), Datum::str("x"), Datum::Null])
-            .is_err());
+        assert!(t.insert(&[Datum::Null, Datum::str("C"), Datum::str("x"), Datum::Null]).is_err());
     }
 
     #[test]

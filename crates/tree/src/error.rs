@@ -109,10 +109,7 @@ mod tests {
     fn messages_mention_the_path() {
         let e = TreeError::PathNotFound { path: "T/c9".parse().unwrap() };
         assert!(e.to_string().contains("T/c9"));
-        let e = TreeError::DuplicateEdge {
-            at: "T".parse().unwrap(),
-            label: Label::new("c1"),
-        };
+        let e = TreeError::DuplicateEdge { at: "T".parse().unwrap(), label: Label::new("c1") };
         assert!(e.to_string().contains("c1"));
         assert!(e.to_string().contains('T'));
     }

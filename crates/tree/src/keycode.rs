@@ -1,0 +1,205 @@
+//! Order-preserving key encoding for [`Path`].
+//!
+//! Storage indexes keyed by a path's *display* string cannot answer
+//! subtree (path-prefix) probes with a contiguous range: `"T/c2"` is a
+//! string prefix of `"T/c20"`, yet `T/c20` is not a descendant of
+//! `T/c2`, and a segment may contain characters that sort below the
+//! `/` separator, so display-string order does not even agree with
+//! segment-wise path order.
+//!
+//! [`Path::key`] fixes both problems with the classic tuple encoding:
+//! every segment is escaped so that `NUL` (`\u{0}`) never appears in
+//! content, then terminated with `NUL`:
+//!
+//! * `\u{0}` in a segment → `\u{1}\u{1}`
+//! * `\u{1}` in a segment → `\u{1}\u{2}`
+//! * every segment is followed by one `\u{0}` terminator
+//!
+//! Because the terminator sorts strictly below every escaped content
+//! byte (which is ≥ `\u{1}`), lexicographic order over encoded keys is
+//! exactly the segment-wise path order of [`Path::cmp`], and the
+//! descendants-or-self of `p` occupy precisely the contiguous key range
+//! returned by [`Path::prefix_range_bounds`]: `T/c2` encodes as
+//! `"T\0c2\0"`, its subtree ends before `"T\0c2\u{1}"`, and `T/c20`
+//! (`"T\0c20\0"`) falls outside.
+//!
+//! The encoding is valid UTF-8 (only ASCII control characters are
+//! introduced), so keys pass through `Str`-typed storage columns and
+//! ordinary `BTreeMap<String, _>` side tables unchanged.
+
+use crate::{Label, Path, TreeError};
+use std::ops::Bound;
+
+/// Segment terminator: sorts below every escaped content character.
+const TERM: char = '\u{0}';
+/// Escape lead-in.
+const ESC: char = '\u{1}';
+
+fn push_escaped(segment: &str, out: &mut String) {
+    for c in segment.chars() {
+        match c {
+            TERM => {
+                out.push(ESC);
+                out.push('\u{1}');
+            }
+            ESC => {
+                out.push(ESC);
+                out.push('\u{2}');
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Path {
+    /// The order-preserving storage key of this path.
+    ///
+    /// Lexicographic (byte) order over keys equals [`Path`]'s own
+    /// segment-wise order, and the keys of exactly the
+    /// descendants-or-self of `p` form the contiguous range
+    /// [`Path::prefix_range_bounds`].
+    ///
+    /// ```
+    /// use cpdb_tree::Path;
+    /// let p: Path = "T/c2".parse().unwrap();
+    /// assert_eq!(p.key(), "T\u{0}c2\u{0}");
+    /// // T/c20 is NOT in T/c2's subtree range:
+    /// let (lo, hi) = p.prefix_range_bounds();
+    /// let k20 = "T/c20".parse::<Path>().unwrap().key();
+    /// let in_range = match (&lo, &hi) {
+    ///     (std::ops::Bound::Included(l), std::ops::Bound::Excluded(h)) => *l <= k20 && k20 < *h,
+    ///     _ => unreachable!(),
+    /// };
+    /// assert!(!in_range);
+    /// ```
+    pub fn key(&self) -> String {
+        let mut out = String::with_capacity(self.segments().len() * 8);
+        for seg in self.iter() {
+            push_escaped(seg.as_str(), &mut out);
+            out.push(TERM);
+        }
+        out
+    }
+
+    /// Decodes a key produced by [`Path::key`].
+    pub fn from_key(key: &str) -> Result<Path, TreeError> {
+        let bad = |reason: &'static str| TreeError::BadPath { text: key.to_owned(), reason };
+        let mut segs: Vec<Label> = Vec::new();
+        let mut cur = String::new();
+        let mut chars = key.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                TERM => {
+                    if cur.is_empty() {
+                        return Err(bad("empty segment in key"));
+                    }
+                    segs.push(Label::new(&cur));
+                    cur.clear();
+                }
+                ESC => match chars.next() {
+                    Some('\u{1}') => cur.push(TERM),
+                    Some('\u{2}') => cur.push(ESC),
+                    _ => return Err(bad("dangling escape in key")),
+                },
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            return Err(bad("key does not end at a segment boundary"));
+        }
+        Ok(Path::from_labels(segs))
+    }
+
+    /// Key-range bounds covering exactly the keys of this path and all
+    /// of its descendants, for use with ordered indexes and
+    /// `BTreeMap::range`.
+    ///
+    /// The empty path returns an unbounded range (every path is a
+    /// descendant of the root).
+    pub fn prefix_range_bounds(&self) -> (Bound<String>, Bound<String>) {
+        if self.is_empty() {
+            return (Bound::Unbounded, Bound::Unbounded);
+        }
+        let lo = self.key();
+        // The key ends with the TERM terminator; bumping that final
+        // character to the escape lead-in (the next code point) caps
+        // the subtree: every descendant key extends `lo`, and every
+        // extension of `lo` sorts below `hi`.
+        let mut hi = lo.clone();
+        hi.pop();
+        hi.push(ESC);
+        (Bound::Included(lo), Bound::Excluded(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for s in ["", "T", "T/c2/y", "SwissProt/Release{20}/Q01780/Citation{3}/Title"] {
+            let path = p(s);
+            assert_eq!(Path::from_key(&path.key()).unwrap(), path, "{s:?}");
+        }
+        // Segments containing the encoding's own control characters
+        // still round-trip (labels are not restricted at this layer).
+        let weird =
+            Path::from_labels(vec![Label::new("a\u{0}b"), Label::new("\u{1}"), Label::new("c")]);
+        assert_eq!(Path::from_key(&weird.key()).unwrap(), weird);
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        assert!(Path::from_key("no-terminator").is_err());
+        assert!(Path::from_key("\u{0}").is_err(), "empty segment");
+        assert!(Path::from_key("a\u{1}").is_err(), "dangling escape");
+        assert_eq!(Path::from_key("").unwrap(), Path::epsilon());
+    }
+
+    #[test]
+    fn key_order_matches_path_order() {
+        // Includes the characters that break display-string order:
+        // '!' sorts below '/', digits sort above it.
+        let mut paths: Vec<Path> = ["T", "T/c2", "T/c2/y", "T/c20", "T/c2!x", "S1/a1", "T/c10"]
+            .iter()
+            .map(|s| {
+                // Build via labels so '!' segments are allowed.
+                Path::from_labels(s.split('/').map(Label::new).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut by_key = paths.clone();
+        paths.sort();
+        by_key.sort_by_key(|a| a.key());
+        assert_eq!(paths, by_key);
+    }
+
+    #[test]
+    fn prefix_range_is_exactly_the_subtree() {
+        let root = p("T/c2");
+        let (lo, hi) = root.prefix_range_bounds();
+        let contains = |q: &Path| {
+            let k = q.key();
+            let above = match &lo {
+                Bound::Included(l) => k >= *l,
+                _ => true,
+            };
+            let below = match &hi {
+                Bound::Excluded(h) => k < *h,
+                _ => true,
+            };
+            above && below
+        };
+        assert!(contains(&p("T/c2")));
+        assert!(contains(&p("T/c2/y")));
+        assert!(contains(&p("T/c2/y/deep/er")));
+        assert!(!contains(&p("T/c20")), "T/c20 must be outside T/c2's range");
+        assert!(!contains(&p("T/c1")));
+        assert!(!contains(&p("T")));
+        assert!(!contains(&p("S1/c2")));
+    }
+}

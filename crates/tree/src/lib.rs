@@ -37,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 mod error;
+mod keycode;
 mod label;
 mod macros;
 mod parse;

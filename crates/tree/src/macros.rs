@@ -58,10 +58,7 @@ mod tests {
             "d" => "str",
         };
         assert_eq!(t.child(Label::new("a")).unwrap().node_count(), 3);
-        assert_eq!(
-            t.get(&"d".parse().unwrap()).unwrap().as_value(),
-            Some(&Value::str("str"))
-        );
+        assert_eq!(t.get(&"d".parse().unwrap()).unwrap().as_value(), Some(&Value::str("str")));
     }
 
     #[test]

@@ -237,10 +237,7 @@ mod tests {
             tree! { "a" => 1, "b" => { "c" => "x" } }
         );
         // Trailing comma and loose whitespace are fine.
-        assert_eq!(
-            parse_tree(" { a : 1 , } ").unwrap(),
-            tree! { "a" => 1 }
-        );
+        assert_eq!(parse_tree(" { a : 1 , } ").unwrap(), tree! { "a" => 1 });
     }
 
     #[test]
@@ -254,8 +251,17 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "{", "}", "{a}", "{a:}", "{a: 1,, b: 2}", "{a: 1} extra", "{: 1}",
-            "{a: 1, a: 2}", "\"unterminated", "{a: 12x}",
+            "",
+            "{",
+            "}",
+            "{a}",
+            "{a:}",
+            "{a: 1,, b: 2}",
+            "{a: 1} extra",
+            "{: 1}",
+            "{a: 1, a: 2}",
+            "\"unterminated",
+            "{a: 12x}",
         ] {
             assert!(parse_tree(bad).is_err(), "should reject {bad:?}");
         }

@@ -131,9 +131,7 @@ impl Tree {
     /// [`TreeError::DuplicateEdge`] if the label is already present —
     /// precisely where the paper's `⊎` is undefined.
     pub fn insert_edge(&mut self, at: &Path, label: Label, child: Tree) -> Result<(), TreeError> {
-        let node = self
-            .get_mut(at)
-            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        let node = self.get_mut(at).ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
         match node {
             Tree::Leaf(_) => Err(TreeError::NotATree { at: at.clone() }),
             Tree::Node(m) => {
@@ -152,23 +150,19 @@ impl Tree {
     /// Fails with [`TreeError::EdgeNotFound`] if the edge is absent, as
     /// `t − a` is undefined there.
     pub fn delete_edge(&mut self, at: &Path, label: Label) -> Result<Tree, TreeError> {
-        let node = self
-            .get_mut(at)
-            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        let node = self.get_mut(at).ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
         match node {
             Tree::Leaf(_) => Err(TreeError::NotATree { at: at.clone() }),
-            Tree::Node(m) => m
-                .remove(&label)
-                .ok_or_else(|| TreeError::EdgeNotFound { at: at.clone(), label }),
+            Tree::Node(m) => {
+                m.remove(&label).ok_or_else(|| TreeError::EdgeNotFound { at: at.clone(), label })
+            }
         }
     }
 
     /// `t[p := new]`: replaces the subtree at `at`, returning the old
     /// subtree. Fails if `at` is not present (the paper's side condition).
     pub fn replace(&mut self, at: &Path, new: Tree) -> Result<Tree, TreeError> {
-        let node = self
-            .get_mut(at)
-            .ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
+        let node = self.get_mut(at).ok_or_else(|| TreeError::PathNotFound { path: at.clone() })?;
         Ok(std::mem::replace(node, new))
     }
 
@@ -363,9 +357,7 @@ impl Database {
     /// Resolves a qualified path to a subtree.
     pub fn get(&self, qualified: &Path) -> Result<&Tree, TreeError> {
         let rel = self.relative(qualified)?;
-        self.root
-            .get(&rel)
-            .ok_or_else(|| TreeError::PathNotFound { path: qualified.clone() })
+        self.root.get(&rel).ok_or_else(|| TreeError::PathNotFound { path: qualified.clone() })
     }
 
     /// `true` iff the qualified path resolves.
@@ -483,9 +475,7 @@ mod tests {
         let rendered: Vec<String> = paths.iter().map(Path::to_string).collect();
         assert_eq!(
             rendered,
-            vec![
-                "T", "T/a1", "T/a1/x", "T/a1/y", "T/a2", "T/a2/x", "T/a3", "T/a3/x", "T/a3/y"
-            ]
+            vec!["T", "T/a1", "T/a1/x", "T/a1/y", "T/a2", "T/a2/x", "T/a3", "T/a3/x", "T/a3/y"]
         );
     }
 
@@ -493,19 +483,13 @@ mod tests {
     fn leaves_lists_values() {
         let t = tree! { "a" => { "b" => 1 }, "c" => "s" };
         let leaves = t.leaves(&Path::epsilon());
-        assert_eq!(
-            leaves,
-            vec![(p("a/b"), Value::int(1)), (p("c"), Value::str("s"))]
-        );
+        assert_eq!(leaves, vec![(p("a/b"), Value::int(1)), (p("c"), Value::str("s"))]);
     }
 
     #[test]
     fn display_is_canonical() {
         let t = sample();
-        assert_eq!(
-            t.to_string(),
-            "{a1: {x: 1, y: 2}, a2: {x: 3}, a3: {x: 7, y: 6}}"
-        );
+        assert_eq!(t.to_string(), "{a1: {x: 1, y: 2}, a2: {x: 3}, a3: {x: 7, y: 6}}");
         assert_eq!(Tree::empty().to_string(), "{}");
         assert_eq!(Tree::leaf("hi").to_string(), "\"hi\"");
     }

@@ -6,19 +6,12 @@ use proptest::prelude::*;
 /// Labels drawn from a safe charset (also exercises braces, which the
 /// paper's examples use in `Release{20}`-style names).
 fn arb_label() -> impl Strategy<Value = Label> {
-    prop_oneof![
-        "[a-z][a-z0-9_.]{0,6}",
-        "[A-Z]{1,3}[0-9]{1,4}",
-        "[a-z]{1,4}\\{[0-9]{1,2}\\}",
-    ]
-    .prop_map(|s| Label::new(&s))
+    prop_oneof!["[a-z][a-z0-9_.]{0,6}", "[A-Z]{1,3}[0-9]{1,4}", "[a-z]{1,4}\\{[0-9]{1,2}\\}",]
+        .prop_map(|s| Label::new(&s))
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        "[ -~]{0,12}".prop_map(Value::str),
-    ]
+    prop_oneof![any::<i64>().prop_map(Value::Int), "[ -~]{0,12}".prop_map(Value::str),]
 }
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
@@ -108,4 +101,88 @@ proptest! {
     fn leaf_count_matches_leaves(t in arb_tree()) {
         prop_assert_eq!(t.leaves(&Path::epsilon()).len(), t.leaf_count());
     }
+
+    // ---- Order-preserving key encoding (`Path::key`) ----------------
+
+    /// `from_key(key(p)) == p` for arbitrary paths.
+    #[test]
+    fn key_round_trips(p in arb_path()) {
+        prop_assert_eq!(Path::from_key(&p.key()).unwrap(), p);
+    }
+
+    /// Lexicographic order of encoded keys is exactly the segment-wise
+    /// path order of `Path::cmp`.
+    #[test]
+    fn key_order_equals_path_order(a in arb_path(), b in arb_path()) {
+        prop_assert_eq!(a.key().cmp(&b.key()), a.cmp(&b));
+    }
+
+    /// Every path in `p`'s subtree — and only those — falls inside
+    /// `p.prefix_range_bounds()`. Exercised against arbitrary other
+    /// paths, including sibling-with-prefix-spelling cases like
+    /// `T/c2` vs `T/c20`.
+    #[test]
+    fn prefix_range_contains_exactly_the_subtree(p in arb_path(), q in arb_path()) {
+        use std::ops::Bound;
+        let (lo, hi) = p.prefix_range_bounds();
+        let k = q.key();
+        let above = match &lo {
+            Bound::Included(l) => k >= *l,
+            Bound::Excluded(l) => k > *l,
+            Bound::Unbounded => true,
+        };
+        let below = match &hi {
+            Bound::Included(h) => k <= *h,
+            Bound::Excluded(h) => k < *h,
+            Bound::Unbounded => true,
+        };
+        prop_assert_eq!(above && below, q.starts_with(&p), "p={} q={}", p, q);
+    }
+
+    /// Joining any suffix onto `p` stays in `p`'s range (the range scan
+    /// finds all descendants, however deep).
+    #[test]
+    fn descendants_always_land_in_range(p in arb_path(), rest in arb_path()) {
+        use std::ops::Bound;
+        let q = p.join(&rest);
+        let (lo, hi) = p.prefix_range_bounds();
+        let k = q.key();
+        let above = match &lo {
+            Bound::Included(l) => k >= *l,
+            Bound::Excluded(l) => k > *l,
+            Bound::Unbounded => true,
+        };
+        let below = match &hi {
+            Bound::Excluded(h) => k < *h,
+            Bound::Included(h) => k <= *h,
+            Bound::Unbounded => true,
+        };
+        prop_assert!(above && below, "p={} q={}", p, q);
+    }
+}
+
+/// The boundary case the encoding exists for, pinned explicitly: the
+/// display string `"T/c2"` is a prefix of `"T/c20"`, but the key range
+/// of `T/c2` must exclude `T/c20` while containing the whole `T/c2`
+/// subtree.
+#[test]
+fn t_c2_range_excludes_t_c20() {
+    use std::ops::Bound;
+    let p: Path = "T/c2".parse().unwrap();
+    let (lo, hi) = p.prefix_range_bounds();
+    let (Bound::Included(lo), Bound::Excluded(hi)) = (lo, hi) else {
+        panic!("non-empty prefix must yield a half-open range");
+    };
+    let in_range = |s: &str| {
+        let k: Path = s.parse().unwrap();
+        let k = k.key();
+        k >= lo && k < hi
+    };
+    assert!(in_range("T/c2"));
+    assert!(in_range("T/c2/y"));
+    assert!(in_range("T/c2/y/deep"));
+    assert!(!in_range("T/c20"), "T/c20 is a sibling, not a descendant");
+    assert!(!in_range("T/c20/x"));
+    assert!(!in_range("T/c1"));
+    assert!(!in_range("T"));
 }

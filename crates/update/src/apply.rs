@@ -120,12 +120,9 @@ impl Workspace {
 
     /// Resolves a qualified path against whichever database it names.
     pub fn resolve(&self, path: &Path) -> Result<&Tree, UpdateError> {
-        let first = path.first().ok_or_else(|| UpdateError::UnqualifiedPath {
-            path: path.clone(),
-        })?;
-        let db = self
-            .database(first)
-            .ok_or(UpdateError::UnknownDatabase { name: first })?;
+        let first =
+            path.first().ok_or_else(|| UpdateError::UnqualifiedPath { path: path.clone() })?;
+        let db = self.database(first).ok_or(UpdateError::UnknownDatabase { name: first })?;
         db.get(path).map_err(UpdateError::Tree)
     }
 
@@ -226,7 +223,9 @@ fn requalify(e: TreeError, qualified_target: &Path) -> UpdateError {
         TreeError::DuplicateEdge { at, label } => {
             TreeError::DuplicateEdge { at: db.join(&at), label }
         }
-        TreeError::EdgeNotFound { at, label } => TreeError::EdgeNotFound { at: db.join(&at), label },
+        TreeError::EdgeNotFound { at, label } => {
+            TreeError::EdgeNotFound { at: db.join(&at), label }
+        }
         TreeError::NotATree { at } => TreeError::NotATree { at: db.join(&at) },
         other => other,
     })
@@ -264,9 +263,8 @@ mod tests {
     #[test]
     fn insert_fails_on_duplicate_edge() {
         let mut ws = figure4_workspace();
-        let err = ws
-            .apply(&AtomicUpdate::insert(p("T"), "c1", crate::InsertContent::Empty))
-            .unwrap_err();
+        let err =
+            ws.apply(&AtomicUpdate::insert(p("T"), "c1", crate::InsertContent::Empty)).unwrap_err();
         assert!(err.to_string().contains("already exists"), "{err}");
     }
 
@@ -280,9 +278,7 @@ mod tests {
     #[test]
     fn copy_requires_existing_parent() {
         let mut ws = figure4_workspace();
-        let err = ws
-            .apply(&AtomicUpdate::copy(p("S1/a1"), p("T/nowhere/deep")))
-            .unwrap_err();
+        let err = ws.apply(&AtomicUpdate::copy(p("S1/a1"), p("T/nowhere/deep"))).unwrap_err();
         assert!(matches!(err, UpdateError::Tree(TreeError::PathNotFound { .. })), "{err}");
     }
 
@@ -300,9 +296,7 @@ mod tests {
     #[test]
     fn writes_outside_target_are_rejected() {
         let mut ws = figure4_workspace();
-        let err = ws
-            .apply(&AtomicUpdate::copy(p("T/c1"), p("S1/a1")))
-            .unwrap_err();
+        let err = ws.apply(&AtomicUpdate::copy(p("T/c1"), p("S1/a1"))).unwrap_err();
         assert!(matches!(err, UpdateError::NotInTarget { .. }), "{err}");
         let err = ws
             .apply(&AtomicUpdate::insert(p("S1"), "zz", crate::InsertContent::Empty))

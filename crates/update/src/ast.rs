@@ -97,7 +97,11 @@ pub enum AtomicUpdate {
 
 impl AtomicUpdate {
     /// Convenience constructor for `ins {label : content} into target`.
-    pub fn insert(target: Path, label: impl Into<Label>, content: impl Into<InsertContent>) -> Self {
+    pub fn insert(
+        target: Path,
+        label: impl Into<Label>,
+        content: impl Into<InsertContent>,
+    ) -> Self {
         AtomicUpdate::Insert { target, label: label.into(), content: content.into() }
     }
 
@@ -244,22 +248,13 @@ mod tests {
             AtomicUpdate::delete(p("T"), "c5"),
             AtomicUpdate::copy(p("S1/a1/y"), p("T/c1/y")),
         ]);
-        assert_eq!(
-            script.to_string(),
-            "(1) delete c5 from T;\n(2) copy S1/a1/y into T/c1/y;\n"
-        );
+        assert_eq!(script.to_string(), "(1) delete c5 from T;\n(2) copy S1/a1/y into T/c1/y;\n");
     }
 
     #[test]
     fn written_path() {
         assert_eq!(AtomicUpdate::delete(p("T"), "c5").written_path(), p("T/c5"));
-        assert_eq!(
-            AtomicUpdate::insert(p("T/c4"), "y", 12).written_path(),
-            p("T/c4/y")
-        );
-        assert_eq!(
-            AtomicUpdate::copy(p("S1/a2"), p("T/c2")).written_path(),
-            p("T/c2")
-        );
+        assert_eq!(AtomicUpdate::insert(p("T/c4"), "y", 12).written_path(), p("T/c4/y"));
+        assert_eq!(AtomicUpdate::copy(p("S1/a2"), p("T/c2")).written_path(), p("T/c2"));
     }
 }

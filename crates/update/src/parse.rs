@@ -51,11 +51,7 @@ fn split_statements(input: &str) -> Vec<String> {
         }
     }
     statements.push(cur);
-    statements
-        .into_iter()
-        .map(|s| s.trim().to_owned())
-        .filter(|s| !s.is_empty())
-        .collect()
+    statements.into_iter().map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
 }
 
 /// Strips an optional leading `(n)` statement number, validating it
@@ -65,9 +61,7 @@ fn strip_number(stmt: &str, position: usize) -> Result<&str, String> {
     if !stmt.starts_with('(') {
         return Ok(stmt);
     }
-    let close = stmt
-        .find(')')
-        .ok_or_else(|| "unterminated statement number".to_owned())?;
+    let close = stmt.find(')').ok_or_else(|| "unterminated statement number".to_owned())?;
     let num: usize = stmt[1..close]
         .trim()
         .parse()
@@ -79,9 +73,7 @@ fn strip_number(stmt: &str, position: usize) -> Result<&str, String> {
 }
 
 fn parse_path(text: &str) -> Result<Path, String> {
-    text.trim()
-        .parse()
-        .map_err(|e: cpdb_tree::TreeError| e.to_string())
+    text.trim().parse().map_err(|e: cpdb_tree::TreeError| e.to_string())
 }
 
 fn parse_label(text: &str) -> Result<Label, String> {
@@ -122,9 +114,8 @@ fn parse_atomic(stmt: &str) -> Result<AtomicUpdate, String> {
                 .strip_prefix('{')
                 .and_then(|s| s.strip_suffix('}'))
                 .ok_or_else(|| format!("insert payload {braced:?} must be {{label : value}}"))?;
-            let (label, content) = inner
-                .split_once(':')
-                .ok_or_else(|| "insert payload missing ':'".to_owned())?;
+            let (label, content) =
+                inner.split_once(':').ok_or_else(|| "insert payload missing ':'".to_owned())?;
             let content = content.trim();
             let content = match parse_tree(content) {
                 Ok(t) if t.is_empty_node() => InsertContent::Empty,
@@ -195,10 +186,7 @@ mod tests {
         assert_eq!(script.len(), 10);
         assert_eq!(script.updates[0], AtomicUpdate::delete(p("T"), "c5"));
         assert_eq!(script.updates[3], AtomicUpdate::copy(p("S1/a2"), p("T/c2")));
-        assert_eq!(
-            script.updates[9],
-            AtomicUpdate::insert(p("T/c4"), "y", Value::int(12))
-        );
+        assert_eq!(script.updates[9], AtomicUpdate::insert(p("T/c4"), "y", Value::int(12)));
     }
 
     #[test]
@@ -217,10 +205,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(script.len(), 2);
-        assert_eq!(
-            script.updates[0],
-            AtomicUpdate::insert(p("T"), "a", Value::str("v"))
-        );
+        assert_eq!(script.updates[0], AtomicUpdate::insert(p("T"), "a", Value::str("v")));
     }
 
     #[test]

@@ -5,12 +5,8 @@ use cpdb_update::{parse_script, AtomicUpdate, InsertContent, UpdateScript, Works
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = Label> {
-    prop_oneof![
-        "[a-z][a-z0-9_.]{0,6}",
-        "[A-Z]{1,2}[0-9]{1,4}",
-        "[a-z]{1,4}\\{[0-9]{1,2}\\}",
-    ]
-    .prop_map(|s| Label::new(&s))
+    prop_oneof!["[a-z][a-z0-9_.]{0,6}", "[A-Z]{1,2}[0-9]{1,4}", "[a-z]{1,4}\\{[0-9]{1,2}\\}",]
+        .prop_map(|s| Label::new(&s))
 }
 
 fn arb_path() -> impl Strategy<Value = Path> {

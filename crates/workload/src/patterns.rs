@@ -208,7 +208,8 @@ impl Generator {
         let target_initial = mimi_like(cfg.target_records, cfg.seed);
         // The source presents the paper's four-level relational view:
         // OrganelleDB/proteins/recN/field (Section 2's DB/R/tid/F).
-        let source = Tree::node([(Label::new("proteins"), organelle_like(cfg.source_records, cfg.seed))]);
+        let source =
+            Tree::node([(Label::new("proteins"), organelle_like(cfg.source_records, cfg.seed))]);
         let t_root = Path::single(target_name);
         let mut preexisting = Vec::new();
         let mut preexisting_records = Vec::new();
@@ -438,12 +439,7 @@ impl Generator {
 pub fn generate(cfg: &GenConfig, len: usize) -> Workload {
     let mut g = Generator::new(cfg);
     let target_initial = g.ws.target().root().clone();
-    let source = g
-        .ws
-        .database(Label::new("OrganelleDB"))
-        .expect("source connected")
-        .root()
-        .clone();
+    let source = g.ws.database(Label::new("OrganelleDB")).expect("source connected").root().clone();
     let mut updates = Vec::with_capacity(len);
     for step in 0..len {
         let u = g.next(step, cfg.pattern);

@@ -128,10 +128,7 @@ impl SourceDb for RelationalSource {
                 let row_tree = Self::row_tree(&table, &row);
                 match segs.len() {
                     2 => Ok(row_tree),
-                    3 => row_tree
-                        .child(segs[2])
-                        .cloned()
-                        .ok_or_else(not_found),
+                    3 => row_tree.child(segs[2]).cloned().ok_or_else(not_found),
                     _ => Err(not_found()),
                 }
             }
@@ -171,10 +168,20 @@ mod tests {
             )
             .unwrap();
         proteins
-            .insert(&[Datum::str("O95477"), Datum::str("ABC1"), Datum::str("membrane"), Datum::I64(2261)])
+            .insert(&[
+                Datum::str("O95477"),
+                Datum::str("ABC1"),
+                Datum::str("membrane"),
+                Datum::I64(2261),
+            ])
             .unwrap();
         proteins
-            .insert(&[Datum::str("P02741"), Datum::str("CRP"), Datum::str("secreted"), Datum::I64(224)])
+            .insert(&[
+                Datum::str("P02741"),
+                Datum::str("CRP"),
+                Datum::str("secreted"),
+                Datum::I64(224),
+            ])
             .unwrap();
         Arc::new(engine)
     }
@@ -186,10 +193,7 @@ mod tests {
         let leaf = src.subtree(&p("OrganelleDB/proteins/O95477/name")).unwrap();
         assert_eq!(leaf, Tree::leaf("ABC1"));
         let row = src.subtree(&p("OrganelleDB/proteins/P02741")).unwrap();
-        assert_eq!(
-            row,
-            tree! { "name" => "CRP", "organelle" => "secreted", "length" => 224 }
-        );
+        assert_eq!(row, tree! { "name" => "CRP", "organelle" => "secreted", "length" => 224 });
     }
 
     #[test]

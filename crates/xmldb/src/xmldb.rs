@@ -98,12 +98,18 @@ impl XmlDb {
     pub fn create(name: impl Into<Label>, engine: &Engine) -> Result<XmlDb> {
         let name = name.into();
         let nodes = engine.create_table(NODES, nodes_schema())?;
-        nodes.add_index(BY_ID, &["id"], true)?;
-        nodes.add_index(BY_PARENT, &["parent"], false)?;
-        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true)?;
+        nodes.add_index(BY_ID, &["id"], true, false)?;
+        nodes.add_index(BY_PARENT, &["parent"], false, false)?;
+        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true, false)?;
         let root_id = 1;
         nodes.insert(&encode_node(root_id, NO_PARENT, name, None))?;
-        Ok(XmlDb { name, nodes, next_id: AtomicU64::new(root_id + 1), root_id, client: Meter::new() })
+        Ok(XmlDb {
+            name,
+            nodes,
+            next_id: AtomicU64::new(root_id + 1),
+            root_id,
+            client: Meter::new(),
+        })
     }
 
     /// Opens an existing database named `name` from `engine` (rebuilding
@@ -111,9 +117,9 @@ impl XmlDb {
     pub fn open(name: impl Into<Label>, engine: &Engine) -> Result<XmlDb> {
         let name = name.into();
         let nodes = engine.open_table(NODES)?;
-        nodes.add_index(BY_ID, &["id"], true)?;
-        nodes.add_index(BY_PARENT, &["parent"], false)?;
-        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true)?;
+        nodes.add_index(BY_ID, &["id"], true, false)?;
+        nodes.add_index(BY_PARENT, &["parent"], false, false)?;
+        nodes.add_index(BY_PARENT_LABEL, &["parent", "label"], true, false)?;
         let mut max_id = 0u64;
         let mut root_id = None;
         nodes.scan(|_, row| {
@@ -142,7 +148,9 @@ impl XmlDb {
     /// Bulk-loads `tree` under the root (the database must be empty).
     pub fn load(&self, tree: &Tree) -> Result<()> {
         if self.nodes.row_count() != 1 {
-            return Err(XmlDbError::Inconsistent { reason: "load requires an empty database".into() });
+            return Err(XmlDbError::Inconsistent {
+                reason: "load requires an empty database".into(),
+            });
         }
         self.insert_subtree(self.root_id, tree)?;
         Ok(())
@@ -410,8 +418,7 @@ mod tests {
     fn add_node_inserts_and_rejects_duplicates() {
         let db = fresh("T");
         db.add_node(&p("T"), Label::new("c2"), &InsertContent::Empty).unwrap();
-        db.add_node(&p("T/c2"), Label::new("y"), &InsertContent::Value(Value::int(12)))
-            .unwrap();
+        db.add_node(&p("T/c2"), Label::new("y"), &InsertContent::Value(Value::int(12))).unwrap();
         assert_eq!(db.subtree(&p("T/c2")).unwrap(), tree! { "y" => 12 });
         assert!(matches!(
             db.add_node(&p("T"), Label::new("c2"), &InsertContent::Empty),

@@ -115,10 +115,7 @@ fn main() {
     // provenance she "cannot remember where the anomalous data came
     // from". With it:
     let ptm_site: Path = "MyDB/ABC1/SwissProt-PTM/site".parse().unwrap();
-    let steps = editor
-        .queries()
-        .trace(&ptm_site, editor.tnow())
-        .unwrap();
+    let steps = editor.queries().trace(&ptm_site, editor.tnow()).unwrap();
     println!("Trace({ptm_site}):");
     for s in &steps {
         println!("  txn {} — {:?} at {}", s.tid, s.action, s.loc);
@@ -133,6 +130,9 @@ fn main() {
     let mods = editor.get_mod(&"MyDB/ABC1".parse().unwrap()).unwrap();
     println!("\nMod(MyDB/ABC1) = {mods:?} — every transaction that shaped this record.");
     for meta in editor.txn_meta() {
-        println!("  txn {} committed by {} at logical time {}", meta.tid, meta.user, meta.committed_at);
+        println!(
+            "  txn {} committed by {} at logical time {}",
+            meta.tid, meta.user, meta.committed_at
+        );
     }
 }

@@ -23,10 +23,7 @@ fn main() {
     const N: usize = 2000;
     let mut recs = BTreeMap::new();
     for i in 0..N {
-        recs.insert(
-            Label::new(&format!("pm{i}")),
-            tree! { "title" => "A title", "year" => 2005 },
-        );
+        recs.insert(Label::new(&format!("pm{i}")), tree! { "title" => "A title", "year" => 2005 });
     }
     let pubmed = Database::new("PubMed", Tree::from_map(recs));
     let mut ws = Workspace::new(Database::new("T", tree! {})).with_source(pubmed);
@@ -62,14 +59,8 @@ fn main() {
     let loc: Path = "T/cite1234/title".parse().unwrap();
     let good_src: Path = "PubMed/pm1234/title".parse().unwrap();
     let wrong_src: Path = "SwissProt/x/title".parse().unwrap();
-    println!(
-        "\nmay_come_from({loc}, {good_src})  = {:?}",
-        approx.may_come_from(&loc, &good_src)
-    );
-    println!(
-        "may_come_from({loc}, {wrong_src}) = {:?}",
-        approx.may_come_from(&loc, &wrong_src)
-    );
+    println!("\nmay_come_from({loc}, {good_src})  = {:?}", approx.may_come_from(&loc, &good_src));
+    println!("may_come_from({loc}, {wrong_src}) = {:?}", approx.may_come_from(&loc, &wrong_src));
     assert_eq!(approx.may_come_from(&loc, &good_src), MayAnswer::May);
     assert_eq!(approx.may_come_from(&loc, &wrong_src), MayAnswer::Cannot);
 

@@ -22,8 +22,7 @@ fn run(strategy: Strategy, txn_len: usize) -> Vec<String> {
         }
     }
     tracker.commit().unwrap();
-    let mut rows: Vec<String> =
-        store.all().unwrap().iter().map(|r| r.as_table_row()).collect();
+    let mut rows: Vec<String> = store.all().unwrap().iter().map(|r| r.as_table_row()).collect();
     rows.sort();
     rows
 }
@@ -56,10 +55,7 @@ fn main() {
         "Figure 5(b) — transactional Prov (entire update as one transaction):",
         &run(Strategy::Transactional, usize::MAX),
     );
-    print_table(
-        "Figure 5(c) — hierarchical HProv:",
-        &run(Strategy::Hierarchical, 1),
-    );
+    print_table("Figure 5(c) — hierarchical HProv:", &run(Strategy::Hierarchical, 1));
     print_table(
         "Figure 5(d) — hierarchical-transactional HProv:",
         &run(Strategy::HierarchicalTransactional, usize::MAX),

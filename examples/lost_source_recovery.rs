@@ -59,9 +59,7 @@ fn main() {
     // Lab 2's copy of NP02's localisation later got corrupted in place
     // (an untracked edit — exactly what provenance cannot prevent, only
     // expose).
-    t2.tree
-        .replace(&"r1/localisation".parse().unwrap(), Tree::leaf("cytoplasm??"))
-        .unwrap();
+    t2.tree.replace(&"r1/localisation".parse().unwrap(), Tree::leaf("cytoplasm??")).unwrap();
 
     println!("T1 = {}", t1.tree);
     println!("T2 = {}\n", t2.tree);

@@ -50,20 +50,12 @@ fn main() {
     };
 
     // CuratedHub copies from UniProt, tracking provenance.
-    let (hub_tree, hub_store, hub_tnow) = curate(
-        "CuratedHub",
-        "UniProt",
-        &uniprot,
-        "copy UniProt/Q01780 into CuratedHub/exosome10",
-    );
+    let (hub_tree, hub_store, hub_tnow) =
+        curate("CuratedHub", "UniProt", &uniprot, "copy UniProt/Q01780 into CuratedHub/exosome10");
 
     // MyDB copies from CuratedHub, tracking provenance.
-    let (_, my_store, my_tnow) = curate(
-        "MyDB",
-        "CuratedHub",
-        &hub_tree,
-        "copy CuratedHub/exosome10 into MyDB/fav",
-    );
+    let (_, my_store, my_tnow) =
+        curate("MyDB", "CuratedHub", &hub_tree, "copy CuratedHub/exosome10 into MyDB/fav");
 
     // Federate the two provenance-publishing databases.
     let mut fed = Federation::new();
@@ -74,8 +66,13 @@ fn main() {
     println!("Own({loc}):");
     for step in fed.own(&loc).unwrap() {
         match step.arrived_by {
-            Some(tid) => println!("  held by {:<12} at {} (arrived in its txn {tid})", step.db, step.loc),
-            None => println!("  held by {:<12} at {} (origin — no further provenance)", step.db, step.loc),
+            Some(tid) => {
+                println!("  held by {:<12} at {} (arrived in its txn {tid})", step.db, step.loc)
+            }
+            None => println!(
+                "  held by {:<12} at {} (origin — no further provenance)",
+                step.db, step.loc
+            ),
         }
     }
 

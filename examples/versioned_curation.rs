@@ -19,9 +19,7 @@ fn main() {
     let target = XmlDb::create("T", &Engine::in_memory()).unwrap();
     target.load(&tree! {}).unwrap();
     let source = XmlDb::create("S", &Engine::in_memory()).unwrap();
-    source
-        .load(&tree! { "rec" => { "value" => 41, "unit" => "mmol" } })
-        .unwrap();
+    source.load(&tree! { "rec" => { "value" => 41, "unit" => "mmol" } }).unwrap();
 
     let mut editor = Editor::new(
         "curator",
@@ -59,10 +57,9 @@ fn main() {
                 if let Some(snapshot) = archive.retrieve(prev_tid.0) {
                     let rel: Path = src.strip_prefix(&"T".parse().unwrap()).unwrap();
                     match snapshot.get(&rel) {
-                        Some(node) => println!(
-                            "      archive v{} confirms {} = {}",
-                            prev_tid.0, src, node
-                        ),
+                        Some(node) => {
+                            println!("      archive v{} confirms {} = {}", prev_tid.0, src, node)
+                        }
                         None => println!("      archive v{} has no {}", prev_tid.0, src),
                     }
                 }

@@ -45,12 +45,7 @@ fn full_curation_lifecycle_with_disk_store() {
     let mut archive = Archive::new("T");
 
     // Transaction 1: copy both records.
-    editor
-        .run_script(
-            &parse_script("copy S/r1 into T/a; copy S/r2 into T/b").unwrap(),
-            0,
-        )
-        .unwrap();
+    editor.run_script(&parse_script("copy S/r1 into T/a; copy S/r2 into T/b").unwrap(), 0).unwrap();
     archive.add_version(1, &editor.target().tree_from_db().unwrap());
 
     // Transaction 2: correct a field.
