@@ -3,7 +3,7 @@
 //! without simulated latency so the engine's own work is visible.
 
 use cpdb_bench::session::{build_session, LatencyConfig};
-use cpdb_core::{ProvStore, Strategy};
+use cpdb_core::Strategy;
 use cpdb_workload::{generate, GenConfig, UpdatePattern};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

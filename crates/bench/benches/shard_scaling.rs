@@ -1,0 +1,164 @@
+//! Shard-scaling bench for the key-range-sharded provenance store.
+//!
+//! Replays the 14,000-step `real` workload into an unsharded indexed
+//! `SqlStore` and into `ShardedStore`s at 1, 4, and 8 shards, then
+//! measures the tracker's hot probes:
+//!
+//! * `by_loc_prefix` and `by_tid_loc_prefix` route to the **single**
+//!   shard owning the subtree, so their latency must not degrade as
+//!   the shard count grows (acceptance: within 1.5× of the unsharded
+//!   indexed store at 4 shards);
+//! * `by_tid` fans out, so its statement count must scale **linearly**
+//!   with the shard count.
+//!
+//! The routing invariants (statements per probe) are asserted on every
+//! run — including the 1-iteration CI smoke run (`-- --test`); the
+//! wall-clock ratio is asserted only on full runs, where timings are
+//! stable enough to mean something.
+
+use cpdb_bench::session::{build_session_with, top_level_containers, LatencyConfig, StoreConfig};
+use cpdb_core::{ProvStore, Strategy, Tid};
+use cpdb_tree::Path;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Mean seconds per probe sweep, measured outside criterion so the
+/// 4-shard ratio can be computed and asserted.
+fn time_sweep(iters: u32, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed() / iters
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    let steps = if smoke() { 1_400 } else { 14_000 };
+    let cfg = GenConfig::for_length(UpdatePattern::Real, steps, 2006);
+    let wl = generate(&cfg, steps);
+
+    let build = |store_cfg: StoreConfig| -> Arc<dyn ProvStore> {
+        let mut session =
+            build_session_with(&wl, Strategy::Hierarchical, store_cfg, &LatencyConfig::zero());
+        session.editor.run_script(&wl.script, 1).unwrap();
+        session.store.clone()
+    };
+
+    let baseline = build(StoreConfig::unsharded(true));
+    // Probe subtree roots that actually hold provenance: the shard
+    // boundaries come from the same container list, so each of these
+    // probes must route to exactly one shard.
+    let prefixes: Vec<Path> = top_level_containers(&wl)
+        .into_iter()
+        .filter(|c| !baseline.by_loc_prefix(c).unwrap().is_empty())
+        .take(20)
+        .collect();
+    assert!(prefixes.len() >= 5, "workload must populate several containers");
+
+    let sweep_loc = |store: &dyn ProvStore| {
+        let mut hits = 0usize;
+        for p in &prefixes {
+            hits += store.by_loc_prefix(p).unwrap().len();
+        }
+        hits
+    };
+    let sweep_tid_loc = |store: &dyn ProvStore| {
+        let mut hits = 0usize;
+        for (i, p) in prefixes.iter().enumerate() {
+            hits += store.by_tid_loc_prefix(Tid(1 + i as u64), p).unwrap().len();
+        }
+        hits
+    };
+
+    let mut mean_prefix_us: Vec<(usize, f64)> = Vec::new();
+    let base_mean = time_sweep(10, || {
+        std::hint::black_box(sweep_loc(baseline.as_ref()));
+    });
+    group.bench_with_input(BenchmarkId::new("by_loc_prefix", "unsharded"), &(), |b, ()| {
+        b.iter(|| sweep_loc(baseline.as_ref()))
+    });
+
+    for shards in SHARD_COUNTS {
+        let store = build(StoreConfig::sharded(shards));
+
+        // Routing invariants, asserted on every run. The split points
+        // coincide with container range starts, so each `T/n{i}`
+        // subtree probe must be exactly one statement no matter how
+        // many shards exist…
+        store.reset_trips();
+        let loc_hits = sweep_loc(store.as_ref());
+        assert_eq!(
+            store.read_trips(),
+            prefixes.len() as u64,
+            "{shards} shards: a container prefix probe must route to one shard"
+        );
+        assert!(loc_hits > 0, "probes must actually hit records");
+        store.reset_trips();
+        sweep_tid_loc(store.as_ref());
+        assert_eq!(
+            store.read_trips(),
+            prefixes.len() as u64,
+            "{shards} shards: a (tid, prefix) probe must route to one shard"
+        );
+        // …while a by_tid fan-out issues one statement per shard.
+        store.reset_trips();
+        store.by_tid(Tid(7)).unwrap();
+        assert_eq!(
+            store.read_trips(),
+            shards as u64,
+            "by_tid fan-out must scale linearly with the shard count"
+        );
+
+        let mean = time_sweep(10, || {
+            std::hint::black_box(sweep_loc(store.as_ref()));
+        });
+        mean_prefix_us.push((shards, mean.as_secs_f64() * 1e6));
+        group.bench_with_input(
+            BenchmarkId::new("by_loc_prefix", format!("{shards}_shards")),
+            &(),
+            |b, ()| b.iter(|| sweep_loc(store.as_ref())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("by_tid_loc_prefix", format!("{shards}_shards")),
+            &(),
+            |b, ()| b.iter(|| sweep_tid_loc(store.as_ref())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("by_tid_fanout", format!("{shards}_shards")),
+            &(),
+            |b, ()| b.iter(|| store.by_tid(Tid(7)).unwrap().len()),
+        );
+    }
+    group.finish();
+
+    let base_us = base_mean.as_secs_f64() * 1e6;
+    println!("shard_scaling summary: unsharded by_loc_prefix sweep = {base_us:.2} µs");
+    for (shards, us) in &mean_prefix_us {
+        println!("  {shards} shard(s): {us:.2} µs/sweep ({:.2}x of unsharded)", us / base_us);
+    }
+    if !smoke() {
+        let four = mean_prefix_us.iter().find(|(s, _)| *s == 4).expect("4-shard run");
+        assert!(
+            four.1 <= base_us * 1.5,
+            "acceptance: 4-shard routed prefix probe must stay within 1.5x of the \
+             unsharded indexed store ({:.2} µs vs {base_us:.2} µs)",
+            four.1
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

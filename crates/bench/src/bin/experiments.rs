@@ -4,10 +4,14 @@
 //! ```text
 //! experiments [targets…] [--quick N] [--json DIR]
 //!
-//! targets: all | tables | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13
+//! targets: all | tables | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | shard
 //! --quick N   divide script lengths by N (default: full paper scale)
 //! --json DIR  also dump machine-readable results under DIR
 //! ```
+//!
+//! `shard` reruns the Figure 9/10 timing workload with the provenance
+//! store split over 1, 4, and 8 key-range shards. It is not part of
+//! `all` (it triples the fig9 runtime); ask for it explicitly.
 
 use cpdb_bench::experiments::{self, Scale};
 use cpdb_bench::report;
@@ -98,6 +102,16 @@ fn main() {
         println!("{}", report::render_fig9(&rows));
         println!("{}", report::render_fig10(&rows));
         println!("  [fig9+fig10 took {:.1?}]\n", t.elapsed());
+    }
+    if targets.iter().any(|t| t == "shard") {
+        for shards in [1usize, 4, 8] {
+            let t = Instant::now();
+            let rows = experiments::fig9_fig10_at(&scale, shards);
+            write_json(json, &format!("fig9_fig10_shards{shards}"), &rows);
+            println!("--- provenance store over {shards} key-range shard(s) ---");
+            println!("{}", report::render_fig9(&rows));
+            println!("  [shard={shards} took {:.1?}]\n", t.elapsed());
+        }
     }
     if want("fig11") {
         let t = Instant::now();

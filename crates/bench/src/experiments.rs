@@ -7,8 +7,8 @@
 //! commits every 5 operations.
 
 use crate::session::{
-    build_session, run_queries, run_workload, sample_locations, LatencyConfig, OpClass, QueryTimes,
-    RunResult,
+    build_session, run_queries, run_workload, run_workload_with, sample_locations, LatencyConfig,
+    OpClass, QueryTimes, RunResult, StoreConfig,
 };
 use cpdb_core::Strategy;
 use cpdb_update::{AtomicUpdate, UpdateScript};
@@ -192,13 +192,24 @@ fn timing_row(r: &RunResult) -> TimingRow {
 /// timings during a 14000-step `mix` run with the paper-like latency
 /// model.
 pub fn fig9_fig10(scale: &Scale) -> Vec<TimingRow> {
+    fig9_fig10_at(scale, 0)
+}
+
+/// Figure 9/10-style timing run with the provenance store deployed
+/// over `shards` key-range shards (`0` = the original unsharded
+/// store). This is the knob the sharding experiments turn: the same
+/// workload, tracker, and latency model at 1, 4, and 8 shards.
+pub fn fig9_fig10_at(scale: &Scale, shards: usize) -> Vec<TimingRow> {
     let cfg = GenConfig::for_length(UpdatePattern::Mix, scale.long, scale.seed);
     let wl = generate(&cfg, scale.long);
+    let store_cfg =
+        if shards == 0 { StoreConfig::unsharded(true) } else { StoreConfig::sharded(shards) };
     Strategy::ALL
         .iter()
         .map(|&strategy| {
             let txn_len = if strategy.is_transactional() { 5 } else { 1 };
-            let r = run_workload(&wl, strategy, txn_len, true, &LatencyConfig::paper_like());
+            let r =
+                run_workload_with(&wl, strategy, txn_len, store_cfg, &LatencyConfig::paper_like());
             timing_row(&r)
         })
         .collect()

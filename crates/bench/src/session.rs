@@ -20,12 +20,13 @@
 //!   row** (commit time grows linearly with transaction length,
 //!   Figure 12).
 
-use cpdb_core::{Editor, ProvStore, SqlStore, Strategy, Tid};
+use cpdb_core::{Editor, ProvStore, ShardedStore, SqlStore, Strategy, Tid};
 use cpdb_storage::{Column, DataType, Datum, Engine, Schema};
 use cpdb_tree::{Path, Tree, Value};
 use cpdb_update::AtomicUpdate;
 use cpdb_workload::Workload;
 use cpdb_xmldb::{RelationalSource, XmlDb};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,12 +70,35 @@ impl LatencyConfig {
     }
 }
 
+/// How a session's provenance store is deployed.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Build secondary indexes on the provenance relation(s).
+    pub indexed: bool,
+    /// `0` = one unsharded [`SqlStore`]; `k ≥ 1` = a [`ShardedStore`]
+    /// with `k` key-range shards split over the workload's top-level
+    /// containers.
+    pub shards: usize,
+}
+
+impl StoreConfig {
+    /// An unsharded store, indexed or not (the original experiments).
+    pub fn unsharded(indexed: bool) -> StoreConfig {
+        StoreConfig { indexed, shards: 0 }
+    }
+
+    /// A `k`-way key-range-sharded indexed store.
+    pub fn sharded(shards: usize) -> StoreConfig {
+        StoreConfig { indexed: true, shards }
+    }
+}
+
 /// A deployed session: editor over real databases, ready to replay.
 pub struct Session {
     /// The provenance-aware editor.
     pub editor: Editor,
     /// The provenance store (shared with the editor's tracker).
-    pub store: Arc<SqlStore>,
+    pub store: Arc<dyn ProvStore>,
 }
 
 /// Loads the workload's source tree into a relational engine table so
@@ -116,11 +140,50 @@ fn relational_source(wl: &Workload) -> RelationalSource {
     RelationalSource::new(wl.source_name, engine)
 }
 
-/// Builds a session for `strategy` over the workload's databases.
+/// The top-level containers (`T/<label>`) of a workload's keyspace:
+/// the initial target's root children plus every container a script
+/// operation lands in — the inputs to [`ShardedStore::split_points`].
+pub fn top_level_containers(wl: &Workload) -> Vec<Path> {
+    let root = Path::single(wl.target_name);
+    let mut set: BTreeSet<Path> = BTreeSet::new();
+    if let Some(children) = wl.target_initial.children() {
+        for label in children.keys() {
+            set.insert(root.child(*label));
+        }
+    }
+    let mut note = |p: &Path| {
+        if p.len() >= 2 && p.first() == Some(wl.target_name) {
+            set.insert(Path::from(&p.segments()[..2]));
+        }
+    };
+    for u in wl.script.iter() {
+        match u {
+            AtomicUpdate::Insert { target, label, .. } | AtomicUpdate::Delete { target, label } => {
+                note(&target.child(*label));
+            }
+            AtomicUpdate::Copy { target, .. } => note(target),
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Builds a session for `strategy` over the workload's databases with
+/// an unsharded provenance store (the original experiments).
 pub fn build_session(
     wl: &Workload,
     strategy: Strategy,
     indexed_store: bool,
+    lat: &LatencyConfig,
+) -> Session {
+    build_session_with(wl, strategy, StoreConfig::unsharded(indexed_store), lat)
+}
+
+/// Builds a session for `strategy` over the workload's databases, with
+/// the provenance store deployed per `store_cfg`.
+pub fn build_session_with(
+    wl: &Workload,
+    strategy: Strategy,
+    store_cfg: StoreConfig,
     lat: &LatencyConfig,
 ) -> Session {
     let target_engine = Engine::in_memory().with_pool_capacity(512);
@@ -131,8 +194,14 @@ pub fn build_session(
     let source = relational_source(wl);
     source.set_latency(lat.source_call);
 
-    let prov_engine = Engine::in_memory().with_pool_capacity(512);
-    let store = Arc::new(SqlStore::create(&prov_engine, indexed_store).expect("fresh engine"));
+    let store: Arc<dyn ProvStore> = if store_cfg.shards == 0 {
+        let prov_engine = Engine::in_memory().with_pool_capacity(512);
+        Arc::new(SqlStore::create(&prov_engine, store_cfg.indexed).expect("fresh engine"))
+    } else {
+        let containers = top_level_containers(wl);
+        let boundaries = ShardedStore::split_points(&containers, store_cfg.shards);
+        Arc::new(ShardedStore::in_memory(boundaries, store_cfg.indexed).expect("fresh engines"))
+    };
     store.set_latency(lat.prov_read, lat.prov_write);
     store.set_batch_row_latency(lat.prov_batch_row);
 
@@ -273,7 +342,19 @@ pub fn run_workload(
     indexed_store: bool,
     lat: &LatencyConfig,
 ) -> RunResult {
-    let mut session = build_session(wl, strategy, indexed_store, lat);
+    run_workload_with(wl, strategy, txn_len, StoreConfig::unsharded(indexed_store), lat)
+}
+
+/// [`run_workload`] with the provenance store deployed per `store_cfg`
+/// (the shard-count knob of the sharding experiments).
+pub fn run_workload_with(
+    wl: &Workload,
+    strategy: Strategy,
+    txn_len: usize,
+    store_cfg: StoreConfig,
+    lat: &LatencyConfig,
+) -> RunResult {
+    let mut session = build_session_with(wl, strategy, store_cfg, lat);
     let started = Instant::now();
     let mut dataset = [ClassStat::default(); 3];
     let mut prov = [ClassStat::default(); 3];

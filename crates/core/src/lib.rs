@@ -8,7 +8,8 @@
 //! * [`ProvRecord`] / [`Tid`] / [`Op`] — the `Prov(Tid, Op, Loc, Src)`
 //!   relation of Section 2.1;
 //! * [`ProvStore`] — the auxiliary store `P` ([`SqlStore`] over the
-//!   `cpdb-storage` engine, [`MemStore`] for tests);
+//!   `cpdb-storage` engine, [`MemStore`] for tests, [`ShardedStore`]
+//!   for key-range horizontal partitioning at scale);
 //! * [`Tracker`] / [`Strategy`] — naïve, transactional, hierarchical,
 //!   and hierarchical-transactional tracking (Sections 2.1.1–2.1.4);
 //! * [`QueryEngine`] — `From`, `Trace`, `Src`, `Hist`, `Mod`
@@ -65,6 +66,7 @@ mod query;
 mod record;
 pub mod recovery;
 pub mod rules;
+mod shard;
 mod store;
 mod tracker;
 
@@ -72,5 +74,6 @@ pub use editor::Editor;
 pub use error::{CoreError, Result};
 pub use query::{FromStep, QueryEngine, TraceStep};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
+pub use shard::{RoundTripModel, ShardedStore};
 pub use store::{prov_schema, MemStore, ProvStore, SqlStore};
 pub use tracker::{Strategy, Tracker};

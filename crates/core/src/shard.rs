@@ -1,0 +1,577 @@
+//! Key-range-sharded provenance store.
+//!
+//! The paper's provenance store is one relation probed on every tracker
+//! operation; at production scale that single table bottlenecks both
+//! writes and subtree reads. The order-preserving key encoding
+//! ([`Path::key`]) makes a subtree one contiguous key range, which is
+//! exactly the property that makes horizontal partitioning by key range
+//! work (as in range-partitioned stores like Bigtable/Spanner): a
+//! prefix probe routes to **one** shard instead of fanning out.
+//!
+//! [`ShardedStore`] is `N` independent [`SqlStore`]s — each with its
+//! own [`Engine`] and tables — split by static key-range boundaries
+//! over the encoded `loc` keys, behind the unchanged [`ProvStore`]
+//! trait. Trackers, the query engine, and the datalog layer run on top
+//! of it without modification.
+//!
+//! ## Routing rules
+//!
+//! Shard `i` owns the encoded keys in `[boundary[i-1], boundary[i])`
+//! (shard 0 is unbounded below, shard `N-1` unbounded above). Each
+//! query maps to shards as follows:
+//!
+//! | query | shards probed |
+//! |---|---|
+//! | [`ProvStore::insert`] | the single shard owning `loc` |
+//! | [`ProvStore::insert_batch`] | one batch per shard owning ≥ 1 record |
+//! | [`ProvStore::at`], [`ProvStore::by_loc`] | the single shard owning `loc` |
+//! | [`ProvStore::by_loc_prefix`], [`ProvStore::by_tid_loc_prefix`] | the shards overlapping [`Path::prefix_range_bounds`] — one when the subtree fits a shard, a contiguous run of per-shard subranges when it straddles a boundary |
+//! | [`ProvStore::by_tid`], [`ProvStore::all`] | all shards (fan-out), merged in key order |
+//! | [`ProvStore::by_loc_chain`] | the `IN`-list decomposes into one per-shard `IN`-list per shard owning ≥ 1 chain key |
+//!
+//! The root (empty) path is a defined input: its range is unbounded, so
+//! a root prefix probe fans out to every shard and merges in key order.
+//! A shard physically holds only the keys in its assigned range, so a
+//! straddling probe simply issues the same prefix statement on each
+//! overlapping shard — each returns exactly its subrange, and
+//! concatenation in shard order is global key order.
+//!
+//! ## Round-trip model
+//!
+//! Every per-shard statement is a real statement: `read_trips` /
+//! `write_trips` count the **sum over shards**, so a fan-out over `N`
+//! shards costs `N` statements (this is what the `shard_scaling` bench
+//! measures). Simulated *latency* is governed by [`RoundTripModel`]:
+//!
+//! * [`RoundTripModel::Concurrent`] (default) — per-shard statements
+//!   of one logical operation are issued in flight together, so the
+//!   client waits for the slowest: one latency unit per fan-out
+//!   (**max over shards**), tracked as one [`Meter`] *wave*. A batched
+//!   insert spins the per-row cost of the **largest** per-shard batch.
+//! * [`RoundTripModel::Sequential`] — statements are issued one after
+//!   another: latency is the **sum over shards**, one wave per
+//!   statement, and a batched insert spins the summed per-row cost.
+//!
+//! Inner stores are created with zero simulated latency and keep their
+//! own (unspun) counters; the aggregate meters on [`ShardedStore`] do
+//! all the spinning so latency is never double-charged.
+
+use crate::error::{CoreError, Result};
+use crate::record::{ProvRecord, Tid};
+use crate::store::{chain_keys, ProvStore, SqlStore};
+use cpdb_storage::{Engine, Meter};
+use cpdb_tree::Path;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the latency of a fan-out over several shards is charged.
+/// Statement *counts* are identical under both models; see the module
+/// docs for the full accounting.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum RoundTripModel {
+    /// Per-shard statements of one operation are in flight together:
+    /// latency = max over shards (one wave per fan-out).
+    #[default]
+    Concurrent,
+    /// Per-shard statements are issued one after another: latency =
+    /// sum over shards (one wave per statement).
+    Sequential,
+}
+
+/// One shard: its own engine and provenance table.
+struct Shard {
+    engine: Engine,
+    store: SqlStore,
+}
+
+/// A provenance store horizontally partitioned by encoded-key range
+/// over `N` inner [`SqlStore`]s. See the module docs for routing rules
+/// and the round-trip model.
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    /// `N-1` strictly ascending split keys; shard `i` owns
+    /// `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<String>,
+    model: RoundTripModel,
+    reads: Meter,
+    writes: Meter,
+    batch_row_ns: AtomicU64,
+}
+
+impl ShardedStore {
+    /// Creates `boundaries.len() + 1` in-memory shards split at the
+    /// given encoded keys (strictly ascending, e.g. from
+    /// [`ShardedStore::split_points`]). `indexed` applies to every
+    /// inner store.
+    pub fn in_memory(boundaries: Vec<String>, indexed: bool) -> Result<ShardedStore> {
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::Editor {
+                reason: "shard boundaries must be strictly ascending".into(),
+            });
+        }
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        for _ in 0..=boundaries.len() {
+            let engine = Engine::in_memory();
+            let store = SqlStore::create(&engine, indexed)?;
+            shards.push(Shard { engine, store });
+        }
+        Ok(ShardedStore {
+            shards,
+            boundaries,
+            model: RoundTripModel::default(),
+            reads: Meter::new(),
+            writes: Meter::new(),
+            batch_row_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Builder-style override of the fan-out latency model.
+    pub fn with_model(mut self, model: RoundTripModel) -> ShardedStore {
+        self.model = model;
+        self
+    }
+
+    /// Static split points for `n` shards from the top-level containers
+    /// of the keyspace: each container contributes the lower bound of
+    /// its [`Path::prefix_range_bounds`] as a candidate boundary, and
+    /// `n - 1` evenly spaced candidates are chosen. Because boundaries
+    /// coincide with container range starts, a probe on a whole
+    /// container (or anything below it) never straddles a boundary.
+    ///
+    /// Returns at most `n - 1` boundaries — fewer when there are fewer
+    /// distinct containers than shards.
+    pub fn split_points(containers: &[Path], n: usize) -> Vec<String> {
+        let mut keys: Vec<String> = containers
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| match p.prefix_range_bounds().0 {
+                Bound::Included(lo) | Bound::Excluded(lo) => lo,
+                Bound::Unbounded => unreachable!("non-empty path has a bounded range start"),
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        if n <= 1 || keys.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<String> = (1..n)
+            .map(|i| i * keys.len() / n)
+            .filter(|&idx| idx > 0 && idx < keys.len())
+            .map(|idx| keys[idx].clone())
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner store of shard `i` — inspection only; writing through
+    /// it bypasses the router.
+    pub fn shard(&self, i: usize) -> &SqlStore {
+        &self.shards[i].store
+    }
+
+    /// The engine backing shard `i` (for stats and ablations).
+    pub fn shard_engine(&self, i: usize) -> &Engine {
+        &self.shards[i].engine
+    }
+
+    /// Sequential latency units waited for by reads (a concurrent
+    /// fan-out counts once); see [`Meter::waves`].
+    pub fn read_waves(&self) -> u64 {
+        self.reads.waves()
+    }
+
+    /// Sequential latency units waited for by writes.
+    pub fn write_waves(&self) -> u64 {
+        self.writes.waves()
+    }
+
+    /// The shard owning an encoded key.
+    fn shard_of_key(&self, key: &str) -> usize {
+        self.boundaries.partition_point(|b| b.as_str() <= key)
+    }
+
+    /// The contiguous run of shards overlapping a key range, as
+    /// `first..=last` indexes.
+    fn shards_for(&self, lo: &Bound<String>, hi: &Bound<String>) -> (usize, usize) {
+        let first = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => self.shard_of_key(k),
+            Bound::Unbounded => 0,
+        };
+        let last = match hi {
+            Bound::Included(k) => self.shard_of_key(k),
+            // Keys strictly below `k`: a boundary equal to `k` ends the
+            // range in the shard before it.
+            Bound::Excluded(k) => self.boundaries.partition_point(|b| b.as_str() < k.as_str()),
+            Bound::Unbounded => self.shards.len() - 1,
+        };
+        (first, last.min(self.shards.len() - 1))
+    }
+
+    /// Charges `statements` read or write statements under the
+    /// configured latency model.
+    fn charge(&self, meter: &Meter, statements: u64) {
+        match self.model {
+            RoundTripModel::Concurrent => meter.wave(statements),
+            RoundTripModel::Sequential => {
+                for _ in 0..statements {
+                    meter.round_trip();
+                }
+            }
+        }
+    }
+
+    /// Runs a prefix-routed probe: the per-shard statement on every
+    /// shard overlapping the prefix range, merged in key order.
+    fn probe_prefix_shards(
+        &self,
+        prefix: &Path,
+        probe: impl Fn(&SqlStore) -> Result<Vec<ProvRecord>>,
+    ) -> Result<Vec<ProvRecord>> {
+        let (lo, hi) = prefix.prefix_range_bounds();
+        let (first, last) = self.shards_for(&lo, &hi);
+        self.charge(&self.reads, (last - first + 1) as u64);
+        let mut out = Vec::new();
+        for shard in &self.shards[first..=last] {
+            let mut chunk = probe(&shard.store)?;
+            // Key order within the chunk; chunks concatenate in
+            // ascending key-range order. `Path`'s own order equals
+            // encoded-key order, and the sort is stable.
+            chunk.sort_by(|a, b| a.loc.cmp(&b.loc));
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Fans a statement out to every shard, merging in key order — the
+    /// root-prefix special case of [`ShardedStore::probe_prefix_shards`]
+    /// (the empty path's range is unbounded, so it covers every shard).
+    fn fan_out(
+        &self,
+        probe: impl Fn(&SqlStore) -> Result<Vec<ProvRecord>>,
+    ) -> Result<Vec<ProvRecord>> {
+        self.probe_prefix_shards(&Path::epsilon(), probe)
+    }
+}
+
+impl ProvStore for ShardedStore {
+    fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.writes.round_trip();
+        self.shards[self.shard_of_key(&record.loc.key())].store.insert(record)
+    }
+
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        // Fast path for the common commit shape: a transactional batch
+        // usually edits one container, so every record lands on the
+        // same shard and the slice forwards without cloning.
+        let first_shard = self.shard_of_key(&records[0].loc.key());
+        if records[1..].iter().all(|r| self.shard_of_key(&r.loc.key()) == first_shard) {
+            self.charge(&self.writes, 1);
+            let per_row = self.batch_row_ns.load(Ordering::Relaxed);
+            cpdb_storage::spin(Duration::from_nanos(
+                per_row.saturating_mul(records.len() as u64 - 1),
+            ));
+            return self.shards[first_shard].store.insert_batch(records);
+        }
+        let mut groups: BTreeMap<usize, Vec<ProvRecord>> = BTreeMap::new();
+        for r in records {
+            groups.entry(self.shard_of_key(&r.loc.key())).or_default().push(r.clone());
+        }
+        self.charge(&self.writes, groups.len() as u64);
+        // Per-additional-row cost: the slowest shard's batch under the
+        // concurrent model, the sum under the sequential one.
+        let per_row = self.batch_row_ns.load(Ordering::Relaxed);
+        let extra_rows = match self.model {
+            RoundTripModel::Concurrent => {
+                groups.values().map(|g| g.len() as u64 - 1).max().unwrap_or(0)
+            }
+            RoundTripModel::Sequential => groups.values().map(|g| g.len() as u64 - 1).sum(),
+        };
+        cpdb_storage::spin(Duration::from_nanos(per_row.saturating_mul(extra_rows)));
+        for (i, group) in &groups {
+            self.shards[*i].store.insert_batch(group)?;
+        }
+        Ok(())
+    }
+
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.fan_out(|s| s.all())
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        self.shards[self.shard_of_key(&loc.key())].store.at(tid, loc)
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        self.shards[self.shard_of_key(&loc.key())].store.by_loc(loc)
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.fan_out(|s| s.by_tid(tid))
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.probe_prefix_shards(prefix, |s| s.by_loc_prefix(prefix))
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.probe_prefix_shards(prefix, |s| s.by_tid_loc_prefix(tid, prefix))
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for key in chain_keys(loc, min_depth) {
+            groups.entry(self.shard_of_key(&key)).or_default().push(key);
+        }
+        self.charge(&self.reads, groups.len() as u64);
+        let mut out = Vec::new();
+        for (i, keys) in &groups {
+            out.extend(self.shards[*i].store.by_loc_keys(keys)?);
+        }
+        Ok(out)
+    }
+
+    fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.len()).sum()
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.physical_bytes()).sum()
+    }
+
+    fn live_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.store.live_bytes()?;
+        }
+        Ok(total)
+    }
+
+    fn read_trips(&self) -> u64 {
+        self.reads.count()
+    }
+
+    fn write_trips(&self) -> u64 {
+        self.writes.count()
+    }
+
+    fn reset_trips(&self) {
+        self.reads.reset();
+        self.writes.reset();
+        for s in &self.shards {
+            s.store.reset_trips();
+        }
+    }
+
+    fn set_latency(&self, read: Duration, write: Duration) {
+        // The aggregate meters do all the spinning; inner stores stay
+        // at zero so latency is charged once, under the model's rules.
+        self.reads.set_latency(read);
+        self.writes.set_latency(write);
+    }
+
+    fn set_batch_row_latency(&self, per_row: Duration) {
+        self.batch_row_ns.store(per_row.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    /// Containers T/c1 … T/c12, records at the container and one child.
+    fn seeded(n_shards: usize, indexed: bool) -> (ShardedStore, Vec<ProvRecord>) {
+        let containers: Vec<Path> = (1..=12).map(|i| p(&format!("T/c{i}"))).collect();
+        let store =
+            ShardedStore::in_memory(ShardedStore::split_points(&containers, n_shards), indexed)
+                .unwrap();
+        let mut records = Vec::new();
+        for (i, c) in containers.iter().enumerate() {
+            records.push(ProvRecord::insert(Tid(i as u64), c.clone()));
+            records.push(ProvRecord::copy(
+                Tid(i as u64),
+                c.child("x"),
+                p("S1/a").child(format!("a{i}")),
+            ));
+        }
+        for r in &records {
+            store.insert(r).unwrap();
+        }
+        (store, records)
+    }
+
+    #[test]
+    fn boundaries_must_ascend() {
+        assert!(ShardedStore::in_memory(vec!["b".into(), "a".into()], true).is_err());
+        assert!(ShardedStore::in_memory(vec!["a".into(), "a".into()], true).is_err());
+        assert!(ShardedStore::in_memory(vec![], true).unwrap().shard_count() == 1);
+    }
+
+    #[test]
+    fn split_points_are_sorted_unique_and_bounded() {
+        let containers: Vec<Path> = (1..=10).map(|i| p(&format!("T/c{i}"))).collect();
+        for n in [1, 2, 4, 8, 32] {
+            let b = ShardedStore::split_points(&containers, n);
+            assert!(b.len() < n.max(1), "at most n-1 boundaries for {n}");
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(ShardedStore::split_points(&[], 4).is_empty());
+        assert!(ShardedStore::split_points(&[Path::epsilon()], 4).is_empty());
+    }
+
+    #[test]
+    fn records_are_spread_and_routed_to_single_shards() {
+        let (store, records) = seeded(4, true);
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.len(), records.len() as u64);
+        let populated = (0..4).filter(|&i| store.shard(i).len() > 0).count();
+        assert!(populated > 1, "boundaries must actually split the keyspace");
+
+        // Point probes and container prefix probes: exactly one
+        // statement, never a fan-out.
+        for r in &records {
+            store.reset_trips();
+            assert_eq!(store.by_loc(&r.loc).unwrap().len(), 1);
+            assert_eq!(store.at(r.tid, &r.loc).unwrap().len(), 1);
+            let sub = store.by_loc_prefix(&p("T/c3")).unwrap();
+            assert_eq!(sub.len(), 2);
+            let scoped = store.by_tid_loc_prefix(Tid(2), &p("T/c3")).unwrap();
+            assert_eq!(scoped.len(), 2);
+            assert_eq!(store.read_trips(), 4, "each probe is one statement");
+        }
+    }
+
+    #[test]
+    fn straddling_prefix_splits_into_per_shard_subranges() {
+        let (store, mut records) = seeded(4, true);
+        // T covers every container, so its range straddles all three
+        // boundaries: the probe becomes four per-shard subranges.
+        store.reset_trips();
+        let got = store.by_loc_prefix(&p("T")).unwrap();
+        assert_eq!(store.read_trips(), 4);
+        assert_eq!(store.read_waves(), 1, "concurrent fan-out is one wave");
+        let want: Vec<Path> = {
+            records.sort_by(|a, b| a.loc.cmp(&b.loc));
+            records.iter().map(|r| r.loc.clone()).collect()
+        };
+        let got_locs: Vec<Path> = got.iter().map(|r| r.loc.clone()).collect();
+        assert_eq!(got_locs, want, "merged in key order");
+    }
+
+    #[test]
+    fn root_path_fans_out_to_all_shards_in_key_order() {
+        for indexed in [true, false] {
+            let (store, mut records) = seeded(4, indexed);
+            store.reset_trips();
+            let got = store.by_loc_prefix(&Path::epsilon()).unwrap();
+            assert_eq!(store.read_trips(), 4, "whole-table range probes every shard");
+            records.sort_by(|a, b| a.loc.cmp(&b.loc));
+            let got_locs: Vec<Path> = got.iter().map(|r| r.loc.clone()).collect();
+            let want_locs: Vec<Path> = records.iter().map(|r| r.loc.clone()).collect();
+            assert_eq!(got_locs, want_locs);
+            // Scoped variant over ε: one transaction, all shards.
+            store.reset_trips();
+            let scoped = store.by_tid_loc_prefix(Tid(3), &Path::epsilon()).unwrap();
+            assert_eq!(store.read_trips(), 4);
+            assert_eq!(scoped.len(), 2);
+            assert!(scoped.iter().all(|r| r.tid == Tid(3)));
+        }
+    }
+
+    #[test]
+    fn tid_fanout_counts_per_shard_statements() {
+        for n in [1usize, 4, 8] {
+            let (store, _) = seeded(n, true);
+            store.reset_trips();
+            let hits = store.by_tid(Tid(5)).unwrap();
+            assert_eq!(hits.len(), 2);
+            assert_eq!(store.read_trips(), store.shard_count() as u64, "linear fan-out");
+            assert_eq!(store.read_waves(), 1);
+            store.reset_trips();
+            store.all().unwrap();
+            assert_eq!(store.read_trips(), store.shard_count() as u64);
+        }
+    }
+
+    #[test]
+    fn sequential_model_pays_one_wave_per_statement() {
+        let containers: Vec<Path> = (1..=12).map(|i| p(&format!("T/c{i}"))).collect();
+        let store = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+            .unwrap()
+            .with_model(RoundTripModel::Sequential);
+        store.insert(&ProvRecord::insert(Tid(1), p("T/c1"))).unwrap();
+        store.reset_trips();
+        store.by_tid(Tid(1)).unwrap();
+        assert_eq!(store.read_trips(), 4);
+        assert_eq!(store.read_waves(), 4, "sequential fan-out waits once per shard");
+    }
+
+    #[test]
+    fn chain_decomposes_into_per_shard_in_lists() {
+        let (store, _) = seeded(4, true);
+        // The chain of T/c3/x: {T/c3/x, T/c3, T} — T sorts before the
+        // first boundary, so the chain touches at most two shards and
+        // never all four.
+        store.reset_trips();
+        let chain = store.by_loc_chain(&p("T/c3/x"), 1).unwrap();
+        assert_eq!(chain.len(), 2, "record at c3/x plus record at ancestor c3");
+        let groups = store.read_trips();
+        assert!((1..4).contains(&groups), "per-shard IN-lists, not a full fan-out: {groups}");
+    }
+
+    #[test]
+    fn batch_groups_per_shard_and_counts_one_wave() {
+        let (store, _) = seeded(4, true);
+        let w0 = store.write_trips();
+        let waves0 = store.write_waves();
+        let batch: Vec<ProvRecord> =
+            (1..=12).map(|i| ProvRecord::insert(Tid(99), p(&format!("T/c{i}/fresh")))).collect();
+        store.insert_batch(&batch).unwrap();
+        let statements = store.write_trips() - w0;
+        assert!(statements > 1, "batch spanning boundaries issues one statement per shard");
+        assert!(statements <= 4);
+        assert_eq!(store.write_waves() - waves0, 1, "issued concurrently: one wave");
+        assert_eq!(store.by_tid(Tid(99)).unwrap().len(), 12);
+        // Empty batch: free.
+        let w1 = store.write_trips();
+        store.insert_batch(&[]).unwrap();
+        assert_eq!(store.write_trips(), w1);
+    }
+
+    #[test]
+    fn concurrent_fanout_latency_is_max_not_sum() {
+        // Latency paid is `waves × latency`, so max-vs-sum is asserted
+        // through the wave counters (a wall-clock upper bound on the
+        // busy-wait would flake under CI preemption).
+        let (store, _) = seeded(8, true);
+        store.set_latency(Duration::from_micros(400), Duration::ZERO);
+        let t0 = std::time::Instant::now();
+        store.by_tid(Tid(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_micros(400), "the slowest shard is waited for");
+        assert_eq!(store.read_trips(), 8, "every per-shard statement is counted");
+        assert_eq!(store.read_waves(), 1, "…but the fan-out pays latency once");
+    }
+
+    #[test]
+    fn shard_engines_are_independent() {
+        let (store, _) = seeded(4, true);
+        let pages: u64 =
+            (0..4).map(|i| store.shard_engine(i).table("Prov").unwrap().physical_bytes()).sum();
+        assert_eq!(pages, store.physical_bytes());
+    }
+}

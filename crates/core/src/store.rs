@@ -104,6 +104,10 @@ pub trait ProvStore: Send + Sync {
     /// [`MemStore`]).
     fn physical_bytes(&self) -> u64;
 
+    /// Logical bytes of live rows (payload without page overhead; for
+    /// [`MemStore`] the same estimate as [`ProvStore::physical_bytes`]).
+    fn live_bytes(&self) -> Result<u64>;
+
     /// Read round trips so far.
     fn read_trips(&self) -> u64;
 
@@ -124,7 +128,7 @@ pub trait ProvStore: Send + Sync {
 
 /// The keys probed by [`ProvStore::by_loc_chain`]: `loc` itself plus
 /// every ancestor with at least `min_depth` segments, encoded.
-fn chain_keys(loc: &Path, min_depth: usize) -> Vec<String> {
+pub(crate) fn chain_keys(loc: &Path, min_depth: usize) -> Vec<String> {
     let mut keys = vec![loc.key()];
     keys.extend(loc.ancestors().filter(|a| a.len() >= min_depth).map(|a| a.key()));
     keys
@@ -249,9 +253,21 @@ impl SqlStore {
         self.table.flush().map_err(Into::into)
     }
 
-    /// Logical bytes of live rows.
-    pub fn live_bytes(&self) -> Result<u64> {
-        self.table.live_bytes().map_err(Into::into)
+    /// Records whose `loc` equals any of the given **encoded** keys
+    /// ([`Path::key`]) — one batched `IN`-list statement, one read
+    /// round trip. This is the primitive [`crate::ShardedStore`] uses
+    /// to decompose a [`ProvStore::by_loc_chain`] probe into per-shard
+    /// `IN`-lists.
+    pub fn by_loc_keys(&self, keys: &[String]) -> Result<Vec<ProvRecord>> {
+        self.reads.round_trip();
+        let rows = if self.indexed {
+            let probe: Vec<Vec<Datum>> = keys.iter().map(|k| vec![Datum::str(k)]).collect();
+            self.table.lookup_many(IDX_LOC, &probe)?
+        } else {
+            let wanted: std::collections::HashSet<&str> = keys.iter().map(String::as_str).collect();
+            self.table.select(|row| row[2].as_str().is_some_and(|k| wanted.contains(k)))?
+        };
+        Self::rows_to_records(rows)
     }
 
     fn rows_to_records(rows: Vec<(cpdb_storage::RowId, Vec<Datum>)>) -> Result<Vec<ProvRecord>> {
@@ -350,16 +366,7 @@ impl ProvStore for SqlStore {
     }
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
-        self.reads.round_trip();
-        let keys = chain_keys(loc, min_depth);
-        let rows = if self.indexed {
-            let probe: Vec<Vec<Datum>> = keys.into_iter().map(|k| vec![Datum::str(k)]).collect();
-            self.table.lookup_many(IDX_LOC, &probe)?
-        } else {
-            let wanted: std::collections::HashSet<String> = keys.into_iter().collect();
-            self.table.select(|row| row[2].as_str().is_some_and(|k| wanted.contains(k)))?
-        };
-        Self::rows_to_records(rows)
+        self.by_loc_keys(&chain_keys(loc, min_depth))
     }
 
     fn len(&self) -> u64 {
@@ -368,6 +375,10 @@ impl ProvStore for SqlStore {
 
     fn physical_bytes(&self) -> u64 {
         self.table.physical_bytes()
+    }
+
+    fn live_bytes(&self) -> Result<u64> {
+        self.table.live_bytes().map_err(Into::into)
     }
 
     fn read_trips(&self) -> u64 {
@@ -560,6 +571,10 @@ impl ProvStore for MemStore {
             .sum()
     }
 
+    fn live_bytes(&self) -> Result<u64> {
+        Ok(self.physical_bytes())
+    }
+
     fn read_trips(&self) -> u64 {
         self.reads.count()
     }
@@ -728,6 +743,39 @@ mod tests {
             let got = s.by_loc_prefix(&p("T/c2")).unwrap();
             assert_eq!(got.len(), 3);
             assert!(got.iter().all(|r| r.loc.starts_with(&p("T/c2"))));
+        }
+    }
+
+    /// The root (empty) path is a defined input to the prefix probes:
+    /// every record is a descendant of the root, so `by_loc_prefix(ε)`
+    /// is a whole-table range (still one statement) and
+    /// `by_tid_loc_prefix(tid, ε)` is the transaction's whole range.
+    #[test]
+    fn root_path_prefix_probes_cover_the_whole_table() {
+        let mem = MemStore::new();
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let indexed = SqlStore::create(&e1, true).unwrap();
+        let unindexed = SqlStore::create(&e2, false).unwrap();
+        let stores: [&dyn ProvStore; 3] = [&mem, &indexed, &unindexed];
+        let records = sample_records();
+        for s in stores {
+            for r in &records {
+                s.insert(r).unwrap();
+            }
+        }
+        for s in stores {
+            let r0 = s.read_trips();
+            let mut got = s.by_loc_prefix(&Path::epsilon()).unwrap();
+            assert_eq!(s.read_trips() - r0, 1, "whole-table range is one statement");
+            got.sort();
+            let mut want = records.clone();
+            want.sort();
+            assert_eq!(got, want);
+            // Scoped to one transaction: ε covers all of tid 124.
+            let scoped = s.by_tid_loc_prefix(Tid(124), &Path::epsilon()).unwrap();
+            assert_eq!(scoped.len(), 2);
+            assert!(scoped.iter().all(|r| r.tid == Tid(124)));
         }
     }
 

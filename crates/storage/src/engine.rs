@@ -162,6 +162,10 @@ impl TableHandle {
     /// indexes may serve [`TableHandle::range_scan`] /
     /// [`TableHandle::lookup_range`]; unordered indexes promise point
     /// lookups only.
+    ///
+    /// Building the index costs **one round trip**: the rebuild is a
+    /// full table scan (one `CREATE INDEX` statement), and experiments
+    /// that create indexes mid-run must see that I/O in the meter.
     pub fn add_index(
         &self,
         name: &str,
@@ -179,6 +183,7 @@ impl TableHandle {
             })
             .collect();
         let mut index = Index::new(name, cols?, unique, ordered);
+        self.meter.round_trip();
         index.rebuild(&self.table)?;
         self.indexes.write().push(index);
         Ok(())
@@ -416,6 +421,25 @@ mod tests {
         t.get(rid).unwrap();
         t.select(|_| true).unwrap();
         assert_eq!(engine.meter().count(), 3);
+    }
+
+    /// Regression: `add_index` used to rebuild via a full table scan
+    /// without charging the meter, understating I/O in every experiment
+    /// that creates indexes mid-run.
+    #[test]
+    fn add_index_charges_the_rebuild_scan() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        for i in 0..20u64 {
+            t.insert(&row(i, "C", &format!("T/c{i}"), None)).unwrap();
+        }
+        engine.meter().reset();
+        t.add_index("by_tid", &["tid"], false, true).unwrap();
+        assert_eq!(engine.meter().count(), 1, "index build is one statement");
+        // A bad column name never reaches the server: no round trip.
+        engine.meter().reset();
+        assert!(t.add_index("bad", &["zzz"], false, false).is_err());
+        assert_eq!(engine.meter().count(), 0);
     }
 
     #[test]

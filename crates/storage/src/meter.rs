@@ -25,9 +25,28 @@ pub fn spin(d: Duration) {
 
 /// Counts database interactions and optionally simulates per-interaction
 /// latency by spinning (deterministic, scheduler-independent).
+///
+/// ## Fan-out accounting
+///
+/// A sharded deployment issues one statement *per shard* for a
+/// fanned-out query. Two quantities matter and the meter tracks both:
+///
+/// * **statements** ([`Meter::count`]) — how many statements hit a
+///   server; fan-out over `k` shards always costs `k` statements.
+/// * **waves** ([`Meter::waves`]) — how many *sequential latency
+///   units* the client waited for. Statements issued concurrently
+///   (one per shard, in flight at the same time) complete in the time
+///   of the slowest one, so a concurrent fan-out is **one wave**
+///   (latency = max over shards); statements issued one after another
+///   are one wave each (latency = sum).
+///
+/// [`Meter::round_trip`] records one sequential statement (one wave);
+/// [`Meter::wave`] records `k` concurrent statements as a single wave,
+/// spinning the configured latency once.
 #[derive(Debug, Default)]
 pub struct Meter {
     round_trips: AtomicU64,
+    waves: AtomicU64,
     latency_ns: AtomicU64,
 }
 
@@ -58,6 +77,21 @@ impl Meter {
     /// latency.
     pub fn round_trip(&self) {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        spin(Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)));
+    }
+
+    /// Records `statements` interactions issued **concurrently** (a
+    /// fan-out: one statement per shard, all in flight at once). All
+    /// statements are counted, but the client only waits for the
+    /// slowest of them, so the configured latency is paid **once** and
+    /// a single wave is recorded. A zero-statement wave is a no-op.
+    pub fn wave(&self, statements: u64) {
+        if statements == 0 {
+            return;
+        }
+        self.round_trips.fetch_add(statements, Ordering::Relaxed);
+        self.waves.fetch_add(1, Ordering::Relaxed);
         spin(Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)));
     }
 
@@ -66,9 +100,16 @@ impl Meter {
         self.round_trips.load(Ordering::Relaxed)
     }
 
-    /// Resets the counter (not the latency).
+    /// Number of sequential latency units waited for so far (a
+    /// concurrent fan-out counts as one).
+    pub fn waves(&self) -> u64 {
+        self.waves.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counters (not the latency).
     pub fn reset(&self) {
         self.round_trips.store(0, Ordering::Relaxed);
+        self.waves.store(0, Ordering::Relaxed);
     }
 }
 
@@ -85,6 +126,38 @@ mod tests {
         assert_eq!(m.count(), 5);
         m.reset();
         assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn waves_count_concurrent_fanout_as_one_latency_unit() {
+        let m = Meter::new();
+        m.round_trip();
+        m.wave(8);
+        m.wave(0); // no statements, no wave
+        assert_eq!(m.count(), 9, "all statements are counted");
+        assert_eq!(m.waves(), 2, "a concurrent fan-out is one wave");
+        m.reset();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.waves(), 0);
+    }
+
+    #[test]
+    fn concurrent_wave_pays_latency_once() {
+        // The latency a meter pays is `waves × latency`, so the
+        // max-vs-sum model is asserted through the wave counter (an
+        // upper bound on busy-wait wall time would flake under CI
+        // preemption). Lower bounds are still safe to check.
+        let m = Meter::with_latency(Duration::from_micros(500));
+        let start = std::time::Instant::now();
+        m.wave(8);
+        assert!(start.elapsed() >= Duration::from_micros(500));
+        assert_eq!(m.waves(), 1, "a concurrent 8-statement fan-out spins once");
+        let start = std::time::Instant::now();
+        for _ in 0..8 {
+            m.round_trip();
+        }
+        assert!(start.elapsed() >= Duration::from_micros(4000), "sequential pays the sum");
+        assert_eq!(m.waves(), 9, "sequential statements spin once each");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::error::{Result, StorageError};
 use crate::page::PAGE_SIZE;
 use crate::row::{decode_row, encode_row, Datum, Schema};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,8 +35,10 @@ pub struct Table {
     pool: Arc<BufferPool>,
     /// Page we last inserted into — the common fast path.
     insert_hint: AtomicU64,
-    /// Pages with reclaimable space, discovered by deletes.
-    free_pages: Mutex<Vec<u64>>,
+    /// Pages with reclaimable space, discovered by deletes. A set, not
+    /// a list: deleting many rows on one page must queue that page for
+    /// reuse once, or the free list grows without bound under churn.
+    free_pages: Mutex<BTreeSet<u64>>,
     live_rows: AtomicU64,
 }
 
@@ -63,7 +66,7 @@ impl Table {
             schema,
             pool,
             insert_hint: AtomicU64::new(0),
-            free_pages: Mutex::new(Vec::new()),
+            free_pages: Mutex::new(BTreeSet::new()),
             live_rows: AtomicU64::new(0),
         })
     }
@@ -99,7 +102,7 @@ impl Table {
             schema,
             pool,
             insert_hint: AtomicU64::new(0),
-            free_pages: Mutex::new(Vec::new()),
+            free_pages: Mutex::new(BTreeSet::new()),
             live_rows: AtomicU64::new(0),
         };
         let mut rows = 0u64;
@@ -159,7 +162,7 @@ impl Table {
         }
         // Second chance: pages freed by deletes.
         loop {
-            let candidate = self.free_pages.lock().pop();
+            let candidate = self.free_pages.lock().pop_first();
             match candidate {
                 Some(no) => {
                     if let Some(rid) = self.try_insert_into(no, &cell)? {
@@ -212,7 +215,7 @@ impl Table {
             return Err(StorageError::RowNotFound { page: rid.page, slot: rid.slot });
         }
         drop(guard);
-        self.free_pages.lock().push(rid.page);
+        self.free_pages.lock().insert(rid.page);
         self.live_rows.fetch_sub(1, Ordering::SeqCst);
         Ok(row)
     }
@@ -288,6 +291,13 @@ impl Table {
             true
         })?;
         Ok(out)
+    }
+
+    /// Number of distinct pages currently queued for space reuse.
+    /// Bounded by the number of allocated data pages, however many
+    /// deletes have run.
+    pub fn free_page_backlog(&self) -> usize {
+        self.free_pages.lock().len()
     }
 
     /// Flushes dirty pages to the backend.
@@ -393,6 +403,41 @@ mod tests {
         }
         let pages_after = t.pool().backend().num_pages();
         assert_eq!(pages_before, pages_after, "reinserted rows should reuse freed pages");
+    }
+
+    /// Regression: `delete` used to push `rid.page` onto the free list
+    /// unconditionally, so N deletes on one page queued N duplicate
+    /// entries and the list grew without bound under churn. The free
+    /// list has set semantics now: it can never exceed the number of
+    /// allocated data pages.
+    #[test]
+    fn free_list_stays_bounded_under_churn() {
+        let t = mem_table();
+        let n = 500u64;
+        let mut rids = Vec::new();
+        for i in 0..n {
+            rids.push(t.insert(&row(i, "C", "T/some/path/here", Some("S/other"))).unwrap());
+        }
+        let data_pages = (t.pool().backend().num_pages() - 1) as usize;
+        assert!(data_pages > 1, "rows should span several pages");
+        for rid in &rids {
+            t.delete(*rid).unwrap();
+        }
+        assert!(
+            t.free_page_backlog() <= data_pages,
+            "free list holds {} entries for {} data pages",
+            t.free_page_backlog(),
+            data_pages
+        );
+        // Churn on a single page: repeated delete/insert cycles must not
+        // accumulate entries either.
+        let rid = t.insert(&row(0, "C", "T/churn", None)).unwrap();
+        let mut rid = rid;
+        for i in 0..100 {
+            t.delete(rid).unwrap();
+            rid = t.insert(&row(i, "C", "T/churn", None)).unwrap();
+        }
+        assert!(t.free_page_backlog() <= data_pages);
     }
 
     #[test]
