@@ -1,0 +1,285 @@
+//! Group-commit write-pipeline bench, plus the parallel-executor
+//! fan-out comparison.
+//!
+//! **Ingest half** — the provenance record stream of the 14,000-step
+//! `real` workload is ingested three ways under the paper-like write
+//! latency (90 µs/statement, 9 µs per extra batched row):
+//!
+//! * per-op synchronous inserts (the paper's naïve write path);
+//! * through a [`PipelinedStore`] at batch 64 and 256 into an
+//!   unsharded indexed `SqlStore`;
+//! * through a [`PipelinedStore`] at batch 64 into an 8-shard
+//!   [`ShardedStore`] with the real parallel executor.
+//!
+//! Statement-count invariants are asserted on **every** run, including
+//! the 1-shard CI smoke (`-- --test`): the unsharded pipelined ingest
+//! issues exactly `ceil(n / B)` write statements (vs `n` for per-op —
+//! the ≥ 10x acceptance bound), and on the sharded store every shard's
+//! statement count equals the number of drained batches that contained
+//! one of its records (each drained batch groups into exactly one
+//! statement per shard touched).
+//!
+//! **Fan-out half** — the loaded 8-shard store answers a `by_tid`
+//! sweep under a 200 µs read latency with the sequential ablation
+//! (latency simulated per statement), the simulated concurrent wave,
+//! and the real thread-per-shard executor. Full runs assert the
+//! measured parallel fan-out at ≤ 0.8x of the sequential ablation —
+//! the concurrent-wave model measured, not assumed.
+
+use cpdb_core::{
+    PipelineConfig, PipelinedStore, ProvRecord, ProvStore, RoundTripModel, ShardedStore, SqlStore,
+    Tid,
+};
+use cpdb_storage::Engine;
+use cpdb_tree::Path;
+use cpdb_update::AtomicUpdate;
+use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 64;
+const SHARDS: usize = 8;
+const WRITE_LAT: Duration = Duration::from_micros(90);
+const BATCH_ROW_LAT: Duration = Duration::from_micros(9);
+const READ_LAT: Duration = Duration::from_micros(200);
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// The provenance records the workload's script yields (one per op,
+/// plus a child-level record per copy), in script order — the stream a
+/// naïve tracker writes.
+fn record_stream(wl: &Workload) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    for (i, u) in wl.script.iter().enumerate() {
+        let tid = Tid(1 + i as u64);
+        match u {
+            AtomicUpdate::Insert { target, label, .. } => {
+                out.push(ProvRecord::insert(tid, target.child(*label)));
+            }
+            AtomicUpdate::Delete { target, label } => {
+                out.push(ProvRecord::delete(tid, target.child(*label)));
+            }
+            AtomicUpdate::Copy { src, target } => {
+                out.push(ProvRecord::copy(tid, target.clone(), src.clone()));
+                out.push(ProvRecord::copy(tid, target.child("x"), src.child("x")));
+            }
+        }
+    }
+    out
+}
+
+/// Top-level containers of the stream (split-point inputs).
+fn containers_of(records: &[ProvRecord]) -> Vec<Path> {
+    let set: BTreeSet<Path> = records
+        .iter()
+        .filter(|r| r.loc.len() >= 2)
+        .map(|r| Path::from(&r.loc.segments()[..2]))
+        .collect();
+    set.into_iter().collect()
+}
+
+fn fresh_sql() -> Arc<SqlStore> {
+    let engine = Engine::in_memory().with_pool_capacity(512);
+    Arc::new(SqlStore::create(&engine, true).expect("fresh engine"))
+}
+
+fn with_write_latency(store: &dyn ProvStore) {
+    store.set_latency(Duration::ZERO, WRITE_LAT);
+    store.set_batch_row_latency(BATCH_ROW_LAT);
+}
+
+fn bench(c: &mut Criterion) {
+    let steps = if smoke() { 1_400 } else { 14_000 };
+    let cfg = GenConfig::for_length(UpdatePattern::Real, steps, 2006);
+    let wl = generate(&cfg, steps);
+    let records = record_stream(&wl);
+    let n = records.len();
+    let containers = containers_of(&records);
+    println!("group_commit: ingesting {n} records from the {steps}-step real workload");
+
+    // --- Ingest: per-op synchronous baseline. -------------------------
+    let sync_store = fresh_sql();
+    with_write_latency(sync_store.as_ref());
+    let t0 = Instant::now();
+    for r in &records {
+        sync_store.insert(r).unwrap();
+    }
+    let sync_wall = t0.elapsed();
+    assert_eq!(sync_store.write_trips(), n as u64, "per-op ingest: one statement per record");
+
+    // --- Ingest: group commit into an unsharded store. ----------------
+    let mut unsharded_walls = Vec::new();
+    for batch in [BATCH, 4 * BATCH] {
+        let inner = fresh_sql();
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(batch));
+        with_write_latency(&pipe);
+        let t0 = Instant::now();
+        for r in &records {
+            pipe.insert(r).unwrap();
+        }
+        pipe.flush().unwrap();
+        let wall = t0.elapsed();
+        unsharded_walls.push((batch, wall));
+        // The acceptance invariant, asserted on every run: exactly
+        // ceil(n / B) write statements (single producer, no epoch tick,
+        // so every drained batch except the last is full).
+        let want = n.div_ceil(batch) as u64;
+        assert_eq!(
+            inner.write_trips(),
+            want,
+            "pipelined ingest at batch {batch} must issue ceil({n} / {batch}) statements"
+        );
+        assert_eq!(inner.len(), n as u64);
+        assert!(
+            n as u64 >= 10 * want,
+            "batch {batch} must cut write statements by >= 10x (got {n} -> {want})"
+        );
+    }
+
+    // --- Ingest: group commit over 8 shards, parallel executor. -------
+    let boundaries = ShardedStore::split_points(&containers, SHARDS);
+    let sharded = Arc::new(
+        ShardedStore::in_memory(boundaries.clone(), true)
+            .expect("fresh engines")
+            .with_parallel_executor(),
+    );
+    let pipe = PipelinedStore::spawn(sharded.clone(), PipelineConfig::batched(BATCH));
+    with_write_latency(&pipe);
+    let t0 = Instant::now();
+    for r in &records {
+        pipe.insert(r).unwrap();
+    }
+    pipe.flush().unwrap();
+    let sharded_wall = t0.elapsed();
+    // Exact per-shard accounting: each drained batch (a contiguous
+    // 64-record run of the stream) becomes one statement on every
+    // shard it touches — replay the routing to compute the expectation.
+    let route = |r: &ProvRecord| boundaries.partition_point(|b| b.as_str() <= r.loc.key().as_str());
+    let mut want_per_shard = vec![0u64; sharded.shard_count()];
+    for chunk in records.chunks(BATCH) {
+        let touched: BTreeSet<usize> = chunk.iter().map(route).collect();
+        for s in touched {
+            want_per_shard[s] += 1;
+        }
+    }
+    for (i, want) in want_per_shard.iter().enumerate() {
+        assert_eq!(
+            sharded.shard(i).write_trips(),
+            *want,
+            "shard {i}: one statement per drained batch touching it"
+        );
+    }
+    let total: u64 = want_per_shard.iter().sum();
+    assert_eq!(sharded.write_trips(), total, "outer statements = sum over shards");
+    assert!(
+        n as u64 >= 10 * total,
+        "sharded group commit must still cut statements by >= 10x ({n} -> {total})"
+    );
+
+    println!("  per-op sync ingest:            {:>9.1?}  ({n} statements)", sync_wall);
+    for (batch, wall) in &unsharded_walls {
+        println!(
+            "  group commit, batch {batch:>3}:       {wall:>9.1?}  ({} statements, {:.1}x wall)",
+            n.div_ceil(*batch),
+            sync_wall.as_secs_f64() / wall.as_secs_f64()
+        );
+    }
+    println!(
+        "  batch {BATCH} over {SHARDS} shards (parallel): {sharded_wall:>9.1?}  ({total} statements)"
+    );
+    if !smoke() {
+        let gc64 = unsharded_walls[0].1;
+        assert!(
+            gc64.as_secs_f64() * 2.0 < sync_wall.as_secs_f64(),
+            "group commit must at least halve the ingest wall clock \
+             ({gc64:?} vs {sync_wall:?})"
+        );
+    }
+
+    // --- Fan-out: sequential ablation vs measured parallel wave. ------
+    // Same data in three executors; only read latency matters now.
+    let load = |store: &dyn ProvStore| {
+        for chunk in records.chunks(BATCH) {
+            store.insert_batch(chunk).unwrap();
+        }
+        store.set_latency(READ_LAT, Duration::ZERO);
+    };
+    let sequential = ShardedStore::in_memory(boundaries.clone(), true)
+        .expect("fresh engines")
+        .with_model(RoundTripModel::Sequential);
+    let concurrent_sim = ShardedStore::in_memory(boundaries, true).expect("fresh engines");
+    load(&sequential);
+    load(&concurrent_sim);
+    sharded.set_latency(READ_LAT, Duration::ZERO); // parallel, already loaded
+    let shards = sharded.shard_count();
+    let tids: Vec<Tid> = (0..20).map(|i| Tid(1 + i * (steps as u64 / 20))).collect();
+    let sweep = |store: &dyn ProvStore| {
+        let mut hits = 0usize;
+        for t in &tids {
+            hits += store.by_tid(*t).unwrap().len();
+        }
+        hits
+    };
+    // Invariants on every run: identical statement counts, and the
+    // parallel executor records one wave per fan-out.
+    for (name, store) in
+        [("sequential", &sequential as &dyn ProvStore), ("concurrent-sim", &concurrent_sim)]
+    {
+        store.reset_trips();
+        sweep(store);
+        assert_eq!(store.read_trips(), (tids.len() * shards) as u64, "{name}: linear fan-out");
+    }
+    sharded.reset_trips();
+    sweep(sharded.as_ref());
+    assert_eq!(sharded.read_trips(), (tids.len() * shards) as u64, "parallel: linear fan-out");
+    assert_eq!(sharded.read_waves(), tids.len() as u64, "parallel: one wave per fan-out");
+
+    let time_sweep = |store: &dyn ProvStore, iters: u32| {
+        sweep(store); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(sweep(store));
+        }
+        t0.elapsed() / iters
+    };
+    let iters = if smoke() { 1 } else { 5 };
+    let seq_mean = time_sweep(&sequential, iters);
+    let sim_mean = time_sweep(&concurrent_sim, iters);
+    let par_mean = time_sweep(sharded.as_ref(), iters);
+    println!("  {SHARDS}-shard by_tid sweep ({} tids, {READ_LAT:?} read latency):", tids.len());
+    println!("    sequential ablation:   {seq_mean:>9.1?}/sweep");
+    println!("    simulated concurrent:  {sim_mean:>9.1?}/sweep");
+    println!(
+        "    parallel executor:     {par_mean:>9.1?}/sweep ({:.2}x of sequential)",
+        par_mean.as_secs_f64() / seq_mean.as_secs_f64()
+    );
+    if !smoke() {
+        assert!(
+            par_mean.as_secs_f64() <= 0.8 * seq_mean.as_secs_f64(),
+            "acceptance: the real thread-per-shard executor must beat the sequential \
+             ablation by >= 1.25x ({par_mean:?} vs {seq_mean:?})"
+        );
+    }
+
+    // Criterion-reported timings for the read-only probes.
+    let mut group = c.benchmark_group("group_commit");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_with_input(BenchmarkId::new("by_tid_sweep", "sequential"), &(), |b, ()| {
+        b.iter(|| sweep(&sequential))
+    });
+    group.bench_with_input(BenchmarkId::new("by_tid_sweep", "concurrent_sim"), &(), |b, ()| {
+        b.iter(|| sweep(&concurrent_sim))
+    });
+    group.bench_with_input(BenchmarkId::new("by_tid_sweep", "parallel"), &(), |b, ()| {
+        b.iter(|| sweep(sharded.as_ref()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

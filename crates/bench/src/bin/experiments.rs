@@ -4,14 +4,18 @@
 //! ```text
 //! experiments [targets…] [--quick N] [--json DIR]
 //!
-//! targets: all | tables | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | shard
+//! targets: all | tables | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13
+//!          | shard | pipeline
 //! --quick N   divide script lengths by N (default: full paper scale)
 //! --json DIR  also dump machine-readable results under DIR
 //! ```
 //!
 //! `shard` reruns the Figure 9/10 timing workload with the provenance
-//! store split over 1, 4, and 8 key-range shards. It is not part of
-//! `all` (it triples the fig9 runtime); ask for it explicitly.
+//! store split over 1, 4, and 8 key-range shards. `pipeline` compares
+//! synchronous per-op provenance writes against the async group-commit
+//! pipeline (batch 64/256, and batch 64 over 8 shards with the real
+//! parallel executor). Neither is part of `all` (each multiplies the
+//! fig9 runtime); ask for them explicitly.
 
 use cpdb_bench::experiments::{self, Scale};
 use cpdb_bench::report;
@@ -112,6 +116,13 @@ fn main() {
             println!("{}", report::render_fig9(&rows));
             println!("  [shard={shards} took {:.1?}]\n", t.elapsed());
         }
+    }
+    if targets.iter().any(|t| t == "pipeline") {
+        let t = Instant::now();
+        let rows = experiments::pipeline(&scale);
+        write_json(json, "pipeline", &rows);
+        println!("{}", report::render_pipeline(&rows));
+        println!("  [pipeline took {:.1?}]\n", t.elapsed());
     }
     if want("fig11") {
         let t = Instant::now();

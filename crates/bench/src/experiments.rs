@@ -267,6 +267,64 @@ pub fn fig11(scale: &Scale) -> Vec<DeletionBar> {
     out
 }
 
+/// One row of the write-pipeline experiment: a (store deployment,
+/// method) cell of the async ingest comparison.
+#[derive(Clone, Debug)]
+pub struct PipelineRow {
+    /// Store deployment ("sync", "gc64", "gc64+8shards‖", …).
+    pub config: String,
+    /// Tracking method (N/H/T/HT).
+    pub method: String,
+    /// Provenance rows stored after the replay.
+    pub rows: u64,
+    /// Provenance write statements issued.
+    pub write_trips: u64,
+    /// Mean provenance-tracking time per operation, microseconds (the
+    /// curator-visible critical path the pipeline takes writes off).
+    pub prov_us: f64,
+    /// Mean commit time, microseconds (includes the final drain).
+    pub commit_us: f64,
+    /// Wall clock of the whole replay, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Write-pipeline experiment: the `real` long workload replayed with
+/// synchronous per-op writes vs. group-commit batches (64 and 256)
+/// vs. group commit over an 8-shard store with the real parallel
+/// executor — under the paper-like latency model, for the naïve
+/// (write-heaviest) and hierarchical-transactional methods.
+pub fn pipeline(scale: &Scale) -> Vec<PipelineRow> {
+    let cfg = GenConfig::for_length(UpdatePattern::Real, scale.long, scale.seed);
+    let wl = generate(&cfg, scale.long);
+    let deployments: [(&str, StoreConfig); 4] = [
+        ("sync", StoreConfig::unsharded(true)),
+        ("gc64", StoreConfig::unsharded(true).with_group_commit(64)),
+        ("gc256", StoreConfig::unsharded(true).with_group_commit(256)),
+        ("gc64+8shards‖", StoreConfig::sharded(8).with_parallel().with_group_commit(64)),
+    ];
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let mut out = Vec::new();
+    for strategy in [Strategy::Naive, Strategy::HierarchicalTransactional] {
+        let txn_len = if strategy.is_transactional() { 5 } else { 1 };
+        for (name, store_cfg) in deployments {
+            let r =
+                run_workload_with(&wl, strategy, txn_len, store_cfg, &LatencyConfig::paper_like());
+            let prov_total: std::time::Duration = r.prov.iter().map(|s| s.total).sum();
+            let ops: u64 = r.prov.iter().map(|s| s.count).sum();
+            out.push(PipelineRow {
+                config: name.to_owned(),
+                method: strategy.short_name().to_owned(),
+                rows: r.rows,
+                write_trips: r.prov_writes,
+                prov_us: if ops == 0 { 0.0 } else { us(prov_total) / ops as f64 },
+                commit_us: us(r.commit.mean()),
+                wall_ms: r.wall.as_secs_f64() * 1e3,
+            });
+        }
+    }
+    out
+}
+
 /// One row of **Figure 12**: HT timings at a transaction length.
 #[derive(Clone, Debug)]
 pub struct TxnLengthRow {

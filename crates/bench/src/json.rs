@@ -6,7 +6,7 @@
 //! strings) — downstream tooling reading the `--json` dumps sees the
 //! same shape serde produced.
 
-use crate::experiments::{DeletionBar, QueryRow, StorageBar, TimingRow, TxnLengthRow};
+use crate::experiments::{DeletionBar, PipelineRow, QueryRow, StorageBar, TimingRow, TxnLengthRow};
 
 /// A value that can render itself as a JSON document fragment.
 pub trait ToJson {
@@ -102,6 +102,20 @@ impl ToJson for TxnLengthRow {
             ("copy_us", num(self.copy_us)),
             ("commit_us", num(self.commit_us)),
             ("amortized_us", num(self.amortized_us)),
+        ])
+    }
+}
+
+impl ToJson for PipelineRow {
+    fn to_json(&self) -> String {
+        obj(&[
+            ("config", esc(&self.config)),
+            ("method", esc(&self.method)),
+            ("rows", self.rows.to_string()),
+            ("write_trips", self.write_trips.to_string()),
+            ("prov_us", num(self.prov_us)),
+            ("commit_us", num(self.commit_us)),
+            ("wall_ms", num(self.wall_ms)),
         ])
     }
 }

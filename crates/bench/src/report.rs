@@ -1,7 +1,7 @@
 //! Plain-text rendering of the experiment results, one block per
 //! figure, in a layout that reads like the paper's charts.
 
-use crate::experiments::{DeletionBar, QueryRow, StorageBar, TimingRow, TxnLengthRow};
+use crate::experiments::{DeletionBar, PipelineRow, QueryRow, StorageBar, TimingRow, TxnLengthRow};
 use std::fmt::Write as _;
 
 fn mb(bytes: u64) -> String {
@@ -99,6 +99,22 @@ pub fn render_fig12(rows: &[TxnLengthRow]) -> String {
             out,
             "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1}",
             r.txn_len, r.add_us, r.delete_us, r.copy_us, r.commit_us, r.amortized_us
+        );
+    }
+    out
+}
+
+/// Renders the write-pipeline comparison table.
+pub fn render_pipeline(rows: &[PipelineRow]) -> String {
+    let mut out = String::from(
+        "Write pipeline: sync per-op writes vs async group commit, 14000-real\n\
+         method config           rows   write-stmts  prov µs/op  commit µs    wall ms\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<14} {:>7} {:>12} {:>11.1} {:>10.1} {:>10.1}",
+            r.method, r.config, r.rows, r.write_trips, r.prov_us, r.commit_us, r.wall_ms
         );
     }
     out

@@ -10,6 +10,10 @@
 //! * [`ProvStore`] — the auxiliary store `P` ([`SqlStore`] over the
 //!   `cpdb-storage` engine, [`MemStore`] for tests, [`ShardedStore`]
 //!   for key-range horizontal partitioning at scale);
+//! * [`pipeline`] — the asynchronous write path: [`PipelinedStore`]
+//!   (group-commit queue with a background committer thread) and the
+//!   thread-per-shard parallel executor behind [`ShardedStore`]'s
+//!   fan-outs;
 //! * [`Tracker`] / [`Strategy`] — naïve, transactional, hierarchical,
 //!   and hierarchical-transactional tracking (Sections 2.1.1–2.1.4);
 //! * [`QueryEngine`] — `From`, `Trace`, `Src`, `Hist`, `Mod`
@@ -62,6 +66,7 @@ pub mod approx;
 mod editor;
 mod error;
 pub mod federation;
+pub mod pipeline;
 mod query;
 mod record;
 pub mod recovery;
@@ -72,6 +77,7 @@ mod tracker;
 
 pub use editor::Editor;
 pub use error::{CoreError, Result};
+pub use pipeline::{PipelineConfig, PipelinedStore};
 pub use query::{FromStep, QueryEngine, TraceStep};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
 pub use shard::{RoundTripModel, ShardedStore};

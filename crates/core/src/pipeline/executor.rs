@@ -1,0 +1,199 @@
+//! Thread-per-shard parallel executor: [`ShardExecutor`].
+//!
+//! [`crate::ShardedStore`]'s fan-out operations issue one statement per
+//! shard. Until this executor existed, those statements ran one after
+//! another on the calling thread and the concurrent-wave latency model
+//! was *simulated* (one [`cpdb_storage::Meter::wave`] spin standing in
+//! for "all statements in flight together"). The executor makes the
+//! model real: every shard gets a dedicated worker thread, a fan-out
+//! scatters owned [`ShardJob`]s to the owning workers, and each worker
+//! pays the in-flight wait itself ([`cpdb_storage::wait_in_flight`])
+//! before running the statement on its shard's [`SqlStore`] — so the
+//! fan-out's wall clock *is* the slowest shard, measured rather than
+//! assumed.
+//!
+//! ## Accounting
+//!
+//! The coordinating thread records the fan-out through
+//! [`cpdb_storage::Meter::tally`]: all per-shard statements are
+//! counted, one wave is recorded, and **no** simulated latency is spun
+//! (the workers already waited for real). Statement counts are
+//! therefore identical to the simulated executor; only where the
+//! latency is paid changes. [`Meter`]'s counters are atomics, so the
+//! worker threads and the coordinator share meters without locking.
+//!
+//! ## Lifecycle
+//!
+//! Workers are spawned once ([`ShardExecutor::new`]) and live as long
+//! as the executor — a pool, not per-query spawning, so an 8-shard
+//! fan-out costs channel hops (microseconds), not thread creation.
+//! Dropping the executor closes the job channels; workers drain and
+//! exit, and `Drop` joins them.
+
+use crate::error::{CoreError, Result};
+use crate::record::{ProvRecord, Tid};
+use crate::store::{ProvStore, SqlStore};
+use cpdb_storage::{wait_in_flight, Meter};
+use cpdb_tree::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One owned per-shard statement. Jobs carry their arguments by value
+/// so they can cross the channel to a worker; a straddling fan-out
+/// clones the job once per overlapping shard.
+#[derive(Clone, Debug)]
+pub enum ShardJob {
+    /// `SELECT *` on the shard.
+    All,
+    /// Point lookup on `tid`.
+    ByTid(Tid),
+    /// Range scan of the subtree under the prefix.
+    LocPrefix(Path),
+    /// Range scan of one transaction's records under the prefix.
+    TidLocPrefix(Tid, Path),
+    /// Batched `IN`-list probe on encoded `loc` keys.
+    LocKeys(Vec<String>),
+    /// Batched insert of this shard's group of a multi-shard batch.
+    InsertBatch(Vec<ProvRecord>),
+}
+
+/// Runs a job's statement against one shard's store, without any
+/// latency charging (the caller decides whether latency is simulated
+/// on the coordinator or waited for on a worker).
+pub(crate) fn run_job(store: &SqlStore, job: &ShardJob) -> Result<Vec<ProvRecord>> {
+    match job {
+        ShardJob::All => store.all(),
+        ShardJob::ByTid(tid) => store.by_tid(*tid),
+        ShardJob::LocPrefix(prefix) => store.by_loc_prefix(prefix),
+        ShardJob::TidLocPrefix(tid, prefix) => store.by_tid_loc_prefix(*tid, prefix),
+        ShardJob::LocKeys(keys) => store.by_loc_keys(keys),
+        ShardJob::InsertBatch(records) => store.insert_batch(records).map(|()| Vec::new()),
+    }
+}
+
+type Reply = Result<Vec<ProvRecord>>;
+type Job = (ShardJob, Sender<Reply>);
+
+struct Worker {
+    jobs: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Latency configuration shared between the coordinator's meters and
+/// the workers: a worker reads the *currently configured* latencies at
+/// execution time, so `set_latency` on the sharded store applies to
+/// in-flight waits immediately.
+struct WorkerClock {
+    reads: Arc<Meter>,
+    writes: Arc<Meter>,
+    batch_row_ns: Arc<AtomicU64>,
+}
+
+impl WorkerClock {
+    /// Blocks the worker for the statement's in-flight time.
+    fn wait_for(&self, job: &ShardJob) {
+        match job {
+            ShardJob::InsertBatch(records) => {
+                wait_in_flight(self.writes.latency());
+                let extra = records.len().saturating_sub(1) as u64;
+                wait_in_flight(Duration::from_nanos(
+                    self.batch_row_ns.load(Ordering::Relaxed).saturating_mul(extra),
+                ));
+            }
+            _ => wait_in_flight(self.reads.latency()),
+        }
+    }
+}
+
+/// A pool of one worker thread per shard. See the module docs.
+pub struct ShardExecutor {
+    workers: Vec<Worker>,
+}
+
+impl ShardExecutor {
+    /// Spawns one worker per store. The meters are the sharded store's
+    /// aggregate read/write meters (for latency configuration only —
+    /// counting stays on the coordinator), `batch_row_ns` its shared
+    /// per-batch-row cost.
+    pub(crate) fn new(
+        stores: &[Arc<SqlStore>],
+        reads: Arc<Meter>,
+        writes: Arc<Meter>,
+        batch_row_ns: Arc<AtomicU64>,
+    ) -> ShardExecutor {
+        let workers = stores
+            .iter()
+            .enumerate()
+            .map(|(i, store)| {
+                let (tx, rx) = channel::<Job>();
+                let store = store.clone();
+                let clock = WorkerClock {
+                    reads: reads.clone(),
+                    writes: writes.clone(),
+                    batch_row_ns: batch_row_ns.clone(),
+                };
+                let handle = std::thread::Builder::new()
+                    .name(format!("cpdb-shard-{i}"))
+                    .spawn(move || worker_loop(&store, &clock, &rx))
+                    .expect("spawn shard worker");
+                Worker { jobs: tx, handle: Some(handle) }
+            })
+            .collect();
+        ShardExecutor { workers }
+    }
+
+    /// Number of worker threads (= shards).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Issues every `(shard, job)` pair concurrently and returns the
+    /// replies in the order the jobs were given. All jobs are in
+    /// flight together: the call returns when the slowest reply
+    /// arrives — the measured concurrent wave.
+    pub(crate) fn scatter(&self, jobs: impl IntoIterator<Item = (usize, ShardJob)>) -> Vec<Reply> {
+        let receivers: Vec<Receiver<Reply>> = jobs
+            .into_iter()
+            .map(|(shard, job)| {
+                let (tx, rx) = channel();
+                if self.workers[shard].jobs.send((job, tx)).is_err() {
+                    // Worker gone: the closed reply channel reports it
+                    // below, through the same recv path.
+                }
+                rx
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.recv().unwrap_or_else(|_| {
+                    Err(CoreError::Editor { reason: "shard executor worker died".into() })
+                })
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(store: &SqlStore, clock: &WorkerClock, jobs: &Receiver<Job>) {
+    while let Ok((job, reply)) = jobs.recv() {
+        clock.wait_for(&job);
+        // A dropped receiver (coordinator gave up) is not an error.
+        let _ = reply.send(run_job(store, &job));
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Close the job channel first so the worker's recv ends.
+            let (dead_tx, _) = channel();
+            w.jobs = dead_tx;
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

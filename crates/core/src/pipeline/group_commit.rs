@@ -1,0 +1,635 @@
+//! Group-commit write queue: [`PipelinedStore`].
+//!
+//! Trackers call [`crate::ProvStore::insert`] once per record; on a
+//! synchronous store every call is a write statement (and, with
+//! simulated latency, a full round-trip wait on the caller). A
+//! [`PipelinedStore`] decouples the two: producers append records to a
+//! bounded in-memory queue and return immediately, while a dedicated
+//! **committer thread** drains the queue into
+//! [`crate::ProvStore::insert_batch`] calls — so `n` enqueued records
+//! become `ceil(n / batch_size)` write statements, with the batched
+//! per-row accounting that is already in place on every store.
+//!
+//! ## Flush triggers
+//!
+//! The committer commits a batch when any of these holds:
+//!
+//! * **batch size** — the queue holds at least
+//!   [`PipelineConfig::batch_size`] records (the committer always
+//!   drains exactly `batch_size` in that case, so batches are full and
+//!   the `ceil(n / B)` statement count is exact);
+//! * **epoch tick** — [`PipelineConfig::epoch`] elapsed with records
+//!   waiting (bounds how stale the store can be under a trickle load);
+//! * **explicit flush** — [`PipelinedStore::flush`] (also issued by
+//!   every read, see below) or `Drop`.
+//!
+//! ## Backpressure, errors, ordering
+//!
+//! * The queue is bounded by [`PipelineConfig::capacity`]; producers
+//!   block once it is full (no unbounded buffering, no drops).
+//! * A failed commit is **not** silently dropped: the failed batch is
+//!   pushed back to the front of the queue (order preserved), the
+//!   error is parked in an error slot, and the committer pauses. The
+//!   next `insert`/`insert_batch`/`flush` returns that error. A
+//!   write's `Err` is a report about *earlier* records, never a
+//!   rejection: the erroring call's own records are still accepted
+//!   (do not re-send them). Taking the error un-pauses the committer,
+//!   which retries the retained records. The pipeline stays drainable
+//!   throughout — if the underlying store recovers, a later flush
+//!   commits everything. Delivery is therefore *at-least-once*: an
+//!   inner store that fails a batch part-way through may see some of
+//!   its records again.
+//! * Records commit in enqueue order (FIFO), so after a successful
+//!   [`PipelinedStore::flush`] the inner store holds exactly the
+//!   records enqueued so far and every query answers as if the writes
+//!   had been synchronous.
+//!
+//! ## Read-your-writes
+//!
+//! Every read method flushes before delegating to the inner store.
+//! Strategies that never read while tracking (naïve, transactional)
+//! get full batching; the hierarchical tracker's insert probe forces a
+//! flush per probe, which degrades gracefully to near-synchronous
+//! behavior — correctness never depends on queue state.
+
+use crate::error::{CoreError, Result};
+use crate::record::{ProvRecord, Tid};
+use crate::store::ProvStore;
+use cpdb_tree::Path;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`PipelinedStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Records per committed batch; the committer wakes as soon as
+    /// this many are queued. Clamped to `1..=capacity`.
+    pub batch_size: usize,
+    /// Queue depth at which producers block (backpressure).
+    pub capacity: usize,
+    /// Commit a partial batch when records have been waiting this long
+    /// (`None` = only batch-size and explicit flushes commit).
+    pub epoch: Option<Duration>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig { batch_size: 64, capacity: 256, epoch: Some(Duration::from_millis(2)) }
+    }
+}
+
+impl PipelineConfig {
+    /// A batch-size-driven config (no epoch tick): `batch` records per
+    /// statement, backpressure at `4 × batch`. This is the
+    /// deterministic shape benches assert statement counts on.
+    pub fn batched(batch: usize) -> PipelineConfig {
+        let batch = batch.max(1);
+        PipelineConfig { batch_size: batch, capacity: batch * 4, epoch: None }
+    }
+}
+
+/// Queue state behind the mutex.
+#[derive(Default)]
+struct State {
+    queue: VecDeque<ProvRecord>,
+    /// A failed flush waiting to be surfaced; while set, the committer
+    /// is paused (no hot retry loop).
+    error: Option<CoreError>,
+    /// Records handed to the committer but not yet committed.
+    in_flight: usize,
+    /// An explicit flush wants the queue drained below batch size.
+    flush_requested: bool,
+    shutdown: bool,
+    /// Total records accepted by enqueue.
+    enqueued: u64,
+    /// Total records successfully committed to the inner store.
+    committed: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the committer (work available, flush requested, error
+    /// acknowledged, shutdown).
+    work: Condvar,
+    /// Wakes producers and flushers (space freed, batch committed,
+    /// error parked).
+    room: Condvar,
+    batch: usize,
+    capacity: usize,
+    epoch: Option<Duration>,
+}
+
+/// An asynchronous group-commit front for any [`ProvStore`]. See the
+/// module docs for the full contract.
+pub struct PipelinedStore {
+    inner: Arc<dyn ProvStore>,
+    shared: Arc<Shared>,
+    committer: Mutex<Option<JoinHandle<()>>>,
+    /// Records the inner store held when the pipeline was spawned;
+    /// `len()` reports `base_len + enqueued` so a record is never
+    /// counted zero or two times while a batch is mid-commit.
+    base_len: u64,
+}
+
+impl PipelinedStore {
+    /// Spawns the committer thread and returns the pipelined front for
+    /// `inner`. Call [`PipelinedStore::flush`] before dropping to
+    /// surface any trailing commit error (`Drop` drains best-effort
+    /// but cannot report).
+    pub fn spawn(inner: Arc<dyn ProvStore>, cfg: PipelineConfig) -> PipelinedStore {
+        let capacity = cfg.capacity.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            batch: cfg.batch_size.clamp(1, capacity),
+            capacity,
+            epoch: cfg.epoch,
+        });
+        let committer = {
+            let inner = inner.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("cpdb-group-commit".into())
+                .spawn(move || committer_loop(&inner, &shared))
+                .expect("spawn group-commit thread")
+        };
+        let base_len = inner.len();
+        PipelinedStore { inner, shared, committer: Mutex::new(Some(committer)), base_len }
+    }
+
+    /// The synchronous store the committer drains into.
+    pub fn inner(&self) -> &Arc<dyn ProvStore> {
+        &self.inner
+    }
+
+    /// Records queued (or in flight) but not yet committed.
+    pub fn pending(&self) -> usize {
+        let st = self.lock();
+        st.queue.len() + st.in_flight
+    }
+
+    /// Total records accepted so far.
+    pub fn enqueued(&self) -> u64 {
+        self.lock().enqueued
+    }
+
+    /// Total records committed to the inner store so far.
+    pub fn committed(&self) -> u64 {
+        self.lock().committed
+    }
+
+    /// Blocks until every queued record is committed (or a commit
+    /// fails). Returns the parked error, if any — after an `Err`, the
+    /// failed records are still queued and a later flush retries them.
+    pub fn flush(&self) -> Result<()> {
+        let mut st = self.lock();
+        loop {
+            if let Some(e) = self.take_error(&mut st) {
+                return Err(e);
+            }
+            if st.queue.is_empty() && st.in_flight == 0 {
+                return Ok(());
+            }
+            if st.shutdown {
+                return Err(closed());
+            }
+            st.flush_requested = true;
+            self.shared.work.notify_all();
+            st = self.shared.room.wait(st).expect("pipeline lock");
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("pipeline lock")
+    }
+
+    /// Takes the parked error and, when one was parked, wakes the
+    /// committer so it resumes retrying the retained records.
+    fn take_error(&self, st: &mut State) -> Option<CoreError> {
+        let error = st.error.take();
+        if error.is_some() {
+            self.shared.work.notify_all();
+        }
+        error
+    }
+
+    /// Appends `records` in order, blocking while the queue is full.
+    /// The call's records are **always accepted** (unless the pipeline
+    /// is shut down) — an `Err` reports a parked *earlier* commit
+    /// failure, never a rejection of this call, so callers must not
+    /// re-send on error. Keeping acceptance unconditional is what
+    /// makes the contract deterministic: a parked error surfacing
+    /// mid-call (while blocked on backpressure) cannot leave a
+    /// half-accepted batch behind.
+    fn enqueue_all(&self, records: &[ProvRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut parked: Option<CoreError> = None;
+        let mut st = self.lock();
+        for record in records {
+            loop {
+                if let Some(e) = self.take_error(&mut st) {
+                    // Surface the failure after the enqueue completes;
+                    // taking it un-pauses the committer. A later
+                    // failure in the same call supersedes (same
+                    // retained records, retried again).
+                    parked = Some(e);
+                }
+                if st.shutdown {
+                    return Err(closed());
+                }
+                // Backpressure — except after a commit failure: a
+                // failing committer may never free room, so blocking
+                // here would wedge the producer. The call's records
+                // are accepted past the capacity bound instead (the
+                // overshoot is at most this call's length, and the
+                // caller is being told every call that commits fail).
+                if st.queue.len() < self.shared.capacity || parked.is_some() {
+                    break;
+                }
+                st = self.shared.room.wait(st).expect("pipeline lock");
+            }
+            st.queue.push_back(record.clone());
+            st.enqueued += 1;
+            // Wake the committer when a batch fills, and on the
+            // empty→non-empty transition so it moves from its idle
+            // wait onto the epoch timer.
+            if st.queue.len() == self.shared.batch || st.queue.len() == 1 {
+                self.shared.work.notify_one();
+            }
+        }
+        match parked {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush, then read through to the inner store (read-your-writes).
+    fn read_through<T>(&self, read: impl FnOnce(&dyn ProvStore) -> Result<T>) -> Result<T> {
+        self.flush()?;
+        read(self.inner.as_ref())
+    }
+}
+
+fn closed() -> CoreError {
+    CoreError::Editor { reason: "write pipeline is shut down".into() }
+}
+
+/// `true` when the committer should drain a batch now.
+fn should_drain(st: &State, batch: usize) -> bool {
+    !st.queue.is_empty() && (st.queue.len() >= batch || st.flush_requested || st.shutdown)
+}
+
+fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
+    let mut st = shared.state.lock().expect("pipeline lock");
+    loop {
+        if st.error.is_some() {
+            // Paused until a producer/flusher takes the error; on
+            // shutdown, leave the retained records for `pending()` to
+            // report rather than retrying forever.
+            if st.shutdown {
+                break;
+            }
+            st = shared.work.wait(st).expect("pipeline lock");
+            continue;
+        }
+        if should_drain(&st, shared.batch) {
+            let n = shared.batch.min(st.queue.len());
+            let chunk: Vec<ProvRecord> = st.queue.drain(..n).collect();
+            st.in_flight = n;
+            if st.queue.is_empty() {
+                st.flush_requested = false;
+            }
+            drop(st);
+            let result = inner.insert_batch(&chunk);
+            st = shared.state.lock().expect("pipeline lock");
+            st.in_flight = 0;
+            match result {
+                Ok(()) => {
+                    st.committed += n as u64;
+                }
+                Err(e) => {
+                    // Retain the batch (front, original order) and park
+                    // the error for the next enqueue/flush.
+                    for r in chunk.into_iter().rev() {
+                        st.queue.push_front(r);
+                    }
+                    st.error = Some(e);
+                }
+            }
+            shared.room.notify_all();
+            continue;
+        }
+        if st.shutdown {
+            break;
+        }
+        st = match (shared.epoch, st.queue.is_empty()) {
+            (Some(epoch), false) => {
+                let (guard, timeout) = shared.work.wait_timeout(st, epoch).expect("pipeline lock");
+                let mut guard = guard;
+                if timeout.timed_out() && !guard.queue.is_empty() {
+                    // Epoch tick: commit the partial batch.
+                    guard.flush_requested = true;
+                }
+                guard
+            }
+            _ => shared.work.wait(st).expect("pipeline lock"),
+        };
+    }
+}
+
+impl Drop for PipelinedStore {
+    fn drop(&mut self) {
+        {
+            let mut st = self.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.room.notify_all();
+        if let Some(handle) = self.committer.lock().expect("pipeline lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ProvStore for PipelinedStore {
+    fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.enqueue_all(std::slice::from_ref(record))
+    }
+
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        self.enqueue_all(records)
+    }
+
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.all())
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.at(tid, loc))
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.by_loc(loc))
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.by_tid(tid))
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.by_loc_prefix(prefix))
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.by_tid_loc_prefix(tid, prefix))
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.read_through(|s| s.by_loc_chain(loc, min_depth))
+    }
+
+    fn len(&self) -> u64 {
+        // The pipeline's logical content: everything accepted, whether
+        // committed, queued, or mid-commit. Derived from the accept
+        // counter rather than `inner.len() + pending()`, which could
+        // transiently double-count a batch the inner store has applied
+        // but the committer has not yet marked committed.
+        self.base_len + self.lock().enqueued
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        // Queued records occupy no store pages yet; report the inner
+        // store as-is (this accessor has no Result to flush through).
+        self.inner.physical_bytes()
+    }
+
+    fn live_bytes(&self) -> Result<u64> {
+        self.flush()?;
+        self.inner.live_bytes()
+    }
+
+    fn read_trips(&self) -> u64 {
+        self.inner.read_trips()
+    }
+
+    fn write_trips(&self) -> u64 {
+        self.inner.write_trips()
+    }
+
+    fn reset_trips(&self) {
+        self.inner.reset_trips();
+    }
+
+    fn set_latency(&self, read: Duration, write: Duration) {
+        self.inner.set_latency(read, write);
+    }
+
+    fn set_batch_row_latency(&self, per_row: Duration) {
+        self.inner.set_batch_row_latency(per_row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn records(n: usize) -> Vec<ProvRecord> {
+        (0..n).map(|i| ProvRecord::insert(Tid(i as u64), p(&format!("T/c{i}")))).collect()
+    }
+
+    #[test]
+    fn batches_reduce_statements_to_ceil_n_over_b() {
+        let inner = Arc::new(MemStore::new());
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(16));
+        for r in records(100) {
+            pipe.insert(&r).unwrap();
+        }
+        pipe.flush().unwrap();
+        assert_eq!(pipe.committed(), 100);
+        assert_eq!(pipe.pending(), 0);
+        assert_eq!(inner.len(), 100);
+        // 100 records at batch 16: six full batches and one of 4.
+        assert_eq!(inner.write_trips(), 7, "write statements = ceil(100 / 16)");
+    }
+
+    #[test]
+    fn reads_see_queued_records_after_implicit_flush() {
+        let pipe = PipelinedStore::spawn(Arc::new(MemStore::new()), PipelineConfig::batched(64));
+        let rs = records(10);
+        pipe.insert_batch(&rs).unwrap();
+        assert_eq!(pipe.len(), 10, "len counts queued records");
+        // No explicit flush: the read itself must drain the queue.
+        assert_eq!(pipe.by_loc(&p("T/c3")).unwrap().len(), 1);
+        assert_eq!(pipe.by_tid(Tid(7)).unwrap().len(), 1);
+        assert_eq!(pipe.pending(), 0);
+        assert_eq!(pipe.len(), 10);
+    }
+
+    #[test]
+    fn epoch_tick_commits_partial_batches() {
+        let cfg = PipelineConfig {
+            batch_size: 1000,
+            capacity: 1000,
+            epoch: Some(Duration::from_millis(1)),
+        };
+        let inner = Arc::new(MemStore::new());
+        let pipe = PipelinedStore::spawn(inner.clone(), cfg);
+        pipe.insert(&ProvRecord::insert(Tid(1), p("T/a"))).unwrap();
+        // Far below batch size: only the epoch tick can commit this.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while inner.len() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(inner.len(), 1, "epoch tick must commit without a flush");
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let inner = Arc::new(MemStore::new());
+        {
+            let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(1000));
+            pipe.insert_batch(&records(5)).unwrap();
+        }
+        assert_eq!(inner.len(), 5, "Drop flushes what is left");
+    }
+
+    /// Fails every `insert_batch` while `failing` is set; atomic (no
+    /// partial application), so retry semantics can be asserted
+    /// exactly.
+    struct FlakyStore {
+        inner: MemStore,
+        failures_left: AtomicU64,
+    }
+
+    impl FlakyStore {
+        fn new(failures: u64) -> FlakyStore {
+            FlakyStore { inner: MemStore::new(), failures_left: AtomicU64::new(failures) }
+        }
+    }
+
+    impl ProvStore for FlakyStore {
+        fn insert(&self, record: &ProvRecord) -> Result<()> {
+            self.inner.insert(record)
+        }
+        fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+            let failing = self
+                .failures_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok();
+            if failing {
+                return Err(CoreError::Editor { reason: "injected commit failure".into() });
+            }
+            self.inner.insert_batch(records)
+        }
+        fn all(&self) -> Result<Vec<ProvRecord>> {
+            self.inner.all()
+        }
+        fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.at(tid, loc)
+        }
+        fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc(loc)
+        }
+        fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+            self.inner.by_tid(tid)
+        }
+        fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc_prefix(prefix)
+        }
+        fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_tid_loc_prefix(tid, prefix)
+        }
+        fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc_chain(loc, min_depth)
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn physical_bytes(&self) -> u64 {
+            self.inner.physical_bytes()
+        }
+        fn live_bytes(&self) -> Result<u64> {
+            self.inner.live_bytes()
+        }
+        fn read_trips(&self) -> u64 {
+            self.inner.read_trips()
+        }
+        fn write_trips(&self) -> u64 {
+            self.inner.write_trips()
+        }
+        fn reset_trips(&self) {
+            self.inner.reset_trips()
+        }
+        fn set_latency(&self, read: Duration, write: Duration) {
+            self.inner.set_latency(read, write)
+        }
+        fn set_batch_row_latency(&self, per_row: Duration) {
+            self.inner.set_batch_row_latency(per_row)
+        }
+    }
+
+    #[test]
+    fn failed_flush_surfaces_then_retries_without_losing_records() {
+        // Fails every commit until `recover` — so the retained records
+        // stay queued however often the committer retries.
+        let flaky = Arc::new(FlakyStore::new(u64::MAX));
+        let pipe = PipelinedStore::spawn(flaky.clone(), PipelineConfig::batched(8));
+        pipe.insert_batch(&records(20)).unwrap();
+        // Flushes hit the injected failure; records are retained.
+        let err = pipe.flush().unwrap_err();
+        assert!(err.to_string().contains("injected commit failure"), "{err}");
+        assert_eq!(pipe.pending(), 20, "failed batches must be retained");
+        pipe.flush().unwrap_err();
+        assert_eq!(pipe.pending(), 20, "still retained after repeated failures");
+        // The store recovers: the pipeline is still drainable, and
+        // every record commits exactly once (FlakyStore fails
+        // atomically, so no duplicates).
+        flaky.failures_left.store(0, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pipe.flush().is_err() {
+            // A failure parked between recovery and this flush may
+            // surface once more; drain it and retry.
+            assert!(std::time::Instant::now() < deadline, "pipeline wedged after recovery");
+        }
+        assert_eq!(pipe.pending(), 0);
+        assert_eq!(flaky.len(), 20);
+        let mut got = pipe.all().unwrap();
+        got.sort();
+        let mut want = records(20);
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn error_surfaces_on_next_enqueue_whose_own_record_is_still_accepted() {
+        let flaky = Arc::new(FlakyStore::new(1));
+        let pipe = PipelinedStore::spawn(flaky, PipelineConfig::batched(4));
+        pipe.insert_batch(&records(4)).unwrap();
+        // Wait until the committer has parked the failure.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pipe.lock().error.is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let extra = ProvRecord::insert(Tid(99), p("T/extra"));
+        pipe.insert(&extra).unwrap_err();
+        // The Err reports the earlier failed batch; the insert's own
+        // record is accepted regardless (re-sending would duplicate).
+        assert_eq!(pipe.enqueued(), 5, "an erroring write still accepts its records");
+        // The pipeline is still drainable afterwards.
+        pipe.flush().unwrap();
+        assert_eq!(pipe.pending(), 0);
+        assert_eq!(pipe.len(), 5);
+        assert_eq!(pipe.by_loc(&p("T/extra")).unwrap().len(), 1);
+    }
+}

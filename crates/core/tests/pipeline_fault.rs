@@ -1,0 +1,79 @@
+//! Error-path coverage for the group-commit pipeline: a committer
+//! flush that fails with a *real* storage-level I/O error (injected by
+//! [`FaultyBackend`] under a real `SqlStore` table) must surface to the
+//! caller on the next enqueue/flush, and the pipeline must stay
+//! drainable — no silently dropped records, no wedged queue.
+
+use cpdb_core::{PipelineConfig, PipelinedStore, ProvRecord, ProvStore, SqlStore, Tid};
+use cpdb_storage::{Backend, Engine, FaultyBackend, MemBackend};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn records(n: usize) -> Vec<ProvRecord> {
+    // Long-ish labels so pages fill (and the backend is hit) quickly.
+    (0..n)
+        .map(|i| {
+            ProvRecord::insert(Tid(i as u64), format!("T/container{i}/record{i}").parse().unwrap())
+        })
+        .collect()
+}
+
+/// A `SqlStore` whose pages live on a backend that starts failing every
+/// operation after `successes` operations.
+fn faulty_store(successes: u64) -> Arc<dyn ProvStore> {
+    let engine = Engine::with_backend(move |_| {
+        Arc::new(FaultyBackend::new(MemBackend::new(), successes)) as Arc<dyn Backend>
+    });
+    Arc::new(SqlStore::create(&engine, false).expect("creation stays under the fault countdown"))
+}
+
+#[test]
+fn failed_group_commit_surfaces_and_leaves_the_pipeline_drainable() {
+    // Enough successful backend operations to create the table and
+    // absorb the first page allocations, few enough that ingesting the
+    // stream must eventually hit the injected I/O error.
+    let store = faulty_store(24);
+    let pipe = PipelinedStore::spawn(store, PipelineConfig::batched(64));
+
+    // Feed records until the parked flush error surfaces on an
+    // enqueue; backpressure (capacity 256) guarantees the producer
+    // cannot simply outrun the failure forever.
+    let stream = records(40_000);
+    let mut accepted = 0u64;
+    let mut enqueue_error = None;
+    for r in &stream {
+        // Every write accepts its record; an Err reports an earlier
+        // commit failure.
+        accepted += 1;
+        if let Err(e) = pipe.insert(r) {
+            enqueue_error = Some(e);
+            break;
+        }
+    }
+    let err = enqueue_error.expect("the injected I/O fault must surface on an enqueue");
+    assert!(err.to_string().contains("injected fault"), "typed storage error, got: {err}");
+    assert_eq!(pipe.enqueued(), accepted, "the erroring insert still accepted its record");
+
+    // No silently dropped records: everything accepted is either
+    // committed to the table or still queued for retry.
+    let retained = pipe.pending() as u64;
+    assert!(retained > 0, "the failed batch must be retained for retry");
+    assert!(
+        pipe.committed() + retained >= accepted,
+        "committed ({}) + retained ({retained}) must cover accepted ({accepted})",
+        pipe.committed()
+    );
+
+    // Not wedged: enqueues and flushes keep returning (with errors —
+    // the backend never recovers) instead of deadlocking, and the
+    // retained records stay drainable.
+    let t0 = Instant::now();
+    pipe.flush().expect_err("the backend is still failing");
+    let extra = ProvRecord::insert(Tid(99_999), "T/after/failure".parse().unwrap());
+    let _ = pipe.insert(&extra);
+    pipe.flush().expect_err("still failing");
+    assert!(t0.elapsed() < Duration::from_secs(10), "error paths must not block");
+    assert!(pipe.pending() > 0, "records remain queued, never silently discarded");
+    // Drop must also return promptly (committer shuts down even with a
+    // permanently failing store) — implicitly asserted by test exit.
+}

@@ -1,15 +1,19 @@
-//! Equivalence suite: [`ShardedStore`] (N = 1 and N = 4) must return
-//! the same record sets as an indexed [`SqlStore`] for every
+//! Equivalence suite: [`ShardedStore`] (N = 1 and N = 4, serial and
+//! parallel-executor) and group-commit [`PipelinedStore`] fronts must
+//! return the same record sets as an indexed [`SqlStore`] for every
 //! [`ProvStore`] method, on a provenance load derived from the seeded
-//! workload generator — plus a concurrent insert/scan smoke test
-//! across shards.
+//! workload generator — plus concurrent insert/scan and multi-producer
+//! pipeline stress tests across shards.
 
-use cpdb_core::{MemStore, ProvRecord, ProvStore, ShardedStore, SqlStore, Tid};
+use cpdb_core::{
+    MemStore, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore, SqlStore, Tid,
+};
 use cpdb_storage::Engine;
 use cpdb_tree::Path;
 use cpdb_update::AtomicUpdate;
 use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Provenance records the seeded workload's script would produce: one
 /// record per atomic update (tids grouped in commit-sized runs), plus a
@@ -64,11 +68,29 @@ fn sharded_store_matches_sql_store_on_the_seeded_workload() {
     let n4 = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true).unwrap();
     assert_eq!(n1.shard_count(), 1);
     assert_eq!(n4.shard_count(), 4);
+    // Pipeline-fed fronts: group-commit over an unsharded SqlStore and
+    // over a parallel-executor 4-shard store — writes go through the
+    // async queue, reads must still answer exactly like the oracle.
+    let e2 = Engine::in_memory();
+    let pipe_sql = PipelinedStore::spawn(
+        Arc::new(SqlStore::create(&e2, true).unwrap()),
+        PipelineConfig::batched(16),
+    );
+    let pipe_n4 = PipelinedStore::spawn(
+        Arc::new(
+            ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+                .unwrap()
+                .with_parallel_executor(),
+        ),
+        PipelineConfig::batched(16),
+    );
 
     // Load every store identically: singles and batches interleaved so
     // both insert paths are exercised (batches span shard boundaries).
     for (i, chunk) in records.chunks(7).enumerate() {
-        for store in [&oracle as &dyn ProvStore, &mem, &n1, &n4] {
+        for store in
+            [&oracle as &dyn ProvStore, &mem, &n1, &n4, &pipe_sql as &dyn ProvStore, &pipe_n4]
+        {
             if i % 2 == 0 {
                 store.insert_batch(chunk).unwrap();
             } else {
@@ -78,8 +100,16 @@ fn sharded_store_matches_sql_store_on_the_seeded_workload() {
             }
         }
     }
+    pipe_sql.flush().unwrap();
+    pipe_n4.flush().unwrap();
 
-    let stores: [(&str, &dyn ProvStore); 3] = [("mem", &mem), ("n1", &n1), ("n4", &n4)];
+    let stores: [(&str, &dyn ProvStore); 5] = [
+        ("mem", &mem),
+        ("n1", &n1),
+        ("n4", &n4),
+        ("pipelined-sql", &pipe_sql),
+        ("pipelined-sharded-parallel", &pipe_n4),
+    ];
     for (name, store) in stores {
         assert_eq!(store.len(), oracle.len(), "{name}: len");
         assert_eq!(sorted(store.all().unwrap()), sorted(oracle.all().unwrap()), "{name}: all");
@@ -181,4 +211,82 @@ fn concurrent_inserts_and_scans_across_shards() {
     assert_eq!(all.len(), writers * per_writer);
     let distinct: BTreeSet<String> = all.iter().map(|r| r.loc.key()).collect();
     assert_eq!(distinct.len(), writers * per_writer, "no record lost or duplicated");
+}
+
+/// Multi-producer group commit: several tracker threads enqueue into
+/// one pipeline (singles and batches) over a parallel-executor sharded
+/// store, racing readers whose implicit flushes drain the queue
+/// mid-stream. After the final flush the store must hold every record
+/// exactly once and answer like a synchronous oracle.
+#[test]
+fn multi_producer_pipeline_loses_and_duplicates_nothing() {
+    let containers: Vec<Path> = (1..=8).map(|i| format!("T/c{i}").parse().unwrap()).collect();
+    let sharded = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    let pipe = PipelinedStore::spawn(Arc::new(sharded), PipelineConfig::batched(32));
+    let oracle = MemStore::new();
+
+    let writers = 4usize;
+    let per_writer = 300usize;
+    let make = |w: usize, i: usize| {
+        let loc =
+            containers[(w + i) % containers.len()].child(format!("w{w}")).child(format!("r{i}"));
+        ProvRecord::insert(Tid(w as u64), loc)
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let pipe = &pipe;
+            scope.spawn(move || {
+                // Mix the two enqueue paths: singles and small batches.
+                let mut i = 0;
+                while i < per_writer {
+                    if i % 10 == 0 {
+                        let batch: Vec<ProvRecord> =
+                            (i..(i + 5).min(per_writer)).map(|j| make(w, j)).collect();
+                        pipe.insert_batch(&batch).unwrap();
+                        i += batch.len();
+                    } else {
+                        pipe.insert(&make(w, i)).unwrap();
+                        i += 1;
+                    }
+                }
+            });
+        }
+        // Readers force implicit flushes while producers are running.
+        for _ in 0..2 {
+            let pipe = &pipe;
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    let sub = pipe.by_loc_prefix(&"T/c3".parse().unwrap()).unwrap();
+                    assert!(sub.iter().all(|r| r.loc.starts_with(&"T/c3".parse().unwrap())));
+                }
+            });
+        }
+    });
+    for w in 0..writers {
+        for i in 0..per_writer {
+            oracle.insert(&make(w, i)).unwrap();
+        }
+    }
+
+    pipe.flush().unwrap();
+    assert_eq!(pipe.pending(), 0);
+    assert_eq!(pipe.len(), (writers * per_writer) as u64);
+    let mut got = pipe.all().unwrap();
+    let mut want = oracle.all().unwrap();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "pipeline-fed sharded store matches the synchronous oracle");
+    for c in &containers {
+        let mut got = pipe.by_loc_prefix(c).unwrap();
+        let mut want = oracle.by_loc_prefix(c).unwrap();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "prefix {c}");
+    }
+    for w in 0..writers {
+        assert_eq!(pipe.by_tid(Tid(w as u64)).unwrap().len(), per_writer, "writer {w}");
+    }
 }

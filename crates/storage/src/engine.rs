@@ -16,12 +16,18 @@ use std::ops::Bound;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Produces one page [`Backend`] per table name.
+type BackendFactory = Box<dyn Fn(&str) -> Arc<dyn Backend> + Send + Sync>;
+
 /// Where an engine keeps its tables.
 enum Location {
     /// Ephemeral, for tests and benchmarks.
     Memory,
     /// One file per table under this directory (`<name>.tbl`).
     Disk(PathBuf),
+    /// Backends produced by a caller-supplied factory (failure
+    /// injection, instrumentation).
+    Custom(BackendFactory),
 }
 
 /// A named table plus its secondary indexes.
@@ -62,6 +68,21 @@ impl Engine {
         })
     }
 
+    /// An engine whose tables persist pages through backends produced
+    /// by `factory` (called once per table with the table name). This
+    /// is how failure-injection tests mount a
+    /// [`crate::FaultyBackend`] under a real table.
+    pub fn with_backend(
+        factory: impl Fn(&str) -> Arc<dyn Backend> + Send + Sync + 'static,
+    ) -> Engine {
+        Engine {
+            location: Location::Custom(Box::new(factory)),
+            pool_capacity: 64,
+            tables: RwLock::new(HashMap::new()),
+            meter: Arc::new(Meter::new()),
+        }
+    }
+
     /// Sets the per-table buffer-pool capacity (pages).
     pub fn with_pool_capacity(mut self, pages: usize) -> Engine {
         self.pool_capacity = pages;
@@ -80,6 +101,12 @@ impl Engine {
                     return Err(StorageError::NotFound { what: "table", name: name.into() });
                 }
                 Ok(Arc::new(MemBackend::new()))
+            }
+            Location::Custom(factory) => {
+                if must_exist {
+                    return Err(StorageError::NotFound { what: "table", name: name.into() });
+                }
+                Ok(factory(name))
             }
             Location::Disk(dir) => {
                 let path = dir.join(format!("{name}.tbl"));

@@ -49,7 +49,7 @@ pub use buffer::{BufferPool, PageGuard, PoolStats};
 pub use engine::{Engine, TableHandle};
 pub use error::{Result, StorageError};
 pub use index::Index;
-pub use meter::{spin, Meter};
+pub use meter::{spin, wait_in_flight, Meter};
 pub use page::{Page, MAX_CELL, PAGE_SIZE};
 pub use row::{decode_row, encode_row, Column, DataType, Datum, Schema};
 pub use table::{RowId, Table};

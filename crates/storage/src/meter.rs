@@ -23,6 +23,22 @@ pub fn spin(d: Duration) {
     }
 }
 
+/// Blocks the calling thread for `d` — the in-flight stand-in used by
+/// **real** concurrent executors (one thread per in-flight statement).
+///
+/// A client waiting on the wire is blocked, not computing, so unlike
+/// [`spin`] this must not burn a core: concurrent in-flight statements
+/// overlap their waits even on a single-CPU host, which is exactly the
+/// max-over-shards wall clock the concurrent-wave model predicts.
+/// Simulated (single-threaded) charging keeps using [`spin`] so its
+/// timing stays deterministic under scheduler pressure.
+pub fn wait_in_flight(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    std::thread::sleep(d);
+}
+
 /// Counts database interactions and optionally simulates per-interaction
 /// latency by spinning (deterministic, scheduler-independent).
 ///
@@ -95,6 +111,23 @@ impl Meter {
         spin(Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)));
     }
 
+    /// Records `statements` interactions issued concurrently **without
+    /// spinning**: the caller's executor runs the statements on real
+    /// threads, each of which pays its own in-flight wait (see
+    /// [`wait_in_flight`]), so charging simulated latency here would
+    /// double-count it. Counts the statements and one wave, exactly
+    /// like [`Meter::wave`]. A zero-statement tally is a no-op.
+    ///
+    /// All counters are atomics, so a meter shared across an executor's
+    /// worker threads needs no external locking.
+    pub fn tally(&self, statements: u64) {
+        if statements == 0 {
+            return;
+        }
+        self.round_trips.fetch_add(statements, Ordering::Relaxed);
+        self.waves.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of interactions recorded so far.
     pub fn count(&self) -> u64 {
         self.round_trips.load(Ordering::Relaxed)
@@ -158,6 +191,20 @@ mod tests {
         }
         assert!(start.elapsed() >= Duration::from_micros(4000), "sequential pays the sum");
         assert_eq!(m.waves(), 9, "sequential statements spin once each");
+    }
+
+    #[test]
+    fn tally_counts_without_paying_latency() {
+        // `tally` is the real-executor entry point: the worker threads
+        // pay the in-flight wait themselves, so the meter must count
+        // statements and a wave but never spin the configured latency.
+        let m = Meter::with_latency(Duration::from_secs(3600));
+        let t0 = std::time::Instant::now();
+        m.tally(8);
+        m.tally(0); // no statements, no wave
+        assert!(t0.elapsed() < Duration::from_secs(1), "tally must not spin");
+        assert_eq!(m.count(), 8);
+        assert_eq!(m.waves(), 1);
     }
 
     #[test]
