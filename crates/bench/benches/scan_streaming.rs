@@ -1,0 +1,153 @@
+//! Streaming-cursor bench: `scan_loc_prefix` over the largest subtree
+//! of the 14,000-step `real` workload (the whole target database —
+//! the range that straddles every shard) on a 4-shard parallel store,
+//! streaming at a fixed batch size vs the full `by_loc_prefix`
+//! materialization.
+//!
+//! Asserted on every run, including the 1-iteration CI smoke run
+//! (`-- --test`):
+//!
+//! * **bounded peak memory** — the cursor never holds more than
+//!   `batch × shards` records (the prefetched page per shard plus the
+//!   page being served), however large the subtree;
+//! * **round trips** — draining costs at most
+//!   `ceil(hits / batch) + 1` statements per shard (exactly
+//!   `max(1, ceil(hits_i / batch))` on each shard `i`), and a full
+//!   materialization stays one statement per shard;
+//! * **first-result latency** — fetching the first batch is faster
+//!   than materializing the whole hit set (asserted as a best-of-N
+//!   comparison; the measured ratio is reported).
+
+use cpdb_bench::session::{build_session_with, LatencyConfig, StoreConfig};
+use cpdb_core::Strategy;
+use cpdb_tree::Path;
+use cpdb_workload::{generate, GenConfig, UpdatePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 256;
+const SHARDS: usize = 4;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Best-of-`n` wall time of `f` (minimum is the robust statistic for
+/// a latency comparison under scheduler noise).
+fn best_of(n: u32, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_streaming");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+
+    let steps = if smoke() { 1_400 } else { 14_000 };
+    let cfg = GenConfig::for_length(UpdatePattern::Real, steps, 2006);
+    let wl = generate(&cfg, steps);
+    let mut session = build_session_with(
+        &wl,
+        Strategy::Hierarchical,
+        StoreConfig::sharded(SHARDS).with_parallel(),
+        &LatencyConfig::zero(),
+    );
+    session.editor.run_script(&wl.script, 1).unwrap();
+    let store = session.store.clone();
+
+    // The largest subtree of the workload is the target database
+    // itself: every record lives under `T`, and its key range
+    // straddles all shard boundaries.
+    let root = Path::single(wl.target_name);
+    let full = store.by_loc_prefix(&root).unwrap();
+    let hits = full.len();
+    assert!(hits as u64 == store.len() && hits > 0, "root subtree covers the whole store");
+
+    // --- Equivalence, bounded buffering, and round-trip accounting —
+    // checked once, outside the timing loops.
+    store.reset_trips();
+    let mut cursor = store.scan_loc_prefix(&root, BATCH).unwrap();
+    let mut streamed = Vec::new();
+    let mut peak = 0usize;
+    while let Some(chunk) = cursor.next_batch().unwrap() {
+        assert!(chunk.len() <= BATCH);
+        peak = peak.max(cursor.buffered() + chunk.len());
+        streamed.extend(chunk);
+    }
+    assert_eq!(streamed, full, "drained cursor equals the materialized hit set, in key order");
+    assert!(
+        peak <= BATCH * SHARDS,
+        "peak resident rows {peak} exceed batch × shards = {}",
+        BATCH * SHARDS
+    );
+    assert!(hits > BATCH * SHARDS, "workload too small to demonstrate bounded memory: {hits} hits");
+    let trips = store.read_trips();
+    let bound = (hits as u64).div_ceil(BATCH as u64) + SHARDS as u64;
+    assert!(
+        trips <= bound,
+        "drain cost {trips} statements, bound is ceil({hits}/{BATCH}) + {SHARDS} = {bound}"
+    );
+    store.reset_trips();
+    let _ = store.by_loc_prefix(&root).unwrap();
+    assert!(
+        store.read_trips() <= SHARDS as u64,
+        "full materialization stays one statement per shard"
+    );
+
+    // --- First-result latency vs full materialization.
+    let reps = if smoke() { 3 } else { 10 };
+    let t_full = best_of(reps, || {
+        let got = store.by_loc_prefix(&root).unwrap();
+        assert_eq!(got.len(), hits);
+    });
+    let t_first = best_of(reps, || {
+        let mut cur = store.scan_loc_prefix(&root, BATCH).unwrap();
+        // The first batch is shard 0's first page: at most BATCH rows,
+        // at least one (shard 0 of a whole-database scan is never
+        // empty), however the workload distributes across shards.
+        let first = cur.next_batch().unwrap().unwrap();
+        assert!(!first.is_empty() && first.len() <= BATCH);
+    });
+    assert!(
+        t_first < t_full,
+        "first batch ({t_first:?}) must beat full materialization ({t_full:?})"
+    );
+    println!(
+        "scan_streaming: {hits} hits; peak resident {peak} rows (cap {}); \
+         {trips} round trips (bound {bound}); first batch {t_first:?} vs full {t_full:?} \
+         ({:.1}x)",
+        BATCH * SHARDS,
+        t_full.as_secs_f64() / t_first.as_secs_f64().max(f64::EPSILON),
+    );
+
+    // --- Criterion timings for the report.
+    group.bench_with_input(BenchmarkId::new("materialize", hits), &root, |b, root| {
+        b.iter(|| store.by_loc_prefix(root).unwrap().len())
+    });
+    group.bench_with_input(BenchmarkId::new("stream_drain", hits), &root, |b, root| {
+        b.iter(|| {
+            let mut cur = store.scan_loc_prefix(root, BATCH).unwrap();
+            let mut n = 0usize;
+            while let Some(chunk) = cur.next_batch().unwrap() {
+                n += chunk.len();
+            }
+            n
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("first_batch", hits), &root, |b, root| {
+        b.iter(|| {
+            let mut cur = store.scan_loc_prefix(root, BATCH).unwrap();
+            cur.next_batch().unwrap().map_or(0, |c| c.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

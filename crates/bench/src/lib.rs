@@ -1,9 +1,21 @@
 //! # cpdb-bench — the experiment harness
 //!
 //! Regenerates every table and figure of the evaluation section of
-//! Buneman, Chapman & Cheney (SIGMOD 2006): Tables 1–3 and Figures
-//! 7–13. See `DESIGN.md` for the per-experiment index and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! Buneman, Chapman & Cheney (SIGMOD 2006) — Tables 1–3 and Figures
+//! 7–13 — plus the scale-out experiments this reproduction adds on
+//! top (see the repository's `ARCHITECTURE.md` for the layer map and
+//! `ROADMAP.md` for measured results):
+//!
+//! * `experiments` binary — `all`, or a single target (`storage`,
+//!   `optimizations`, `queries`, `shard`, `pipeline`, …), with
+//!   `--report`/`--json` output;
+//! * benches — `fig07…fig13` (the paper's figures), `prefix_scan`
+//!   (full scan vs index range scan), `shard_scaling` (key-range
+//!   routing invariants), `group_commit` (async write pipeline), and
+//!   `scan_streaming` (cursor reads: bounded peak memory and
+//!   first-batch latency vs full materialization). The accounting
+//!   assertions in the last three run even under `-- --test`, which
+//!   is how CI smoke-runs them.
 //!
 //! Run the full suite with:
 //!

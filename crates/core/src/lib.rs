@@ -81,5 +81,5 @@ pub use pipeline::{PipelineConfig, PipelinedStore};
 pub use query::{FromStep, QueryEngine, TraceStep};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
 pub use shard::{RoundTripModel, ShardedStore};
-pub use store::{prov_schema, MemStore, ProvStore, SqlStore};
+pub use store::{prov_schema, MemStore, ProvStore, RecordCursor, SqlStore};
 pub use tracker::{Strategy, Tracker};

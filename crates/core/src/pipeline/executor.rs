@@ -24,7 +24,7 @@
 //!
 //! ## Lifecycle
 //!
-//! Workers are spawned once ([`ShardExecutor::new`]) and live as long
+//! Workers are spawned once (`ShardExecutor::new`) and live as long
 //! as the executor — a pool, not per-query spawning, so an 8-shard
 //! fan-out costs channel hops (microseconds), not thread creation.
 //! Dropping the executor closes the job channels; workers drain and
@@ -32,9 +32,8 @@
 
 use crate::error::{CoreError, Result};
 use crate::record::{ProvRecord, Tid};
-use crate::store::{ProvStore, SqlStore};
+use crate::store::{ProvStore, ScanKind, ScanToken, SqlStore};
 use cpdb_storage::{wait_in_flight, Meter};
-use cpdb_tree::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -50,31 +49,43 @@ pub enum ShardJob {
     All,
     /// Point lookup on `tid`.
     ByTid(Tid),
-    /// Range scan of the subtree under the prefix.
-    LocPrefix(Path),
-    /// Range scan of one transaction's records under the prefix.
-    TidLocPrefix(Tid, Path),
+    /// One page of a streaming subtree scan: up to `batch` records in
+    /// key order resuming after `token` (see
+    /// [`crate::ProvStore::scan_loc_prefix`]). The sharded store's
+    /// cursor scatters one page job per overlapping shard to prefetch
+    /// the merge's working set concurrently.
+    Page {
+        /// Which paged scan (plain or tid-scoped subtree).
+        kind: ScanKind,
+        /// Page size.
+        batch: usize,
+        /// Continuation from the previous page of this shard.
+        token: Option<ScanToken>,
+    },
     /// Batched `IN`-list probe on encoded `loc` keys.
     LocKeys(Vec<String>),
     /// Batched insert of this shard's group of a multi-shard batch.
     InsertBatch(Vec<ProvRecord>),
 }
 
+/// What one per-shard statement returns: its records plus, for page
+/// jobs, the continuation to the shard's next page.
+pub(crate) type ShardReply = (Vec<ProvRecord>, Option<ScanToken>);
+
 /// Runs a job's statement against one shard's store, without any
 /// latency charging (the caller decides whether latency is simulated
 /// on the coordinator or waited for on a worker).
-pub(crate) fn run_job(store: &SqlStore, job: &ShardJob) -> Result<Vec<ProvRecord>> {
+pub(crate) fn run_job(store: &SqlStore, job: &ShardJob) -> Result<ShardReply> {
     match job {
-        ShardJob::All => store.all(),
-        ShardJob::ByTid(tid) => store.by_tid(*tid),
-        ShardJob::LocPrefix(prefix) => store.by_loc_prefix(prefix),
-        ShardJob::TidLocPrefix(tid, prefix) => store.by_tid_loc_prefix(*tid, prefix),
-        ShardJob::LocKeys(keys) => store.by_loc_keys(keys),
-        ShardJob::InsertBatch(records) => store.insert_batch(records).map(|()| Vec::new()),
+        ShardJob::All => store.all().map(|r| (r, None)),
+        ShardJob::ByTid(tid) => store.by_tid(*tid).map(|r| (r, None)),
+        ShardJob::Page { kind, batch, token } => store.scan_page(kind, *batch, token.as_ref()),
+        ShardJob::LocKeys(keys) => store.by_loc_keys(keys).map(|r| (r, None)),
+        ShardJob::InsertBatch(records) => store.insert_batch(records).map(|()| (Vec::new(), None)),
     }
 }
 
-type Reply = Result<Vec<ProvRecord>>;
+type Reply = Result<ShardReply>;
 type Job = (ShardJob, Sender<Reply>);
 
 struct Worker {

@@ -123,6 +123,25 @@ struct Shared {
 
 /// An asynchronous group-commit front for any [`ProvStore`]. See the
 /// module docs for the full contract.
+///
+/// ```
+/// use cpdb_core::{MemStore, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, Tid};
+/// use std::sync::Arc;
+///
+/// let inner = Arc::new(MemStore::new());
+/// let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(16));
+/// for i in 0..100u64 {
+///     let loc = format!("T/c{}/n{i}", i % 4).parse().unwrap();
+///     pipe.insert(&ProvRecord::insert(Tid(i), loc)).unwrap();
+/// }
+/// pipe.flush().unwrap();
+/// // 100 per-op inserts became ceil(100 / 16) = 7 batched statements.
+/// assert_eq!(inner.write_trips(), 7);
+/// // Reads flush first, so the pipelined front answers like a
+/// // synchronous store — here through a streaming cursor.
+/// let cursor = pipe.scan_loc_prefix(&"T/c2".parse().unwrap(), 8).unwrap();
+/// assert_eq!(cursor.drain().unwrap().len(), 25);
+/// ```
 pub struct PipelinedStore {
     inner: Arc<dyn ProvStore>,
     shared: Arc<Shared>,
@@ -389,6 +408,27 @@ impl ProvStore for PipelinedStore {
         self.read_through(|s| s.by_tid_loc_prefix(tid, prefix))
     }
 
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<crate::RecordCursor<'_>> {
+        // Like every read, a cursor flushes first so it observes all
+        // records enqueued before its creation (read-your-writes at
+        // the snapshot point). Records enqueued *while* the cursor is
+        // open may surface in later pages once a subsequent read
+        // flushes them — paged reads are read-committed, not a frozen
+        // snapshot.
+        self.flush()?;
+        self.inner.scan_loc_prefix(prefix, batch)
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<crate::RecordCursor<'_>> {
+        self.flush()?;
+        self.inner.scan_tid_loc_prefix(tid, prefix, batch)
+    }
+
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
         self.read_through(|s| s.by_loc_chain(loc, min_depth))
     }
@@ -492,6 +532,34 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(inner.len(), 1, "epoch tick must commit without a flush");
+    }
+
+    /// A streaming cursor is a read: it must flush the queue before
+    /// its first page so it observes every record enqueued before its
+    /// creation, and draining it must equal the materializing probe.
+    #[test]
+    fn scan_cursor_flushes_the_queue_first() {
+        let inner = Arc::new(MemStore::new());
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(64));
+        let rs = records(10);
+        pipe.insert_batch(&rs).unwrap();
+        // Well below batch size: only the cursor's implicit flush can
+        // make these visible.
+        let root: Path = "T".parse().unwrap();
+        let mut cur = pipe.scan_loc_prefix(&root, 3).unwrap();
+        assert_eq!(inner.len(), 10, "creating the cursor drained the queue");
+        let mut got = Vec::new();
+        while let Some(chunk) = cur.next_batch().unwrap() {
+            assert!(chunk.len() <= 3);
+            got.extend(chunk);
+        }
+        assert_eq!(got.len(), 10);
+        let want = pipe.by_loc_prefix(&root).unwrap();
+        assert_eq!(got, want);
+        // The tid-scoped variant flushes too.
+        pipe.insert(&ProvRecord::insert(Tid(3), "T/late".parse().unwrap())).unwrap();
+        let got = pipe.scan_tid_loc_prefix(Tid(3), &root, 2).unwrap().drain().unwrap();
+        assert_eq!(got.len(), 2, "record enqueued before the cursor is visible");
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! all statements counted, one wave, latency paid for real on the
 //! worker threads via [`cpdb_storage::wait_in_flight`].
 //!
+//! Reads — including the streaming cursors of
+//! [`crate::ProvStore::scan_loc_prefix`] — flush the queue before
+//! touching the inner store, so read-your-writes holds at the point a
+//! cursor is created; the executor additionally runs the per-shard
+//! **page jobs** of a sharded cursor's prefetch, so streaming scans
+//! overlap their shard fetches exactly like the materializing
+//! fan-outs.
+//!
 //! [`ProvStore`]: crate::ProvStore
 //! [`ProvStore::insert_batch`]: crate::ProvStore::insert_batch
 

@@ -67,6 +67,15 @@ pub struct QueryEngine {
     /// "stop following the chain of provenance of a piece of data when
     /// it exits T").
     target: Path,
+    /// Page size of the subtree-seeding scan behind `get_mod`
+    /// (`usize::MAX` = materialize the seed in one statement, the
+    /// pre-cursor behavior).
+    scan_batch: usize,
+    /// Abandon seeding once the streamed subtree exceeds this many
+    /// records: the cursor is dropped mid-scan (free — only fetched
+    /// batches were charged) and per-node traces fall back to store
+    /// probes, bounding the query's resident set.
+    seed_limit: usize,
 }
 
 impl QueryEngine {
@@ -77,7 +86,35 @@ impl QueryEngine {
         hierarchical: bool,
         target_db: impl Into<cpdb_tree::Label>,
     ) -> QueryEngine {
-        QueryEngine { store, hierarchical, target: Path::single(target_db.into()) }
+        QueryEngine {
+            store,
+            hierarchical,
+            target: Path::single(target_db.into()),
+            scan_batch: usize::MAX,
+            seed_limit: usize::MAX,
+        }
+    }
+
+    /// Streams the `get_mod` subtree seed in pages of `batch` records
+    /// ([`crate::ProvStore::scan_loc_prefix`]) instead of one
+    /// all-at-once statement. More round trips (`ceil(hits / batch)`),
+    /// but the store ships the subtree incrementally — pair with
+    /// [`QueryEngine::with_seed_limit`] to bound resident memory on
+    /// huge subtrees.
+    pub fn with_scan_batch(mut self, batch: usize) -> QueryEngine {
+        self.scan_batch = batch.max(1);
+        self
+    }
+
+    /// Caps the `get_mod` seed at `limit` records: a subtree whose
+    /// scan exceeds the cap stops streaming early (the cursor is
+    /// dropped mid-scan; unfetched batches are never charged) and the
+    /// per-node traces resolve against the store instead of a
+    /// client-side seed. `get_mod` answers are identical either way —
+    /// only the memory/round-trip trade-off moves.
+    pub fn with_seed_limit(mut self, limit: usize) -> QueryEngine {
+        self.seed_limit = limit;
+        self
     }
 
     /// The underlying store.
@@ -258,11 +295,22 @@ impl QueryEngine {
         if !subtree_nodes.iter().all(|q| q.starts_with(&root)) {
             return Ok(None);
         }
-        // One range scan covers every record anchored inside the
-        // subtree …
+        // One streaming range scan covers every record anchored inside
+        // the subtree (a single statement at the default unbounded
+        // batch). If a seed cap is configured and the subtree outgrows
+        // it, terminate early: dropping the cursor mid-scan is free,
+        // and `get_mod` falls back to per-node store probes.
         let mut under: BTreeMap<String, Vec<ProvRecord>> = BTreeMap::new();
-        for r in self.store.by_loc_prefix(&root)? {
-            under.entry(r.loc.key()).or_default().push(r);
+        let mut seeded = 0usize;
+        let mut cursor = self.store.scan_loc_prefix(&root, self.scan_batch)?;
+        while let Some(batch) = cursor.next_batch()? {
+            seeded += batch.len();
+            if seeded > self.seed_limit {
+                return Ok(None);
+            }
+            for r in batch {
+                under.entry(r.loc.key()).or_default().push(r);
+            }
         }
         // … and for hierarchical stores one chain probe covers the
         // records governing the root from its ancestors.
@@ -464,6 +512,63 @@ mod tests {
             assert_eq!(q.get_hist(&p("T/c3/x"), tnow).unwrap(), vec![Tid(121)], "{strategy}");
             assert_eq!(q.get_src(&p("T/c1/x"), tnow).unwrap(), None, "{strategy}");
         }
+    }
+
+    /// `get_mod` must answer identically whether the subtree seed is
+    /// materialized in one statement (default), streamed in small
+    /// pages, or abandoned early by a seed cap (falling back to
+    /// per-node store probes) — only the memory/round-trip trade-off
+    /// may move.
+    #[test]
+    fn mod_is_invariant_under_seed_streaming_and_early_termination() {
+        for strategy in [Strategy::Naive, Strategy::Hierarchical] {
+            let (q, ws, tnow) = setup(strategy, 1);
+            let store = q.store().clone();
+            let hierarchical = strategy.is_hierarchical();
+            let all = ws.target().root().all_paths(&p("T"));
+            let sub = ws.target().get(&p("T/c2")).unwrap().all_paths(&p("T/c2"));
+            let want_all = q.get_mod(&all, tnow).unwrap();
+            let want_sub = q.get_mod(&sub, tnow).unwrap();
+            // Streamed seeding: tiny pages, same answers, more trips.
+            let streamed = QueryEngine::new(store.clone(), hierarchical, "T").with_scan_batch(2);
+            assert_eq!(streamed.get_mod(&all, tnow).unwrap(), want_all, "{strategy}");
+            assert_eq!(streamed.get_mod(&sub, tnow).unwrap(), want_sub, "{strategy}");
+            // A cap the whole-database subtree exceeds: seeding stops
+            // early (cursor dropped mid-scan) and the traces fall back
+            // to the store — answers unchanged.
+            let capped = QueryEngine::new(store.clone(), hierarchical, "T")
+                .with_scan_batch(2)
+                .with_seed_limit(3);
+            assert_eq!(capped.get_mod(&all, tnow).unwrap(), want_all, "{strategy}");
+            assert_eq!(capped.get_mod(&sub, tnow).unwrap(), want_sub, "{strategy}");
+        }
+    }
+
+    /// The metering teeth of the seed cap: once the streamed seed
+    /// exceeds `seed_limit`, `get_mod` must stop fetching pages — a
+    /// regression that kept paging the whole subtree would cost
+    /// ~`ceil(records / batch)` statements here, an order of magnitude
+    /// above the asserted bound.
+    #[test]
+    fn seed_limit_stops_paging_the_subtree_scan_early() {
+        let store = Arc::new(MemStore::new());
+        store.insert(&ProvRecord::insert(Tid(1), p("T/c2"))).unwrap();
+        for i in 0..100u64 {
+            store.insert(&ProvRecord::insert(Tid(1), p(&format!("T/c2/n{i}")))).unwrap();
+        }
+        let capped =
+            QueryEngine::new(store.clone(), false, "T").with_scan_batch(2).with_seed_limit(3);
+        store.reset_trips();
+        // One queried node over a 101-record subtree: the seed scan
+        // abandons after two pages (2, then 4 > 3 records) and only
+        // the single node's trace goes back to the store.
+        let mods = capped.get_mod(&[p("T/c2")], Tid(9)).unwrap();
+        assert_eq!(mods.into_iter().collect::<Vec<_>>(), vec![Tid(1)]);
+        let trips = store.read_trips();
+        assert!(
+            (2..=6).contains(&trips),
+            "seeding must stop at the cap, not page the subtree: {trips} trips"
+        );
     }
 
     #[test]

@@ -36,6 +36,25 @@
 //! overlapping shard — each returns exactly its subrange, and
 //! concatenation in shard order is global key order.
 //!
+//! ## Streaming scans
+//!
+//! [`ProvStore::scan_loc_prefix`] / [`ProvStore::scan_tid_loc_prefix`]
+//! return a lazy cursor instead of a materialized `Vec`: per-shard
+//! **paged** scans (keyset pagination, see
+//! `cpdb_storage::TableHandle::range_page`) merged in key order.
+//! Because shard order *is* key-range order and shard ranges are
+//! disjoint, the k-way merge degenerates to serving each shard's pages
+//! in shard order. The first batch fetch **prefetches one page from
+//! every overlapping shard** — one statement per shard, one wave,
+//! scattered to the worker pool when the parallel executor is attached
+//! — and later pages are fetched per shard on demand, so the cursor
+//! never buffers more than `batch × shards` records
+//! ([`RecordCursor::buffered`]) and a drain costs
+//! `max(1, ceil(hits_i / batch))` statements on each shard `i`. The
+//! materializing `by_*` probes are thin wrappers over these cursors
+//! with an unbounded batch, which collapses to exactly the old
+//! one-statement-per-shard fan-out.
+//!
 //! ## Round-trip model
 //!
 //! Every per-shard statement is a real statement: `read_trips` /
@@ -73,7 +92,7 @@
 use crate::error::{CoreError, Result};
 use crate::pipeline::executor::{run_job, ShardExecutor, ShardJob};
 use crate::record::{ProvRecord, Tid};
-use crate::store::{chain_keys, ProvStore, SqlStore};
+use crate::store::{chain_keys, ProvStore, RecordCursor, ScanKind, ScanToken, SqlStore};
 use cpdb_storage::{Engine, Meter};
 use cpdb_tree::Path;
 use std::collections::BTreeMap;
@@ -284,21 +303,38 @@ impl ShardedStore {
         }
     }
 
-    /// Runs a prefix-routed probe: the per-shard statement on every
-    /// shard overlapping the prefix range, merged in key order. With a
-    /// parallel executor attached, a multi-shard probe scatters to the
-    /// worker pool; a single-shard probe always stays inline.
-    fn probe_prefix_shards(&self, prefix: &Path, job: ShardJob) -> Result<Vec<ProvRecord>> {
-        let (lo, hi) = prefix.prefix_range_bounds();
-        let (first, last) = self.shards_for(&lo, &hi);
-        self.run_on_shards((first..=last).map(|i| (i, job.clone())), &self.reads)
+    /// Fans a statement out to every shard, merging in key order.
+    fn fan_out(&self, job: ShardJob) -> Result<Vec<ProvRecord>> {
+        self.run_on_shards((0..self.shards.len()).map(|i| (i, job.clone())), &self.reads)
     }
 
-    /// Fans a statement out to every shard, merging in key order — the
-    /// root-prefix special case of [`ShardedStore::probe_prefix_shards`]
-    /// (the empty path's range is unbounded, so it covers every shard).
-    fn fan_out(&self, job: ShardJob) -> Result<Vec<ProvRecord>> {
-        self.probe_prefix_shards(&Path::epsilon(), job)
+    /// The contiguous run of shards a prefix probe overlaps.
+    fn shards_overlapping(&self, prefix: &Path) -> std::ops::RangeInclusive<usize> {
+        let (lo, hi) = prefix.prefix_range_bounds();
+        let (first, last) = self.shards_for(&lo, &hi);
+        first..=last
+    }
+
+    /// Builds the streaming cursor for a subtree scan: per-shard paged
+    /// scans merged lazily in key order. Shard ranges are disjoint and
+    /// shard order *is* key-range order, so the k-way merge is a
+    /// shard-order concatenation of per-shard pages. The first
+    /// `next_batch` prefetches one page from **every** overlapping
+    /// shard — concurrently on the worker pool when the parallel
+    /// executor is attached — and later pages are fetched per shard on
+    /// demand, so the cursor never holds more than `batch × shards`
+    /// records.
+    fn scan_cursor(&self, kind: ScanKind, prefix: &Path, batch: usize) -> RecordCursor<'_> {
+        let shards: Vec<(usize, ShardScanState)> =
+            self.shards_overlapping(prefix).map(|i| (i, ShardScanState::Pending(None))).collect();
+        RecordCursor::from_source(ShardScanSource {
+            store: self,
+            kind,
+            batch: batch.max(1),
+            shards,
+            cur: 0,
+            started: false,
+        })
     }
 
     /// Issues one job per listed shard — concurrently on the worker
@@ -330,16 +366,130 @@ impl ShardedStore {
                 // the in-flight latency for real, concurrently.
                 meter.tally(jobs.len() as u64);
                 let replies = exec.scatter(jobs);
-                let chunks = replies.into_iter().collect::<Result<Vec<_>>>()?;
+                let chunks = replies
+                    .into_iter()
+                    .map(|r| r.map(|(records, _)| records))
+                    .collect::<Result<Vec<_>>>()?;
                 return Ok(sort_merge(chunks));
             }
         }
         self.charge(meter, jobs.len() as u64);
         let chunks = jobs
             .iter()
-            .map(|(i, job)| run_job(&self.shards[*i].store, job))
+            .map(|(i, job)| run_job(&self.shards[*i].store, job).map(|(records, _)| records))
             .collect::<Result<Vec<_>>>()?;
         Ok(sort_merge(chunks))
+    }
+}
+
+/// Per-shard progress of a streaming sharded scan.
+enum ShardScanState {
+    /// Next page to fetch (`None` = the shard's first page).
+    Pending(Option<ScanToken>),
+    /// A prefetched page waiting to be handed out.
+    Ready { rows: Vec<ProvRecord>, next: Option<ScanToken> },
+    /// The shard's range is exhausted.
+    Finished,
+}
+
+/// The [`RecordCursor`] source behind [`ShardedStore`]'s streaming
+/// scans — see [`ShardedStore::scan_cursor`] for the merge and
+/// prefetch strategy and the module docs for the accounting.
+struct ShardScanSource<'a> {
+    store: &'a ShardedStore,
+    kind: ScanKind,
+    batch: usize,
+    /// Overlapping shards in ascending (= key-range) order.
+    shards: Vec<(usize, ShardScanState)>,
+    /// Position in `shards` currently being served.
+    cur: usize,
+    started: bool,
+}
+
+impl ShardScanSource<'_> {
+    /// Fetches the first page of every overlapping shard — one
+    /// statement per shard, issued concurrently (one wave; on the
+    /// worker pool when a parallel executor is attached).
+    fn prefetch(&mut self) -> Result<()> {
+        let k = self.shards.len() as u64;
+        if self.shards.len() > 1 {
+            if let Some(exec) = &self.store.executor {
+                self.store.reads.tally(k);
+                let jobs = self.shards.iter().map(|(i, _)| {
+                    (*i, ShardJob::Page { kind: self.kind.clone(), batch: self.batch, token: None })
+                });
+                let replies = exec.scatter(jobs.collect::<Vec<_>>());
+                for ((_, state), reply) in self.shards.iter_mut().zip(replies) {
+                    let (rows, next) = reply?;
+                    *state = ShardScanState::Ready { rows, next };
+                }
+                return Ok(());
+            }
+        }
+        self.store.charge(&self.store.reads, k);
+        for (i, state) in &mut self.shards {
+            let (rows, next) =
+                self.store.shards[*i].store.scan_page(&self.kind, self.batch, None)?;
+            *state = ShardScanState::Ready { rows, next };
+        }
+        Ok(())
+    }
+}
+
+impl crate::store::RecordSource for ShardScanSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
+        if !self.started {
+            self.started = true;
+            self.prefetch()?;
+        }
+        loop {
+            let Some((shard, state)) = self.shards.get_mut(self.cur) else {
+                return Ok(None);
+            };
+            match std::mem::replace(state, ShardScanState::Finished) {
+                ShardScanState::Ready { rows, next } => {
+                    if let Some(t) = next {
+                        *state = ShardScanState::Pending(Some(t));
+                    }
+                    if rows.is_empty() {
+                        self.cur += 1;
+                        continue;
+                    }
+                    return Ok(Some(rows));
+                }
+                ShardScanState::Pending(token) => {
+                    // On-demand continuation: one statement on the one
+                    // shard being served.
+                    self.store.reads.round_trip();
+                    let (rows, next) = self.store.shards[*shard].store.scan_page(
+                        &self.kind,
+                        self.batch,
+                        token.as_ref(),
+                    )?;
+                    if let Some(t) = next {
+                        *state = ShardScanState::Pending(Some(t));
+                    }
+                    if rows.is_empty() {
+                        self.cur += 1;
+                        continue;
+                    }
+                    return Ok(Some(rows));
+                }
+                ShardScanState::Finished => {
+                    self.cur += 1;
+                }
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(_, s)| match s {
+                ShardScanState::Ready { rows, .. } => rows.len(),
+                _ => 0,
+            })
+            .sum()
     }
 }
 
@@ -416,11 +566,28 @@ impl ProvStore for ShardedStore {
     }
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.probe_prefix_shards(prefix, ShardJob::LocPrefix(prefix.clone()))
+        // Thin wrapper over the cursor: with an unbounded batch the
+        // prefetch is exactly the old per-shard statement fan-out (one
+        // statement per overlapping shard, one wave, merged in key
+        // order) and nothing is left to continue.
+        self.scan_loc_prefix(prefix, usize::MAX)?.drain()
     }
 
     fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.probe_prefix_shards(prefix, ShardJob::TidLocPrefix(tid, prefix.clone()))
+        self.scan_tid_loc_prefix(tid, prefix, usize::MAX)?.drain()
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        Ok(self.scan_cursor(ScanKind::Loc(prefix.clone()), prefix, batch))
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        Ok(self.scan_cursor(ScanKind::TidLoc(tid, prefix.clone()), prefix, batch))
     }
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
@@ -763,6 +930,92 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_micros(400));
         assert_eq!(store.read_trips(), 8);
         assert_eq!(store.read_waves(), 1);
+    }
+
+    /// The streaming merge: a straddling scan prefetches one page per
+    /// overlapping shard (one concurrent wave), serves pages in global
+    /// key order, never buffers more than `batch × shards` records,
+    /// and pays `max(1, ceil(hits_i / batch))` statements per shard.
+    #[test]
+    fn sharded_cursor_streams_in_key_order_with_bounded_buffering() {
+        for parallel in [false, true] {
+            let (store, mut records) = seeded(4, true);
+            let store = if parallel { store.with_parallel_executor() } else { store };
+            records.sort_by(|a, b| a.loc.cmp(&b.loc));
+            let want: Vec<Path> = records.iter().map(|r| r.loc.clone()).collect();
+            let batch = 3usize;
+            store.reset_trips();
+            let mut cur = store.scan_loc_prefix(&p("T"), batch).unwrap();
+            let mut got = Vec::new();
+            let mut peak = 0usize;
+            while let Some(chunk) = cur.next_batch().unwrap() {
+                assert!((1..=batch).contains(&chunk.len()));
+                peak = peak.max(cur.buffered() + chunk.len());
+                got.extend(chunk.into_iter().map(|r| r.loc));
+            }
+            assert_eq!(got, want, "parallel={parallel}: global key order");
+            assert!(
+                peak <= batch * store.shard_count(),
+                "parallel={parallel}: peak {peak} residents > batch × shards"
+            );
+            // Trips: the prefetch is one statement per shard in one
+            // wave; continuations are one statement each.
+            let per_shard: u64 = (0..4)
+                .map(|i| {
+                    let h = store.shard(i).len();
+                    h.div_ceil(batch as u64).max(1)
+                })
+                .sum();
+            assert_eq!(store.read_trips(), per_shard);
+            assert_eq!(store.read_waves(), 1 + (per_shard - 4), "prefetch is one wave");
+        }
+    }
+
+    /// Dropping a sharded cursor mid-scan charges only the statements
+    /// actually issued (the prefetch plus fetched continuations) and
+    /// leaves the store fully usable.
+    #[test]
+    fn sharded_cursor_mid_scan_drop_counts_only_fetched_pages() {
+        let (store, _) = seeded(4, true);
+        let store = store.with_parallel_executor();
+        store.reset_trips();
+        let mut cur = store.scan_loc_prefix(&p("T"), 2).unwrap();
+        cur.next_batch().unwrap().unwrap();
+        drop(cur);
+        assert_eq!(store.read_trips(), 4, "only the 4-shard prefetch was issued");
+        assert_eq!(store.read_waves(), 1);
+        // No leaked in-flight state: the pool still serves fan-outs
+        // and fresh cursors.
+        assert_eq!(store.by_tid(Tid(5)).unwrap().len(), 2);
+        let all = store.scan_loc_prefix(&Path::epsilon(), usize::MAX).unwrap().drain().unwrap();
+        assert_eq!(all.len() as u64, store.len());
+    }
+
+    /// An empty subtree probed through the cursor still pays one
+    /// statement on the single shard that owns the range — emptiness
+    /// is a discovery (see the meter's round-trip rules).
+    #[test]
+    fn sharded_empty_range_cursor_costs_one_statement() {
+        let (store, _) = seeded(4, true);
+        store.reset_trips();
+        let mut cur = store.scan_loc_prefix(&p("T/c3/none/below"), 8).unwrap();
+        assert!(cur.next_batch().unwrap().is_none());
+        assert_eq!(store.read_trips(), 1);
+        assert!(cur.next_batch().unwrap().is_none());
+        assert_eq!(store.read_trips(), 1);
+    }
+
+    /// The tid-scoped streaming scan routes and merges like the plain
+    /// one and agrees with its materializing wrapper.
+    #[test]
+    fn sharded_tid_cursor_matches_vec_probe() {
+        let (store, _) = seeded(4, true);
+        for prefix in ["T", "T/c3", ""] {
+            let prefix: Path = prefix.parse().unwrap();
+            let want = store.by_tid_loc_prefix(Tid(3), &prefix).unwrap();
+            let got = store.scan_tid_loc_prefix(Tid(3), &prefix, 1).unwrap().drain().unwrap();
+            assert_eq!(got, want, "prefix {prefix}");
+        }
     }
 
     #[test]

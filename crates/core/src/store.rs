@@ -74,8 +74,69 @@ pub trait ProvStore: Send + Sync {
 
     /// Records whose `loc` lies in the subtree under `prefix`,
     /// including `prefix` itself (one read round trip — a single index
-    /// range scan on an indexed store).
+    /// range scan on an indexed store). A thin wrapper over
+    /// [`ProvStore::scan_loc_prefix`] with an unbounded batch size on
+    /// every store this crate ships.
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Streams the records of [`ProvStore::by_loc_prefix`] in
+    /// encoded-key order ([`Path::key`]) as batches of at most `batch`
+    /// records, without ever materializing the full hit set on the
+    /// client — the read path for `getMod` over huge subtrees.
+    ///
+    /// Cost model (see `cpdb_storage::Meter`): every **fetched batch**
+    /// is one read round trip per probed shard; a continuation is a
+    /// fresh statement, so draining `n` records costs
+    /// `max(1, ceil(n / batch))` round trips on an unsharded store.
+    /// An **empty** subtree still costs exactly **one** round trip —
+    /// emptiness is a discovery, the probe must reach the server
+    /// (contrast [`ProvStore::insert_batch`], whose empty batch is
+    /// elided client-side for free). A cursor dropped mid-scan is
+    /// charged only for the batches it fetched and leaks no in-flight
+    /// state.
+    ///
+    /// The default implementation materializes the hit set in one
+    /// statement and serves client-side chunks; [`SqlStore`],
+    /// [`MemStore`], `ShardedStore`, and `PipelinedStore` stream
+    /// natively.
+    ///
+    /// ```
+    /// use cpdb_core::{MemStore, ProvRecord, ProvStore, Tid};
+    ///
+    /// let store = MemStore::new();
+    /// for i in 0..5u64 {
+    ///     let loc = format!("T/c1/n{i}").parse().unwrap();
+    ///     store.insert(&ProvRecord::insert(Tid(i), loc)).unwrap();
+    /// }
+    /// let mut cursor = store.scan_loc_prefix(&"T/c1".parse().unwrap(), 2).unwrap();
+    /// let mut seen = 0;
+    /// while let Some(batch) = cursor.next_batch().unwrap() {
+    ///     assert!(batch.len() <= 2);
+    ///     seen += batch.len();
+    /// }
+    /// assert_eq!(seen, 5);
+    /// assert_eq!(store.read_trips(), 3, "ceil(5 / 2) fetches");
+    /// ```
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        let mut hits = self.by_loc_prefix(prefix)?;
+        hits.sort_by(|a, b| a.loc.cmp(&b.loc));
+        Ok(RecordCursor::materialized(hits, batch))
+    }
+
+    /// Streaming variant of [`ProvStore::by_tid_loc_prefix`]: one
+    /// transaction's records under `prefix`, in encoded-key order, in
+    /// batches of at most `batch`. Same cost model and drop semantics
+    /// as [`ProvStore::scan_loc_prefix`].
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        let mut hits = self.by_tid_loc_prefix(tid, prefix)?;
+        hits.sort_by(|a, b| a.loc.cmp(&b.loc));
+        Ok(RecordCursor::materialized(hits, batch))
+    }
 
     /// Records of one transaction whose `loc` lies in the subtree
     /// under `prefix` (one read round trip — a single range scan over
@@ -132,6 +193,212 @@ pub(crate) fn chain_keys(loc: &Path, min_depth: usize) -> Vec<String> {
     let mut keys = vec![loc.key()];
     keys.extend(loc.ancestors().filter(|a| a.len() >= min_depth).map(|a| a.key()));
     keys
+}
+
+/// A streaming cursor over provenance records, handed out by
+/// [`ProvStore::scan_loc_prefix`] / [`ProvStore::scan_tid_loc_prefix`].
+///
+/// Batches arrive in encoded-key order ([`Path::key`], i.e. path
+/// order); each fetched batch is metered as described on the trait
+/// methods. Dropping the cursor mid-scan is free and safe: the
+/// continuation lives in the cursor (keyset pagination), so no
+/// server-side state is leaked and unfetched batches are never
+/// charged.
+pub struct RecordCursor<'a> {
+    source: Box<dyn RecordSource + Send + 'a>,
+}
+
+/// What a store must provide to back a [`RecordCursor`].
+pub(crate) trait RecordSource {
+    /// Fetches the next batch: `Ok(Some(records))` with at least one
+    /// record, or `Ok(None)` once the scan is exhausted.
+    fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>>;
+
+    /// Records currently buffered inside the cursor (prefetched but
+    /// not yet handed out) — the cursor's resident footprint.
+    fn buffered(&self) -> usize {
+        0
+    }
+}
+
+impl<'a> RecordCursor<'a> {
+    pub(crate) fn from_source(source: impl RecordSource + Send + 'a) -> RecordCursor<'a> {
+        RecordCursor { source: Box::new(source) }
+    }
+
+    /// A cursor serving client-side chunks of an already-fetched hit
+    /// set (`records` must be in key order) — the fallback for stores
+    /// without native paging. Chunking costs no further round trips:
+    /// the rows were all shipped by the statement that produced them.
+    pub(crate) fn materialized(records: Vec<ProvRecord>, batch: usize) -> RecordCursor<'a> {
+        RecordCursor::from_source(MaterializedSource { records, pos: 0, batch: batch.max(1) })
+    }
+
+    /// Fetches the next batch of at most the cursor's batch size, in
+    /// key order; `Ok(None)` once the scan is exhausted (calls after
+    /// that are free no-ops).
+    pub fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
+        self.source.next_batch()
+    }
+
+    /// Number of records currently buffered inside the cursor. A
+    /// sharded scan prefetches one batch per probed shard, so this
+    /// never exceeds `batch × shards` — the bound the `scan_streaming`
+    /// bench asserts.
+    pub fn buffered(&self) -> usize {
+        self.source.buffered()
+    }
+
+    /// Runs the cursor to exhaustion and returns everything it
+    /// yielded. `drain` of a fresh cursor with an unbounded batch size
+    /// is exactly the materializing `by_*` call it backs.
+    pub fn drain(mut self) -> Result<Vec<ProvRecord>> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            out.extend(batch);
+        }
+        Ok(out)
+    }
+}
+
+struct MaterializedSource {
+    records: Vec<ProvRecord>,
+    pos: usize,
+    batch: usize,
+}
+
+impl RecordSource for MaterializedSource {
+    fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
+        if self.pos >= self.records.len() {
+            return Ok(None);
+        }
+        let end = self.pos.saturating_add(self.batch).min(self.records.len());
+        let chunk = self.records[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(chunk))
+    }
+
+    fn buffered(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+/// Continuation of a paged provenance scan: the encoded `loc` key last
+/// served and how many records of that key were already returned.
+/// Tokens are plain data (no borrowed state), so a sharded scan can
+/// ship them to per-shard executor workers.
+#[derive(Clone, Debug)]
+pub struct ScanToken {
+    pub(crate) key: String,
+    pub(crate) skip: usize,
+}
+
+/// Which paged scan a continuation belongs to.
+#[derive(Clone, Debug)]
+pub enum ScanKind {
+    /// Subtree scan under a prefix (the `loc` index).
+    Loc(Path),
+    /// One transaction's subtree scan (the `(tid, loc)` index).
+    TidLoc(Tid, Path),
+}
+
+/// A [`RecordSource`] driving a stateless page-fetch function — the
+/// shared shape of the native `SqlStore` and `MemStore` cursors.
+struct PagedSource<F> {
+    fetch: F,
+    batch: usize,
+    state: PageState,
+}
+
+enum PageState {
+    Start,
+    Mid(ScanToken),
+    Done,
+}
+
+impl<F> RecordSource for PagedSource<F>
+where
+    F: FnMut(usize, Option<&ScanToken>) -> Result<(Vec<ProvRecord>, Option<ScanToken>)> + Send,
+{
+    fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
+        let token = match std::mem::replace(&mut self.state, PageState::Done) {
+            PageState::Start => None,
+            PageState::Mid(t) => Some(t),
+            PageState::Done => return Ok(None),
+        };
+        let (records, next) = (self.fetch)(self.batch, token.as_ref())?;
+        if let Some(t) = next {
+            self.state = PageState::Mid(t);
+        }
+        Ok(if records.is_empty() { None } else { Some(records) })
+    }
+}
+
+/// Takes one page from an iterator of `(encoded key, record ids)`
+/// pairs already positioned at the resume key, honoring the token's
+/// skip count. Returns the ids plus the continuation (`None` =
+/// exhausted; the walk peeks one key ahead so exact-multiple hit
+/// counts pay no trailing empty page).
+fn page_over<'m>(
+    it: impl Iterator<Item = (&'m str, &'m Vec<usize>)>,
+    token: Option<&ScanToken>,
+    batch: usize,
+) -> (Vec<usize>, Option<ScanToken>) {
+    let batch = batch.max(1);
+    let mut out = Vec::new();
+    let mut it = it.peekable();
+    let mut first = true;
+    while let Some((key, ids)) = it.next() {
+        let already = match token {
+            Some(t) if first && t.key == key => t.skip.min(ids.len()),
+            _ => 0,
+        };
+        first = false;
+        let avail = &ids[already..];
+        let room = batch - out.len();
+        if avail.len() <= room {
+            out.extend_from_slice(avail);
+            if out.len() == batch {
+                let next =
+                    it.peek().is_some().then(|| ScanToken { key: key.to_owned(), skip: ids.len() });
+                return (out, next);
+            }
+        } else {
+            out.extend_from_slice(&avail[..room]);
+            return (out, Some(ScanToken { key: key.to_owned(), skip: already + room }));
+        }
+    }
+    (out, None)
+}
+
+/// Takes one page out of a fully sorted hit set (the unindexed
+/// store's worst case: every page statement re-reads the heap, pays
+/// one round trip, and slices out its window by token position).
+fn page_from_sorted(
+    hits: Vec<(String, ProvRecord)>,
+    batch: usize,
+    token: Option<&ScanToken>,
+) -> (Vec<ProvRecord>, Option<ScanToken>) {
+    let batch = batch.max(1);
+    let start = match token {
+        Some(t) => {
+            let below = hits.partition_point(|(k, _)| k < &t.key);
+            let eq = hits[below..].iter().take_while(|(k, _)| *k == t.key).count();
+            below + t.skip.min(eq)
+        }
+        None => 0,
+    };
+    let end = start.saturating_add(batch).min(hits.len());
+    if start >= end {
+        return (Vec::new(), None);
+    }
+    let next = (end < hits.len()).then(|| {
+        let key = hits[end - 1].0.clone();
+        let skip = end - hits[..end].partition_point(|(k, _)| *k < key);
+        ScanToken { key, skip }
+    });
+    let page = hits[start..end].iter().map(|(_, r)| r.clone()).collect();
+    (page, next)
 }
 
 fn record_to_row(r: &ProvRecord) -> Vec<Datum> {
@@ -273,6 +540,67 @@ impl SqlStore {
     fn rows_to_records(rows: Vec<(cpdb_storage::RowId, Vec<Datum>)>) -> Result<Vec<ProvRecord>> {
         rows.iter().map(|(_, row)| row_to_record(row)).collect()
     }
+
+    /// Fetches one page of a subtree scan: up to `batch` records in
+    /// key order resuming after `token`. **One read round trip per
+    /// call** — including the call that discovers an empty range. On
+    /// an indexed store this is a keyset-paged index range scan; on an
+    /// unindexed store every page statement re-scans the heap (the
+    /// paper's worst case, honestly charged). This is the stateless
+    /// primitive behind [`ProvStore::scan_loc_prefix`] here and the
+    /// per-shard page jobs of `ShardedStore`'s streaming merge.
+    pub(crate) fn scan_page(
+        &self,
+        kind: &ScanKind,
+        batch: usize,
+        token: Option<&ScanToken>,
+    ) -> Result<(Vec<ProvRecord>, Option<ScanToken>)> {
+        self.reads.round_trip();
+        if self.indexed {
+            let (index, lo, hi, key_pos) = match kind {
+                ScanKind::Loc(prefix) => {
+                    let (lo, hi) = loc_bounds(prefix);
+                    (IDX_LOC, lo, hi, 0)
+                }
+                ScanKind::TidLoc(tid, prefix) => {
+                    let (lo, hi) = tid_loc_bounds(*tid, prefix);
+                    (IDX_TID_LOC, lo, hi, 1)
+                }
+            };
+            let rt = token.map(|t| {
+                let mut key = Vec::with_capacity(key_pos + 1);
+                if let ScanKind::TidLoc(tid, _) = kind {
+                    key.push(Datum::U64(tid.0));
+                }
+                key.push(Datum::str(&t.key));
+                cpdb_storage::RangeToken::new(key, t.skip)
+            });
+            let (rows, next) = self.table.range_page(index, lo, hi, batch, rt)?;
+            let next = next.map(|t| ScanToken {
+                key: t.key()[key_pos].as_str().expect("loc index key is a string").to_owned(),
+                skip: t.skip(),
+            });
+            Ok((Self::rows_to_records(rows)?, next))
+        } else {
+            let (prefix, tid) = match kind {
+                ScanKind::Loc(prefix) => (prefix, None),
+                ScanKind::TidLoc(tid, prefix) => (prefix, Some(*tid)),
+            };
+            let (lo, hi) = prefix.prefix_range_bounds();
+            let rows = self.table.select(|row| {
+                tid.is_none_or(|t| row[0] == Datum::U64(t.0))
+                    && row[2].as_str().is_some_and(|k| key_in_bounds(k, &lo, &hi))
+            })?;
+            let mut hits = rows
+                .iter()
+                .map(|(_, row)| {
+                    Ok((row[2].as_str().expect("loc is a string").to_owned(), row_to_record(row)?))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            hits.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(page_from_sorted(hits, batch, token))
+        }
+    }
 }
 
 impl ProvStore for SqlStore {
@@ -335,34 +663,37 @@ impl ProvStore for SqlStore {
     }
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.reads.round_trip();
-        let rows = if self.indexed {
-            // One contiguous range scan over the ordered loc index; the
-            // key encoding guarantees `T/c2`'s range excludes `T/c20`.
-            let (lo, hi) = loc_bounds(prefix);
-            self.table.range_scan(IDX_LOC, lo, hi)?
-        } else {
-            // The paper's worst case: one full scan, filtered
-            // client-side on the encoded key range.
-            let (lo, hi) = prefix.prefix_range_bounds();
-            self.table.select(|row| row[2].as_str().is_some_and(|k| key_in_bounds(k, &lo, &hi)))?
-        };
-        Self::rows_to_records(rows)
+        // Thin wrapper over the cursor: an unbounded batch makes the
+        // whole subtree one page — a single range-scan statement, one
+        // read round trip, exactly as before cursors existed.
+        self.scan_loc_prefix(prefix, usize::MAX)?.drain()
     }
 
     fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.reads.round_trip();
-        let rows = if self.indexed {
-            let (lo, hi) = tid_loc_bounds(tid, prefix);
-            self.table.range_scan(IDX_TID_LOC, lo, hi)?
-        } else {
-            let (lo, hi) = prefix.prefix_range_bounds();
-            self.table.select(|row| {
-                row[0] == Datum::U64(tid.0)
-                    && row[2].as_str().is_some_and(|k| key_in_bounds(k, &lo, &hi))
-            })?
-        };
-        Self::rows_to_records(rows)
+        self.scan_tid_loc_prefix(tid, prefix, usize::MAX)?.drain()
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        let kind = ScanKind::Loc(prefix.clone());
+        Ok(RecordCursor::from_source(PagedSource {
+            fetch: move |b, t: Option<&ScanToken>| self.scan_page(&kind, b, t),
+            batch,
+            state: PageState::Start,
+        }))
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        let kind = ScanKind::TidLoc(tid, prefix.clone());
+        Ok(RecordCursor::from_source(PagedSource {
+            fetch: move |b, t: Option<&ScanToken>| self.scan_page(&kind, b, t),
+            batch,
+            state: PageState::Start,
+        }))
     }
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
@@ -458,6 +789,53 @@ impl MemStore {
         inner.by_key.entry(key.clone()).or_default().push(i);
         inner.by_tid_key.entry((record.tid, key)).or_default().push(i);
     }
+
+    /// One page of a subtree scan over the ordered side tables: a
+    /// `BTreeMap::range` walk opened at the token's resume position.
+    /// One read round trip per call, like every paged fetch.
+    fn scan_page(
+        &self,
+        kind: &ScanKind,
+        batch: usize,
+        token: Option<&ScanToken>,
+    ) -> Result<(Vec<ProvRecord>, Option<ScanToken>)> {
+        self.reads.round_trip();
+        let inner = self.inner.read();
+        let (ids, next) = match kind {
+            ScanKind::Loc(prefix) => {
+                let (lo, hi) = prefix.prefix_range_bounds();
+                let lo = match token {
+                    Some(t) => Bound::Included(t.key.clone()),
+                    None => lo,
+                };
+                page_over(
+                    inner.by_key.range((lo, hi)).map(|(k, ids)| (k.as_str(), ids)),
+                    token,
+                    batch,
+                )
+            }
+            ScanKind::TidLoc(tid, prefix) => {
+                let (lo, hi) = prefix.prefix_range_bounds();
+                let lo = match (token, lo) {
+                    (Some(t), _) => Bound::Included((*tid, t.key.clone())),
+                    (None, Bound::Included(k)) => Bound::Included((*tid, k)),
+                    (None, Bound::Excluded(k)) => Bound::Excluded((*tid, k)),
+                    (None, Bound::Unbounded) => Bound::Included((*tid, String::new())),
+                };
+                let hi = match hi {
+                    Bound::Included(k) => Bound::Included((*tid, k)),
+                    Bound::Excluded(k) => Bound::Excluded((*tid, k)),
+                    Bound::Unbounded => Bound::Excluded((Tid(tid.0 + 1), String::new())),
+                };
+                page_over(
+                    inner.by_tid_key.range((lo, hi)).map(|((_, k), ids)| (k.as_str(), ids)),
+                    token,
+                    batch,
+                )
+            }
+        };
+        Ok((inner.collect(ids), next))
+    }
 }
 
 impl ProvStore for MemStore {
@@ -516,31 +894,36 @@ impl ProvStore for MemStore {
     }
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.reads.round_trip();
-        let inner = self.inner.read();
-        let (lo, hi) = prefix.prefix_range_bounds();
-        let ids: Vec<usize> =
-            inner.by_key.range((lo, hi)).flat_map(|(_, ids)| ids.iter().copied()).collect();
-        Ok(inner.collect(ids))
+        // Thin wrapper over the cursor; an unbounded batch is one
+        // statement, exactly the pre-cursor accounting.
+        self.scan_loc_prefix(prefix, usize::MAX)?.drain()
     }
 
     fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.reads.round_trip();
-        let inner = self.inner.read();
-        let (lo, hi) = prefix.prefix_range_bounds();
-        let lo = match lo {
-            Bound::Included(k) => Bound::Included((tid, k)),
-            Bound::Excluded(k) => Bound::Excluded((tid, k)),
-            Bound::Unbounded => Bound::Included((tid, String::new())),
-        };
-        let hi = match hi {
-            Bound::Included(k) => Bound::Included((tid, k)),
-            Bound::Excluded(k) => Bound::Excluded((tid, k)),
-            Bound::Unbounded => Bound::Excluded((Tid(tid.0 + 1), String::new())),
-        };
-        let ids: Vec<usize> =
-            inner.by_tid_key.range((lo, hi)).flat_map(|(_, ids)| ids.iter().copied()).collect();
-        Ok(inner.collect(ids))
+        self.scan_tid_loc_prefix(tid, prefix, usize::MAX)?.drain()
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        let kind = ScanKind::Loc(prefix.clone());
+        Ok(RecordCursor::from_source(PagedSource {
+            fetch: move |b, t: Option<&ScanToken>| self.scan_page(&kind, b, t),
+            batch,
+            state: PageState::Start,
+        }))
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        let kind = ScanKind::TidLoc(tid, prefix.clone());
+        Ok(RecordCursor::from_source(PagedSource {
+            fetch: move |b, t: Option<&ScanToken>| self.scan_page(&kind, b, t),
+            batch,
+            state: PageState::Start,
+        }))
     }
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
@@ -777,6 +1160,138 @@ mod tests {
             assert_eq!(scoped.len(), 2);
             assert!(scoped.iter().all(|r| r.tid == Tid(124)));
         }
+    }
+
+    /// The streaming contract on every store: drained cursors equal
+    /// their `Vec` counterparts, batches respect the size bound and
+    /// arrive in key order, and the round-trip count is
+    /// `max(1, ceil(hits / batch))`.
+    #[test]
+    fn scan_cursors_match_vec_probes_and_meter_per_fetch() {
+        let mem = MemStore::new();
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let indexed = SqlStore::create(&e1, true).unwrap();
+        let unindexed = SqlStore::create(&e2, false).unwrap();
+        let stores: [&dyn ProvStore; 3] = [&mem, &indexed, &unindexed];
+        // 12 records under T/c2 (several at the same loc so batch
+        // boundaries cut duplicate-key runs), 2 outside.
+        let mut records = Vec::new();
+        for i in 0..12u64 {
+            records.push(ProvRecord::insert(Tid(i), p(&format!("T/c2/n{}", i % 5))));
+        }
+        records.push(ProvRecord::insert(Tid(90), p("T/c20")));
+        records.push(ProvRecord::insert(Tid(91), p("S1/a")));
+        for s in stores {
+            for r in &records {
+                s.insert(r).unwrap();
+            }
+        }
+        for s in stores {
+            let want = s.by_loc_prefix(&p("T/c2")).unwrap();
+            assert_eq!(want.len(), 12);
+            for (batch, want_trips) in [(1usize, 12u64), (5, 3), (6, 2), (12, 1), (usize::MAX, 1)] {
+                s.reset_trips();
+                let mut cur = s.scan_loc_prefix(&p("T/c2"), batch).unwrap();
+                let mut got = Vec::new();
+                while let Some(chunk) = cur.next_batch().unwrap() {
+                    assert!((1..=batch).contains(&chunk.len()));
+                    got.extend(chunk);
+                }
+                assert_eq!(got, want, "batch {batch}");
+                assert!(
+                    got.windows(2).all(|w| w[0].loc.key() <= w[1].loc.key()),
+                    "batches arrive in key order"
+                );
+                assert_eq!(s.read_trips(), want_trips, "batch {batch}");
+                // Calls after exhaustion are free no-ops.
+                assert!(cur.next_batch().unwrap().is_none());
+                assert_eq!(s.read_trips(), want_trips);
+            }
+            // The tid-scoped variant, across a duplicate-loc run.
+            let want = s.by_tid_loc_prefix(Tid(3), &p("T/c2")).unwrap();
+            assert_eq!(want.len(), 1);
+            let got = s.scan_tid_loc_prefix(Tid(3), &p("T/c2"), 1).unwrap().drain().unwrap();
+            assert_eq!(got, want);
+        }
+    }
+
+    /// The read-side boundary rule the meter docs pin down: an empty
+    /// range cursor costs exactly **one** round trip (the probe that
+    /// discovers the range is empty), while an empty `insert_batch`
+    /// stays free — emptiness of a read is a discovery, emptiness of a
+    /// write is client-side knowledge.
+    #[test]
+    fn empty_range_cursor_costs_exactly_one_round_trip() {
+        let mem = MemStore::new();
+        let e1 = Engine::in_memory();
+        let e2 = Engine::in_memory();
+        let indexed = SqlStore::create(&e1, true).unwrap();
+        let unindexed = SqlStore::create(&e2, false).unwrap();
+        let stores: [&dyn ProvStore; 3] = [&mem, &indexed, &unindexed];
+        for s in stores {
+            s.insert(&ProvRecord::insert(Tid(1), p("T/c1"))).unwrap();
+            s.reset_trips();
+            let mut cur = s.scan_loc_prefix(&p("T/nothing/here"), 64).unwrap();
+            assert!(cur.next_batch().unwrap().is_none());
+            assert_eq!(s.read_trips(), 1, "the empty probe is one statement, not zero");
+            assert!(cur.next_batch().unwrap().is_none());
+            assert_eq!(s.read_trips(), 1, "…and re-polling an exhausted cursor is free");
+            let mut cur = s.scan_tid_loc_prefix(Tid(99), &p("T"), 64).unwrap();
+            assert!(cur.next_batch().unwrap().is_none());
+            assert_eq!(s.read_trips(), 2);
+            // The write-side contrast (the rule insert_batch already
+            // keeps): an empty batch issues no statement at all.
+            let w0 = s.write_trips();
+            s.insert_batch(&[]).unwrap();
+            assert_eq!(s.write_trips(), w0);
+        }
+    }
+
+    /// Dropping a cursor mid-scan leaks nothing: only fetched batches
+    /// are metered, and the store stays fully usable afterwards.
+    #[test]
+    fn cursor_dropped_mid_scan_charges_only_fetched_batches() {
+        let mem = MemStore::new();
+        let e1 = Engine::in_memory();
+        let indexed = SqlStore::create(&e1, true).unwrap();
+        let stores: [&dyn ProvStore; 2] = [&mem, &indexed];
+        for s in stores {
+            for i in 0..20u64 {
+                s.insert(&ProvRecord::insert(Tid(i), p(&format!("T/c1/n{i}")))).unwrap();
+            }
+            s.reset_trips();
+            let mut cur = s.scan_loc_prefix(&p("T/c1"), 4).unwrap();
+            assert_eq!(cur.next_batch().unwrap().unwrap().len(), 4);
+            assert_eq!(cur.next_batch().unwrap().unwrap().len(), 4);
+            drop(cur);
+            assert_eq!(s.read_trips(), 2, "unfetched batches are never charged");
+            // No in-flight state leaked: fresh scans and writes work.
+            s.insert(&ProvRecord::insert(Tid(99), p("T/c1/extra"))).unwrap();
+            assert_eq!(s.by_loc_prefix(&p("T/c1")).unwrap().len(), 21);
+        }
+    }
+
+    /// A cursor created before writes sees a consistent paged view:
+    /// keyset resumption never repeats or skips rows that were present
+    /// when their page was fetched.
+    #[test]
+    fn cursor_resumes_by_key_across_interleaved_inserts() {
+        let mem = MemStore::new();
+        for i in 0..6u64 {
+            mem.insert(&ProvRecord::insert(Tid(i), p(&format!("T/c1/n{i}")))).unwrap();
+        }
+        let mut cur = mem.scan_loc_prefix(&p("T/c1"), 3).unwrap();
+        let first = cur.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), 3);
+        // A record inserted *behind* the cursor is not revisited; one
+        // ahead of it is picked up by the next page.
+        mem.insert(&ProvRecord::insert(Tid(50), p("T/c1/n0"))).unwrap();
+        mem.insert(&ProvRecord::insert(Tid(51), p("T/c1/n9"))).unwrap();
+        let rest: Vec<ProvRecord> = cur.drain().unwrap();
+        assert!(rest.iter().all(|r| r.loc.key() > first.last().unwrap().loc.key()));
+        assert!(rest.iter().any(|r| r.tid == Tid(51)), "rows ahead of the cursor appear");
+        assert!(rest.iter().all(|r| r.tid != Tid(50)), "rows behind the cursor do not");
     }
 
     #[test]

@@ -53,6 +53,16 @@ fn sorted(mut v: Vec<ProvRecord>) -> Vec<ProvRecord> {
     v
 }
 
+/// Drains a cursor, asserting every batch respects the size bound.
+fn drain_checked(mut cur: cpdb_core::RecordCursor<'_>, batch: usize) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    while let Some(chunk) = cur.next_batch().unwrap() {
+        assert!((1..=batch).contains(&chunk.len()), "batch bound violated: {}", chunk.len());
+        out.extend(chunk);
+    }
+    out
+}
+
 #[test]
 fn sharded_store_matches_sql_store_on_the_seeded_workload() {
     let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 600, 2006), 600);
@@ -144,6 +154,34 @@ fn sharded_store_matches_sql_store_on_the_seeded_workload() {
             }
         }
 
+        // Streaming cursors: for every prefix and several batch sizes
+        // the drained cursor must equal its materializing counterpart
+        // (`by_loc_prefix` / `by_tid_loc_prefix`), arrive in
+        // non-decreasing key order, and respect the batch bound.
+        for prefix in &prefixes {
+            let want = sorted(oracle.by_loc_prefix(prefix).unwrap());
+            for batch in [1usize, 3, 64, usize::MAX] {
+                let cur = store.scan_loc_prefix(prefix, batch).unwrap();
+                let got = drain_checked(cur, batch);
+                assert_eq!(sorted(got.clone()), want, "{name}: scan_loc_prefix {prefix} b{batch}");
+                assert!(
+                    got.windows(2).all(|w| w[0].loc.key() <= w[1].loc.key()),
+                    "{name}: cursor key order {prefix} b{batch}"
+                );
+            }
+            for tid in [Tid(1), Tid(17), Tid(9999)] {
+                let want = sorted(oracle.by_tid_loc_prefix(tid, prefix).unwrap());
+                for batch in [1usize, 64, usize::MAX] {
+                    let cur = store.scan_tid_loc_prefix(tid, prefix, batch).unwrap();
+                    assert_eq!(
+                        sorted(drain_checked(cur, batch)),
+                        want,
+                        "{name}: scan_tid_loc_prefix {tid:?} {prefix} b{batch}"
+                    );
+                }
+            }
+        }
+
         // Point and chain probes at every 13th record's location.
         for r in records.iter().step_by(13) {
             assert_eq!(
@@ -164,6 +202,63 @@ fn sharded_store_matches_sql_store_on_the_seeded_workload() {
                 );
             }
         }
+    }
+}
+
+/// Mid-scan cursor drops across the deployment fronts: a cursor
+/// abandoned after one batch leaves no in-flight state behind (the
+/// store keeps answering everything correctly, including fresh
+/// cursors), and the meter charges only the batches actually fetched —
+/// the prefetch statements plus any continuations, never the unfetched
+/// remainder. An empty range costs exactly one statement per probed
+/// shard, read-side discovery being the documented asymmetry with the
+/// free empty `insert_batch`.
+#[test]
+fn mid_scan_drop_leaks_nothing_and_meters_only_fetched_batches() {
+    let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 300, 7), 300);
+    let records = records_from(&wl);
+    let containers = containers_of(&records);
+    let root = Path::single(wl.target_name);
+
+    // Serial 4-shard store: the prefetch on a straddling scan is one
+    // statement per shard; after that, dropping must stop all charges.
+    let n4 = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true).unwrap();
+    // Parallel-executor front over the same layout.
+    let par = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    let e = Engine::in_memory();
+    let sql = SqlStore::create(&e, true).unwrap();
+    let stores: [(&str, &dyn ProvStore, u64); 3] =
+        [("sql", &sql, 1), ("sharded-4", &n4, 4), ("sharded-4-parallel", &par, 4)];
+    for (_, store, _) in stores {
+        store.insert_batch(&records).unwrap();
+    }
+    for (name, store, prefetch_statements) in stores {
+        let before = sorted(store.all().unwrap());
+        store.reset_trips();
+        let mut cur = store.scan_loc_prefix(&root, 2).unwrap();
+        assert!(cur.next_batch().unwrap().is_some(), "{name}");
+        let after_first = store.read_trips();
+        assert!(
+            (prefetch_statements..=prefetch_statements + 1).contains(&after_first),
+            "{name}: first batch cost {after_first} statements"
+        );
+        drop(cur);
+        assert_eq!(store.read_trips(), after_first, "{name}: a drop issues no statements");
+        // The store is fully usable afterwards: same contents, working
+        // writes, working fresh cursors.
+        store.insert(&ProvRecord::insert(Tid(4242), root.child("post-drop"))).unwrap();
+        let mut want = before.clone();
+        want.push(ProvRecord::insert(Tid(4242), root.child("post-drop")));
+        assert_eq!(sorted(store.all().unwrap()), sorted(want), "{name}");
+        let redrained = store.scan_loc_prefix(&Path::epsilon(), 64).unwrap().drain().unwrap();
+        assert_eq!(redrained.len() as u64, store.len(), "{name}");
+        // Empty range: exactly one statement (single-shard route).
+        store.reset_trips();
+        let mut empty = store.scan_loc_prefix(&"T/zzz/nope".parse().unwrap(), 8).unwrap();
+        assert!(empty.next_batch().unwrap().is_none(), "{name}");
+        assert_eq!(store.read_trips(), 1, "{name}: empty probe is one statement");
     }
 }
 

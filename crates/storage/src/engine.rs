@@ -349,6 +349,70 @@ impl TableHandle {
         Ok(out)
     }
 
+    /// One **page** of an index range scan: up to `batch` rows in key
+    /// order, resuming after `token` (keyset pagination — see
+    /// [`crate::RangeToken`]). Every page fetch is **one round trip**,
+    /// including the fetch that returns no rows: unlike an empty
+    /// `insert_batch` (which the client can elide because it knows the
+    /// batch is empty), an empty page is a *discovery* — the statement
+    /// must reach the server to learn the range holds nothing more.
+    ///
+    /// The fetch peeks one key ahead, so draining a range of `n` rows
+    /// at page size `B` costs exactly `max(1, ceil(n / B))` round
+    /// trips. Requires an index declared `ordered`.
+    pub fn range_page(
+        &self,
+        index: &str,
+        lo: Bound<Vec<Datum>>,
+        hi: Bound<Vec<Datum>>,
+        batch: usize,
+        token: Option<crate::RangeToken>,
+    ) -> Result<crate::RowPage> {
+        self.meter.round_trip();
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        if !idx.is_ordered() {
+            return Err(StorageError::NotOrdered { index: index.into() });
+        }
+        self.table.range_page(idx, lo, hi, batch, token)
+    }
+
+    /// A stateful paging cursor over [`TableHandle::range_page`]: each
+    /// [`HandleRangeCursor::next_batch`] call is one metered round
+    /// trip, and a cursor dropped mid-scan leaves no server-side state
+    /// behind (the continuation lives in the cursor) and is never
+    /// charged for pages it did not fetch.
+    ///
+    /// Creation itself is client-side: the index is validated (it must
+    /// exist and be `ordered`) without touching the meter.
+    pub fn range_cursor<'a>(
+        &'a self,
+        index: &str,
+        lo: Bound<Vec<Datum>>,
+        hi: Bound<Vec<Datum>>,
+        batch: usize,
+    ) -> Result<HandleRangeCursor<'a>> {
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.name() == index)
+            .ok_or(StorageError::NotFound { what: "index", name: index.into() })?;
+        if !idx.is_ordered() {
+            return Err(StorageError::NotOrdered { index: index.into() });
+        }
+        drop(indexes);
+        Ok(HandleRangeCursor {
+            handle: self,
+            index: index.to_owned(),
+            hi,
+            batch,
+            state: crate::table::KeysetState::Start(lo),
+        })
+    }
+
     /// Range lookup through an index. One round trip. Alias of
     /// [`TableHandle::range_scan`], kept for call-site readability.
     pub fn lookup_range(
@@ -378,6 +442,31 @@ impl TableHandle {
     /// Flushes dirty pages.
     pub fn flush(&self) -> Result<()> {
         self.table.flush()
+    }
+}
+
+/// Paging cursor handed out by [`TableHandle::range_cursor`]. Shares
+/// its state machine (`KeysetState`) with the table-level
+/// [`crate::RangeCursor`]; the only difference is that each page here
+/// is metered and resolves the index by name under the lock.
+pub struct HandleRangeCursor<'a> {
+    handle: &'a TableHandle,
+    index: String,
+    hi: Bound<Vec<Datum>>,
+    batch: usize,
+    state: crate::table::KeysetState,
+}
+
+impl HandleRangeCursor<'_> {
+    /// Fetches the next page (one round trip): `Ok(Some(rows))` with
+    /// 1..=batch rows in key order, `Ok(None)` once exhausted. Calls
+    /// after exhaustion are free — the cursor already knows there is
+    /// nothing left and issues no statement.
+    pub fn next_batch(&mut self) -> Result<Option<crate::PageRows>> {
+        let Some((lo, token)) = self.state.take() else { return Ok(None) };
+        let (rows, next) =
+            self.handle.range_page(&self.index, lo, self.hi.clone(), self.batch, token)?;
+        Ok(self.state.advance(rows, next))
     }
 }
 
@@ -501,6 +590,103 @@ mod tests {
             assert_eq!(t.lookup("by_tid", &[Datum::U64(42)]).unwrap().len(), 1);
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The paging contract: pages arrive in key order, duplicate keys
+    /// split across pages without loss or repetition, a drain costs
+    /// exactly `max(1, ceil(n / batch))` round trips, and an empty
+    /// range costs exactly one (the probe that discovers emptiness) —
+    /// the read-side counterpart of the free empty `insert_batch`.
+    #[test]
+    fn range_pages_are_exact_and_metered_per_fetch() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_loc", &["loc"], false, true).unwrap();
+        // 3 rows per loc over 8 locs = 24 rows; loc keys sort l0..l7.
+        for i in 0..24u64 {
+            t.insert(&row(i, "C", &format!("l{}", i % 8), None)).unwrap();
+        }
+        let all = t
+            .range_scan("by_loc", Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect::<Vec<_>>();
+        assert_eq!(all.len(), 24);
+        for (batch, want_trips) in [(1usize, 24u64), (5, 5), (8, 3), (24, 1), (1000, 1)] {
+            let mut cur =
+                t.range_cursor("by_loc", Bound::Unbounded, Bound::Unbounded, batch).unwrap();
+            engine.meter().reset();
+            let mut got = Vec::new();
+            while let Some(page) = cur.next_batch().unwrap() {
+                assert!(page.len() <= batch);
+                got.extend(page.into_iter().map(|(_, r)| r));
+            }
+            assert_eq!(got, all, "batch {batch}: pages concatenate to the full scan");
+            assert_eq!(engine.meter().count(), want_trips, "batch {batch}");
+            // After exhaustion further calls are free.
+            assert!(cur.next_batch().unwrap().is_none());
+            assert_eq!(engine.meter().count(), want_trips);
+        }
+        // Empty range: one round trip, not zero — the probe itself.
+        let mut cur = t
+            .range_cursor("by_loc", Bound::Included(vec![Datum::str("zzz")]), Bound::Unbounded, 16)
+            .unwrap();
+        engine.meter().reset();
+        assert!(cur.next_batch().unwrap().is_none());
+        assert_eq!(engine.meter().count(), 1, "an empty range cursor costs exactly one trip");
+        assert!(cur.next_batch().unwrap().is_none());
+        assert_eq!(engine.meter().count(), 1);
+        // A mid-scan drop is charged only for pages actually fetched.
+        let mut cur = t.range_cursor("by_loc", Bound::Unbounded, Bound::Unbounded, 5).unwrap();
+        engine.meter().reset();
+        cur.next_batch().unwrap().unwrap();
+        drop(cur);
+        assert_eq!(engine.meter().count(), 1);
+    }
+
+    #[test]
+    fn range_cursor_requires_an_ordered_index_at_creation() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_loc_hash", &["loc"], false, false).unwrap();
+        engine.meter().reset();
+        assert!(matches!(
+            t.range_cursor("by_loc_hash", Bound::Unbounded, Bound::Unbounded, 8),
+            Err(StorageError::NotOrdered { .. })
+        ));
+        assert!(matches!(
+            t.range_cursor("nope", Bound::Unbounded, Bound::Unbounded, 8),
+            Err(StorageError::NotFound { .. })
+        ));
+        assert_eq!(engine.meter().count(), 0, "creation is client-side: no statement issued");
+    }
+
+    #[test]
+    fn range_page_tokens_resume_inside_duplicate_key_runs() {
+        let engine = Engine::in_memory();
+        let t = engine.create_table("prov", schema()).unwrap();
+        t.add_index("by_loc", &["loc"], false, true).unwrap();
+        // One key with 7 rows surrounded by singletons: page size 3
+        // must cut the run twice and never lose or repeat a row.
+        t.insert(&row(0, "C", "a", None)).unwrap();
+        for i in 0..7u64 {
+            t.insert(&row(10 + i, "C", "m", None)).unwrap();
+        }
+        t.insert(&row(99, "C", "z", None)).unwrap();
+        let mut tids = Vec::new();
+        let mut token = None;
+        loop {
+            let (page, next) =
+                t.range_page("by_loc", Bound::Unbounded, Bound::Unbounded, 3, token).unwrap();
+            assert!(page.len() <= 3);
+            tids.extend(page.iter().map(|(_, r)| r[0].as_u64().unwrap()));
+            match next {
+                Some(t2) => token = Some(t2),
+                None => break,
+            }
+        }
+        assert_eq!(tids, vec![0, 10, 11, 12, 13, 14, 15, 16, 99]);
     }
 
     #[test]

@@ -46,10 +46,10 @@ mod table;
 
 pub use backend::{Backend, DiskBackend, FaultyBackend, MemBackend};
 pub use buffer::{BufferPool, PageGuard, PoolStats};
-pub use engine::{Engine, TableHandle};
+pub use engine::{Engine, HandleRangeCursor, TableHandle};
 pub use error::{Result, StorageError};
 pub use index::Index;
 pub use meter::{spin, wait_in_flight, Meter};
 pub use page::{Page, MAX_CELL, PAGE_SIZE};
 pub use row::{decode_row, encode_row, Column, DataType, Datum, Schema};
-pub use table::{RowId, Table};
+pub use table::{PageRows, RangeCursor, RangeToken, RowId, RowPage, Table};

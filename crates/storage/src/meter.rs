@@ -7,6 +7,26 @@
 //! and 12 the harness (a) counts round trips explicitly and (b) can
 //! impose a deterministic per-round-trip latency, configurable per
 //! database, standing in for the network hop.
+//!
+//! ## What counts as a round trip
+//!
+//! The unit is one *statement sent to the server*, whatever it
+//! returns. Two boundary cases are deliberately asymmetric and every
+//! layer above must preserve them:
+//!
+//! * an **empty batched write** (`insert_batch` of zero rows) costs
+//!   **zero** round trips — the client knows the batch is empty and
+//!   elides the statement entirely;
+//! * an **empty range probe** (a paged scan whose range holds nothing,
+//!   see `TableHandle::range_page`) costs **exactly one** round trip —
+//!   emptiness is a *discovery*: the statement must reach the server
+//!   before the client can learn there is nothing to fetch.
+//!
+//! Draining a paged scan of `n` rows at page size `B` therefore costs
+//! `max(1, ceil(n / B))` read round trips (the page fetch peeks one
+//! key ahead, so an exact-multiple hit count pays no trailing empty
+//! page), and a cursor dropped mid-scan is charged only for the pages
+//! it actually fetched.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

@@ -27,6 +27,107 @@ impl fmt::Display for RowId {
     }
 }
 
+/// The rows of one fetched page: `(row id, decoded row)` pairs in
+/// index-key order.
+pub type PageRows = Vec<(RowId, Vec<Datum>)>;
+
+/// One fetched page plus the continuation to the next page (`None`
+/// when the range is exhausted).
+pub type RowPage = (PageRows, Option<RangeToken>);
+
+/// Continuation of a paged index range scan (keyset pagination): the
+/// last index key served and how many of that key's rows have already
+/// been returned. Produced and consumed by [`Table::range_page`] /
+/// `TableHandle::range_page`; opaque to callers, and cheap to ship
+/// across threads (a sharded scan sends tokens to per-shard workers).
+#[derive(Clone, Debug)]
+pub struct RangeToken {
+    key: Vec<Datum>,
+    skip: usize,
+}
+
+impl RangeToken {
+    /// Builds a token resuming after `skip` rows of `key` — only needed
+    /// when translating between key encodings (the provenance store
+    /// stores path-keyed tokens and rebuilds the index-key form).
+    pub fn new(key: Vec<Datum>, skip: usize) -> RangeToken {
+        RangeToken { key, skip }
+    }
+
+    /// The last index key served.
+    pub fn key(&self) -> &[Datum] {
+        &self.key
+    }
+
+    /// Rows of [`RangeToken::key`] already served.
+    pub fn skip(&self) -> usize {
+        self.skip
+    }
+}
+
+/// The shared state machine of every keyset paging cursor: not yet
+/// started (holding the original lower bound), mid-scan (resume after
+/// a token), or exhausted. `Table`'s and `TableHandle`'s cursors both
+/// drive their `range_page` through this, so the transition rules live
+/// in exactly one place.
+pub(crate) enum KeysetState {
+    /// Not yet started; holds the original lower bound.
+    Start(std::ops::Bound<Vec<Datum>>),
+    /// Mid-scan; resume after this token.
+    Mid(RangeToken),
+    Done,
+}
+
+impl KeysetState {
+    /// Takes the `(lo, token)` pair for the next page fetch, leaving
+    /// the state `Done`; `None` once exhausted (no fetch, no charge).
+    pub(crate) fn take(&mut self) -> Option<(std::ops::Bound<Vec<Datum>>, Option<RangeToken>)> {
+        match std::mem::replace(self, KeysetState::Done) {
+            KeysetState::Start(lo) => Some((lo, None)),
+            KeysetState::Mid(t) => Some((std::ops::Bound::Unbounded, Some(t))),
+            KeysetState::Done => None,
+        }
+    }
+
+    /// Applies a page's continuation, and maps the fetched page to the
+    /// cursor contract: `Some(rows)` while rows arrive, `None` on the
+    /// (empty) page that discovers exhaustion.
+    pub(crate) fn advance(&mut self, rows: PageRows, next: Option<RangeToken>) -> Option<PageRows> {
+        if let Some(t) = next {
+            *self = KeysetState::Mid(t);
+        }
+        if rows.is_empty() {
+            None
+        } else {
+            Some(rows)
+        }
+    }
+}
+
+/// A stateful cursor over [`Table::range_page`]. Created by
+/// [`Table::range_cursor`]; yields pages of at most `batch` rows in key
+/// order until the range is exhausted.
+pub struct RangeCursor<'a> {
+    table: &'a Table,
+    index: &'a crate::index::Index,
+    hi: std::ops::Bound<Vec<Datum>>,
+    batch: usize,
+    state: KeysetState,
+}
+
+impl RangeCursor<'_> {
+    /// Fetches the next page: `Ok(Some(rows))` with 1..=batch rows in
+    /// key order, or `Ok(None)` once the range is exhausted. Dropping
+    /// the cursor mid-scan leaks nothing — all scan state lives in the
+    /// cursor itself.
+    pub fn next_batch(&mut self) -> Result<Option<PageRows>> {
+        let Some((lo, token)) = self.state.take() else { return Ok(None) };
+        let (rows, next) =
+            self.table.range_page(self.index, lo, self.hi.clone(), self.batch, token)?;
+        Ok(self.state.advance(rows, next))
+    }
+}
+
 /// A heap table over a dedicated backend (one backend per table, in the
 /// spirit of MySQL-4.1-era per-table files).
 pub struct Table {
@@ -278,6 +379,82 @@ impl Table {
         Ok(())
     }
 
+    /// Fetches one **page** of an index range scan: up to `batch` rows
+    /// whose keys fall in `[lo, hi]`, in key order, resuming after
+    /// `token` (the continuation returned by the previous page). This
+    /// is keyset pagination — the token names the last key served and
+    /// how many of its rows were already returned, so a page fetch
+    /// never re-reads earlier rows and duplicate keys split across
+    /// pages without loss.
+    ///
+    /// Returns the page plus the next continuation; `None` means the
+    /// range is exhausted (the fetch peeks one key ahead, so a scan
+    /// whose hit count is an exact multiple of `batch` does not pay an
+    /// extra empty page). `batch` is clamped to at least 1.
+    pub fn range_page(
+        &self,
+        index: &crate::index::Index,
+        lo: std::ops::Bound<Vec<Datum>>,
+        hi: std::ops::Bound<Vec<Datum>>,
+        batch: usize,
+        token: Option<RangeToken>,
+    ) -> Result<RowPage> {
+        let batch = batch.max(1);
+        // Resume strictly after the token: re-enter the range at the
+        // token's key and skip the rows of it already served.
+        let (lo, token_key, mut skip) = match token {
+            Some(t) => (std::ops::Bound::Included(t.key.clone()), Some(t.key), t.skip),
+            None => (lo, None, 0),
+        };
+        let mut out = Vec::new();
+        let mut it = index.range(lo, hi).peekable();
+        let mut first = true;
+        while let Some((key, rids)) = it.next() {
+            // The skip applies only to the token's own key; if that key
+            // vanished (rows deleted mid-scan) the range simply resumes
+            // at the next key.
+            let already =
+                if first && token_key.as_ref() == Some(key) { skip.min(rids.len()) } else { 0 };
+            first = false;
+            skip = 0;
+            let avail = &rids[already..];
+            let room = batch - out.len();
+            if avail.len() <= room {
+                for &rid in avail {
+                    out.push((rid, self.get(rid)?));
+                }
+                if out.len() == batch {
+                    let next = it
+                        .peek()
+                        .is_some()
+                        .then(|| RangeToken { key: key.clone(), skip: rids.len() });
+                    return Ok((out, next));
+                }
+            } else {
+                for &rid in &avail[..room] {
+                    out.push((rid, self.get(rid)?));
+                }
+                let next = RangeToken { key: key.clone(), skip: already + room };
+                return Ok((out, Some(next)));
+            }
+        }
+        Ok((out, None))
+    }
+
+    /// A stateful cursor over [`Table::range_page`]: each
+    /// [`RangeCursor::next_batch`] call fetches the next page of the
+    /// range. The caller supplies the index, exactly as for
+    /// [`Table::range_scan`].
+    pub fn range_cursor<'a>(
+        &'a self,
+        index: &'a crate::index::Index,
+        lo: std::ops::Bound<Vec<Datum>>,
+        hi: std::ops::Bound<Vec<Datum>>,
+        batch: usize,
+    ) -> RangeCursor<'a> {
+        RangeCursor { table: self, index, hi, batch, state: KeysetState::Start(lo) }
+    }
+
     /// Collects all rows matching a predicate.
     pub fn select(
         &self,
@@ -438,6 +615,34 @@ mod tests {
             rid = t.insert(&row(i, "C", "T/churn", None)).unwrap();
         }
         assert!(t.free_page_backlog() <= data_pages);
+    }
+
+    #[test]
+    fn table_range_cursor_pages_match_range_scan() {
+        use crate::index::Index;
+        use std::ops::Bound;
+        let t = mem_table();
+        let mut idx = Index::new("by_loc", vec![2], false, true);
+        for i in 0..50u64 {
+            let r = row(i, "C", &format!("T/k{:02}", i % 10), None);
+            let rid = t.insert(&r).unwrap();
+            idx.insert(&r, rid).unwrap();
+        }
+        let mut want = Vec::new();
+        t.range_scan(&idx, Bound::Unbounded, Bound::Unbounded, |rid, r| {
+            want.push((rid, r));
+            true
+        })
+        .unwrap();
+        for batch in [1usize, 7, 64] {
+            let mut cur = t.range_cursor(&idx, Bound::Unbounded, Bound::Unbounded, batch);
+            let mut got = Vec::new();
+            while let Some(page) = cur.next_batch().unwrap() {
+                assert!((1..=batch).contains(&page.len()));
+                got.extend(page);
+            }
+            assert_eq!(got, want, "batch {batch}");
+        }
     }
 
     #[test]

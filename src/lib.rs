@@ -1,8 +1,5 @@
-//! # cpdb — provenance management in curated databases
-//!
-//! A Rust implementation of Buneman, Chapman & Cheney, *Provenance
-//! Management in Curated Databases* (SIGMOD 2006). This facade crate
-//! re-exports the public API of the workspace crates:
+//! This facade crate re-exports the public API of the workspace
+//! crates:
 //!
 //! * [`tree`] — the edge-labeled tree data model and path addressing;
 //! * [`update`] — the `ins`/`del`/`copy` update language and `[[U]]`;
@@ -13,8 +10,9 @@
 //! * [`archive`] — version-stamped archiving of the target database;
 //! * [`workload`] — synthetic databases and the evaluation's workloads.
 //!
-//! See `examples/quickstart.rs` for a guided tour.
-
+//! See `examples/quickstart.rs` for a guided tour, and the included
+//! README below (its example runs as this crate's doctest).
+#![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
 pub use cpdb_archive as archive;
