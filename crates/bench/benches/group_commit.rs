@@ -26,6 +26,7 @@
 //! measured parallel fan-out at ≤ 0.8x of the sequential ablation —
 //! the concurrent-wave model measured, not assumed.
 
+use cpdb_bench::metrics::BenchMetrics;
 use cpdb_core::{
     PipelineConfig, PipelinedStore, ProvRecord, ProvStore, RoundTripModel, ShardedStore, SqlStore,
     Tid,
@@ -123,7 +124,7 @@ fn bench(c: &mut Criterion) {
         }
         pipe.flush().unwrap();
         let wall = t0.elapsed();
-        unsharded_walls.push((batch, wall));
+        unsharded_walls.push((batch, wall, inner.write_trips()));
         // The acceptance invariant, asserted on every run: exactly
         // ceil(n / B) write statements (single producer, no epoch tick,
         // so every drained batch except the last is full).
@@ -174,14 +175,15 @@ fn bench(c: &mut Criterion) {
         );
     }
     let total: u64 = want_per_shard.iter().sum();
-    assert_eq!(sharded.write_trips(), total, "outer statements = sum over shards");
+    let sharded_statements = sharded.write_trips();
+    assert_eq!(sharded_statements, total, "outer statements = sum over shards");
     assert!(
         n as u64 >= 10 * total,
         "sharded group commit must still cut statements by >= 10x ({n} -> {total})"
     );
 
     println!("  per-op sync ingest:            {:>9.1?}  ({n} statements)", sync_wall);
-    for (batch, wall) in &unsharded_walls {
+    for (batch, wall, _) in &unsharded_walls {
         println!(
             "  group commit, batch {batch:>3}:       {wall:>9.1?}  ({} statements, {:.1}x wall)",
             n.div_ceil(*batch),
@@ -235,8 +237,10 @@ fn bench(c: &mut Criterion) {
     }
     sharded.reset_trips();
     sweep(sharded.as_ref());
-    assert_eq!(sharded.read_trips(), (tids.len() * shards) as u64, "parallel: linear fan-out");
-    assert_eq!(sharded.read_waves(), tids.len() as u64, "parallel: one wave per fan-out");
+    let fanout_statements = sharded.read_trips();
+    let fanout_waves = sharded.read_waves();
+    assert_eq!(fanout_statements, (tids.len() * shards) as u64, "parallel: linear fan-out");
+    assert_eq!(fanout_waves, tids.len() as u64, "parallel: one wave per fan-out");
 
     let time_sweep = |store: &dyn ProvStore, iters: u32| {
         sweep(store); // warm-up
@@ -264,6 +268,28 @@ fn bench(c: &mut Criterion) {
              ablation by >= 1.25x ({par_mean:?} vs {seq_mean:?})"
         );
     }
+
+    // Perf trajectory: record every asserted count — the *measured*
+    // meter readings, which the assertions above pinned to the
+    // expected formulas — gated by the CI perf-gate against the
+    // committed baseline, plus the wall clocks (informational).
+    let mut metrics = BenchMetrics::new("group_commit", if smoke() { "smoke" } else { "full" });
+    metrics.count("records", n as u64);
+    metrics.count("per_op_write_statements", sync_store.write_trips());
+    metrics.count("gc64_write_statements", unsharded_walls[0].2);
+    metrics.count("gc256_write_statements", unsharded_walls[1].2);
+    metrics.count("sharded_gc64_write_statements", sharded_statements);
+    metrics.count("fanout_statements_per_sweep", fanout_statements);
+    metrics.count("fanout_waves_per_sweep", fanout_waves);
+    metrics.info("per_op_wall_us", sync_wall.as_secs_f64() * 1e6);
+    metrics.info("gc64_wall_us", unsharded_walls[0].1.as_secs_f64() * 1e6);
+    metrics.info("gc256_wall_us", unsharded_walls[1].1.as_secs_f64() * 1e6);
+    metrics.info("sharded_gc64_wall_us", sharded_wall.as_secs_f64() * 1e6);
+    metrics.info("sequential_sweep_us", seq_mean.as_secs_f64() * 1e6);
+    metrics.info("concurrent_sim_sweep_us", sim_mean.as_secs_f64() * 1e6);
+    metrics.info("parallel_sweep_us", par_mean.as_secs_f64() * 1e6);
+    let path = metrics.write().expect("write BENCH_group_commit.json");
+    println!("  metrics -> {}", path.display());
 
     // Criterion-reported timings for the read-only probes.
     let mut group = c.benchmark_group("group_commit");

@@ -18,6 +18,7 @@
 //!   than materializing the whole hit set (asserted as a best-of-N
 //!   comparison; the measured ratio is reported).
 
+use cpdb_bench::metrics::BenchMetrics;
 use cpdb_bench::session::{build_session_with, LatencyConfig, StoreConfig};
 use cpdb_core::Strategy;
 use cpdb_tree::Path;
@@ -95,8 +96,9 @@ fn bench(c: &mut Criterion) {
     );
     store.reset_trips();
     let _ = store.by_loc_prefix(&root).unwrap();
+    let materialize_trips = store.read_trips();
     assert!(
-        store.read_trips() <= SHARDS as u64,
+        materialize_trips <= SHARDS as u64,
         "full materialization stays one statement per shard"
     );
 
@@ -125,6 +127,18 @@ fn bench(c: &mut Criterion) {
         BATCH * SHARDS,
         t_full.as_secs_f64() / t_first.as_secs_f64().max(f64::EPSILON),
     );
+
+    // Perf trajectory: the asserted residency and round-trip counts,
+    // gated against the committed baseline; latencies informational.
+    let mut metrics = BenchMetrics::new("scan_streaming", if smoke() { "smoke" } else { "full" });
+    metrics.count("subtree_hits", hits as u64);
+    metrics.count("peak_resident_rows", peak as u64);
+    metrics.count("drain_round_trips", trips);
+    metrics.count("materialize_round_trips", materialize_trips);
+    metrics.info("first_batch_us", t_first.as_secs_f64() * 1e6);
+    metrics.info("full_materialize_us", t_full.as_secs_f64() * 1e6);
+    let path = metrics.write().expect("write BENCH_scan_streaming.json");
+    println!("  metrics -> {}", path.display());
 
     // --- Criterion timings for the report.
     group.bench_with_input(BenchmarkId::new("materialize", hits), &root, |b, root| {

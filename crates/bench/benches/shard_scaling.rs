@@ -16,6 +16,7 @@
 //! wall-clock ratio is asserted only on full runs, where timings are
 //! stable enough to mean something.
 
+use cpdb_bench::metrics::BenchMetrics;
 use cpdb_bench::session::{build_session_with, top_level_containers, LatencyConfig, StoreConfig};
 use cpdb_core::{ProvStore, Strategy, Tid};
 use cpdb_tree::Path;
@@ -84,6 +85,10 @@ fn bench(c: &mut Criterion) {
     };
 
     let mut mean_prefix_us: Vec<(usize, f64)> = Vec::new();
+    // Measured meter readings per shard count — what the perf gate
+    // compares (recording the *measured* counts, not the expected
+    // formulas, so a routing regression shows up in the artifact).
+    let mut measured: Vec<(usize, u64, u64, u64)> = Vec::new();
     let base_mean = time_sweep(10, || {
         std::hint::black_box(sweep_loc(baseline.as_ref()));
     });
@@ -100,27 +105,30 @@ fn bench(c: &mut Criterion) {
         // many shards exist…
         store.reset_trips();
         let loc_hits = sweep_loc(store.as_ref());
+        let loc_trips = store.read_trips();
         assert_eq!(
-            store.read_trips(),
+            loc_trips,
             prefixes.len() as u64,
             "{shards} shards: a container prefix probe must route to one shard"
         );
         assert!(loc_hits > 0, "probes must actually hit records");
         store.reset_trips();
         sweep_tid_loc(store.as_ref());
+        let tid_loc_trips = store.read_trips();
         assert_eq!(
-            store.read_trips(),
+            tid_loc_trips,
             prefixes.len() as u64,
             "{shards} shards: a (tid, prefix) probe must route to one shard"
         );
         // …while a by_tid fan-out issues one statement per shard.
         store.reset_trips();
         store.by_tid(Tid(7)).unwrap();
+        let by_tid_trips = store.read_trips();
         assert_eq!(
-            store.read_trips(),
-            shards as u64,
+            by_tid_trips, shards as u64,
             "by_tid fan-out must scale linearly with the shard count"
         );
+        measured.push((shards, loc_trips, tid_loc_trips, by_tid_trips));
 
         let mean = time_sweep(10, || {
             std::hint::black_box(sweep_loc(store.as_ref()));
@@ -149,6 +157,22 @@ fn bench(c: &mut Criterion) {
     for (shards, us) in &mean_prefix_us {
         println!("  {shards} shard(s): {us:.2} µs/sweep ({:.2}x of unsharded)", us / base_us);
     }
+
+    // Perf trajectory: the routing invariants asserted above, gated
+    // against the committed baseline, plus wall clocks (not gated).
+    let mut metrics = BenchMetrics::new("shard_scaling", if smoke() { "smoke" } else { "full" });
+    metrics.count("probed_prefixes", prefixes.len() as u64);
+    for (shards, loc_trips, tid_loc_trips, by_tid_trips) in &measured {
+        metrics.count(&format!("prefix_sweep_statements_{shards}shards"), *loc_trips);
+        metrics.count(&format!("tid_prefix_sweep_statements_{shards}shards"), *tid_loc_trips);
+        metrics.count(&format!("by_tid_statements_{shards}shards"), *by_tid_trips);
+    }
+    metrics.info("unsharded_prefix_sweep_us", base_us);
+    for (shards, us) in &mean_prefix_us {
+        metrics.info(&format!("prefix_sweep_us_{shards}shards"), *us);
+    }
+    let path = metrics.write().expect("write BENCH_shard_scaling.json");
+    println!("  metrics -> {}", path.display());
     if !smoke() {
         let four = mean_prefix_us.iter().find(|(s, _)| *s == 4).expect("4-shard run");
         assert!(

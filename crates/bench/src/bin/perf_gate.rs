@@ -1,0 +1,133 @@
+//! `perf-gate` — the perf-trajectory CI gate.
+//!
+//! Compares the `BENCH_*.json` metric files a CI run just produced
+//! against the baselines committed under `ci/bench-baselines/`:
+//!
+//! ```text
+//! perf-gate --baseline ci/bench-baselines --current bench-metrics
+//! ```
+//!
+//! Rules (see `cpdb_bench::metrics`):
+//!
+//! * every baseline file must have a current counterpart, in the same
+//!   mode (`smoke` vs `full` runs are not comparable);
+//! * every **count** in the baseline must be present in the current
+//!   run and must not have **increased** (counts are statements,
+//!   round trips, resident rows — lower is better, and deterministic);
+//! * **info** values (wall-clock µs) are reported as drift but never
+//!   gated — CI runners are too noisy for hard wall-clock gates.
+//!
+//! Exit code 1 on any violation, with a per-metric report. An
+//! intentional count change (e.g. a new batching scheme) is shipped
+//! by updating the committed baseline in the same PR.
+
+use cpdb_bench::metrics::{parse_metrics, ParsedMetrics};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load_dir(dir: &Path) -> Result<Vec<(String, ParsedMetrics)>, String> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {name}: {e}"))?;
+        let parsed =
+            parse_metrics(&text).ok_or_else(|| format!("{name}: malformed metrics JSON"))?;
+        out.push((name, parsed));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_dir = PathBuf::from("ci/bench-baselines");
+    let mut current_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_dir = PathBuf::from(args.next().expect("--baseline <dir>")),
+            "--current" => current_dir = PathBuf::from(args.next().expect("--current <dir>")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf-gate [--baseline <dir>] [--current <dir>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let baselines = match load_dir(&baseline_dir) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let currents = match load_dir(&current_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baselines.is_empty() {
+        eprintln!("perf-gate: no BENCH_*.json baselines in {}", baseline_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0u32;
+    for (name, base) in &baselines {
+        println!("== {name} ({})", base.bench);
+        let Some((_, cur)) = currents.iter().find(|(n, _)| n == name) else {
+            println!("  FAIL: no current metrics file (bench not run?)");
+            failures += 1;
+            continue;
+        };
+        if cur.mode != base.mode {
+            println!("  FAIL: mode mismatch (baseline {}, current {})", base.mode, cur.mode);
+            failures += 1;
+            continue;
+        }
+        for (key, base_v) in &base.counts {
+            match cur.counts.get(key) {
+                None => {
+                    println!("  FAIL  {key}: missing from current run (baseline {base_v})");
+                    failures += 1;
+                }
+                Some(cur_v) if cur_v > base_v => {
+                    println!("  FAIL  {key}: {base_v} -> {cur_v} (count regressed)");
+                    failures += 1;
+                }
+                Some(cur_v) if cur_v < base_v => {
+                    println!(
+                        "  ok    {key}: {base_v} -> {cur_v} (improved; consider updating \
+                         the baseline)"
+                    );
+                }
+                Some(_) => println!("  ok    {key}: {base_v}"),
+            }
+        }
+        for (key, cur_v) in &cur.counts {
+            if !base.counts.contains_key(key) {
+                println!("  note  {key}: {cur_v} (new metric, not yet in baseline)");
+            }
+        }
+        for (key, base_v) in &base.info {
+            if let Some(cur_v) = cur.info.get(key) {
+                let drift = if *base_v > 0.0 { cur_v / base_v } else { 1.0 };
+                println!("  info  {key}: {base_v:.1} -> {cur_v:.1} ({drift:.2}x, not gated)");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf-gate: {failures} metric(s) regressed or went missing");
+        return ExitCode::FAILURE;
+    }
+    println!("perf-gate: all asserted counts within baseline");
+    ExitCode::SUCCESS
+}

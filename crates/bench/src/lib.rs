@@ -15,7 +15,11 @@
 //!   `scan_streaming` (cursor reads: bounded peak memory and
 //!   first-batch latency vs full materialization). The accounting
 //!   assertions in the last three run even under `-- --test`, which
-//!   is how CI smoke-runs them.
+//!   is how CI smoke-runs them — and each writes its asserted
+//!   numbers to `BENCH_<bench>.json` ([`metrics`]), which the
+//!   `perf-gate` binary diffs against the committed baselines under
+//!   `ci/bench-baselines/` so an asserted count can never regress
+//!   silently.
 //!
 //! Run the full suite with:
 //!
@@ -28,5 +32,6 @@
 
 pub mod experiments;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod session;

@@ -1,0 +1,187 @@
+//! Perf-trajectory metrics: `BENCH_<bench>.json`.
+//!
+//! Every bench that asserts hard numbers (statement counts, round
+//! trips, resident rows) also **records** them through a
+//! [`BenchMetrics`], written as `BENCH_<bench>.json` into
+//! `$CPDB_BENCH_METRICS_DIR` (or the working directory). CI uploads
+//! the files as artifacts on every push and the `perf-gate` binary
+//! fails the build when an asserted **count** regresses against the
+//! baseline JSON committed under `ci/bench-baselines/` — so the
+//! 64x/19.6x wins of earlier PRs cannot rot silently.
+//!
+//! Two kinds of metric:
+//!
+//! * **counts** — deterministic integers (statements, trips, rows);
+//!   *gated*: `current > baseline` fails CI. Lower is better; an
+//!   intentional change means updating the committed baseline in the
+//!   same PR, which is exactly the review surface we want.
+//! * **info** — wall-clock microseconds and other noisy measurements;
+//!   recorded for the artifact trail, never gated (CI runners are too
+//!   variable for hard wall-clock gates).
+//!
+//! The JSON is hand-rolled and hand-parsed (this tree builds offline,
+//! without serde) but is plain standard JSON.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The asserted metrics of one bench run. See the module docs.
+pub struct BenchMetrics {
+    bench: String,
+    mode: String,
+    counts: BTreeMap<String, u64>,
+    info: BTreeMap<String, f64>,
+}
+
+impl BenchMetrics {
+    /// Starts a metric set for `bench` in `mode` (`"smoke"` for the
+    /// deterministic CI configuration, `"full"` for full-scale runs —
+    /// the gate refuses to compare across modes).
+    pub fn new(bench: &str, mode: &str) -> BenchMetrics {
+        BenchMetrics {
+            bench: bench.to_owned(),
+            mode: mode.to_owned(),
+            counts: BTreeMap::new(),
+            info: BTreeMap::new(),
+        }
+    }
+
+    /// Records a gated count (statements, round trips, resident rows).
+    pub fn count(&mut self, name: &str, value: u64) {
+        self.counts.insert(name.to_owned(), value);
+    }
+
+    /// Records an ungated measurement (typically wall-clock µs).
+    pub fn info(&mut self, name: &str, value: f64) {
+        self.info.insert(name.to_owned(), value);
+    }
+
+    /// The JSON document.
+    pub fn to_json(&self) -> String {
+        let fmt_f = |v: &f64| if v.is_finite() { format!("{v:.3}") } else { "0".to_owned() };
+        let counts: Vec<String> =
+            self.counts.iter().map(|(k, v)| format!("    \"{k}\": {v}")).collect();
+        let info: Vec<String> =
+            self.info.iter().map(|(k, v)| format!("    \"{k}\": {}", fmt_f(v))).collect();
+        format!(
+            "{{\n  \"bench\": \"{}\",\n  \"mode\": \"{}\",\n  \"counts\": {{\n{}\n  }},\n  \"info\": {{\n{}\n  }}\n}}\n",
+            self.bench,
+            self.mode,
+            counts.join(",\n"),
+            info.join(",\n"),
+        )
+    }
+
+    /// Writes `BENCH_<bench>.json` into `$CPDB_BENCH_METRICS_DIR` (or
+    /// the working directory), returning the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("CPDB_BENCH_METRICS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// A parsed `BENCH_*.json` document (the `perf-gate` binary's view).
+#[derive(Debug, PartialEq)]
+pub struct ParsedMetrics {
+    /// Bench name.
+    pub bench: String,
+    /// Run mode (`"smoke"` / `"full"`).
+    pub mode: String,
+    /// Gated counts.
+    pub counts: BTreeMap<String, u64>,
+    /// Ungated measurements.
+    pub info: BTreeMap<String, f64>,
+}
+
+/// Parses the restricted JSON shape [`BenchMetrics::to_json`] emits
+/// (two flat objects of string→number under `counts` / `info`, plus
+/// the `bench` and `mode` strings). Returns `None` on anything
+/// malformed — the gate treats that as a failure, not a skip.
+pub fn parse_metrics(text: &str) -> Option<ParsedMetrics> {
+    let bench = string_field(text, "bench")?;
+    let mode = string_field(text, "mode")?;
+    let counts = number_object(text, "counts")?
+        .into_iter()
+        // Counts must be non-negative integers.
+        .map(|(k, v)| if v >= 0.0 && v.fract() == 0.0 { Some((k, v as u64)) } else { None })
+        .collect::<Option<BTreeMap<_, _>>>()?;
+    let info = number_object(text, "info")?.into_iter().collect();
+    Some(ParsedMetrics { bench, mode, counts, info })
+}
+
+/// Extracts the string value of `"name": "<value>"`.
+fn string_field(text: &str, name: &str) -> Option<String> {
+    let at = text.find(&format!("\"{name}\""))?;
+    let rest = &text[at + name.len() + 2..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// Extracts the `{ "key": number, ... }` object named `name`.
+fn number_object(text: &str, name: &str) -> Option<Vec<(String, f64)>> {
+    let at = text.find(&format!("\"{name}\""))?;
+    let rest = &text[at..];
+    let open = rest.find('{')?;
+    let close = rest[open..].find('}')?;
+    let body = &rest[open + 1..open + close];
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value: f64 = value.trim().parse().ok()?;
+        out.push((key.to_owned(), value));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_json() {
+        let mut m = BenchMetrics::new("group_commit", "smoke");
+        m.count("write_statements", 250);
+        m.count("records", 16_000);
+        m.info("wall_us", 204_321.5);
+        let parsed = parse_metrics(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed.bench, "group_commit");
+        assert_eq!(parsed.mode, "smoke");
+        assert_eq!(parsed.counts["write_statements"], 250);
+        assert_eq!(parsed.counts["records"], 16_000);
+        assert!((parsed.info["wall_us"] - 204_321.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn malformed_documents_do_not_parse() {
+        assert!(parse_metrics("{}").is_none());
+        assert!(parse_metrics("not json at all").is_none());
+        // A negative or fractional count is invalid.
+        let bad = "{\"bench\": \"x\", \"mode\": \"smoke\", \
+                   \"counts\": {\"a\": -1}, \"info\": {}}";
+        assert!(parse_metrics(bad).is_none());
+        let frac = "{\"bench\": \"x\", \"mode\": \"smoke\", \
+                    \"counts\": {\"a\": 1.5}, \"info\": {}}";
+        assert!(parse_metrics(frac).is_none());
+    }
+
+    #[test]
+    fn empty_sections_round_trip() {
+        let m = BenchMetrics::new("empty", "full");
+        let parsed = parse_metrics(&m.to_json()).expect("empty sections parse");
+        assert!(parsed.counts.is_empty());
+        assert!(parsed.info.is_empty());
+    }
+}

@@ -77,7 +77,7 @@ mod tracker;
 
 pub use editor::Editor;
 pub use error::{CoreError, Result};
-pub use pipeline::{PipelineConfig, PipelinedStore};
+pub use pipeline::{DurabilityMode, PipelineConfig, PipelinedStore};
 pub use query::{FromStep, QueryEngine, TraceStep};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
 pub use shard::{RoundTripModel, ShardedStore};

@@ -54,12 +54,75 @@
 
 use crate::error::{CoreError, Result};
 use crate::record::{ProvRecord, Tid};
-use crate::store::ProvStore;
+use crate::store::{decode_record, encode_record, ProvStore};
+use cpdb_storage::Wal;
 use cpdb_tree::Path;
-use std::collections::VecDeque;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What survives a crash of the process holding a [`PipelinedStore`].
+///
+/// The volatile queue acknowledges records before they reach the
+/// inner store; [`DurabilityMode::Wal`] closes that window with a
+/// write-ahead log (see [`cpdb_storage::Wal`]):
+///
+/// * **enqueue** appends each record's frame and syncs the log
+///   *before* the record is acknowledged;
+/// * the **committer**, after each successful
+///   [`ProvStore::insert_batch`], checkpoints the inner store
+///   ([`ProvStore::checkpoint`]: heap pages flushed, indexes
+///   persisted) and only then truncates the WAL through the batch's
+///   last frame;
+/// * **reopen** ([`PipelinedStore::spawn_with_durability`] over a
+///   reopened store and log) replays the un-truncated tail —
+///   **at-least-once, deduplicated by `(tid, loc)`**: for each frame,
+///   the store's records at that `(tid, loc)` are fetched once and
+///   the frame is skipped iff an as-yet-unmatched committed record
+///   **equals** it (so two *distinct* acknowledged records at the
+///   same `(tid, loc)` — or two identical ones the stream genuinely
+///   contained — both survive; only the crash-window double-delivery
+///   of the *same* record is suppressed).
+///
+/// Error-contract differences from the volatile mode:
+///
+/// * a WAL **append** failure stops the call: records of this call
+///   enqueued before the failure are accepted (and WAL-covered), the
+///   failing record and everything after it were **never accepted**.
+///   Check [`PipelinedStore::enqueued`] before re-sending — re-sending
+///   an accepted record stores it twice (the write path does not
+///   dedup; only crash replay does);
+/// * a WAL **sync** failure does *not* un-accept anything: the call's
+///   records are queued and will commit, but their *durability* is
+///   not guaranteed until a later sync or commit covers them — the
+///   `Err` reports exactly that degraded window. Do not re-send;
+/// * a checkpoint/truncation failure after a successful batch parks
+///   as an ordinary pipeline error but does **not** retain the batch
+///   — the records are in the store; their frames simply stay in the
+///   log until a later checkpoint succeeds, and a crash replays them
+///   into the dedup path.
+pub enum DurabilityMode {
+    /// Acknowledged records live only in the in-memory queue (the
+    /// original PR 3 behavior).
+    Volatile,
+    /// Write-ahead-logged: enqueue appends + syncs before acking, the
+    /// committer truncates after checkpointed batches, reopen replays.
+    Wal(Wal),
+}
+
+/// Durable state shared with the committer thread.
+struct Durable {
+    wal: Wal,
+    /// Sequence number of the first frame appended after spawn; the
+    /// `k`-th enqueued record (1-based) holds frame `base_seq + k - 1`
+    /// (appends happen under the queue lock, so frame order is queue
+    /// order even across producers).
+    base_seq: u64,
+    /// Frames replayed by the recovery pass at spawn.
+    replayed: u64,
+}
 
 /// Tuning knobs of a [`PipelinedStore`].
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +182,8 @@ struct Shared {
     batch: usize,
     capacity: usize,
     epoch: Option<Duration>,
+    /// The WAL when running under [`DurabilityMode::Wal`].
+    durability: Option<Durable>,
 }
 
 /// An asynchronous group-commit front for any [`ProvStore`]. See the
@@ -158,6 +223,31 @@ impl PipelinedStore {
     /// surface any trailing commit error (`Drop` drains best-effort
     /// but cannot report).
     pub fn spawn(inner: Arc<dyn ProvStore>, cfg: PipelineConfig) -> PipelinedStore {
+        Self::spawn_with_durability(inner, cfg, DurabilityMode::Volatile)
+            .expect("volatile spawn cannot fail")
+    }
+
+    /// Spawns a pipelined front under the given [`DurabilityMode`].
+    ///
+    /// With [`DurabilityMode::Wal`], the log's un-truncated tail is
+    /// **replayed first** (at-least-once, deduplicated by
+    /// `(tid, loc)` — see [`DurabilityMode`]), the replayed records
+    /// are checkpointed into `inner`, and the log is truncated; only
+    /// then does the committer start. [`PipelinedStore::replayed`]
+    /// reports how many records the recovery pass re-inserted.
+    pub fn spawn_with_durability(
+        inner: Arc<dyn ProvStore>,
+        cfg: PipelineConfig,
+        mode: DurabilityMode,
+    ) -> Result<PipelinedStore> {
+        let durability = match mode {
+            DurabilityMode::Volatile => None,
+            DurabilityMode::Wal(wal) => {
+                let replayed = replay(&inner, &wal)?;
+                let base_seq = wal.next_seq();
+                Some(Durable { wal, base_seq, replayed })
+            }
+        };
         let capacity = cfg.capacity.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
@@ -166,6 +256,7 @@ impl PipelinedStore {
             batch: cfg.batch_size.clamp(1, capacity),
             capacity,
             epoch: cfg.epoch,
+            durability,
         });
         let committer = {
             let inner = inner.clone();
@@ -176,7 +267,21 @@ impl PipelinedStore {
                 .expect("spawn group-commit thread")
         };
         let base_len = inner.len();
-        PipelinedStore { inner, shared, committer: Mutex::new(Some(committer)), base_len }
+        Ok(PipelinedStore { inner, shared, committer: Mutex::new(Some(committer)), base_len })
+    }
+
+    /// Records the recovery pass re-inserted at spawn (0 in volatile
+    /// mode or when the log was fully truncated).
+    pub fn replayed(&self) -> u64 {
+        self.shared.durability.as_ref().map_or(0, |d| d.replayed)
+    }
+
+    /// Live (un-truncated) WAL frames right now — acknowledged records
+    /// whose table durability is not yet certain. `None` in volatile
+    /// mode.
+    pub fn wal_pending(&self) -> Option<u64> {
+        let d = self.shared.durability.as_ref()?;
+        d.wal.pending_count().ok()
     }
 
     /// The synchronous store the committer drains into.
@@ -272,6 +377,17 @@ impl PipelinedStore {
                 }
                 st = self.shared.room.wait(st).expect("pipeline lock");
             }
+            if let Some(d) = &self.shared.durability {
+                // Write-ahead: the frame is appended under the queue
+                // lock (frame order = queue order, even across
+                // producers) and synced below before the call returns
+                // — no record is acknowledged before its frame is
+                // durable. An append failure stops the call *before*
+                // this record is queued: records already enqueued by
+                // this call stay accepted, this one and the rest were
+                // never accepted (see [`DurabilityMode`]).
+                d.wal.append(&encode_record(record))?;
+            }
             st.queue.push_back(record.clone());
             st.enqueued += 1;
             // Wake the committer when a batch fills, and on the
@@ -280,6 +396,16 @@ impl PipelinedStore {
             if st.queue.len() == self.shared.batch || st.queue.len() == 1 {
                 self.shared.work.notify_one();
             }
+        }
+        if let Some(d) = &self.shared.durability {
+            // The commit boundary: every frame of this call is on
+            // stable storage before any of its records is considered
+            // acknowledged. A sync failure does NOT un-accept the
+            // records (they are queued and will commit); the Err
+            // reports that their durability window is degraded until
+            // a later sync covers them — callers must not re-send.
+            drop(st);
+            d.wal.sync()?;
         }
         match parked {
             Some(e) => Err(e),
@@ -296,6 +422,46 @@ impl PipelinedStore {
 
 fn closed() -> CoreError {
     CoreError::Editor { reason: "write pipeline is shut down".into() }
+}
+
+/// The recovery pass: replays the WAL's un-truncated tail into
+/// `inner`. At-least-once with `(tid, loc)`-probed, record-equality
+/// dedup: the store's records at each frame's `(tid, loc)` are
+/// fetched once (one `at` probe per distinct pair), and a frame is
+/// skipped iff an as-yet-unmatched committed record equals it — so a
+/// record the crash caught between table commit and truncation is not
+/// delivered twice, while distinct (or genuinely repeated) records
+/// sharing a `(tid, loc)` all survive. Replayed records are committed
+/// in one batch, checkpointed, and the log truncated, so a second
+/// crash during recovery just replays again.
+fn replay(inner: &Arc<dyn ProvStore>, wal: &Wal) -> Result<u64> {
+    let frames = wal.pending_frames()?;
+    let Some(max_seq) = frames.iter().map(|(seq, _)| *seq).max() else {
+        return Ok(0);
+    };
+    // Unmatched committed records per (tid, loc); each frame consumes
+    // at most one match.
+    let mut committed: BTreeMap<(Tid, String), Vec<ProvRecord>> = BTreeMap::new();
+    let mut batch = Vec::new();
+    for (_, payload) in &frames {
+        let record = decode_record(payload)?;
+        let key = (record.tid, record.loc.key());
+        let unmatched = match committed.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(inner.at(record.tid, &record.loc)?),
+        };
+        match unmatched.iter().position(|r| *r == record) {
+            Some(i) => {
+                unmatched.swap_remove(i);
+            }
+            None => batch.push(record),
+        }
+    }
+    let recovered = batch.len() as u64;
+    inner.insert_batch(&batch)?;
+    inner.checkpoint()?;
+    wal.truncate_through(max_seq)?;
+    Ok(recovered)
 }
 
 /// `true` when the committer should drain a batch now.
@@ -326,10 +492,33 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             drop(st);
             let result = inner.insert_batch(&chunk);
             st = shared.state.lock().expect("pipeline lock");
-            st.in_flight = 0;
             match result {
                 Ok(()) => {
                     st.committed += n as u64;
+                    if let Some(d) = &shared.durability {
+                        // The batch is in the store: checkpoint it to
+                        // durable storage, then retire its frames.
+                        // Queue order equals frame order, so the last
+                        // committed record's frame is base_seq +
+                        // committed - 1. A failure here parks as an
+                        // ordinary pipeline error but does NOT retain
+                        // the batch (the records are committed; their
+                        // frames stay in the log and replay through
+                        // the dedup path after a crash). `in_flight`
+                        // stays non-zero until the finalize completes
+                        // so a concurrent flush() cannot report
+                        // success while truncation is still pending.
+                        let through = d.base_seq + st.committed - 1;
+                        drop(st);
+                        let finalize = inner
+                            .checkpoint()
+                            .and_then(|()| d.wal.truncate_through(through).map_err(Into::into));
+                        st = shared.state.lock().expect("pipeline lock");
+                        if let Err(e) = finalize {
+                            st.error = Some(e);
+                        }
+                    }
+                    st.in_flight = 0;
                 }
                 Err(e) => {
                     // Retain the batch (front, original order) and park
@@ -338,6 +527,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
                         st.queue.push_front(r);
                     }
                     st.error = Some(e);
+                    st.in_flight = 0;
                 }
             }
             shared.room.notify_all();
@@ -431,6 +621,14 @@ impl ProvStore for PipelinedStore {
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
         self.read_through(|s| s.by_loc_chain(loc, min_depth))
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        // Drain the queue, then checkpoint whatever the inner store
+        // persists (in durable mode the committer already checkpointed
+        // each batch; this makes the no-pending state durable too).
+        self.flush()?;
+        self.inner.checkpoint()
     }
 
     fn len(&self) -> u64 {

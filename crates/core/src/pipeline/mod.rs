@@ -15,7 +15,13 @@
 //!   [`PipelinedStore::flush`]/`Drop`), with backpressure and an error
 //!   channel so a failed flush surfaces on the next enqueue or flush
 //!   instead of vanishing. Ingesting `n` records at batch size `B`
-//!   issues `ceil(n / B)` write statements instead of `n`.
+//!   issues `ceil(n / B)` write statements instead of `n`. Under
+//!   [`group_commit::DurabilityMode::Wal`] the queue is write-ahead
+//!   logged: frames are synced before records are acknowledged, the
+//!   committer truncates the log only after checkpointed batches, and
+//!   a reopen replays the un-truncated tail (at-least-once,
+//!   deduplicated by `(tid, loc)`) — so a crash loses nothing that
+//!   was acknowledged.
 //! * [`executor`] — [`ShardExecutor`], a thread-per-shard worker pool
 //!   that runs [`crate::ShardedStore`]'s fan-out statements (`by_tid`,
 //!   `all`, straddling prefix probes, decomposed chain probes,
@@ -45,4 +51,4 @@ pub mod executor;
 pub mod group_commit;
 
 pub use executor::ShardExecutor;
-pub use group_commit::{PipelineConfig, PipelinedStore};
+pub use group_commit::{DurabilityMode, PipelineConfig, PipelinedStore};

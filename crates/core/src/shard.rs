@@ -121,6 +121,24 @@ struct Shard {
     store: Arc<SqlStore>,
 }
 
+fn storage_io(e: std::io::Error) -> CoreError {
+    CoreError::Storage(cpdb_storage::StorageError::Io(std::sync::Arc::new(e)))
+}
+
+/// Lowercase hex of `bytes` (manifest encoding for boundary keys,
+/// which contain NUL segment terminators).
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Inverse of [`hex`]; `None` on odd length or non-hex digits.
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
+}
+
 /// A provenance store horizontally partitioned by encoded-key range
 /// over `N` inner [`SqlStore`]s. See the module docs for routing rules
 /// and the round-trip model.
@@ -144,18 +162,118 @@ impl ShardedStore {
     /// [`ShardedStore::split_points`]). `indexed` applies to every
     /// inner store.
     pub fn in_memory(boundaries: Vec<String>, indexed: bool) -> Result<ShardedStore> {
-        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(CoreError::Editor {
-                reason: "shard boundaries must be strictly ascending".into(),
-            });
-        }
+        Self::check_boundaries(&boundaries)?;
         let mut shards = Vec::with_capacity(boundaries.len() + 1);
         for _ in 0..=boundaries.len() {
             let engine = Engine::in_memory();
             let store = Arc::new(SqlStore::create(&engine, indexed)?);
             shards.push(Shard { engine, store });
         }
-        Ok(ShardedStore {
+        Ok(Self::assemble(shards, boundaries))
+    }
+
+    /// Creates a **disk-backed** sharded store under `dir`: shard `i`
+    /// gets its own [`Engine::on_disk`] in `dir/shard-<i>/`, and a
+    /// `MANIFEST` file records the boundaries and the index flag so
+    /// [`ShardedStore::open_disk`] can reopen the whole deployment —
+    /// routing table included — without being handed the split points
+    /// again. Fails if `dir` already holds a manifest (reopen instead).
+    pub fn on_disk(
+        dir: impl Into<std::path::PathBuf>,
+        boundaries: Vec<String>,
+        indexed: bool,
+    ) -> Result<ShardedStore> {
+        Self::check_boundaries(&boundaries)?;
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(storage_io)?;
+        let manifest = dir.join("MANIFEST");
+        if manifest.exists() {
+            return Err(CoreError::Editor {
+                reason: format!(
+                    "sharded store already exists at {} (use open_disk)",
+                    dir.display()
+                ),
+            });
+        }
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        for i in 0..=boundaries.len() {
+            let engine = Engine::on_disk(dir.join(format!("shard-{i}")))?;
+            let store = Arc::new(SqlStore::create(&engine, indexed)?);
+            shards.push(Shard { engine, store });
+        }
+        let mut body = String::from("cpdb-sharded-store v1\n");
+        body.push_str(&format!("indexed {}\n", indexed as u8));
+        body.push_str(&format!("shards {}\n", shards.len()));
+        for b in &boundaries {
+            // Boundaries are encoded path keys and contain NUL
+            // terminators; hex keeps the manifest a plain text file.
+            body.push_str(&format!("boundary {}\n", hex(b.as_bytes())));
+        }
+        std::fs::write(&manifest, body).map_err(storage_io)?;
+        Ok(Self::assemble(shards, boundaries))
+    }
+
+    /// Reopens a sharded store created by [`ShardedStore::on_disk`]
+    /// from its `MANIFEST`: every shard's engine reopens its `Prov`
+    /// table (loading persisted secondary indexes in O(index pages)
+    /// when the shard was cleanly checkpointed), so the whole
+    /// deployment — router, shards, indexes — survives a restart.
+    /// Compose with [`ShardedStore::with_parallel_executor`] and a
+    /// durable `PipelinedStore` front for the full recovery story.
+    pub fn open_disk(dir: impl Into<std::path::PathBuf>) -> Result<ShardedStore> {
+        let dir = dir.into();
+        let body = std::fs::read_to_string(dir.join("MANIFEST")).map_err(storage_io)?;
+        let bad = |reason: &str| CoreError::Editor {
+            reason: format!("sharded store manifest at {}: {reason}", dir.display()),
+        };
+        let mut lines = body.lines();
+        if lines.next() != Some("cpdb-sharded-store v1") {
+            return Err(bad("unknown format"));
+        }
+        let mut indexed = None;
+        let mut shard_count = None;
+        let mut boundaries = Vec::new();
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("indexed", v)) => indexed = Some(v == "1"),
+                Some(("shards", v)) => {
+                    shard_count = Some(v.parse::<usize>().map_err(|_| bad("bad shard count"))?);
+                }
+                Some(("boundary", v)) => {
+                    let bytes = unhex(v).ok_or_else(|| bad("bad boundary hex"))?;
+                    boundaries
+                        .push(String::from_utf8(bytes).map_err(|_| bad("boundary not UTF-8"))?);
+                }
+                _ if line.is_empty() => {}
+                _ => return Err(bad("unknown line")),
+            }
+        }
+        let indexed = indexed.ok_or_else(|| bad("missing indexed flag"))?;
+        let shard_count = shard_count.ok_or_else(|| bad("missing shard count"))?;
+        if shard_count != boundaries.len() + 1 {
+            return Err(bad("shard count does not match boundaries"));
+        }
+        Self::check_boundaries(&boundaries)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let engine = Engine::on_disk(dir.join(format!("shard-{i}")))?;
+            let store = Arc::new(SqlStore::open(&engine, indexed)?);
+            shards.push(Shard { engine, store });
+        }
+        Ok(Self::assemble(shards, boundaries))
+    }
+
+    fn check_boundaries(boundaries: &[String]) -> Result<()> {
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::Editor {
+                reason: "shard boundaries must be strictly ascending".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn assemble(shards: Vec<Shard>, boundaries: Vec<String>) -> ShardedStore {
+        ShardedStore {
             shards,
             boundaries,
             model: RoundTripModel::default(),
@@ -163,7 +281,7 @@ impl ShardedStore {
             reads: Arc::new(Meter::new()),
             writes: Arc::new(Meter::new()),
             batch_row_ns: Arc::new(AtomicU64::new(0)),
-        })
+        }
     }
 
     /// Builder-style override of the fan-out latency model (the
@@ -597,6 +715,15 @@ impl ProvStore for ShardedStore {
         }
         let jobs = groups.into_iter().map(|(i, keys)| (i, ShardJob::LocKeys(keys)));
         self.run_on_shards(jobs, &self.reads)
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        // Every shard flushes its heap and persists its indexes; no
+        // statements are charged (recovery I/O, not queries).
+        for s in &self.shards {
+            s.store.checkpoint()?;
+        }
+        Ok(())
     }
 
     fn len(&self) -> u64 {

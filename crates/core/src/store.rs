@@ -153,6 +153,17 @@ pub trait ProvStore: Send + Sync {
     /// statement instead of one probe per ancestor.
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>>;
 
+    /// Checkpoints the store to durable storage: flushes dirty heap
+    /// pages and persists secondary indexes (the sidecar snapshot that
+    /// makes the next reopen O(index pages) — see
+    /// `cpdb_storage::Engine::open_table`). The durable write
+    /// pipeline calls this after every committed batch, **before**
+    /// truncating the WAL frames that covered it. A no-op for stores
+    /// with no durable form ([`MemStore`]).
+    fn checkpoint(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// Number of stored records (client-side bookkeeping, no round trip).
     fn len(&self) -> u64;
 
@@ -401,6 +412,19 @@ fn page_from_sorted(
     (page, next)
 }
 
+/// Serializes one record as a WAL frame payload (the storage row
+/// codec over the same 4-column shape the provenance table stores).
+pub(crate) fn encode_record(r: &ProvRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    cpdb_storage::encode_row(&record_to_row(r), &mut out);
+    out
+}
+
+/// Decodes a WAL frame payload written by [`encode_record`].
+pub(crate) fn decode_record(bytes: &[u8]) -> Result<ProvRecord> {
+    row_to_record(&cpdb_storage::decode_row(bytes)?)
+}
+
 fn record_to_row(r: &ProvRecord) -> Vec<Datum> {
     vec![
         Datum::U64(r.tid.0),
@@ -501,10 +525,18 @@ impl SqlStore {
         if indexed {
             // `loc` holds order-preserving keys, so the loc-leading
             // indexes are ordered and serve subtree probes as range
-            // scans; `tid` alone is a point-lookup index.
-            table.add_index(IDX_TID_LOC, &["tid", "loc"], false, true)?;
-            table.add_index(IDX_LOC, &["loc"], false, true)?;
-            table.add_index(IDX_TID, &["tid"], false, false)?;
+            // scans; `tid` alone is a point-lookup index. An index the
+            // engine already loaded from a persisted sidecar snapshot
+            // (O(index pages) on reopen) is not rebuilt.
+            for (name, cols, ordered) in [
+                (IDX_TID_LOC, &["tid", "loc"][..], true),
+                (IDX_LOC, &["loc"][..], true),
+                (IDX_TID, &["tid"][..], false),
+            ] {
+                if !table.has_index(name) {
+                    table.add_index(name, cols, false, ordered)?;
+                }
+            }
         }
         Ok(SqlStore {
             table,
@@ -698,6 +730,10 @@ impl ProvStore for SqlStore {
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
         self.by_loc_keys(&chain_keys(loc, min_depth))
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        self.flush()
     }
 
     fn len(&self) -> u64 {

@@ -1,0 +1,198 @@
+//! Reopen equivalence: a disk store reopened through **persisted
+//! secondary indexes** (the O(index pages) sidecar path) must answer
+//! every `ProvStore` probe and cursor **bit-for-bit** identically to
+//! the same data reopened through a full index rebuild (the oracle:
+//! a copy of the directory with the sidecar files deleted, so
+//! `Engine::open_table` falls back to the scan-and-rebuild path).
+//!
+//! Checked across the deployment matrix: unsharded `SqlStore`, a
+//! 4-shard `ShardedStore` (serial and parallel), and pipelined fronts
+//! over both.
+
+use cpdb_core::{
+    PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore, SqlStore, Tid,
+};
+use cpdb_storage::Engine;
+use cpdb_tree::Path;
+use std::path::{Path as FsPath, PathBuf};
+use std::sync::Arc;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cpdb-reopen-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn p(s: &str) -> Path {
+    s.parse().unwrap()
+}
+
+/// Records across 6 containers with duplicate locations (several
+/// records per loc, so posting lists are non-trivial) and sources.
+fn dataset() -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    for i in 0..360u64 {
+        let loc = p(&format!("T/c{}/n{}", 1 + i % 6, i % 30));
+        out.push(match i % 4 {
+            0 => ProvRecord::copy(Tid(i), loc, p(&format!("S1/a{}", i % 9))),
+            1 => ProvRecord::delete(Tid(i), loc),
+            _ => ProvRecord::insert(Tid(i), loc),
+        });
+    }
+    // Boundary-adversarial rows: c1 vs c10 prefix bleed.
+    out.push(ProvRecord::insert(Tid(900), p("T/c10")));
+    out.push(ProvRecord::insert(Tid(901), p("T/c10/x")));
+    out
+}
+
+fn copy_tree(src: &FsPath, dst: &FsPath) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Deletes every index sidecar under `dir`, forcing the rebuild path.
+fn strip_sidecars(dir: &FsPath) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_dir() {
+            strip_sidecars(&entry.path());
+        } else if entry.file_name().to_string_lossy().ends_with(".idx.tbl") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+}
+
+/// Asserts bit-for-bit equality of every probe and cursor between the
+/// sidecar-reopened store and the rebuild-reopened oracle.
+fn assert_bit_for_bit(fast: &dyn ProvStore, oracle: &dyn ProvStore) {
+    assert_eq!(fast.len(), oracle.len());
+    assert_eq!(fast.all().unwrap(), oracle.all().unwrap(), "all()");
+    for tid in [0u64, 3, 17, 100, 900, 5_000] {
+        assert_eq!(fast.by_tid(Tid(tid)).unwrap(), oracle.by_tid(Tid(tid)).unwrap(), "by_tid");
+    }
+    for loc in ["T/c1/n3", "T/c2/n17", "T/c10", "T/zzz"] {
+        let loc = p(loc);
+        assert_eq!(fast.by_loc(&loc).unwrap(), oracle.by_loc(&loc).unwrap(), "by_loc({loc})");
+        assert_eq!(
+            fast.at(Tid(25), &loc).unwrap(),
+            oracle.at(Tid(25), &loc).unwrap(),
+            "at(25, {loc})"
+        );
+        assert_eq!(
+            fast.by_loc_chain(&loc, 1).unwrap(),
+            oracle.by_loc_chain(&loc, 1).unwrap(),
+            "by_loc_chain({loc})"
+        );
+    }
+    for prefix in ["", "T", "T/c1", "T/c1/n3", "T/c10", "S1", "T/none"] {
+        let prefix = p(prefix);
+        assert_eq!(
+            fast.by_loc_prefix(&prefix).unwrap(),
+            oracle.by_loc_prefix(&prefix).unwrap(),
+            "by_loc_prefix({prefix})"
+        );
+        assert_eq!(
+            fast.by_tid_loc_prefix(Tid(42), &prefix).unwrap(),
+            oracle.by_tid_loc_prefix(Tid(42), &prefix).unwrap(),
+            "by_tid_loc_prefix({prefix})"
+        );
+        for batch in [1usize, 3, 64, usize::MAX] {
+            let mut f = fast.scan_loc_prefix(&prefix, batch).unwrap();
+            let mut o = oracle.scan_loc_prefix(&prefix, batch).unwrap();
+            loop {
+                let (a, b) = (f.next_batch().unwrap(), o.next_batch().unwrap());
+                assert_eq!(a, b, "scan_loc_prefix({prefix}, {batch}) page mismatch");
+                if a.is_none() {
+                    break;
+                }
+            }
+            let f = fast.scan_tid_loc_prefix(Tid(42), &prefix, batch).unwrap();
+            let o = oracle.scan_tid_loc_prefix(Tid(42), &prefix, batch).unwrap();
+            assert_eq!(f.drain().unwrap(), o.drain().unwrap(), "scan_tid_loc_prefix({prefix})");
+        }
+    }
+}
+
+#[test]
+fn sql_store_reopen_with_persisted_indexes_matches_rebuild() {
+    let dir = tempdir("sql");
+    {
+        let engine = Engine::on_disk(&dir).unwrap();
+        let store = SqlStore::create(&engine, true).unwrap();
+        for r in dataset() {
+            store.insert(&r).unwrap();
+        }
+        store.checkpoint().unwrap();
+    }
+    let rebuild_dir = tempdir("sql-oracle");
+    copy_tree(&dir, &rebuild_dir);
+    strip_sidecars(&rebuild_dir);
+
+    let fast_engine = Engine::on_disk(&dir).unwrap();
+    let fast = SqlStore::open(&fast_engine, true).unwrap();
+    // The sidecar path: page reads charged, zero statements (no
+    // CREATE INDEX, no recount scan).
+    assert!(fast_engine.meter().page_reads() > 0, "persisted indexes must be loaded");
+    assert_eq!(fast_engine.meter().count(), 0, "no rebuild statement on the fast path");
+
+    let oracle_engine = Engine::on_disk(&rebuild_dir).unwrap();
+    let oracle = SqlStore::open(&oracle_engine, true).unwrap();
+    // The rebuild path: no persisted pages, one statement per index.
+    assert_eq!(oracle_engine.meter().page_reads(), 0);
+    assert_eq!(oracle_engine.meter().count(), 3, "three CREATE INDEX rebuild statements");
+
+    assert_bit_for_bit(&fast, &oracle);
+
+    // Pipelined fronts over both answer identically too.
+    let fast = PipelinedStore::spawn(Arc::new(fast), PipelineConfig::batched(16));
+    let oracle = PipelinedStore::spawn(Arc::new(oracle), PipelineConfig::batched(16));
+    assert_bit_for_bit(&fast, &oracle);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&rebuild_dir).unwrap();
+}
+
+#[test]
+fn sharded_reopen_with_persisted_indexes_matches_rebuild() {
+    let dir = tempdir("sharded");
+    let containers: Vec<Path> = (1..=6).map(|i| p(&format!("T/c{i}"))).collect();
+    {
+        let store =
+            ShardedStore::on_disk(&dir, ShardedStore::split_points(&containers, 4), true).unwrap();
+        for r in dataset() {
+            store.insert(&r).unwrap();
+        }
+        store.checkpoint().unwrap();
+    }
+    let rebuild_dir = tempdir("sharded-oracle");
+    copy_tree(&dir, &rebuild_dir);
+    strip_sidecars(&rebuild_dir);
+
+    let fast = ShardedStore::open_disk(&dir).unwrap();
+    for i in 0..fast.shard_count() {
+        assert!(fast.shard_engine(i).meter().page_reads() > 0, "shard {i} uses the sidecar");
+        assert_eq!(fast.shard_engine(i).meter().count(), 0, "shard {i} issues no statement");
+    }
+    let oracle = ShardedStore::open_disk(&rebuild_dir).unwrap();
+    assert_bit_for_bit(&fast, &oracle);
+
+    // The parallel executor changes the wiring, not the answers.
+    let fast = fast.with_parallel_executor();
+    assert_bit_for_bit(&fast, &oracle);
+
+    // And the pipelined front over the parallel sharded store.
+    let fast = PipelinedStore::spawn(Arc::new(fast), PipelineConfig::batched(16));
+    assert_bit_for_bit(&fast, &oracle);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&rebuild_dir).unwrap();
+}

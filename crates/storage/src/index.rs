@@ -1,10 +1,13 @@
 //! Secondary B-tree indexes.
 //!
 //! An [`Index`] maps a key (a projection of row fields) to the row ids
-//! holding that key. Indexes live in memory and are rebuilt from a table
-//! scan on open — the honest, documented simplification of this engine
-//! (the paper's experiments explicitly run provenance queries *without*
-//! indexes as worst case; with-index runs are an ablation here).
+//! holding that key. Indexes are served from memory; their durable
+//! form is the per-table **index sidecar** (see `sidecar.rs`):
+//! a clean reopen loads the persisted pages in O(index pages), and
+//! only a crash (or a pre-sidecar file) falls back to
+//! [`Index::rebuild`]'s full table scan. (The paper's experiments
+//! explicitly run provenance queries *without* indexes as worst case;
+//! with-index runs are an ablation here.)
 
 use crate::error::{Result, StorageError};
 use crate::row::Datum;
@@ -113,6 +116,29 @@ impl Index {
             out.extend_from_slice(rids);
         }
         out
+    }
+
+    /// Whether this index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Number of `(key, row id)` postings across all keys.
+    pub fn posting_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Iterates every `(key, row ids)` entry in key order — the
+    /// serialization order of page-level index persistence.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&Vec<Datum>, &Vec<RowId>)> {
+        self.map.iter()
+    }
+
+    /// Installs one persisted `(key, row ids)` entry during a
+    /// page-level load. Entries arrive in key order from a snapshot
+    /// this index itself wrote, so no uniqueness re-check is needed.
+    pub(crate) fn load_entry(&mut self, key: Vec<Datum>, rids: Vec<RowId>) {
+        self.map.insert(key, rids);
     }
 
     /// Rebuilds the index from a full table scan.

@@ -12,7 +12,12 @@
 //!   and [`FaultyBackend`] for failure-injection tests);
 //! * [`BufferPool`] — pinned frames, LRU eviction, dirty write-back;
 //! * [`Table`] — schema-validated heap tables with stable [`RowId`]s;
-//! * [`Index`] — multi-column B-tree secondary indexes;
+//! * [`Index`] — multi-column B-tree secondary indexes, persisted
+//!   page-level in a per-table sidecar so reopening costs O(index
+//!   pages) instead of a rebuild scan;
+//! * [`Wal`] — a write-ahead log of CRC-framed records over any
+//!   [`Backend`], the durability substrate of the write pipeline's
+//!   group-commit queue;
 //! * [`Engine`] / [`TableHandle`] — the façade, with per-interaction
 //!   round-trip metering ([`Meter`]) used by the experiment harness.
 //!
@@ -42,7 +47,9 @@ mod index;
 mod meter;
 mod page;
 mod row;
+mod sidecar;
 mod table;
+mod wal;
 
 pub use backend::{Backend, DiskBackend, FaultyBackend, MemBackend};
 pub use buffer::{BufferPool, PageGuard, PoolStats};
@@ -53,3 +60,4 @@ pub use meter::{spin, wait_in_flight, Meter};
 pub use page::{Page, MAX_CELL, PAGE_SIZE};
 pub use row::{decode_row, encode_row, Column, DataType, Datum, Schema};
 pub use table::{PageRows, RangeCursor, RangeToken, RowId, RowPage, Table};
+pub use wal::{Wal, MAX_FRAME};

@@ -83,6 +83,7 @@ pub fn wait_in_flight(d: Duration) {
 pub struct Meter {
     round_trips: AtomicU64,
     waves: AtomicU64,
+    page_reads: AtomicU64,
     latency_ns: AtomicU64,
 }
 
@@ -148,6 +149,22 @@ impl Meter {
         self.waves.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one **page read** of recovery I/O — the unit used when
+    /// an engine loads persisted state on open (WAL replay scans,
+    /// persisted-index loads). Page reads are deliberately counted
+    /// apart from statements: opening a table is not a query, but the
+    /// experiments still need to see that loading persisted indexes
+    /// costs O(index pages) rather than a full-table rebuild scan.
+    /// No latency is spun (recovery is not on the statement path).
+    pub fn page_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recovery page reads recorded so far.
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads.load(Ordering::Relaxed)
+    }
+
     /// Number of interactions recorded so far.
     pub fn count(&self) -> u64 {
         self.round_trips.load(Ordering::Relaxed)
@@ -163,6 +180,7 @@ impl Meter {
     pub fn reset(&self) {
         self.round_trips.store(0, Ordering::Relaxed);
         self.waves.store(0, Ordering::Relaxed);
+        self.page_reads.store(0, Ordering::Relaxed);
     }
 }
 

@@ -173,8 +173,19 @@ impl Table {
     }
 
     /// Opens an existing table, reading the schema from page 0 and
-    /// recounting live rows.
+    /// recounting live rows with a full heap scan.
     pub fn open(pool: Arc<BufferPool>) -> Result<Table> {
+        Self::open_inner(pool, None)
+    }
+
+    /// Opens an existing table with a row count recovered from a
+    /// trusted checkpoint (the index sidecar), skipping the full-heap
+    /// recount scan entirely — the O(index pages) reopen path.
+    pub fn open_with_row_count(pool: Arc<BufferPool>, rows: u64) -> Result<Table> {
+        Self::open_inner(pool, Some(rows))
+    }
+
+    fn open_inner(pool: Arc<BufferPool>, known_rows: Option<u64>) -> Result<Table> {
         if pool.backend().num_pages() == 0 {
             return Err(StorageError::NotFound { what: "table header", name: "<page 0>".into() });
         }
@@ -206,11 +217,17 @@ impl Table {
             free_pages: Mutex::new(BTreeSet::new()),
             live_rows: AtomicU64::new(0),
         };
-        let mut rows = 0u64;
-        table.for_each_raw(|_, _| {
-            rows += 1;
-            true
-        })?;
+        let rows = match known_rows {
+            Some(rows) => rows,
+            None => {
+                let mut rows = 0u64;
+                table.for_each_raw(|_, _| {
+                    rows += 1;
+                    true
+                })?;
+                rows
+            }
+        };
         table.live_rows.store(rows, Ordering::SeqCst);
         Ok(table)
     }
