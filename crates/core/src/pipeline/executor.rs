@@ -66,6 +66,12 @@ pub enum ShardJob {
     LocKeys(Vec<String>),
     /// Batched insert of this shard's group of a multi-shard batch.
     InsertBatch(Vec<ProvRecord>),
+    /// Checkpoint the shard's store (heap flush + sidecar persist).
+    /// Scattered by [`crate::ShardedStore::checkpoint`] so every
+    /// shard's engine syncs and checkpoints in parallel — the
+    /// per-shard committer. Not a statement: no in-flight latency is
+    /// waited and the coordinator does not tally it.
+    Checkpoint,
 }
 
 /// What one per-shard statement returns: its records plus, for page
@@ -82,10 +88,11 @@ pub(crate) fn run_job(store: &SqlStore, job: &ShardJob) -> Result<ShardReply> {
         ShardJob::Page { kind, batch, token } => store.scan_page(kind, *batch, token.as_ref()),
         ShardJob::LocKeys(keys) => store.by_loc_keys(keys).map(|r| (r, None)),
         ShardJob::InsertBatch(records) => store.insert_batch(records).map(|()| (Vec::new(), None)),
+        ShardJob::Checkpoint => store.checkpoint().map(|()| (Vec::new(), None)),
     }
 }
 
-type Reply = Result<ShardReply>;
+pub(crate) type Reply = Result<ShardReply>;
 type Job = (ShardJob, Sender<Reply>);
 
 struct Worker {
@@ -114,6 +121,10 @@ impl WorkerClock {
                     self.batch_row_ns.load(Ordering::Relaxed).saturating_mul(extra),
                 ));
             }
+            // A checkpoint is maintenance, not a statement: its cost
+            // is the real I/O the engine performs, never simulated
+            // round-trip latency.
+            ShardJob::Checkpoint => {}
             _ => wait_in_flight(self.reads.latency()),
         }
     }
@@ -166,26 +177,31 @@ impl ShardExecutor {
     /// flight together: the call returns when the slowest reply
     /// arrives — the measured concurrent wave.
     pub(crate) fn scatter(&self, jobs: impl IntoIterator<Item = (usize, ShardJob)>) -> Vec<Reply> {
-        let receivers: Vec<Receiver<Reply>> = jobs
-            .into_iter()
-            .map(|(shard, job)| {
-                let (tx, rx) = channel();
-                if self.workers[shard].jobs.send((job, tx)).is_err() {
-                    // Worker gone: the closed reply channel reports it
-                    // below, through the same recv path.
-                }
-                rx
-            })
-            .collect();
-        receivers
-            .into_iter()
-            .map(|rx| {
-                rx.recv().unwrap_or_else(|_| {
-                    Err(CoreError::Editor { reason: "shard executor worker died".into() })
-                })
-            })
-            .collect()
+        let receivers: Vec<Receiver<Reply>> =
+            jobs.into_iter().map(|(shard, job)| self.submit(shard, job)).collect();
+        receivers.into_iter().map(recv_reply).collect()
     }
+
+    /// Dispatches one job to its shard's worker and returns the reply
+    /// channel **without waiting** — the asynchronous half of
+    /// [`ShardExecutor::scatter`]. Cursors use this to prefetch a
+    /// shard's next page while the caller is still consuming the
+    /// current one; resolve the receiver with [`recv_reply`].
+    pub(crate) fn submit(&self, shard: usize, job: ShardJob) -> Receiver<Reply> {
+        let (tx, rx) = channel();
+        if self.workers[shard].jobs.send((job, tx)).is_err() {
+            // Worker gone: the closed reply channel reports it at
+            // recv time, through the same path as a died worker.
+        }
+        rx
+    }
+}
+
+/// Blocks on a reply channel from [`ShardExecutor::submit`], mapping
+/// a dead worker to an error.
+pub(crate) fn recv_reply(rx: Receiver<Reply>) -> Reply {
+    rx.recv()
+        .unwrap_or_else(|_| Err(CoreError::Editor { reason: "shard executor worker died".into() }))
 }
 
 fn worker_loop(store: &SqlStore, clock: &WorkerClock, jobs: &Receiver<Job>) {

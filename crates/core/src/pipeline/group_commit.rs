@@ -69,8 +69,14 @@ use std::time::Duration;
 /// inner store; [`DurabilityMode::Wal`] closes that window with a
 /// write-ahead log (see [`cpdb_storage::Wal`]):
 ///
-/// * **enqueue** appends each record's frame and syncs the log
-///   *before* the record is acknowledged;
+/// * **enqueue** appends each record's frame and waits for a sync
+///   covering it *before* the record is acknowledged. Syncs are
+///   **coalesced** ([`Wal::sync_through`]): the first producer to
+///   reach the sync point becomes the leader and issues one backend
+///   sync for every frame appended so far; concurrent producers whose
+///   frames fall under that sync's watermark are covered without a
+///   sync of their own — a batch of `n` records costs one sync, not
+///   `n`;
 /// * the **committer**, after each successful
 ///   [`ProvStore::insert_batch`], checkpoints the inner store
 ///   ([`ProvStore::checkpoint`]: heap pages flushed, indexes
@@ -353,6 +359,7 @@ impl PipelinedStore {
             return Ok(());
         }
         let mut parked: Option<CoreError> = None;
+        let mut last_seq = None;
         let mut st = self.lock();
         for record in records {
             loop {
@@ -386,7 +393,7 @@ impl PipelinedStore {
                 // this record is queued: records already enqueued by
                 // this call stay accepted, this one and the rest were
                 // never accepted (see [`DurabilityMode`]).
-                d.wal.append(&encode_record(record))?;
+                last_seq = Some(d.wal.append(&encode_record(record))?);
             }
             st.queue.push_back(record.clone());
             st.enqueued += 1;
@@ -397,15 +404,20 @@ impl PipelinedStore {
                 self.shared.work.notify_one();
             }
         }
-        if let Some(d) = &self.shared.durability {
+        if let (Some(d), Some(seq)) = (&self.shared.durability, last_seq) {
             // The commit boundary: every frame of this call is on
             // stable storage before any of its records is considered
-            // acknowledged. A sync failure does NOT un-accept the
-            // records (they are queued and will commit); the Err
-            // reports that their durability window is degraded until
-            // a later sync covers them — callers must not re-send.
+            // acknowledged. `sync_through` coalesces: if another
+            // producer's sync already covers `seq` this returns
+            // without touching the backend, and while a leader's sync
+            // is in flight this waits on its watermark instead of
+            // queueing a second sync. A sync failure does NOT
+            // un-accept the records (they are queued and will
+            // commit); the Err reports that their durability window
+            // is degraded until a later sync covers them — callers
+            // must not re-send.
             drop(st);
-            d.wal.sync()?;
+            d.wal.sync_through(seq)?;
         }
         match parked {
             Some(e) => Err(e),

@@ -17,11 +17,15 @@
 //!   instead of vanishing. Ingesting `n` records at batch size `B`
 //!   issues `ceil(n / B)` write statements instead of `n`. Under
 //!   [`group_commit::DurabilityMode::Wal`] the queue is write-ahead
-//!   logged: frames are synced before records are acknowledged, the
-//!   committer truncates the log only after checkpointed batches, and
-//!   a reopen replays the un-truncated tail (at-least-once,
-//!   deduplicated by `(tid, loc)`) — so a crash loses nothing that
-//!   was acknowledged.
+//!   logged: each enqueue appends its frames and pays **one coalesced
+//!   sync** at its commit boundary (the WAL's leader/follower window —
+//!   concurrent producers share the leader's fsync) before records are
+//!   acknowledged, the committer checkpoints each batch (incremental
+//!   sidecar deltas) and truncates the log only afterwards, and a
+//!   reopen replays the un-truncated tail (at-least-once, deduplicated
+//!   by `(tid, loc)`) — so a crash loses nothing that was
+//!   acknowledged, at `ceil(n / B) + O(1)` fsyncs per `n`-record
+//!   ingest instead of one per record.
 //! * [`executor`] — [`ShardExecutor`], a thread-per-shard worker pool
 //!   that runs [`crate::ShardedStore`]'s fan-out statements (`by_tid`,
 //!   `all`, straddling prefix probes, decomposed chain probes,

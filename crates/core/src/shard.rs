@@ -50,7 +50,13 @@
 //! — and later pages are fetched per shard on demand, so the cursor
 //! never buffers more than `batch × shards` records
 //! ([`RecordCursor::buffered`]) and a drain costs
-//! `max(1, ceil(hits_i / batch))` statements on each shard `i`. The
+//! `max(1, ceil(hits_i / batch))` statements on each shard `i`. With
+//! the parallel executor attached, each continuation is additionally
+//! **prefetched cursor-ahead**: serving a page immediately dispatches
+//! the shard's next page to its worker, so the fetch overlaps the
+//! caller's consumption of the current page; the statement is charged
+//! when the page is received, so counts (and a mid-scan drop's bill)
+//! are identical to the on-demand schedule. The
 //! materializing `by_*` probes are thin wrappers over these cursors
 //! with an unbounded batch, which collapses to exactly the old
 //! one-statement-per-shard fan-out.
@@ -90,7 +96,7 @@
 //! as the ablation for serial deployments.
 
 use crate::error::{CoreError, Result};
-use crate::pipeline::executor::{run_job, ShardExecutor, ShardJob};
+use crate::pipeline::executor::{recv_reply, run_job, Reply, ShardExecutor, ShardJob};
 use crate::record::{ProvRecord, Tid};
 use crate::store::{chain_keys, ProvStore, RecordCursor, ScanKind, ScanToken, SqlStore};
 use cpdb_storage::{Engine, Meter};
@@ -98,6 +104,7 @@ use cpdb_tree::Path;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -506,6 +513,13 @@ enum ShardScanState {
     Pending(Option<ScanToken>),
     /// A prefetched page waiting to be handed out.
     Ready { rows: Vec<ProvRecord>, next: Option<ScanToken> },
+    /// The shard's next page is already in flight on the worker pool
+    /// (cursor-ahead prefetch): it was dispatched while the previous
+    /// page was being served, so the worker computes it concurrently
+    /// with the caller consuming rows. The statement is charged when
+    /// the reply is **received**, not when dispatched — a cursor
+    /// dropped mid-scan never pays for pages it never took.
+    Fetching(Receiver<Reply>),
     /// The shard's range is exhausted.
     Finished,
 }
@@ -554,23 +568,61 @@ impl ShardScanSource<'_> {
     }
 }
 
+/// The state holding a shard's continuation: with the parallel
+/// executor attached the next page is dispatched to the shard's
+/// worker **now** — computed while the caller consumes the page just
+/// served (cursor-ahead prefetch) — otherwise it waits as
+/// [`ShardScanState::Pending`] for an on-demand fetch.
+fn continuation(
+    store: &ShardedStore,
+    kind: &ScanKind,
+    batch: usize,
+    shard: usize,
+    token: ScanToken,
+) -> ShardScanState {
+    match &store.executor {
+        Some(exec) => ShardScanState::Fetching(
+            exec.submit(shard, ShardJob::Page { kind: kind.clone(), batch, token: Some(token) }),
+        ),
+        None => ShardScanState::Pending(Some(token)),
+    }
+}
+
 impl crate::store::RecordSource for ShardScanSource<'_> {
     fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
         if !self.started {
             self.started = true;
             self.prefetch()?;
         }
+        let ShardScanSource { store, kind, batch, shards, cur, .. } = self;
+        let (store, batch) = (*store, *batch);
         loop {
-            let Some((shard, state)) = self.shards.get_mut(self.cur) else {
+            let Some((shard, state)) = shards.get_mut(*cur) else {
                 return Ok(None);
             };
+            let shard = *shard;
             match std::mem::replace(state, ShardScanState::Finished) {
                 ShardScanState::Ready { rows, next } => {
                     if let Some(t) = next {
-                        *state = ShardScanState::Pending(Some(t));
+                        *state = continuation(store, kind, batch, shard, t);
                     }
                     if rows.is_empty() {
-                        self.cur += 1;
+                        *cur += 1;
+                        continue;
+                    }
+                    return Ok(Some(rows));
+                }
+                ShardScanState::Fetching(rx) => {
+                    // The page was computed while the previous one was
+                    // consumed; receiving it is the statement (counted,
+                    // no simulated spin — the worker waited for real).
+                    store.reads.tally(1);
+                    let (rows, next) = recv_reply(rx)?;
+                    if let Some(t) = next {
+                        *state = continuation(store, kind, batch, shard, t);
+                    }
+                    if rows.is_empty() {
+                        *cur += 1;
                         continue;
                     }
                     return Ok(Some(rows));
@@ -578,23 +630,20 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
                 ShardScanState::Pending(token) => {
                     // On-demand continuation: one statement on the one
                     // shard being served.
-                    self.store.reads.round_trip();
-                    let (rows, next) = self.store.shards[*shard].store.scan_page(
-                        &self.kind,
-                        self.batch,
-                        token.as_ref(),
-                    )?;
+                    store.reads.round_trip();
+                    let (rows, next) =
+                        store.shards[shard].store.scan_page(kind, batch, token.as_ref())?;
                     if let Some(t) = next {
                         *state = ShardScanState::Pending(Some(t));
                     }
                     if rows.is_empty() {
-                        self.cur += 1;
+                        *cur += 1;
                         continue;
                     }
                     return Ok(Some(rows));
                 }
                 ShardScanState::Finished => {
-                    self.cur += 1;
+                    *cur += 1;
                 }
             }
         }
@@ -719,7 +768,20 @@ impl ProvStore for ShardedStore {
 
     fn checkpoint(&self) -> Result<()> {
         // Every shard flushes its heap and persists its indexes; no
-        // statements are charged (recovery I/O, not queries).
+        // statements are charged (recovery I/O, not queries). With the
+        // parallel executor attached each shard's worker doubles as
+        // its **committer**: the checkpoints are scattered and run
+        // concurrently, so the wall clock is the slowest shard's sync
+        // rather than the sum over shards.
+        if self.shards.len() > 1 {
+            if let Some(exec) = &self.executor {
+                let jobs = (0..self.shards.len()).map(|i| (i, ShardJob::Checkpoint));
+                for reply in exec.scatter(jobs) {
+                    reply?;
+                }
+                return Ok(());
+            }
+        }
         for s in &self.shards {
             s.store.checkpoint()?;
         }
@@ -1143,6 +1205,34 @@ mod tests {
             let got = store.scan_tid_loc_prefix(Tid(3), &prefix, 1).unwrap().drain().unwrap();
             assert_eq!(got, want, "prefix {prefix}");
         }
+    }
+
+    /// Per-shard committers: with the executor attached, `checkpoint`
+    /// scatters one checkpoint job per shard (run concurrently on the
+    /// workers, no statements charged) and a reopen finds every
+    /// shard's data and indexes persisted.
+    #[test]
+    fn parallel_checkpoint_persists_every_shard() {
+        let dir =
+            std::env::temp_dir().join(format!("cpdb-shard-parallel-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let containers: Vec<Path> = (1..=12).map(|i| p(&format!("T/c{i}"))).collect();
+        let boundaries = ShardedStore::split_points(&containers, 4);
+        {
+            let store =
+                ShardedStore::on_disk(&dir, boundaries, true).unwrap().with_parallel_executor();
+            for (i, c) in containers.iter().enumerate() {
+                store.insert(&ProvRecord::insert(Tid(i as u64), c.clone())).unwrap();
+            }
+            store.reset_trips();
+            store.checkpoint().unwrap();
+            assert_eq!(store.read_trips(), 0, "checkpoints are not statements");
+            assert_eq!(store.write_trips(), 0);
+        }
+        let store = ShardedStore::open_disk(&dir).unwrap();
+        assert_eq!(store.len(), 12);
+        assert_eq!(store.by_loc(&p("T/c7")).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

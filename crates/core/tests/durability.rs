@@ -363,6 +363,159 @@ fn sharded_crash_recovers_through_manifest_and_wal() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The Drop-ordering regression (satellite of the coalesced-sync PR):
+/// a pipeline dropped while a commit error is parked must truncate
+/// **nothing** past the committed watermark — every acknowledged but
+/// uncommitted record keeps its live WAL frame through the shutdown,
+/// and a healthy reopen recovers all of them.
+#[test]
+fn drop_with_parked_error_truncates_nothing_past_committed() {
+    let dir = tempdir("drop-parked");
+    let records = stream(300);
+    let enqueued;
+    let committed;
+    let mut extra = Vec::new();
+    {
+        // Enough budget that early batches commit (advancing the
+        // committed watermark and truncating their frames), then the
+        // table fails forever: a commit error parks and stays parked
+        // through the drop.
+        let engine = faulty_disk_engine(&dir, 80);
+        let store: Arc<dyn ProvStore> = Arc::new(SqlStore::create(&engine, true).unwrap());
+        let wal = Wal::open(Arc::new(DiskBackend::open(dir.join("prov.wal")).unwrap())).unwrap();
+        let pipe = PipelinedStore::spawn_with_durability(
+            store,
+            PipelineConfig::batched(16),
+            DurabilityMode::Wal(wal),
+        )
+        .unwrap();
+        let mut saw_error = false;
+        for r in &records {
+            saw_error |= pipe.insert(r).is_err();
+        }
+        // The committer may lag the producers: keep nudging (each
+        // insert surfaces a parked error, and its own record is
+        // accepted and WAL-covered) until the fault shows up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !saw_error {
+            assert!(std::time::Instant::now() < deadline, "injected fault never surfaced");
+            let r = ProvRecord::insert(Tid(50_000 + extra.len() as u64), p("T/c1/nudge"));
+            saw_error = pipe.insert(&r).is_err();
+            extra.push(r);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        enqueued = pipe.enqueued();
+        committed = pipe.committed();
+        assert!(committed > 0, "some early batches must have committed");
+        assert!(enqueued > committed, "acknowledged records must be stuck behind the error");
+        // Drop with the error still parked: the committer must not
+        // retry-drain (the backend is dead) and must not touch the
+        // log past the committed watermark.
+    }
+    let wal = Wal::open(Arc::new(DiskBackend::open(dir.join("prov.wal")).unwrap())).unwrap();
+    assert!(
+        wal.pending_count().unwrap() >= enqueued - committed,
+        "every uncommitted acknowledged record keeps a live frame: \
+         {} frames for {} uncommitted",
+        wal.pending_count().unwrap(),
+        enqueued - committed
+    );
+    // Healthy reopen: replay restores exactly the acknowledged stream.
+    let engine = Engine::on_disk(&dir).unwrap();
+    let store: Arc<dyn ProvStore> = Arc::new(SqlStore::open(&engine, true).unwrap());
+    let pipe = PipelinedStore::spawn_with_durability(
+        store,
+        PipelineConfig::batched(16),
+        DurabilityMode::Wal(wal),
+    )
+    .unwrap();
+    let want: Vec<ProvRecord> = records.into_iter().chain(extra).collect();
+    assert_eq!(pipe.len(), want.len() as u64, "no loss, no duplicates");
+    assert_eq!(sorted(pipe.all().unwrap()), sorted(want));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Multi-producer coalesced commits under fault injection: N producer
+/// threads share one durable pipeline whose WAL backend dies mid-run
+/// — inside some leader's sync window, with followers waiting on the
+/// watermark — and whose table also fails. On reopen, every record a
+/// producer got an `Ok` for is recovered, and nothing is duplicated.
+#[test]
+fn concurrent_producers_crash_in_sync_window_recover_all_acked() {
+    let dir = tempdir("multi-producer");
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 60;
+    let mut acked: Vec<ProvRecord> = Vec::new();
+    let mut wal_failures = 0usize;
+    {
+        let engine = faulty_disk_engine(&dir, 60);
+        let store: Arc<dyn ProvStore> = Arc::new(SqlStore::create(&engine, true).unwrap());
+        // The WAL's own backend fails after a budget spent mid-run:
+        // whichever producer is leader at that point fails its sync,
+        // and the waiting followers retry and fail as leaders too.
+        let wal_disk = DiskBackend::open(dir.join("prov.wal")).unwrap();
+        let wal = Wal::open(Arc::new(FaultyBackend::new(wal_disk, 150))).unwrap();
+        let pipe = PipelinedStore::spawn_with_durability(
+            store,
+            PipelineConfig::batched(16),
+            DurabilityMode::Wal(wal),
+        )
+        .unwrap();
+        let results: Vec<(Vec<ProvRecord>, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let pipe = &pipe;
+                    s.spawn(move || {
+                        let mut ok = Vec::new();
+                        let mut errs = 0;
+                        for i in 0..PER_THREAD {
+                            let r = ProvRecord::insert(
+                                Tid((t * 1_000 + i) as u64),
+                                p(&format!("T/c{t}/m{i:03}")),
+                            );
+                            match pipe.insert(&r) {
+                                Ok(()) => ok.push(r),
+                                Err(_) => errs += 1,
+                            }
+                        }
+                        (ok, errs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (ok, errs) in results {
+            acked.extend(ok);
+            wal_failures += errs;
+        }
+        assert!(wal_failures > 0, "the WAL fault must surface to some producer");
+        assert!(!acked.is_empty(), "some records must have been acknowledged before the fault");
+        // Drop = crash: the dead table never drained the queue.
+    }
+    // Reopen healthy (the same files, no fault wrappers).
+    let engine = Engine::on_disk(&dir).unwrap();
+    let store: Arc<dyn ProvStore> = Arc::new(SqlStore::open(&engine, true).unwrap());
+    let wal = Wal::open(Arc::new(DiskBackend::open(dir.join("prov.wal")).unwrap())).unwrap();
+    let pipe = PipelinedStore::spawn_with_durability(
+        store,
+        PipelineConfig::batched(16),
+        DurabilityMode::Wal(wal),
+    )
+    .unwrap();
+    let recovered = sorted(pipe.all().unwrap());
+    // No duplicates: every sent record is distinct, so equal neighbors
+    // would mean a double-delivered frame survived the dedup.
+    assert!(
+        recovered.windows(2).all(|w| w[0] != w[1]),
+        "replay must not double-deliver any record"
+    );
+    // Every acknowledged record survives the crash.
+    for r in &acked {
+        assert!(recovered.binary_search(r).is_ok(), "acked record lost: {:?} @ {}", r.tid, r.loc);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Replay dedup is record-equality within a `(tid, loc)` probe, not
 /// blanket first-frame-wins: two *distinct* acknowledged records at
 /// the same `(tid, loc)`, and a genuinely repeated record, all

@@ -262,6 +262,44 @@ fn mid_scan_drop_leaks_nothing_and_meters_only_fetched_batches() {
     }
 }
 
+/// Cursor-ahead prefetch must not change the statement bill: draining
+/// the same straddling scan costs exactly the same read statements and
+/// waves on the parallel-executor front (which dispatches each shard's
+/// next page to its worker while the current page is being consumed)
+/// as on the serial store (which fetches continuations on demand).
+#[test]
+fn prefetching_cursor_statement_counts_match_serial() {
+    let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 400, 99), 400);
+    let records = records_from(&wl);
+    let containers = containers_of(&records);
+    let root = Path::single(wl.target_name);
+    let serial = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true).unwrap();
+    let parallel = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    serial.insert_batch(&records).unwrap();
+    parallel.insert_batch(&records).unwrap();
+    for prefix in [root.clone(), Path::epsilon(), containers[1].clone()] {
+        for batch in [1usize, 2, 7, 64] {
+            serial.reset_trips();
+            parallel.reset_trips();
+            let want = drain_checked(serial.scan_loc_prefix(&prefix, batch).unwrap(), batch);
+            let got = drain_checked(parallel.scan_loc_prefix(&prefix, batch).unwrap(), batch);
+            assert_eq!(got, want, "{prefix} b{batch}: same records in the same order");
+            assert_eq!(
+                parallel.read_trips(),
+                serial.read_trips(),
+                "{prefix} b{batch}: prefetch must not change the statement count"
+            );
+            assert_eq!(
+                parallel.read_waves(),
+                serial.read_waves(),
+                "{prefix} b{batch}: prefetch must not change the wave count"
+            );
+        }
+    }
+}
+
 /// The sharded store is a single `Sync` object fed by many writers:
 /// concurrent inserts and scans across shard boundaries must never
 /// lose, duplicate, or corrupt a record.

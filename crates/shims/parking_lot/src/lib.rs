@@ -40,6 +40,43 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's `&mut`-guard interface.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Blocks until notified, atomically releasing the guarded mutex.
+    /// Like all condvars, spurious wakeups are possible — callers
+    /// re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard and returns it; parking_lot's
+        // takes `&mut`. Move the guard out and back by pointer — safe
+        // because `sync::Condvar::wait` only returns Err(PoisonError)
+        // (unwrapped below, never a panic), so exactly one live guard
+        // exists at every exit path.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let back = self.0.wait(owned).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, back);
+        }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader-writer lock with parking_lot's non-poisoning interface.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
@@ -81,6 +118,24 @@ impl<T: ?Sized> RwLock<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn condvar_wakes_waiters() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut ready = m2.lock();
+            while !*ready {
+                cv2.wait(&mut ready);
+            }
+            *ready
+        });
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(waiter.join().unwrap());
+    }
 
     #[test]
     fn mutex_and_rwlock_basics() {

@@ -141,6 +141,25 @@ impl Index {
         self.map.insert(key, rids);
     }
 
+    /// Applies one journaled posting **add** during a delta-segment
+    /// load: the map effect of [`Index::insert`] keyed directly, with
+    /// no uniqueness re-check — the op was checked when it originally
+    /// ran against the live index.
+    pub(crate) fn apply_add(&mut self, key: Vec<Datum>, rid: RowId) {
+        self.map.entry(key).or_default().push(rid);
+    }
+
+    /// Applies one journaled posting **remove** during a delta-segment
+    /// load: the map effect of [`Index::remove`] keyed directly.
+    pub(crate) fn apply_remove(&mut self, key: &[Datum], rid: RowId) {
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.retain(|&r| r != rid);
+            if entry.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
     /// Rebuilds the index from a full table scan.
     pub fn rebuild(&mut self, table: &Table) -> Result<()> {
         self.map.clear();

@@ -51,7 +51,7 @@ mod sidecar;
 mod table;
 mod wal;
 
-pub use backend::{Backend, DiskBackend, FaultyBackend, MemBackend};
+pub use backend::{Backend, DiskBackend, FaultyBackend, MemBackend, MeteredBackend};
 pub use buffer::{BufferPool, PageGuard, PoolStats};
 pub use engine::{Engine, HandleRangeCursor, TableHandle};
 pub use error::{Result, StorageError};

@@ -84,6 +84,8 @@ pub struct Meter {
     round_trips: AtomicU64,
     waves: AtomicU64,
     page_reads: AtomicU64,
+    syncs: AtomicU64,
+    checkpoint_pages: AtomicU64,
     latency_ns: AtomicU64,
 }
 
@@ -165,6 +167,34 @@ impl Meter {
         self.page_reads.load(Ordering::Relaxed)
     }
 
+    /// Records one **durable sync** (an fsync on a backend). Syncs are
+    /// the unit of durability cost: a group-commit window that
+    /// coalesces many enqueues into one fsync should show one sync
+    /// here, however many statements it covered. No latency is spun —
+    /// the backend itself pays the real I/O cost.
+    pub fn sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of durable syncs recorded so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Records `pages` **checkpoint page writes** — pages written while
+    /// persisting an index sidecar (full snapshot or delta segment).
+    /// Counted apart from statements and recovery reads so experiments
+    /// can assert that an incremental checkpoint's write volume tracks
+    /// the delta size, not the index size.
+    pub fn checkpoint_page(&self, pages: u64) {
+        self.checkpoint_pages.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Number of checkpoint page writes recorded so far.
+    pub fn checkpoint_pages(&self) -> u64 {
+        self.checkpoint_pages.load(Ordering::Relaxed)
+    }
+
     /// Number of interactions recorded so far.
     pub fn count(&self) -> u64 {
         self.round_trips.load(Ordering::Relaxed)
@@ -181,6 +211,8 @@ impl Meter {
         self.round_trips.store(0, Ordering::Relaxed);
         self.waves.store(0, Ordering::Relaxed);
         self.page_reads.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
+        self.checkpoint_pages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -243,6 +275,24 @@ mod tests {
         assert!(t0.elapsed() < Duration::from_secs(1), "tally must not spin");
         assert_eq!(m.count(), 8);
         assert_eq!(m.waves(), 1);
+    }
+
+    #[test]
+    fn syncs_and_checkpoint_pages_count_without_latency() {
+        let m = Meter::with_latency(Duration::from_secs(3600));
+        let t0 = std::time::Instant::now();
+        m.sync();
+        m.sync();
+        m.checkpoint_page(5);
+        m.checkpoint_page(0);
+        assert!(t0.elapsed() < Duration::from_secs(1), "durability counters must not spin");
+        assert_eq!(m.syncs(), 2);
+        assert_eq!(m.checkpoint_pages(), 5);
+        assert_eq!(m.count(), 0, "syncs are not statements");
+        assert_eq!(m.waves(), 0);
+        m.reset();
+        assert_eq!(m.syncs(), 0);
+        assert_eq!(m.checkpoint_pages(), 0);
     }
 
     #[test]

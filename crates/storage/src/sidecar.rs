@@ -13,14 +13,31 @@
 //! One sidecar backend per table (`<table>.idx.tbl` under a disk
 //! engine's directory), all cells in ordinary slotted [`Page`]s:
 //!
-//! * **page 0 — header**: magic `CPDBIDX1`, a `clean` flag, the
+//! * **page 0 — header**: magic `CPDBIDX2`, a `clean` flag, the
 //!   table's live row count, the heap backend's page count (a cheap
-//!   staleness cross-check), the per-index metadata (name, key
-//!   columns, unique/ordered flags, entry count), the number of data
-//!   pages, and a CRC32 over all of it.
-//! * **pages 1..=data_pages — entries**: each cell packs consecutive
-//!   `(key, row ids)` entries, streamed index by index in the header's
-//!   declared order; keys use the row codec ([`crate::encode_row`]).
+//!   staleness cross-check), the number of base data pages, the number
+//!   of delta pages appended since the base, the per-index metadata
+//!   (name, key columns, unique/ordered flags, **base** entry count),
+//!   and a CRC32 over all of it.
+//! * **pages 1..=data_pages — base entries**: each cell packs
+//!   consecutive `(key, row ids)` entries, streamed index by index in
+//!   the header's declared order; keys use the row codec
+//!   ([`crate::encode_row`]). Together they are the **base snapshot**,
+//!   rewritten in full only by [`persist`].
+//! * **pages data_pages+1 ..= data_pages+delta_pages — delta
+//!   segments**: each cell packs journaled index mutations (`add` or
+//!   `remove` of one `key → row id` posting) in the order they ran.
+//!   Appended by [`persist_delta`], so an incremental checkpoint
+//!   writes O(mutations since the last checkpoint) pages, not
+//!   O(index) — loading replays them over the base in order.
+//!
+//! The per-index metadata always describes the **base** snapshot (its
+//! entry counts parse the base pages); the row count and heap page
+//! count always describe the **current** checkpoint, deltas included.
+//! A full rewrite resets `delta_pages` to zero and folds every
+//! journaled mutation back into the base. Older `CPDBIDX1` sidecars
+//! fail the magic check and fall back to a rebuild — a one-time cost
+//! at upgrade.
 //!
 //! ## Crash consistency: the dirty marker
 //!
@@ -49,36 +66,81 @@ use crate::table::RowId;
 use crate::wal::crc32;
 use std::sync::Arc;
 
-/// Magic prefix of the sidecar header cell.
-const MAGIC: &[u8; 8] = b"CPDBIDX1";
+/// Magic prefix of the sidecar header cell. `CPDBIDX1` (no delta
+/// segments) is deliberately not readable: it fails the magic check
+/// and the opener rebuilds, once.
+const MAGIC: &[u8; 8] = b"CPDBIDX2";
+
+/// Per-index header metadata: `(name, key_cols, unique, ordered,
+/// base entry count)`.
+pub(crate) type IndexMeta = (String, Vec<usize>, bool, bool, u64);
+
+/// The on-disk shape of the current **base snapshot** — everything
+/// [`persist_delta`] needs to append a delta segment without touching
+/// (or even knowing) the base pages. Produced by [`persist`] and by
+/// [`load`]; the engine keeps it alongside its journaled ops.
+#[derive(Clone)]
+pub(crate) struct BaseMeta {
+    /// Per-index metadata frozen at the last full rewrite (the entry
+    /// counts parse the base pages on load).
+    pub metas: Vec<IndexMeta>,
+    /// Base data pages (pages `1..=data_pages`).
+    pub data_pages: u32,
+    /// Delta pages appended since the base (pages
+    /// `data_pages+1..=data_pages+delta_pages`).
+    pub delta_pages: u32,
+    /// Total entries in the base snapshot — the rewrite-vs-delta
+    /// threshold input.
+    pub entries: u64,
+}
+
+/// One journaled index mutation since the last full rewrite: add or
+/// remove the `key → rid` posting of index `index` (its position in
+/// the header's index order, stable between full rewrites because
+/// structural changes force one).
+pub(crate) struct DeltaOp {
+    /// `true` to add the posting, `false` to remove it.
+    pub add: bool,
+    /// Index position in the header's declared order.
+    pub index: u16,
+    /// The index key of the mutated row.
+    pub key: Vec<Datum>,
+    /// The row id the posting points at.
+    pub rid: RowId,
+}
 
 /// What a successful sidecar load hands back to the engine.
 pub(crate) struct SidecarSnapshot {
-    /// The persisted indexes, fully reconstructed.
+    /// The persisted indexes, fully reconstructed (deltas applied).
     pub indexes: Vec<Index>,
     /// The table's live row count at checkpoint time.
     pub row_count: u64,
-    /// Pages read to load the snapshot (header + data pages) — the
-    /// quantity the engine charges to [`crate::Meter::page_read`].
+    /// Pages read to load the snapshot (header + base + delta pages) —
+    /// the quantity the engine charges to [`crate::Meter::page_read`].
     pub pages_read: u64,
+    /// The base-snapshot shape, so the engine can keep appending delta
+    /// segments after a reopen.
+    pub base: BaseMeta,
 }
 
 fn corrupt(reason: impl Into<String>) -> StorageError {
     StorageError::PageCorrupt { page: 0, reason: reason.into() }
 }
 
-/// Writes a header page. `data_pages` / `indexes` / `row_count` /
-/// `heap_pages` describe the snapshot the data pages hold; a dirty
-/// marker rewrites the header with `clean = false` and whatever
-/// snapshot description it previously had (the contents no longer
-/// matter — a dirty sidecar is never loaded).
+/// Writes a header page. `data_pages` / `delta_pages` / `metas`
+/// describe the base snapshot and its appended delta segments;
+/// `row_count` / `heap_pages` describe the current checkpoint. A dirty
+/// marker rewrites the header with `clean = false` and an empty
+/// snapshot description (the contents no longer matter — a dirty
+/// sidecar is never loaded).
 fn write_header(
     backend: &dyn Backend,
     clean: bool,
     row_count: u64,
     heap_pages: u64,
     data_pages: u32,
-    indexes: &[&Index],
+    delta_pages: u32,
+    metas: &[IndexMeta],
 ) -> Result<()> {
     let mut body = Vec::with_capacity(64);
     body.extend_from_slice(MAGIC);
@@ -86,18 +148,19 @@ fn write_header(
     body.extend_from_slice(&row_count.to_le_bytes());
     body.extend_from_slice(&heap_pages.to_le_bytes());
     body.extend_from_slice(&data_pages.to_le_bytes());
-    body.extend_from_slice(&(indexes.len() as u32).to_le_bytes());
-    for idx in indexes {
-        let name = idx.name().as_bytes();
+    body.extend_from_slice(&delta_pages.to_le_bytes());
+    body.extend_from_slice(&(metas.len() as u32).to_le_bytes());
+    for (name, key_cols, unique, ordered, entries) in metas {
+        let name = name.as_bytes();
         body.extend_from_slice(&(name.len() as u32).to_le_bytes());
         body.extend_from_slice(name);
-        body.extend_from_slice(&(idx.key_cols().len() as u16).to_le_bytes());
-        for &c in idx.key_cols() {
+        body.extend_from_slice(&(key_cols.len() as u16).to_le_bytes());
+        for &c in key_cols {
             body.extend_from_slice(&(c as u16).to_le_bytes());
         }
-        body.push(idx.is_unique() as u8);
-        body.push(idx.is_ordered() as u8);
-        body.extend_from_slice(&(idx.distinct_keys() as u64).to_le_bytes());
+        body.push(*unique as u8);
+        body.push(*ordered as u8);
+        body.extend_from_slice(&entries.to_le_bytes());
     }
     let crc = crc32(&body);
     body.extend_from_slice(&crc.to_le_bytes());
@@ -110,14 +173,25 @@ fn write_header(
     backend.write_page(0, &page)
 }
 
+/// The base-describing metadata of an index as persisted in the header.
+fn meta_of(idx: &Index) -> IndexMeta {
+    (
+        idx.name().to_owned(),
+        idx.key_cols().to_vec(),
+        idx.is_unique(),
+        idx.is_ordered(),
+        idx.distinct_keys() as u64,
+    )
+}
+
 /// Parsed header: `(clean, row_count, heap_pages, data_pages,
-/// per-index (name, key_cols, unique, ordered, entry_count))`.
-type Header = (bool, u64, u64, u32, Vec<(String, Vec<usize>, bool, bool, u64)>);
+/// delta_pages, per-index metadata)`.
+type Header = (bool, u64, u64, u32, u32, Vec<IndexMeta>);
 
 fn read_header(backend: &dyn Backend) -> Result<Header> {
     let page = backend.read_page(0)?;
     let cell = page.get(0).ok_or_else(|| corrupt("missing sidecar header cell"))?;
-    if cell.len() < 37 || &cell[..8] != MAGIC {
+    if cell.len() < 41 || &cell[..8] != MAGIC {
         return Err(corrupt("bad sidecar magic"));
     }
     let (body, crc_bytes) = cell.split_at(cell.len() - 4);
@@ -130,6 +204,7 @@ fn read_header(backend: &dyn Backend) -> Result<Header> {
     let row_count = r.u64()?;
     let heap_pages = r.u64()?;
     let data_pages = r.u32()?;
+    let delta_pages = r.u32()?;
     let n = r.u32()? as usize;
     let mut metas = Vec::with_capacity(n);
     for _ in 0..n {
@@ -146,7 +221,7 @@ fn read_header(backend: &dyn Backend) -> Result<Header> {
         let entries = r.u64()?;
         metas.push((name, key_cols, unique, ordered, entries));
     }
-    Ok((clean, row_count, heap_pages, data_pages, metas))
+    Ok((clean, row_count, heap_pages, data_pages, delta_pages, metas))
 }
 
 /// Bounds-checked little-endian reader over a header/entry buffer.
@@ -203,62 +278,76 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<(Vec<Datum>, Vec<RowId>)> {
     Ok((key, rids))
 }
 
-/// Marks the sidecar dirty (untrusted) and syncs — called before the
-/// first heap mutation after a checkpoint, so a crash can never leave
-/// a clean header over an out-of-date snapshot.
-pub(crate) fn mark_dirty(backend: &dyn Backend) -> Result<()> {
-    write_header(backend, false, 0, 0, 0, &[])?;
-    backend.sync()
+/// Serializes one journaled delta op.
+fn encode_delta_op(op: &DeltaOp, out: &mut Vec<u8>) {
+    out.push(op.add as u8);
+    out.extend_from_slice(&op.index.to_le_bytes());
+    let mut key_bytes = Vec::with_capacity(32);
+    encode_row(&op.key, &mut key_bytes);
+    out.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&key_bytes);
+    out.extend_from_slice(&op.rid.page.to_le_bytes());
+    out.extend_from_slice(&op.rid.slot.to_le_bytes());
 }
 
-/// Persists a checkpoint snapshot: data pages first, clean header
-/// last, one sync. The caller must have flushed the heap already.
-pub(crate) fn persist(
-    backend: &dyn Backend,
-    indexes: &[&Index],
-    row_count: u64,
-    heap_pages: u64,
-) -> Result<()> {
-    // Pack entries into cells of at most MAX_CELL bytes; every cell
-    // starts with its entry count.
+fn decode_delta_op(r: &mut Reader<'_>) -> Result<DeltaOp> {
+    let add = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(corrupt("bad delta op kind")),
+    };
+    let index = r.u16()?;
+    let key_len = r.u32()? as usize;
+    let key = decode_row(r.bytes(key_len)?)?;
+    let page = r.u64()?;
+    let slot = r.u16()?;
+    Ok(DeltaOp { add, index, key, rid: RowId { page, slot } })
+}
+
+/// Packs pre-encoded items into cells of at most `MAX_CELL` bytes;
+/// every cell starts with its item count.
+fn pack_cells(items: impl Iterator<Item = Vec<u8>>) -> Result<Vec<Vec<u8>>> {
     let mut cells: Vec<Vec<u8>> = Vec::new();
     let mut cell: Vec<u8> = vec![0, 0, 0, 0];
     let mut in_cell = 0u32;
-    for idx in indexes {
-        for (key, rids) in idx.entries() {
-            let mut entry = Vec::with_capacity(48);
-            encode_entry(key, rids, &mut entry);
-            if cell.len() + entry.len() > MAX_CELL && in_cell > 0 {
-                cell[..4].copy_from_slice(&in_cell.to_le_bytes());
-                cells.push(std::mem::replace(&mut cell, vec![0, 0, 0, 0]));
-                in_cell = 0;
-            }
-            if 4 + entry.len() > MAX_CELL {
-                return Err(StorageError::RowTooLarge { size: entry.len(), max: MAX_CELL - 4 });
-            }
-            cell.extend_from_slice(&entry);
-            in_cell += 1;
+    for item in items {
+        if cell.len() + item.len() > MAX_CELL && in_cell > 0 {
+            cell[..4].copy_from_slice(&in_cell.to_le_bytes());
+            cells.push(std::mem::replace(&mut cell, vec![0, 0, 0, 0]));
+            in_cell = 0;
         }
+        if 4 + item.len() > MAX_CELL {
+            return Err(StorageError::RowTooLarge { size: item.len(), max: MAX_CELL - 4 });
+        }
+        cell.extend_from_slice(&item);
+        in_cell += 1;
     }
     if in_cell > 0 {
         cell[..4].copy_from_slice(&in_cell.to_le_bytes());
         cells.push(cell);
     }
-    // Lay cells onto data pages (greedy, order-preserving).
-    let mut pages: Vec<Page> = vec![Page::new()];
-    for cell in &cells {
-        if !pages.last().expect("non-empty").fits(cell.len()) {
+    Ok(cells)
+}
+
+/// Writes `cells` onto consecutive pages starting at `start` (greedy,
+/// order-preserving), reusing allocated pages where the file already
+/// has them. Returns the number of pages written. With `pad` the
+/// layout always produces at least one page, even for zero cells.
+fn write_cell_pages(
+    backend: &dyn Backend,
+    start: u64,
+    cells: &[Vec<u8>],
+    pad: bool,
+) -> Result<u64> {
+    let mut pages: Vec<Page> = if pad { vec![Page::new()] } else { Vec::new() };
+    for cell in cells {
+        if pages.last().is_none_or(|p| !p.fits(cell.len())) {
             pages.push(Page::new());
         }
         pages.last_mut().expect("non-empty").insert(cell)?;
     }
-    // Header page may not exist yet on a fresh sidecar.
-    if backend.num_pages() == 0 {
-        let no = backend.allocate()?;
-        debug_assert_eq!(no, 0);
-    }
     for (i, page) in pages.iter().enumerate() {
-        let no = i as u64 + 1;
+        let no = start + i as u64;
         if no < backend.num_pages() {
             backend.write_page(no, page)?;
         } else {
@@ -267,8 +356,85 @@ pub(crate) fn persist(
             backend.write_page(no, page)?;
         }
     }
-    write_header(backend, true, row_count, heap_pages, pages.len() as u32, indexes)?;
+    Ok(pages.len() as u64)
+}
+
+/// Marks the sidecar dirty (untrusted) and syncs — called before the
+/// first heap mutation after a checkpoint, so a crash can never leave
+/// a clean header over an out-of-date snapshot.
+pub(crate) fn mark_dirty(backend: &dyn Backend) -> Result<()> {
+    write_header(backend, false, 0, 0, 0, 0, &[])?;
     backend.sync()
+}
+
+/// Persists a **full** checkpoint snapshot: base data pages first,
+/// clean header last, one sync. The caller must have flushed the heap
+/// already. Returns the number of pages written (data pages + header)
+/// and the [`BaseMeta`] later delta checkpoints build on.
+pub(crate) fn persist(
+    backend: &dyn Backend,
+    indexes: &[&Index],
+    row_count: u64,
+    heap_pages: u64,
+) -> Result<(u64, BaseMeta)> {
+    let mut entries: Vec<Vec<u8>> = Vec::new();
+    for idx in indexes {
+        for (key, rids) in idx.entries() {
+            let mut entry = Vec::with_capacity(48);
+            encode_entry(key, rids, &mut entry);
+            entries.push(entry);
+        }
+    }
+    let cells = pack_cells(entries.into_iter())?;
+    // Header page may not exist yet on a fresh sidecar.
+    if backend.num_pages() == 0 {
+        let no = backend.allocate()?;
+        debug_assert_eq!(no, 0);
+    }
+    let data_pages = write_cell_pages(backend, 1, &cells, true)?;
+    let metas: Vec<IndexMeta> = indexes.iter().map(|i| meta_of(i)).collect();
+    let entry_total: u64 = indexes.iter().map(|i| i.distinct_keys() as u64).sum();
+    write_header(backend, true, row_count, heap_pages, data_pages as u32, 0, &metas)?;
+    backend.sync()?;
+    let base =
+        BaseMeta { metas, data_pages: data_pages as u32, delta_pages: 0, entries: entry_total };
+    Ok((data_pages + 1, base))
+}
+
+/// Persists an **incremental** checkpoint: appends the journaled ops
+/// as a delta segment after the base (and any earlier segments), then
+/// writes a clean header describing the unchanged base plus the grown
+/// delta region, and syncs once. Write volume is O(ops), not O(index)
+/// — the whole point of the delta journal. Returns the pages written
+/// (delta pages + header) and advances `base.delta_pages`.
+pub(crate) fn persist_delta(
+    backend: &dyn Backend,
+    base: &mut BaseMeta,
+    ops: &[DeltaOp],
+    row_count: u64,
+    heap_pages: u64,
+) -> Result<u64> {
+    let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let mut body = Vec::with_capacity(48);
+        encode_delta_op(op, &mut body);
+        encoded.push(body);
+    }
+    let cells = pack_cells(encoded.into_iter())?;
+    let start = base.data_pages as u64 + base.delta_pages as u64 + 1;
+    let new_pages = write_cell_pages(backend, start, &cells, false)?;
+    write_header(
+        backend,
+        true,
+        row_count,
+        heap_pages,
+        base.data_pages,
+        base.delta_pages + new_pages as u32,
+        &base.metas,
+    )?;
+    backend.sync()?;
+    base.delta_pages += new_pages as u32;
+    Ok(new_pages + 1)
 }
 
 /// Loads a clean snapshot. Returns `Ok(None)` when there is nothing
@@ -278,7 +444,7 @@ pub(crate) fn load(backend: &Arc<dyn Backend>, heap_pages: u64) -> Result<Option
     if backend.num_pages() == 0 {
         return Ok(None);
     }
-    let (clean, row_count, recorded_heap_pages, data_pages, metas) =
+    let (clean, row_count, recorded_heap_pages, data_pages, delta_pages, metas) =
         match read_header(backend.as_ref()) {
             Ok(h) => h,
             Err(_) => return Ok(None),
@@ -326,7 +492,39 @@ pub(crate) fn load(backend: &Arc<dyn Backend>, heap_pages: u64) -> Result<Option
     if remaining.iter().any(|&n| n != 0) {
         return Ok(None); // fewer entries than declared
     }
-    Ok(Some(SidecarSnapshot { indexes, row_count, pages_read }))
+    // Replay the delta segments over the base, in append (= mutation)
+    // order.
+    for no in data_pages as u64 + 1..=data_pages as u64 + delta_pages as u64 {
+        let page = match backend.read_page(no) {
+            Ok(p) => p,
+            Err(_) => return Ok(None),
+        };
+        pages_read += 1;
+        for (_, cell) in page.iter() {
+            let mut r = Reader { buf: cell };
+            let n = match r.u32() {
+                Ok(n) => n,
+                Err(_) => return Ok(None),
+            };
+            for _ in 0..n {
+                let op = match decode_delta_op(&mut r) {
+                    Ok(op) => op,
+                    Err(_) => return Ok(None),
+                };
+                let Some(idx) = indexes.get_mut(op.index as usize) else {
+                    return Ok(None); // op names an index the header lacks
+                };
+                if op.add {
+                    idx.apply_add(op.key, op.rid);
+                } else {
+                    idx.apply_remove(&op.key, op.rid);
+                }
+            }
+        }
+    }
+    let entries = metas.iter().map(|m| m.4).sum();
+    let base = BaseMeta { metas, data_pages, delta_pages, entries };
+    Ok(Some(SidecarSnapshot { indexes, row_count, pages_read, base }))
 }
 
 #[cfg(test)]
@@ -415,5 +613,98 @@ mod tests {
         let snap = load(&backend, 1).unwrap().expect("empty snapshot is valid");
         assert!(snap.indexes.is_empty());
         assert_eq!(snap.row_count, 0);
+    }
+
+    #[test]
+    fn delta_segments_replay_over_the_base() {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let mut indexes = sample_indexes();
+        let refs: Vec<&Index> = indexes.iter().collect();
+        let (_, mut base) = persist(backend.as_ref(), &refs, 500, 11).unwrap();
+        // Journal a handful of mutations: two adds on index 0, one add
+        // and one remove on index 1 (removing a posting the base holds).
+        let row = vec![Datum::U64(77), Datum::str("C"), Datum::str("T/delta/x"), Datum::Null];
+        let rid = RowId { page: 99, slot: 3 };
+        let victim_key = indexes[1].entries().next().map(|(k, _)| k.clone()).unwrap();
+        let victim_rid = indexes[1].lookup(&victim_key)[0];
+        let ops = vec![
+            DeltaOp { add: true, index: 0, key: indexes[0].key_of(&row), rid },
+            DeltaOp { add: true, index: 1, key: indexes[1].key_of(&row), rid },
+            DeltaOp { add: false, index: 1, key: victim_key.clone(), rid: victim_rid },
+        ];
+        // Mirror the ops on the live indexes so the oracle is exact.
+        indexes[0].insert(&row, rid).unwrap();
+        indexes[1].insert(&row, rid).unwrap();
+        indexes[1].apply_remove(&victim_key, victim_rid);
+        let written = persist_delta(backend.as_ref(), &mut base, &ops, 501, 11).unwrap();
+        assert!(written <= 2, "a 3-op delta writes one segment page plus the header");
+        assert_eq!(base.delta_pages, 1);
+        let snap = load(&backend, 11).unwrap().expect("delta sidecar loads");
+        assert_eq!(snap.row_count, 501);
+        assert_eq!(snap.base.delta_pages, 1, "reopen learns where the next segment goes");
+        for (live, loaded) in indexes.iter().zip(&snap.indexes) {
+            assert_eq!(live.distinct_keys(), loaded.distinct_keys(), "{}", live.name());
+            for (key, rids) in live.entries() {
+                assert_eq!(loaded.lookup(key), rids.as_slice(), "key {key:?}");
+            }
+        }
+        assert_eq!(snap.indexes[1].lookup(&victim_key).len(), indexes[1].lookup(&victim_key).len());
+    }
+
+    #[test]
+    fn full_rewrite_folds_deltas_back_into_the_base() {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let mut indexes = sample_indexes();
+        let refs: Vec<&Index> = indexes.iter().collect();
+        let (_, mut base) = persist(backend.as_ref(), &refs, 500, 11).unwrap();
+        let row = vec![Datum::U64(5), Datum::str("C"), Datum::str("T/folded"), Datum::Null];
+        let rid = RowId { page: 50, slot: 0 };
+        let ops = vec![DeltaOp { add: true, index: 0, key: indexes[0].key_of(&row), rid }];
+        persist_delta(backend.as_ref(), &mut base, &ops, 501, 11).unwrap();
+        indexes[0].insert(&row, rid).unwrap();
+        // The next full rewrite resets the delta region...
+        let refs: Vec<&Index> = indexes.iter().collect();
+        let (_, folded) = persist(backend.as_ref(), &refs, 501, 11).unwrap();
+        assert_eq!(folded.delta_pages, 0);
+        let snap = load(&backend, 11).unwrap().expect("folded sidecar loads");
+        assert_eq!(snap.base.delta_pages, 0);
+        // ...and the folded base still answers like the live indexes.
+        assert_eq!(
+            snap.indexes[0].lookup(&indexes[0].key_of(&row)),
+            indexes[0].lookup(&indexes[0].key_of(&row))
+        );
+    }
+
+    #[test]
+    fn empty_delta_just_freshens_the_header() {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let indexes = sample_indexes();
+        let refs: Vec<&Index> = indexes.iter().collect();
+        let (_, mut base) = persist(backend.as_ref(), &refs, 500, 11).unwrap();
+        mark_dirty(backend.as_ref()).unwrap();
+        let written = persist_delta(backend.as_ref(), &mut base, &[], 500, 11).unwrap();
+        assert_eq!(written, 1, "no ops: only the header page");
+        assert_eq!(base.delta_pages, 0);
+        assert!(load(&backend, 11).unwrap().is_some());
+    }
+
+    #[test]
+    fn v1_magic_falls_back_to_rebuild() {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let indexes = sample_indexes();
+        let refs: Vec<&Index> = indexes.iter().collect();
+        persist(backend.as_ref(), &refs, 500, 11).unwrap();
+        // Rewrite the header with the previous generation's magic (CRC
+        // freshened, so only the version differs).
+        let page = backend.read_page(0).unwrap();
+        let cell = page.get(0).unwrap().to_vec();
+        let mut body = cell[..cell.len() - 4].to_vec();
+        body[..8].copy_from_slice(b"CPDBIDX1");
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let mut fresh = Page::new();
+        fresh.insert(&body).unwrap();
+        backend.write_page(0, &fresh).unwrap();
+        assert!(load(&backend, 11).unwrap().is_none(), "v1 sidecars are not readable");
     }
 }

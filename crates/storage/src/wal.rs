@@ -4,11 +4,29 @@
 //! they reach the provenance table; a crash between the ack and the
 //! commit loses them. A [`Wal`] closes that window: the producer
 //! appends each record's serialized form as a **frame** and calls
-//! [`Wal::sync`] before acknowledging, and the committer calls
+//! [`Wal::sync_through`] before acknowledging, and the committer calls
 //! [`Wal::truncate_through`] only once the records are durably in the
 //! table (heap pages flushed, indexes persisted) — so at every instant
 //! the un-truncated tail of the log covers exactly the acknowledged
 //! records whose table durability is not yet certain.
+//!
+//! ## Coalesced syncs (leader/follower)
+//!
+//! An fsync is the expensive unit of durability, and one fsync makes
+//! *every* frame written before it durable — so concurrent producers
+//! must not each pay for their own. [`Wal::sync_through`] runs a
+//! sync-coalescing window: the first producer to reach the sync point
+//! becomes the **leader**, captures the highest appended sequence
+//! number as its target, and issues one backend sync with the log
+//! unlocked (appends continue during the fsync). Producers arriving
+//! while a leader is in flight become **followers**: they wait on a
+//! condvar until the leader publishes the **synced watermark** — the
+//! highest sequence number a completed sync covers — and return as
+//! soon as the watermark reaches their own frame. A batch of N
+//! producers therefore costs ~1 fsync, not N. If the leader's sync
+//! fails, the watermark does not advance and each woken follower
+//! retries as its own leader, so an acknowledged frame is never
+//! reported durable on the strength of a failed sync.
 //!
 //! ## Frame format
 //!
@@ -30,19 +48,25 @@
 //! ## Truncation and space reuse
 //!
 //! Page 0 is the log header, holding the last **committed** sequence
-//! number. [`Wal::truncate_through`] rewrites the header and syncs;
-//! frames with `seq <= committed` are logically gone, and replay
+//! number. [`Wal::truncate_through`] rewrites the header; frames with
+//! `seq <= committed` are logically gone, and replay
 //! ([`Wal::pending_frames`]) returns only the live tail, in sequence
-//! order. When the log fully drains, the append cursor rewinds to
-//! page 1 and overwrites stale pages instead of growing the file —
-//! stale frames are harmless because their sequence numbers are below
-//! the committed watermark. The file therefore stays proportional to
-//! the largest un-truncated tail, not to the total history.
+//! order. The header write is **not synced mid-stream**: the next
+//! coalesced producer sync carries it to disk for free, and a header
+//! that crashes stale merely widens the replay window — replay is
+//! at-least-once and the pipeline's record-level dedup suppresses
+//! frames whose records already reached the table. Only when the log
+//! fully drains is the header synced (an O(1) cost per flush or
+//! checkpoint), after which the append cursor rewinds to page 1 and
+//! overwrites stale pages instead of growing the file — stale frames
+//! are harmless because their records are already checkpointed. The
+//! file therefore stays proportional to the largest un-truncated
+//! tail, not to the total history.
 
 use crate::backend::Backend;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, MAX_CELL};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Magic prefix of the WAL header cell.
@@ -74,6 +98,13 @@ struct WalState {
     committed: u64,
     /// Sequence number the next appended frame receives.
     next_seq: u64,
+    /// Highest sequence number covered by a completed sync — the
+    /// watermark followers observe (see the module docs on coalesced
+    /// syncs). Never decreases.
+    synced: u64,
+    /// Whether a leader's sync is currently in flight (with the state
+    /// lock released); producers arriving meanwhile wait as followers.
+    leader_active: bool,
     /// Page currently being appended to (cached; rewritten in place on
     /// every append until full).
     tail: Page,
@@ -86,6 +117,9 @@ struct WalState {
 pub struct Wal {
     backend: Arc<dyn Backend>,
     state: Mutex<WalState>,
+    /// Signals followers when a leader's sync window closes (watermark
+    /// published or sync failed).
+    sync_done: Condvar,
 }
 
 impl Wal {
@@ -104,9 +138,12 @@ impl Wal {
                 state: Mutex::new(WalState {
                     committed: 0,
                     next_seq: 1,
+                    synced: 0,
+                    leader_active: false,
                     tail: Page::new(),
                     tail_no,
                 }),
+                sync_done: Condvar::new(),
             };
             return Ok(wal);
         }
@@ -135,9 +172,15 @@ impl Wal {
             state: Mutex::new(WalState {
                 committed,
                 next_seq: max_seq + 1,
+                // Only committed frames are *known* durable after a
+                // reopen; the first sync_through re-covers the live
+                // tail with one extra fsync at most.
+                synced: committed,
+                leader_active: false,
                 tail: Page::new(),
                 tail_no,
             }),
+            sync_done: Condvar::new(),
         })
     }
 
@@ -192,14 +235,64 @@ impl Wal {
 
     /// Flushes the log to durable storage — the commit boundary. A
     /// frame is only protected once the sync that covers it returned.
+    /// Equivalent to [`Wal::sync_through`] of the highest appended
+    /// sequence number, so concurrent callers coalesce.
     pub fn sync(&self) -> Result<()> {
-        self.backend.sync()
+        let target = self.state.lock().next_seq - 1;
+        self.sync_through(target)
+    }
+
+    /// Makes every frame with sequence number `<= seq` durable,
+    /// coalescing with concurrent callers: at most one backend sync is
+    /// in flight at a time, it covers every frame appended before it
+    /// started, and callers whose frames are already under the synced
+    /// watermark return without any I/O at all. See the module docs
+    /// for the leader/follower protocol.
+    ///
+    /// Returns `Ok` only when a completed sync covers `seq`; a failed
+    /// leader sync surfaces its error to the leader, and followers
+    /// woken by a failure retry as their own leader rather than
+    /// trusting a watermark that never advanced.
+    pub fn sync_through(&self, seq: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            if st.synced >= seq {
+                return Ok(());
+            }
+            if st.leader_active {
+                self.sync_done.wait(&mut st);
+                continue;
+            }
+            // Become the leader: one sync covers every frame appended
+            // so far, not just our own.
+            st.leader_active = true;
+            let target = st.next_seq - 1;
+            drop(st);
+            let result = self.backend.sync();
+            st = self.state.lock();
+            st.leader_active = false;
+            if result.is_ok() {
+                st.synced = st.synced.max(target);
+            }
+            self.sync_done.notify_all();
+            return result;
+        }
+    }
+
+    /// The synced watermark: the highest sequence number a completed
+    /// sync covers.
+    pub fn synced_seq(&self) -> u64 {
+        self.state.lock().synced
     }
 
     /// Marks every frame with `seq <= through` as durable in the store
-    /// the log protects: the header is rewritten and synced, and the
-    /// frames will never replay again. When the log drains completely
-    /// the append cursor rewinds to page 1, bounding the file size.
+    /// the log protects: the header is rewritten and the frames will
+    /// never replay again. Mid-stream the header write is **not**
+    /// synced — the next coalesced producer sync covers it, and until
+    /// then a crash merely replays already-checkpointed frames, which
+    /// the pipeline's record-level dedup suppresses. When the log
+    /// drains completely the header is synced once and the append
+    /// cursor rewinds to page 1, bounding the file size.
     pub fn truncate_through(&self, through: u64) -> Result<()> {
         let mut st = self.state.lock();
         if through <= st.committed {
@@ -207,9 +300,14 @@ impl Wal {
         }
         st.committed = through.min(st.next_seq - 1);
         write_header(self.backend.as_ref(), st.committed)?;
-        self.backend.sync()?;
         if st.committed + 1 == st.next_seq {
-            // Fully drained: rewind so stale pages are overwritten.
+            // Fully drained: sync the header so recovery sees an empty
+            // log, then rewind so stale pages are overwritten. The
+            // sync runs under the state lock — drains are rare (one
+            // per flush/checkpoint) and this keeps the rewind atomic
+            // with respect to appends.
+            self.backend.sync()?;
+            st.synced = st.synced.max(st.next_seq - 1);
             if st.tail_no != 1 {
                 self.backend.write_page(1, &Page::new())?;
                 st.tail = Page::new();
@@ -473,6 +571,135 @@ mod tests {
             vec![(1, b"first".to_vec()), (3, b"third".to_vec())],
             "the rejected frame neither replays nor collides with a later one"
         );
+    }
+
+    #[test]
+    fn sync_through_coalesces_under_one_watermark() {
+        use crate::backend::MeteredBackend;
+        use crate::meter::Meter;
+        let meter = Arc::new(Meter::new());
+        let wal =
+            Wal::open(Arc::new(MeteredBackend::new(MemBackend::new(), meter.clone()))).unwrap();
+        let a = wal.append(b"a").unwrap();
+        let b = wal.append(b"b").unwrap();
+        let c = wal.append(b"c").unwrap();
+        let before = meter.syncs();
+        // The first sync covers *every* frame appended so far, not
+        // just the one asked about...
+        wal.sync_through(a).unwrap();
+        assert_eq!(meter.syncs(), before + 1);
+        assert_eq!(wal.synced_seq(), c);
+        // ...so later callers under the watermark do no I/O at all.
+        wal.sync_through(b).unwrap();
+        wal.sync_through(c).unwrap();
+        assert_eq!(meter.syncs(), before + 1, "frames under the watermark are free");
+        // A frame above the watermark pays for one more sync.
+        let d = wal.append(b"d").unwrap();
+        wal.sync_through(d).unwrap();
+        assert_eq!(meter.syncs(), before + 2);
+    }
+
+    #[test]
+    fn concurrent_producers_share_syncs_and_all_get_covered() {
+        use crate::backend::MeteredBackend;
+        use crate::meter::Meter;
+        let meter = Arc::new(Meter::new());
+        let wal = Arc::new(
+            Wal::open(Arc::new(MeteredBackend::new(MemBackend::new(), meter.clone()))).unwrap(),
+        );
+        let threads = 8;
+        let per_thread = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let seq = wal.append(format!("t{t}-{i}").as_bytes()).unwrap();
+                        wal.sync_through(seq).unwrap();
+                        assert!(wal.synced_seq() >= seq, "ack only after a covering sync");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (threads * per_thread) as u64;
+        assert_eq!(wal.pending_count().unwrap(), total);
+        assert!(
+            meter.syncs() <= total,
+            "coalescing must never sync more than once per append ({} > {total})",
+            meter.syncs()
+        );
+    }
+
+    /// Fails exactly the `n`-th `sync` call (1-based), then recovers.
+    struct FailNthSync {
+        inner: MemBackend,
+        remaining: std::sync::atomic::AtomicI64,
+    }
+
+    impl Backend for FailNthSync {
+        fn read_page(&self, no: u64) -> crate::error::Result<Page> {
+            self.inner.read_page(no)
+        }
+        fn write_page(&self, no: u64, page: &Page) -> crate::error::Result<()> {
+            self.inner.write_page(no, page)
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+        fn allocate(&self) -> crate::error::Result<u64> {
+            self.inner.allocate()
+        }
+        fn sync(&self) -> crate::error::Result<()> {
+            use std::sync::atomic::Ordering;
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                return Err(crate::error::StorageError::Io(std::sync::Arc::new(
+                    std::io::Error::other("transient sync fault"),
+                )));
+            }
+            self.inner.sync()
+        }
+    }
+
+    #[test]
+    fn failed_sync_does_not_advance_the_watermark() {
+        let backend = Arc::new(FailNthSync {
+            inner: MemBackend::new(),
+            remaining: std::sync::atomic::AtomicI64::new(1),
+        });
+        let wal = Wal::open(backend).unwrap();
+        let seq = wal.append(b"record").unwrap();
+        let err = wal.sync_through(seq).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert_eq!(wal.synced_seq(), 0, "a failed sync covers nothing");
+        // A retry becomes its own leader and succeeds.
+        wal.sync_through(seq).unwrap();
+        assert_eq!(wal.synced_seq(), seq);
+    }
+
+    #[test]
+    fn midstream_truncation_does_not_sync() {
+        use crate::backend::MeteredBackend;
+        use crate::meter::Meter;
+        let meter = Arc::new(Meter::new());
+        let wal =
+            Wal::open(Arc::new(MeteredBackend::new(MemBackend::new(), meter.clone()))).unwrap();
+        for i in 0..10u64 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = meter.syncs();
+        // Partial truncation: header rewritten, no fsync — the next
+        // producer sync carries it.
+        wal.truncate_through(4).unwrap();
+        assert_eq!(meter.syncs(), before, "mid-stream truncation must not sync");
+        assert_eq!(wal.pending_count().unwrap(), 6);
+        // Full drain: exactly one header sync.
+        wal.truncate_through(10).unwrap();
+        assert_eq!(meter.syncs(), before + 1, "drain syncs the header once");
+        assert_eq!(wal.pending_count().unwrap(), 0);
     }
 
     #[test]
