@@ -18,6 +18,7 @@
 //! assert_eq!(ar.retrieve(1).unwrap(), tree! { "rec" => { "x" => 1 } });
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

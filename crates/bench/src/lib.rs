@@ -27,6 +27,7 @@
 //! cargo run -p cpdb-bench --release --bin experiments -- all
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -57,9 +57,10 @@ use crate::record::{ProvRecord, Tid};
 use crate::store::{decode_record, encode_record, ProvStore};
 use cpdb_storage::Wal;
 use cpdb_tree::Path;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -256,7 +257,7 @@ impl PipelinedStore {
         };
         let capacity = cfg.capacity.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::labeled("pipeline.state", State::default()),
             work: Condvar::new(),
             room: Condvar::new(),
             batch: cfg.batch_size.clamp(1, capacity),
@@ -267,13 +268,20 @@ impl PipelinedStore {
         let committer = {
             let inner = inner.clone();
             let shared = shared.clone();
+            // Thread-spawn failure (resource exhaustion) surfaces as
+            // an ordinary I/O error rather than a panic.
             std::thread::Builder::new()
                 .name("cpdb-group-commit".into())
                 .spawn(move || committer_loop(&inner, &shared))
-                .expect("spawn group-commit thread")
+                .map_err(cpdb_storage::StorageError::from)?
         };
         let base_len = inner.len();
-        Ok(PipelinedStore { inner, shared, committer: Mutex::new(Some(committer)), base_len })
+        Ok(PipelinedStore {
+            inner,
+            shared,
+            committer: Mutex::labeled("pipeline.committer", Some(committer)),
+            base_len,
+        })
     }
 
     /// Records the recovery pass re-inserted at spawn (0 in volatile
@@ -328,12 +336,12 @@ impl PipelinedStore {
             }
             st.flush_requested = true;
             self.shared.work.notify_all();
-            st = self.shared.room.wait(st).expect("pipeline lock");
+            self.shared.room.wait(&mut st);
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared.state.lock().expect("pipeline lock")
+        self.shared.state.lock()
     }
 
     /// Takes the parked error and, when one was parked, wakes the
@@ -382,7 +390,7 @@ impl PipelinedStore {
                 if st.queue.len() < self.shared.capacity || parked.is_some() {
                     break;
                 }
-                st = self.shared.room.wait(st).expect("pipeline lock");
+                self.shared.room.wait(&mut st);
             }
             if let Some(d) = &self.shared.durability {
                 // Write-ahead: the frame is appended under the queue
@@ -482,7 +490,7 @@ fn should_drain(st: &State, batch: usize) -> bool {
 }
 
 fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
-    let mut st = shared.state.lock().expect("pipeline lock");
+    let mut st = shared.state.lock();
     loop {
         if st.error.is_some() {
             // Paused until a producer/flusher takes the error; on
@@ -491,7 +499,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             if st.shutdown {
                 break;
             }
-            st = shared.work.wait(st).expect("pipeline lock");
+            shared.work.wait(&mut st);
             continue;
         }
         if should_drain(&st, shared.batch) {
@@ -503,7 +511,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             }
             drop(st);
             let result = inner.insert_batch(&chunk);
-            st = shared.state.lock().expect("pipeline lock");
+            st = shared.state.lock();
             match result {
                 Ok(()) => {
                     st.committed += n as u64;
@@ -525,7 +533,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
                         let finalize = inner
                             .checkpoint()
                             .and_then(|()| d.wal.truncate_through(through).map_err(Into::into));
-                        st = shared.state.lock().expect("pipeline lock");
+                        st = shared.state.lock();
                         if let Err(e) = finalize {
                             st.error = Some(e);
                         }
@@ -548,18 +556,16 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
         if st.shutdown {
             break;
         }
-        st = match (shared.epoch, st.queue.is_empty()) {
+        match (shared.epoch, st.queue.is_empty()) {
             (Some(epoch), false) => {
-                let (guard, timeout) = shared.work.wait_timeout(st, epoch).expect("pipeline lock");
-                let mut guard = guard;
-                if timeout.timed_out() && !guard.queue.is_empty() {
+                let timeout = shared.work.wait_for(&mut st, epoch);
+                if timeout.timed_out() && !st.queue.is_empty() {
                     // Epoch tick: commit the partial batch.
-                    guard.flush_requested = true;
+                    st.flush_requested = true;
                 }
-                guard
             }
-            _ => shared.work.wait(st).expect("pipeline lock"),
-        };
+            _ => shared.work.wait(&mut st),
+        }
     }
 }
 
@@ -571,7 +577,7 @@ impl Drop for PipelinedStore {
         }
         self.shared.work.notify_all();
         self.shared.room.notify_all();
-        if let Some(handle) = self.committer.lock().expect("pipeline lock").take() {
+        if let Some(handle) = self.committer.lock().take() {
             let _ = handle.join();
         }
     }

@@ -789,11 +789,20 @@ fn key_in_bounds(key: &str, lo: &Bound<String>, hi: &Bound<String>) -> bool {
 /// An in-memory provenance store whose side tables are ordered by the
 /// same encoded keys the SQL store indexes — subtree probes are
 /// `BTreeMap::range` calls, not filters over all records.
-#[derive(Default)]
 pub struct MemStore {
     inner: RwLock<MemInner>,
     reads: Meter,
     writes: Meter,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore {
+            inner: RwLock::labeled("memstore.inner", MemInner::default()),
+            reads: Meter::default(),
+            writes: Meter::default(),
+        }
+    }
 }
 
 #[derive(Default)]

@@ -27,6 +27,7 @@
 //! assert!(db.contains("Path", &[Val::sym("a"), Val::sym("c")]));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

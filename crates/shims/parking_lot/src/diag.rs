@@ -1,0 +1,157 @@
+//! The lock-diagnostics engine: per-thread lock stacks and the global
+//! lock-order graph. Compiled only under `cfg(debug_assertions)` or
+//! the `lock-diagnostics` feature; see the crate docs for the checks.
+//!
+//! Internals deliberately use `std::sync` primitives directly (the one
+//! crate allowed to): instrumenting the instrumentation would recurse.
+
+use crate::LockKind;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+pub(crate) const ENABLED: bool = true;
+
+/// One entry of a thread's held-lock stack.
+struct Held {
+    addr: usize,
+    label: &'static str,
+    kind: LockKind,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `(from, to)` edge → the held-stack labels witnessed when the edge
+/// was first recorded (innermost last, the acquired lock not
+/// included). The witness is what makes an inversion panic actionable:
+/// it names the code path that established the opposite order.
+type Graph = HashMap<(&'static str, &'static str), Vec<&'static str>>;
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(Mutex::default)
+}
+
+/// Every label reachable from `from` along recorded edges, with the
+/// path that reaches `to` if one exists.
+fn find_path(g: &Graph, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+    let mut stack = vec![vec![from]];
+    let mut visited = vec![from];
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("paths are never empty");
+        if last == to {
+            return Some(path);
+        }
+        for &(a, b) in g.keys() {
+            if a == last && !visited.contains(&b) {
+                visited.push(b);
+                let mut next = path.clone();
+                next.push(b);
+                stack.push(next);
+            }
+        }
+    }
+    None
+}
+
+pub(crate) fn on_acquire(addr: usize, label: &'static str, kind: LockKind) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        for entry in held.iter() {
+            if entry.addr != addr {
+                continue;
+            }
+            // Same instance already held by this thread: a second
+            // shared read is tolerated (read locks can share), every
+            // other combination blocks on itself forever.
+            let fatal = !(kind == LockKind::Read && entry.kind == LockKind::Read);
+            assert!(
+                !fatal,
+                "lock-diagnostics: thread re-acquires {label:?} ({kind:?} while already \
+                 holding it as {:?}) — this blocks on itself (self-deadlock)",
+                entry.kind,
+            );
+        }
+        if !held.is_empty() && label != crate::UNLABELED {
+            record_edges(&held, label);
+        }
+        held.push(Held { addr, label, kind });
+    });
+}
+
+/// Records `h → label` for every held lock `h`, panicking if a
+/// recorded chain `label → … → h` already exists (a cycle in the
+/// would-be acquisition order — two threads interleaving the two
+/// chains can deadlock).
+fn record_edges(held: &[Held], label: &'static str) {
+    let stack: Vec<&'static str> = held.iter().map(|e| e.label).collect();
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    for entry in held {
+        let from = entry.label;
+        if from == label || from == crate::UNLABELED || g.contains_key(&(from, label)) {
+            continue;
+        }
+        if let Some(path) = find_path(&g, label, from) {
+            let mut msg = format!(
+                "lock-order inversion: acquiring {label:?} while holding {stack:?}, but the \
+                 reverse order is already on record:"
+            );
+            for pair in path.windows(2) {
+                let witness = &g[&(pair[0], pair[1])];
+                msg.push_str(&format!(
+                    "\n  {:?} -> {:?}, first acquired with held stack {witness:?}",
+                    pair[0], pair[1],
+                ));
+            }
+            msg.push_str(
+                "\nTwo threads interleaving these chains can deadlock; make every code path \
+                 acquire the locks in one canonical order (see ARCHITECTURE.md, \
+                 \"Concurrency and lock order\").",
+            );
+            drop(g);
+            panic!("{msg}");
+        }
+        g.insert((from, label), stack.clone());
+    }
+}
+
+pub(crate) fn on_release(addr: usize) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        // Guards may drop out of acquisition order (hand-over-hand
+        // locking), so remove the *last* entry for this address, not
+        // the top of the stack.
+        if let Some(pos) = held.iter().rposition(|e| e.addr == addr) {
+            held.remove(pos);
+        }
+    });
+}
+
+pub(crate) fn on_condvar_wait(guard_addr: usize, guard_label: &'static str) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        let others: Vec<&'static str> =
+            held.iter().filter(|e| e.addr != guard_addr).map(|e| e.label).collect();
+        assert!(
+            others.is_empty(),
+            "lock-diagnostics: Condvar::wait on {guard_label:?} while also holding {others:?} \
+             — the wait releases only its own mutex, so a waker needing any of the others \
+             deadlocks against this thread",
+        );
+    });
+}
+
+pub(crate) fn held_labels() -> Vec<&'static str> {
+    HELD.with(|held| held.borrow().iter().map(|e| e.label).collect())
+}
+
+pub(crate) fn assert_no_locks_held(site: &str) {
+    let held = held_labels();
+    assert!(
+        held.is_empty(),
+        "lock-diagnostics: {site} promises to run with no shim lock held, but the thread \
+         holds {held:?}",
+    );
+}

@@ -1,48 +1,226 @@
-//! Offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate, with a first-party
+//! lock-correctness diagnostics layer.
 //!
 //! The build container has no crates.io access, so this shim wraps
 //! `std::sync` primitives behind the (subset of the) `parking_lot` API
 //! the workspace uses: non-poisoning `lock()` / `read()` / `write()`
-//! that return guards directly. Poisoned locks panic, which matches
-//! parking_lot's behavior of not having poisoning at all for the
-//! panic-free paths this codebase takes.
+//! that return guards directly. Poisoned locks are recovered with
+//! `into_inner`, which matches parking_lot's behavior of not having
+//! poisoning at all for the panic-free paths this codebase takes.
+//!
+//! ## Lock diagnostics
+//!
+//! Because every lock in the workspace is constructed through this
+//! shim, it is also the natural choke point for concurrency
+//! correctness checks. Under `cfg(debug_assertions)` (so: every
+//! `cargo test` run) or the `lock-diagnostics` feature, the shim
+//! instruments every acquisition:
+//!
+//! * **Site labels.** [`Mutex::labeled`] / [`RwLock::labeled`] attach
+//!   a static label (`"wal.state"`, `"table.indexes"`, …) naming the
+//!   lock's role. The repo-invariant lint (`cpdb-lint`) requires every
+//!   lock construction outside this crate to use the labeled form.
+//! * **Per-thread lock stack.** Acquisitions push onto a thread-local
+//!   stack, releases pop it. Re-acquiring a `Mutex` (or re-entering a
+//!   `RwLock` for writing) the thread already holds panics
+//!   immediately — that is a guaranteed self-deadlock.
+//! * **Global lock-order graph.** Acquiring `B` while holding `A`
+//!   records the edge `A → B` together with the full held stack as a
+//!   witness. If the edge would close a cycle (some chain `B → … → A`
+//!   was observed before), the acquisition panics with both
+//!   acquisition stacks — the interleaving-independent signature of a
+//!   potential deadlock, caught on the *first* run that exercises both
+//!   orders, not the unlucky run that interleaves them. Edges between
+//!   two locks with the *same* label are not recorded (distinct
+//!   instances of one class, e.g. two tables' gates, order by address,
+//!   which a label-level graph cannot adjudicate); unlabeled locks
+//!   participate in the stack but not in the graph.
+//! * **Condvar misuse.** [`Condvar::wait`] panics if the thread holds
+//!   any shim lock besides the guard's own mutex (the waker would have
+//!   to take that second lock to make the predicate true — a classic
+//!   lost-wakeup/deadlock shape), and debug-asserts that every wait on
+//!   one condvar uses the same mutex the condvar was first associated
+//!   with (the `&mut`-guard API would otherwise let a guard from an
+//!   unrelated mutex slip through silently).
+//! * **Lock-free sections.** [`assert_no_locks_held`] lets callers pin
+//!   protocol promises of the form "this fsync runs unlocked"
+//!   (`cpdb-storage`'s WAL does exactly that).
+//!
+//! With diagnostics off (release builds without the feature) every
+//! hook compiles to nothing and the guards are thin newtypes over the
+//! `std::sync` guards.
+
+#![forbid(unsafe_code)]
 
 use std::sync;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How an acquisition takes the lock — drives the self-deadlock check
+/// (`Read` after `Read` on one instance is allowed; everything else on
+/// an already-held instance is fatal).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockKind {
+    /// Exclusive `Mutex::lock`.
+    Mutex,
+    /// Shared `RwLock::read`.
+    Read,
+    /// Exclusive `RwLock::write`.
+    Write,
+}
+
+/// Label given to locks constructed without [`Mutex::labeled`] /
+/// [`RwLock::labeled`]. Unlabeled locks are tracked on the per-thread
+/// stack (so condvar and lock-free-section checks still see them) but
+/// excluded from the order graph, where one shared node for every
+/// anonymous lock would manufacture false cycles.
+pub const UNLABELED: &str = "<unlabeled>";
+
+#[cfg(any(debug_assertions, feature = "lock-diagnostics"))]
+mod diag;
+
+/// No-op twins of the diagnostics hooks for release builds without the
+/// `lock-diagnostics` feature: the instrumentation costs nothing when
+/// it is off.
+#[cfg(not(any(debug_assertions, feature = "lock-diagnostics")))]
+mod diag {
+    pub(crate) fn on_acquire(_addr: usize, _label: &'static str, _kind: super::LockKind) {}
+    pub(crate) fn on_release(_addr: usize) {}
+    pub(crate) fn on_condvar_wait(_guard_addr: usize, _guard_label: &'static str) {}
+    pub(crate) fn held_labels() -> Vec<&'static str> {
+        Vec::new()
+    }
+    pub(crate) fn assert_no_locks_held(_site: &str) {}
+    pub(crate) const ENABLED: bool = false;
+}
+
+/// `true` when the diagnostics layer is compiled in (debug builds or
+/// the `lock-diagnostics` feature). Tests gate their should-panic
+/// assertions on this.
+pub fn diagnostics_enabled() -> bool {
+    diag::ENABLED
+}
+
+/// The labels of every shim lock the current thread holds, innermost
+/// last. Empty when diagnostics are off.
+pub fn held_lock_labels() -> Vec<&'static str> {
+    diag::held_labels()
+}
+
+/// Panics (diagnostics builds only) unless the current thread holds no
+/// shim lock at all. Call this at the top of sections whose contract
+/// is "runs unlocked" — e.g. the WAL's coalesced fsync, which must
+/// never block appenders for the duration of a disk flush.
+pub fn assert_no_locks_held(site: &str) {
+    diag::assert_no_locks_held(site);
+}
 
 /// A mutual-exclusion lock with parking_lot's non-poisoning interface.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    label: &'static str,
+    inner: sync::Mutex<T>,
+}
 
-/// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]. Dereferences to the protected
+/// value; releasing is dropping.
+pub struct MutexGuard<'a, T: ?Sized> {
+    addr: usize,
+    label: &'static str,
+    /// `Some` except transiently inside [`Condvar`] waits, which move
+    /// the std guard out and back while the thread is blocked.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new, unlabeled mutex. Prefer [`Mutex::labeled`] in
+    /// repo code — `cpdb-lint` enforces it.
     pub fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex { label: UNLABELED, inner: sync::Mutex::new(value) }
+    }
+
+    /// Creates a mutex carrying a static site label
+    /// (`Mutex::labeled("wal.state", …)`) that names it in lock-order
+    /// diagnostics and deadlock panics.
+    pub fn labeled(label: &'static str, value: T) -> Mutex<T> {
+        Mutex { label, inner: sync::Mutex::new(value) }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The diagnostics label this lock was constructed with.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        diag::on_acquire(self.addr(), self.label, LockKind::Mutex);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { addr: self.addr(), label: self.label, inner: Some(inner) }
     }
 
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard holds the lock outside a condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard holds the lock outside a condvar wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        diag::on_release(self.addr);
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout
+/// elapsed rather than because the thread was notified.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` iff the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
 /// A condition variable with parking_lot's `&mut`-guard interface.
 #[derive(Debug, Default)]
-pub struct Condvar(sync::Condvar);
+pub struct Condvar {
+    inner: sync::Condvar,
+    /// Address of the mutex this condvar is associated with (set by
+    /// the first wait); diagnostics builds assert every later wait
+    /// uses the same one. `0` = not yet associated.
+    owner: AtomicUsize,
+}
 
 impl Condvar {
     /// Creates a new condition variable.
@@ -50,79 +228,178 @@ impl Condvar {
         Condvar::default()
     }
 
+    /// Diagnostics: a condvar is permanently associated with the mutex
+    /// of its first wait. Waiting with a guard from a *different*
+    /// mutex means notifiers and waiters do not agree on the lock that
+    /// protects the predicate — silent misuse the `&mut`-guard API
+    /// cannot reject at compile time.
+    fn check_same_mutex<T: ?Sized>(&self, guard: &MutexGuard<'_, T>) {
+        if cfg!(any(debug_assertions, feature = "lock-diagnostics")) {
+            let prev = self
+                .owner
+                .compare_exchange(0, guard.addr, Ordering::AcqRel, Ordering::Acquire)
+                .unwrap_or_else(|prev| prev);
+            assert!(
+                prev == 0 || prev == guard.addr,
+                "lock-diagnostics: Condvar::wait with a guard of mutex {:?}, but this condvar \
+                 is already associated with a different mutex — waiters and notifiers must \
+                 agree on one lock",
+                guard.label,
+            );
+        }
+        diag::on_condvar_wait(guard.addr, guard.label);
+    }
+
     /// Blocks until notified, atomically releasing the guarded mutex.
     /// Like all condvars, spurious wakeups are possible — callers
     /// re-check their predicate in a loop.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        // std's wait consumes the guard and returns it; parking_lot's
-        // takes `&mut`. Move the guard out and back by pointer — safe
-        // because `sync::Condvar::wait` only returns Err(PoisonError)
-        // (unwrapped below, never a panic), so exactly one live guard
-        // exists at every exit path.
-        unsafe {
-            let owned = std::ptr::read(guard);
-            let back = self.0.wait(owned).unwrap_or_else(|e| e.into_inner());
-            std::ptr::write(guard, back);
-        }
+        self.check_same_mutex(guard);
+        let owned = guard.inner.take().expect("guard holds the lock outside a condvar wait");
+        let back = self.inner.wait(owned).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(back);
+    }
+
+    /// Blocks until notified or `timeout` elapses. Spurious wakeups
+    /// are possible; check the predicate *and* the result.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.check_same_mutex(guard);
+        let owned = guard.inner.take().expect("guard holds the lock outside a condvar wait");
+        let (back, result) =
+            self.inner.wait_timeout(owned, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(back);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
-        self.0.notify_one();
+        self.inner.notify_one();
     }
 
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
-        self.0.notify_all();
+        self.inner.notify_all();
     }
 }
 
 /// A reader-writer lock with parking_lot's non-poisoning interface.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    label: &'static str,
+    inner: sync::RwLock<T>,
+}
 
 /// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    addr: usize,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
 /// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    addr: usize,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new, unlabeled reader-writer lock. Prefer
+    /// [`RwLock::labeled`] in repo code — `cpdb-lint` enforces it.
     pub fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock { label: UNLABELED, inner: sync::RwLock::new(value) }
+    }
+
+    /// Creates a reader-writer lock carrying a static site label (see
+    /// [`Mutex::labeled`]).
+    pub fn labeled(label: &'static str, value: T) -> RwLock<T> {
+        RwLock { label, inner: sync::RwLock::new(value) }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// The diagnostics label this lock was constructed with.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn addr(&self) -> usize {
+        self as *const RwLock<T> as *const () as usize
+    }
+
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        diag::on_acquire(self.addr(), self.label, LockKind::Read);
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard { addr: self.addr(), inner }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        diag::on_acquire(self.addr(), self.label, LockKind::Write);
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard { addr: self.addr(), inner }
     }
 
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        diag::on_release(self.addr);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        diag::on_release(self.addr);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn condvar_wakes_waiters() {
-        use std::sync::Arc;
-        let m = Arc::new(Mutex::new(false));
+        let m = Arc::new(Mutex::labeled("test.cv_ready", false));
         let cv = Arc::new(Condvar::new());
         let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
         let waiter = std::thread::spawn(move || {
@@ -132,20 +409,221 @@ mod tests {
             }
             *ready
         });
+        // Loop until the waiter is observably parked or simply race:
+        // notify_all after setting the flag is enough either way.
         *m.lock() = true;
         cv.notify_all();
         assert!(waiter.join().unwrap());
     }
 
     #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::labeled("test.cv_timeout", ());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
     fn mutex_and_rwlock_basics() {
-        let m = Mutex::new(1);
+        let m = Mutex::labeled("test.basics_mutex", 1);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
 
-        let rw = RwLock::new(vec![1, 2]);
+        let rw = RwLock::labeled("test.basics_rwlock", vec![1, 2]);
         assert_eq!(rw.read().len(), 2);
         rw.write().push(3);
         assert_eq!(rw.read().len(), 3);
+        assert_eq!(rw.label(), "test.basics_rwlock");
+    }
+
+    #[test]
+    fn unlabeled_constructors_still_work() {
+        let m = Mutex::new(7);
+        assert_eq!(m.label(), UNLABELED);
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(m.into_inner(), 7);
+        let rw: RwLock<String> = RwLock::default();
+        assert!(rw.read().is_empty());
+    }
+
+    #[test]
+    fn held_labels_track_the_stack() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let a = Mutex::labeled("test.stack_a", ());
+        let b = RwLock::labeled("test.stack_b", ());
+        assert!(held_lock_labels().is_empty());
+        let ga = a.lock();
+        let gb = b.read();
+        assert_eq!(held_lock_labels(), vec!["test.stack_a", "test.stack_b"]);
+        // Out-of-order release works (hand-over-hand locking).
+        drop(ga);
+        assert_eq!(held_lock_labels(), vec!["test.stack_b"]);
+        drop(gb);
+        assert!(held_lock_labels().is_empty());
+        assert_no_locks_held("test.stack");
+    }
+
+    fn panics(f: impl FnOnce() + Send + 'static) -> String {
+        let err = std::thread::spawn(f).join().expect_err("must panic");
+        match err.downcast::<String>() {
+            Ok(s) => *s,
+            Err(err) => {
+                err.downcast::<&'static str>().expect("panic payload is a string").to_string()
+            }
+        }
+    }
+
+    #[test]
+    fn lock_order_inversion_panics_with_both_labels() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let a = Arc::new(Mutex::labeled("test.inv_first", ()));
+        let b = Arc::new(Mutex::labeled("test.inv_second", ()));
+        // Learn the order first → second…
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // …then acquire in the inverted order on another thread.
+        let msg = panics(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        });
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("test.inv_first") && msg.contains("test.inv_second"), "{msg}");
+    }
+
+    #[test]
+    fn transitive_inversion_is_caught() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let a = Arc::new(Mutex::labeled("test.tri_a", ()));
+        let b = Arc::new(Mutex::labeled("test.tri_b", ()));
+        let c = Arc::new(Mutex::labeled("test.tri_c", ()));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        // a → b → c is on record; c → a closes the cycle.
+        let msg = panics(move || {
+            let _gc = c.lock();
+            let _ga = a.lock();
+        });
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("test.tri_a") && msg.contains("test.tri_c"), "{msg}");
+    }
+
+    #[test]
+    fn mutex_reentry_panics() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let m = Arc::new(Mutex::labeled("test.reentry", ()));
+        let msg = panics(move || {
+            let _g = m.lock();
+            let _g2 = m.lock();
+        });
+        assert!(msg.contains("re-acquir"), "{msg}");
+        assert!(msg.contains("test.reentry"), "{msg}");
+    }
+
+    #[test]
+    fn same_label_different_instances_do_not_conflict() {
+        // Two tables' gates share a label; nesting them in either
+        // order must not be reported (a label-level graph cannot
+        // order instances of one class).
+        let t1 = Mutex::labeled("test.same_label", 1);
+        let t2 = Mutex::labeled("test.same_label", 2);
+        {
+            let _g1 = t1.lock();
+            let _g2 = t2.lock();
+        }
+        {
+            let _g2 = t2.lock();
+            let _g1 = t1.lock();
+        }
+    }
+
+    #[test]
+    fn condvar_wait_holding_second_lock_panics() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let m = Arc::new(Mutex::labeled("test.cv2_mutex", ()));
+        let extra = Arc::new(Mutex::labeled("test.cv2_extra", ()));
+        let cv = Arc::new(Condvar::new());
+        let msg = panics(move || {
+            let _held = extra.lock();
+            let mut g = m.lock();
+            cv.wait(&mut g);
+        });
+        assert!(msg.contains("Condvar::wait"), "{msg}");
+        assert!(msg.contains("test.cv2_extra"), "{msg}");
+    }
+
+    #[test]
+    fn condvar_rejects_a_guard_from_a_different_mutex() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let m1 = Arc::new(Mutex::labeled("test.cvmix_first", ()));
+        let m2 = Arc::new(Mutex::labeled("test.cvmix_second", ()));
+        let cv = Arc::new(Condvar::new());
+        let (m1t, cvt) = (Arc::clone(&m1), Arc::clone(&cv));
+        // Associate the condvar with m1 via a timed wait…
+        {
+            let mut g = m1t.lock();
+            cvt.wait_for(&mut g, Duration::from_millis(1));
+        }
+        // …then wait with a guard from m2: must panic, not silently
+        // desynchronize waiters from notifiers.
+        let msg = panics(move || {
+            let mut g = m2.lock();
+            cv.wait_for(&mut g, Duration::from_millis(1));
+        });
+        assert!(msg.contains("different mutex"), "{msg}");
+        assert!(msg.contains("test.cvmix_second"), "{msg}");
+        drop(m1);
+    }
+
+    #[test]
+    fn assert_no_locks_held_panics_under_a_lock() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        let m = Arc::new(Mutex::labeled("test.syncfree", ()));
+        let msg = panics(move || {
+            let _g = m.lock();
+            assert_no_locks_held("test.sync_site");
+        });
+        assert!(msg.contains("test.sync_site"), "{msg}");
+        assert!(msg.contains("test.syncfree"), "{msg}");
+    }
+
+    #[test]
+    fn guard_survives_a_panic_and_unwinds_the_stack() {
+        if !diagnostics_enabled() {
+            return;
+        }
+        // A panic while holding locks must pop the thread's stack via
+        // guard drops during unwind — verified here on this thread by
+        // catching the unwind.
+        let m = Mutex::labeled("test.unwind", ());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("deliberate");
+        }));
+        assert!(result.is_err());
+        assert!(held_lock_labels().is_empty(), "unwind must release the stack");
     }
 }

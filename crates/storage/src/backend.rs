@@ -103,9 +103,14 @@ impl Backend for DiskBackend {
 }
 
 /// In-memory page store.
-#[derive(Default)]
 pub struct MemBackend {
     pages: Mutex<Vec<Page>>,
+}
+
+impl Default for MemBackend {
+    fn default() -> MemBackend {
+        MemBackend { pages: Mutex::labeled("backend.mem_pages", Vec::new()) }
+    }
 }
 
 impl MemBackend {

@@ -85,7 +85,7 @@ impl BufferPool {
         BufferPool {
             backend,
             capacity,
-            inner: Mutex::new(Inner { frames: HashMap::new(), lru: Vec::new() }),
+            inner: Mutex::labeled("buffer.pool", Inner { frames: HashMap::new(), lru: Vec::new() }),
             stats: PoolStats::default(),
         }
     }
@@ -140,7 +140,7 @@ impl BufferPool {
         let page = self.backend.read_page(no)?;
         let frame = Arc::new(Frame {
             no,
-            page: RwLock::new(page),
+            page: RwLock::labeled("buffer.frame", page),
             dirty: AtomicBool::new(false),
             pins: AtomicUsize::new(1),
         });

@@ -96,7 +96,7 @@ impl Engine {
         Engine {
             location: Location::Memory,
             pool_capacity: 64,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::labeled("engine.tables", HashMap::new()),
             meter: Arc::new(Meter::new()),
         }
     }
@@ -108,7 +108,7 @@ impl Engine {
         Ok(Engine {
             location: Location::Disk(dir),
             pool_capacity: 64,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::labeled("engine.tables", HashMap::new()),
             meter: Arc::new(Meter::new()),
         })
     }
@@ -123,7 +123,7 @@ impl Engine {
         Engine {
             location: Location::Custom(Box::new(factory)),
             pool_capacity: 64,
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::labeled("engine.tables", HashMap::new()),
             meter: Arc::new(Meter::new()),
         }
     }
@@ -186,17 +186,17 @@ impl Engine {
         let backend = self.make_backend(name, false)?;
         let sidecar = self.make_sidecar_backend(name)?.map(|backend| SidecarState {
             backend,
-            clean: Mutex::new(false),
-            delta: Mutex::new(DeltaLog::default()),
+            clean: Mutex::labeled("table.sidecar_clean", false),
+            delta: Mutex::labeled("table.sidecar_delta", DeltaLog::default()),
         });
         let pool = Arc::new(BufferPool::new(backend, self.pool_capacity));
         let table = Table::create(name, schema, pool)?;
         let handle = Arc::new(TableHandle {
             table,
-            indexes: RwLock::new(Vec::new()),
+            indexes: RwLock::labeled("table.indexes", Vec::new()),
             meter: self.meter.clone(),
             sidecar,
-            checkpoint_gate: RwLock::new(()),
+            checkpoint_gate: RwLock::labeled("table.checkpoint_gate", ()),
         });
         tables.insert(name.to_owned(), handle.clone());
         Ok(handle)
@@ -251,14 +251,17 @@ impl Engine {
         };
         let handle = Arc::new(TableHandle {
             table,
-            indexes: RwLock::new(indexes),
+            indexes: RwLock::labeled("table.indexes", indexes),
             meter: self.meter.clone(),
             sidecar: sidecar_backend.map(|backend| SidecarState {
                 backend,
-                clean: Mutex::new(clean),
-                delta: Mutex::new(DeltaLog { base, ops: Vec::new(), structural: false }),
+                clean: Mutex::labeled("table.sidecar_clean", clean),
+                delta: Mutex::labeled(
+                    "table.sidecar_delta",
+                    DeltaLog { base, ops: Vec::new(), structural: false },
+                ),
             }),
-            checkpoint_gate: RwLock::new(()),
+            checkpoint_gate: RwLock::labeled("table.checkpoint_gate", ()),
         });
         self.tables.write().insert(name.to_owned(), handle.clone());
         Ok(handle)
@@ -674,6 +677,13 @@ impl TableHandle {
         let _checkpointing = self.checkpoint_gate.write();
         self.table.flush()?;
         if let Some(s) = &self.sidecar {
+            // Canonical order: indexes before the sidecar locks.
+            // Mutators journal under the `indexes` lock (`insert`
+            // takes indexes → delta), so taking delta → indexes here
+            // would be a lock-order inversion; the gate makes it
+            // benign today, but the diagnostics layer pins one order
+            // for every path.
+            let indexes = self.indexes.read();
             let mut clean = s.clean.lock();
             let mut delta = s.delta.lock();
             let DeltaLog { base, ops, structural } = &mut *delta;
@@ -696,7 +706,6 @@ impl TableHandle {
                     written
                 }
                 _ => {
-                    let indexes = self.indexes.read();
                     let refs: Vec<&Index> = indexes.iter().collect();
                     let (written, new_base) = sidecar::persist(
                         s.backend.as_ref(),

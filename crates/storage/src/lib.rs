@@ -36,6 +36,7 @@
 //! assert_eq!(prov.lookup("by_loc", &[Datum::str("T/c5")]).unwrap().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -167,7 +167,7 @@ impl Table {
             schema,
             pool,
             insert_hint: AtomicU64::new(0),
-            free_pages: Mutex::new(BTreeSet::new()),
+            free_pages: Mutex::labeled("table.free_pages", BTreeSet::new()),
             live_rows: AtomicU64::new(0),
         })
     }
@@ -214,7 +214,7 @@ impl Table {
             schema,
             pool,
             insert_hint: AtomicU64::new(0),
-            free_pages: Mutex::new(BTreeSet::new()),
+            free_pages: Mutex::labeled("table.free_pages", BTreeSet::new()),
             live_rows: AtomicU64::new(0),
         };
         let rows = match known_rows {

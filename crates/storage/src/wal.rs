@@ -135,14 +135,17 @@ impl Wal {
             let tail_no = backend.allocate()?;
             let wal = Wal {
                 backend,
-                state: Mutex::new(WalState {
-                    committed: 0,
-                    next_seq: 1,
-                    synced: 0,
-                    leader_active: false,
-                    tail: Page::new(),
-                    tail_no,
-                }),
+                state: Mutex::labeled(
+                    "wal.state",
+                    WalState {
+                        committed: 0,
+                        next_seq: 1,
+                        synced: 0,
+                        leader_active: false,
+                        tail: Page::new(),
+                        tail_no,
+                    },
+                ),
                 sync_done: Condvar::new(),
             };
             return Ok(wal);
@@ -169,17 +172,20 @@ impl Wal {
         };
         Ok(Wal {
             backend,
-            state: Mutex::new(WalState {
-                committed,
-                next_seq: max_seq + 1,
-                // Only committed frames are *known* durable after a
-                // reopen; the first sync_through re-covers the live
-                // tail with one extra fsync at most.
-                synced: committed,
-                leader_active: false,
-                tail: Page::new(),
-                tail_no,
-            }),
+            state: Mutex::labeled(
+                "wal.state",
+                WalState {
+                    committed,
+                    next_seq: max_seq + 1,
+                    // Only committed frames are *known* durable after a
+                    // reopen; the first sync_through re-covers the live
+                    // tail with one extra fsync at most.
+                    synced: committed,
+                    leader_active: false,
+                    tail: Page::new(),
+                    tail_no,
+                },
+            ),
             sync_done: Condvar::new(),
         })
     }
@@ -268,6 +274,7 @@ impl Wal {
             st.leader_active = true;
             let target = st.next_seq - 1;
             drop(st);
+            parking_lot::assert_no_locks_held("Wal::sync_through leader fsync");
             let result = self.backend.sync();
             st = self.state.lock();
             st.leader_active = false;
@@ -300,19 +307,42 @@ impl Wal {
         }
         st.committed = through.min(st.next_seq - 1);
         write_header(self.backend.as_ref(), st.committed)?;
-        if st.committed + 1 == st.next_seq {
-            // Fully drained: sync the header so recovery sees an empty
-            // log, then rewind so stale pages are overwritten. The
-            // sync runs under the state lock — drains are rare (one
-            // per flush/checkpoint) and this keeps the rewind atomic
-            // with respect to appends.
-            self.backend.sync()?;
-            st.synced = st.synced.max(st.next_seq - 1);
-            if st.tail_no != 1 {
-                self.backend.write_page(1, &Page::new())?;
-                st.tail = Page::new();
-                st.tail_no = 1;
+        if st.committed + 1 != st.next_seq {
+            return Ok(());
+        }
+        // Fully drained: sync the header so recovery sees an empty
+        // log. The fsync joins the leader/follower protocol with the
+        // state lock dropped — holding it across a sync would stall
+        // every concurrent append for the disk's flush latency. We
+        // always run our own leader sync rather than trusting the
+        // watermark: an in-flight sync may have started before the
+        // header write above and so not cover it.
+        loop {
+            if st.leader_active {
+                self.sync_done.wait(&mut st);
+                continue;
             }
+            st.leader_active = true;
+            let target = st.next_seq - 1;
+            drop(st);
+            parking_lot::assert_no_locks_held("Wal::truncate_through drain fsync");
+            let result = self.backend.sync();
+            st = self.state.lock();
+            st.leader_active = false;
+            if result.is_ok() {
+                st.synced = st.synced.max(target);
+            }
+            self.sync_done.notify_all();
+            result?;
+            break;
+        }
+        // Re-check after reacquiring: an append that slipped in while
+        // the lock was dropped means the log is no longer drained —
+        // its frames own the tail, so skip the rewind.
+        if st.committed + 1 == st.next_seq && st.tail_no != 1 {
+            self.backend.write_page(1, &Page::new())?;
+            st.tail = Page::new();
+            st.tail_no = 1;
         }
         Ok(())
     }
@@ -369,6 +399,25 @@ fn write_header(backend: &dyn Backend, committed: u64) -> Result<()> {
     backend.write_page(0, &page)
 }
 
+/// Little-endian integers from length-checked slices. Every caller
+/// has already validated the cell length, so a short slice cannot
+/// occur; `zip` makes the conversion total rather than panicking.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    for (dst, src) in buf.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    u32::from_le_bytes(buf)
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    for (dst, src) in buf.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(buf)
+}
+
 /// Reads and validates the header cell on page 0.
 fn read_header(backend: &dyn Backend) -> Result<u64> {
     let corrupt = |reason: &str| StorageError::PageCorrupt { page: 0, reason: reason.to_owned() };
@@ -377,11 +426,11 @@ fn read_header(backend: &dyn Backend) -> Result<u64> {
     if cell.len() != 20 || &cell[..8] != MAGIC {
         return Err(corrupt("bad WAL header magic"));
     }
-    let crc = u32::from_le_bytes(cell[16..20].try_into().unwrap());
+    let crc = le_u32(&cell[16..20]);
     if crc32(&cell[..16]) != crc {
         return Err(corrupt("WAL header CRC mismatch"));
     }
-    Ok(u64::from_le_bytes(cell[8..16].try_into().unwrap()))
+    Ok(le_u64(&cell[8..16]))
 }
 
 /// The valid frames of one page, in cell order. Unreadable pages and
@@ -394,12 +443,12 @@ fn frames_in(backend: &dyn Backend, no: u64) -> Vec<(u64, Vec<u8>)> {
         if cell.len() < FRAME_OVERHEAD {
             continue;
         }
-        let seq = u64::from_le_bytes(cell[0..8].try_into().unwrap());
-        let len = u32::from_le_bytes(cell[8..12].try_into().unwrap()) as usize;
+        let seq = le_u64(&cell[0..8]);
+        let len = le_u32(&cell[8..12]) as usize;
         if cell.len() != FRAME_OVERHEAD + len {
             continue;
         }
-        let crc = u32::from_le_bytes(cell[12 + len..16 + len].try_into().unwrap());
+        let crc = le_u32(&cell[12 + len..16 + len]);
         if crc32(&cell[..12 + len]) != crc {
             continue;
         }

@@ -1,0 +1,220 @@
+//! Deadlock-regression tests: pin the canonical lock-acquisition
+//! orders the `parking_lot` shim's lock-order diagnostics learn from
+//! the real protocol, and prove the diagnostics refuse the reverse
+//! orders. See ARCHITECTURE.md, "Concurrency and lock order".
+//!
+//! The lock-order graph is keyed by *label*, not instance, and is
+//! process-global — so after driving the real engine/WAL code paths,
+//! a fresh lock constructed with a production label still collides
+//! with the recorded edges. Deliberate inversions panic *before*
+//! recording their own edge, so these tests never poison the graph
+//! for each other or for the production paths they run alongside.
+//!
+//! Every test is a no-op when diagnostics are off (release builds
+//! without the `lock-diagnostics` feature): there is nothing to pin.
+
+use cpdb_storage::{Backend, Column, DataType, Datum, Engine, MemBackend, Schema, Wal};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(vec![Column::new("k", DataType::U64), Column::new("v", DataType::Str)])
+}
+
+fn row(k: u64) -> Vec<Datum> {
+    vec![Datum::U64(k), Datum::str("val")]
+}
+
+/// Panic payload of a thread whose panic we expect, as a string.
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    match err.downcast::<String>() {
+        Ok(s) => *s,
+        Err(err) => err
+            .downcast::<&'static str>()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| "<non-string panic payload>".to_owned()),
+    }
+}
+
+/// The acceptance-criteria test: two labeled locks acquired in
+/// inverted order panic under `lock-diagnostics`, naming both sites.
+#[test]
+fn inverted_acquisition_panics_with_both_labels() {
+    if !parking_lot::diagnostics_enabled() {
+        return;
+    }
+    let a = Arc::new(Mutex::labeled("test.lockorder.outer", ()));
+    let b = Arc::new(Mutex::labeled("test.lockorder.inner", ()));
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let (a2, b2) = (a.clone(), b.clone());
+    let err = std::thread::spawn(move || {
+        let _gb = b2.lock();
+        let _ga = a2.lock();
+    })
+    .join()
+    .expect_err("inverted acquisition must panic under lock-diagnostics");
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order inversion"), "unexpected panic: {msg}");
+    assert!(
+        msg.contains("test.lockorder.outer") && msg.contains("test.lockorder.inner"),
+        "panic must name both sites: {msg}"
+    );
+}
+
+/// Drives the real checkpoint protocol (insert journaling under the
+/// `table.indexes` lock, flush persisting the sidecar) so the
+/// canonical `indexes → sidecar` edges are on record, then proves the
+/// reverse acquisition is refused. This pins the PR 7 reorder of
+/// `TableHandle::flush` (indexes before the sidecar locks): were any
+/// path to take `sidecar_delta → indexes` again, the full suite — not
+/// just this test — would panic.
+#[test]
+fn sidecar_before_indexes_is_refused_after_real_flush() {
+    if !parking_lot::diagnostics_enabled() {
+        return;
+    }
+    // `with_backend` tables get a sidecar (unlike purely in-memory
+    // ones), which is what wires the indexes→delta journaling edge.
+    let engine = Engine::with_backend(|_| Arc::new(MemBackend::new()) as Arc<dyn Backend>);
+    let t = engine.create_table("t", schema()).expect("create");
+    t.add_index("by_k", &["k"], true, true).expect("index");
+    for k in 0..16 {
+        t.insert(&row(k)).expect("insert");
+    }
+    t.flush().expect("first flush (full snapshot)");
+    for k in 16..32 {
+        t.insert(&row(k)).expect("journaled insert");
+    }
+    t.flush().expect("second flush (incremental)");
+
+    let delta = Arc::new(Mutex::labeled("table.sidecar_delta", ()));
+    let indexes = Arc::new(RwLock::labeled("table.indexes", ()));
+    let err = std::thread::spawn(move || {
+        let _d = delta.lock();
+        let _i = indexes.read();
+    })
+    .join()
+    .expect_err("sidecar-then-indexes must be refused once the flush order is on record");
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("table.sidecar_delta") && msg.contains("table.indexes"),
+        "panic must name both sites: {msg}"
+    );
+}
+
+/// Pins the engine-level hierarchy: `create_table` populates the
+/// buffer pool while holding the `engine.tables` registry lock, so
+/// registry → pool is the canonical order and pool → registry is
+/// refused.
+#[test]
+fn buffer_pool_before_engine_registry_is_refused() {
+    if !parking_lot::diagnostics_enabled() {
+        return;
+    }
+    let engine = Arc::new(Engine::in_memory());
+    // Concurrent registry traffic, as production sees it.
+    let threads: Vec<_> = (0..3)
+        .map(|i| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let t = engine.create_table(&format!("t{i}"), schema()).expect("create");
+                for k in 0..8 {
+                    t.insert(&row(k)).expect("insert");
+                }
+                engine.table(&format!("t{i}")).expect("lookup");
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("no inversion in the real registry/table protocol");
+    }
+
+    let pool = Arc::new(Mutex::labeled("buffer.pool", ()));
+    let registry = Arc::new(RwLock::labeled("engine.tables", ()));
+    let err = std::thread::spawn(move || {
+        let _p = pool.lock();
+        let _r = registry.read();
+    })
+    .join()
+    .expect_err("pool-then-registry must be refused");
+    let msg = panic_message(err);
+    assert!(
+        msg.contains("buffer.pool") && msg.contains("engine.tables"),
+        "panic must name both sites: {msg}"
+    );
+}
+
+/// A backend that checks, on every `sync`, that the calling thread
+/// holds no shim lock — the PR 6 promise ("the fsync runs unlocked")
+/// verified independently of the `assert_no_locks_held` calls inside
+/// `Wal` itself.
+struct SyncProbe {
+    inner: MemBackend,
+    syncs: AtomicU64,
+    held_during_sync: AtomicBool,
+}
+
+impl Backend for SyncProbe {
+    fn read_page(&self, no: u64) -> cpdb_storage::Result<cpdb_storage::Page> {
+        self.inner.read_page(no)
+    }
+    fn write_page(&self, no: u64, page: &cpdb_storage::Page) -> cpdb_storage::Result<()> {
+        self.inner.write_page(no, page)
+    }
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+    fn allocate(&self) -> cpdb_storage::Result<u64> {
+        self.inner.allocate()
+    }
+    fn sync(&self) -> cpdb_storage::Result<()> {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        if !parking_lot::held_lock_labels().is_empty() {
+            self.held_during_sync.store(true, Ordering::Relaxed);
+        }
+        self.inner.sync()
+    }
+}
+
+/// WAL state lock vs the sync window: concurrent appenders coalescing
+/// syncs, plus a full-drain truncation, must never reach the backend
+/// sync with `wal.state` (or anything else) held.
+#[test]
+fn wal_fsync_always_runs_unlocked() {
+    if !parking_lot::diagnostics_enabled() {
+        return;
+    }
+    let probe = Arc::new(SyncProbe {
+        inner: MemBackend::new(),
+        syncs: AtomicU64::new(0),
+        held_during_sync: AtomicBool::new(false),
+    });
+    let wal = Arc::new(Wal::open(probe.clone() as Arc<dyn Backend>).expect("open"));
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let wal = wal.clone();
+            std::thread::spawn(move || {
+                for i in 0..20u64 {
+                    let seq = wal.append(format!("w{w}.{i}").as_bytes()).expect("append");
+                    wal.sync_through(seq).expect("sync");
+                }
+            })
+        })
+        .collect();
+    for th in writers {
+        th.join().expect("writer");
+    }
+    // Drain completely: the truncation path has its own (historically
+    // under-lock) sync.
+    let last = wal.synced_seq();
+    wal.truncate_through(last).expect("truncate");
+    assert!(probe.syncs.load(Ordering::Relaxed) > 0, "the protocol must actually sync");
+    assert!(
+        !probe.held_during_sync.load(Ordering::Relaxed),
+        "Backend::sync observed a shim lock held — the fsync-runs-unlocked promise is broken"
+    );
+}

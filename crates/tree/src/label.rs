@@ -27,7 +27,10 @@ struct Interner {
 fn interner() -> &'static RwLock<Interner> {
     static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        RwLock::new(Interner { map: HashMap::with_capacity(1024), names: Vec::with_capacity(1024) })
+        RwLock::labeled(
+            "tree.interner",
+            Interner { map: HashMap::with_capacity(1024), names: Vec::with_capacity(1024) },
+        )
     })
 }
 

@@ -33,6 +33,7 @@
 //! assert_eq!(db.get(&p).unwrap(), &Tree::leaf(2));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -23,6 +23,7 @@
 //! assert_eq!(ws.target().root().to_string(), "{mine: {x: 1}}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -16,6 +16,7 @@
 //! ws.apply_script(&workload.script).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -24,6 +24,7 @@
 //! assert_eq!(nodes.len(), 2); // interior node + one leaf
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

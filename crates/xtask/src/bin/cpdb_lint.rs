@@ -1,0 +1,112 @@
+//! `cpdb-lint` — repo-invariant lints for this workspace.
+//!
+//! ```text
+//! cargo run -p cpdb-xtask --bin cpdb-lint            # from the repo root
+//! cargo run -p cpdb-xtask --bin cpdb-lint -- --root . --allow ci/cpdb-lint.allow
+//! ```
+//!
+//! Scans every `.rs` file under `crates/` and `src/` (excluding
+//! `crates/shims/`) for the four invariants documented in
+//! `cpdb_xtask` (lib.rs), nets the `unwrap` rule against the audited
+//! allowlist, prints one line per violation, and exits nonzero if any
+//! remain. See ARCHITECTURE.md, "Concurrency and lock order", for why
+//! these invariants exist.
+
+#![forbid(unsafe_code)]
+
+use cpdb_xtask::{apply_allowlist, parse_allowlist, scan_file, scannable, Violation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Recursively collects scannable `.rs` files, repo-relative.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else {
+            let rel = match path.strip_prefix(root) {
+                Ok(rel) => rel.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if scannable(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<Vec<Violation>, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return Err("--root needs a directory".to_owned()),
+            },
+            "--allow" => match args.next() {
+                Some(f) => allow_path = Some(PathBuf::from(f)),
+                None => return Err("--allow needs a file".to_owned()),
+            },
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: cpdb-lint [--root <repo>] [--allow <file>]"
+                ))
+            }
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("ci/cpdb-lint.allow"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        // A missing allowlist just means a zero budget everywhere.
+        Err(_) => BTreeMap::new(),
+    };
+
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut raw = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        raw.extend(scan_file(rel, &text));
+    }
+    Ok(apply_allowlist(raw, &allow))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(violations) if violations.is_empty() => {
+            println!("cpdb-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("cpdb-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cpdb-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the included
 //! README below (its example runs as this crate's doctest).
+
+#![forbid(unsafe_code)]
 #![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
