@@ -222,16 +222,22 @@ fn bench(c: &mut Criterion) {
     for chunk in records.chunks(BATCH) {
         ctl.insert_batch(chunk).unwrap();
     }
-    let before = ckpt_engine.meter().checkpoint_pages();
+    // Storage meters are read through the obs snapshot bridge (the
+    // meter registered as a `MetricSource`, values read at snapshot
+    // time) rather than peeked field by field.
+    cpdb_obs::global().register_source("gc.ckpt", ckpt_engine.meter().clone());
+    let ckpt_pages =
+        || cpdb_obs::snapshot().counter("gc.ckpt.checkpoint_pages").expect("meter bridged");
+    let before = ckpt_pages();
     ctl.checkpoint().unwrap();
-    let full_ckpt_pages = ckpt_engine.meter().checkpoint_pages() - before;
+    let full_ckpt_pages = ckpt_pages() - before;
     let trickle: Vec<ProvRecord> = (0..8)
         .map(|i| ProvRecord::insert(Tid(500_000 + i), format!("T/trickle/m{i}").parse().unwrap()))
         .collect();
     ctl.insert_batch(&trickle).unwrap();
-    let before = ckpt_engine.meter().checkpoint_pages();
+    let before = ckpt_pages();
     ctl.checkpoint().unwrap();
-    let trickle_ckpt_pages = ckpt_engine.meter().checkpoint_pages() - before;
+    let trickle_ckpt_pages = ckpt_pages() - before;
     assert!(
         trickle_ckpt_pages <= 3,
         "an 8-record delta checkpoint is a segment page or two plus the \
@@ -257,6 +263,8 @@ fn bench(c: &mut Criterion) {
     let dur_engine = Engine::on_disk(&dur_dir).expect("temp-dir engine").with_pool_capacity(512);
     let dur_inner = Arc::new(SqlStore::create(&dur_engine, true).expect("fresh engine"));
     let wal_meter = Arc::new(Meter::new());
+    cpdb_obs::global().register_source("gc.wal", wal_meter.clone());
+    cpdb_obs::global().register_source("gc.durable", dur_engine.meter().clone());
     let wal = Wal::open(Arc::new(MeteredBackend::new(
         DiskBackend::open(dur_dir.join("prov.wal")).expect("wal file"),
         wal_meter.clone(),
@@ -285,7 +293,8 @@ fn bench(c: &mut Criterion) {
     // The amortized-durability acceptance bound: one coalesced fsync
     // per enqueued chunk plus O(1) for the final drain (the mid-stream
     // truncations ride on producer syncs and cost none of their own).
-    let durable_syncs = wal_meter.syncs();
+    let durable_stats = cpdb_obs::snapshot();
+    let durable_syncs = durable_stats.counter("gc.wal.syncs").expect("wal meter bridged");
     let sync_bound = durable_batches + 4;
     assert!(durable_syncs > 0, "a durable ingest must sync");
     assert!(
@@ -295,7 +304,8 @@ fn bench(c: &mut Criterion) {
     );
     // Per-batch checkpoints write deltas (plus an occasional fold-back
     // of the delta region), never a full snapshot per batch.
-    let durable_ckpt_pages = dur_engine.meter().checkpoint_pages();
+    let durable_ckpt_pages =
+        durable_stats.counter("gc.durable.checkpoint_pages").expect("engine meter bridged");
     assert!(
         durable_ckpt_pages < durable_batches * full_ckpt_pages / 2,
         "per-batch checkpoints must stay delta-sized: {durable_ckpt_pages} pages \

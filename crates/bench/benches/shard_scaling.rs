@@ -19,6 +19,7 @@
 use cpdb_bench::metrics::BenchMetrics;
 use cpdb_bench::session::{build_session_with, top_level_containers, LatencyConfig, StoreConfig};
 use cpdb_core::{ProvStore, Strategy, Tid};
+use cpdb_obs::HistogramStat;
 use cpdb_tree::Path;
 use cpdb_workload::{generate, GenConfig, UpdatePattern};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -85,6 +86,9 @@ fn bench(c: &mut Criterion) {
     };
 
     let mut mean_prefix_us: Vec<(usize, f64)> = Vec::new();
+    // The 4-shard store survives the loop for the instrumentation-
+    // overhead experiment below.
+    let mut overhead_store: Option<Arc<dyn ProvStore>> = None;
     // Measured meter readings per shard count — what the perf gate
     // compares (recording the *measured* counts, not the expected
     // formulas, so a routing regression shows up in the artifact).
@@ -129,6 +133,9 @@ fn bench(c: &mut Criterion) {
             "by_tid fan-out must scale linearly with the shard count"
         );
         measured.push((shards, loc_trips, tid_loc_trips, by_tid_trips));
+        if shards == 4 {
+            overhead_store = Some(store.clone());
+        }
 
         let mean = time_sweep(10, || {
             std::hint::black_box(sweep_loc(store.as_ref()));
@@ -171,6 +178,63 @@ fn bench(c: &mut Criterion) {
     for (shards, us) in &mean_prefix_us {
         metrics.info(&format!("prefix_sweep_us_{shards}shards"), *us);
     }
+
+    // Instrumentation overhead: the same routed 4-shard sweep with
+    // obs recording on vs off (off = one relaxed load per record
+    // site). Both wall clocks land in the artifact; the ≤5% ceiling is
+    // asserted on full runs only, like the wall-clock acceptance above.
+    let store = overhead_store.expect("4-shard store");
+    let reg = cpdb_obs::global();
+    reg.reset();
+    let iters = if smoke() { 3 } else { 30 };
+    let on_us = time_sweep(iters, || {
+        std::hint::black_box(sweep_loc(store.as_ref()));
+    })
+    .as_secs_f64()
+        * 1e6;
+    // The recorded window doubles as the heat-latency artifact: merge
+    // the per-shard histograms into one ungated p50/p90/max summary.
+    let snap = cpdb_obs::snapshot();
+    let mut merged: Option<HistogramStat> = None;
+    for h in snap.histograms.iter().filter(|h| h.name.starts_with("shard.latency_ns")) {
+        let m = merged.get_or_insert_with(|| HistogramStat {
+            name: "shard.latency_ns".to_owned(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; cpdb_obs::BUCKETS],
+        });
+        m.count += h.count;
+        m.sum += h.sum;
+        m.max = m.max.max(h.max);
+        for (b, v) in m.buckets.iter_mut().zip(h.buckets.iter()) {
+            *b += v;
+        }
+    }
+    if let Some(m) = &merged {
+        metrics.info_histogram("shard_latency_ns", m);
+    }
+    reg.set_enabled(false);
+    let off_us = time_sweep(iters, || {
+        std::hint::black_box(sweep_loc(store.as_ref()));
+    })
+    .as_secs_f64()
+        * 1e6;
+    reg.set_enabled(true);
+    metrics.info("obs_on_prefix_sweep_us", on_us);
+    metrics.info("obs_off_prefix_sweep_us", off_us);
+    println!(
+        "  instrumentation overhead: on={on_us:.2} µs off={off_us:.2} µs ({:+.2}%)",
+        (on_us / off_us - 1.0) * 100.0
+    );
+    if !smoke() {
+        assert!(
+            on_us <= off_us * 1.05 + 20.0,
+            "acceptance: instrumentation must cost <=5% on the routed sweep \
+             ({on_us:.2} µs on vs {off_us:.2} µs off)"
+        );
+    }
+
     let path = metrics.write().expect("write BENCH_shard_scaling.json");
     println!("  metrics -> {}", path.display());
     if !smoke() {

@@ -56,6 +56,22 @@ impl BenchMetrics {
         self.info.insert(name.to_owned(), value);
     }
 
+    /// Records an ungated latency-distribution summary as **flat**
+    /// info keys (`<name>_p50` / `<name>_p90` / `<name>_max`, in the
+    /// histogram's native unit). Flat keys — not a nested object —
+    /// because [`parse_metrics`]'s restricted JSON parser only
+    /// understands one level of string→number pairs, and `perf-gate`
+    /// must keep parsing every artifact. Empty histograms record
+    /// nothing.
+    pub fn info_histogram(&mut self, name: &str, h: &cpdb_obs::HistogramStat) {
+        let (Some(p50), Some(p90)) = (h.p50(), h.p90()) else {
+            return;
+        };
+        self.info.insert(format!("{name}_p50"), p50 as f64);
+        self.info.insert(format!("{name}_p90"), p90 as f64);
+        self.info.insert(format!("{name}_max"), h.max as f64);
+    }
+
     /// The JSON document.
     pub fn to_json(&self) -> String {
         let fmt_f = |v: &f64| if v.is_finite() { format!("{v:.3}") } else { "0".to_owned() };
@@ -162,6 +178,37 @@ mod tests {
         assert_eq!(parsed.counts["write_statements"], 250);
         assert_eq!(parsed.counts["records"], 16_000);
         assert!((parsed.info["wall_us"] - 204_321.5).abs() < 1.0);
+    }
+
+    /// Histogram summaries land as flat info keys and survive the
+    /// restricted parser alongside gated counts — the shape `perf-gate`
+    /// depends on.
+    #[test]
+    fn histogram_summaries_round_trip_as_flat_info_keys() {
+        let reg = cpdb_obs::Registry::new();
+        let h = reg.register_histogram("bench.latency_ns");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let stat = snap.histogram("bench.latency_ns").expect("recorded");
+        let mut m = BenchMetrics::new("shard_scaling", "smoke");
+        m.count("prefix_sweep_statements_4shards", 42);
+        m.info_histogram("shard_latency_ns", stat);
+        let parsed = parse_metrics(&m.to_json()).expect("own output parses");
+        assert_eq!(parsed.counts["prefix_sweep_statements_4shards"], 42);
+        for key in ["shard_latency_ns_p50", "shard_latency_ns_p90", "shard_latency_ns_max"] {
+            assert!(parsed.info[key] > 0.0, "{key} missing");
+        }
+        assert_eq!(parsed.info["shard_latency_ns_max"], 1000.0);
+        // An empty histogram records no keys rather than NaNs.
+        let empty = reg.register_histogram("bench.idle_ns");
+        let _ = empty;
+        let snap = reg.snapshot();
+        let stat = snap.histogram("bench.idle_ns").expect("registered");
+        let before = m.to_json();
+        m.info_histogram("idle_ns", stat);
+        assert_eq!(m.to_json(), before);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Per-shard heat-map instrumentation.
+//!
+//! Every statement a shard executes — routed point ops, fan-out legs,
+//! cursor pages, batch groups — is recorded against that shard's
+//! [`ShardHeat`]: a statement counter, a row counter, and a log₂
+//! latency histogram, all registered in the global
+//! [`cpdb_obs::Registry`] under the shard's index dimension
+//! (`shard.statements{shard=i}`, `shard.rows{shard=i}`,
+//! `shard.latency_ns{shard=i}`). A skewed workload shows up as one
+//! shard's counters running hot while its siblings idle — the heat map
+//! `examples/observability.rs` prints.
+//!
+//! ## No double counting
+//!
+//! A statement is recorded exactly once, **where it runs**: the
+//! executor's worker thread records the jobs scattered to it, and the
+//! coordinating thread records only the statements it runs inline
+//! (single-shard routed ops, fan-outs without an executor, on-demand
+//! cursor continuations). Unlike the [`cpdb_storage::Meter`] cost
+//! model — which charges a prefetched cursor page only when the page
+//! is *received* — heat records work when the shard *performs* it, so
+//! a cursor dropped mid-scan still shows the pages its shards really
+//! computed. Checkpoints are maintenance, not statements, and are not
+//! recorded. Instruments live in the process-global registry, so two
+//! sharded stores in one process share the same per-shard cells;
+//! measurement windows are delimited with [`cpdb_obs::Registry::reset`].
+
+use std::time::Duration;
+
+/// The three per-shard instruments. Handles are cheap clones of shared
+/// registry cells; recording is lock-free relaxed atomics.
+#[derive(Clone)]
+pub(crate) struct ShardHeat {
+    statements: cpdb_obs::Counter,
+    rows: cpdb_obs::Counter,
+    latency: cpdb_obs::Histogram,
+}
+
+impl ShardHeat {
+    /// The heat instruments of shard `shard`, registered on first use
+    /// (registration is idempotent per `(name, index)` key).
+    pub(crate) fn register(shard: u32) -> ShardHeat {
+        let reg = cpdb_obs::global();
+        ShardHeat {
+            statements: reg.register_counter_idx("shard.statements", shard),
+            rows: reg.register_counter_idx("shard.rows", shard),
+            latency: reg.register_histogram_idx("shard.latency_ns", shard),
+        }
+    }
+
+    /// One [`ShardHeat`] per shard, index-aligned with the store's
+    /// shard vector.
+    pub(crate) fn for_shards(n: usize) -> Vec<ShardHeat> {
+        (0..n).map(|i| ShardHeat::register(i as u32)).collect()
+    }
+
+    /// Records one executed statement that touched `rows` rows and
+    /// took `elapsed` of shard-side wall time.
+    pub(crate) fn record(&self, rows: u64, elapsed: Duration) {
+        self.statements.inc();
+        self.rows.add(rows);
+        self.latency.record_duration(elapsed);
+    }
+}

@@ -67,6 +67,7 @@ pub mod approx;
 mod editor;
 mod error;
 pub mod federation;
+mod heat;
 pub mod pipeline;
 mod query;
 mod record;

@@ -31,6 +31,7 @@
 //! exit, and `Drop` joins them.
 
 use crate::error::{CoreError, Result};
+use crate::heat::ShardHeat;
 use crate::record::{ProvRecord, Tid};
 use crate::store::{ProvStore, ScanKind, ScanToken, SqlStore};
 use cpdb_storage::{wait_in_flight, Meter};
@@ -145,11 +146,13 @@ impl ShardExecutor {
         reads: Arc<Meter>,
         writes: Arc<Meter>,
         batch_row_ns: Arc<AtomicU64>,
+        heat: Vec<ShardHeat>,
     ) -> ShardExecutor {
         let workers = stores
             .iter()
+            .zip(heat)
             .enumerate()
-            .map(|(i, store)| {
+            .map(|(i, (store, heat))| {
                 let (tx, rx) = channel::<Job>();
                 let store = store.clone();
                 let clock = WorkerClock {
@@ -159,7 +162,7 @@ impl ShardExecutor {
                 };
                 let handle = std::thread::Builder::new()
                     .name(format!("cpdb-shard-{i}"))
-                    .spawn(move || worker_loop(&store, &clock, &rx))
+                    .spawn(move || worker_loop(&store, &clock, &heat, &rx))
                     .expect("spawn shard worker");
                 Worker { jobs: tx, handle: Some(handle) }
             })
@@ -204,11 +207,24 @@ pub(crate) fn recv_reply(rx: Receiver<Reply>) -> Reply {
         .unwrap_or_else(|_| Err(CoreError::Editor { reason: "shard executor worker died".into() }))
 }
 
-fn worker_loop(store: &SqlStore, clock: &WorkerClock, jobs: &Receiver<Job>) {
+fn worker_loop(store: &SqlStore, clock: &WorkerClock, heat: &ShardHeat, jobs: &Receiver<Job>) {
     while let Ok((job, reply)) = jobs.recv() {
         clock.wait_for(&job);
+        // Heat records the statement where it runs (this worker): the
+        // shard-side execution time, excluding the simulated in-flight
+        // wait above. Checkpoints are maintenance, not statements.
+        let t0 = std::time::Instant::now();
+        let result = run_job(store, &job);
+        if !matches!(job, ShardJob::Checkpoint) {
+            let rows = match (&job, &result) {
+                (ShardJob::InsertBatch(records), _) => records.len() as u64,
+                (_, Ok((records, _))) => records.len() as u64,
+                (_, Err(_)) => 0,
+            };
+            heat.record(rows, t0.elapsed());
+        }
         // A dropped receiver (coordinator gave up) is not an error.
-        let _ = reply.send(run_job(store, &job));
+        let _ = reply.send(result);
     }
 }
 

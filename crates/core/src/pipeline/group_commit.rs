@@ -60,9 +60,41 @@ use cpdb_tree::Path;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Global group-commit telemetry, shared by every [`PipelinedStore`]
+/// in the process: queue depth (sampled on every enqueue and drain),
+/// records-per-drained-batch histogram, one counter per flush reason,
+/// and the parked-error counter. All recording is lock-free atomics,
+/// safe under `pipeline.state`; the one-time registration happens via
+/// [`pipe_obs`] *before* any pipeline lock is taken.
+struct PipeObs {
+    queue_depth: cpdb_obs::Gauge,
+    batch_records: cpdb_obs::Histogram,
+    flush_batch_full: cpdb_obs::Counter,
+    flush_epoch: cpdb_obs::Counter,
+    flush_explicit: cpdb_obs::Counter,
+    flush_shutdown: cpdb_obs::Counter,
+    parked_errors: cpdb_obs::Counter,
+}
+
+fn pipe_obs() -> &'static PipeObs {
+    static OBS: OnceLock<PipeObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = cpdb_obs::global();
+        PipeObs {
+            queue_depth: reg.register_gauge("pipeline.queue_depth"),
+            batch_records: reg.register_histogram("pipeline.batch_records"),
+            flush_batch_full: reg.register_counter("pipeline.flush.batch_full"),
+            flush_epoch: reg.register_counter("pipeline.flush.epoch"),
+            flush_explicit: reg.register_counter("pipeline.flush.explicit"),
+            flush_shutdown: reg.register_counter("pipeline.flush.shutdown"),
+            parked_errors: reg.register_counter("pipeline.parked_errors"),
+        }
+    })
+}
 
 /// What survives a crash of the process holding a [`PipelinedStore`].
 ///
@@ -171,6 +203,10 @@ struct State {
     in_flight: usize,
     /// An explicit flush wants the queue drained below batch size.
     flush_requested: bool,
+    /// The flush request came from the epoch timer (telemetry only:
+    /// distinguishes the `pipeline.flush.epoch` reason from
+    /// `pipeline.flush.explicit`).
+    epoch_due: bool,
     shutdown: bool,
     /// Total records accepted by enqueue.
     enqueued: u64,
@@ -366,6 +402,7 @@ impl PipelinedStore {
         if records.is_empty() {
             return Ok(());
         }
+        let obs = pipe_obs();
         let mut parked: Option<CoreError> = None;
         let mut last_seq = None;
         let mut st = self.lock();
@@ -405,6 +442,7 @@ impl PipelinedStore {
             }
             st.queue.push_back(record.clone());
             st.enqueued += 1;
+            obs.queue_depth.set(st.queue.len() as i64);
             // Wake the committer when a batch fills, and on the
             // empty→non-empty transition so it moves from its idle
             // wait onto the epoch timer.
@@ -490,6 +528,7 @@ fn should_drain(st: &State, batch: usize) -> bool {
 }
 
 fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
+    let obs = pipe_obs();
     let mut st = shared.state.lock();
     loop {
         if st.error.is_some() {
@@ -503,8 +542,25 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             continue;
         }
         if should_drain(&st, shared.batch) {
+            // Why this batch is committing now, in precedence order: a
+            // full batch commits regardless of any pending flush; the
+            // epoch tick and shutdown both piggyback on the
+            // flush_requested flag, so they are told apart by their
+            // own markers.
+            if st.queue.len() >= shared.batch {
+                obs.flush_batch_full.inc();
+            } else if st.epoch_due {
+                obs.flush_epoch.inc();
+            } else if st.shutdown && !st.flush_requested {
+                obs.flush_shutdown.inc();
+            } else {
+                obs.flush_explicit.inc();
+            }
+            st.epoch_due = false;
             let n = shared.batch.min(st.queue.len());
             let chunk: Vec<ProvRecord> = st.queue.drain(..n).collect();
+            obs.batch_records.record(n as u64);
+            obs.queue_depth.set(st.queue.len() as i64);
             st.in_flight = n;
             if st.queue.is_empty() {
                 st.flush_requested = false;
@@ -536,6 +592,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
                         st = shared.state.lock();
                         if let Err(e) = finalize {
                             st.error = Some(e);
+                            obs.parked_errors.inc();
                         }
                     }
                     st.in_flight = 0;
@@ -547,7 +604,9 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
                         st.queue.push_front(r);
                     }
                     st.error = Some(e);
+                    obs.parked_errors.inc();
                     st.in_flight = 0;
+                    obs.queue_depth.set(st.queue.len() as i64);
                 }
             }
             shared.room.notify_all();
@@ -562,6 +621,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
                 if timeout.timed_out() && !st.queue.is_empty() {
                     // Epoch tick: commit the partial batch.
                     st.flush_requested = true;
+                    st.epoch_due = true;
                 }
             }
             _ => shared.work.wait(&mut st),

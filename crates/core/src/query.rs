@@ -275,8 +275,17 @@ impl QueryEngine {
     /// client-side and only return to the store when a copy chain
     /// leaves the subtree.
     pub fn get_mod(&self, subtree_nodes: &[Path], tnow: Tid) -> Result<BTreeSet<Tid>> {
+        // The parent span's wall time decomposes into the two named
+        // phases below: seeding (the range scan + chain probe) and
+        // per-node trace resolution. `StatsSnapshot::span_child_coverage`
+        // reports how much of `get_mod` the children account for.
+        let _query = cpdb_obs::span!("get_mod");
         let mut out = BTreeSet::new();
-        let seed = self.seed_for(subtree_nodes)?;
+        let seed = {
+            let _seed = cpdb_obs::span!("get_mod.seed");
+            self.seed_for(subtree_nodes)?
+        };
+        let _trace = cpdb_obs::span!("get_mod.trace");
         for q in subtree_nodes {
             for step in self.trace_with_seed(q, tnow, seed.as_ref())? {
                 out.insert(step.tid);

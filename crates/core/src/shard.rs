@@ -96,6 +96,7 @@
 //! as the ablation for serial deployments.
 
 use crate::error::{CoreError, Result};
+use crate::heat::ShardHeat;
 use crate::pipeline::executor::{recv_reply, run_job, Reply, ShardExecutor, ShardJob};
 use crate::record::{ProvRecord, Tid};
 use crate::store::{chain_keys, ProvStore, RecordCursor, ScanKind, ScanToken, SqlStore};
@@ -161,6 +162,10 @@ pub struct ShardedStore {
     reads: Arc<Meter>,
     writes: Arc<Meter>,
     batch_row_ns: Arc<AtomicU64>,
+    /// Per-shard heat-map instruments (see [`crate::heat`]): one entry
+    /// per shard, recording statements executed inline on the
+    /// coordinator; scattered jobs are recorded by the workers.
+    heat: Vec<ShardHeat>,
 }
 
 impl ShardedStore {
@@ -280,6 +285,7 @@ impl ShardedStore {
     }
 
     fn assemble(shards: Vec<Shard>, boundaries: Vec<String>) -> ShardedStore {
+        let heat = ShardHeat::for_shards(shards.len());
         ShardedStore {
             shards,
             boundaries,
@@ -288,6 +294,7 @@ impl ShardedStore {
             reads: Arc::new(Meter::new()),
             writes: Arc::new(Meter::new()),
             batch_row_ns: Arc::new(AtomicU64::new(0)),
+            heat,
         }
     }
 
@@ -310,6 +317,7 @@ impl ShardedStore {
             self.reads.clone(),
             self.writes.clone(),
             self.batch_row_ns.clone(),
+            self.heat.clone(),
         ));
         self
     }
@@ -501,7 +509,12 @@ impl ShardedStore {
         self.charge(meter, jobs.len() as u64);
         let chunks = jobs
             .iter()
-            .map(|(i, job)| run_job(&self.shards[*i].store, job).map(|(records, _)| records))
+            .map(|(i, job)| {
+                let t0 = std::time::Instant::now();
+                let r = run_job(&self.shards[*i].store, job).map(|(records, _)| records);
+                self.heat[*i].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+                r
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(sort_merge(chunks))
     }
@@ -560,8 +573,10 @@ impl ShardScanSource<'_> {
         }
         self.store.charge(&self.store.reads, k);
         for (i, state) in &mut self.shards {
+            let t0 = std::time::Instant::now();
             let (rows, next) =
                 self.store.shards[*i].store.scan_page(&self.kind, self.batch, None)?;
+            self.store.heat[*i].record(rows.len() as u64, t0.elapsed());
             *state = ShardScanState::Ready { rows, next };
         }
         Ok(())
@@ -631,8 +646,10 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
                     // On-demand continuation: one statement on the one
                     // shard being served.
                     store.reads.round_trip();
+                    let t0 = std::time::Instant::now();
                     let (rows, next) =
                         store.shards[shard].store.scan_page(kind, batch, token.as_ref())?;
+                    store.heat[shard].record(rows.len() as u64, t0.elapsed());
                     if let Some(t) = next {
                         *state = ShardScanState::Pending(Some(t));
                     }
@@ -663,7 +680,11 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
 impl ProvStore for ShardedStore {
     fn insert(&self, record: &ProvRecord) -> Result<()> {
         self.writes.round_trip();
-        self.shards[self.shard_of_key(&record.loc.key())].store.insert(record)
+        let shard = self.shard_of_key(&record.loc.key());
+        let t0 = std::time::Instant::now();
+        let r = self.shards[shard].store.insert(record);
+        self.heat[shard].record(1, t0.elapsed());
+        r
     }
 
     fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
@@ -680,7 +701,10 @@ impl ProvStore for ShardedStore {
             cpdb_storage::spin(Duration::from_nanos(
                 per_row.saturating_mul(records.len() as u64 - 1),
             ));
-            return self.shards[first_shard].store.insert_batch(records);
+            let t0 = std::time::Instant::now();
+            let r = self.shards[first_shard].store.insert_batch(records);
+            self.heat[first_shard].record(records.len() as u64, t0.elapsed());
+            return r;
         }
         let mut groups: BTreeMap<usize, Vec<ProvRecord>> = BTreeMap::new();
         for r in records {
@@ -709,7 +733,10 @@ impl ProvStore for ShardedStore {
         };
         cpdb_storage::spin(Duration::from_nanos(per_row.saturating_mul(extra_rows)));
         for (i, group) in &groups {
-            self.shards[*i].store.insert_batch(group)?;
+            let t0 = std::time::Instant::now();
+            let r = self.shards[*i].store.insert_batch(group);
+            self.heat[*i].record(group.len() as u64, t0.elapsed());
+            r?;
         }
         Ok(())
     }
@@ -720,12 +747,20 @@ impl ProvStore for ShardedStore {
 
     fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
-        self.shards[self.shard_of_key(&loc.key())].store.at(tid, loc)
+        let shard = self.shard_of_key(&loc.key());
+        let t0 = std::time::Instant::now();
+        let r = self.shards[shard].store.at(tid, loc);
+        self.heat[shard].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+        r
     }
 
     fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
         self.reads.round_trip();
-        self.shards[self.shard_of_key(&loc.key())].store.by_loc(loc)
+        let shard = self.shard_of_key(&loc.key());
+        let t0 = std::time::Instant::now();
+        let r = self.shards[shard].store.by_loc(loc);
+        self.heat[shard].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+        r
     }
 
     fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {

@@ -219,6 +219,27 @@ pub struct RecordCursor<'a> {
     source: Box<dyn RecordSource + Send + 'a>,
 }
 
+/// Global streaming-cursor telemetry: pages fetched across every
+/// cursor, and the high-water mark of records resident in a single
+/// cursor (buffered prefetches plus the page being handed out) — the
+/// observable form of the `batch × shards` bound the scan-streaming
+/// bench asserts.
+struct CursorObs {
+    pages: cpdb_obs::Counter,
+    peak_resident: cpdb_obs::Gauge,
+}
+
+fn cursor_obs() -> &'static CursorObs {
+    static OBS: std::sync::OnceLock<CursorObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = cpdb_obs::global();
+        CursorObs {
+            pages: reg.register_counter("cursor.pages_fetched"),
+            peak_resident: reg.register_gauge("cursor.peak_resident_rows"),
+        }
+    })
+}
+
 /// What a store must provide to back a [`RecordCursor`].
 pub(crate) trait RecordSource {
     /// Fetches the next batch: `Ok(Some(records))` with at least one
@@ -249,7 +270,13 @@ impl<'a> RecordCursor<'a> {
     /// key order; `Ok(None)` once the scan is exhausted (calls after
     /// that are free no-ops).
     pub fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
-        self.source.next_batch()
+        let r = self.source.next_batch();
+        if let Ok(Some(page)) = &r {
+            let obs = cursor_obs();
+            obs.pages.inc();
+            obs.peak_resident.set_max((self.source.buffered() + page.len()) as i64);
+        }
+        r
     }
 
     /// Number of records currently buffered inside the cursor. A

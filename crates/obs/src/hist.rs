@@ -1,0 +1,234 @@
+//! Fixed-boundary log₂-bucket histograms.
+//!
+//! The record path is lock-free: one relaxed `fetch_add` into the
+//! bucket owning the value, one into the running sum, and a
+//! `fetch_max` for the exact maximum. Bucket boundaries are powers of
+//! two — bucket `0` holds only the value `0`, bucket `i > 0` holds
+//! `[2^(i-1), 2^i)`, and the top bucket saturates (every value at or
+//! above its floor lands there). Quantiles read from a snapshot are
+//! therefore upper bounds with at most 2x relative error, which is
+//! exactly the precision a latency heat map needs and cheap enough to
+//! leave on in production.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Bucket 0 is the zero bucket; bucket
+/// `BUCKETS - 1` saturates. With nanosecond values the top bucket's
+/// floor, `2^(BUCKETS - 2)` ns, is ≈ 19.5 hours — far beyond any
+/// operation this codebase times.
+pub const BUCKETS: usize = 48;
+
+/// The bucket index owning `value`: `0` for `0`, else the value's bit
+/// length, saturated at the top bucket. Powers of two are exact bucket
+/// floors: `bucket_of(2^k) == k + 1` and `2^k` is the smallest value
+/// of that bucket.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The smallest value bucket `i` holds (`0` for the zero bucket).
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// The largest value bucket `i` holds (`u64::MAX` for the saturated
+/// top bucket).
+pub fn bucket_ceil(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Shared histogram storage behind [`crate::Histogram`] handles.
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    pub(crate) fn new() -> HistCell {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock-free record: three relaxed atomic ops.
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot-on-read: copies the bucket counts once; every derived
+    /// statistic comes from that copy, so a concurrent recorder cannot
+    /// tear a quantile against its own count.
+    pub(crate) fn snapshot(&self, name: String) -> HistogramStat {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramStat {
+            name,
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable snapshot of one histogram, carried by
+/// [`crate::StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Rendered instrument name (index dimension included).
+    pub name: String,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (not a bucket bound).
+    pub max: u64,
+    /// Per-bucket counts; see [`bucket_floor`] / [`bucket_ceil`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramStat {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as an upper bound: the ceiling
+    /// of the bucket holding the `⌈q·count⌉`-th smallest value, capped
+    /// at the exact observed maximum. `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_ceil(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median upper bound (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile upper bound (`None` when empty).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// Mean of the recorded values (exact: `sum / count`).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_are_exact_bucket_floors() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        for k in 0..BUCKETS - 2 {
+            let v = 1u64 << k;
+            // 2^k opens bucket k+1…
+            assert_eq!(bucket_of(v), k + 1, "2^{k}");
+            assert_eq!(bucket_floor(k + 1), v, "floor of bucket {}", k + 1);
+            // …and 2^k - 1 still belongs to the bucket below.
+            assert_eq!(bucket_of(v - 1), bucket_of(v.saturating_sub(1)));
+            assert!(bucket_of(v - 1) < k + 1 || v == 1, "2^{k} - 1 stays below");
+            assert_eq!(bucket_ceil(k + 1), 2 * v - 1);
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let top = BUCKETS - 1;
+        assert_eq!(bucket_of(bucket_floor(top)), top);
+        assert_eq!(bucket_of(u64::MAX), top);
+        assert_eq!(bucket_ceil(top), u64::MAX);
+        let h = HistCell::new();
+        h.record(u64::MAX);
+        h.record(bucket_floor(top));
+        let s = h.snapshot("t".into());
+        assert_eq!(s.buckets[top], 2);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_capped_at_max() {
+        let h = HistCell::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot("t".into());
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.max, 100);
+        // rank 2 of 4 at q=0.5 → the bucket of value 2 (ceil 3).
+        assert_eq!(s.p50(), Some(3));
+        // rank 4 → bucket of 100 is [64,127], capped at the exact max.
+        assert_eq!(s.p90(), Some(100));
+        assert_eq!(s.quantile(1.0), Some(100));
+        assert!(HistCell::new().snapshot("e".into()).p50().is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        use std::sync::Arc;
+        let h = Arc::new(HistCell::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot("t".into());
+        let n = threads * per_thread;
+        assert_eq!(s.count, n);
+        assert_eq!(s.sum, n * (n - 1) / 2, "every recorded value is summed exactly once");
+        assert_eq!(s.max, n - 1);
+    }
+}

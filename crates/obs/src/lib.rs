@@ -1,0 +1,109 @@
+//! # cpdb-obs — first-party tracing and metrics
+//!
+//! The observability substrate of the CPDB workspace: a dependency-free
+//! metrics registry plus a span API, wired through every layer so that
+//! questions the `Meter` cost model cannot answer — *where* did the
+//! time go, *which shard* is hot, what does the fsync-coalescing
+//! window look like under load — have first-party answers.
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and fixed-boundary
+//!   log₂-bucket [`Histogram`]s. The record path is lock-free (relaxed
+//!   atomics); reads are snapshot-on-read via
+//!   [`Registry::snapshot`].
+//! * Spans — `span!("get_mod.seed")` times a section with monotonic
+//!   clocks, per-thread span stacks, and parent/child attribution;
+//!   [`StatsSnapshot::span_child_coverage`] decomposes a probe's wall
+//!   time into its named phases, across threads via
+//!   [`Registry::span_under`].
+//! * [`MetricSource`] — the bridge for externally owned counters
+//!   (`cpdb-storage`'s `Meter`): read at snapshot time, never
+//!   mirrored, so nothing is double-counted.
+//! * [`StatsSnapshot`] — rendered as human-readable text and as
+//!   hand-rolled JSON (the same restricted style as the bench suite's
+//!   `BENCH_<name>.json`), plus a ring-buffer slow-op log
+//!   ([`SlowOp`], threshold-configurable, off by default).
+//!
+//! Most code uses the process-wide [`global`] registry; tests build
+//! private [`Registry`] instances. Instrument names are static string
+//! literals registered at exactly one call site each (`cpdb-lint`
+//! enforces this), so the instrument namespace stays greppable.
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! let reg = cpdb_obs::Registry::new();
+//! let hits = reg.register_counter("docs.hits");
+//! let lat = reg.register_histogram("docs.lat_ns");
+//! {
+//!     let _probe = reg.span("docs.probe");
+//!     hits.inc();
+//!     lat.record_duration(Duration::from_micros(7));
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("docs.hits"), Some(1));
+//! assert_eq!(snap.histogram("docs.lat_ns").unwrap().count, 1);
+//! assert!(snap.span_total_ns("docs.probe") > 0);
+//! println!("{}", snap.to_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod hist;
+pub(crate) mod registry;
+mod slowlog;
+mod snapshot;
+mod span;
+
+pub use hist::{bucket_ceil, bucket_floor, bucket_of, HistogramStat, BUCKETS};
+pub use registry::{Counter, Gauge, Histogram, MetricSource, Registry, SourceVisitor};
+pub use slowlog::SlowOp;
+pub use snapshot::{SpanStat, StatsSnapshot};
+pub use span::{current_span, SpanGuard};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry every instrumentation site records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand for [`Registry::snapshot`] on the [`global`] registry.
+pub fn snapshot() -> StatsSnapshot {
+    global().snapshot()
+}
+
+/// Enters a span on the [`global`] registry:
+/// `span!("by_loc_prefix")`, or `span!("by_loc_prefix", shard = 3)`
+/// with a per-shard index dimension. Bind the guard — the span covers
+/// its scope.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::global().span($name)
+    };
+    ($name:literal, shard = $idx:expr) => {
+        $crate::global().span_idx($name, $idx as u32)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_and_span_macro_work_end_to_end() {
+        let c = crate::global().register_counter("test.global.hits");
+        let before = c.get();
+        {
+            let _s = span!("test.global.span");
+            c.inc();
+        }
+        {
+            let _s = span!("test.global.span", shard = 1u32);
+        }
+        let snap = crate::snapshot();
+        assert!(snap.counter("test.global.hits").unwrap() > before);
+        assert!(snap.span_total_ns("test.global.span") > 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The metrics registry: named instruments with a lock-free record
+//! path and snapshot-on-read exposition.
+//!
+//! Instruments are identified by a static name plus an optional
+//! integer index (the per-shard dimension, rendered `name{shard=i}`).
+//! Registration is idempotent — registering the same (name, index)
+//! twice returns a handle to the same cell, so construction sites can
+//! run per store instance without double bookkeeping — but `cpdb-lint`
+//! additionally requires each *name literal* to appear at exactly one
+//! registration call site, which keeps the instrument namespace
+//! greppable and collision-free.
+//!
+//! The registry mutex guards only the name → cell map (registration
+//! and snapshots); recording through a handle is pure atomics and
+//! never takes it. No code path ever acquires another crate's lock
+//! while holding a registry lock, so obs internals cannot participate
+//! in a lock-order cycle with storage locks.
+
+use crate::hist::{HistCell, HistogramStat};
+use crate::slowlog::{SlowLog, SlowOp};
+use crate::span::{SpanAgg, SpanKey};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Instrument identity: static name + optional index dimension.
+pub(crate) type Key = (&'static str, Option<u32>);
+
+/// Renders an instrument key the way snapshots and the JSON dump name
+/// it: `name` or `name{shard=i}`.
+pub(crate) fn render(name: &str, index: Option<u32>) -> String {
+    match index {
+        None => name.to_owned(),
+        Some(i) => format!("{name}{{shard={i}}}"),
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Adds one. Lock-free; a no-op while the registry's recording is
+    /// [disabled](Registry::set_enabled).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Lock-free; a no-op while recording is disabled.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a settable signed level. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Sets the level. Lock-free; a no-op while recording is disabled.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (use a negative `n` to decrement).
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Ratchets the gauge up to `v` if it is below (high-water marks,
+    /// e.g. peak resident rows).
+    pub fn set_max(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle over fixed log₂ buckets. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cell: Arc<HistCell>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    /// Records one value. Lock-free; a no-op while recording is
+    /// disabled.
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.record(value);
+        }
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// A read-at-snapshot-time metric provider: the bridge that folds
+/// externally owned counters (e.g. `cpdb-storage`'s `Meter`) into a
+/// [`crate::StatsSnapshot`] without double-counting — the registry
+/// *reads* the source when a snapshot is taken instead of mirroring
+/// every increment.
+pub trait MetricSource: Send + Sync {
+    /// Pushes the source's current counter values into `out`.
+    fn collect(&self, out: &mut SourceVisitor);
+}
+
+/// Collects `(key, value)` pairs from one [`MetricSource`], prefixing
+/// keys with the source's registered name.
+pub struct SourceVisitor {
+    prefix: &'static str,
+    out: Vec<(String, u64)>,
+}
+
+impl SourceVisitor {
+    /// Reports one counter as `<source name>.<key>`.
+    pub fn counter(&mut self, key: &str, value: u64) {
+        self.out.push((format!("{}.{key}", self.prefix), value));
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, Arc<AtomicU64>>,
+    gauges: BTreeMap<Key, Arc<AtomicI64>>,
+    hists: BTreeMap<Key, Arc<HistCell>>,
+    sources: BTreeMap<&'static str, Arc<dyn MetricSource>>,
+}
+
+/// A metrics registry: instrument registration, span aggregation, the
+/// slow-op log, and snapshots. Most code uses the process-wide
+/// [`crate::global`] registry; tests may build private ones.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    /// Shared with every handle this registry hands out: the record
+    /// kill-switch overhead experiments flip.
+    enabled: Arc<AtomicBool>,
+    pub(crate) spans: Mutex<BTreeMap<SpanKey, SpanAgg>>,
+    pub(crate) slow: Mutex<SlowLog>,
+    pub(crate) slow_threshold_ns: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with recording on and the slow-op log
+    /// off.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Mutex::labeled("obs.registry", Inner::default()),
+            enabled: Arc::new(AtomicBool::new(true)),
+            spans: Mutex::labeled("obs.spans", BTreeMap::new()),
+            slow: Mutex::labeled("obs.slowlog", SlowLog::new(128)),
+            slow_threshold_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns recording on or off for every instrument and span of this
+    /// registry. Off, the record path is a single relaxed load — the
+    /// baseline side of the instrumentation-overhead experiment.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn register_counter(&self, name: &'static str) -> Counter {
+        self.counter_key((name, None))
+    }
+
+    /// Registers (or retrieves) the counter `name` at `index` (the
+    /// per-shard dimension).
+    pub fn register_counter_idx(&self, name: &'static str, index: u32) -> Counter {
+        self.counter_key((name, Some(index)))
+    }
+
+    fn counter_key(&self, key: Key) -> Counter {
+        Counter {
+            cell: Arc::clone(self.inner.lock().counters.entry(key).or_default()),
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn register_gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_key((name, None))
+    }
+
+    /// Registers (or retrieves) the gauge `name` at `index`.
+    pub fn register_gauge_idx(&self, name: &'static str, index: u32) -> Gauge {
+        self.gauge_key((name, Some(index)))
+    }
+
+    fn gauge_key(&self, key: Key) -> Gauge {
+        Gauge {
+            cell: Arc::clone(self.inner.lock().gauges.entry(key).or_default()),
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    pub fn register_histogram(&self, name: &'static str) -> Histogram {
+        self.hist_key((name, None))
+    }
+
+    /// Registers (or retrieves) the histogram `name` at `index`.
+    pub fn register_histogram_idx(&self, name: &'static str, index: u32) -> Histogram {
+        self.hist_key((name, Some(index)))
+    }
+
+    fn hist_key(&self, key: Key) -> Histogram {
+        Histogram {
+            cell: Arc::clone(
+                self.inner.lock().hists.entry(key).or_insert_with(|| Arc::new(HistCell::new())),
+            ),
+            enabled: Arc::clone(&self.enabled),
+        }
+    }
+
+    /// Registers `source` under `name`; its counters appear in
+    /// snapshots as `name.<key>`, read at snapshot time. Re-registering
+    /// a name replaces the previous source (fresh store instances in
+    /// tests and examples supersede stale ones).
+    pub fn register_source(&self, name: &'static str, source: Arc<dyn MetricSource>) {
+        self.inner.lock().sources.insert(name, source);
+    }
+
+    /// Zeroes every counter, gauge, and histogram and clears span
+    /// aggregates and the slow-op log. Registered instruments and
+    /// sources stay registered (live handles keep working) — this is
+    /// the "fresh measurement window" benches and examples use.
+    pub fn reset(&self) {
+        {
+            let inner = self.inner.lock();
+            for c in inner.counters.values() {
+                c.store(0, Ordering::Relaxed);
+            }
+            for g in inner.gauges.values() {
+                g.store(0, Ordering::Relaxed);
+            }
+            for h in inner.hists.values() {
+                h.reset();
+            }
+        }
+        self.spans.lock().clear();
+        self.slow.lock().clear();
+    }
+
+    /// Turns the slow-op log on at `threshold` (spans at least that
+    /// long are ring-buffered), or off with `None` (the default —
+    /// benches run with it off).
+    pub fn set_slow_threshold(&self, threshold: Option<std::time::Duration>) {
+        let ns =
+            threshold.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1)).unwrap_or(0);
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of every instrument, span
+    /// aggregate, slow op, and registered source. Sources are read
+    /// *now* — the no-double-counting contract of the meter bridge.
+    pub fn snapshot(&self) -> crate::StatsSnapshot {
+        let (mut counters, gauges, histograms, sources) = {
+            let inner = self.inner.lock();
+            let counters: Vec<(String, u64)> = inner
+                .counters
+                .iter()
+                .map(|((n, i), c)| (render(n, *i), c.load(Ordering::Relaxed)))
+                .collect();
+            let gauges: Vec<(String, i64)> = inner
+                .gauges
+                .iter()
+                .map(|((n, i), g)| (render(n, *i), g.load(Ordering::Relaxed)))
+                .collect();
+            let histograms: Vec<HistogramStat> =
+                inner.hists.iter().map(|((n, i), h)| h.snapshot(render(n, *i))).collect();
+            let sources: Vec<(&'static str, Arc<dyn MetricSource>)> =
+                inner.sources.iter().map(|(n, s)| (*n, Arc::clone(s))).collect();
+            (counters, gauges, histograms, sources)
+        };
+        // Sources run with the registry unlocked: collect() is foreign
+        // code, and obs must never hold one of its locks across a call
+        // that could acquire somebody else's.
+        for (name, src) in sources {
+            let mut v = SourceVisitor { prefix: name, out: Vec::new() };
+            src.collect(&mut v);
+            counters.extend(v.out);
+        }
+        counters.sort();
+        let spans: Vec<crate::SpanStat> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, agg)| crate::SpanStat {
+                name: k.name,
+                parent: k.parent,
+                index: k.index,
+                count: agg.count,
+                total_ns: agg.total_ns,
+            })
+            .collect();
+        let slow_ops: Vec<SlowOp> = self.slow.lock().snapshot();
+        crate::StatsSnapshot { counters, gauges, histograms, spans, slow_ops }
+    }
+}

@@ -1,0 +1,105 @@
+//! The slow-op log: a bounded ring buffer of spans that exceeded the
+//! configured threshold.
+//!
+//! Off by default (threshold unset), so benches pay nothing; turned on
+//! with [`crate::Registry::set_slow_threshold`], every span at least
+//! that long is appended, evicting the oldest entry once the ring is
+//! full. The sequence number is monotonic across evictions, so readers
+//! can tell "the last 128 slow ops" from "all slow ops".
+
+use std::time::Duration;
+
+/// One logged slow operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Monotonic sequence number (counts every slow op ever logged,
+    /// including evicted ones).
+    pub seq: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Parent span name (`""` for root spans).
+    pub parent: &'static str,
+    /// Index dimension, if the span carried one.
+    pub index: Option<u32>,
+    /// Measured wall time.
+    pub elapsed: Duration,
+}
+
+/// Fixed-capacity ring of [`SlowOp`]s.
+#[derive(Debug)]
+pub(crate) struct SlowLog {
+    cap: usize,
+    next_seq: u64,
+    ops: std::collections::VecDeque<SlowOp>,
+}
+
+impl SlowLog {
+    pub(crate) fn new(cap: usize) -> SlowLog {
+        SlowLog { cap: cap.max(1), next_seq: 0, ops: std::collections::VecDeque::new() }
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        name: &'static str,
+        parent: &'static str,
+        index: Option<u32>,
+        elapsed: Duration,
+    ) {
+        if self.ops.len() == self.cap {
+            self.ops.pop_front();
+        }
+        self.ops.push_back(SlowOp { seq: self.next_seq, name, parent, index, elapsed });
+        self.next_seq += 1;
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<SlowOp> {
+        self.ops.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let mut log = SlowLog::new(3);
+        for i in 0..5u64 {
+            log.push("op", "", None, Duration::from_millis(i));
+        }
+        let ops = log.snapshot();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].seq, 2, "the two oldest entries were evicted");
+        assert_eq!(ops[2].seq, 4);
+        assert_eq!(ops[2].elapsed, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn threshold_gates_the_log_end_to_end() {
+        let reg = crate::Registry::new();
+        // Off by default: nothing is logged.
+        {
+            let _s = reg.span("test.slow_off");
+        }
+        assert!(reg.snapshot().slow_ops.is_empty());
+        // On with a zero-duration threshold: every span logs.
+        reg.set_slow_threshold(Some(Duration::ZERO));
+        {
+            let _s = reg.span_idx("test.slow_on", 7);
+        }
+        let ops = reg.snapshot().slow_ops;
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].name, "test.slow_on");
+        assert_eq!(ops[0].index, Some(7));
+        // And off again.
+        reg.set_slow_threshold(None);
+        {
+            let _s = reg.span("test.slow_off_again");
+        }
+        assert_eq!(reg.snapshot().slow_ops.len(), 1);
+    }
+}

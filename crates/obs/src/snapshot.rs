@@ -1,0 +1,318 @@
+//! Stats exposition: [`StatsSnapshot`] and its text / JSON renderings.
+//!
+//! A snapshot is a point-in-time copy of every instrument: counters
+//! (including [`crate::MetricSource`] values read at snapshot time),
+//! gauges, histogram summaries, span aggregates, and the slow-op log.
+//! The JSON is hand-rolled in the same restricted style as the bench
+//! suite's `BENCH_<name>.json` (this tree builds offline, without
+//! serde) but is plain standard JSON.
+
+use crate::hist::HistogramStat;
+use crate::slowlog::SlowOp;
+
+/// Aggregated wall time of one span edge, keyed by name, parent, and
+/// optional index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Parent span name (`""` for root spans).
+    pub parent: &'static str,
+    /// Index dimension, if any.
+    pub index: Option<u32>,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall nanoseconds across them.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Rendered name including the index dimension.
+    pub fn rendered(&self) -> String {
+        crate::registry::render(self.name, self.index)
+    }
+}
+
+/// A point-in-time copy of every instrument in a [`crate::Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Counter values by rendered name — registry counters plus every
+    /// registered source's values (`<source>.<key>`), read at snapshot
+    /// time.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels by rendered name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramStat>,
+    /// Span aggregates.
+    pub spans: Vec<SpanStat>,
+    /// The slow-op ring buffer, oldest first.
+    pub slow_ops: Vec<SlowOp>,
+}
+
+impl StatsSnapshot {
+    /// The counter named `name` (rendered form, e.g.
+    /// `"wal.sync.leaders"` or `"sharded.reads.round_trips"`).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The counter `name` at `index` (`name{shard=index}`).
+    pub fn counter_idx(&self, name: &str, index: u32) -> Option<u64> {
+        self.counter(&crate::registry::render(name, Some(index)))
+    }
+
+    /// The gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name` (rendered form).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The histogram `name` at `index`.
+    pub fn histogram_idx(&self, name: &str, index: u32) -> Option<&HistogramStat> {
+        self.histogram(&crate::registry::render(name, Some(index)))
+    }
+
+    /// Total wall nanoseconds of every span named `name`, summed over
+    /// parents and indexes.
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).map(|s| s.total_ns).sum()
+    }
+
+    /// How much of span `parent`'s wall time its named children account
+    /// for: `Σ total(child with parent == parent) / total(parent)`.
+    /// Parallel children can push this above `1.0`. `None` if `parent`
+    /// never ran.
+    pub fn span_child_coverage(&self, parent: &str) -> Option<f64> {
+        let total = self.span_total_ns(parent);
+        if total == 0 {
+            return None;
+        }
+        let children: u64 =
+            self.spans.iter().filter(|s| s.parent == parent).map(|s| s.total_ns).sum();
+        Some(children as f64 / total as f64)
+    }
+
+    /// Human-readable rendering, section per instrument kind.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("  {name:<44} {v}\n"));
+        }
+        out.push_str("== gauges ==\n");
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("  {name:<44} {v}\n"));
+        }
+        out.push_str("== histograms (ns unless named otherwise) ==\n");
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "  {:<44} count={} p50={} p90={} max={} mean={:.0}\n",
+                h.name,
+                h.count,
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.max,
+                h.mean().unwrap_or(0.0),
+            ));
+        }
+        out.push_str("== spans ==\n");
+        for s in &self.spans {
+            let parent = if s.parent.is_empty() { "(root)" } else { s.parent };
+            out.push_str(&format!(
+                "  {:<36} under {:<20} count={} total={:.3}ms\n",
+                s.rendered(),
+                parent,
+                s.count,
+                s.total_ns as f64 / 1e6,
+            ));
+        }
+        if !self.slow_ops.is_empty() {
+            out.push_str("== slow ops ==\n");
+            for op in &self.slow_ops {
+                out.push_str(&format!(
+                    "  #{:<6} {:<36} {:?}\n",
+                    op.seq,
+                    crate::registry::render(op.name, op.index),
+                    op.elapsed,
+                ));
+            }
+        }
+        out
+    }
+
+    /// The JSON document (standard JSON, hand-rolled).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let counters: Vec<String> =
+            self.counters.iter().map(|(k, v)| format!("    \"{}\": {v}", esc(k))).collect();
+        let gauges: Vec<String> =
+            self.gauges.iter().map(|(k, v)| format!("    \"{}\": {v}", esc(k))).collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                format!(
+                    "    \"{}\": {{ \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {} }}",
+                    esc(&h.name),
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.p50().unwrap_or(0),
+                    h.p90().unwrap_or(0),
+                )
+            })
+            .collect();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "    \"{}\": {{ \"parent\": \"{}\", \"count\": {}, \"total_ns\": {} }}",
+                    esc(&s.rendered()),
+                    esc(s.parent),
+                    s.count,
+                    s.total_ns,
+                )
+            })
+            .collect();
+        let slow: Vec<String> = self
+            .slow_ops
+            .iter()
+            .map(|op| {
+                format!(
+                    "    {{ \"seq\": {}, \"name\": \"{}\", \"elapsed_ns\": {} }}",
+                    op.seq,
+                    esc(&crate::registry::render(op.name, op.index)),
+                    u64::try_from(op.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"counters\": {{\n{}\n  }},\n  \"gauges\": {{\n{}\n  }},\n  \
+             \"histograms\": {{\n{}\n  }},\n  \"spans\": {{\n{}\n  }},\n  \
+             \"slow_ops\": [\n{}\n  ]\n}}\n",
+            counters.join(",\n"),
+            gauges.join(",\n"),
+            hists.join(",\n"),
+            spans.join(",\n"),
+            slow.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn snapshot_reads_instruments_and_sources_without_double_counting() {
+        struct FixedSource;
+        impl crate::MetricSource for FixedSource {
+            fn collect(&self, out: &mut crate::SourceVisitor) {
+                out.counter("round_trips", 42);
+            }
+        }
+        let reg = Registry::new();
+        let c = reg.register_counter_idx("test.statements", 2);
+        c.add(5);
+        let g = reg.register_gauge("test.depth");
+        g.set(9);
+        g.set_max(4); // below: no effect
+        let h = reg.register_histogram("test.lat_ns");
+        h.record(1024);
+        reg.register_source("test.meter", std::sync::Arc::new(FixedSource));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_idx("test.statements", 2), Some(5));
+        assert_eq!(snap.counter("test.meter.round_trips"), Some(42));
+        assert_eq!(snap.gauge("test.depth"), Some(9));
+        let hist = snap.histogram("test.lat_ns").expect("histogram present");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.max, 1024);
+        // Snapshot twice: source values are read, not accumulated.
+        let again = reg.snapshot();
+        assert_eq!(again.counter("test.meter.round_trips"), Some(42));
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_key() {
+        let reg = Registry::new();
+        let a = reg.register_counter("test.once");
+        let b = reg.register_counter("test.once");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("test.once"), Some(2), "one cell behind both handles");
+        let i0 = reg.register_counter_idx("test.once", 0);
+        i0.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.once"), Some(2), "indexed key is distinct");
+        assert_eq!(snap.counter_idx("test.once", 0), Some(1));
+    }
+
+    #[test]
+    fn reset_zeroes_values_but_keeps_handles_live() {
+        let reg = Registry::new();
+        let c = reg.register_counter("test.reset");
+        let h = reg.register_histogram("test.reset_ns");
+        c.inc();
+        h.record(7);
+        {
+            let _s = reg.span("test.reset_span");
+        }
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.reset"), Some(0));
+        assert_eq!(snap.histogram("test.reset_ns").unwrap().count, 0);
+        assert!(snap.spans.is_empty());
+        c.inc();
+        assert_eq!(reg.snapshot().counter("test.reset"), Some(1), "handle survives reset");
+    }
+
+    #[test]
+    fn text_and_json_render_every_section() {
+        let reg = Registry::new();
+        reg.register_counter_idx("test.shard.statements", 0).add(3);
+        reg.register_gauge("test.queue").set(2);
+        reg.register_histogram("test.ns").record(100);
+        reg.set_slow_threshold(Some(std::time::Duration::ZERO));
+        {
+            let _outer = reg.span("test.render");
+            let _inner = reg.span("test.render.child");
+        }
+        let snap = reg.snapshot();
+        let text = snap.to_text();
+        assert!(text.contains("test.shard.statements{shard=0}"), "{text}");
+        assert!(text.contains("== slow ops =="), "{text}");
+        let json = snap.to_json();
+        assert!(json.contains("\"test.shard.statements{shard=0}\": 3"), "{json}");
+        assert!(json.contains("\"test.queue\": 2"), "{json}");
+        assert!(json.contains("\"test.ns\": { \"count\": 1"), "{json}");
+        assert!(json.contains("\"parent\": \"test.render\""), "{json}");
+        assert!(json.contains("\"slow_ops\": ["), "{json}");
+    }
+
+    #[test]
+    fn child_coverage_decomposes_a_parent() {
+        let reg = Registry::new();
+        {
+            let _p = reg.span("test.cov");
+            {
+                let _a = reg.span("test.cov.a");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let _b = reg.span("test.cov.b");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let cov = snap.span_child_coverage("test.cov").expect("parent ran");
+        assert!(cov > 0.5 && cov <= 1.0, "children dominate the parent: {cov}");
+        assert!(snap.span_child_coverage("test.never").is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Spans: named, timed sections with parent/child attribution.
+//!
+//! Entering a span pushes it on a per-thread stack and starts a
+//! monotonic clock; dropping the guard pops the stack and folds the
+//! elapsed wall time into an aggregate keyed by `(name, parent,
+//! index)`, where the parent is whatever span was on top of the stack
+//! at entry. A query's wall time therefore decomposes: the aggregate
+//! for `("get_mod.seed", parent = "get_mod")` is exactly the seed
+//! share of every `get_mod` call, and
+//! [`crate::StatsSnapshot::span_child_coverage`] reports how much of a
+//! parent its named children account for.
+//!
+//! Work handed to another thread keeps its attribution by carrying the
+//! parent explicitly: capture [`current_span`] on the submitting
+//! thread and open the worker's span with [`Registry::span_under`].
+//! Children that run in parallel can sum to *more* than their parent's
+//! wall time — that is a feature (it is the parallel speedup), not a
+//! bookkeeping error.
+//!
+//! Span close takes the registry's span mutex briefly; spans are meant
+//! for operation-granularity sections (a probe, a shard job, an fsync
+//! window), not per-record hot loops — those get counters and
+//! histograms, whose record path is lock-free.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Aggregation key of one span edge: the span's name and index plus
+/// the parent it was entered under (`""` for root spans).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct SpanKey {
+    pub(crate) name: &'static str,
+    pub(crate) parent: &'static str,
+    pub(crate) index: Option<u32>,
+}
+
+/// Accumulated wall time of one span edge.
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct SpanAgg {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+}
+
+thread_local! {
+    /// The enclosing-span stack of this thread: `(name, index)` of
+    /// every active span, outermost first.
+    static STACK: RefCell<Vec<(&'static str, Option<u32>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The name and index of the innermost active span on this thread, if
+/// any — capture it before handing work to another thread and pass it
+/// to [`Registry::span_under`] there.
+pub fn current_span() -> Option<(&'static str, Option<u32>)> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An active span. Dropping it records the elapsed time; hold it for
+/// exactly the section it names.
+#[must_use = "a span measures the scope of its guard — bind it with `let _span = …`"]
+pub struct SpanGuard<'a> {
+    /// `None` for disabled spans (recording was off at entry).
+    active: Option<ActiveSpan<'a>>,
+}
+
+struct ActiveSpan<'a> {
+    registry: &'a Registry,
+    name: &'static str,
+    parent: &'static str,
+    index: Option<u32>,
+    start: Instant,
+}
+
+impl Registry {
+    /// Enters span `name` under the thread's current span (root if
+    /// there is none).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let parent = current_span().map(|(n, _)| n).unwrap_or("");
+        self.enter(name, parent, None)
+    }
+
+    /// Enters span `name` at `index` (e.g. the shard number) under the
+    /// thread's current span.
+    pub fn span_idx(&self, name: &'static str, index: u32) -> SpanGuard<'_> {
+        let parent = current_span().map(|(n, _)| n).unwrap_or("");
+        self.enter(name, parent, Some(index))
+    }
+
+    /// Enters span `name` under an explicit `parent` — the cross-thread
+    /// form: the submitting thread captures [`current_span`] and the
+    /// worker opens its span under it, so executor jobs attribute to
+    /// the probe that scattered them.
+    pub fn span_under(&self, name: &'static str, parent: &'static str) -> SpanGuard<'_> {
+        self.enter(name, parent, None)
+    }
+
+    /// [`Registry::span_under`] with an index dimension.
+    pub fn span_under_idx(
+        &self,
+        name: &'static str,
+        parent: &'static str,
+        index: u32,
+    ) -> SpanGuard<'_> {
+        self.enter(name, parent, Some(index))
+    }
+
+    fn enter(&self, name: &'static str, parent: &'static str, index: Option<u32>) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        STACK.with(|s| s.borrow_mut().push((name, index)));
+        SpanGuard {
+            active: Some(ActiveSpan { registry: self, name, parent, index, start: Instant::now() }),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let elapsed = span.start.elapsed();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop this span. Guards drop in LIFO order in safe code, so
+            // this is the top — but a mem::forget'd inner guard must
+            // not corrupt the outer ones, so search from the top.
+            if let Some(pos) = stack.iter().rposition(|&(n, i)| n == span.name && i == span.index) {
+                stack.truncate(pos);
+            }
+        });
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        {
+            let key = SpanKey { name: span.name, parent: span.parent, index: span.index };
+            let mut spans = span.registry.spans.lock();
+            let agg = spans.entry(key).or_default();
+            agg.count += 1;
+            agg.total_ns = agg.total_ns.saturating_add(ns);
+        }
+        let threshold = span.registry.slow_threshold_ns.load(Ordering::Relaxed);
+        if threshold != 0 && ns >= threshold {
+            span.registry.slow.lock().push(span.name, span.parent, span.index, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_attributes_children_to_their_parent() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("test.outer");
+            assert_eq!(current_span(), Some(("test.outer", None)));
+            {
+                let _inner = reg.span("test.inner");
+                assert_eq!(current_span(), Some(("test.inner", None)));
+            }
+            let _inner2 = reg.span_idx("test.inner", 3);
+        }
+        assert_eq!(current_span(), None);
+        let snap = reg.snapshot();
+        let find = |name: &str, idx: Option<u32>| {
+            snap.spans.iter().find(|s| s.name == name && s.index == idx).expect("span recorded")
+        };
+        assert_eq!(find("test.outer", None).parent, "");
+        assert_eq!(find("test.inner", None).parent, "test.outer");
+        assert_eq!(find("test.inner", Some(3)).parent, "test.outer");
+        // The children's time is contained in the parent's.
+        let outer = find("test.outer", None).total_ns;
+        let inner: u64 =
+            snap.spans.iter().filter(|s| s.parent == "test.outer").map(|s| s.total_ns).sum();
+        assert!(outer >= inner, "sequential children cannot exceed their parent");
+    }
+
+    #[test]
+    fn explicit_parent_carries_attribution_across_threads() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let parent_name = {
+            let _probe = reg.span("test.probe");
+            let (name, _) = current_span().expect("probe is active");
+            let workers: Vec<_> = (0..4)
+                .map(|i| {
+                    let reg = std::sync::Arc::clone(&reg);
+                    std::thread::spawn(move || {
+                        // The worker thread has no local stack context…
+                        assert_eq!(current_span(), None);
+                        let _job = reg.span_under_idx("test.job", name, i);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            name
+        };
+        let snap = reg.snapshot();
+        let jobs: Vec<_> = snap.spans.iter().filter(|s| s.name == "test.job").collect();
+        assert_eq!(jobs.len(), 4, "one aggregate per worker index");
+        // …yet every job attributes to the probe that scattered it.
+        assert!(jobs.iter().all(|s| s.parent == parent_name));
+        assert!(jobs.iter().all(|s| s.count == 1 && s.total_ns > 0));
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_record_nothing() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        {
+            let _s = reg.span("test.disabled");
+            assert_eq!(current_span(), None, "disabled spans do not enter the stack");
+        }
+        reg.set_enabled(true);
+        assert!(reg.snapshot().spans.is_empty());
+    }
+}

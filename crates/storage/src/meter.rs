@@ -216,6 +216,22 @@ impl Meter {
     }
 }
 
+/// The bridge into the observability registry: a meter registered as a
+/// [`cpdb_obs::MetricSource`] (e.g. `register_source("meter", m)`) has
+/// its counters **read at snapshot time** — they are never mirrored
+/// into registry counters, so a statement is counted exactly once
+/// however many snapshots are taken. Snapshot keys are prefixed with
+/// the source name: `meter.round_trips`, `meter.waves`, …
+impl cpdb_obs::MetricSource for Meter {
+    fn collect(&self, out: &mut cpdb_obs::SourceVisitor) {
+        out.counter("round_trips", self.count());
+        out.counter("waves", self.waves());
+        out.counter("page_reads", self.page_reads());
+        out.counter("syncs", self.syncs());
+        out.counter("checkpoint_pages", self.checkpoint_pages());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,36 @@ use crate::backend::Backend;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, MAX_CELL};
 use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Global sync-window telemetry, shared by every [`Wal`] in the
+/// process. One leader fsync covering N waiting followers shows up as
+/// `leaders += 1, followers += N`; `followers / leaders` is therefore
+/// the coalescing ratio the group-commit experiments assert on.
+/// Free rides (callers whose frames were already under the synced
+/// watermark — no wait, no I/O) are counted separately.
+struct WalObs {
+    sync_leaders: cpdb_obs::Counter,
+    sync_followers: cpdb_obs::Counter,
+    sync_free_rides: cpdb_obs::Counter,
+    sync_latency: cpdb_obs::Histogram,
+}
+
+/// The telemetry handles. Looked up *before* taking `wal.state` so the
+/// one-time registration (which briefly takes the obs registry lock)
+/// never nests under a storage lock.
+fn wal_obs() -> &'static WalObs {
+    static OBS: OnceLock<WalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = cpdb_obs::global();
+        WalObs {
+            sync_leaders: reg.register_counter("wal.sync.leaders"),
+            sync_followers: reg.register_counter("wal.sync.followers"),
+            sync_free_rides: reg.register_counter("wal.sync.free_rides"),
+            sync_latency: reg.register_histogram("wal.sync.latency_ns"),
+        }
+    })
+}
 
 /// Magic prefix of the WAL header cell.
 const MAGIC: &[u8; 8] = b"CPDBWAL1";
@@ -260,12 +289,23 @@ impl Wal {
     /// woken by a failure retry as their own leader rather than
     /// trusting a watermark that never advanced.
     pub fn sync_through(&self, seq: u64) -> Result<()> {
+        let obs = wal_obs();
         let mut st = self.state.lock();
+        let mut waited = false;
         loop {
             if st.synced >= seq {
+                // Covered without issuing an fsync of our own: either a
+                // follower (we waited out someone else's sync window) or
+                // a free ride (already under the watermark on entry).
+                if waited {
+                    obs.sync_followers.inc();
+                } else {
+                    obs.sync_free_rides.inc();
+                }
                 return Ok(());
             }
             if st.leader_active {
+                waited = true;
                 self.sync_done.wait(&mut st);
                 continue;
             }
@@ -275,7 +315,10 @@ impl Wal {
             let target = st.next_seq - 1;
             drop(st);
             parking_lot::assert_no_locks_held("Wal::sync_through leader fsync");
+            let t0 = std::time::Instant::now();
             let result = self.backend.sync();
+            obs.sync_leaders.inc();
+            obs.sync_latency.record_duration(t0.elapsed());
             st = self.state.lock();
             st.leader_active = false;
             if result.is_ok() {
@@ -301,6 +344,7 @@ impl Wal {
     /// drains completely the header is synced once and the append
     /// cursor rewinds to page 1, bounding the file size.
     pub fn truncate_through(&self, through: u64) -> Result<()> {
+        let obs = wal_obs();
         let mut st = self.state.lock();
         if through <= st.committed {
             return Ok(());
@@ -326,7 +370,10 @@ impl Wal {
             let target = st.next_seq - 1;
             drop(st);
             parking_lot::assert_no_locks_held("Wal::truncate_through drain fsync");
+            let t0 = std::time::Instant::now();
             let result = self.backend.sync();
+            obs.sync_leaders.inc();
+            obs.sync_latency.record_duration(t0.elapsed());
             st = self.state.lock();
             st.leader_active = false;
             if result.is_ok() {

@@ -6,15 +6,20 @@
 //! ```
 //!
 //! Scans every `.rs` file under `crates/` and `src/` (excluding
-//! `crates/shims/`) for the four invariants documented in
+//! `crates/shims/`) for the five invariants documented in
 //! `cpdb_xtask` (lib.rs), nets the `unwrap` rule against the audited
-//! allowlist, prints one line per violation, and exits nonzero if any
+//! allowlist, runs the cross-file half of the `obs-name` rule (each
+//! instrument-name literal registered at exactly one call site
+//! repo-wide), prints one line per violation, and exits nonzero if any
 //! remain. See ARCHITECTURE.md, "Concurrency and lock order", for why
 //! these invariants exist.
 
 #![forbid(unsafe_code)]
 
-use cpdb_xtask::{apply_allowlist, parse_allowlist, scan_file, scannable, Violation};
+use cpdb_xtask::{
+    apply_allowlist, check_obs_name_uniqueness, obs_register_sites, parse_allowlist, scan_file,
+    scannable, ObsSite, Violation,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -83,12 +88,16 @@ fn run() -> Result<Vec<Violation>, String> {
     files.sort();
 
     let mut raw = Vec::new();
+    let mut obs_sites: Vec<(String, ObsSite)> = Vec::new();
     for rel in &files {
         let text = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
         raw.extend(scan_file(rel, &text));
+        obs_sites.extend(obs_register_sites(rel, &text).into_iter().map(|s| (rel.clone(), s)));
     }
-    Ok(apply_allowlist(raw, &allow))
+    let mut violations = apply_allowlist(raw, &allow);
+    violations.extend(check_obs_name_uniqueness(&obs_sites));
+    Ok(violations)
 }
 
 fn main() -> ExitCode {

@@ -8,6 +8,7 @@
 //! | `unwrap`         | no `.unwrap()` / `.expect(` in non-test library code; audited residue lives in `ci/cpdb-lint.allow` with an exact per-file budget |
 //! | `meter-doc`      | every `pub fn` in `cpdb-storage` that charges the interaction meter says so in its doc comment |
 //! | `unlabeled-lock` | every `Mutex` / `RwLock` construction outside the shims uses the `::labeled("site", …)` form so lock-order diagnostics can name it |
+//! | `obs-name`       | every obs-registry `register_*` call takes a static string-literal instrument name, and each name literal appears at exactly one library call site repo-wide (the cross-file pass lives in the `cpdb-lint` binary) |
 //!
 //! The scanner works line by line after masking string literals and
 //! stripping `//` comments; `#[cfg(test)]` modules, `tests/`,
@@ -364,8 +365,124 @@ fn check_meter_doc(path: &str, lines: &[Line<'_>], out: &mut Vec<Violation>) {
     }
 }
 
-/// Runs every rule over one file. `path` must be repo-relative with
-/// forward slashes.
+/// Obs-registry methods whose first argument is an instrument name.
+/// Needles include the `(` so `register_counter(` cannot also match
+/// the `_idx` variant.
+const OBS_REGISTER_FNS: &[&str] = &[
+    "register_counter(",
+    "register_counter_idx(",
+    "register_gauge(",
+    "register_gauge_idx(",
+    "register_histogram(",
+    "register_histogram_idx(",
+    "register_source(",
+];
+
+/// One obs-registry registration call site. `name` is the string
+/// literal passed as the instrument name, or `None` when the first
+/// argument is not a literal (an `obs-name` violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSite {
+    pub line: usize,
+    pub name: Option<String>,
+}
+
+/// Rule `obs-name`, per-file half: every `register_*` call site in
+/// library code with its instrument-name literal. Exempt: test paths,
+/// `#[cfg(test)]` modules, and `crates/obs/src/` itself (the registry's
+/// own unit tests and doc examples register freely).
+pub fn obs_register_sites(path: &str, text: &str) -> Vec<ObsSite> {
+    if !scannable(path) || test_path(path) || path.starts_with("crates/obs/src/") {
+        return Vec::new();
+    }
+    let lines = preprocess(text);
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.comment_only || line.in_test_mod {
+            continue;
+        }
+        for needle in OBS_REGISTER_FNS {
+            for (pos, _) in line.masked.match_indices(needle) {
+                // Skip declarations (`pub fn register_counter(…`) —
+                // only call sites (`.register_counter(` /
+                // `reg.register_counter(`) name an instrument.
+                if !line.masked[..pos].ends_with('.') {
+                    continue;
+                }
+                let after = pos + needle.len();
+                // The first argument may sit on the next line if
+                // rustfmt wrapped the call.
+                let (arg_line, arg_at) = if line.masked[after..].trim().is_empty() {
+                    match lines.get(i + 1) {
+                        Some(next) if !next.comment_only => (next, 0),
+                        _ => (line, after),
+                    }
+                } else {
+                    (line, after)
+                };
+                let arg = arg_line.masked[arg_at..].trim_start();
+                if !arg.starts_with('"') {
+                    out.push(ObsSite { line: i + 1, name: None });
+                    continue;
+                }
+                // Masking keeps quotes and char positions; read the
+                // literal's text back out of the raw line.
+                let open = arg_at + (arg_line.masked.len() - arg_at - arg.len()) + 1;
+                let name: String = arg_line.raw[open..].chars().take_while(|c| *c != '"').collect();
+                out.push(ObsSite { line: i + 1, name: Some(name) });
+            }
+        }
+    }
+    out
+}
+
+/// Rule `obs-name`, cross-file half: each instrument-name literal must
+/// be registered at exactly one call site repo-wide (registration is
+/// idempotent, so a second site would silently share the first's cell
+/// — and the namespace stops being greppable). Input: every file's
+/// [`obs_register_sites`] as `(file, site)` pairs.
+pub fn check_obs_name_uniqueness(sites: &[(String, ObsSite)]) -> Vec<Violation> {
+    let mut by_name: BTreeMap<&str, Vec<(&str, usize)>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (file, site) in sites {
+        match &site.name {
+            Some(name) => by_name.entry(name).or_default().push((file, site.line)),
+            None => out.push(Violation {
+                file: file.clone(),
+                line: site.line,
+                rule: "obs-name",
+                msg: "obs register_* call must name its instrument with a static string \
+                      literal (no computed names — the namespace must stay greppable)"
+                    .to_owned(),
+            }),
+        }
+    }
+    for (name, at) in by_name {
+        if at.len() > 1 {
+            let others: Vec<String> = at.iter().map(|(f, l)| format!("{f}:{l}")).collect();
+            for (file, line) in &at {
+                out.push(Violation {
+                    file: (*file).to_owned(),
+                    line: *line,
+                    rule: "obs-name",
+                    msg: format!(
+                        "instrument name {name:?} is registered at {} call sites ({}) — hoist \
+                         the registration into one shared site",
+                        at.len(),
+                        others.join(", "),
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Runs every per-file rule over one file. `path` must be
+/// repo-relative with forward slashes. (The cross-file half of
+/// `obs-name` runs separately: [`obs_register_sites`] +
+/// [`check_obs_name_uniqueness`].)
 pub fn scan_file(path: &str, text: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     if !scannable(path) {
@@ -582,5 +699,68 @@ mod tests {
     fn allowlist_rejects_malformed_lines() {
         assert!(parse_allowlist("crates/x.rs").is_err());
         assert!(parse_allowlist("crates/x.rs lots").is_err());
+    }
+
+    #[test]
+    fn obs_sites_extract_literal_names() {
+        let src = concat!(
+            "fn f() {\n",
+            "    let c = reg.register_counter(\"wal.sync.leaders\");\n",
+            "    let h = reg.register_histogram_idx(\"shard.latency_ns\", i);\n",
+            "}\n",
+        );
+        let sites = obs_register_sites("crates/storage/src/x.rs", src);
+        assert_eq!(
+            sites,
+            vec![
+                ObsSite { line: 2, name: Some("wal.sync.leaders".to_owned()) },
+                ObsSite { line: 3, name: Some("shard.latency_ns".to_owned()) },
+            ]
+        );
+    }
+
+    #[test]
+    fn obs_sites_flag_computed_names() {
+        let src = "fn f(n: &'static str) { let c = reg.register_counter(n); }\n";
+        let sites = obs_register_sites("crates/core/src/x.rs", src);
+        assert_eq!(sites, vec![ObsSite { line: 1, name: None }]);
+        let v = check_obs_name_uniqueness(&[("crates/core/src/x.rs".to_owned(), sites[0].clone())]);
+        assert_eq!(rules(&v), ["obs-name"]);
+        assert!(v[0].msg.contains("string literal"));
+    }
+
+    #[test]
+    fn obs_sites_skip_declarations_tests_and_the_obs_crate() {
+        let decl = "pub fn register_counter(&self, name: &'static str) -> Counter {\n}\n";
+        assert!(obs_register_sites("crates/core/src/x.rs", decl).is_empty());
+        let src = "fn f() { reg.register_counter(\"a.b\"); }\n";
+        assert!(obs_register_sites("crates/obs/src/registry.rs", src).is_empty());
+        assert!(obs_register_sites("crates/core/tests/x.rs", src).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() { reg.register_counter(\"t.c\"); }\n}\n";
+        assert!(obs_register_sites("crates/core/src/x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn obs_sites_follow_a_wrapped_first_argument() {
+        let src =
+            "fn f() {\n    let c = reg.register_counter(\n        \"very.long.name\",\n    );\n}\n";
+        let sites = obs_register_sites("crates/core/src/x.rs", src);
+        assert_eq!(sites, vec![ObsSite { line: 2, name: Some("very.long.name".to_owned()) }]);
+    }
+
+    #[test]
+    fn duplicate_instrument_names_are_flagged_at_every_site() {
+        let site = |line, name: &str| ObsSite { line, name: Some(name.to_owned()) };
+        let sites = vec![
+            ("crates/a/src/x.rs".to_owned(), site(3, "dup.name")),
+            ("crates/b/src/y.rs".to_owned(), site(9, "dup.name")),
+            ("crates/b/src/y.rs".to_owned(), site(12, "unique.name")),
+        ];
+        let v = check_obs_name_uniqueness(&sites);
+        assert_eq!(rules(&v), ["obs-name", "obs-name"]);
+        assert!(v[0].msg.contains("dup.name") && v[0].msg.contains("2 call sites"));
+        assert_eq!((v[0].file.as_str(), v[0].line), ("crates/a/src/x.rs", 3));
+        assert_eq!((v[1].file.as_str(), v[1].line), ("crates/b/src/y.rs", 9));
     }
 }

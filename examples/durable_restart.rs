@@ -17,10 +17,36 @@
 use cpdb::core::{
     DurabilityMode, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore, Tid,
 };
-use cpdb::storage::{DiskBackend, Wal};
+use cpdb::obs::{MetricSource, SourceVisitor};
+use cpdb::storage::{DiskBackend, Meter, Wal};
 use cpdb::tree::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The reopened store's per-shard storage meters, summed — registered
+/// as a snapshot-time [`MetricSource`] so the reopen cost is read
+/// through [`cpdb::obs::snapshot`] instead of peeking meter fields.
+struct ShardMeters(Vec<Arc<Meter>>);
+
+impl MetricSource for ShardMeters {
+    fn collect(&self, out: &mut SourceVisitor) {
+        out.counter("page_reads", self.0.iter().map(|m| m.page_reads()).sum());
+        out.counter("statements", self.0.iter().map(|m| m.count()).sum());
+    }
+}
+
+/// Bridges `store`'s meters into the global registry (re-registering
+/// replaces the previous reopen's source) and reads back the two
+/// reopen-cost counters: `(page_reads, statements)`.
+fn reopen_stats(store: &ShardedStore) -> (u64, u64) {
+    let meters = (0..store.shard_count()).map(|i| store.shard_engine(i).meter().clone()).collect();
+    cpdb::obs::global().register_source("reopen", Arc::new(ShardMeters(meters)));
+    let snap = cpdb::obs::snapshot();
+    (
+        snap.counter("reopen.page_reads").expect("meters bridged"),
+        snap.counter("reopen.statements").expect("meters bridged"),
+    )
+}
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(14_000);
@@ -68,11 +94,7 @@ fn main() {
     let t0 = Instant::now();
     let fast = ShardedStore::open_disk(dir.join("store")).unwrap();
     let fast_open = t0.elapsed();
-    let (mut page_reads, mut statements) = (0u64, 0u64);
-    for i in 0..fast.shard_count() {
-        page_reads += fast.shard_engine(i).meter().page_reads();
-        statements += fast.shard_engine(i).meter().count();
-    }
+    let (page_reads, statements) = reopen_stats(&fast);
     assert_eq!(fast.len(), n as u64);
     println!(
         "persisted-index reopen: {fast_open:?} ({page_reads} index page reads, \
@@ -94,10 +116,7 @@ fn main() {
     let t0 = Instant::now();
     let slow = ShardedStore::open_disk(dir.join("store")).unwrap();
     let slow_open = t0.elapsed();
-    let mut rebuild_statements = 0u64;
-    for i in 0..slow.shard_count() {
-        rebuild_statements += slow.shard_engine(i).meter().count();
-    }
+    let (_, rebuild_statements) = reopen_stats(&slow);
     assert_eq!(slow.len(), n as u64);
     println!(
         "rebuild reopen:         {slow_open:?} ({rebuild_statements} CREATE INDEX \

@@ -3,6 +3,8 @@
 //!
 //! * [`tree`] — the edge-labeled tree data model and path addressing;
 //! * [`update`] — the `ins`/`del`/`copy` update language and `[[U]]`;
+//! * [`obs`] — first-party tracing and metrics (spans, histograms,
+//!   per-shard heat maps, stats exposition);
 //! * [`storage`] — the paged relational storage engine (provenance store);
 //! * [`xmldb`] — the native tree database (target/source substrate);
 //! * [`datalog`] — the Datalog evaluator for the paper's query rules;
@@ -20,6 +22,7 @@
 pub use cpdb_archive as archive;
 pub use cpdb_core as core;
 pub use cpdb_datalog as datalog;
+pub use cpdb_obs as obs;
 pub use cpdb_storage as storage;
 pub use cpdb_tree as tree;
 pub use cpdb_update as update;
