@@ -18,10 +18,11 @@
 //! Statement-count invariants are asserted on **every** run, including
 //! the 1-shard CI smoke (`-- --test`): the unsharded pipelined ingest
 //! issues exactly `ceil(n / B)` write statements (vs `n` for per-op —
-//! the ≥ 10x acceptance bound), and on the sharded store every shard's
-//! statement count equals the number of drained batches that contained
-//! one of its records (each drained batch groups into exactly one
-//! statement per shard touched). The durable ingest additionally
+//! the ≥ 10x acceptance bound), and on the sharded store the pipeline
+//! runs **one commit lane per shard**, so every drained batch is
+//! single-shard and shard `i`'s statement count is exactly
+//! `ceil(n_i / B)` of its own `n_i` records — no cross-shard batch
+//! fragmentation. The durable ingest additionally
 //! asserts `ceil(n / B) + O(1)` fsyncs (amortized durability: the
 //! coalescing window, not one fsync per record) and per-batch
 //! checkpoint page writes sized by the delta journal, not the index.
@@ -163,22 +164,22 @@ fn bench(c: &mut Criterion) {
     }
     pipe.flush().unwrap();
     let sharded_wall = t0.elapsed();
-    // Exact per-shard accounting: each drained batch (a contiguous
-    // 64-record run of the stream) becomes one statement on every
-    // shard it touches — replay the routing to compute the expectation.
+    // Exact per-shard accounting: the pipeline commits through one
+    // lane per shard, so every drained batch is single-shard and
+    // shard i's statements are ceil(n_i / B) of its own records —
+    // replay the routing to compute each shard's stream length.
     let route = |r: &ProvRecord| boundaries.partition_point(|b| b.as_str() <= r.loc.key().as_str());
-    let mut want_per_shard = vec![0u64; sharded.shard_count()];
-    for chunk in records.chunks(BATCH) {
-        let touched: BTreeSet<usize> = chunk.iter().map(route).collect();
-        for s in touched {
-            want_per_shard[s] += 1;
-        }
+    let mut per_shard_records = vec![0u64; sharded.shard_count()];
+    for r in &records {
+        per_shard_records[route(r)] += 1;
     }
+    let want_per_shard: Vec<u64> =
+        per_shard_records.iter().map(|n_i| n_i.div_ceil(BATCH as u64)).collect();
     for (i, want) in want_per_shard.iter().enumerate() {
         assert_eq!(
             sharded.shard(i).write_trips(),
             *want,
-            "shard {i}: one statement per drained batch touching it"
+            "shard {i}: per-lane commit batches only its own records"
         );
     }
     let total: u64 = want_per_shard.iter().sum();

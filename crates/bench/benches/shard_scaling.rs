@@ -18,7 +18,7 @@
 
 use cpdb_bench::metrics::BenchMetrics;
 use cpdb_bench::session::{build_session_with, top_level_containers, LatencyConfig, StoreConfig};
-use cpdb_core::{ProvStore, Strategy, Tid};
+use cpdb_core::{ProvRecord, ProvStore, ShardedStore, Strategy, Tid};
 use cpdb_obs::HistogramStat;
 use cpdb_tree::Path;
 use cpdb_workload::{generate, GenConfig, UpdatePattern};
@@ -234,6 +234,101 @@ fn bench(c: &mut Criterion) {
              ({on_us:.2} µs on vs {off_us:.2} µs off)"
         );
     }
+
+    // --- Heat-driven rebalancing under skew -------------------------
+    // One hot container (`T/c4`) takes 3/4 of a skewed stream twice
+    // the workload length. Phase 1 ingests the even half into a
+    // 4-shard store, so the shard owning the hot subtree serves nearly
+    // every write statement; `rebalance(8)` — the background
+    // maintenance job — then splits at the key histogram's weighted
+    // medians until no shard carries more than twice its fair share.
+    // Phase 2 ingests the odd half (the same key distribution, keys
+    // interleaved with phase 1's): the busiest shard's statement share
+    // must drop to <= 0.5 and the max/mean per-shard ratio to <= 2,
+    // while every cold-container probe still routes to one shard.
+    let hot_root: Path = "T/c4".parse().unwrap();
+    let skewed: Vec<ProvRecord> = (0..2 * steps)
+        .map(|i| {
+            let tid = Tid(1 + (i / 5) as u64);
+            let loc = if i % 8 < 6 {
+                format!("T/c4/h{i:06}")
+            } else {
+                format!("T/c{}/k{i:06}", [1, 2, 3, 5, 6, 7, 8][(i / 8) % 7])
+            };
+            ProvRecord::insert(tid, loc.parse().unwrap())
+        })
+        .collect();
+    let containers: Vec<Path> = (1..=8).map(|i| format!("T/c{i}").parse().unwrap()).collect();
+    let store = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true).unwrap();
+    for r in skewed.iter().step_by(2) {
+        store.insert(r).unwrap();
+    }
+    let trips = |store: &ShardedStore| -> Vec<u64> {
+        (0..store.shard_count()).map(|i| store.shard(i).write_trips()).collect()
+    };
+    let phase1 = trips(&store);
+    let pre_total: u64 = phase1.iter().sum();
+    let pre_hot = *phase1.iter().max().unwrap();
+    assert!(
+        pre_hot as f64 >= 0.7 * pre_total as f64,
+        "skew setup: the hot shard must dominate pre-split ({pre_hot}/{pre_total})"
+    );
+
+    // Run the maintenance job as deployed: on its own thread (the
+    // equivalence suite covers probes racing it; joining before phase
+    // 2 keeps the statement accounting below exact).
+    let splits = std::thread::scope(|s| s.spawn(|| store.rebalance(8).unwrap()).join().unwrap());
+    assert!(splits >= 1, "the skewed histogram must trigger at least one split");
+    assert!(store.shard_count() <= 8, "rebalance respects the target width");
+
+    let before = trips(&store);
+    for r in skewed.iter().skip(1).step_by(2) {
+        store.insert(r).unwrap();
+    }
+    let delta: Vec<u64> = trips(&store).iter().zip(&before).map(|(a, b)| a - b).collect();
+    let post_total: u64 = delta.iter().sum();
+    let post_hot = *delta.iter().max().unwrap();
+    let mean = post_total as f64 / delta.len() as f64;
+    println!(
+        "  rebalance: {splits} split(s) -> {} shards; hot statement share {:.2} -> {:.2}, \
+         max/mean {:.2}",
+        store.shard_count(),
+        pre_hot as f64 / pre_total as f64,
+        post_hot as f64 / post_total as f64,
+        post_hot as f64 / mean
+    );
+    assert!(
+        post_hot as f64 <= 0.5 * post_total as f64,
+        "acceptance: the splits must halve the hot shard's statement share \
+         ({post_hot}/{post_total})"
+    );
+    assert!(
+        post_hot as f64 <= 2.0 * mean,
+        "acceptance: post-split balance max/mean <= 2 ({post_hot} vs mean {mean:.1})"
+    );
+    // Routing after the rebalance: every new boundary lies inside the
+    // hot subtree, so cold-container probes still cost one statement
+    // at any shard count, and the hot probe fans out over exactly the
+    // shards carved from its subtree.
+    for c in containers.iter().filter(|c| **c != hot_root) {
+        store.reset_trips();
+        store.by_loc_prefix(c).unwrap();
+        assert_eq!(store.read_trips(), 1, "cold probe {c} must stay routed to one shard");
+    }
+    store.reset_trips();
+    store.by_loc_prefix(&hot_root).unwrap();
+    let hot_probe = store.read_trips();
+    assert_eq!(
+        hot_probe,
+        splits as u64 + 1,
+        "the hot probe overlaps exactly the shards carved from its subtree"
+    );
+    metrics.count("rebalance_splits", splits as u64);
+    metrics.count("rebalance_post_shards", store.shard_count() as u64);
+    metrics.count("rebalance_hot_probe_statements", hot_probe);
+    metrics.count("rebalance_hot_share_pre_pct", pre_hot * 100 / pre_total);
+    metrics.count("rebalance_hot_share_post_pct", post_hot * 100 / post_total);
+    metrics.count("rebalance_max_over_mean_x100", (post_hot as f64 * 100.0 / mean) as u64);
 
     let path = metrics.write().expect("write BENCH_shard_scaling.json");
     println!("  metrics -> {}", path.display());

@@ -25,6 +25,9 @@
 //! sharded stores in one process share the same per-shard cells;
 //! measurement windows are delimited with [`cpdb_obs::Registry::reset`].
 
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// The three per-shard instruments. Handles are cheap clones of shared
@@ -60,5 +63,248 @@ impl ShardHeat {
         self.statements.inc();
         self.rows.add(rows);
         self.latency.record_duration(elapsed);
+    }
+}
+
+/// Entries a [`KeyHistogram`] holds before folding neighbours
+/// together. 512 buckets bound both memory and the `observe` cost of
+/// the hot routing path while still resolving sub-container skew —
+/// boundaries only need to land near a weighted quantile, not on it.
+const HISTOGRAM_CAP: usize = 512;
+
+/// A bounded per-shard histogram over the **encoded record keys**
+/// routed to that shard — the skew signal the rebalancer derives new
+/// boundaries from.
+///
+/// Each bucket maps a key (an exact key observed at some point) to the
+/// total weight observed at or above it up to the next bucket. When
+/// the map outgrows [`HISTOGRAM_CAP`], every odd-indexed bucket is
+/// folded into its predecessor: the predecessor's key is a correct
+/// lower bound for the absorbed range, so bucket keys are always keys
+/// that were really observed — compaction loses resolution, never
+/// invents keys. Quantile error is bounded by the weight of one
+/// bucket.
+///
+/// Fed from the coordinator's routing sites (where the encoded key is
+/// already in hand): `insert`, `insert_batch`, `at`/`by_loc` point
+/// probes, and single-shard prefix probes. Fan-outs and cursor pages
+/// are skipped — they touch every shard and carry no routing signal.
+/// Recording takes the `heat.keyhist` mutex, a leaf in the lock
+/// hierarchy (nothing is acquired under it).
+pub(crate) struct KeyHistogram {
+    inner: Mutex<BTreeMap<String, u64>>,
+}
+
+impl KeyHistogram {
+    /// An empty histogram.
+    pub(crate) fn new() -> KeyHistogram {
+        KeyHistogram { inner: Mutex::labeled("heat.keyhist", BTreeMap::new()) }
+    }
+
+    /// One fresh histogram per shard, index-aligned with the store's
+    /// shard vector.
+    pub(crate) fn for_shards(n: usize) -> Vec<std::sync::Arc<KeyHistogram>> {
+        (0..n).map(|_| std::sync::Arc::new(KeyHistogram::new())).collect()
+    }
+
+    /// Records `weight` statements routed to encoded key `key`.
+    pub(crate) fn observe(&self, key: &str, weight: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(key.to_owned()).or_insert(0) += weight;
+        if map.len() > HISTOGRAM_CAP {
+            Self::compact(&mut map);
+        }
+    }
+
+    /// Folds every odd-indexed bucket into its predecessor, halving
+    /// the bucket count while keeping every surviving key one that was
+    /// really observed.
+    fn compact(map: &mut BTreeMap<String, u64>) {
+        let mut folded = BTreeMap::new();
+        let mut carry: Option<(String, u64)> = None;
+        for (i, (k, w)) in std::mem::take(map).into_iter().enumerate() {
+            if i.is_multiple_of(2) {
+                if let Some((pk, pw)) = carry.take() {
+                    folded.insert(pk, pw);
+                }
+                carry = Some((k, w));
+            } else if let Some((_, pw)) = carry.as_mut() {
+                *pw += w;
+            }
+        }
+        if let Some((pk, pw)) = carry {
+            folded.insert(pk, pw);
+        }
+        *map = folded;
+    }
+
+    /// Total observed weight.
+    pub(crate) fn total_weight(&self) -> u64 {
+        self.inner.lock().values().sum()
+    }
+
+    /// Up to `n - 1` boundary keys cutting the observed weight into
+    /// `n` roughly equal spans: boundary `i` is the first bucket key
+    /// at which the running weight reaches `i/n` of the total
+    /// (weighted quantiles, compared by cross-multiplication so no
+    /// division rounds the cut). The first bucket's key is never
+    /// emitted, so every boundary is **strictly above** the least
+    /// observed key and at most the greatest — split ranges are never
+    /// empty on the low side. Sorted, unique by construction.
+    pub(crate) fn split_keys(&self, n: usize) -> Vec<String> {
+        let map = self.inner.lock();
+        let total: u64 = map.values().sum();
+        if n <= 1 || total == 0 || map.len() < 2 {
+            return Vec::new();
+        }
+        let mut out: Vec<String> = Vec::new();
+        let mut cum: u128 = 0;
+        let mut target = 1u128; // next quantile numerator, of n
+        let mut entries = map.iter().peekable();
+        while let Some((_, w)) = entries.next() {
+            cum += u128::from(*w);
+            // The cut lands *after* this bucket: the next bucket's key
+            // becomes the boundary (an observed key, strictly above
+            // the first key).
+            while target < n as u128 && cum * n as u128 >= target * u128::from(total) {
+                if let Some((next_key, _)) = entries.peek() {
+                    if out.last() != Some(*next_key) {
+                        out.push((*next_key).clone());
+                    }
+                }
+                target += 1;
+            }
+        }
+        out
+    }
+
+    /// Splits the histogram at `boundary`: buckets with keys
+    /// `>= boundary` move into the returned histogram, the rest stay.
+    /// Carries observed weight across a shard split so the rebalancer
+    /// keeps converging on still-hot subranges instead of restarting
+    /// from empty histograms.
+    pub(crate) fn split_off(&self, boundary: &str) -> KeyHistogram {
+        let upper = self.inner.lock().split_off(boundary);
+        KeyHistogram { inner: Mutex::labeled("heat.keyhist", upper) }
+    }
+
+    /// Folds `other`'s buckets into this histogram (the merge-side
+    /// counterpart of [`KeyHistogram::split_off`]).
+    pub(crate) fn absorb(&self, other: &KeyHistogram) {
+        let theirs: Vec<(String, u64)> =
+            other.inner.lock().iter().map(|(k, w)| (k.clone(), *w)).collect();
+        let mut map = self.inner.lock();
+        for (k, w) in theirs {
+            *map.entry(k).or_insert(0) += w;
+        }
+        if map.len() > HISTOGRAM_CAP {
+            Self::compact(&mut map);
+        }
+    }
+}
+
+/// Global rebalance instruments, registered once (the `obs-name` lint
+/// pins one registration site per name).
+pub(crate) struct RebalanceObs {
+    /// Completed shard splits.
+    pub(crate) splits: cpdb_obs::Counter,
+    /// Completed shard merges.
+    pub(crate) merges: cpdb_obs::Counter,
+    /// Rows copied between engines by migrations.
+    pub(crate) migrated_rows: cpdb_obs::Counter,
+    /// Current router generation (of the most recent rebalanced store).
+    pub(crate) generation: cpdb_obs::Gauge,
+    /// Wall time of the write-blocking cut-over window, per migration.
+    pub(crate) pause_ns: cpdb_obs::Histogram,
+}
+
+impl RebalanceObs {
+    /// The process-global handle, registered on first use.
+    pub(crate) fn get() -> &'static RebalanceObs {
+        static OBS: OnceLock<RebalanceObs> = OnceLock::new();
+        OBS.get_or_init(|| {
+            let reg = cpdb_obs::global();
+            RebalanceObs {
+                splits: reg.register_counter("rebalance.splits"),
+                merges: reg.register_counter("rebalance.merges"),
+                migrated_rows: reg.register_counter("rebalance.migrated_rows"),
+                generation: reg.register_gauge("rebalance.generation"),
+                pause_ns: reg.register_histogram("rebalance.pause_ns"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_keys_cut_weight_into_even_spans() {
+        let h = KeyHistogram::new();
+        for i in 0..100u32 {
+            h.observe(&format!("k{i:03}"), 1);
+        }
+        let cuts = h.split_keys(4);
+        assert_eq!(cuts, vec!["k025", "k050", "k075"]);
+        assert_eq!(h.total_weight(), 100);
+    }
+
+    #[test]
+    fn split_keys_follow_weight_not_key_count() {
+        let h = KeyHistogram::new();
+        h.observe("a", 1);
+        h.observe("b", 97);
+        h.observe("c", 1);
+        h.observe("d", 1);
+        // The median of the weight lands inside "b"; the first key at
+        // which half the weight is reached is "b", so the cut goes
+        // after it.
+        assert_eq!(h.split_keys(2), vec!["c"]);
+    }
+
+    #[test]
+    fn split_keys_never_emit_the_least_key_and_stay_sorted_unique() {
+        let h = KeyHistogram::new();
+        h.observe("only", 1000);
+        assert!(h.split_keys(8).is_empty(), "a single bucket cannot be cut");
+        h.observe("zz", 1);
+        let cuts = h.split_keys(8);
+        for c in &cuts {
+            assert!(c.as_str() > "only", "boundary must be strictly above the least key");
+        }
+        let mut sorted = cuts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(cuts, sorted);
+    }
+
+    #[test]
+    fn compaction_bounds_buckets_and_preserves_weight_and_observed_keys() {
+        let h = KeyHistogram::new();
+        for i in 0..(HISTOGRAM_CAP as u32 * 4) {
+            h.observe(&format!("key-{i:06}"), 2);
+        }
+        let map = h.inner.lock();
+        assert!(map.len() <= HISTOGRAM_CAP, "cap holds: {} buckets", map.len());
+        assert_eq!(map.values().sum::<u64>(), u64::from(HISTOGRAM_CAP as u32 * 4) * 2);
+        for k in map.keys() {
+            let n: u32 = k["key-".len()..].parse().expect("compaction only keeps observed keys");
+            assert!(n < HISTOGRAM_CAP as u32 * 4);
+        }
+    }
+
+    #[test]
+    fn split_off_and_absorb_round_trip_weight() {
+        let h = KeyHistogram::new();
+        h.observe("a", 10);
+        h.observe("m", 20);
+        h.observe("z", 30);
+        let upper = h.split_off("m");
+        assert_eq!(h.total_weight(), 10);
+        assert_eq!(upper.total_weight(), 50);
+        h.absorb(&upper);
+        assert_eq!(h.total_weight(), 60);
+        assert_eq!(h.split_keys(2), vec!["z"]);
     }
 }

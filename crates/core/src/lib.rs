@@ -82,6 +82,6 @@ pub use error::{CoreError, Result};
 pub use pipeline::{DurabilityMode, PipelineConfig, PipelinedStore};
 pub use query::{FromStep, QueryEngine, TraceStep};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
-pub use shard::{RoundTripModel, ShardedStore};
+pub use shard::{MigrationFailpoint, RoundTripModel, ShardedStore};
 pub use store::{prov_schema, MemStore, ProvStore, RecordCursor, SqlStore};
 pub use tracker::{Strategy, Tracker};

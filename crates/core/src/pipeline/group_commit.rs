@@ -4,45 +4,70 @@
 //! synchronous store every call is a write statement (and, with
 //! simulated latency, a full round-trip wait on the caller). A
 //! [`PipelinedStore`] decouples the two: producers append records to a
-//! bounded in-memory queue and return immediately, while a dedicated
-//! **committer thread** drains the queue into
+//! bounded in-memory queue and return immediately, while dedicated
+//! **committer threads** drain the queue into
 //! [`crate::ProvStore::insert_batch`] calls — so `n` enqueued records
 //! become `ceil(n / batch_size)` write statements, with the batched
 //! per-row accounting that is already in place on every store.
 //!
+//! ## Commit lanes
+//!
+//! The queue is split into **lanes** — one bounded sub-queue per
+//! [`crate::ProvStore::commit_lanes`] of the inner store, each drained
+//! by its own committer thread (`cpdb-group-commit-{lane}`). A plain
+//! store reports one lane and gets the original single-committer
+//! behavior bit for bit; a [`crate::ShardedStore`] reports one lane
+//! per shard and routes each record to its owning shard's lane
+//! ([`crate::ProvStore::commit_lane`]), so every drained batch is
+//! single-shard — the `n_i` records of shard `i` cost `ceil(n_i / B)`
+//! statements, and shards commit concurrently instead of queueing
+//! behind one serial committer (the last single-threaded stage of the
+//! sharded write path). Lane routing happens *before* the queue lock
+//! is taken, so the inner store's own locks (the sharded router)
+//! never nest under `pipeline.state`. A lane index is clamped
+//! `% lanes`: a store whose lane count grows after spawn (a shard
+//! split) keeps routing validly — batches merely stop being
+//! single-shard for the new shards until the pipeline is respawned.
+//!
 //! ## Flush triggers
 //!
-//! The committer commits a batch when any of these holds:
+//! A lane's committer commits a batch when any of these holds:
 //!
-//! * **batch size** — the queue holds at least
+//! * **batch size** — the lane holds at least
 //!   [`PipelineConfig::batch_size`] records (the committer always
 //!   drains exactly `batch_size` in that case, so batches are full and
 //!   the `ceil(n / B)` statement count is exact);
 //! * **epoch tick** — [`PipelineConfig::epoch`] elapsed with records
-//!   waiting (bounds how stale the store can be under a trickle load);
+//!   waiting in the lane (bounds how stale the store can be under a
+//!   trickle load);
 //! * **explicit flush** — [`PipelinedStore::flush`] (also issued by
-//!   every read, see below) or `Drop`.
+//!   every read, see below) or `Drop` — drains every lane.
 //!
 //! ## Backpressure, errors, ordering
 //!
-//! * The queue is bounded by [`PipelineConfig::capacity`]; producers
-//!   block once it is full (no unbounded buffering, no drops).
+//! * Each lane is bounded by [`PipelineConfig::capacity`]; a producer
+//!   blocks once its record's lane is full (no unbounded buffering,
+//!   no drops). Blocking on the *target* lane keeps the pipeline
+//!   live: a full lane always holds at least a full batch, so its
+//!   committer has drainable work.
 //! * A failed commit is **not** silently dropped: the failed batch is
-//!   pushed back to the front of the queue (order preserved), the
-//!   error is parked in an error slot, and the committer pauses. The
-//!   next `insert`/`insert_batch`/`flush` returns that error. A
+//!   pushed back to the front of its lane (order preserved), the
+//!   error is parked in an error slot, and every committer pauses.
+//!   The next `insert`/`insert_batch`/`flush` returns that error. A
 //!   write's `Err` is a report about *earlier* records, never a
 //!   rejection: the erroring call's own records are still accepted
-//!   (do not re-send them). Taking the error un-pauses the committer,
-//!   which retries the retained records. The pipeline stays drainable
-//!   throughout — if the underlying store recovers, a later flush
-//!   commits everything. Delivery is therefore *at-least-once*: an
-//!   inner store that fails a batch part-way through may see some of
-//!   its records again.
-//! * Records commit in enqueue order (FIFO), so after a successful
-//!   [`PipelinedStore::flush`] the inner store holds exactly the
-//!   records enqueued so far and every query answers as if the writes
-//!   had been synchronous.
+//!   (do not re-send them). Taking the error un-pauses the
+//!   committers, which retry the retained records. The pipeline stays
+//!   drainable throughout — if the underlying store recovers, a later
+//!   flush commits everything. Delivery is therefore *at-least-once*:
+//!   an inner store that fails a batch part-way through may see some
+//!   of its records again.
+//! * Records commit in enqueue order **within a lane**; records in
+//!   different lanes (different shards) may commit in either order.
+//!   Records at the same key always share a lane, so per-key order is
+//!   preserved, and after a successful [`PipelinedStore::flush`] the
+//!   inner store holds exactly the records enqueued so far and every
+//!   query answers as if the writes had been synchronous.
 //!
 //! ## Read-your-writes
 //!
@@ -59,7 +84,7 @@ use cpdb_storage::Wal;
 use cpdb_tree::Path;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -110,11 +135,15 @@ fn pipe_obs() -> &'static PipeObs {
 ///   frames fall under that sync's watermark are covered without a
 ///   sync of their own — a batch of `n` records costs one sync, not
 ///   `n`;
-/// * the **committer**, after each successful
+/// * a **committer**, after each successful
 ///   [`ProvStore::insert_batch`], checkpoints the inner store
 ///   ([`ProvStore::checkpoint`]: heap pages flushed, indexes
-///   persisted) and only then truncates the WAL through the batch's
-///   last frame;
+///   persisted) and only then truncates the WAL — through the
+///   **contiguous committed prefix** of frames, not the batch's own:
+///   lanes commit out of order, so a frame is retired only once every
+///   earlier frame's record is committed too (uncommitted gaps keep
+///   their successors' frames live; a crash replays them through the
+///   dedup path);
 /// * **reopen** ([`PipelinedStore::spawn_with_durability`] over a
 ///   reopened store and log) replays the un-truncated tail —
 ///   **at-least-once, deduplicated by `(tid, loc)`**: for each frame,
@@ -169,7 +198,8 @@ pub struct PipelineConfig {
     /// Records per committed batch; the committer wakes as soon as
     /// this many are queued. Clamped to `1..=capacity`.
     pub batch_size: usize,
-    /// Queue depth at which producers block (backpressure).
+    /// Per-lane queue depth at which producers block (backpressure on
+    /// the record's own commit lane).
     pub capacity: usize,
     /// Commit a partial batch when records have been waiting this long
     /// (`None` = only batch-size and explicit flushes commit).
@@ -193,37 +223,79 @@ impl PipelineConfig {
 }
 
 /// Queue state behind the mutex.
-#[derive(Default)]
 struct State {
-    queue: VecDeque<ProvRecord>,
-    /// A failed flush waiting to be surfaced; while set, the committer
-    /// is paused (no hot retry loop).
+    /// One FIFO sub-queue per commit lane. Each entry carries the
+    /// record's enqueue **ordinal** (1-based, pipeline-wide, assigned
+    /// under this lock so ordinal order is WAL frame order) — durable
+    /// mode retires frames by the contiguous prefix of committed
+    /// ordinals even though lanes commit out of order.
+    lanes: Vec<VecDeque<(u64, ProvRecord)>>,
+    /// Total records across all lanes (what flush waits on).
+    queued: usize,
+    /// A failed flush waiting to be surfaced; while set, every
+    /// committer is paused (no hot retry loop).
     error: Option<CoreError>,
-    /// Records handed to the committer but not yet committed.
+    /// Records handed to committers but not yet committed (durable
+    /// mode keeps a batch in flight until its finalize attempt ends,
+    /// so a concurrent flush cannot report success while a truncation
+    /// is still pending).
     in_flight: usize,
-    /// An explicit flush wants the queue drained below batch size.
+    /// An explicit flush wants every lane drained below batch size.
     flush_requested: bool,
-    /// The flush request came from the epoch timer (telemetry only:
-    /// distinguishes the `pipeline.flush.epoch` reason from
-    /// `pipeline.flush.explicit`).
-    epoch_due: bool,
     shutdown: bool,
     /// Total records accepted by enqueue.
     enqueued: u64,
     /// Total records successfully committed to the inner store.
     committed: u64,
+    /// Committed ordinals above the contiguous watermark —
+    /// out-of-order lane completions waiting for their predecessors.
+    /// Bounded by what is in flight plus queued behind a gap.
+    done: BTreeSet<u64>,
+    /// Every ordinal `<= watermark` is committed; WAL truncation may
+    /// advance to frame `base_seq + watermark - 1`.
+    watermark: u64,
+    /// Watermark covered by the last successful WAL truncation.
+    truncated: u64,
+    /// A committer is inside the checkpoint-and-truncate finalize
+    /// loop (serializes finalization across lanes; the finalizer
+    /// re-checks the watermark after each pass, so progress made by
+    /// lanes that skipped is still retired).
+    finalizing: bool,
+}
+
+impl State {
+    fn new(lanes: usize) -> State {
+        State {
+            lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+            queued: 0,
+            error: None,
+            in_flight: 0,
+            flush_requested: false,
+            shutdown: false,
+            enqueued: 0,
+            committed: 0,
+            done: BTreeSet::new(),
+            watermark: 0,
+            truncated: 0,
+            finalizing: false,
+        }
+    }
 }
 
 struct Shared {
     state: Mutex<State>,
-    /// Wakes the committer (work available, flush requested, error
+    /// Wakes the committers (work available, flush requested, error
     /// acknowledged, shutdown).
     work: Condvar,
     /// Wakes producers and flushers (space freed, batch committed,
     /// error parked).
     room: Condvar,
     batch: usize,
+    /// Per-lane queue depth at which producers block.
     capacity: usize,
+    /// Commit lanes (committer threads), captured from
+    /// [`ProvStore::commit_lanes`] at spawn.
+    lanes: usize,
     epoch: Option<Duration>,
     /// The WAL when running under [`DurabilityMode::Wal`].
     durability: Option<Durable>,
@@ -253,7 +325,7 @@ struct Shared {
 pub struct PipelinedStore {
     inner: Arc<dyn ProvStore>,
     shared: Arc<Shared>,
-    committer: Mutex<Option<JoinHandle<()>>>,
+    committers: Mutex<Vec<JoinHandle<()>>>,
     /// Records the inner store held when the pipeline was spawned;
     /// `len()` reports `base_len + enqueued` so a record is never
     /// counted zero or two times while a batch is mid-commit.
@@ -292,30 +364,48 @@ impl PipelinedStore {
             }
         };
         let capacity = cfg.capacity.max(1);
+        let lanes = inner.commit_lanes().max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::labeled("pipeline.state", State::default()),
+            state: Mutex::labeled("pipeline.state", State::new(lanes)),
             work: Condvar::new(),
             room: Condvar::new(),
             batch: cfg.batch_size.clamp(1, capacity),
             capacity,
+            lanes,
             epoch: cfg.epoch,
             durability,
         });
-        let committer = {
-            let inner = inner.clone();
-            let shared = shared.clone();
-            // Thread-spawn failure (resource exhaustion) surfaces as
-            // an ordinary I/O error rather than a panic.
-            std::thread::Builder::new()
-                .name("cpdb-group-commit".into())
-                .spawn(move || committer_loop(&inner, &shared))
-                .map_err(cpdb_storage::StorageError::from)?
-        };
+        let mut committers = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let spawned = {
+                let inner = inner.clone();
+                let shared = shared.clone();
+                // Thread-spawn failure (resource exhaustion) surfaces
+                // as an ordinary I/O error rather than a panic.
+                std::thread::Builder::new()
+                    .name(format!("cpdb-group-commit-{lane}"))
+                    .spawn(move || committer_loop(&inner, &shared, lane))
+            };
+            match spawned {
+                Ok(handle) => committers.push(handle),
+                Err(e) => {
+                    // Unwind the lanes already running before
+                    // reporting — the store is never constructed, so
+                    // Drop would not reach them.
+                    shared.state.lock().shutdown = true;
+                    shared.work.notify_all();
+                    for handle in committers {
+                        let _ = handle.join();
+                    }
+                    return Err(cpdb_storage::StorageError::from(e).into());
+                }
+            }
+        }
         let base_len = inner.len();
         Ok(PipelinedStore {
             inner,
             shared,
-            committer: Mutex::labeled("pipeline.committer", Some(committer)),
+            committers: Mutex::labeled("pipeline.committer", committers),
             base_len,
         })
     }
@@ -342,7 +432,7 @@ impl PipelinedStore {
     /// Records queued (or in flight) but not yet committed.
     pub fn pending(&self) -> usize {
         let st = self.lock();
-        st.queue.len() + st.in_flight
+        st.queued + st.in_flight
     }
 
     /// Total records accepted so far.
@@ -364,7 +454,7 @@ impl PipelinedStore {
             if let Some(e) = self.take_error(&mut st) {
                 return Err(e);
             }
-            if st.queue.is_empty() && st.in_flight == 0 {
+            if st.queued == 0 && st.in_flight == 0 {
                 return Ok(());
             }
             if st.shutdown {
@@ -381,7 +471,7 @@ impl PipelinedStore {
     }
 
     /// Takes the parked error and, when one was parked, wakes the
-    /// committer so it resumes retrying the retained records.
+    /// committers so they resume retrying the retained records.
     fn take_error(&self, st: &mut State) -> Option<CoreError> {
         let error = st.error.take();
         if error.is_some() {
@@ -403,14 +493,21 @@ impl PipelinedStore {
             return Ok(());
         }
         let obs = pipe_obs();
+        // Lane routing happens before the queue lock: `commit_lane`
+        // may take the inner store's own locks (the sharded router),
+        // which must never nest under `pipeline.state`. The `% lanes`
+        // clamp keeps a stale routing valid if the inner store grew
+        // lanes (a shard split) after spawn.
+        let lane_of: Vec<usize> =
+            records.iter().map(|r| self.inner.commit_lane(r) % self.shared.lanes).collect();
         let mut parked: Option<CoreError> = None;
         let mut last_seq = None;
         let mut st = self.lock();
-        for record in records {
+        for (record, &lane) in records.iter().zip(&lane_of) {
             loop {
                 if let Some(e) = self.take_error(&mut st) {
                     // Surface the failure after the enqueue completes;
-                    // taking it un-pauses the committer. A later
+                    // taking it un-pauses the committers. A later
                     // failure in the same call supersedes (same
                     // retained records, retried again).
                     parked = Some(e);
@@ -418,36 +515,43 @@ impl PipelinedStore {
                 if st.shutdown {
                     return Err(closed());
                 }
-                // Backpressure — except after a commit failure: a
-                // failing committer may never free room, so blocking
-                // here would wedge the producer. The call's records
-                // are accepted past the capacity bound instead (the
-                // overshoot is at most this call's length, and the
-                // caller is being told every call that commits fail).
-                if st.queue.len() < self.shared.capacity || parked.is_some() {
+                // Backpressure on the record's own lane — except after
+                // a commit failure: a failing committer may never free
+                // room, so blocking here would wedge the producer. The
+                // call's records are accepted past the capacity bound
+                // instead (the overshoot is at most this call's
+                // length, and the caller is being told every call that
+                // commits fail).
+                if st.lanes[lane].len() < self.shared.capacity || parked.is_some() {
                     break;
                 }
                 self.shared.room.wait(&mut st);
             }
             if let Some(d) = &self.shared.durability {
                 // Write-ahead: the frame is appended under the queue
-                // lock (frame order = queue order, even across
-                // producers) and synced below before the call returns
-                // — no record is acknowledged before its frame is
-                // durable. An append failure stops the call *before*
-                // this record is queued: records already enqueued by
-                // this call stay accepted, this one and the rest were
-                // never accepted (see [`DurabilityMode`]).
+                // lock (frame order = ordinal order, even across
+                // producers and lanes) and synced below before the
+                // call returns — no record is acknowledged before its
+                // frame is durable. An append failure stops the call
+                // *before* this record is queued: records already
+                // enqueued by this call stay accepted, this one and
+                // the rest were never accepted (see
+                // [`DurabilityMode`]).
                 last_seq = Some(d.wal.append(&encode_record(record))?);
             }
-            st.queue.push_back(record.clone());
             st.enqueued += 1;
-            obs.queue_depth.set(st.queue.len() as i64);
-            // Wake the committer when a batch fills, and on the
-            // empty→non-empty transition so it moves from its idle
-            // wait onto the epoch timer.
-            if st.queue.len() == self.shared.batch || st.queue.len() == 1 {
-                self.shared.work.notify_one();
+            let ordinal = st.enqueued;
+            st.lanes[lane].push_back((ordinal, record.clone()));
+            st.queued += 1;
+            obs.queue_depth.set(st.queued as i64);
+            // Wake a committer when this lane's batch fills, and on
+            // the lane's empty→non-empty transition so it moves from
+            // its idle wait onto the epoch timer. `notify_all`: the
+            // condvar is shared by every lane's committer, and only
+            // this lane's has work — the others re-check and sleep.
+            let depth = st.lanes[lane].len();
+            if depth == self.shared.batch || depth == 1 {
+                self.shared.work.notify_all();
             }
         }
         if let (Some(d), Some(seq)) = (&self.shared.durability, last_seq) {
@@ -522,13 +626,18 @@ fn replay(inner: &Arc<dyn ProvStore>, wal: &Wal) -> Result<u64> {
     Ok(recovered)
 }
 
-/// `true` when the committer should drain a batch now.
-fn should_drain(st: &State, batch: usize) -> bool {
-    !st.queue.is_empty() && (st.queue.len() >= batch || st.flush_requested || st.shutdown)
+/// `true` when lane `lane`'s committer should drain a batch now.
+/// `epoch_due` is the committer's own epoch-timeout marker (local, so
+/// one lane's trickle tick never force-drains its siblings' partial
+/// batches).
+fn should_drain(st: &State, lane: usize, batch: usize, epoch_due: bool) -> bool {
+    let depth = st.lanes[lane].len();
+    depth > 0 && (depth >= batch || epoch_due || st.flush_requested || st.shutdown)
 }
 
-fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
+fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>, lane: usize) {
     let obs = pipe_obs();
+    let mut epoch_due = false;
     let mut st = shared.state.lock();
     loop {
         if st.error.is_some() {
@@ -541,28 +650,33 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             shared.work.wait(&mut st);
             continue;
         }
-        if should_drain(&st, shared.batch) {
+        if should_drain(&st, lane, shared.batch, epoch_due) {
             // Why this batch is committing now, in precedence order: a
             // full batch commits regardless of any pending flush; the
-            // epoch tick and shutdown both piggyback on the
-            // flush_requested flag, so they are told apart by their
-            // own markers.
-            if st.queue.len() >= shared.batch {
+            // epoch tick and shutdown both drain partial batches, so
+            // they are told apart by their own markers.
+            if st.lanes[lane].len() >= shared.batch {
                 obs.flush_batch_full.inc();
-            } else if st.epoch_due {
+            } else if epoch_due {
                 obs.flush_epoch.inc();
             } else if st.shutdown && !st.flush_requested {
                 obs.flush_shutdown.inc();
             } else {
                 obs.flush_explicit.inc();
             }
-            st.epoch_due = false;
-            let n = shared.batch.min(st.queue.len());
-            let chunk: Vec<ProvRecord> = st.queue.drain(..n).collect();
+            epoch_due = false;
+            let n = shared.batch.min(st.lanes[lane].len());
+            let mut ordinals = Vec::with_capacity(n);
+            let mut chunk = Vec::with_capacity(n);
+            for (ordinal, record) in st.lanes[lane].drain(..n) {
+                ordinals.push(ordinal);
+                chunk.push(record);
+            }
+            st.queued -= n;
             obs.batch_records.record(n as u64);
-            obs.queue_depth.set(st.queue.len() as i64);
-            st.in_flight = n;
-            if st.queue.is_empty() {
+            obs.queue_depth.set(st.queued as i64);
+            st.in_flight += n;
+            if st.queued == 0 {
                 st.flush_requested = false;
             }
             drop(st);
@@ -571,42 +685,80 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
             match result {
                 Ok(()) => {
                     st.committed += n as u64;
+                    for ordinal in ordinals {
+                        st.done.insert(ordinal);
+                    }
+                    loop {
+                        let next = st.watermark + 1;
+                        if !st.done.remove(&next) {
+                            break;
+                        }
+                        st.watermark = next;
+                    }
                     if let Some(d) = &shared.durability {
                         // The batch is in the store: checkpoint it to
-                        // durable storage, then retire its frames.
-                        // Queue order equals frame order, so the last
-                        // committed record's frame is base_seq +
-                        // committed - 1. A failure here parks as an
-                        // ordinary pipeline error but does NOT retain
-                        // the batch (the records are committed; their
-                        // frames stay in the log and replay through
-                        // the dedup path after a crash). `in_flight`
-                        // stays non-zero until the finalize completes
-                        // so a concurrent flush() cannot report
-                        // success while truncation is still pending.
-                        let through = d.base_seq + st.committed - 1;
-                        drop(st);
-                        let finalize = inner
-                            .checkpoint()
-                            .and_then(|()| d.wal.truncate_through(through).map_err(Into::into));
-                        st = shared.state.lock();
-                        if let Err(e) = finalize {
-                            st.error = Some(e);
-                            obs.parked_errors.inc();
+                        // durable storage, then retire the frames of
+                        // the contiguous committed prefix (ordinal
+                        // `k` holds frame `base_seq + k - 1`). One
+                        // finalizer at a time: a lane that finds
+                        // another mid-finalize skips — the finalizer
+                        // re-checks the watermark after each pass, so
+                        // the skipped progress is still retired (by
+                        // it, or by the next batch once it exits). A
+                        // failure here parks as an ordinary pipeline
+                        // error but does NOT retain the batch (the
+                        // records are committed; their frames stay in
+                        // the log and replay through the dedup path
+                        // after a crash). `in_flight` keeps this
+                        // batch until the finalize attempt ends so a
+                        // concurrent flush() cannot report success
+                        // while truncation is still pending.
+                        if !st.finalizing && st.watermark > st.truncated {
+                            st.finalizing = true;
+                            loop {
+                                let through_ordinal = st.watermark;
+                                if through_ordinal <= st.truncated {
+                                    break;
+                                }
+                                let through = d.base_seq + through_ordinal - 1;
+                                drop(st);
+                                let finalize = inner.checkpoint().and_then(|()| {
+                                    d.wal.truncate_through(through).map_err(Into::into)
+                                });
+                                st = shared.state.lock();
+                                match finalize {
+                                    Ok(()) => st.truncated = through_ordinal,
+                                    Err(e) => {
+                                        if st.error.is_none() {
+                                            st.error = Some(e);
+                                            obs.parked_errors.inc();
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                            st.finalizing = false;
                         }
                     }
-                    st.in_flight = 0;
+                    st.in_flight -= n;
                 }
                 Err(e) => {
-                    // Retain the batch (front, original order) and park
-                    // the error for the next enqueue/flush.
-                    for r in chunk.into_iter().rev() {
-                        st.queue.push_front(r);
+                    // Retain the batch (front of its lane, original
+                    // order) and park the error for the next
+                    // enqueue/flush — unless a sibling lane already
+                    // parked one (the first failure wins; this lane's
+                    // records are retained either way and retried
+                    // once the error is taken).
+                    for (ordinal, record) in ordinals.into_iter().zip(chunk).rev() {
+                        st.lanes[lane].push_front((ordinal, record));
                     }
-                    st.error = Some(e);
-                    obs.parked_errors.inc();
-                    st.in_flight = 0;
-                    obs.queue_depth.set(st.queue.len() as i64);
+                    st.queued += n;
+                    if st.error.is_none() {
+                        st.error = Some(e);
+                        obs.parked_errors.inc();
+                    }
+                    st.in_flight -= n;
+                    obs.queue_depth.set(st.queued as i64);
                 }
             }
             shared.room.notify_all();
@@ -615,13 +767,12 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>) {
         if st.shutdown {
             break;
         }
-        match (shared.epoch, st.queue.is_empty()) {
+        match (shared.epoch, st.lanes[lane].is_empty()) {
             (Some(epoch), false) => {
                 let timeout = shared.work.wait_for(&mut st, epoch);
-                if timeout.timed_out() && !st.queue.is_empty() {
-                    // Epoch tick: commit the partial batch.
-                    st.flush_requested = true;
-                    st.epoch_due = true;
+                if timeout.timed_out() && !st.lanes[lane].is_empty() {
+                    // Epoch tick: commit this lane's partial batch.
+                    epoch_due = true;
                 }
             }
             _ => shared.work.wait(&mut st),
@@ -637,7 +788,7 @@ impl Drop for PipelinedStore {
         }
         self.shared.work.notify_all();
         self.shared.room.notify_all();
-        if let Some(handle) = self.committer.lock().take() {
+        for handle in self.committers.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -975,5 +1126,98 @@ mod tests {
         assert_eq!(pipe.pending(), 0);
         assert_eq!(pipe.len(), 5);
         assert_eq!(pipe.by_loc(&p("T/extra")).unwrap().len(), 1);
+    }
+
+    /// Two commit lanes keyed on tid parity (a stand-in for a sharded
+    /// store's per-shard lanes).
+    struct LanedStore {
+        inner: MemStore,
+    }
+
+    impl ProvStore for LanedStore {
+        fn insert(&self, record: &ProvRecord) -> Result<()> {
+            self.inner.insert(record)
+        }
+        fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+            // Per-lane drains must hand over single-lane batches.
+            assert!(
+                records.iter().all(|r| r.tid.0 % 2 == records[0].tid.0 % 2),
+                "a drained batch mixed records of different lanes"
+            );
+            self.inner.insert_batch(records)
+        }
+        fn all(&self) -> Result<Vec<ProvRecord>> {
+            self.inner.all()
+        }
+        fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.at(tid, loc)
+        }
+        fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc(loc)
+        }
+        fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+            self.inner.by_tid(tid)
+        }
+        fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc_prefix(prefix)
+        }
+        fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+            self.inner.by_tid_loc_prefix(tid, prefix)
+        }
+        fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+            self.inner.by_loc_chain(loc, min_depth)
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn physical_bytes(&self) -> u64 {
+            self.inner.physical_bytes()
+        }
+        fn live_bytes(&self) -> Result<u64> {
+            self.inner.live_bytes()
+        }
+        fn read_trips(&self) -> u64 {
+            self.inner.read_trips()
+        }
+        fn write_trips(&self) -> u64 {
+            self.inner.write_trips()
+        }
+        fn reset_trips(&self) {
+            self.inner.reset_trips()
+        }
+        fn set_latency(&self, read: Duration, write: Duration) {
+            self.inner.set_latency(read, write)
+        }
+        fn set_batch_row_latency(&self, per_row: Duration) {
+            self.inner.set_batch_row_latency(per_row)
+        }
+        fn commit_lanes(&self) -> usize {
+            2
+        }
+        fn commit_lane(&self, record: &ProvRecord) -> usize {
+            (record.tid.0 % 2) as usize
+        }
+    }
+
+    #[test]
+    fn lanes_batch_independently_and_never_mix() {
+        let store = Arc::new(LanedStore { inner: MemStore::new() });
+        let pipe = PipelinedStore::spawn(store.clone(), PipelineConfig::batched(8));
+        // Alternating tids: 10 records per lane.
+        for r in records(20) {
+            pipe.insert(&r).unwrap();
+        }
+        pipe.flush().unwrap();
+        assert_eq!(pipe.committed(), 20);
+        assert_eq!(pipe.pending(), 0);
+        assert_eq!(store.len(), 20);
+        // Each lane drains its own stream: one full batch of 8 plus a
+        // remainder of 2 — `2 × ceil(10 / 8)` statements, where a
+        // single serial lane would have issued `ceil(20 / 8) = 3`.
+        assert_eq!(store.write_trips(), 4, "write statements = 2 lanes x ceil(10 / 8)");
+        // Reads still answer as if the writes had been synchronous.
+        for i in 0..20u64 {
+            assert_eq!(pipe.by_tid(Tid(i)).unwrap().len(), 1);
+        }
     }
 }

@@ -9,10 +9,10 @@
 //! prefix probe routes to **one** shard instead of fanning out.
 //!
 //! [`ShardedStore`] is `N` independent [`SqlStore`]s — each with its
-//! own [`Engine`] and tables — split by static key-range boundaries
-//! over the encoded `loc` keys, behind the unchanged [`ProvStore`]
-//! trait. Trackers, the query engine, and the datalog layer run on top
-//! of it without modification.
+//! own [`Engine`] and tables — split by key-range boundaries over the
+//! encoded `loc` keys, behind the unchanged [`ProvStore`] trait.
+//! Trackers, the query engine, and the datalog layer run on top of it
+//! without modification.
 //!
 //! ## Routing rules
 //!
@@ -57,9 +57,9 @@
 //! caller's consumption of the current page; the statement is charged
 //! when the page is received, so counts (and a mid-scan drop's bill)
 //! are identical to the on-demand schedule. The
-//! materializing `by_*` probes are thin wrappers over these cursors
-//! with an unbounded batch, which collapses to exactly the old
-//! one-statement-per-shard fan-out.
+//! materializing `by_*` probes issue the same per-shard prefix
+//! statements eagerly (one unbounded page per overlapping shard),
+//! which is exactly the old one-statement-per-shard fan-out.
 //!
 //! ## Round-trip model
 //!
@@ -94,16 +94,78 @@
 //! calling thread. With an executor attached, the simulated
 //! [`RoundTripModel`] no longer applies to fan-outs — it remains only
 //! as the ablation for serial deployments.
+//!
+//! ## Online rebalancing
+//!
+//! Boundaries are no longer fixed at construction. The routing table —
+//! shards, boundaries, executor pool, heat and key-histogram cells —
+//! lives in an immutable [`Router`] behind an `Arc` swapped under the
+//! `shard.router` RwLock. Every `ProvStore` operation holds the read
+//! guard for its whole execution, so an operation sees exactly one
+//! routing table and a boundary flip linearizes between operations;
+//! cursors snapshot the `Arc` instead (a scan started before a split
+//! finishes against the old shards — read-committed, see below).
+//!
+//! The router's per-shard [`KeyHistogram`]s are fed from the routed
+//! write and point-read sites (the same sites that feed the heat map),
+//! so measured skew — including skew *inside* one container, which the
+//! static [`ShardedStore::split_points`] derivation cannot see — turns
+//! into candidate boundaries via weighted quantiles.
+//! [`ShardedStore::rebalance`] splits any shard holding more than
+//! twice its fair share of the observed weight at its histogram's
+//! median key; [`ShardedStore::split_shard`] /
+//! [`ShardedStore::merge_shards`] are the primitives.
+//!
+//! A migration moves the key subrange `[lo, hi)` between engines
+//! crash-safely, concurrent readers and writers running throughout:
+//!
+//! 1. **Marker** (disk stores): a CRC'd `MIGRATION` marker naming the
+//!    target generation, source and destination directories, and the
+//!    subrange is fsynced before any row moves.
+//! 2. **Bulk copy**, no router lock held: the subrange streams out of
+//!    the source through the paged-scan path into the destination in
+//!    [`MIGRATION_PAGE`]-row batches, remembering the copied multiset.
+//!    Concurrent writes keep landing on the source under the old
+//!    boundaries.
+//! 3. **Cut-over**, under the `shard.router` write guard (the only
+//!    write-blocking window, measured by `rebalance.pause_ns`): a
+//!    catch-up rescan copies rows that arrived during the bulk copy
+//!    (records are insert-only, so the diff is additions only), the
+//!    destination checkpoints, the new-generation manifest is written
+//!    to its ping-pong slot (old slot untouched), the source purges
+//!    the moved subrange, and the new `Router` is published.
+//! 4. The marker is cleared. A crash anywhere leaves either the old
+//!    manifest (marker generation ahead ⇒ migration aborted: reopen
+//!    scrubs the half-copied destination) or the new one (marker
+//!    generation at/behind ⇒ flip landed: reopen finishes the source
+//!    purge) — never a torn hybrid; see `cpdb_storage::read_manifest`.
+//!
+//! Lock order: `shard.maintenance` → `shard.router` → `shard.manifest`
+//! / `heat.keyhist` → engine internals. Migration copy, catch-up, and
+//! purge are maintenance: they charge **no** statements on the
+//! aggregate meters (inner engines tick their own meters, as for
+//! checkpoints), so routed-probe costs are unchanged at any shard
+//! count. In-flight cursors that snapshotted the pre-split router may
+//! serve rows from the source's moved subrange before the purge or
+//! miss rows landing in the destination after the flip — drain cursors
+//! before rebalancing where exact repeatability matters.
 
 use crate::error::{CoreError, Result};
-use crate::heat::ShardHeat;
+use crate::heat::{KeyHistogram, RebalanceObs, ShardHeat};
 use crate::pipeline::executor::{recv_reply, run_job, Reply, ShardExecutor, ShardJob};
 use crate::record::{ProvRecord, Tid};
-use crate::store::{chain_keys, ProvStore, RecordCursor, ScanKind, ScanToken, SqlStore};
-use cpdb_storage::{Engine, Meter};
+use crate::store::{
+    chain_keys, encode_record, ProvStore, RecordCursor, ScanKind, ScanToken, SqlStore,
+};
+use cpdb_storage::{
+    clear_migration_marker, read_manifest, read_migration_marker, write_manifest,
+    write_migration_marker, Engine, Meter, MigrationKind, MigrationMarker, ShardManifest,
+};
 use cpdb_tree::Path;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -123,49 +185,135 @@ pub enum RoundTripModel {
     Sequential,
 }
 
-/// One shard: its own engine and provenance table.
+/// One shard: its own engine and provenance table, plus the directory
+/// name the manifest knows it by (`None` for in-memory shards).
 struct Shard {
-    engine: Engine,
+    engine: Arc<Engine>,
     store: Arc<SqlStore>,
+    dir: Option<String>,
+}
+
+impl Shard {
+    fn in_memory(indexed: bool) -> Result<Shard> {
+        let engine = Engine::in_memory();
+        let store = Arc::new(SqlStore::create(&engine, indexed)?);
+        Ok(Shard { engine: Arc::new(engine), store, dir: None })
+    }
+}
+
+/// The shard's manifest directory name, required for disk-backed
+/// migrations.
+fn dir_of(s: &Shard) -> Result<String> {
+    s.dir.clone().ok_or_else(|| CoreError::Editor {
+        reason: "disk-backed deployment holds a shard without a directory".into(),
+    })
 }
 
 fn storage_io(e: std::io::Error) -> CoreError {
     CoreError::Storage(cpdb_storage::StorageError::Io(std::sync::Arc::new(e)))
 }
 
-/// Lowercase hex of `bytes` (manifest encoding for boundary keys,
-/// which contain NUL segment terminators).
-fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect()
-}
-
-/// Inverse of [`hex`]; `None` on odd length or non-hex digits.
-fn unhex(s: &str) -> Option<Vec<u8>> {
-    if !s.len().is_multiple_of(2) {
-        return None;
-    }
-    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
-}
-
-/// A provenance store horizontally partitioned by encoded-key range
-/// over `N` inner [`SqlStore`]s. See the module docs for routing rules
-/// and the round-trip model.
-pub struct ShardedStore {
-    shards: Vec<Shard>,
+/// One immutable generation of the routing table. Swapped whole under
+/// the `shard.router` lock by a split/merge; operations hold the read
+/// guard, cursors clone the `Arc`.
+struct Router {
+    shards: Vec<Arc<Shard>>,
     /// `N-1` strictly ascending split keys; shard `i` owns
     /// `[boundaries[i-1], boundaries[i])`.
     boundaries: Vec<String>,
-    model: RoundTripModel,
     /// Real thread-per-shard pool for fan-outs; `None` = simulate
-    /// per the [`RoundTripModel`].
+    /// per the [`RoundTripModel`]. Rebuilt on every generation so the
+    /// pool always matches the shard vector.
     executor: Option<ShardExecutor>,
-    reads: Arc<Meter>,
-    writes: Arc<Meter>,
-    batch_row_ns: Arc<AtomicU64>,
     /// Per-shard heat-map instruments (see [`crate::heat`]): one entry
     /// per shard, recording statements executed inline on the
     /// coordinator; scattered jobs are recorded by the workers.
     heat: Vec<ShardHeat>,
+    /// Per-shard key histograms — the skew signal `rebalance` derives
+    /// new boundaries from. Carried across generations by
+    /// `split_off`/`absorb` so convergence does not restart from zero.
+    keys: Vec<Arc<KeyHistogram>>,
+    /// Manifest generation this routing table was published at.
+    generation: u64,
+}
+
+impl Router {
+    /// The shard owning an encoded key.
+    fn shard_of_key(&self, key: &str) -> usize {
+        self.boundaries.partition_point(|b| b.as_str() <= key)
+    }
+
+    /// The contiguous run of shards overlapping a key range, as
+    /// `first..=last` indexes.
+    fn shards_for(&self, lo: &Bound<String>, hi: &Bound<String>) -> (usize, usize) {
+        let first = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => self.shard_of_key(k),
+            Bound::Unbounded => 0,
+        };
+        let last = match hi {
+            Bound::Included(k) => self.shard_of_key(k),
+            // Keys strictly below `k`: a boundary equal to `k` ends the
+            // range in the shard before it.
+            Bound::Excluded(k) => self.boundaries.partition_point(|b| b.as_str() < k.as_str()),
+            Bound::Unbounded => self.shards.len() - 1,
+        };
+        (first, last.min(self.shards.len() - 1))
+    }
+
+    /// The contiguous run of shards a prefix probe overlaps.
+    fn shards_overlapping(&self, prefix: &Path) -> std::ops::RangeInclusive<usize> {
+        let (lo, hi) = prefix.prefix_range_bounds();
+        let (first, last) = self.shards_for(&lo, &hi);
+        first..=last
+    }
+}
+
+/// Disk-side state of a persistent deployment: the root directory and
+/// the next unused `shard-<n>` suffix (mirrored into every manifest so
+/// directory names are never reused across generations).
+struct DiskState {
+    dir: PathBuf,
+    next_dir: u64,
+}
+
+/// Where a migration is forced to die, for the crash suite. Each point
+/// returns an error leaving the disk state exactly as a process kill
+/// at that instant would: marker present, destination partial or
+/// complete, manifest old / torn-new.
+#[doc(hidden)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum MigrationFailpoint {
+    /// No injected failure.
+    #[default]
+    None,
+    /// Die after the first copied page, mid-subrange-copy.
+    MidCopy,
+    /// Die after the copy completes but before the manifest flip.
+    BeforeFlip,
+    /// Die mid-write of the new manifest slot (the slot is torn).
+    MidManifestWrite,
+}
+
+/// Rows per batch of a migration's bulk copy and catch-up rescan.
+const MIGRATION_PAGE: usize = 512;
+
+/// A provenance store horizontally partitioned by encoded-key range
+/// over `N` inner [`SqlStore`]s. See the module docs for routing rules,
+/// the round-trip model, and the online-rebalancing protocol.
+pub struct ShardedStore {
+    /// The current routing table; swapped atomically by split/merge.
+    router: RwLock<Arc<Router>>,
+    model: RoundTripModel,
+    indexed: bool,
+    /// Whether routers are built with the thread-per-shard pool.
+    parallel: bool,
+    reads: Arc<Meter>,
+    writes: Arc<Meter>,
+    batch_row_ns: Arc<AtomicU64>,
+    /// Present on disk-backed deployments.
+    disk: Option<Mutex<DiskState>>,
+    /// Serializes split/merge/rebalance; taken before `shard.router`.
+    maintenance: Mutex<()>,
 }
 
 impl ShardedStore {
@@ -177,19 +325,18 @@ impl ShardedStore {
         Self::check_boundaries(&boundaries)?;
         let mut shards = Vec::with_capacity(boundaries.len() + 1);
         for _ in 0..=boundaries.len() {
-            let engine = Engine::in_memory();
-            let store = Arc::new(SqlStore::create(&engine, indexed)?);
-            shards.push(Shard { engine, store });
+            shards.push(Shard::in_memory(indexed)?);
         }
-        Ok(Self::assemble(shards, boundaries))
+        Ok(Self::assemble(shards, boundaries, indexed, 0, None))
     }
 
     /// Creates a **disk-backed** sharded store under `dir`: shard `i`
     /// gets its own [`Engine::on_disk`] in `dir/shard-<i>/`, and a
-    /// `MANIFEST` file records the boundaries and the index flag so
-    /// [`ShardedStore::open_disk`] can reopen the whole deployment —
-    /// routing table included — without being handed the split points
-    /// again. Fails if `dir` already holds a manifest (reopen instead).
+    /// generation-0 `MANIFEST` records the directories, boundaries and
+    /// the index flag so [`ShardedStore::open_disk`] can reopen the
+    /// whole deployment — routing table included — without being
+    /// handed the split points again. Fails if `dir` already holds a
+    /// manifest (reopen instead).
     pub fn on_disk(
         dir: impl Into<std::path::PathBuf>,
         boundaries: Vec<String>,
@@ -198,8 +345,7 @@ impl ShardedStore {
         Self::check_boundaries(&boundaries)?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(storage_io)?;
-        let manifest = dir.join("MANIFEST");
-        if manifest.exists() {
+        if read_manifest(&dir)?.is_some() {
             return Err(CoreError::Editor {
                 reason: format!(
                     "sharded store already exists at {} (use open_disk)",
@@ -207,72 +353,106 @@ impl ShardedStore {
                 ),
             });
         }
-        let mut shards = Vec::with_capacity(boundaries.len() + 1);
-        for i in 0..=boundaries.len() {
-            let engine = Engine::on_disk(dir.join(format!("shard-{i}")))?;
+        let n = boundaries.len() + 1;
+        let mut shards = Vec::with_capacity(n);
+        let mut shard_dirs = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = format!("shard-{i}");
+            let engine = Engine::on_disk(dir.join(&name))?;
             let store = Arc::new(SqlStore::create(&engine, indexed)?);
-            shards.push(Shard { engine, store });
+            shards.push(Shard { engine: Arc::new(engine), store, dir: Some(name.clone()) });
+            shard_dirs.push(name);
         }
-        let mut body = String::from("cpdb-sharded-store v1\n");
-        body.push_str(&format!("indexed {}\n", indexed as u8));
-        body.push_str(&format!("shards {}\n", shards.len()));
-        for b in &boundaries {
-            // Boundaries are encoded path keys and contain NUL
-            // terminators; hex keeps the manifest a plain text file.
-            body.push_str(&format!("boundary {}\n", hex(b.as_bytes())));
-        }
-        std::fs::write(&manifest, body).map_err(storage_io)?;
-        Ok(Self::assemble(shards, boundaries))
+        let manifest = ShardManifest {
+            generation: 0,
+            indexed,
+            next_dir: n as u64,
+            shard_dirs,
+            boundaries: boundaries.clone(),
+        };
+        write_manifest(&dir, &manifest)?;
+        let disk = DiskState { dir, next_dir: n as u64 };
+        Ok(Self::assemble(shards, boundaries, indexed, 0, Some(disk)))
     }
 
     /// Reopens a sharded store created by [`ShardedStore::on_disk`]
-    /// from its `MANIFEST`: every shard's engine reopens its `Prov`
-    /// table (loading persisted secondary indexes in O(index pages)
-    /// when the shard was cleanly checkpointed), so the whole
-    /// deployment — router, shards, indexes — survives a restart.
+    /// from its manifest: [`cpdb_storage::read_manifest`] resolves the
+    /// highest intact generation (CRC-checked, ping-pong slots, legacy
+    /// v1 read as generation 0), a crashed migration found via its
+    /// marker is rolled forward or back to that generation, orphaned
+    /// `shard-*` directories are removed, and every shard's engine
+    /// reopens its `Prov` table (loading persisted secondary indexes
+    /// in O(index pages) when the shard was cleanly checkpointed).
     /// Compose with [`ShardedStore::with_parallel_executor`] and a
     /// durable `PipelinedStore` front for the full recovery story.
     pub fn open_disk(dir: impl Into<std::path::PathBuf>) -> Result<ShardedStore> {
         let dir = dir.into();
-        let body = std::fs::read_to_string(dir.join("MANIFEST")).map_err(storage_io)?;
-        let bad = |reason: &str| CoreError::Editor {
-            reason: format!("sharded store manifest at {}: {reason}", dir.display()),
-        };
-        let mut lines = body.lines();
-        if lines.next() != Some("cpdb-sharded-store v1") {
-            return Err(bad("unknown format"));
+        let manifest = read_manifest(&dir)?.ok_or_else(|| CoreError::Editor {
+            reason: format!("no sharded store manifest at {}", dir.display()),
+        })?;
+        if let Some(marker) = read_migration_marker(&dir)? {
+            Self::recover_migration(&dir, &manifest, &marker)?;
         }
-        let mut indexed = None;
-        let mut shard_count = None;
-        let mut boundaries = Vec::new();
-        for line in lines {
-            match line.split_once(' ') {
-                Some(("indexed", v)) => indexed = Some(v == "1"),
-                Some(("shards", v)) => {
-                    shard_count = Some(v.parse::<usize>().map_err(|_| bad("bad shard count"))?);
-                }
-                Some(("boundary", v)) => {
-                    let bytes = unhex(v).ok_or_else(|| bad("bad boundary hex"))?;
-                    boundaries
-                        .push(String::from_utf8(bytes).map_err(|_| bad("boundary not UTF-8"))?);
-                }
-                _ if line.is_empty() => {}
-                _ => return Err(bad("unknown line")),
+        clear_migration_marker(&dir)?;
+        Self::remove_orphan_shard_dirs(&dir, &manifest)?;
+        Self::check_boundaries(&manifest.boundaries)?;
+        let mut shards = Vec::with_capacity(manifest.shard_dirs.len());
+        for name in &manifest.shard_dirs {
+            let engine = Engine::on_disk(dir.join(name))?;
+            let store = Arc::new(SqlStore::open(&engine, manifest.indexed)?);
+            shards.push(Shard { engine: Arc::new(engine), store, dir: Some(name.clone()) });
+        }
+        let disk = DiskState { dir, next_dir: manifest.next_dir };
+        Ok(Self::assemble(
+            shards,
+            manifest.boundaries,
+            manifest.indexed,
+            manifest.generation,
+            Some(disk),
+        ))
+    }
+
+    /// Scrubs the side of a crashed migration the surviving manifest
+    /// generation says is stale. Marker generation ahead of the
+    /// manifest ⇒ the flip never landed: the half-copied destination
+    /// is scrubbed (or, if the manifest never owned it, removed whole
+    /// as an orphan). Marker at or behind ⇒ the flip landed: the
+    /// source still holding the moved subrange finishes its purge.
+    fn recover_migration(
+        dir: &std::path::Path,
+        manifest: &ShardManifest,
+        marker: &MigrationMarker,
+    ) -> Result<()> {
+        let committed = marker.target_generation <= manifest.generation;
+        let scrub = if committed { &marker.src_dir } else { &marker.dst_dir };
+        if !manifest.shard_dirs.iter().any(|d| d == scrub) {
+            // The stale side is not part of the routing table; the
+            // orphan-directory sweep removes it wholesale.
+            return Ok(());
+        }
+        let engine = Engine::on_disk(dir.join(scrub))?;
+        let store = SqlStore::open(&engine, manifest.indexed)?;
+        store.purge_key_range(&marker.lo, marker.hi.as_deref())?;
+        store.checkpoint()?;
+        Ok(())
+    }
+
+    /// Removes `shard-*` directories the manifest does not own — the
+    /// half-built destination of an aborted split, or the source left
+    /// behind by a merge that flipped but died before the cleanup.
+    fn remove_orphan_shard_dirs(dir: &std::path::Path, manifest: &ShardManifest) -> Result<()> {
+        for entry in std::fs::read_dir(dir).map_err(storage_io)? {
+            let entry = entry.map_err(storage_io)?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("shard-")
+                && entry.file_type().map_err(storage_io)?.is_dir()
+                && !manifest.shard_dirs.iter().any(|d| d == name)
+            {
+                std::fs::remove_dir_all(entry.path()).map_err(storage_io)?;
             }
         }
-        let indexed = indexed.ok_or_else(|| bad("missing indexed flag"))?;
-        let shard_count = shard_count.ok_or_else(|| bad("missing shard count"))?;
-        if shard_count != boundaries.len() + 1 {
-            return Err(bad("shard count does not match boundaries"));
-        }
-        Self::check_boundaries(&boundaries)?;
-        let mut shards = Vec::with_capacity(shard_count);
-        for i in 0..shard_count {
-            let engine = Engine::on_disk(dir.join(format!("shard-{i}")))?;
-            let store = Arc::new(SqlStore::open(&engine, indexed)?);
-            shards.push(Shard { engine, store });
-        }
-        Ok(Self::assemble(shards, boundaries))
+        Ok(())
     }
 
     fn check_boundaries(boundaries: &[String]) -> Result<()> {
@@ -284,18 +464,61 @@ impl ShardedStore {
         Ok(())
     }
 
-    fn assemble(shards: Vec<Shard>, boundaries: Vec<String>) -> ShardedStore {
+    fn assemble(
+        shards: Vec<Shard>,
+        boundaries: Vec<String>,
+        indexed: bool,
+        generation: u64,
+        disk: Option<DiskState>,
+    ) -> ShardedStore {
+        let shards: Vec<Arc<Shard>> = shards.into_iter().map(Arc::new).collect();
         let heat = ShardHeat::for_shards(shards.len());
+        let keys = KeyHistogram::for_shards(shards.len());
+        let router = Router { shards, boundaries, executor: None, heat, keys, generation };
         ShardedStore {
-            shards,
-            boundaries,
+            router: RwLock::labeled("shard.router", Arc::new(router)),
             model: RoundTripModel::default(),
-            executor: None,
+            indexed,
+            parallel: false,
             reads: Arc::new(Meter::new()),
             writes: Arc::new(Meter::new()),
             batch_row_ns: Arc::new(AtomicU64::new(0)),
-            heat,
+            disk: disk.map(|d| Mutex::labeled("shard.manifest", d)),
+            maintenance: Mutex::labeled("shard.maintenance", ()),
         }
+    }
+
+    /// Builds the routing table for a new generation: fresh heat cells
+    /// for the new width, and the worker pool when the store is
+    /// parallel (the pool is per-generation so workers always match
+    /// the shard vector).
+    fn make_router(
+        &self,
+        shards: Vec<Arc<Shard>>,
+        boundaries: Vec<String>,
+        keys: Vec<Arc<KeyHistogram>>,
+        generation: u64,
+    ) -> Router {
+        let heat = ShardHeat::for_shards(shards.len());
+        let executor = if self.parallel {
+            let stores: Vec<Arc<SqlStore>> = shards.iter().map(|s| s.store.clone()).collect();
+            Some(ShardExecutor::new(
+                &stores,
+                self.reads.clone(),
+                self.writes.clone(),
+                self.batch_row_ns.clone(),
+                heat.clone(),
+            ))
+        } else {
+            None
+        };
+        Router { shards, boundaries, executor, heat, keys, generation }
+    }
+
+    /// The current routing table, snapshotted (the guard is released;
+    /// cursors use this so a mid-scan flip cannot deadlock or tear).
+    fn snapshot(&self) -> Arc<Router> {
+        self.router.read().clone()
     }
 
     /// Builder-style override of the fan-out latency model (the
@@ -309,22 +532,24 @@ impl ShardedStore {
     /// Attaches the real thread-per-shard executor: fan-outs over more
     /// than one shard run concurrently on dedicated worker threads and
     /// their wall clock is the measured slowest shard (see the module
-    /// docs and [`crate::pipeline::ShardExecutor`]).
+    /// docs and [`crate::pipeline::ShardExecutor`]). Routers built by
+    /// later splits/merges keep the pool, resized to the new width.
     pub fn with_parallel_executor(mut self) -> ShardedStore {
-        let stores: Vec<Arc<SqlStore>> = self.shards.iter().map(|s| s.store.clone()).collect();
-        self.executor = Some(ShardExecutor::new(
-            &stores,
-            self.reads.clone(),
-            self.writes.clone(),
-            self.batch_row_ns.clone(),
-            self.heat.clone(),
-        ));
+        self.parallel = true;
+        let old = self.router.get_mut().clone();
+        let router = self.make_router(
+            old.shards.clone(),
+            old.boundaries.clone(),
+            old.keys.clone(),
+            old.generation,
+        );
+        *self.router.get_mut() = Arc::new(router);
         self
     }
 
     /// `true` when fan-outs run on the real thread-per-shard pool.
     pub fn is_parallel(&self) -> bool {
-        self.executor.is_some()
+        self.parallel
     }
 
     /// Static split points for `n` shards from the top-level containers
@@ -333,6 +558,13 @@ impl ShardedStore {
     /// `n - 1` evenly spaced candidates are chosen. Because boundaries
     /// coincide with container range starts, a probe on a whole
     /// container (or anything below it) never straddles a boundary.
+    ///
+    /// This derivation is **container-grained**: it cannot cut inside
+    /// one container, so a workload concentrated in a single container
+    /// always yields a single shard here. The measured
+    /// [`ShardedStore::rebalance`] path has no such limit — its
+    /// boundaries come from the observed key histogram, which resolves
+    /// sub-container skew.
     ///
     /// ## Fewer containers than shards (the degenerate case)
     ///
@@ -376,18 +608,30 @@ impl ShardedStore {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.router.read().shards.len()
+    }
+
+    /// The routing-table generation: 0 at construction, bumped by one
+    /// on every completed split or merge.
+    pub fn generation(&self) -> u64 {
+        self.router.read().generation
+    }
+
+    /// The current split keys (`shard_count() - 1` of them, strictly
+    /// ascending).
+    pub fn boundaries(&self) -> Vec<String> {
+        self.router.read().boundaries.clone()
     }
 
     /// The inner store of shard `i` — inspection only; writing through
     /// it bypasses the router.
-    pub fn shard(&self, i: usize) -> &SqlStore {
-        &self.shards[i].store
+    pub fn shard(&self, i: usize) -> Arc<SqlStore> {
+        self.router.read().shards[i].store.clone()
     }
 
     /// The engine backing shard `i` (for stats and ablations).
-    pub fn shard_engine(&self, i: usize) -> &Engine {
-        &self.shards[i].engine
+    pub fn shard_engine(&self, i: usize) -> Arc<Engine> {
+        self.router.read().shards[i].engine.clone()
     }
 
     /// Sequential latency units waited for by reads (a concurrent
@@ -401,26 +645,11 @@ impl ShardedStore {
         self.writes.waves()
     }
 
-    /// The shard owning an encoded key.
+    /// The shard currently owning an encoded key (tests pin routing
+    /// invariants through this).
+    #[cfg(test)]
     fn shard_of_key(&self, key: &str) -> usize {
-        self.boundaries.partition_point(|b| b.as_str() <= key)
-    }
-
-    /// The contiguous run of shards overlapping a key range, as
-    /// `first..=last` indexes.
-    fn shards_for(&self, lo: &Bound<String>, hi: &Bound<String>) -> (usize, usize) {
-        let first = match lo {
-            Bound::Included(k) | Bound::Excluded(k) => self.shard_of_key(k),
-            Bound::Unbounded => 0,
-        };
-        let last = match hi {
-            Bound::Included(k) => self.shard_of_key(k),
-            // Keys strictly below `k`: a boundary equal to `k` ends the
-            // range in the shard before it.
-            Bound::Excluded(k) => self.boundaries.partition_point(|b| b.as_str() < k.as_str()),
-            Bound::Unbounded => self.shards.len() - 1,
-        };
-        (first, last.min(self.shards.len() - 1))
+        self.router.read().shard_of_key(key)
     }
 
     /// Charges `statements` read or write statements under the
@@ -437,15 +666,25 @@ impl ShardedStore {
     }
 
     /// Fans a statement out to every shard, merging in key order.
-    fn fan_out(&self, job: ShardJob) -> Result<Vec<ProvRecord>> {
-        self.run_on_shards((0..self.shards.len()).map(|i| (i, job.clone())), &self.reads)
+    fn fan_out(&self, r: &Router, job: ShardJob) -> Result<Vec<ProvRecord>> {
+        self.run_on_shards(r, (0..r.shards.len()).map(|i| (i, job.clone())), &self.reads)
     }
 
-    /// The contiguous run of shards a prefix probe overlaps.
-    fn shards_overlapping(&self, prefix: &Path) -> std::ops::RangeInclusive<usize> {
-        let (lo, hi) = prefix.prefix_range_bounds();
-        let (first, last) = self.shards_for(&lo, &hi);
-        first..=last
+    /// Materializes a prefix probe: one unbounded-page statement per
+    /// overlapping shard, merged in key order — the eager twin of the
+    /// streaming cursor with identical statement/wave/heat accounting.
+    /// A probe that fits a single shard feeds that shard's key
+    /// histogram (a fan-out carries no routing signal).
+    fn prefix_probe(&self, r: &Router, kind: ScanKind, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        let range = r.shards_overlapping(prefix);
+        if range.start() == range.end() {
+            if let (Bound::Included(k) | Bound::Excluded(k), _) = prefix.prefix_range_bounds() {
+                r.keys[*range.start()].observe(&k, 1);
+            }
+        }
+        let jobs = range
+            .map(|i| (i, ShardJob::Page { kind: kind.clone(), batch: usize::MAX, token: None }));
+        self.run_on_shards(r, jobs.collect::<Vec<_>>(), &self.reads)
     }
 
     /// Builds the streaming cursor for a subtree scan: per-shard paged
@@ -456,12 +695,15 @@ impl ShardedStore {
     /// shard — concurrently on the worker pool when the parallel
     /// executor is attached — and later pages are fetched per shard on
     /// demand, so the cursor never holds more than `batch × shards`
-    /// records.
+    /// records. The cursor pins the router generation it started on
+    /// (see the module docs on rebalancing).
     fn scan_cursor(&self, kind: ScanKind, prefix: &Path, batch: usize) -> RecordCursor<'_> {
+        let router = self.snapshot();
         let shards: Vec<(usize, ShardScanState)> =
-            self.shards_overlapping(prefix).map(|i| (i, ShardScanState::Pending(None))).collect();
+            router.shards_overlapping(prefix).map(|i| (i, ShardScanState::Pending(None))).collect();
         RecordCursor::from_source(ShardScanSource {
             store: self,
+            router,
             kind,
             batch: batch.max(1),
             shards,
@@ -478,6 +720,7 @@ impl ShardedStore {
     /// order.
     fn run_on_shards(
         &self,
+        r: &Router,
         jobs: impl IntoIterator<Item = (usize, ShardJob)>,
         meter: &Meter,
     ) -> Result<Vec<ProvRecord>> {
@@ -494,14 +737,14 @@ impl ShardedStore {
             out
         };
         if jobs.len() > 1 {
-            if let Some(exec) = &self.executor {
+            if let Some(exec) = &r.executor {
                 // All statements counted, one wave; the workers pay
                 // the in-flight latency for real, concurrently.
                 meter.tally(jobs.len() as u64);
                 let replies = exec.scatter(jobs);
                 let chunks = replies
                     .into_iter()
-                    .map(|r| r.map(|(records, _)| records))
+                    .map(|reply| reply.map(|(records, _)| records))
                     .collect::<Result<Vec<_>>>()?;
                 return Ok(sort_merge(chunks));
             }
@@ -511,12 +754,379 @@ impl ShardedStore {
             .iter()
             .map(|(i, job)| {
                 let t0 = std::time::Instant::now();
-                let r = run_job(&self.shards[*i].store, job).map(|(records, _)| records);
-                self.heat[*i].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
-                r
+                let res = run_job(&r.shards[*i].store, job).map(|(records, _)| records);
+                r.heat[*i].record(res.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+                res
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(sort_merge(chunks))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Online rebalancing: split, merge, and the heat-driven driver.
+// ---------------------------------------------------------------------
+
+/// `true` when `key` lies in the migrating subrange `[lo, hi)`.
+fn key_in_range(key: &str, lo: &str, hi: Option<&str>) -> bool {
+    key >= lo && hi.is_none_or(|h| key < h)
+}
+
+/// Streams the subrange `[lo, hi)` out of `src` into `dst` in
+/// [`MIGRATION_PAGE`]-row batches through the ordinary paged-scan
+/// path, returning the copied multiset (encoded record → count, for
+/// the catch-up diff) and the row count. Maintenance: no aggregate
+/// statements are charged. [`MigrationFailpoint::MidCopy`] dies after
+/// the first page.
+fn copy_subrange(
+    src: &SqlStore,
+    dst: &SqlStore,
+    lo: &str,
+    hi: Option<&str>,
+    fp: MigrationFailpoint,
+) -> Result<(BTreeMap<Vec<u8>, u64>, u64)> {
+    let mut copied: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    let mut rows = 0u64;
+    let mut token: Option<ScanToken> = None;
+    loop {
+        let (page, next) =
+            src.scan_page(&ScanKind::Loc(Path::epsilon()), MIGRATION_PAGE, token.as_ref())?;
+        let chunk: Vec<ProvRecord> =
+            page.into_iter().filter(|r| key_in_range(&r.loc.key(), lo, hi)).collect();
+        if !chunk.is_empty() {
+            dst.insert_batch(&chunk)?;
+            for r in &chunk {
+                *copied.entry(encode_record(r)).or_insert(0) += 1;
+                rows += 1;
+            }
+        }
+        if fp == MigrationFailpoint::MidCopy {
+            return Err(CoreError::Editor {
+                reason: "migration failpoint: killed mid-subrange-copy".into(),
+            });
+        }
+        match next {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    Ok((copied, rows))
+}
+
+/// Under the router write guard: rescans `src`'s subrange and copies
+/// the rows that arrived after the bulk copy started. Records are
+/// insert-only through [`ProvStore`], so the diff against the copied
+/// multiset is additions only. Returns the delta row count.
+fn catch_up(
+    src: &SqlStore,
+    dst: &SqlStore,
+    lo: &str,
+    hi: Option<&str>,
+    mut copied: BTreeMap<Vec<u8>, u64>,
+) -> Result<u64> {
+    let mut extra: Vec<ProvRecord> = Vec::new();
+    let mut token: Option<ScanToken> = None;
+    loop {
+        let (page, next) =
+            src.scan_page(&ScanKind::Loc(Path::epsilon()), MIGRATION_PAGE, token.as_ref())?;
+        for r in page {
+            if !key_in_range(&r.loc.key(), lo, hi) {
+                continue;
+            }
+            match copied.get_mut(&encode_record(&r)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => extra.push(r),
+            }
+        }
+        match next {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    let delta = extra.len() as u64;
+    if !extra.is_empty() {
+        dst.insert_batch(&extra)?;
+    }
+    Ok(delta)
+}
+
+impl ShardedStore {
+    /// Splits `shard` at `boundary` (an encoded key strictly inside
+    /// its range): a new shard is carved out owning `[boundary, old
+    /// hi)`, migrated crash-safely per the module-docs protocol while
+    /// concurrent operations keep running. The routing generation
+    /// bumps by one.
+    pub fn split_shard(&self, shard: usize, boundary: String) -> Result<()> {
+        self.split_shard_with_failpoint(shard, boundary, MigrationFailpoint::None)
+    }
+
+    /// [`ShardedStore::split_shard`] with an injected crash, for the
+    /// durability suite.
+    #[doc(hidden)]
+    pub fn split_shard_with_failpoint(
+        &self,
+        shard: usize,
+        boundary: String,
+        fp: MigrationFailpoint,
+    ) -> Result<()> {
+        let _maint = self.maintenance.lock();
+        // Maintenance is the only writer of the router, so this
+        // snapshot stays current until the write-guarded flip below.
+        let r = self.snapshot();
+        if shard >= r.shards.len() {
+            return Err(CoreError::Editor { reason: format!("split: no shard {shard}") });
+        }
+        let in_range = boundary.as_str() > ""
+            && (shard == 0 || boundary > r.boundaries[shard - 1])
+            && r.boundaries.get(shard).is_none_or(|hi| boundary < *hi);
+        if !in_range {
+            return Err(CoreError::Editor {
+                reason: format!("split: boundary not strictly inside shard {shard}'s range"),
+            });
+        }
+        let src = r.shards[shard].clone();
+        let lo = boundary;
+        let hi = r.boundaries.get(shard).cloned();
+        // Destination shard: a fresh engine, named from the manifest's
+        // never-reused directory counter on disk deployments.
+        let dst = match &self.disk {
+            Some(disk) => {
+                let (root, name) = {
+                    let mut d = disk.lock();
+                    let name = format!("shard-{}", d.next_dir);
+                    d.next_dir += 1;
+                    (d.dir.clone(), name)
+                };
+                let engine = Engine::on_disk(root.join(&name))?;
+                let store = Arc::new(SqlStore::create(&engine, self.indexed)?);
+                Arc::new(Shard { engine: Arc::new(engine), store, dir: Some(name) })
+            }
+            None => Arc::new(Shard::in_memory(self.indexed)?),
+        };
+        if let Some(disk) = &self.disk {
+            let d = disk.lock();
+            write_migration_marker(
+                &d.dir,
+                &MigrationMarker {
+                    target_generation: r.generation + 1,
+                    kind: MigrationKind::Split,
+                    src_dir: dir_of(&src)?,
+                    dst_dir: dir_of(&dst)?,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                },
+            )?;
+        }
+        // Bulk copy with no router lock held: readers and writers keep
+        // running against the old boundaries.
+        let (copied, bulk) = copy_subrange(&src.store, &dst.store, &lo, hi.as_deref(), fp)?;
+        // Cut-over: the only write-blocking window.
+        let mut w = self.router.write();
+        let t0 = std::time::Instant::now();
+        let delta = catch_up(&src.store, &dst.store, &lo, hi.as_deref(), copied)?;
+        if self.disk.is_some() {
+            dst.store.checkpoint()?;
+        }
+        if fp == MigrationFailpoint::BeforeFlip {
+            return Err(CoreError::Editor {
+                reason: "migration failpoint: killed before manifest flip".into(),
+            });
+        }
+        if let Some(disk) = &self.disk {
+            let d = disk.lock();
+            let mut shard_dirs: Vec<String> =
+                r.shards.iter().map(|s| dir_of(s)).collect::<Result<_>>()?;
+            shard_dirs.insert(shard + 1, dir_of(&dst)?);
+            let mut boundaries = r.boundaries.clone();
+            boundaries.insert(shard, lo.clone());
+            let m = ShardManifest {
+                generation: r.generation + 1,
+                indexed: self.indexed,
+                next_dir: d.next_dir,
+                shard_dirs,
+                boundaries,
+            };
+            write_manifest(&d.dir, &m)?;
+            if fp == MigrationFailpoint::MidManifestWrite {
+                // Tear the slot just written, as a crash mid-write
+                // would: keep only the first half of its bytes.
+                let slot = m.slot(&d.dir);
+                let bytes = std::fs::read(&slot).map_err(storage_io)?;
+                std::fs::write(&slot, &bytes[..bytes.len() / 2]).map_err(storage_io)?;
+                return Err(CoreError::Editor {
+                    reason: "migration failpoint: killed mid-manifest-write".into(),
+                });
+            }
+        }
+        src.store.purge_key_range(&lo, hi.as_deref())?;
+        if self.disk.is_some() {
+            src.store.checkpoint()?;
+        }
+        let mut shards = r.shards.clone();
+        shards.insert(shard + 1, dst);
+        let mut boundaries = r.boundaries.clone();
+        boundaries.insert(shard, lo.clone());
+        let mut keys = r.keys.clone();
+        let upper = r.keys[shard].split_off(&lo);
+        keys.insert(shard + 1, Arc::new(upper));
+        let router = self.make_router(shards, boundaries, keys, r.generation + 1);
+        let obs = RebalanceObs::get();
+        obs.splits.inc();
+        obs.migrated_rows.add(bulk + delta);
+        obs.generation.set((r.generation + 1) as i64);
+        *w = Arc::new(router);
+        obs.pause_ns.record_duration(t0.elapsed());
+        drop(w);
+        if let Some(disk) = &self.disk {
+            let dir = disk.lock().dir.clone();
+            clear_migration_marker(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// Merges shard `left + 1` into shard `left`, removing the
+    /// boundary between them — the inverse of
+    /// [`ShardedStore::split_shard`], same crash-safe protocol, same
+    /// generation bump.
+    pub fn merge_shards(&self, left: usize) -> Result<()> {
+        self.merge_shards_with_failpoint(left, MigrationFailpoint::None)
+    }
+
+    /// [`ShardedStore::merge_shards`] with an injected crash, for the
+    /// durability suite.
+    #[doc(hidden)]
+    pub fn merge_shards_with_failpoint(&self, left: usize, fp: MigrationFailpoint) -> Result<()> {
+        let _maint = self.maintenance.lock();
+        let r = self.snapshot();
+        let right = left + 1;
+        if right >= r.shards.len() {
+            return Err(CoreError::Editor {
+                reason: format!("merge: no boundary after shard {left}"),
+            });
+        }
+        let src = r.shards[right].clone();
+        let dst = r.shards[left].clone();
+        let lo = r.boundaries[left].clone();
+        let hi = r.boundaries.get(right).cloned();
+        if let Some(disk) = &self.disk {
+            let d = disk.lock();
+            write_migration_marker(
+                &d.dir,
+                &MigrationMarker {
+                    target_generation: r.generation + 1,
+                    kind: MigrationKind::Merge,
+                    src_dir: dir_of(&src)?,
+                    dst_dir: dir_of(&dst)?,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                },
+            )?;
+        }
+        let (copied, bulk) = copy_subrange(&src.store, &dst.store, &lo, hi.as_deref(), fp)?;
+        let mut w = self.router.write();
+        let t0 = std::time::Instant::now();
+        let delta = catch_up(&src.store, &dst.store, &lo, hi.as_deref(), copied)?;
+        if self.disk.is_some() {
+            dst.store.checkpoint()?;
+        }
+        if fp == MigrationFailpoint::BeforeFlip {
+            return Err(CoreError::Editor {
+                reason: "migration failpoint: killed before manifest flip".into(),
+            });
+        }
+        if let Some(disk) = &self.disk {
+            let d = disk.lock();
+            let mut shard_dirs: Vec<String> =
+                r.shards.iter().map(|s| dir_of(s)).collect::<Result<_>>()?;
+            shard_dirs.remove(right);
+            let mut boundaries = r.boundaries.clone();
+            boundaries.remove(left);
+            let m = ShardManifest {
+                generation: r.generation + 1,
+                indexed: self.indexed,
+                next_dir: d.next_dir,
+                shard_dirs,
+                boundaries,
+            };
+            write_manifest(&d.dir, &m)?;
+            if fp == MigrationFailpoint::MidManifestWrite {
+                let slot = m.slot(&d.dir);
+                let bytes = std::fs::read(&slot).map_err(storage_io)?;
+                std::fs::write(&slot, &bytes[..bytes.len() / 2]).map_err(storage_io)?;
+                return Err(CoreError::Editor {
+                    reason: "migration failpoint: killed mid-manifest-write".into(),
+                });
+            }
+        }
+        let mut shards = r.shards.clone();
+        shards.remove(right);
+        let mut boundaries = r.boundaries.clone();
+        boundaries.remove(left);
+        let mut keys = r.keys.clone();
+        keys[left].absorb(&keys[right]);
+        keys.remove(right);
+        let router = self.make_router(shards, boundaries, keys, r.generation + 1);
+        let obs = RebalanceObs::get();
+        obs.merges.inc();
+        obs.migrated_rows.add(bulk + delta);
+        obs.generation.set((r.generation + 1) as i64);
+        *w = Arc::new(router);
+        obs.pause_ns.record_duration(t0.elapsed());
+        drop(w);
+        if let Some(disk) = &self.disk {
+            let dir = disk.lock().dir.clone();
+            // The absorbed shard's directory is stale the instant the
+            // flip lands; remove it, then the marker (a crash between
+            // the two leaves an orphan the next reopen sweeps).
+            if let Some(name) = &src.dir {
+                std::fs::remove_dir_all(dir.join(name)).map_err(storage_io)?;
+            }
+            clear_migration_marker(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// Heat-driven rebalancing: while some shard carries more than
+    /// **twice its fair share** of the observed key-histogram weight
+    /// at the target width (`weight × max_shards > 2 × total`) and the
+    /// store is below `max_shards`, split the hottest such shard at
+    /// its histogram's weighted median. Returns the number of splits
+    /// performed. Run it from a background maintenance thread;
+    /// concurrent readers and writers keep running (each split blocks
+    /// writes only for its catch-up window).
+    pub fn rebalance(&self, max_shards: usize) -> Result<usize> {
+        let mut splits = 0usize;
+        loop {
+            let r = self.snapshot();
+            let n = r.shards.len();
+            if n >= max_shards {
+                break;
+            }
+            let weights: Vec<u128> = r.keys.iter().map(|k| u128::from(k.total_weight())).collect();
+            let total: u128 = weights.iter().sum();
+            if total == 0 {
+                break;
+            }
+            let mut hot: Vec<usize> =
+                (0..n).filter(|&i| weights[i] * max_shards as u128 > 2 * total).collect();
+            hot.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+            let mut advanced = false;
+            for i in hot {
+                // The median is an observed key strictly above the
+                // shard's least observed key, so it is a valid
+                // boundary; a single-bucket histogram yields no cut.
+                if let Some(cut) = r.keys[i].split_keys(2).into_iter().next() {
+                    self.split_shard(i, cut)?;
+                    splits += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        Ok(splits)
     }
 }
 
@@ -539,9 +1149,12 @@ enum ShardScanState {
 
 /// The [`RecordCursor`] source behind [`ShardedStore`]'s streaming
 /// scans — see [`ShardedStore::scan_cursor`] for the merge and
-/// prefetch strategy and the module docs for the accounting.
+/// prefetch strategy and the module docs for the accounting. Holds the
+/// router snapshot it started on, so a concurrent split/merge neither
+/// tears nor blocks the scan.
 struct ShardScanSource<'a> {
     store: &'a ShardedStore,
+    router: Arc<Router>,
     kind: ScanKind,
     batch: usize,
     /// Overlapping shards in ascending (= key-range) order.
@@ -558,7 +1171,7 @@ impl ShardScanSource<'_> {
     fn prefetch(&mut self) -> Result<()> {
         let k = self.shards.len() as u64;
         if self.shards.len() > 1 {
-            if let Some(exec) = &self.store.executor {
+            if let Some(exec) = &self.router.executor {
                 self.store.reads.tally(k);
                 let jobs = self.shards.iter().map(|(i, _)| {
                     (*i, ShardJob::Page { kind: self.kind.clone(), batch: self.batch, token: None })
@@ -575,8 +1188,8 @@ impl ShardScanSource<'_> {
         for (i, state) in &mut self.shards {
             let t0 = std::time::Instant::now();
             let (rows, next) =
-                self.store.shards[*i].store.scan_page(&self.kind, self.batch, None)?;
-            self.store.heat[*i].record(rows.len() as u64, t0.elapsed());
+                self.router.shards[*i].store.scan_page(&self.kind, self.batch, None)?;
+            self.router.heat[*i].record(rows.len() as u64, t0.elapsed());
             *state = ShardScanState::Ready { rows, next };
         }
         Ok(())
@@ -589,13 +1202,13 @@ impl ShardScanSource<'_> {
 /// served (cursor-ahead prefetch) — otherwise it waits as
 /// [`ShardScanState::Pending`] for an on-demand fetch.
 fn continuation(
-    store: &ShardedStore,
+    router: &Router,
     kind: &ScanKind,
     batch: usize,
     shard: usize,
     token: ScanToken,
 ) -> ShardScanState {
-    match &store.executor {
+    match &router.executor {
         Some(exec) => ShardScanState::Fetching(
             exec.submit(shard, ShardJob::Page { kind: kind.clone(), batch, token: Some(token) }),
         ),
@@ -609,7 +1222,7 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
             self.started = true;
             self.prefetch()?;
         }
-        let ShardScanSource { store, kind, batch, shards, cur, .. } = self;
+        let ShardScanSource { store, router, kind, batch, shards, cur, .. } = self;
         let (store, batch) = (*store, *batch);
         loop {
             let Some((shard, state)) = shards.get_mut(*cur) else {
@@ -619,7 +1232,7 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
             match std::mem::replace(state, ShardScanState::Finished) {
                 ShardScanState::Ready { rows, next } => {
                     if let Some(t) = next {
-                        *state = continuation(store, kind, batch, shard, t);
+                        *state = continuation(router, kind, batch, shard, t);
                     }
                     if rows.is_empty() {
                         *cur += 1;
@@ -634,7 +1247,7 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
                     store.reads.tally(1);
                     let (rows, next) = recv_reply(rx)?;
                     if let Some(t) = next {
-                        *state = continuation(store, kind, batch, shard, t);
+                        *state = continuation(router, kind, batch, shard, t);
                     }
                     if rows.is_empty() {
                         *cur += 1;
@@ -648,8 +1261,8 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
                     store.reads.round_trip();
                     let t0 = std::time::Instant::now();
                     let (rows, next) =
-                        store.shards[shard].store.scan_page(kind, batch, token.as_ref())?;
-                    store.heat[shard].record(rows.len() as u64, t0.elapsed());
+                        router.shards[shard].store.scan_page(kind, batch, token.as_ref())?;
+                    router.heat[shard].record(rows.len() as u64, t0.elapsed());
                     if let Some(t) = next {
                         *state = ShardScanState::Pending(Some(t));
                     }
@@ -679,38 +1292,48 @@ impl crate::store::RecordSource for ShardScanSource<'_> {
 
 impl ProvStore for ShardedStore {
     fn insert(&self, record: &ProvRecord) -> Result<()> {
+        let r = self.router.read();
         self.writes.round_trip();
-        let shard = self.shard_of_key(&record.loc.key());
+        let key = record.loc.key();
+        let shard = r.shard_of_key(&key);
+        r.keys[shard].observe(&key, 1);
         let t0 = std::time::Instant::now();
-        let r = self.shards[shard].store.insert(record);
-        self.heat[shard].record(1, t0.elapsed());
-        r
+        let res = r.shards[shard].store.insert(record);
+        r.heat[shard].record(1, t0.elapsed());
+        res
     }
 
     fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
         }
+        let r = self.router.read();
+        let keys: Vec<String> = records.iter().map(|rec| rec.loc.key()).collect();
         // Fast path for the common commit shape: a transactional batch
         // usually edits one container, so every record lands on the
         // same shard and the slice forwards without cloning.
-        let first_shard = self.shard_of_key(&records[0].loc.key());
-        if records[1..].iter().all(|r| self.shard_of_key(&r.loc.key()) == first_shard) {
+        let first_shard = r.shard_of_key(&keys[0]);
+        if keys[1..].iter().all(|k| r.shard_of_key(k) == first_shard) {
+            for k in &keys {
+                r.keys[first_shard].observe(k, 1);
+            }
             self.charge(&self.writes, 1);
             let per_row = self.batch_row_ns.load(Ordering::Relaxed);
             cpdb_storage::spin(Duration::from_nanos(
                 per_row.saturating_mul(records.len() as u64 - 1),
             ));
             let t0 = std::time::Instant::now();
-            let r = self.shards[first_shard].store.insert_batch(records);
-            self.heat[first_shard].record(records.len() as u64, t0.elapsed());
-            return r;
+            let res = r.shards[first_shard].store.insert_batch(records);
+            r.heat[first_shard].record(records.len() as u64, t0.elapsed());
+            return res;
         }
         let mut groups: BTreeMap<usize, Vec<ProvRecord>> = BTreeMap::new();
-        for r in records {
-            groups.entry(self.shard_of_key(&r.loc.key())).or_default().push(r.clone());
+        for (rec, k) in records.iter().zip(&keys) {
+            let shard = r.shard_of_key(k);
+            r.keys[shard].observe(k, 1);
+            groups.entry(shard).or_default().push(rec.clone());
         }
-        if let Some(exec) = &self.executor {
+        if let Some(exec) = &r.executor {
             // Per-shard batches in flight together: each worker waits
             // for its own statement plus its own per-row cost, so the
             // measured wall clock is the slowest shard's batch.
@@ -734,49 +1357,55 @@ impl ProvStore for ShardedStore {
         cpdb_storage::spin(Duration::from_nanos(per_row.saturating_mul(extra_rows)));
         for (i, group) in &groups {
             let t0 = std::time::Instant::now();
-            let r = self.shards[*i].store.insert_batch(group);
-            self.heat[*i].record(group.len() as u64, t0.elapsed());
-            r?;
+            let res = r.shards[*i].store.insert_batch(group);
+            r.heat[*i].record(group.len() as u64, t0.elapsed());
+            res?;
         }
         Ok(())
     }
 
     fn all(&self) -> Result<Vec<ProvRecord>> {
-        self.fan_out(ShardJob::All)
+        let r = self.router.read();
+        self.fan_out(&r, ShardJob::All)
     }
 
     fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        let r = self.router.read();
         self.reads.round_trip();
-        let shard = self.shard_of_key(&loc.key());
+        let key = loc.key();
+        let shard = r.shard_of_key(&key);
+        r.keys[shard].observe(&key, 1);
         let t0 = std::time::Instant::now();
-        let r = self.shards[shard].store.at(tid, loc);
-        self.heat[shard].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
-        r
+        let res = r.shards[shard].store.at(tid, loc);
+        r.heat[shard].record(res.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+        res
     }
 
     fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        let r = self.router.read();
         self.reads.round_trip();
-        let shard = self.shard_of_key(&loc.key());
+        let key = loc.key();
+        let shard = r.shard_of_key(&key);
+        r.keys[shard].observe(&key, 1);
         let t0 = std::time::Instant::now();
-        let r = self.shards[shard].store.by_loc(loc);
-        self.heat[shard].record(r.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
-        r
+        let res = r.shards[shard].store.by_loc(loc);
+        r.heat[shard].record(res.as_ref().map_or(0, |v| v.len() as u64), t0.elapsed());
+        res
     }
 
     fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
-        self.fan_out(ShardJob::ByTid(tid))
+        let r = self.router.read();
+        self.fan_out(&r, ShardJob::ByTid(tid))
     }
 
     fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        // Thin wrapper over the cursor: with an unbounded batch the
-        // prefetch is exactly the old per-shard statement fan-out (one
-        // statement per overlapping shard, one wave, merged in key
-        // order) and nothing is left to continue.
-        self.scan_loc_prefix(prefix, usize::MAX)?.drain()
+        let r = self.router.read();
+        self.prefix_probe(&r, ScanKind::Loc(prefix.clone()), prefix)
     }
 
     fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
-        self.scan_tid_loc_prefix(tid, prefix, usize::MAX)?.drain()
+        let r = self.router.read();
+        self.prefix_probe(&r, ScanKind::TidLoc(tid, prefix.clone()), prefix)
     }
 
     fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
@@ -793,12 +1422,13 @@ impl ProvStore for ShardedStore {
     }
 
     fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        let r = self.router.read();
         let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
         for key in chain_keys(loc, min_depth) {
-            groups.entry(self.shard_of_key(&key)).or_default().push(key);
+            groups.entry(r.shard_of_key(&key)).or_default().push(key);
         }
         let jobs = groups.into_iter().map(|(i, keys)| (i, ShardJob::LocKeys(keys)));
-        self.run_on_shards(jobs, &self.reads)
+        self.run_on_shards(&r, jobs.collect::<Vec<_>>(), &self.reads)
     }
 
     fn checkpoint(&self) -> Result<()> {
@@ -808,32 +1438,34 @@ impl ProvStore for ShardedStore {
         // its **committer**: the checkpoints are scattered and run
         // concurrently, so the wall clock is the slowest shard's sync
         // rather than the sum over shards.
-        if self.shards.len() > 1 {
-            if let Some(exec) = &self.executor {
-                let jobs = (0..self.shards.len()).map(|i| (i, ShardJob::Checkpoint));
-                for reply in exec.scatter(jobs) {
+        let r = self.router.read();
+        if r.shards.len() > 1 {
+            if let Some(exec) = &r.executor {
+                let jobs = (0..r.shards.len()).map(|i| (i, ShardJob::Checkpoint));
+                for reply in exec.scatter(jobs.collect::<Vec<_>>()) {
                     reply?;
                 }
                 return Ok(());
             }
         }
-        for s in &self.shards {
+        for s in &r.shards {
             s.store.checkpoint()?;
         }
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        self.shards.iter().map(|s| s.store.len()).sum()
+        self.router.read().shards.iter().map(|s| s.store.len()).sum()
     }
 
     fn physical_bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.store.physical_bytes()).sum()
+        self.router.read().shards.iter().map(|s| s.store.physical_bytes()).sum()
     }
 
     fn live_bytes(&self) -> Result<u64> {
+        let r = self.router.read();
         let mut total = 0;
-        for s in &self.shards {
+        for s in &r.shards {
             total += s.store.live_bytes()?;
         }
         Ok(total)
@@ -850,7 +1482,7 @@ impl ProvStore for ShardedStore {
     fn reset_trips(&self) {
         self.reads.reset();
         self.writes.reset();
-        for s in &self.shards {
+        for s in &self.router.read().shards {
             s.store.reset_trips();
         }
     }
@@ -864,6 +1496,14 @@ impl ProvStore for ShardedStore {
 
     fn set_batch_row_latency(&self, per_row: Duration) {
         self.batch_row_ns.store(per_row.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn commit_lanes(&self) -> usize {
+        self.router.read().shards.len()
+    }
+
+    fn commit_lane(&self, record: &ProvRecord) -> usize {
+        self.router.read().shard_of_key(&record.loc.key())
     }
 }
 
@@ -1276,5 +1916,207 @@ mod tests {
         let pages: u64 =
             (0..4).map(|i| store.shard_engine(i).table("Prov").unwrap().physical_bytes()).sum();
         assert_eq!(pages, store.physical_bytes());
+    }
+
+    /// Property test over synthetic key histograms: derived boundaries
+    /// are sorted, unique, strictly within the observed key range, and
+    /// every sampled key routes to exactly one shard whose range
+    /// contains it (the measured-histogram counterpart of
+    /// `split_points_are_sorted_unique_and_bounded`).
+    #[test]
+    fn histogram_boundaries_are_sorted_unique_bounded_and_route_uniquely() {
+        for seed in [3u64, 17, 2026] {
+            let mut state = seed | 1;
+            let mut rng = move || {
+                // xorshift64: deterministic, no external dependency.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let hist = KeyHistogram::new();
+            let mut sampled: Vec<String> = Vec::new();
+            for _ in 0..400 {
+                let c = rng() % 7;
+                let e = rng() % 50;
+                let w = 1 + rng() % 100;
+                let key = p(&format!("T/c{c}/n{e:02}")).key();
+                hist.observe(&key, w);
+                sampled.push(key);
+            }
+            sampled.sort();
+            sampled.dedup();
+            let (min, max) = (&sampled[0], &sampled[sampled.len() - 1]);
+            for n in [2usize, 4, 8, 16] {
+                let cuts = hist.split_keys(n);
+                assert!(cuts.len() < n, "seed {seed}, n {n}: at most n-1 boundaries");
+                assert!(cuts.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+                for c in &cuts {
+                    assert!(
+                        c.as_str() > min.as_str() && c.as_str() <= max.as_str(),
+                        "seed {seed}, n {n}: boundary within the observed key range"
+                    );
+                }
+                let store = ShardedStore::in_memory(cuts.clone(), true).unwrap();
+                for k in &sampled {
+                    let owner = store.shard_of_key(k);
+                    let above_lo = owner == 0 || cuts[owner - 1].as_str() <= k.as_str();
+                    let below_hi = owner == cuts.len() || k.as_str() < cuts[owner].as_str();
+                    assert!(
+                        above_lo && below_hi,
+                        "seed {seed}, n {n}: key routes into its owner's range"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The latent `split_points` limitation, now fixed by the measured
+    /// path: a workload concentrated in ONE container derives no
+    /// static boundary, but the key histogram resolves the skew and
+    /// `rebalance` cuts at a sub-container key.
+    #[test]
+    fn single_container_workload_splits_at_a_sub_container_boundary() {
+        let hot = p("T/hot");
+        // Container-grained derivation: blind to within-container skew.
+        assert!(ShardedStore::split_points(std::slice::from_ref(&hot), 4).is_empty());
+        let store = ShardedStore::in_memory(vec![], true).unwrap();
+        for i in 0..240u64 {
+            store.insert(&ProvRecord::insert(Tid(i), hot.child(format!("e{i:03}")))).unwrap();
+        }
+        assert_eq!(store.shard_count(), 1);
+        let splits = store.rebalance(4).unwrap();
+        assert!(splits >= 1, "skew inside one container must trigger a split");
+        assert!(store.shard_count() >= 2);
+        assert_eq!(store.generation(), splits as u64);
+        // Every new boundary lies strictly inside the hot container's
+        // key range: a genuine sub-container cut.
+        let (range_lo, range_hi) = hot.prefix_range_bounds();
+        let lo = match range_lo {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => unreachable!("non-empty path has a bounded range start"),
+        };
+        for b in store.boundaries() {
+            assert!(b.as_str() > lo.as_str(), "boundary above the container range start");
+            if let Bound::Included(h) | Bound::Excluded(h) = &range_hi {
+                assert!(b.as_str() < h.as_str(), "boundary below the container range end");
+            }
+        }
+        assert_eq!(store.len(), 240, "no loss, no duplication");
+        // Routed probes are still exactly one statement.
+        store.reset_trips();
+        assert_eq!(store.by_loc(&hot.child("e007")).unwrap().len(), 1);
+        assert_eq!(store.read_trips(), 1);
+    }
+
+    /// A split and the merge undoing it each bump the generation and
+    /// change no probe result — the in-memory equivalence core of the
+    /// `rebalance_equiv` integration suite.
+    #[test]
+    fn split_and_merge_preserve_every_probe_and_bump_generation() {
+        let (store, mut records) = seeded(2, true);
+        records.sort();
+        assert_eq!(store.generation(), 0);
+        let probe = |s: &ShardedStore| -> Vec<Vec<ProvRecord>> {
+            let mut out = Vec::new();
+            let mut all = s.all().unwrap();
+            all.sort();
+            out.push(all);
+            for r in &records {
+                out.push(s.by_loc(&r.loc).unwrap());
+                out.push(s.at(r.tid, &r.loc).unwrap());
+            }
+            out.push(s.by_loc_prefix(&p("T")).unwrap());
+            out.push(s.by_loc_prefix(&p("T/c3")).unwrap());
+            let mut tid = s.by_tid(Tid(5)).unwrap();
+            tid.sort();
+            out.push(tid);
+            out.push(s.by_loc_chain(&p("T/c3/x"), 1).unwrap());
+            out.push(s.scan_loc_prefix(&p("T"), 3).unwrap().drain().unwrap());
+            out
+        };
+        let before = probe(&store);
+        // Split shard 0 at the median key it holds — strictly inside
+        // its range by construction.
+        let mut keys: Vec<String> =
+            store.shard(0).all().unwrap().iter().map(|r| r.loc.key()).collect();
+        keys.sort();
+        let cut = keys[keys.len() / 2].clone();
+        store.split_shard(0, cut.clone()).unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.shard_count(), 3);
+        assert_eq!(store.boundaries()[0], cut);
+        assert_eq!(probe(&store), before, "split must not change any probe");
+        // Routed container probes are still one statement at 3 shards.
+        store.reset_trips();
+        store.by_loc_prefix(&p("T/c1")).unwrap();
+        assert_eq!(store.read_trips(), 1);
+        // Merge the pair back together.
+        store.merge_shards(0).unwrap();
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(probe(&store), before, "merge must not change any probe");
+        // Degenerate requests are rejected, not absorbed.
+        assert!(store.split_shard(7, "z".into()).is_err(), "no such shard");
+        assert!(store.split_shard(0, String::new()).is_err(), "empty boundary");
+        assert!(store.merge_shards(1).is_err(), "no boundary after the last shard");
+    }
+
+    /// A split on a parallel store rebuilds the worker pool at the new
+    /// width: fan-outs scatter to every post-split shard and the
+    /// statement/wave accounting is unchanged.
+    #[test]
+    fn split_on_a_parallel_store_rebuilds_the_worker_pool() {
+        let (store, _) = seeded(2, true);
+        let store = store.with_parallel_executor();
+        let mut keys: Vec<String> =
+            store.shard(0).all().unwrap().iter().map(|r| r.loc.key()).collect();
+        keys.sort();
+        store.split_shard(0, keys[keys.len() / 2].clone()).unwrap();
+        assert!(store.is_parallel());
+        assert_eq!(store.shard_count(), 3);
+        store.reset_trips();
+        assert_eq!(store.by_tid(Tid(5)).unwrap().len(), 2);
+        assert_eq!(store.read_trips(), 3, "fan-out scatters to all three workers");
+        assert_eq!(store.read_waves(), 1);
+        let all = store.scan_loc_prefix(&Path::epsilon(), 4).unwrap().drain().unwrap();
+        assert_eq!(all.len() as u64, store.len());
+    }
+
+    /// A disk-backed split persists: the new-generation manifest wins
+    /// the ping-pong read and the reopened store carries the new
+    /// boundary, shard directory, and every record.
+    #[test]
+    fn disk_split_persists_and_reopens_at_the_new_generation() {
+        let dir =
+            std::env::temp_dir().join(format!("cpdb-shard-split-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let containers: Vec<Path> = (1..=12).map(|i| p(&format!("T/c{i}"))).collect();
+        let cut;
+        {
+            let store =
+                ShardedStore::on_disk(&dir, ShardedStore::split_points(&containers, 2), true)
+                    .unwrap();
+            for (i, c) in containers.iter().enumerate() {
+                store.insert(&ProvRecord::insert(Tid(i as u64), c.clone())).unwrap();
+            }
+            let mut keys: Vec<String> =
+                store.shard(0).all().unwrap().iter().map(|r| r.loc.key()).collect();
+            keys.sort();
+            cut = keys[keys.len() / 2].clone();
+            store.split_shard(0, cut.clone()).unwrap();
+            assert_eq!(store.generation(), 1);
+            assert_eq!(store.shard_count(), 3);
+            store.checkpoint().unwrap();
+        }
+        let store = ShardedStore::open_disk(&dir).unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.shard_count(), 3);
+        assert_eq!(store.boundaries()[0], cut);
+        assert_eq!(store.len(), 12);
+        for c in &containers {
+            assert_eq!(store.by_loc(c).unwrap().len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -196,6 +196,27 @@ pub trait ProvStore: Send + Sync {
     /// write. Commits of long transactions grow linearly with this
     /// (Figure 12's observation).
     fn set_batch_row_latency(&self, per_row: Duration);
+
+    /// Number of independent commit lanes a group-commit front may
+    /// drain concurrently. Records in different lanes commit through
+    /// [`ProvStore::insert_batch`] with no ordering between them;
+    /// records in one lane commit in enqueue order. A store whose
+    /// writes all contend on one resource reports `1` (the default);
+    /// `ShardedStore` reports its shard count so each shard gets its
+    /// own committer.
+    fn commit_lanes(&self) -> usize {
+        1
+    }
+
+    /// The commit lane `record` belongs to, in
+    /// `0..`[`ProvStore::commit_lanes`]. Two records in the same lane
+    /// must map to the same value for as long as a pipeline holds the
+    /// store; fronts clamp out-of-range values (a concurrent shard
+    /// split may grow the lane count after a pipeline captured it).
+    fn commit_lane(&self, record: &ProvRecord) -> usize {
+        let _ = record;
+        0
+    }
 }
 
 /// The keys probed by [`ProvStore::by_loc_chain`]: `loc` itself plus
@@ -598,6 +619,29 @@ impl SqlStore {
 
     fn rows_to_records(rows: Vec<(cpdb_storage::RowId, Vec<Datum>)>) -> Result<Vec<ProvRecord>> {
         rows.iter().map(|(_, row)| row_to_record(row)).collect()
+    }
+
+    /// Deletes every record whose **encoded** `loc` key lies in
+    /// `[lo, hi)` (`hi = None` = unbounded above), returning the count
+    /// removed. Secondary indexes are maintained row by row.
+    ///
+    /// This is migration maintenance for `ShardedStore`'s shard
+    /// split/merge — the source shard sheds the subrange the
+    /// destination now owns — not a client statement: no store
+    /// round trips are charged (the engine's own meter ticks, as it
+    /// does for checkpoints).
+    pub(crate) fn purge_key_range(&self, lo: &str, hi: Option<&str>) -> Result<u64> {
+        let doomed: Vec<cpdb_storage::RowId> = self
+            .table
+            .select(|row| row[2].as_str().is_some_and(|k| k >= lo && hi.is_none_or(|h| k < h)))?
+            .into_iter()
+            .map(|(rid, _)| rid)
+            .collect();
+        let n = doomed.len() as u64;
+        for rid in doomed {
+            self.table.delete(rid)?;
+        }
+        Ok(n)
     }
 
     /// Fetches one page of a subtree scan: up to `batch` records in

@@ -10,10 +10,13 @@
 //! from the acknowledged stream.
 
 use cpdb_core::{
-    DurabilityMode, MemStore, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore,
-    SqlStore, Tid,
+    DurabilityMode, MemStore, MigrationFailpoint, PipelineConfig, PipelinedStore, ProvRecord,
+    ProvStore, ShardedStore, SqlStore, Tid,
 };
-use cpdb_storage::{Backend, DiskBackend, Engine, FaultyBackend, Wal};
+use cpdb_storage::{
+    read_manifest, read_migration_marker, write_migration_marker, Backend, DiskBackend, Engine,
+    FaultyBackend, MigrationKind, MigrationMarker, Wal,
+};
 use cpdb_tree::Path;
 use std::path::{Path as FsPath, PathBuf};
 use std::sync::Arc;
@@ -291,7 +294,7 @@ fn sharded_pipelined_parallel_store_survives_restart_whole() {
     let sharded = ShardedStore::open_disk(dir.join("store")).unwrap();
     assert_eq!(sharded.shard_count(), boundaries.len() + 1);
     for i in 0..sharded.shard_count() {
-        let meter = sharded.shard_engine(i).meter();
+        let meter = sharded.shard_engine(i).meter().clone();
         assert!(
             meter.page_reads() > 0,
             "shard {i} must load its indexes from the sidecar, not rebuild"
@@ -606,5 +609,218 @@ fn wal_covers_records_the_committer_never_saw() {
     .unwrap();
     assert_eq!(pipe.replayed(), records.len() as u64);
     assert_eq!(sorted(pipe.all().unwrap()), sorted(records));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// --- Migration crash suite: shard splits and merges killed at every
+// --- protocol stage must reopen on exactly the old or the new
+// --- generation — never a torn hybrid, never a lost or doubled row.
+
+/// Median encoded key of the records shard `i` currently owns — a
+/// split boundary strictly inside its range whenever the shard holds
+/// at least two distinct keys.
+fn median_key(store: &ShardedStore, shard: usize) -> Option<String> {
+    let mut keys: Vec<String> =
+        store.shard(shard).all().unwrap().iter().map(|r| r.loc.key()).collect();
+    keys.sort();
+    keys.dedup();
+    if keys.len() < 2 {
+        return None;
+    }
+    Some(keys[keys.len() / 2].clone())
+}
+
+/// A checkpointed 4-shard on-disk deployment loaded with `stream(240)`,
+/// plus the oracle of its contents.
+fn seeded_sharded(root: &FsPath) -> (ShardedStore, MemStore) {
+    let containers: Vec<Path> = (1..=8).map(|i| p(&format!("T/c{i}"))).collect();
+    let boundaries = ShardedStore::split_points(&containers, 4);
+    let store = ShardedStore::on_disk(root, boundaries, true).unwrap();
+    let records = stream(240);
+    store.insert_batch(&records).unwrap();
+    store.checkpoint().unwrap();
+    let oracle = MemStore::new();
+    for r in &records {
+        oracle.insert(r).unwrap();
+    }
+    (store, oracle)
+}
+
+/// Directories named `shard-*` under `root` — after recovery this must
+/// equal the manifest's shard list exactly (no half-built leftovers).
+fn shard_dirs_on_disk(root: &FsPath) -> usize {
+    std::fs::read_dir(root)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name().to_string_lossy().starts_with("shard-")
+                && e.file_type().map(|t| t.is_dir()).unwrap_or(false)
+        })
+        .count()
+}
+
+/// A split killed (a) mid-subrange-copy, (b) after the copy but before
+/// the manifest flip, (c) mid-write of the new manifest slot: none of
+/// the three landed the flip durably, so reopen must come back on the
+/// **old** generation with the old layout and every record intact —
+/// the half-copied destination is swept, the torn slot ignored.
+#[test]
+fn split_killed_at_each_stage_reopens_on_the_old_generation() {
+    for (tag, fp) in [
+        ("mid-copy", MigrationFailpoint::MidCopy),
+        ("before-flip", MigrationFailpoint::BeforeFlip),
+        ("mid-manifest", MigrationFailpoint::MidManifestWrite),
+    ] {
+        let dir = tempdir(&format!("split-{tag}"));
+        let root = dir.join("store");
+        {
+            let (store, _) = seeded_sharded(&root);
+            let boundary = median_key(&store, 0).expect("shard 0 holds many keys");
+            let err = store.split_shard_with_failpoint(0, boundary, fp);
+            assert!(err.is_err(), "{tag}: the injected kill must surface");
+            assert!(
+                read_migration_marker(&root).unwrap().is_some(),
+                "{tag}: the crash leaves the migration marker behind"
+            );
+            // `drop(store)` = the kill: no purge, no marker cleanup.
+        }
+        let store = ShardedStore::open_disk(&root).unwrap();
+        assert_eq!(store.generation(), 0, "{tag}: reopen lands on the old generation");
+        assert_eq!(store.shard_count(), 4, "{tag}: old layout");
+        assert!(
+            read_migration_marker(&root).unwrap().is_none(),
+            "{tag}: recovery clears the marker"
+        );
+        assert_eq!(
+            shard_dirs_on_disk(&root),
+            4,
+            "{tag}: the aborted destination directory is swept"
+        );
+        let oracle = MemStore::new();
+        for r in &stream(240) {
+            oracle.insert(r).unwrap();
+        }
+        assert_matches_oracle(&store, &oracle);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The same three kills during a merge. Mid-copy is the sharp case:
+/// the destination is a **live** shard already in the routing table,
+/// holding a partial copy of its neighbour's subrange at crash time —
+/// recovery must scrub exactly that subrange (the shard owns no keys
+/// of its own there) so no row comes back doubled.
+#[test]
+fn merge_killed_at_each_stage_reopens_on_the_old_generation() {
+    for (tag, fp) in [
+        ("mid-copy", MigrationFailpoint::MidCopy),
+        ("before-flip", MigrationFailpoint::BeforeFlip),
+        ("mid-manifest", MigrationFailpoint::MidManifestWrite),
+    ] {
+        let dir = tempdir(&format!("merge-{tag}"));
+        let root = dir.join("store");
+        {
+            let (store, _) = seeded_sharded(&root);
+            let err = store.merge_shards_with_failpoint(1, fp);
+            assert!(err.is_err(), "{tag}: the injected kill must surface");
+            assert!(read_migration_marker(&root).unwrap().is_some(), "{tag}: marker left");
+        }
+        let store = ShardedStore::open_disk(&root).unwrap();
+        assert_eq!(store.generation(), 0, "{tag}: reopen lands on the old generation");
+        assert_eq!(store.shard_count(), 4, "{tag}: both shards of the pair survive");
+        assert!(read_migration_marker(&root).unwrap().is_none(), "{tag}: marker cleared");
+        assert_eq!(shard_dirs_on_disk(&root), 4, "{tag}");
+        let oracle = MemStore::new();
+        for r in &stream(240) {
+            oracle.insert(r).unwrap();
+        }
+        assert_matches_oracle(&store, &oracle);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The committed side of recovery: the manifest flip landed, but the
+/// process died **before the source purge and marker cleanup** — the
+/// widest window in which the moved subrange exists on both sides.
+/// Reopen must keep the new generation and finish the purge, so every
+/// routed and fan-out probe sees each record exactly once.
+#[test]
+fn split_killed_after_flip_before_purge_finishes_on_the_new_generation() {
+    let dir = tempdir("split-post-flip");
+    let root = dir.join("store");
+    {
+        let (store, _) = seeded_sharded(&root);
+        let boundary = median_key(&store, 0).unwrap();
+        store.split_shard(0, boundary).unwrap();
+        assert_eq!(store.generation(), 1);
+    }
+    // Reconstruct the crash window on disk: re-insert the moved
+    // subrange into the source (its purge "never ran") and put the
+    // marker back with the generation the flip reached.
+    let m = read_manifest(&root).unwrap().unwrap();
+    assert_eq!(m.generation, 1);
+    let (src_dir, dst_dir) = (m.shard_dirs[0].clone(), m.shard_dirs[1].clone());
+    let (lo, hi) = (m.boundaries[0].clone(), m.boundaries.get(1).cloned());
+    {
+        let dst_engine = Engine::on_disk(root.join(&dst_dir)).unwrap();
+        let moved = SqlStore::open(&dst_engine, m.indexed).unwrap().all().unwrap();
+        assert!(!moved.is_empty(), "the split must actually have moved rows");
+        let src_engine = Engine::on_disk(root.join(&src_dir)).unwrap();
+        let src = SqlStore::open(&src_engine, m.indexed).unwrap();
+        src.insert_batch(&moved).unwrap();
+        src.checkpoint().unwrap();
+    }
+    write_migration_marker(
+        &root,
+        &MigrationMarker {
+            target_generation: 1,
+            kind: MigrationKind::Split,
+            src_dir,
+            dst_dir,
+            lo,
+            hi,
+        },
+    )
+    .unwrap();
+
+    let store = ShardedStore::open_disk(&root).unwrap();
+    assert_eq!(store.generation(), 1, "the landed flip is kept, not rolled back");
+    assert_eq!(store.shard_count(), 5);
+    assert!(read_migration_marker(&root).unwrap().is_none());
+    let oracle = MemStore::new();
+    for r in &stream(240) {
+        oracle.insert(r).unwrap();
+    }
+    // Doubled rows would fail the multiset comparison inside.
+    assert_matches_oracle(&store, &oracle);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Clean splits and merges survive a restart whole: the manifest
+/// carries the new routing table across the reopen, and the migrated
+/// shards come back from their own directories with indexes intact.
+#[test]
+fn completed_split_and_merge_persist_across_reopen() {
+    let dir = tempdir("migrate-clean");
+    let root = dir.join("store");
+    {
+        let (store, _) = seeded_sharded(&root);
+        let boundary = median_key(&store, 0).unwrap();
+        store.split_shard(0, boundary).unwrap();
+        assert!(read_migration_marker(&root).unwrap().is_none(), "success clears the marker");
+    }
+    let oracle = MemStore::new();
+    for r in &stream(240) {
+        oracle.insert(r).unwrap();
+    }
+    let store = ShardedStore::open_disk(&root).unwrap();
+    assert_eq!((store.generation(), store.shard_count()), (1, 5), "split persisted");
+    assert_matches_oracle(&store, &oracle);
+    store.merge_shards(0).unwrap();
+    drop(store);
+    let store = ShardedStore::open_disk(&root).unwrap();
+    assert_eq!((store.generation(), store.shard_count()), (2, 4), "merge persisted");
+    assert_eq!(shard_dirs_on_disk(&root), 4, "the absorbed shard's directory is gone");
+    assert_matches_oracle(&store, &oracle);
     std::fs::remove_dir_all(&dir).unwrap();
 }

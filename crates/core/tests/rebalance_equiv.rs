@@ -1,0 +1,258 @@
+//! Rebalancing equivalence suite: online shard splits and merges must
+//! be invisible to every [`ProvStore`] probe. The full probe/cursor
+//! matrix — `all`, `by_tid`, `by_loc`, `at`, prefix probes, chain
+//! probes, and streaming cursors at several batch sizes — is captured
+//! against a synchronous [`SqlStore`] oracle before any migration,
+//! re-checked bit for bit after a split and again after the reverse
+//! merge, at 1→2 and 4→8 shards, on the seeded 600-step workload.
+//! Concurrent producers run *through* a split (oracle-checked: no
+//! record lost, none duplicated), on both the serial and the
+//! parallel-executor fronts.
+
+use cpdb_core::{ProvRecord, ProvStore, ShardedStore, SqlStore, Tid};
+use cpdb_storage::Engine;
+use cpdb_tree::Path;
+use cpdb_update::AtomicUpdate;
+use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
+use std::collections::BTreeSet;
+
+/// Provenance records of the seeded workload's script (tids grouped in
+/// commit-sized runs, a child-level record per copy — the same stream
+/// as `store_equiv.rs`).
+fn records_from(wl: &Workload) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    for (i, u) in wl.script.iter().enumerate() {
+        let tid = Tid(1 + (i / 5) as u64);
+        match u {
+            AtomicUpdate::Insert { target, label, .. } => {
+                out.push(ProvRecord::insert(tid, target.child(*label)));
+            }
+            AtomicUpdate::Delete { target, label } => {
+                out.push(ProvRecord::delete(tid, target.child(*label)));
+            }
+            AtomicUpdate::Copy { src, target } => {
+                out.push(ProvRecord::copy(tid, target.clone(), src.clone()));
+                out.push(ProvRecord::copy(tid, target.child("x"), src.child("x")));
+            }
+        }
+    }
+    out
+}
+
+/// The top-level containers (`T/<label>`) appearing in the records.
+fn containers_of(records: &[ProvRecord]) -> Vec<Path> {
+    let set: BTreeSet<Path> = records
+        .iter()
+        .filter(|r| r.loc.len() >= 2)
+        .map(|r| Path::from(&r.loc.segments()[..2]))
+        .collect();
+    set.into_iter().collect()
+}
+
+fn sorted(mut v: Vec<ProvRecord>) -> Vec<ProvRecord> {
+    v.sort();
+    v
+}
+
+/// The whole probe/cursor matrix of a store, as one comparable value.
+/// Every sub-result is sorted so the comparison is order-insensitive
+/// (shard layout changes the concatenation order of fan-outs) but
+/// content-exact.
+fn probe_matrix(
+    store: &dyn ProvStore,
+    records: &[ProvRecord],
+    containers: &[Path],
+    root: &Path,
+) -> Vec<Vec<ProvRecord>> {
+    let mut out = Vec::new();
+    out.push(sorted(store.all().unwrap()));
+    let max_tid = 1 + (records.len() / 5) as u64;
+    for tid in (0..=max_tid + 1).map(Tid) {
+        out.push(sorted(store.by_tid(tid).unwrap()));
+    }
+    let mut prefixes: Vec<Path> = containers.to_vec();
+    prefixes.push(root.clone());
+    prefixes.push(Path::epsilon());
+    prefixes.push("T/zzz/nope".parse().unwrap());
+    for prefix in &prefixes {
+        out.push(sorted(store.by_loc_prefix(prefix).unwrap()));
+        for tid in [Tid(1), Tid(17), Tid(9999)] {
+            out.push(sorted(store.by_tid_loc_prefix(tid, prefix).unwrap()));
+        }
+        for batch in [1usize, 7, usize::MAX] {
+            let cur = store.scan_loc_prefix(prefix, batch).unwrap();
+            out.push(sorted(cur.drain().unwrap()));
+            let cur = store.scan_tid_loc_prefix(Tid(1), prefix, batch).unwrap();
+            out.push(sorted(cur.drain().unwrap()));
+        }
+    }
+    for r in records.iter().step_by(13) {
+        out.push(sorted(store.at(r.tid, &r.loc).unwrap()));
+        out.push(sorted(store.by_loc(&r.loc).unwrap()));
+        out.push(sorted(store.by_loc_chain(&r.loc, 1).unwrap()));
+    }
+    out
+}
+
+/// Median encoded key of the records a shard currently owns, to use as
+/// a split boundary (strictly inside the shard's range as long as the
+/// shard holds two distinct keys).
+fn median_key(store: &ShardedStore, shard: usize) -> Option<String> {
+    let mut keys: Vec<String> =
+        store.shard(shard).all().unwrap().iter().map(|r| r.loc.key()).collect();
+    keys.sort();
+    keys.dedup();
+    if keys.len() < 2 {
+        return None;
+    }
+    Some(keys[keys.len() / 2].clone())
+}
+
+/// Splits every shard of `store` at its own median key (descending
+/// index order, so earlier indexes stay valid), doubling the shard
+/// count; returns how many splits happened.
+fn split_all(store: &ShardedStore) -> usize {
+    let n = store.shard_count();
+    let mut splits = 0;
+    for shard in (0..n).rev() {
+        if let Some(boundary) = median_key(store, shard) {
+            store.split_shard(shard, boundary).unwrap();
+            splits += 1;
+        }
+    }
+    splits
+}
+
+/// Merges shard pairs back (descending left index), halving the count.
+fn merge_all(store: &ShardedStore, splits: usize) {
+    let mut left = store.shard_count() - 2;
+    for _ in 0..splits {
+        store.merge_shards(left).unwrap();
+        left = left.saturating_sub(2);
+    }
+}
+
+#[test]
+fn probe_matrix_survives_split_and_merge_at_one_and_four_shards() {
+    let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 600, 2006), 600);
+    let records = records_from(&wl);
+    assert!(records.len() >= 600);
+    let containers = containers_of(&records);
+
+    let engine = Engine::in_memory();
+    let oracle = SqlStore::create(&engine, true).unwrap();
+    oracle.insert_batch(&records).unwrap();
+    let root = Path::single(wl.target_name);
+    let want = probe_matrix(&oracle, &records, &containers, &root);
+
+    // 1 → 2 and 4 → 8, serial and parallel-executor fronts.
+    for (shards, parallel) in [(1usize, false), (4, false), (4, true)] {
+        let boundaries =
+            if shards == 1 { Vec::new() } else { ShardedStore::split_points(&containers, shards) };
+        let store = ShardedStore::in_memory(boundaries, true).unwrap();
+        let store = if parallel { store.with_parallel_executor() } else { store };
+        let name = format!("{shards}-shard{}", if parallel { "-parallel" } else { "" });
+        store.insert_batch(&records).unwrap();
+        assert_eq!(
+            probe_matrix(&store, &records, &containers, &root),
+            want,
+            "{name}: matrix before any migration"
+        );
+
+        let before = store.shard_count();
+        let splits = split_all(&store);
+        assert!(splits >= 1, "{name}: at least one shard must be splittable");
+        assert_eq!(store.shard_count(), before + splits, "{name}: split grew the layout");
+        assert_eq!(store.generation(), splits as u64, "{name}: each split bumps the generation");
+        assert_eq!(
+            probe_matrix(&store, &records, &containers, &root),
+            want,
+            "{name}: matrix after splitting every shard"
+        );
+
+        merge_all(&store, splits);
+        assert_eq!(store.shard_count(), before, "{name}: merges restored the layout");
+        assert_eq!(store.generation(), 2 * splits as u64, "{name}: each merge bumps too");
+        assert_eq!(
+            probe_matrix(&store, &records, &containers, &root),
+            want,
+            "{name}: matrix after merging back"
+        );
+    }
+}
+
+/// Concurrent producers keep inserting while the main thread splits
+/// (and then merges) shards under them. Every accepted record must be
+/// present exactly once afterwards — the cut-over window blocks
+/// writers briefly but must never drop or double-apply one.
+#[test]
+fn concurrent_producers_survive_splits_and_merges() {
+    let containers: Vec<Path> = (1..=8).map(|i| format!("T/c{i}").parse().unwrap()).collect();
+    for parallel in [false, true] {
+        let store =
+            ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true).unwrap();
+        let store = if parallel { store.with_parallel_executor() } else { store };
+        let writers = 4usize;
+        let per_writer = 250usize;
+        let make = |w: usize, i: usize| {
+            let loc = containers[(w + i) % containers.len()]
+                .child(format!("w{w}"))
+                .child(format!("r{i:04}"));
+            ProvRecord::insert(Tid(w as u64), loc)
+        };
+
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        store.insert(&make(w, i)).unwrap();
+                    }
+                });
+            }
+            // A reader racing the migrations: routed and fan-out
+            // probes must always see well-formed subtrees.
+            {
+                let store = &store;
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        let sub = store.by_loc_prefix(&"T/c3".parse().unwrap()).unwrap();
+                        assert!(sub.iter().all(|r| r.loc.starts_with(&"T/c3".parse().unwrap())));
+                    }
+                });
+            }
+            // The maintenance job: split shards while producers run,
+            // then merge a pair back. Indexes move under us, so take
+            // fresh medians each time and tolerate shards that happen
+            // to hold fewer than two keys at that instant.
+            let mut splits = 0;
+            for round in 0..6 {
+                let shard = round % store.shard_count();
+                if let Some(boundary) = median_key(&store, shard) {
+                    if store.split_shard(shard, boundary).is_ok() {
+                        splits += 1;
+                    }
+                }
+                if splits >= 2 && store.shard_count() >= 3 {
+                    store.merge_shards(0).unwrap();
+                    splits -= 1;
+                }
+            }
+        });
+
+        let name = if parallel { "parallel" } else { "serial" };
+        assert_eq!(store.len(), (writers * per_writer) as u64, "{name}: no loss through splits");
+        let all = store.all().unwrap();
+        assert_eq!(all.len(), writers * per_writer, "{name}");
+        let distinct: BTreeSet<String> = all.iter().map(|r| r.loc.key()).collect();
+        assert_eq!(distinct.len(), writers * per_writer, "{name}: no record lost or duplicated");
+        // Oracle check: the exact multiset, not just counts.
+        let mut want: Vec<ProvRecord> =
+            (0..writers).flat_map(|w| (0..per_writer).map(move |i| make(w, i))).collect();
+        want.sort();
+        assert_eq!(sorted(all), want, "{name}: contents match the oracle");
+        for w in 0..writers {
+            assert_eq!(store.by_tid(Tid(w as u64)).unwrap().len(), per_writer, "{name}: w{w}");
+        }
+    }
+}

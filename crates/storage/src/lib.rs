@@ -45,6 +45,7 @@ mod buffer;
 mod engine;
 mod error;
 mod index;
+mod manifest;
 mod meter;
 mod page;
 mod row;
@@ -57,6 +58,10 @@ pub use buffer::{BufferPool, PageGuard, PoolStats};
 pub use engine::{Engine, HandleRangeCursor, TableHandle};
 pub use error::{Result, StorageError};
 pub use index::Index;
+pub use manifest::{
+    clear_migration_marker, read_manifest, read_migration_marker, slot_path, write_manifest,
+    write_migration_marker, MigrationKind, MigrationMarker, ShardManifest,
+};
 pub use meter::{spin, wait_in_flight, Meter};
 pub use page::{Page, MAX_CELL, PAGE_SIZE};
 pub use row::{decode_row, encode_row, Column, DataType, Datum, Schema};

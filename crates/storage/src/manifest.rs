@@ -1,0 +1,518 @@
+//! Versioned shard-deployment manifests and migration markers.
+//!
+//! A sharded deployment's routing table — which shard directory owns
+//! which key range — must survive crashes *during* an online shard
+//! split or merge without ever reopening into a torn hybrid of old and
+//! new boundaries. The protocol here is the classic ping-pong pair:
+//!
+//! * Each manifest carries a monotonically increasing **generation**
+//!   and a trailing **CRC** over every preceding byte. Even
+//!   generations live in `MANIFEST`, odd generations in `MANIFEST.2`,
+//!   so writing generation *g + 1* never touches the bytes of the
+//!   still-valid generation *g*.
+//! * [`read_manifest`] parses both slots, discards any whose CRC or
+//!   structure is invalid (a torn write), and returns the survivor
+//!   with the **highest generation** — exactly the old or the new
+//!   routing table, never a mixture.
+//! * A migration writes a CRC'd [`MigrationMarker`] *before* copying
+//!   any rows, so a reopen can tell a crashed migration apart from a
+//!   clean shutdown and finish (or undo) the subrange move: marker
+//!   generation ahead of the manifest means the flip never happened
+//!   (abort — scrub the destination), marker generation at or behind
+//!   the manifest means the flip landed (complete — scrub the source).
+//!
+//! The legacy single-file `cpdb-sharded-store v1` format (no
+//! generation, no CRC, implicit `shard-<i>` directory names) is read
+//! as generation 0 so pre-rebalancing deployments reopen unchanged.
+//!
+//! Everything here is maintenance-path file I/O: no interaction-meter
+//! charges, no locks. Durability comes from `File::sync_all` on every
+//! write — a manifest is tiny, and a rebalance writes one per flip,
+//! not one per statement.
+
+use crate::error::{Result, StorageError};
+use crate::wal::crc32;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Lowercase hex of `bytes`. Boundary keys contain NUL segment
+/// terminators, so manifests store them hex-encoded to stay greppable
+/// text files.
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Inverse of [`hex`]; `None` on odd length or non-hex digits.
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
+}
+
+fn corrupt(what: &str, reason: impl Into<String>) -> StorageError {
+    StorageError::Codec { reason: format!("{what}: {}", reason.into()) }
+}
+
+/// The routing table of one sharded deployment at one generation:
+/// which shard directory owns which contiguous key range.
+///
+/// `shard_dirs[i]` owns `[boundaries[i-1], boundaries[i])` (first and
+/// last ranges unbounded below/above); `boundaries` are the raw
+/// encoded keys, strictly ascending, `shard_dirs.len() - 1` of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Monotonic version of the routing table; bumped by exactly one
+    /// on every split / merge flip.
+    pub generation: u64,
+    /// Whether the inner stores carry secondary indexes.
+    pub indexed: bool,
+    /// Next unused `shard-<n>` directory suffix. Directory names are
+    /// never reused across generations, so a crashed migration's
+    /// half-built directory can always be told apart from a live one.
+    pub next_dir: u64,
+    /// Per-shard directory names (relative to the deployment root),
+    /// in key-range order.
+    pub shard_dirs: Vec<String>,
+    /// Strictly ascending split keys between consecutive shard dirs.
+    pub boundaries: Vec<String>,
+}
+
+impl ShardManifest {
+    /// The slot file this generation serializes into: even generations
+    /// alternate with odd ones so a torn write can only damage the
+    /// slot being written, never the previous generation.
+    pub fn slot(&self, dir: &Path) -> PathBuf {
+        slot_path(dir, self.generation)
+    }
+
+    fn encode(&self) -> String {
+        let mut body = String::from("cpdb-sharded-store v2\n");
+        body.push_str(&format!("generation {}\n", self.generation));
+        body.push_str(&format!("indexed {}\n", self.indexed as u8));
+        body.push_str(&format!("next-dir {}\n", self.next_dir));
+        for d in &self.shard_dirs {
+            body.push_str(&format!("shard {d}\n"));
+        }
+        for b in &self.boundaries {
+            body.push_str(&format!("boundary {}\n", hex(b.as_bytes())));
+        }
+        body.push_str(&format!("crc {:08x}\n", crc32(body.as_bytes())));
+        body
+    }
+
+    fn decode(body: &str) -> Result<ShardManifest> {
+        let bad = |r: &str| corrupt("shard manifest", r);
+        let body = check_crc(body, "shard manifest")?;
+        let mut lines = body.lines();
+        let version = lines.next();
+        if version == Some("cpdb-sharded-store v1") {
+            return Self::decode_v1(lines);
+        }
+        if version != Some("cpdb-sharded-store v2") {
+            return Err(bad("unknown format"));
+        }
+        let mut generation = None;
+        let mut indexed = None;
+        let mut next_dir = None;
+        let mut shard_dirs = Vec::new();
+        let mut boundaries = Vec::new();
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("generation", v)) => {
+                    generation = Some(v.parse::<u64>().map_err(|_| bad("bad generation"))?);
+                }
+                Some(("indexed", v)) => indexed = Some(v == "1"),
+                Some(("next-dir", v)) => {
+                    next_dir = Some(v.parse::<u64>().map_err(|_| bad("bad next-dir"))?);
+                }
+                Some(("shard", v)) => shard_dirs.push(v.to_owned()),
+                Some(("boundary", v)) => boundaries.push(decode_boundary(v, "shard manifest")?),
+                _ if line.is_empty() => {}
+                _ => return Err(bad("unknown line")),
+            }
+        }
+        let m = ShardManifest {
+            generation: generation.ok_or_else(|| bad("missing generation"))?,
+            indexed: indexed.ok_or_else(|| bad("missing indexed flag"))?,
+            next_dir: next_dir.ok_or_else(|| bad("missing next-dir"))?,
+            shard_dirs,
+            boundaries,
+        };
+        m.check()?;
+        Ok(m)
+    }
+
+    /// Legacy pre-generation manifests: `shards <n>` with implicit
+    /// `shard-<i>` directory names, read back as generation 0.
+    fn decode_v1(lines: std::str::Lines<'_>) -> Result<ShardManifest> {
+        let bad = |r: &str| corrupt("shard manifest (v1)", r);
+        let mut indexed = None;
+        let mut shard_count = None;
+        let mut boundaries = Vec::new();
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("indexed", v)) => indexed = Some(v == "1"),
+                Some(("shards", v)) => {
+                    shard_count = Some(v.parse::<usize>().map_err(|_| bad("bad shard count"))?);
+                }
+                Some(("boundary", v)) => {
+                    boundaries.push(decode_boundary(v, "shard manifest (v1)")?);
+                }
+                _ if line.is_empty() => {}
+                _ => return Err(bad("unknown line")),
+            }
+        }
+        let shard_count = shard_count.ok_or_else(|| bad("missing shard count"))?;
+        let m = ShardManifest {
+            generation: 0,
+            indexed: indexed.ok_or_else(|| bad("missing indexed flag"))?,
+            next_dir: shard_count as u64,
+            shard_dirs: (0..shard_count).map(|i| format!("shard-{i}")).collect(),
+            boundaries,
+        };
+        m.check()?;
+        Ok(m)
+    }
+
+    fn check(&self) -> Result<()> {
+        let bad = |r: &str| corrupt("shard manifest", r);
+        if self.shard_dirs.is_empty() {
+            return Err(bad("no shards"));
+        }
+        if self.shard_dirs.len() != self.boundaries.len() + 1 {
+            return Err(bad("shard count does not match boundaries"));
+        }
+        if self.boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad("boundaries not strictly ascending"));
+        }
+        Ok(())
+    }
+}
+
+/// Why a subrange of keys is moving between shard directories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// A new destination shard is being carved out of the source.
+    Split,
+    /// The source shard's whole range is folding into the destination.
+    Merge,
+}
+
+/// Durable record of an in-flight subrange migration, written (and
+/// fsynced) before the first row is copied. Present on reopen ⇒ the
+/// process died mid-migration; compare [`MigrationMarker::target_generation`]
+/// against the surviving manifest's generation to learn which side of
+/// the atomic flip the crash landed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationMarker {
+    /// The generation the migration was going to publish.
+    pub target_generation: u64,
+    /// Split or merge (recovery scrubs the same way either way; the
+    /// kind is kept for diagnostics).
+    pub kind: MigrationKind,
+    /// Directory rows are copied out of.
+    pub src_dir: String,
+    /// Directory rows are copied into.
+    pub dst_dir: String,
+    /// Inclusive low end of the migrating key subrange.
+    pub lo: String,
+    /// Exclusive high end; `None` = unbounded above.
+    pub hi: Option<String>,
+}
+
+impl MigrationMarker {
+    fn encode(&self) -> String {
+        let mut body = String::from("cpdb-migration v1\n");
+        body.push_str(&format!("target-generation {}\n", self.target_generation));
+        body.push_str(&format!(
+            "kind {}\n",
+            match self.kind {
+                MigrationKind::Split => "split",
+                MigrationKind::Merge => "merge",
+            }
+        ));
+        body.push_str(&format!("src {}\n", self.src_dir));
+        body.push_str(&format!("dst {}\n", self.dst_dir));
+        body.push_str(&format!("lo {}\n", hex(self.lo.as_bytes())));
+        match &self.hi {
+            Some(hi) => body.push_str(&format!("hi {}\n", hex(hi.as_bytes()))),
+            None => body.push_str("hi +inf\n"),
+        }
+        body.push_str(&format!("crc {:08x}\n", crc32(body.as_bytes())));
+        body
+    }
+
+    fn decode(body: &str) -> Result<MigrationMarker> {
+        let bad = |r: &str| corrupt("migration marker", r);
+        let body = check_crc(body, "migration marker")?;
+        let mut lines = body.lines();
+        if lines.next() != Some("cpdb-migration v1") {
+            return Err(bad("unknown format"));
+        }
+        let mut target_generation = None;
+        let mut kind = None;
+        let mut src = None;
+        let mut dst = None;
+        let mut lo = None;
+        let mut hi = None;
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("target-generation", v)) => {
+                    target_generation =
+                        Some(v.parse::<u64>().map_err(|_| bad("bad target generation"))?);
+                }
+                Some(("kind", "split")) => kind = Some(MigrationKind::Split),
+                Some(("kind", "merge")) => kind = Some(MigrationKind::Merge),
+                Some(("src", v)) => src = Some(v.to_owned()),
+                Some(("dst", v)) => dst = Some(v.to_owned()),
+                Some(("lo", v)) => lo = Some(decode_boundary(v, "migration marker")?),
+                Some(("hi", "+inf")) => hi = Some(None),
+                Some(("hi", v)) => hi = Some(Some(decode_boundary(v, "migration marker")?)),
+                _ if line.is_empty() => {}
+                _ => return Err(bad("unknown line")),
+            }
+        }
+        Ok(MigrationMarker {
+            target_generation: target_generation.ok_or_else(|| bad("missing target generation"))?,
+            kind: kind.ok_or_else(|| bad("missing kind"))?,
+            src_dir: src.ok_or_else(|| bad("missing src"))?,
+            dst_dir: dst.ok_or_else(|| bad("missing dst"))?,
+            lo: lo.ok_or_else(|| bad("missing lo"))?,
+            hi: hi.ok_or_else(|| bad("missing hi"))?,
+        })
+    }
+}
+
+/// Strips and verifies the trailing `crc <hex8>` line, returning the
+/// covered prefix. Legacy v1 manifests carry no CRC line and pass
+/// through whole.
+fn check_crc<'a>(body: &'a str, what: &str) -> Result<&'a str> {
+    if body.starts_with("cpdb-sharded-store v1\n") {
+        return Ok(body);
+    }
+    let trimmed = body.strip_suffix('\n').unwrap_or(body);
+    let (prefix, last) = match trimmed.rsplit_once('\n') {
+        Some((p, l)) => (p, l),
+        None => return Err(corrupt(what, "truncated")),
+    };
+    let stated = match last.strip_prefix("crc ") {
+        Some(v) => u32::from_str_radix(v, 16).map_err(|_| corrupt(what, "bad crc"))?,
+        None => return Err(corrupt(what, "missing crc line")),
+    };
+    // The CRC covers everything up to and including the newline before
+    // the crc line — exactly the bytes `encode` hashed.
+    let covered = &body[..prefix.len() + 1];
+    if crc32(covered.as_bytes()) != stated {
+        return Err(corrupt(what, "crc mismatch (torn write)"));
+    }
+    Ok(covered)
+}
+
+fn decode_boundary(v: &str, what: &str) -> Result<String> {
+    let bytes = unhex(v).ok_or_else(|| corrupt(what, "bad boundary hex"))?;
+    String::from_utf8(bytes).map_err(|_| corrupt(what, "boundary not UTF-8"))
+}
+
+/// The slot file a given generation serializes into: `MANIFEST` for
+/// even generations, `MANIFEST.2` for odd ones.
+pub fn slot_path(dir: &Path, generation: u64) -> PathBuf {
+    if generation.is_multiple_of(2) {
+        dir.join("MANIFEST")
+    } else {
+        dir.join("MANIFEST.2")
+    }
+}
+
+fn write_synced(path: &Path, body: &str) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Serializes `m` into its generation's slot file and fsyncs it. The
+/// sibling slot (holding the previous generation) is left untouched;
+/// once this returns, [`read_manifest`] resolves to `m`.
+pub fn write_manifest(dir: &Path, m: &ShardManifest) -> Result<()> {
+    write_synced(&m.slot(dir), &m.encode())
+}
+
+/// Reads both manifest slots and returns the valid one with the
+/// highest generation — `Ok(None)` when neither slot file exists (no
+/// deployment here), an error when slots exist but every one is torn.
+pub fn read_manifest(dir: &Path) -> Result<Option<ShardManifest>> {
+    let mut best: Option<ShardManifest> = None;
+    let mut saw_file = false;
+    let mut first_err = None;
+    for path in [dir.join("MANIFEST"), dir.join("MANIFEST.2")] {
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        };
+        saw_file = true;
+        match ShardManifest::decode(&body) {
+            Ok(m) => {
+                if best.as_ref().is_none_or(|b| m.generation > b.generation) {
+                    best = Some(m);
+                }
+            }
+            // A torn slot is expected after a crash mid-write; the
+            // sibling slot decides. Only if *no* slot survives does
+            // the first decode error surface.
+            Err(e) => first_err = Some(e),
+        }
+    }
+    match (best, saw_file) {
+        (Some(m), _) => Ok(Some(m)),
+        (None, false) => Ok(None),
+        (None, true) => Err(first_err.unwrap_or_else(|| corrupt("shard manifest", "unreadable"))),
+    }
+}
+
+/// Writes (and fsyncs) the migration marker. Call before copying the
+/// first row; [`read_migration_marker`] then tells a crashed reopen
+/// that a scrub is needed.
+pub fn write_migration_marker(dir: &Path, m: &MigrationMarker) -> Result<()> {
+    write_synced(&dir.join("MIGRATION"), &m.encode())
+}
+
+/// Reads the migration marker if present and intact. A torn marker
+/// reads as `Ok(None)`: the marker is fsynced before any row is
+/// copied, so a torn marker means the migration never started and
+/// there is nothing to scrub (the caller still removes the file via
+/// [`clear_migration_marker`]).
+pub fn read_migration_marker(dir: &Path) -> Result<Option<MigrationMarker>> {
+    let body = match std::fs::read_to_string(dir.join("MIGRATION")) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(MigrationMarker::decode(&body).ok())
+}
+
+/// Removes the migration marker (idempotent; missing is fine). Called
+/// after the flip completes or after reopen recovery scrubs the
+/// crashed migration.
+pub fn clear_migration_marker(dir: &Path) -> Result<()> {
+    match std::fs::remove_file(dir.join("MIGRATION")) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpdb-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(generation: u64) -> ShardManifest {
+        ShardManifest {
+            generation,
+            indexed: true,
+            next_dir: 3,
+            shard_dirs: vec!["shard-0".into(), "shard-2".into()],
+            boundaries: vec!["T\u{0}c5\u{0}".into()],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_picks_highest_generation() {
+        let dir = tmp("roundtrip");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, &sample(4)).unwrap();
+        write_manifest(&dir, &sample(5)).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().generation, 5);
+        // Overwriting the even slot with generation 6 supersedes 5.
+        write_manifest(&dir, &sample(6)).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap(), sample(6));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_slot_falls_back_to_sibling_generation() {
+        let dir = tmp("torn");
+        write_manifest(&dir, &sample(2)).unwrap();
+        // A torn write of generation 3: truncate mid-body.
+        let body = sample(3).encode();
+        std::fs::write(dir.join("MANIFEST.2"), &body[..body.len() / 2]).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().generation, 2);
+        // A bit flip in the body is also caught by the CRC.
+        let flipped = sample(3).encode().replace("indexed 1", "indexed 0");
+        std::fs::write(dir.join("MANIFEST.2"), flipped).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap().generation, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_slots_torn_is_an_error() {
+        let dir = tmp("alltorn");
+        std::fs::write(dir.join("MANIFEST"), "garbage\n").unwrap();
+        assert!(read_manifest(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_reads_as_generation_zero() {
+        let dir = tmp("v1");
+        let boundary = "T\u{0}c9\u{0}";
+        let body = format!(
+            "cpdb-sharded-store v1\nindexed 1\nshards 2\nboundary {}\n",
+            hex(boundary.as_bytes())
+        );
+        std::fs::write(dir.join("MANIFEST"), body).unwrap();
+        let m = read_manifest(&dir).unwrap().unwrap();
+        assert_eq!(m.generation, 0);
+        assert_eq!(m.next_dir, 2);
+        assert_eq!(m.shard_dirs, vec!["shard-0".to_owned(), "shard-1".to_owned()]);
+        assert_eq!(m.boundaries, vec![boundary.to_owned()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_marker_round_trips_and_torn_reads_none() {
+        let dir = tmp("marker");
+        assert_eq!(read_migration_marker(&dir).unwrap(), None);
+        let m = MigrationMarker {
+            target_generation: 7,
+            kind: MigrationKind::Split,
+            src_dir: "shard-1".into(),
+            dst_dir: "shard-4".into(),
+            lo: "T\u{0}c5\u{0}".into(),
+            hi: None,
+        };
+        write_migration_marker(&dir, &m).unwrap();
+        assert_eq!(read_migration_marker(&dir).unwrap(), Some(m.clone()));
+        clear_migration_marker(&dir).unwrap();
+        assert_eq!(read_migration_marker(&dir).unwrap(), None);
+        clear_migration_marker(&dir).unwrap(); // idempotent
+        let body = m.encode();
+        std::fs::write(dir.join("MIGRATION"), &body[..body.len() - 4]).unwrap();
+        assert_eq!(read_migration_marker(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_hi_round_trips() {
+        let dir = tmp("boundedhi");
+        let m = MigrationMarker {
+            target_generation: 1,
+            kind: MigrationKind::Merge,
+            src_dir: "shard-2".into(),
+            dst_dir: "shard-1".into(),
+            lo: "T\u{0}c5\u{0}".into(),
+            hi: Some("T\u{0}c7\u{0}".into()),
+        };
+        write_migration_marker(&dir, &m).unwrap();
+        assert_eq!(read_migration_marker(&dir).unwrap(), Some(m));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

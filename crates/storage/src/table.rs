@@ -303,11 +303,16 @@ impl Table {
 
     fn try_insert_into(&self, no: u64, cell: &[u8]) -> Result<Option<RowId>> {
         let guard = self.pool.fetch(no)?;
-        let fits = guard.read().fits(cell.len());
-        if !fits {
+        // Check-and-insert under one write latch: a read-latched
+        // `fits` probe released before the insert is a TOCTOU — a
+        // concurrent writer sharing this page (the insert hint is
+        // global) can consume the space in between, turning a benign
+        // "try the next page" into a spurious `RowTooLarge`.
+        let mut page = guard.write();
+        if !page.fits(cell.len()) {
             return Ok(None);
         }
-        let slot = guard.write().insert(cell)?;
+        let slot = page.insert(cell)?;
         Ok(Some(RowId { page: no, slot }))
     }
 
@@ -541,6 +546,38 @@ mod tests {
         assert_eq!(t.row_count(), 0);
         assert!(matches!(t.get(rid), Err(StorageError::RowNotFound { .. })));
         assert!(matches!(t.delete(rid), Err(StorageError::RowNotFound { .. })));
+    }
+
+    /// Regression: `try_insert_into` used to probe `fits` under a read
+    /// latch, release it, then insert under the write latch — two
+    /// writers sharing the insert-hint page could both pass the probe
+    /// and the loser got a spurious `RowTooLarge` instead of moving on
+    /// to another page. Hammer one table from many threads (with
+    /// deletes churning the free list, the shape that exposed it) and
+    /// require every insert to succeed.
+    #[test]
+    fn concurrent_inserts_never_spuriously_overflow_a_page() {
+        let t = mem_table();
+        let writers = 8usize;
+        let per_writer = 400usize;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        let loc = format!("T/c{}/w{w}/r{i:04}/padding-to-fill-pages", i % 7);
+                        let rid = t.insert(&row(w as u64, "I", &loc, None)).unwrap();
+                        // Churn: every 5th row is deleted again, so the
+                        // free list keeps serving nearly-full pages.
+                        if i % 5 == 0 {
+                            t.delete(rid).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let expected = writers * (per_writer - per_writer.div_ceil(5));
+        assert_eq!(t.row_count(), expected as u64);
     }
 
     #[test]
