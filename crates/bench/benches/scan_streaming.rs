@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
     let mut session = build_session_with(
         &wl,
         Strategy::Hierarchical,
-        StoreConfig::sharded(SHARDS).with_parallel(),
+        StoreConfig::sharded(SHARDS).parallel(),
         &LatencyConfig::zero(),
     );
     session.editor.run_script(&wl.script, 1).unwrap();

@@ -298,9 +298,9 @@ pub fn pipeline(scale: &Scale) -> Vec<PipelineRow> {
     let wl = generate(&cfg, scale.long);
     let deployments: [(&str, StoreConfig); 4] = [
         ("sync", StoreConfig::unsharded(true)),
-        ("gc64", StoreConfig::unsharded(true).with_group_commit(64)),
-        ("gc256", StoreConfig::unsharded(true).with_group_commit(256)),
-        ("gc64+8shards‖", StoreConfig::sharded(8).with_parallel().with_group_commit(64)),
+        ("gc64", StoreConfig::unsharded(true).group_commit(64)),
+        ("gc256", StoreConfig::unsharded(true).group_commit(256)),
+        ("gc64+8shards‖", StoreConfig::sharded(8).parallel().group_commit(64)),
     ];
     let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
     let mut out = Vec::new();

@@ -21,9 +21,10 @@
 //!   Figure 12).
 
 use cpdb_core::{
-    Editor, PipelineConfig, PipelinedStore, ProvStore, ShardedStore, SqlStore, Strategy, Tid,
+    DurabilityMode, Editor, PipelineConfig, PipelinedStore, ProvStore, ShardedStore, SqlStore,
+    Strategy, Tid,
 };
-use cpdb_storage::{Column, DataType, Datum, Engine, Schema};
+use cpdb_storage::{Column, DataType, Datum, DiskBackend, Engine, Schema, Wal};
 use cpdb_tree::{Path, Tree, Value};
 use cpdb_update::AtomicUpdate;
 use cpdb_workload::Workload;
@@ -72,47 +73,68 @@ impl LatencyConfig {
     }
 }
 
-/// How a session's provenance store is deployed.
+/// How a session's provenance store is deployed. Start from one of the
+/// two shapes — [`StoreConfig::unsharded`] or [`StoreConfig::sharded`]
+/// — then chain builders:
+///
+/// ```ignore
+/// // A 4-shard on-disk WAL-durable store behind a group-commit front:
+/// let cfg = StoreConfig::sharded(4).durable().group_commit(64);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
     /// Build secondary indexes on the provenance relation(s).
-    pub indexed: bool,
+    indexed: bool,
     /// `0` = one unsharded [`SqlStore`]; `k ≥ 1` = a [`ShardedStore`]
     /// with `k` key-range shards split over the workload's top-level
     /// containers.
-    pub shards: usize,
+    shards: usize,
     /// Run sharded fan-outs on the real thread-per-shard executor
-    /// instead of the simulated concurrent-wave model (only meaningful
-    /// with `shards ≥ 1`).
-    pub parallel: bool,
+    /// instead of the simulated concurrent-wave model.
+    parallel: bool,
     /// `0` = synchronous writes; `B ≥ 1` = front the store with an
     /// async group-commit [`PipelinedStore`] committing batches of `B`
     /// (no epoch tick, so statement counts are exactly
     /// `ceil(records / B)` per producer stream).
-    pub group_commit: usize,
+    group_commit: usize,
+    /// Deploy on disk: shard files plus a write-ahead log in a scratch
+    /// directory the session removes on drop.
+    durable: bool,
 }
 
 impl StoreConfig {
     /// An unsharded store, indexed or not (the original experiments).
     pub fn unsharded(indexed: bool) -> StoreConfig {
-        StoreConfig { indexed, shards: 0, parallel: false, group_commit: 0 }
+        StoreConfig { indexed, shards: 0, parallel: false, group_commit: 0, durable: false }
     }
 
     /// A `k`-way key-range-sharded indexed store.
     pub fn sharded(shards: usize) -> StoreConfig {
-        StoreConfig { indexed: true, shards, parallel: false, group_commit: 0 }
+        StoreConfig { indexed: true, shards, parallel: false, group_commit: 0, durable: false }
     }
 
-    /// Builder: run fan-outs on the real parallel shard executor.
-    pub fn with_parallel(mut self) -> StoreConfig {
+    /// Builder: run fan-outs on the real parallel shard executor (only
+    /// meaningful for sharded deployments).
+    pub fn parallel(mut self) -> StoreConfig {
         self.parallel = true;
         self
     }
 
     /// Builder: front the store with a group-commit pipeline of the
     /// given batch size.
-    pub fn with_group_commit(mut self, batch: usize) -> StoreConfig {
+    pub fn group_commit(mut self, batch: usize) -> StoreConfig {
         self.group_commit = batch;
+        self
+    }
+
+    /// Builder: deploy the store on disk with a write-ahead log. The
+    /// session owns a scratch directory under the system temp dir and
+    /// removes it on drop. Requires a sharded shape and (because the
+    /// WAL is the pipeline's durability mode) a [`StoreConfig::group_commit`]
+    /// front; [`build_session_with`] panics otherwise — deployments are
+    /// bench configuration, not user input.
+    pub fn durable(mut self) -> StoreConfig {
+        self.durable = true;
         self
     }
 }
@@ -127,6 +149,9 @@ pub struct Session {
     /// for one (same object as `store`, concretely typed so callers
     /// can flush and read queue stats).
     pub pipeline: Option<Arc<PipelinedStore>>,
+    /// Scratch directory of a [`StoreConfig::durable`] deployment,
+    /// removed (best effort) when the session drops.
+    scratch: Option<std::path::PathBuf>,
 }
 
 impl Session {
@@ -136,6 +161,17 @@ impl Session {
         match &self.pipeline {
             Some(p) => p.flush(),
             None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(dir) = self.scratch.take() {
+            // The store still holds open file handles until the editor
+            // (and with it the tracker's Arc) drops; removal best-effort
+            // — a leftover scratch dir is a nuisance, not an error.
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -233,33 +269,60 @@ pub fn build_session_with(
     let source = relational_source(wl);
     source.set_latency(lat.source_call);
 
+    let scratch = if store_cfg.durable {
+        assert!(store_cfg.shards >= 1, "durable deployments are sharded (on-disk shard files)");
+        assert!(
+            store_cfg.group_commit >= 1,
+            "durable deployments log through a group-commit front's WAL"
+        );
+        static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("cpdb-bench-{}-{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Some(dir)
+    } else {
+        None
+    };
+
     let base: Arc<dyn ProvStore> = if store_cfg.shards == 0 {
         let prov_engine = Engine::in_memory().with_pool_capacity(512);
         Arc::new(SqlStore::create(&prov_engine, store_cfg.indexed).expect("fresh engine"))
     } else {
         let containers = top_level_containers(wl);
         let boundaries = ShardedStore::split_points(&containers, store_cfg.shards);
-        let sharded =
-            ShardedStore::in_memory(boundaries, store_cfg.indexed).expect("fresh engines");
+        let sharded = match &scratch {
+            Some(dir) => ShardedStore::on_disk(dir.join("store"), boundaries, store_cfg.indexed)
+                .expect("fresh shard files"),
+            None => ShardedStore::in_memory(boundaries, store_cfg.indexed).expect("fresh engines"),
+        };
         let sharded = if store_cfg.parallel { sharded.with_parallel_executor() } else { sharded };
         Arc::new(sharded)
     };
-    let (store, pipeline): (Arc<dyn ProvStore>, Option<Arc<PipelinedStore>>) = if store_cfg
-        .group_commit
-        == 0
-    {
-        (base, None)
-    } else {
-        let pipe =
-            Arc::new(PipelinedStore::spawn(base, PipelineConfig::batched(store_cfg.group_commit)));
-        (pipe.clone(), Some(pipe))
-    };
+    let (store, pipeline): (Arc<dyn ProvStore>, Option<Arc<PipelinedStore>>) =
+        if store_cfg.group_commit == 0 {
+            (base, None)
+        } else {
+            let cfg = PipelineConfig::batched(store_cfg.group_commit);
+            let pipe = match &scratch {
+                Some(dir) => {
+                    let backend = DiskBackend::open(dir.join("prov.wal")).expect("fresh WAL file");
+                    let wal = Wal::open(Arc::new(backend)).expect("fresh WAL");
+                    Arc::new(
+                        PipelinedStore::spawn_with_durability(base, cfg, DurabilityMode::Wal(wal))
+                            .expect("fresh WAL replays empty"),
+                    )
+                }
+                None => Arc::new(PipelinedStore::spawn(base, cfg)),
+            };
+            (pipe.clone(), Some(pipe))
+        };
     store.set_latency(lat.prov_read, lat.prov_write);
     store.set_batch_row_latency(lat.prov_batch_row);
 
     let editor = Editor::new("bench", Arc::new(target), strategy, store.clone(), Tid(1))
         .with_source(Arc::new(source));
-    Session { editor, store, pipeline }
+    Session { editor, store, pipeline, scratch }
 }
 
 /// Operation classes reported by the timing figures.
@@ -518,4 +581,57 @@ pub fn sample_locations(session: &Session, n: usize, seed: u64) -> Vec<Path> {
     all.shuffle(&mut rng);
     all.truncate(n);
     all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_workload::{generate, GenConfig, UpdatePattern};
+
+    /// The durable builder shape: an on-disk sharded store behind a
+    /// WAL-backed group-commit front, replayed end to end; the scratch
+    /// directory disappears with the session.
+    #[test]
+    fn durable_deployment_replays_and_cleans_up() {
+        let cfg = GenConfig {
+            pattern: UpdatePattern::Mix,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed: 7,
+            source_records: 6,
+            target_records: 4,
+        };
+        let wl = generate(&cfg, 30);
+        let store_cfg = StoreConfig::sharded(4).durable().group_commit(16);
+        let session = build_session_with(&wl, Strategy::Naive, store_cfg, &LatencyConfig::zero());
+        let scratch = session.scratch.clone().expect("durable sessions own a scratch dir");
+        assert!(scratch.join("prov.wal").exists(), "WAL file lives in the scratch dir");
+
+        let r = run_workload_with(&wl, Strategy::Naive, 1, store_cfg, &LatencyConfig::zero());
+        assert_eq!(r.steps, 30);
+        assert!(r.rows > 0, "replay reached the durable store");
+
+        drop(session);
+        assert!(!scratch.exists(), "scratch dir is removed on drop");
+    }
+
+    /// Durable shapes without shards or a group-commit front are bench
+    /// configuration errors, caught loudly.
+    #[test]
+    #[should_panic(expected = "durable deployments")]
+    fn durable_requires_sharding_and_group_commit() {
+        let cfg = GenConfig {
+            pattern: UpdatePattern::Mix,
+            deletion: cpdb_workload::DeletionPattern::Random,
+            seed: 8,
+            source_records: 4,
+            target_records: 3,
+        };
+        let wl = generate(&cfg, 5);
+        let _ = build_session_with(
+            &wl,
+            Strategy::Naive,
+            StoreConfig::unsharded(true).durable(),
+            &LatencyConfig::zero(),
+        );
+    }
 }

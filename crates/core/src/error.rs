@@ -13,6 +13,8 @@ pub enum CoreError {
     Update(cpdb_update::UpdateError),
     /// A tree/path-level failure.
     Tree(cpdb_tree::TreeError),
+    /// The Datalog cross-check evaluator failed.
+    Datalog(cpdb_datalog::DatalogError),
     /// The editor was asked to do something inconsistent with its state.
     Editor {
         /// Explanation.
@@ -27,6 +29,7 @@ impl fmt::Display for CoreError {
             CoreError::Db(e) => write!(f, "database: {e}"),
             CoreError::Update(e) => write!(f, "update: {e}"),
             CoreError::Tree(e) => write!(f, "{e}"),
+            CoreError::Datalog(e) => write!(f, "datalog: {e}"),
             CoreError::Editor { reason } => write!(f, "editor: {reason}"),
         }
     }
@@ -45,6 +48,7 @@ impl std::error::Error for CoreError {
             CoreError::Db(e) => Some(e),
             CoreError::Update(e) => Some(e),
             CoreError::Tree(e) => Some(e),
+            CoreError::Datalog(e) => Some(e),
             CoreError::Editor { .. } => None,
         }
     }
@@ -71,6 +75,12 @@ impl From<cpdb_update::UpdateError> for CoreError {
 impl From<cpdb_tree::TreeError> for CoreError {
     fn from(e: cpdb_tree::TreeError) -> CoreError {
         CoreError::Tree(e)
+    }
+}
+
+impl From<cpdb_datalog::DatalogError> for CoreError {
+    fn from(e: cpdb_datalog::DatalogError) -> CoreError {
+        CoreError::Datalog(e)
     }
 }
 

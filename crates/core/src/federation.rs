@@ -16,11 +16,10 @@
 
 use crate::error::Result;
 use crate::query::{FromStep, QueryEngine, TraceStep};
+use crate::read::ReadArc;
 use crate::record::Tid;
-use crate::store::ProvStore;
 use cpdb_tree::{Label, Path};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// One database's provenance publication: its store, whether the
 /// records are hierarchical, and its last transaction.
@@ -54,16 +53,19 @@ impl Federation {
         Federation::default()
     }
 
-    /// Registers a database's provenance store.
+    /// Registers a database's provenance publication: any read handle
+    /// — an `Arc` of its store, or a snapshot handle from a serving
+    /// front, so federated queries can run without flushing members'
+    /// write pipelines.
     pub fn register(
         &mut self,
         db: impl Into<Label>,
-        store: Arc<dyn ProvStore>,
+        reads: impl Into<ReadArc>,
         hierarchical: bool,
         tnow: Tid,
     ) -> &mut Self {
         let db = db.into();
-        self.members.insert(db, Member { engine: QueryEngine::new(store, hierarchical, db), tnow });
+        self.members.insert(db, Member { engine: QueryEngine::new(reads, hierarchical, db), tnow });
         self
     }
 
@@ -158,6 +160,7 @@ mod tests {
     use crate::tracker::{Strategy, Tracker};
     use cpdb_tree::{tree, Database, Tree};
     use cpdb_update::{parse_script, Workspace};
+    use std::sync::Arc;
 
     fn p(s: &str) -> Path {
         s.parse().unwrap()

@@ -14,6 +14,10 @@
 //!   (group-commit queue with a background committer thread) and the
 //!   thread-per-shard parallel executor behind [`ShardedStore`]'s
 //!   fan-outs;
+//! * [`ReadHandle`] / [`ReadArc`] — the consumer-side read facade,
+//!   bound to a consistency mode: read-your-writes (any store) or
+//!   epoch-pinned, non-flushing snapshots ([`SnapshotReader`]) — what
+//!   the `cpdb-serve` session front hands out;
 //! * [`Tracker`] / [`Strategy`] — naïve, transactional, hierarchical,
 //!   and hierarchical-transactional tracking (Sections 2.1.1–2.1.4);
 //! * [`QueryEngine`] — `From`, `Trace`, `Src`, `Hist`, `Mod`
@@ -70,6 +74,7 @@ pub mod federation;
 mod heat;
 pub mod pipeline;
 mod query;
+mod read;
 mod record;
 pub mod recovery;
 pub mod rules;
@@ -79,8 +84,9 @@ mod tracker;
 
 pub use editor::Editor;
 pub use error::{CoreError, Result};
-pub use pipeline::{DurabilityMode, PipelineConfig, PipelinedStore};
+pub use pipeline::{DurabilityMode, PipelineConfig, PipelinedStore, SnapshotReader};
 pub use query::{FromStep, QueryEngine, TraceStep};
+pub use read::{ReadArc, ReadHandle};
 pub use record::{Op, ProvRecord, Tid, TxnMeta};
 pub use shard::{MigrationFailpoint, RoundTripModel, ShardedStore};
 pub use store::{prov_schema, MemStore, ProvStore, RecordCursor, SqlStore};

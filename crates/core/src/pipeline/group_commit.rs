@@ -69,13 +69,28 @@
 //!   inner store holds exactly the records enqueued so far and every
 //!   query answers as if the writes had been synchronous.
 //!
-//! ## Read-your-writes
+//! ## Read-your-writes and snapshots
 //!
-//! Every read method flushes before delegating to the inner store.
-//! Strategies that never read while tracking (naïve, transactional)
-//! get full batching; the hierarchical tracker's insert probe forces a
-//! flush per probe, which degrades gracefully to near-synchronous
-//! behavior — correctness never depends on queue state.
+//! Every read method on the `PipelinedStore` itself flushes before
+//! delegating to the inner store. Strategies that never read while
+//! tracking (naïve, transactional) get full batching; the
+//! hierarchical tracker's insert probe forces a flush per probe,
+//! which degrades gracefully to near-synchronous behavior —
+//! correctness never depends on queue state.
+//!
+//! Alongside that mode, the committers publish a monotonically
+//! increasing **commit epoch** — the largest prefix of the accepted
+//! record stream that is fully committed and does not split any
+//! enqueue call ([`PipelinedStore::commit_epoch`]). A
+//! [`crate::SnapshotReader`] ([`PipelinedStore::snapshot_reader`])
+//! pins that epoch per read and **never flushes**: writes since the
+//! epoch are invisible but never torn, so auditors stream consistent
+//! pages while writers keep committing. The epoch/visibility protocol
+//! is documented on `pipeline::snapshot`; the one caveat worth
+//! knowing here is that record streams violating the `{Tid, Loc}` key
+//! (two bit-identical records, possible only through at-least-once
+//! redelivery) may be under-counted by a snapshot that lands between
+//! the twins.
 
 use crate::error::{CoreError, Result};
 use crate::record::{ProvRecord, Tid};
@@ -261,6 +276,35 @@ struct State {
     /// re-checks the watermark after each pass, so progress made by
     /// lanes that skipped is still retired).
     finalizing: bool,
+    /// `first ordinal → last ordinal` of every completed `enqueue_all`
+    /// call the snapshot epoch has not yet passed. The epoch advances
+    /// through whole calls only, so one call's records (a tracker
+    /// commit) are never torn across it — and because backpressure can
+    /// interleave two calls' ordinals, calls whose intervals overlap
+    /// advance as one group, all-or-nothing.
+    completed: BTreeMap<u64, u64>,
+    /// First ordinal accepted by each `enqueue_all` call still in
+    /// progress. The epoch must stay below every open call's first
+    /// record — otherwise a completed call's boundary could expose a
+    /// committed prefix of a still-open interleaved call.
+    open_firsts: BTreeSet<u64>,
+    /// The published **commit epoch**: the largest ordinal `E` such
+    /// that every ordinal `<= E` is committed (`E <= watermark`) and
+    /// every enqueue call lies entirely on one side of `E`.
+    /// Monotonically increasing; snapshot readers pin it.
+    snap_epoch: u64,
+    /// Committed (or in-flight) records by ordinal, retained above
+    /// `min(snap_epoch, oldest pin)` so snapshot reads can subtract
+    /// rows newer than their epoch from what the inner store returns.
+    /// Published *before* the batch's `insert_batch`, so a snapshot
+    /// that fetches first and syncs this map second can never observe
+    /// an unfiltered too-new row. Bounded by the queue capacity plus
+    /// the epoch lag of the oldest pin (a long-held pin retains the
+    /// write stream since its epoch — see `SnapshotReader`).
+    recent: BTreeMap<u64, ProvRecord>,
+    /// Active snapshot pins: epoch → reader count. The smallest key
+    /// floors `recent` garbage collection.
+    pins: BTreeMap<u64, usize>,
 }
 
 impl State {
@@ -278,11 +322,65 @@ impl State {
             watermark: 0,
             truncated: 0,
             finalizing: false,
+            completed: BTreeMap::new(),
+            open_firsts: BTreeSet::new(),
+            snap_epoch: 0,
+            recent: BTreeMap::new(),
+            pins: BTreeMap::new(),
         }
+    }
+
+    /// Advances the commit epoch through completed enqueue calls, then
+    /// garbage-collects `recent`. Called whenever the watermark moves
+    /// or a call completes.
+    ///
+    /// Ordinals are dense and no call ever straddles the epoch, so the
+    /// call owning ordinal `snap_epoch + 1` starts exactly there; the
+    /// epoch can move only when that call has completed. Backpressure
+    /// can interleave calls' ordinal ranges, so every completed call
+    /// whose range overlaps the candidate's is merged into one group
+    /// that advances all-or-nothing: the group must be fully committed
+    /// (`<= watermark`) and free of still-open calls, otherwise
+    /// landing on one call's last ordinal would tear an interleaved
+    /// neighbour in half.
+    fn advance_snap_epoch(&mut self) {
+        let open_floor = self.open_firsts.first().copied().unwrap_or(u64::MAX);
+        while let Some((&first, &last)) = self.completed.first_key_value() {
+            if first != self.snap_epoch + 1 {
+                break;
+            }
+            let mut group_last = last;
+            let mut absorbed = vec![first];
+            while let Some((&f, &l)) =
+                self.completed.range(absorbed.last().copied().unwrap_or(first) + 1..).next()
+            {
+                if f > group_last {
+                    break;
+                }
+                absorbed.push(f);
+                group_last = group_last.max(l);
+            }
+            if group_last > self.watermark || open_floor <= group_last {
+                break;
+            }
+            for f in absorbed {
+                self.completed.remove(&f);
+            }
+            self.snap_epoch = group_last;
+        }
+        self.gc_recent();
+    }
+
+    /// Drops `recent` entries no snapshot can still need: everything
+    /// at or below the epoch *and* below every active pin.
+    fn gc_recent(&mut self) {
+        let pin_floor = self.pins.first_key_value().map_or(u64::MAX, |(&e, _)| e);
+        let floor = self.snap_epoch.min(pin_floor);
+        self.recent = self.recent.split_off(&(floor + 1));
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     state: Mutex<State>,
     /// Wakes the committers (work available, flush requested, error
     /// acknowledged, shutdown).
@@ -299,6 +397,59 @@ struct Shared {
     epoch: Option<Duration>,
     /// The WAL when running under [`DurabilityMode::Wal`].
     durability: Option<Durable>,
+}
+
+impl Shared {
+    /// Pins the current commit epoch for a snapshot read and returns
+    /// `(epoch, lag)`, where `lag` counts the accepted records the
+    /// snapshot will not see. While pinned, `recent` retains every
+    /// record above the epoch, so the pin must be released
+    /// ([`Shared::unpin_epoch`]) as soon as the read ends.
+    pub(crate) fn pin_epoch(&self) -> (u64, u64) {
+        let mut st = self.state.lock();
+        let epoch = st.snap_epoch;
+        *st.pins.entry(epoch).or_insert(0) += 1;
+        let lag = st.enqueued - epoch;
+        (epoch, lag)
+    }
+
+    /// Releases one pin on `epoch` and lets `recent` GC catch up.
+    pub(crate) fn unpin_epoch(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        if let Some(count) = st.pins.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                st.pins.remove(&epoch);
+            }
+        }
+        st.gc_recent();
+    }
+
+    /// Folds every `recent` record **newer than `epoch`** that has not
+    /// been ingested yet (tracked in `seen`, by ordinal) into the
+    /// caller's invisibility multiset. A snapshot read fetches rows
+    /// from the inner store *first* and calls this *second*: any batch
+    /// the inner store could have answered with was published to
+    /// `recent` before its `insert_batch` began, so every too-new row
+    /// the fetch may contain has a multiset entry by the time the
+    /// caller filters. Entries are keyed by full record equality —
+    /// `{Tid, Loc}` is a key of the relation, so two *identical*
+    /// records only coexist after an at-least-once redelivery anomaly
+    /// (in which case a snapshot between them may suppress the
+    /// surviving twin; see the module docs).
+    pub(crate) fn sync_invisible(
+        &self,
+        epoch: u64,
+        seen: &mut BTreeSet<u64>,
+        invisible: &mut BTreeMap<ProvRecord, usize>,
+    ) {
+        let st = self.state.lock();
+        for (&ordinal, record) in st.recent.range(epoch + 1..) {
+            if seen.insert(ordinal) {
+                *invisible.entry(record.clone()).or_insert(0) += 1;
+            }
+        }
+    }
 }
 
 /// An asynchronous group-commit front for any [`ProvStore`]. See the
@@ -445,6 +596,26 @@ impl PipelinedStore {
         self.lock().committed
     }
 
+    /// The published **commit epoch**: the largest prefix of the
+    /// accepted record stream that is fully committed *and* does not
+    /// split any `insert`/`insert_batch` call. Monotonically
+    /// increasing; `0` before the first commit. Snapshot reads
+    /// ([`PipelinedStore::snapshot_reader`]) pin this value.
+    pub fn commit_epoch(&self) -> u64 {
+        self.lock().snap_epoch
+    }
+
+    /// A read-only snapshot front over this pipeline: every read and
+    /// cursor pins the commit epoch current at its start and **never
+    /// flushes the queue** — writes newer than the epoch are invisible
+    /// but never torn. The reader is owned (it keeps the shared queue
+    /// state and the inner store alive) and remains valid after the
+    /// `PipelinedStore` itself is dropped, at which point it serves
+    /// the final epoch.
+    pub fn snapshot_reader(&self) -> crate::SnapshotReader {
+        crate::SnapshotReader::new(self.inner.clone(), self.shared.clone())
+    }
+
     /// Blocks until every queued record is committed (or a commit
     /// fails). Returns the parked error, if any — after an `Err`, the
     /// failed records are still queued and a later flush retries them.
@@ -502,6 +673,13 @@ impl PipelinedStore {
             records.iter().map(|r| self.inner.commit_lane(r) % self.shared.lanes).collect();
         let mut parked: Option<CoreError> = None;
         let mut last_seq = None;
+        // Snapshot-epoch bookkeeping: the call is "open" from its
+        // first accepted record to its last, and its final ordinal
+        // becomes an epoch boundary — the epoch never lands inside a
+        // call, so a multi-record commit is atomic to snapshots even
+        // when backpressure interleaves two calls' ordinals.
+        let mut call_first: Option<u64> = None;
+        let mut call_last: Option<u64> = None;
         let mut st = self.lock();
         for (record, &lane) in records.iter().zip(&lane_of) {
             loop {
@@ -513,6 +691,7 @@ impl PipelinedStore {
                     parked = Some(e);
                 }
                 if st.shutdown {
+                    close_call(&mut st, call_first, call_last);
                     return Err(closed());
                 }
                 // Backpressure on the record's own lane — except after
@@ -537,10 +716,21 @@ impl PipelinedStore {
                 // enqueued by this call stay accepted, this one and
                 // the rest were never accepted (see
                 // [`DurabilityMode`]).
-                last_seq = Some(d.wal.append(&encode_record(record))?);
+                match d.wal.append(&encode_record(record)) {
+                    Ok(seq) => last_seq = Some(seq),
+                    Err(e) => {
+                        close_call(&mut st, call_first, call_last);
+                        return Err(e.into());
+                    }
+                }
             }
             st.enqueued += 1;
             let ordinal = st.enqueued;
+            if call_first.is_none() {
+                call_first = Some(ordinal);
+                st.open_firsts.insert(ordinal);
+            }
+            call_last = Some(ordinal);
             st.lanes[lane].push_back((ordinal, record.clone()));
             st.queued += 1;
             obs.queue_depth.set(st.queued as i64);
@@ -554,6 +744,7 @@ impl PipelinedStore {
                 self.shared.work.notify_all();
             }
         }
+        close_call(&mut st, call_first, call_last);
         if let (Some(d), Some(seq)) = (&self.shared.durability, last_seq) {
             // The commit boundary: every frame of this call is on
             // stable storage before any of its records is considered
@@ -584,6 +775,23 @@ impl PipelinedStore {
 
 fn closed() -> CoreError {
     CoreError::Editor { reason: "write pipeline is shut down".into() }
+}
+
+/// Ends an `enqueue_all` call's snapshot-epoch bookkeeping: the call
+/// stops being open and its `first..=last` ordinal interval joins the
+/// completed set the epoch advances through. On the error exits
+/// (shutdown, WAL append failure) the partial prefix accepted so far
+/// *is* the call's committed form, so it completes too — otherwise
+/// those records could never become snapshot-visible. Closing a call
+/// can unblock an interval the watermark already passed, so the epoch
+/// is advanced here as well.
+fn close_call(st: &mut State, first: Option<u64>, last: Option<u64>) {
+    let Some(first) = first else { return };
+    st.open_firsts.remove(&first);
+    if let Some(last) = last {
+        st.completed.insert(first, last);
+    }
+    st.advance_snap_epoch();
 }
 
 /// The recovery pass: replays the WAL's un-truncated tail into
@@ -672,6 +880,18 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>, lane: usize)
                 ordinals.push(ordinal);
                 chunk.push(record);
             }
+            // Publish the batch to the snapshot-visibility map
+            // *before* the inner `insert_batch` can make any of its
+            // rows fetchable: a snapshot read that fetches first and
+            // syncs `recent` second then has a filter entry for every
+            // too-new row its fetch could possibly contain. A failed
+            // commit leaves the entries in place — their ordinals stay
+            // above the watermark (hence above every epoch) until the
+            // retry succeeds, so they are filtered either way, and the
+            // retry re-publishes the same keys idempotently.
+            for (ordinal, record) in ordinals.iter().zip(&chunk) {
+                st.recent.insert(*ordinal, record.clone());
+            }
             st.queued -= n;
             obs.batch_records.record(n as u64);
             obs.queue_depth.set(st.queued as i64);
@@ -695,6 +915,7 @@ fn committer_loop(inner: &Arc<dyn ProvStore>, shared: &Arc<Shared>, lane: usize)
                         }
                         st.watermark = next;
                     }
+                    st.advance_snap_epoch();
                     if let Some(d) = &shared.durability {
                         // The batch is in the store: checkpoint it to
                         // durable storage, then retire the frames of

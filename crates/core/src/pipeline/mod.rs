@@ -48,11 +48,21 @@
 //! overlap their shard fetches exactly like the materializing
 //! fan-outs.
 //!
+//! Flushing reads are one of two consistency modes. The committers
+//! also publish a monotone **commit epoch**, and [`snapshot`]'s
+//! [`SnapshotReader`] reads at that epoch **without flushing** —
+//! concurrent writers stay invisible to it but are never torn. That
+//! is the serving layer's (`cpdb-serve`) snapshot mode: many
+//! concurrent reader sessions over one shared pipelined store,
+//! without serializing behind the write stream.
+//!
 //! [`ProvStore`]: crate::ProvStore
 //! [`ProvStore::insert_batch`]: crate::ProvStore::insert_batch
 
 pub mod executor;
 pub mod group_commit;
+pub mod snapshot;
 
 pub use executor::ShardExecutor;
 pub use group_commit::{DurabilityMode, PipelineConfig, PipelinedStore};
+pub use snapshot::SnapshotReader;

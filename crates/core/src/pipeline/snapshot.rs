@@ -1,0 +1,384 @@
+//! Epoch-pinned snapshot reads over a [`PipelinedStore`]: the
+//! [`SnapshotReader`].
+//!
+//! [`PipelinedStore`]: crate::PipelinedStore
+//!
+//! ## The epoch protocol
+//!
+//! Every record accepted by the pipeline gets a 1-based **ordinal**
+//! (assigned under the queue lock, so ordinal order is acceptance
+//! order). The committers maintain two monotone marks over that
+//! stream:
+//!
+//! * the **watermark** — every ordinal `<= watermark` is committed to
+//!   the inner store (lanes commit out of order; the watermark is the
+//!   contiguous prefix);
+//! * the **commit epoch** — the largest ordinal `E <= watermark` such
+//!   that every `insert`/`insert_batch` call's ordinals lie entirely
+//!   on one side of `E`. The epoch advances through whole calls
+//!   (interleaved calls merge into one all-or-nothing group), so it
+//!   never lands inside a call: a transactional commit's records are
+//!   visible all-or-nothing (batch atomicity), even when backpressure
+//!   interleaved two calls' ordinals.
+//!
+//! ## Visibility without flushing
+//!
+//! A snapshot read pins the current epoch `E` and must return exactly
+//! the records with ordinal `<= E` — while committers keep moving
+//! records from the queue into the inner store underneath it. Rather
+//! than versioning the inner store, the pipeline retains a small
+//! **recent map** (ordinal → record) of drained batches, published
+//! *before* each batch's `insert_batch` call, and the reader
+//! subtracts:
+//!
+//! 1. **fetch** the rows from the inner store (no flush, no pipeline
+//!    lock held);
+//! 2. **sync** an invisibility multiset from the recent map's entries
+//!    with ordinal `> E`;
+//! 3. **filter**: drop each fetched row that consumes a multiset
+//!    entry.
+//!
+//! Fetch-before-sync is the load-bearing order: any batch the fetch
+//! could have observed was published to the recent map before its
+//! insert began, so step 2 always covers step 1's too-new rows.
+//! Queued records that were never drained are in neither the inner
+//! store nor the recent map — correctly invisible. The multiset may
+//! retain entries for drained-but-not-yet-fetchable rows; for a
+//! one-shot read that slack is discarded with the read, and a cursor
+//! carries it forward to the exact pages that will eventually contain
+//! those rows (pages arrive in key order, and an entry only suppresses
+//! a row equal to it).
+//!
+//! The pin (epoch → reader count) floors the recent map's garbage
+//! collection: entries at or below `min(epoch, oldest pin)` are
+//! dropped as the epoch advances. A long-lived cursor therefore
+//! retains the concurrent write stream above its epoch in memory —
+//! bounded by write rate × cursor lifetime, the classic MVCC
+//! trade-off (readers never block writers, old snapshots cost space).
+//!
+//! ## Caveat: duplicate records
+//!
+//! The invisibility multiset is keyed by full record equality.
+//! `{Tid, Loc}` is a key of the provenance relation, so two
+//! bit-identical records only coexist after an at-least-once
+//! redelivery anomaly; a snapshot landing between such twins may
+//! suppress the committed one. Well-formed streams are unaffected.
+
+use super::group_commit::Shared;
+use crate::error::Result;
+use crate::read::{ReadArc, ReadHandle};
+use crate::record::{ProvRecord, Tid};
+use crate::store::{ProvStore, RecordCursor, RecordSource};
+use cpdb_tree::Path;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+
+/// Serving-side snapshot telemetry: snapshot reads served (each probe
+/// or cursor is one), and the epoch lag observed at the last pin —
+/// how many accepted records the snapshot did not yet see.
+struct SnapObs {
+    reads: cpdb_obs::Counter,
+    epoch_lag: cpdb_obs::Gauge,
+}
+
+fn snap_obs() -> &'static SnapObs {
+    static OBS: OnceLock<SnapObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = cpdb_obs::global();
+        SnapObs {
+            reads: reg.register_counter("serve.snapshot_reads"),
+            epoch_lag: reg.register_gauge("serve.epoch_lag"),
+        }
+    })
+}
+
+/// Releases a snapshot pin when the read (or cursor) ends, even on
+/// the error paths.
+struct PinGuard {
+    shared: Arc<Shared>,
+    epoch: u64,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.shared.unpin_epoch(self.epoch);
+    }
+}
+
+/// Consumes one invisibility entry for `record` if present; `true`
+/// means the row is newer than the snapshot and must be dropped.
+fn suppress(invisible: &mut BTreeMap<ProvRecord, usize>, record: &ProvRecord) -> bool {
+    let Some(count) = invisible.get_mut(record) else {
+        return false;
+    };
+    *count -= 1;
+    if *count == 0 {
+        invisible.remove(record);
+    }
+    true
+}
+
+/// A non-flushing, epoch-pinned read front over a [`PipelinedStore`]
+/// (see [`PipelinedStore::snapshot_reader`]). Implements
+/// [`ReadHandle`]; every probe and cursor pins the commit epoch
+/// current at its start, so concurrent writers are invisible to it
+/// but never torn. The reader is owned and clonable-by-construction
+/// (make another from the store); it keeps the pipeline's shared
+/// state and the inner store alive.
+///
+/// [`PipelinedStore`]: crate::PipelinedStore
+/// [`PipelinedStore::snapshot_reader`]: crate::PipelinedStore::snapshot_reader
+pub struct SnapshotReader {
+    inner: Arc<dyn ProvStore>,
+    shared: Arc<Shared>,
+}
+
+impl SnapshotReader {
+    pub(crate) fn new(inner: Arc<dyn ProvStore>, shared: Arc<Shared>) -> SnapshotReader {
+        SnapshotReader { inner, shared }
+    }
+
+    /// The commit epoch the next read would pin.
+    pub fn epoch(&self) -> u64 {
+        let (epoch, _) = self.shared.pin_epoch();
+        self.shared.unpin_epoch(epoch);
+        epoch
+    }
+
+    /// Pins the current epoch, recording the serving telemetry.
+    fn pin(&self) -> PinGuard {
+        let (epoch, lag) = self.shared.pin_epoch();
+        let obs = snap_obs();
+        obs.reads.inc();
+        obs.epoch_lag.set(lag as i64);
+        PinGuard { shared: self.shared.clone(), epoch }
+    }
+
+    /// One-shot snapshot read: pin, fetch, sync, filter, unpin.
+    fn read(
+        &self,
+        fetch: impl FnOnce(&dyn ProvStore) -> Result<Vec<ProvRecord>>,
+    ) -> Result<Vec<ProvRecord>> {
+        let pin = self.pin();
+        let mut rows = fetch(self.inner.as_ref())?;
+        let mut seen = BTreeSet::new();
+        let mut invisible = BTreeMap::new();
+        self.shared.sync_invisible(pin.epoch, &mut seen, &mut invisible);
+        rows.retain(|r| !suppress(&mut invisible, r));
+        Ok(rows)
+    }
+
+    /// Epoch-pinned cursor: wraps the inner store's cursor with the
+    /// fetch-then-sync filter, holding the pin for the cursor's
+    /// lifetime.
+    fn scan(
+        &self,
+        make: impl FnOnce(&dyn ProvStore) -> Result<RecordCursor<'_>>,
+    ) -> Result<RecordCursor<'_>> {
+        let pin = self.pin();
+        let epoch = pin.epoch;
+        let inner = make(self.inner.as_ref())?;
+        Ok(RecordCursor::from_source(SnapshotSource {
+            inner,
+            shared: self.shared.clone(),
+            epoch,
+            seen: BTreeSet::new(),
+            invisible: BTreeMap::new(),
+            _pin: pin,
+        }))
+    }
+}
+
+impl ReadHandle for SnapshotReader {
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.all())
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.at(tid, loc))
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.by_loc(loc))
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.by_tid(tid))
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.by_loc_prefix(prefix))
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.by_tid_loc_prefix(tid, prefix))
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.read(|s| s.by_loc_chain(loc, min_depth))
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        self.scan(|s| s.scan_loc_prefix(prefix, batch))
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        self.scan(|s| s.scan_tid_loc_prefix(tid, prefix, batch))
+    }
+}
+
+impl From<SnapshotReader> for ReadArc {
+    fn from(reader: SnapshotReader) -> ReadArc {
+        ReadArc::from_handle(reader)
+    }
+}
+
+/// The filtering [`RecordSource`] behind a snapshot cursor. Pages are
+/// fetched from the inner cursor, then the invisibility multiset is
+/// synced and consumed; a page whose rows were all too new is skipped
+/// and the next one fetched (the cursor contract says a returned page
+/// is non-empty). The multiset and its `seen` ordinals persist across
+/// pages: pages arrive in key order, so an entry synced early
+/// suppresses exactly the equal row when (and if) its page arrives.
+struct SnapshotSource<'a> {
+    inner: RecordCursor<'a>,
+    shared: Arc<Shared>,
+    epoch: u64,
+    /// Ordinals already folded into `invisible` (the recent map is
+    /// re-scanned on every page; lanes publish out of ordinal order,
+    /// so a high-water mark would miss late-published low ordinals).
+    seen: BTreeSet<u64>,
+    invisible: BTreeMap<ProvRecord, usize>,
+    _pin: PinGuard,
+}
+
+impl RecordSource for SnapshotSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<Vec<ProvRecord>>> {
+        loop {
+            let Some(mut page) = self.inner.next_batch()? else {
+                return Ok(None);
+            };
+            self.shared.sync_invisible(self.epoch, &mut self.seen, &mut self.invisible);
+            page.retain(|r| !suppress(&mut self.invisible, r));
+            if !page.is_empty() {
+                return Ok(Some(page));
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineConfig, PipelinedStore};
+    use crate::store::MemStore;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn records(n: usize) -> Vec<ProvRecord> {
+        (0..n).map(|i| ProvRecord::insert(Tid(i as u64), p(&format!("T/c{i}")))).collect()
+    }
+
+    #[test]
+    fn snapshot_reads_do_not_flush_and_hide_queued_records() {
+        let inner = Arc::new(MemStore::new());
+        // Batch far above what we enqueue: nothing commits on its own.
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(1000));
+        let snap = pipe.snapshot_reader();
+        pipe.insert_batch(&records(10)).unwrap();
+        assert_eq!(snap.epoch(), 0);
+        assert!(snap.all().unwrap().is_empty(), "queued records are invisible");
+        assert_eq!(inner.len(), 0, "the snapshot read must not flush");
+        // Read-your-writes still sees everything (and flushes).
+        assert_eq!(pipe.all().unwrap().len(), 10);
+        assert_eq!(snap.epoch(), 10);
+        assert_eq!(snap.all().unwrap().len(), 10, "committed prefix is visible");
+    }
+
+    #[test]
+    fn epoch_lands_only_on_call_boundaries() {
+        let inner = Arc::new(MemStore::new());
+        // Batch 4 over a 10-record call: the committer drains partial
+        // chunks of the call, and the watermark passes through its
+        // middle — but the epoch may not.
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(4));
+        let snap = pipe.snapshot_reader();
+        pipe.insert_batch(&records(10)).unwrap();
+        pipe.flush().unwrap();
+        assert_eq!(snap.epoch(), 10, "epoch lands on the call boundary");
+        pipe.insert(&ProvRecord::insert(Tid(99), p("T/x"))).unwrap();
+        pipe.flush().unwrap();
+        assert_eq!(snap.epoch(), 11);
+        assert_eq!(snap.by_loc(&p("T/x")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_cursor_filters_rows_newer_than_its_epoch() {
+        let inner = Arc::new(MemStore::new());
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(4));
+        let snap = pipe.snapshot_reader();
+        pipe.insert_batch(&records(8)).unwrap();
+        pipe.flush().unwrap();
+        // Open the cursor at epoch 8, then commit a second wave.
+        let mut cursor = snap.scan_loc_prefix(&p("T"), 3).unwrap();
+        let first_page = cursor.next_batch().unwrap().unwrap();
+        pipe.insert_batch(&(8..20).map(|i| records(20)[i].clone()).collect::<Vec<_>>()).unwrap();
+        pipe.flush().unwrap();
+        assert_eq!(pipe.commit_epoch(), 20);
+        let mut got = first_page;
+        while let Some(page) = cursor.next_batch().unwrap() {
+            got.extend(page);
+        }
+        let mut want = records(8);
+        want.sort_by_key(|r| r.loc.key());
+        assert_eq!(got, want, "the cursor observes exactly its epoch's prefix");
+        // A fresh read sees the new epoch.
+        assert_eq!(snap.all().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn pins_retain_recent_entries_until_released() {
+        let inner = Arc::new(MemStore::new());
+        let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(2));
+        let snap = pipe.snapshot_reader();
+        pipe.insert_batch(&records(2)).unwrap();
+        pipe.flush().unwrap();
+        // Cursor pinned at epoch 2.
+        let mut cursor = snap.scan_loc_prefix(&p("T"), 1).unwrap();
+        pipe.insert_batch(&records(20)[2..20]).unwrap();
+        pipe.flush().unwrap();
+        // Entries 3..=20 must survive the epoch advance for the pin.
+        let visible = cursor.next_batch().unwrap().unwrap();
+        assert_eq!(visible.len(), 1);
+        let rest: Vec<_> = std::iter::from_fn(|| cursor.next_batch().unwrap()).flatten().collect();
+        assert_eq!(rest.len(), 1, "exactly the 2-record prefix, nothing newer");
+        drop(cursor);
+        assert_eq!(snap.all().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn reader_outlives_the_pipeline() {
+        let inner = Arc::new(MemStore::new());
+        let snap = {
+            let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(4));
+            let snap = pipe.snapshot_reader();
+            pipe.insert_batch(&records(6)).unwrap();
+            snap
+        };
+        // Drop drained the queue; the detached reader serves the final
+        // epoch.
+        assert_eq!(snap.all().unwrap().len(), 6);
+        assert_eq!(snap.epoch(), 6);
+    }
+}

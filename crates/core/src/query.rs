@@ -23,11 +23,10 @@
 //! the store.
 
 use crate::error::Result;
+use crate::read::ReadArc;
 use crate::record::{Op, ProvRecord, Tid};
-use crate::store::ProvStore;
 use cpdb_tree::Path;
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// What happened to a node in one transaction, resolved through
 /// inference if necessary.
@@ -58,9 +57,15 @@ pub struct TraceStep {
     pub action: FromStep,
 }
 
-/// Query engine over a provenance store.
+/// Query engine over a provenance read handle.
+///
+/// The engine only ever *reads*; it binds to a [`ReadArc`] rather than
+/// a store, so the same engine code serves both consistency modes:
+/// pass an `Arc<impl ProvStore>` (read-your-writes, the historical
+/// behavior) or a [`crate::SnapshotReader`] (epoch-pinned, never
+/// flushes the write pipeline).
 pub struct QueryEngine {
-    store: Arc<dyn ProvStore>,
+    reads: ReadArc,
     hierarchical: bool,
     /// Database name prefix of target locations (e.g. `T`) — copies
     /// whose source lies outside stop the chain (Section 2.2: queries
@@ -76,22 +81,29 @@ pub struct QueryEngine {
     /// batches were charged) and per-node traces fall back to store
     /// probes, bounding the query's resident set.
     seed_limit: usize,
+    /// Resolve `get_mod` by co-iterating the sorted query nodes with
+    /// the key-ordered subtree scan instead of materializing the seed.
+    streaming_seed: bool,
 }
 
 impl QueryEngine {
-    /// Creates a query engine. `hierarchical` must match the strategy
-    /// that populated the store.
+    /// Creates a query engine over any read handle — an
+    /// `Arc<impl ProvStore>` for read-your-writes (the historical
+    /// signature keeps compiling), a [`crate::SnapshotReader`] for
+    /// epoch-pinned reads. `hierarchical` must match the strategy that
+    /// populated the store.
     pub fn new(
-        store: Arc<dyn ProvStore>,
+        reads: impl Into<ReadArc>,
         hierarchical: bool,
         target_db: impl Into<cpdb_tree::Label>,
     ) -> QueryEngine {
         QueryEngine {
-            store,
+            reads: reads.into(),
             hierarchical,
             target: Path::single(target_db.into()),
             scan_batch: usize::MAX,
             seed_limit: usize::MAX,
+            streaming_seed: false,
         }
     }
 
@@ -117,9 +129,21 @@ impl QueryEngine {
         self
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &Arc<dyn ProvStore> {
-        &self.store
+    /// Answers `get_mod` by **streaming**: the sorted query nodes are
+    /// co-iterated with the key-ordered subtree scan, so the resident
+    /// set is one scan page plus the current node's ancestor chain —
+    /// the subtree seed is never materialized client-side. Answers are
+    /// identical to the seeded modes; copy chains that hop away from a
+    /// node still fall back to store probes. `seed_limit` does not
+    /// apply (there is no seed to cap).
+    pub fn with_streaming_seed(mut self) -> QueryEngine {
+        self.streaming_seed = true;
+        self
+    }
+
+    /// The underlying read handle.
+    pub fn reads(&self) -> &ReadArc {
+        &self.reads
     }
 
     /// Picks the governing record out of candidates anchored at `loc`
@@ -159,9 +183,9 @@ impl QueryEngine {
             // `loc` plus every ancestor down to the database root, in
             // one statement (records above the root are never
             // consulted, matching the paper's "for paths in T").
-            self.store.by_loc_chain(loc, self.target.len())?
+            self.reads.by_loc_chain(loc, self.target.len())?
         } else {
-            self.store.by_loc(loc)?
+            self.reads.by_loc(loc)?
         };
         Ok(Self::best_governing(candidates, t_max))
     }
@@ -280,6 +304,9 @@ impl QueryEngine {
         // per-node trace resolution. `StatsSnapshot::span_child_coverage`
         // reports how much of `get_mod` the children account for.
         let _query = cpdb_obs::span!("get_mod");
+        if self.streaming_seed {
+            return self.get_mod_streaming(subtree_nodes, tnow);
+        }
         let mut out = BTreeSet::new();
         let seed = {
             let _seed = cpdb_obs::span!("get_mod.seed");
@@ -292,6 +319,121 @@ impl QueryEngine {
             }
         }
         Ok(out)
+    }
+
+    /// Streaming `get_mod` ([`QueryEngine::with_streaming_seed`]): the
+    /// query nodes, sorted into encoded-key order, are merged against
+    /// the key-ordered subtree scan. Because a path's key sorts before
+    /// all of its descendants' keys, every record that can govern a
+    /// node — a record at the node itself or at an ancestor inside the
+    /// subtree — has already streamed past when the merge reaches that
+    /// node, and only the records on the node's *ancestor chain* need
+    /// retaining. The resident set is one scan page plus that chain
+    /// (plus the one chain probe covering the subtree root's own
+    /// ancestors), independent of subtree size. Only each node's
+    /// *first* trace step resolves from the stream; chain hops move to
+    /// arbitrary locations and go back to the store, exactly like
+    /// seeded `get_mod`'s out-of-subtree fallback.
+    fn get_mod_streaming(&self, subtree_nodes: &[Path], tnow: Tid) -> Result<BTreeSet<Tid>> {
+        let mut out = BTreeSet::new();
+        let root = match subtree_nodes.iter().min_by_key(|p| p.len()) {
+            Some(root) if subtree_nodes.iter().all(|q| q.starts_with(root)) => root.clone(),
+            // No common root (never the case for `Tree::all_paths`
+            // output): resolve every node against the store directly.
+            _ => {
+                let _trace = cpdb_obs::span!("get_mod.trace");
+                for q in subtree_nodes {
+                    for step in self.trace_with_seed(q, tnow, None)? {
+                        out.insert(step.tid);
+                    }
+                }
+                return Ok(out);
+            }
+        };
+        let (cursor, above) = {
+            let _seed = cpdb_obs::span!("get_mod.seed");
+            // Records governing the subtree root from its ancestors:
+            // one chain probe, valid for every queried node at once
+            // (an ancestor of `root` is an ancestor of all of them).
+            let mut above = Vec::new();
+            if self.hierarchical && root.len() > self.target.len() {
+                above = self
+                    .reads
+                    .by_loc_chain(&root, self.target.len())?
+                    .into_iter()
+                    .filter(|r| r.loc.len() < root.len())
+                    .collect();
+            }
+            (self.reads.scan_loc_prefix(&root, self.scan_batch)?, above)
+        };
+        // Scan pages are pulled lazily inside the merge below, so
+        // their wall time lands in the trace span — the seed span
+        // covers only the probes issued up front.
+        let _trace = cpdb_obs::span!("get_mod.trace");
+        let mut nodes: Vec<(String, &Path)> = subtree_nodes.iter().map(|q| (q.key(), q)).collect();
+        nodes.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut stream = PagedRecords::new(cursor);
+        // The ancestor chain of the merge's current position: nested
+        // subtree locations that have streamed past and can still
+        // govern an upcoming node, each with its records.
+        let mut chain: Vec<(Path, Vec<ProvRecord>)> = Vec::new();
+        for (qkey, q) in nodes {
+            while let Some(record) = stream.next_if(|r| r.loc.key() <= qkey)? {
+                // A location the merge has moved past can never govern
+                // a later node: later keys lie outside its subtree.
+                while chain.last().is_some_and(|(p, _)| !record.loc.starts_with(p)) {
+                    chain.pop();
+                }
+                match chain.last_mut() {
+                    Some((p, rs)) if *p == record.loc => rs.push(record),
+                    _ => chain.push((record.loc.clone(), vec![record])),
+                }
+            }
+            while chain.last().is_some_and(|(p, _)| !q.starts_with(p)) {
+                chain.pop();
+            }
+            let mut candidates: Vec<ProvRecord> = Vec::new();
+            if self.hierarchical {
+                candidates.extend(above.iter().cloned());
+                for (_, rs) in &chain {
+                    candidates.extend(rs.iter().cloned());
+                }
+            } else if let Some((p, rs)) = chain.last() {
+                if p == q {
+                    candidates.extend(rs.iter().cloned());
+                }
+            }
+            let gov = Self::best_governing(candidates, tnow);
+            for step in self.trace_onward(q, gov)? {
+                out.insert(step.tid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The backward trace chain of `loc` given an already-resolved
+    /// first governing record; subsequent hops resolve against the
+    /// store. `None` means nothing governs `loc` — the node was
+    /// unchanged all the way back.
+    fn trace_onward(
+        &self,
+        loc: &Path,
+        mut gov: Option<(ProvRecord, Path)>,
+    ) -> Result<Vec<TraceStep>> {
+        let mut steps = Vec::new();
+        let mut cur = loc.clone();
+        while let Some((record, at)) = gov {
+            let action = Self::resolve(&record, &at, &cur);
+            steps.push(TraceStep { tid: record.tid, loc: cur.clone(), action: action.clone() });
+            let FromStep::Copied { src } = action else { break };
+            if !src.starts_with(&self.target) {
+                break; // the chain exits T — sources don't track provenance
+            }
+            let Some(prev) = record.tid.prev() else { break };
+            cur = src;
+            gov = self.governing(&cur, prev)?;
+        }
+        Ok(steps)
     }
 
     /// Builds the prefetched seed for a `get_mod` call: valid whenever
@@ -311,7 +453,7 @@ impl QueryEngine {
         // and `get_mod` falls back to per-node store probes.
         let mut under: BTreeMap<String, Vec<ProvRecord>> = BTreeMap::new();
         let mut seeded = 0usize;
-        let mut cursor = self.store.scan_loc_prefix(&root, self.scan_batch)?;
+        let mut cursor = self.reads.scan_loc_prefix(&root, self.scan_batch)?;
         while let Some(batch) = cursor.next_batch()? {
             seeded += batch.len();
             if seeded > self.seed_limit {
@@ -325,13 +467,44 @@ impl QueryEngine {
         // records governing the root from its ancestors.
         let mut above: BTreeMap<String, Vec<ProvRecord>> = BTreeMap::new();
         if self.hierarchical && root.len() > self.target.len() {
-            for r in self.store.by_loc_chain(&root, self.target.len())? {
+            for r in self.reads.by_loc_chain(&root, self.target.len())? {
                 if r.loc.len() < root.len() {
                     above.entry(r.loc.key()).or_default().push(r);
                 }
             }
         }
         Ok(Some(PrefixSeed { root, under, above }))
+    }
+}
+
+/// Pull adapter over a [`crate::RecordCursor`]: hands out one record
+/// at a time, fetching the next page only when the buffered one is
+/// exhausted — the streaming `get_mod` merge never holds more than a
+/// page.
+struct PagedRecords<'a> {
+    cursor: crate::store::RecordCursor<'a>,
+    pending: VecDeque<ProvRecord>,
+    done: bool,
+}
+
+impl<'a> PagedRecords<'a> {
+    fn new(cursor: crate::store::RecordCursor<'a>) -> PagedRecords<'a> {
+        PagedRecords { cursor, pending: VecDeque::new(), done: false }
+    }
+
+    /// Pops the next record iff it satisfies `keep` (a monotone
+    /// key-order predicate), fetching pages as needed.
+    fn next_if(&mut self, keep: impl Fn(&ProvRecord) -> bool) -> Result<Option<ProvRecord>> {
+        while self.pending.is_empty() && !self.done {
+            match self.cursor.next_batch()? {
+                Some(batch) => self.pending.extend(batch),
+                None => self.done = true,
+            }
+        }
+        match self.pending.front() {
+            Some(front) if keep(front) => Ok(self.pending.pop_front()),
+            _ => Ok(None),
+        }
     }
 }
 
@@ -385,10 +558,11 @@ impl PrefixSeed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::MemStore;
+    use crate::store::{MemStore, ProvStore};
     use crate::tracker::{Strategy, Tracker};
     use cpdb_update::fixtures::{figure3_script, figure4_workspace};
     use cpdb_update::Workspace;
+    use std::sync::Arc;
 
     fn p(s: &str) -> Path {
         s.parse().unwrap()
@@ -525,31 +699,86 @@ mod tests {
 
     /// `get_mod` must answer identically whether the subtree seed is
     /// materialized in one statement (default), streamed in small
-    /// pages, or abandoned early by a seed cap (falling back to
-    /// per-node store probes) — only the memory/round-trip trade-off
-    /// may move.
+    /// pages, abandoned early by a seed cap (falling back to per-node
+    /// store probes), or never materialized at all (the streaming
+    /// merge) — only the memory/round-trip trade-off may move.
     #[test]
     fn mod_is_invariant_under_seed_streaming_and_early_termination() {
         for strategy in [Strategy::Naive, Strategy::Hierarchical] {
             let (q, ws, tnow) = setup(strategy, 1);
-            let store = q.store().clone();
+            let reads = q.reads().clone();
             let hierarchical = strategy.is_hierarchical();
             let all = ws.target().root().all_paths(&p("T"));
             let sub = ws.target().get(&p("T/c2")).unwrap().all_paths(&p("T/c2"));
             let want_all = q.get_mod(&all, tnow).unwrap();
             let want_sub = q.get_mod(&sub, tnow).unwrap();
             // Streamed seeding: tiny pages, same answers, more trips.
-            let streamed = QueryEngine::new(store.clone(), hierarchical, "T").with_scan_batch(2);
+            let streamed = QueryEngine::new(reads.clone(), hierarchical, "T").with_scan_batch(2);
             assert_eq!(streamed.get_mod(&all, tnow).unwrap(), want_all, "{strategy}");
             assert_eq!(streamed.get_mod(&sub, tnow).unwrap(), want_sub, "{strategy}");
             // A cap the whole-database subtree exceeds: seeding stops
             // early (cursor dropped mid-scan) and the traces fall back
             // to the store — answers unchanged.
-            let capped = QueryEngine::new(store.clone(), hierarchical, "T")
+            let capped = QueryEngine::new(reads.clone(), hierarchical, "T")
                 .with_scan_batch(2)
                 .with_seed_limit(3);
             assert_eq!(capped.get_mod(&all, tnow).unwrap(), want_all, "{strategy}");
             assert_eq!(capped.get_mod(&sub, tnow).unwrap(), want_sub, "{strategy}");
+            // The streaming merge: no client-side seed at all.
+            let streaming = QueryEngine::new(reads.clone(), hierarchical, "T")
+                .with_scan_batch(2)
+                .with_streaming_seed();
+            assert_eq!(streaming.get_mod(&all, tnow).unwrap(), want_all, "{strategy}");
+            assert_eq!(streaming.get_mod(&sub, tnow).unwrap(), want_sub, "{strategy}");
+        }
+    }
+
+    /// The streaming merge must answer from the scan, not degenerate
+    /// into per-node probes: over a wide flat subtree the read trips
+    /// are the scan pages (plus the answer chain's own hops), an order
+    /// of magnitude below one-probe-per-node.
+    #[test]
+    fn streaming_mod_scans_once_instead_of_probing_per_node() {
+        let store = Arc::new(MemStore::new());
+        let mut nodes = vec![p("T/c2")];
+        store.insert(&ProvRecord::insert(Tid(1), p("T/c2"))).unwrap();
+        for i in 0..100u64 {
+            let loc = p(&format!("T/c2/n{i}"));
+            store.insert(&ProvRecord::insert(Tid(2), loc.clone())).unwrap();
+            nodes.push(loc);
+        }
+        let streaming =
+            QueryEngine::new(store.clone(), false, "T").with_scan_batch(10).with_streaming_seed();
+        store.reset_trips();
+        let mods = streaming.get_mod(&nodes, Tid(9)).unwrap();
+        assert_eq!(mods.into_iter().collect::<Vec<_>>(), vec![Tid(1), Tid(2)]);
+        let trips = store.read_trips();
+        assert!(
+            (10..=12).contains(&trips),
+            "101 nodes over 101 records must cost ~11 scan pages, not 101 probes: {trips} trips"
+        );
+    }
+
+    /// Hierarchical streaming must resolve descendants from ancestor
+    /// records retained on the merge's chain — including records that
+    /// streamed past many nodes ago — and records governing the root
+    /// from above the subtree via the single chain probe.
+    #[test]
+    fn streaming_mod_resolves_from_the_ancestor_chain() {
+        for strategy in [Strategy::Hierarchical, Strategy::Naive] {
+            let (q, ws, tnow) = setup(strategy, 1);
+            let streaming = QueryEngine::new(q.reads().clone(), strategy.is_hierarchical(), "T")
+                .with_scan_batch(1)
+                .with_streaming_seed();
+            // A subtree strictly below records anchored at its root's
+            // ancestor (T/c2 copied in txn 124 governs T/c2/x): the
+            // `above` probe must supply them.
+            let sub = ws.target().get(&p("T/c2/x")).unwrap().all_paths(&p("T/c2/x"));
+            assert_eq!(
+                streaming.get_mod(&sub, tnow).unwrap(),
+                q.get_mod(&sub, tnow).unwrap(),
+                "{strategy}"
+            );
         }
     }
 

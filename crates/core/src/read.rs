@@ -1,0 +1,188 @@
+//! The consumer-side read facade: [`ReadHandle`] / [`ReadArc`].
+//!
+//! [`crate::ProvStore`] is the **provider SPI**: backends implement
+//! it, and its surface mixes reads, writes, checkpointing, and
+//! metering. Consumers of provenance — the tracker's insert probe,
+//! the query engine, the datalog evaluator, serving sessions — only
+//! ever *read*, and which records they should see depends on a
+//! **consistency mode**, not on which backend is underneath:
+//!
+//! * **read-your-writes** — the handle is the store itself (through a
+//!   [`PipelinedStore`](crate::PipelinedStore) this flushes the
+//!   commit queue before every probe);
+//! * **snapshot** — the handle is a
+//!   [`SnapshotReader`](crate::SnapshotReader): reads pin the last
+//!   committed epoch and never flush.
+//!
+//! [`ReadHandle`] is exactly the read surface those consumers use,
+//! and [`ReadArc`] is the cheaply-clonable owned form they hold.
+//! Every `Arc<impl ProvStore>` (including `Arc<dyn ProvStore>`)
+//! converts into a [`ReadArc`] via `From`, so existing call sites
+//! that pass a store where a handle is expected keep compiling —
+//! they just get read-your-writes, the mode they already had.
+
+use crate::error::Result;
+use crate::record::{ProvRecord, Tid};
+use crate::store::{ProvStore, RecordCursor};
+use cpdb_tree::Path;
+use std::sync::Arc;
+
+/// The read-only surface consumers bind to, at a consistency mode
+/// chosen by whoever constructed the handle. Method contracts
+/// (ordering, cost model) are those of the identically-named
+/// [`ProvStore`] methods.
+pub trait ReadHandle: Send + Sync {
+    /// All records, unordered (one read round trip).
+    fn all(&self) -> Result<Vec<ProvRecord>>;
+
+    /// Records with exactly this `tid` and `loc`.
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records at a location, any transaction.
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records of a transaction.
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>>;
+
+    /// Records in the subtree under `prefix` (one range scan).
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// One transaction's records under `prefix`.
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>>;
+
+    /// Records at `loc` or any ancestor with at least `min_depth`
+    /// segments (one batched `IN`-list probe).
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>>;
+
+    /// Streams the subtree under `prefix` in encoded-key order, at
+    /// most `batch` records per page.
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>>;
+
+    /// Streaming variant of [`ReadHandle::by_tid_loc_prefix`].
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>>;
+}
+
+/// Adapts any shared [`ProvStore`] to [`ReadHandle`] by delegation —
+/// the read-your-writes binding. A concrete (`Sized`) wrapper rather
+/// than a blanket impl so `Arc<dyn ProvStore>` adapts without unsized
+/// coercion and stores stay free to offer richer handles of their own.
+struct StoreReader<S: ?Sized>(Arc<S>);
+
+impl<S: ProvStore + ?Sized> ReadHandle for StoreReader<S> {
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.0.all()
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.0.at(tid, loc)
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.0.by_loc(loc)
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.0.by_tid(tid)
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.0.by_loc_prefix(prefix)
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.0.by_tid_loc_prefix(tid, prefix)
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.0.by_loc_chain(loc, min_depth)
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        self.0.scan_loc_prefix(prefix, batch)
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        self.0.scan_tid_loc_prefix(tid, prefix, batch)
+    }
+}
+
+/// A cheaply-clonable owned [`ReadHandle`] — what long-lived
+/// consumers ([`crate::QueryEngine`], [`crate::Tracker`], serving
+/// sessions) hold. Dereferences to `dyn ReadHandle`.
+#[derive(Clone)]
+pub struct ReadArc(Arc<dyn ReadHandle>);
+
+impl ReadArc {
+    /// Wraps an arbitrary handle implementation (a
+    /// [`SnapshotReader`](crate::SnapshotReader), a test double, …).
+    pub fn from_handle(handle: impl ReadHandle + 'static) -> ReadArc {
+        ReadArc(Arc::new(handle))
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> &dyn ReadHandle {
+        self.0.as_ref()
+    }
+}
+
+impl std::ops::Deref for ReadArc {
+    type Target = dyn ReadHandle;
+
+    fn deref(&self) -> &(dyn ReadHandle + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl<S: ProvStore + ?Sized + 'static> From<Arc<S>> for ReadArc {
+    fn from(store: Arc<S>) -> ReadArc {
+        ReadArc(Arc::new(StoreReader(store)))
+    }
+}
+
+impl From<&Arc<dyn ProvStore>> for ReadArc {
+    fn from(store: &Arc<dyn ProvStore>) -> ReadArc {
+        ReadArc::from(store.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn store_arcs_convert_and_answer_like_the_store() {
+        let store = Arc::new(MemStore::new());
+        store.insert(&ProvRecord::insert(Tid(1), p("T/a"))).unwrap();
+        store.insert(&ProvRecord::insert(Tid(2), p("T/b"))).unwrap();
+
+        // Concrete Arc and trait-object Arc both convert.
+        let h: ReadArc = store.clone().into();
+        let dyn_store: Arc<dyn ProvStore> = store.clone();
+        let h2: ReadArc = dyn_store.into();
+
+        assert_eq!(h.by_loc(&p("T/a")).unwrap().len(), 1);
+        assert_eq!(h2.by_tid(Tid(2)).unwrap().len(), 1);
+        assert_eq!(h.by_loc_prefix(&p("T")).unwrap().len(), 2);
+        assert_eq!(h.scan_loc_prefix(&p("T"), 1).unwrap().drain().unwrap().len(), 2);
+
+        // Clones share the same underlying store.
+        let h3 = h.clone();
+        store.insert(&ProvRecord::insert(Tid(3), p("T/c"))).unwrap();
+        assert_eq!(h3.all().unwrap().len(), 3, "read-your-writes binding");
+    }
+}

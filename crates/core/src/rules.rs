@@ -15,6 +15,7 @@
 //! recursion needed by the Trace query"; the bridge exists for
 //! validation, not production.
 
+use crate::read::ReadHandle;
 use crate::record::{ProvRecord, Tid};
 use cpdb_datalog::{parse_program, Database, DatalogError, Engine, Val};
 use cpdb_tree::Path;
@@ -89,34 +90,88 @@ fn path_val(p: &Path) -> Val {
     Val::Sym(p.to_string())
 }
 
+/// Page size of [`evaluate_from`]'s record scan: large enough that the
+/// fact load costs a handful of round trips, small enough that the
+/// evaluator never holds more than a sliver of the store.
+const SCAN_PAGE: usize = 512;
+
+fn add_record_fact(engine: &mut Engine, r: &ProvRecord) -> Result<(), DatalogError> {
+    engine.add_fact(
+        "HProv",
+        vec![
+            tid_val(r.tid),
+            Val::sym(r.op.code()),
+            path_val(&r.loc),
+            r.src.as_ref().map_or(Val::sym(cpdb_datalog::NULL), path_val),
+        ],
+    )
+}
+
+fn add_query_facts(
+    engine: &mut Engine,
+    versions: &[(Tid, Vec<Path>)],
+    tnow: Tid,
+    query_locs: &[Path],
+    mod_roots: &[Path],
+) -> Result<(), DatalogError> {
+    for (tid, nodes) in versions {
+        for p in nodes {
+            engine.add_fact("Node", vec![tid_val(*tid), path_val(p)])?;
+        }
+    }
+    engine.add_fact("TNow", vec![tid_val(tnow)])?;
+    for p in query_locs {
+        engine.add_fact("QueryLoc", vec![path_val(p)])?;
+    }
+    for p in mod_roots {
+        engine.add_fact("ModRoot", vec![path_val(p)])?;
+    }
+    Ok(())
+}
+
 /// Loads the facts and evaluates [`PAPER_RULES`].
 pub fn evaluate(inputs: &RuleInputs<'_>) -> Result<Database, DatalogError> {
     let program = parse_program(PAPER_RULES)?;
     let mut engine = Engine::new(program)?;
     for r in inputs.records {
-        engine.add_fact(
-            "HProv",
-            vec![
-                tid_val(r.tid),
-                Val::sym(r.op.code()),
-                path_val(&r.loc),
-                r.src.as_ref().map_or(Val::sym(cpdb_datalog::NULL), path_val),
-            ],
-        )?;
+        add_record_fact(&mut engine, r)?;
     }
-    for (tid, nodes) in inputs.versions {
-        for p in nodes {
-            engine.add_fact("Node", vec![tid_val(*tid), path_val(p)])?;
+    add_query_facts(
+        &mut engine,
+        inputs.versions,
+        inputs.tnow,
+        inputs.query_locs,
+        inputs.mod_roots,
+    )?;
+    engine.run()
+}
+
+/// [`evaluate`] reading its `HProv` facts straight from a read handle:
+/// the records anchored under `root` (the target database's root —
+/// every tracked record's `Loc` lies inside the target) stream into
+/// the evaluator page by page, so the caller never materializes the
+/// store's contents. Which records the rules see follows the handle's
+/// consistency mode — a snapshot handle cross-checks a pinned epoch
+/// without flushing anyone's write pipeline.
+pub fn evaluate_from(
+    reads: &dyn ReadHandle,
+    root: &Path,
+    versions: &[(Tid, Vec<Path>)],
+    tnow: Tid,
+    query_locs: &[Path],
+    mod_roots: &[Path],
+) -> crate::error::Result<Database> {
+    let program = parse_program(PAPER_RULES).map_err(crate::error::CoreError::from)?;
+    let mut engine = Engine::new(program).map_err(crate::error::CoreError::from)?;
+    let mut cursor = reads.scan_loc_prefix(root, SCAN_PAGE)?;
+    while let Some(batch) = cursor.next_batch()? {
+        for r in &batch {
+            add_record_fact(&mut engine, r).map_err(crate::error::CoreError::from)?;
         }
     }
-    engine.add_fact("TNow", vec![tid_val(inputs.tnow)])?;
-    for p in inputs.query_locs {
-        engine.add_fact("QueryLoc", vec![path_val(p)])?;
-    }
-    for p in inputs.mod_roots {
-        engine.add_fact("ModRoot", vec![path_val(p)])?;
-    }
-    engine.run()
+    add_query_facts(&mut engine, versions, tnow, query_locs, mod_roots)
+        .map_err(crate::error::CoreError::from)?;
+    engine.run().map_err(crate::error::CoreError::from)
 }
 
 /// Extracts `Src(loc)` answers from an evaluated database.

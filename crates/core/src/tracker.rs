@@ -31,6 +31,7 @@
 //!   to be worthwhile").
 
 use crate::error::Result;
+use crate::read::ReadArc;
 use crate::record::{Op, ProvRecord, Tid};
 use crate::store::ProvStore;
 use cpdb_tree::{Path, Tree};
@@ -99,6 +100,11 @@ enum OutEntry {
 pub struct Tracker {
     strategy: Strategy,
     store: Arc<dyn ProvStore>,
+    /// Read binding for the hierarchical insert probe. Defaults to the
+    /// store itself (read-your-writes — the probe *must* see this
+    /// transaction's own records); overridable for serving fronts that
+    /// route reads through a facade.
+    reads: ReadArc,
     next_tid: Tid,
     /// Output-side entries (`I`/`C`) of the open transaction.
     outs: BTreeMap<Path, OutEntry>,
@@ -113,12 +119,24 @@ impl Tracker {
     pub fn new(strategy: Strategy, store: Arc<dyn ProvStore>, first_tid: Tid) -> Tracker {
         Tracker {
             strategy,
+            reads: ReadArc::from(store.clone()),
             store,
             next_tid: first_tid,
             outs: BTreeMap::new(),
             dels: BTreeSet::new(),
             pending_ops: 0,
         }
+    }
+
+    /// Routes the tracker's read probes (the hierarchical insert
+    /// lookup) through `reads` instead of straight at the store. The
+    /// handle must still observe this tracker's own writes — a
+    /// read-your-writes binding over the same store, possibly wrapped
+    /// by a serving facade. Snapshot handles are *not* suitable here:
+    /// the probe asks about records of the currently open transaction.
+    pub fn with_reads(mut self, reads: impl Into<ReadArc>) -> Tracker {
+        self.reads = reads.into();
+        self
     }
 
     /// The tracker's strategy.
@@ -236,7 +254,7 @@ impl Tracker {
                 // transaction's records inside `path`'s database — it
                 // never fetches unrelated transactions.
                 let db_root = path.first().map(Path::single).unwrap_or_else(Path::epsilon);
-                let same_txn = self.store.by_tid_loc_prefix(tid, &db_root)?;
+                let same_txn = self.reads.by_tid_loc_prefix(tid, &db_root)?;
                 let inferable = same_txn
                     .iter()
                     .any(|r| r.op == Op::Insert && r.loc.is_prefix_of(path) && r.loc != *path);

@@ -53,18 +53,13 @@ fn check_equivalence(
     tnow: Tid,
     strategy: Strategy,
 ) {
-    use cpdb_core::ProvStore;
     let root = ws.target().root_path();
     let all_locs = ws.target().root().all_paths(&root);
-    let records = store.all().unwrap();
-    let db = rules::evaluate(&rules::RuleInputs {
-        records: &records,
-        versions,
-        tnow,
-        query_locs: &all_locs,
-        mod_roots: &all_locs,
-    })
-    .unwrap();
+    // The evaluator streams its facts from a read handle — the store's
+    // contents are never materialized on this side of the check.
+    let reads = cpdb_core::ReadArc::from(store.clone());
+    let db =
+        rules::evaluate_from(reads.handle(), &root, versions, tnow, &all_locs, &all_locs).unwrap();
     let engine = QueryEngine::new(store, strategy.is_hierarchical(), "T");
 
     for loc in &all_locs {

@@ -1,0 +1,302 @@
+//! Snapshot-vs-flush equivalence: a [`SnapshotReader`] over a quiesced
+//! [`PipelinedStore`] must answer every read bit-for-bit like the
+//! flushing read-your-writes path, across the deployment shapes; and
+//! under concurrent producers a snapshot must observe a batch-atomic
+//! prefix of the accepted stream — never a torn `insert_batch` call,
+//! never a record newer than its pinned epoch.
+//!
+//! [`SnapshotReader`]: cpdb_core::SnapshotReader
+
+use cpdb_core::{
+    MemStore, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ReadHandle, ShardedStore,
+    SqlStore, Tid,
+};
+use cpdb_storage::Engine;
+use cpdb_tree::Path;
+use cpdb_update::AtomicUpdate;
+use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Provenance records the seeded workload's script would produce (the
+/// same derivation as the `store_equiv` suite: one record per atomic
+/// update, plus a child-level record per copy for subtree depth).
+fn records_from(wl: &Workload) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    for (i, u) in wl.script.iter().enumerate() {
+        let tid = Tid(1 + (i / 5) as u64);
+        match u {
+            AtomicUpdate::Insert { target, label, .. } => {
+                out.push(ProvRecord::insert(tid, target.child(*label)));
+            }
+            AtomicUpdate::Delete { target, label } => {
+                out.push(ProvRecord::delete(tid, target.child(*label)));
+            }
+            AtomicUpdate::Copy { src, target } => {
+                out.push(ProvRecord::copy(tid, target.clone(), src.clone()));
+                out.push(ProvRecord::copy(tid, target.child("x"), src.child("x")));
+            }
+        }
+    }
+    out
+}
+
+/// The top-level containers (`T/<label>`) appearing in the records.
+fn containers_of(records: &[ProvRecord]) -> Vec<Path> {
+    let set: BTreeSet<Path> = records
+        .iter()
+        .filter(|r| r.loc.len() >= 2)
+        .map(|r| Path::from(&r.loc.segments()[..2]))
+        .collect();
+    set.into_iter().collect()
+}
+
+fn sorted(mut v: Vec<ProvRecord>) -> Vec<ProvRecord> {
+    v.sort();
+    v
+}
+
+fn drain(mut cur: cpdb_core::RecordCursor<'_>) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    while let Some(chunk) = cur.next_batch().unwrap() {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Quiesced equivalence: once the pipeline has drained, the snapshot
+/// reader and the flushing store agree on every [`ReadHandle`] method,
+/// for every probe in the matrix, on each deployment shape.
+#[test]
+fn quiesced_snapshot_matches_flushing_reads_bit_for_bit() {
+    let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 500, 2026), 500);
+    let records = records_from(&wl);
+    let containers = containers_of(&records);
+    assert!(containers.len() >= 8, "workload must exercise many containers");
+
+    let e1 = Engine::in_memory();
+    let deployments: [(&str, Arc<PipelinedStore>); 3] = [
+        (
+            "pipelined-mem",
+            Arc::new(PipelinedStore::spawn(Arc::new(MemStore::new()), PipelineConfig::batched(16))),
+        ),
+        (
+            "pipelined-sql",
+            Arc::new(PipelinedStore::spawn(
+                Arc::new(SqlStore::create(&e1, true).unwrap()),
+                PipelineConfig::batched(16),
+            )),
+        ),
+        (
+            "pipelined-sharded-parallel",
+            Arc::new(PipelinedStore::spawn(
+                Arc::new(
+                    ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+                        .unwrap()
+                        .with_parallel_executor(),
+                ),
+                PipelineConfig::batched(16),
+            )),
+        ),
+    ];
+
+    for (name, pipe) in &deployments {
+        // Both enqueue paths, then quiesce.
+        for (i, chunk) in records.chunks(7).enumerate() {
+            if i % 2 == 0 {
+                pipe.insert_batch(chunk).unwrap();
+            } else {
+                for r in chunk {
+                    pipe.insert(r).unwrap();
+                }
+            }
+        }
+        pipe.flush().unwrap();
+        let snap = pipe.snapshot_reader();
+        assert_eq!(snap.epoch(), records.len() as u64, "{name}: epoch covers the whole load");
+
+        assert_eq!(sorted(snap.all().unwrap()), sorted(pipe.all().unwrap()), "{name}: all");
+
+        let max_tid = 1 + (records.len() / 5) as u64;
+        for tid in (0..=max_tid + 1).map(Tid) {
+            assert_eq!(
+                sorted(snap.by_tid(tid).unwrap()),
+                sorted(pipe.by_tid(tid).unwrap()),
+                "{name}: by_tid {tid:?}"
+            );
+        }
+
+        let mut prefixes = containers.clone();
+        prefixes.push(Path::single(wl.target_name));
+        prefixes.push(Path::epsilon());
+        prefixes.push("T/zzz/nope".parse().unwrap());
+        for prefix in &prefixes {
+            assert_eq!(
+                sorted(snap.by_loc_prefix(prefix).unwrap()),
+                sorted(pipe.by_loc_prefix(prefix).unwrap()),
+                "{name}: by_loc_prefix {prefix}"
+            );
+            for tid in [Tid(1), Tid(17), Tid(9999)] {
+                assert_eq!(
+                    sorted(snap.by_tid_loc_prefix(tid, prefix).unwrap()),
+                    sorted(pipe.by_tid_loc_prefix(tid, prefix).unwrap()),
+                    "{name}: by_tid_loc_prefix {tid:?} {prefix}"
+                );
+            }
+            // Streaming cursors at several batch sizes: bit-for-bit,
+            // including arrival order.
+            for batch in [1usize, 3, 64, usize::MAX] {
+                assert_eq!(
+                    drain(snap.scan_loc_prefix(prefix, batch).unwrap()),
+                    drain(pipe.scan_loc_prefix(prefix, batch).unwrap()),
+                    "{name}: scan_loc_prefix {prefix} b{batch}"
+                );
+            }
+            for tid in [Tid(1), Tid(9999)] {
+                assert_eq!(
+                    drain(snap.scan_tid_loc_prefix(tid, prefix, 8).unwrap()),
+                    drain(pipe.scan_tid_loc_prefix(tid, prefix, 8).unwrap()),
+                    "{name}: scan_tid_loc_prefix {tid:?} {prefix}"
+                );
+            }
+        }
+
+        for r in records.iter().step_by(13) {
+            assert_eq!(
+                sorted(snap.at(r.tid, &r.loc).unwrap()),
+                sorted(pipe.at(r.tid, &r.loc).unwrap()),
+                "{name}: at"
+            );
+            assert_eq!(
+                sorted(snap.by_loc(&r.loc).unwrap()),
+                sorted(pipe.by_loc(&r.loc).unwrap()),
+                "{name}: by_loc"
+            );
+            for min_depth in [0usize, 1, 2] {
+                assert_eq!(
+                    sorted(snap.by_loc_chain(&r.loc, min_depth).unwrap()),
+                    sorted(pipe.by_loc_chain(&r.loc, min_depth).unwrap()),
+                    "{name}: by_loc_chain {min_depth}"
+                );
+            }
+        }
+    }
+}
+
+/// The record batch `w` writes as its `b`-th transactional commit: all
+/// five records share one tid, so a torn `insert_batch` call is
+/// detectable as a tid with fewer than five visible records.
+fn producer_batch(containers: &[Path], w: usize, b: usize) -> Vec<ProvRecord> {
+    let tid = Tid((w * 10_000 + b) as u64);
+    (0..5)
+        .map(|j| {
+            let loc = containers[(w + b + j) % containers.len()]
+                .child(format!("w{w}"))
+                .child(format!("b{b}"))
+                .child(format!("r{j}"));
+            ProvRecord::insert(tid, loc)
+        })
+        .collect()
+}
+
+/// Asserts `rows` is batch-atomic: every visible producer tid has all
+/// five of its records. Returns the visible batch count.
+fn assert_batch_atomic(rows: &[ProvRecord], what: &str) -> usize {
+    let mut per_tid: BTreeMap<Tid, usize> = BTreeMap::new();
+    for r in rows {
+        *per_tid.entry(r.tid).or_default() += 1;
+    }
+    for (tid, n) in &per_tid {
+        assert_eq!(*n, 5, "{what}: tid {tid:?} is torn ({n} of 5 records visible)");
+    }
+    per_tid.len()
+}
+
+/// Four concurrent producers stream five-record `insert_batch` calls
+/// through the pipeline while snapshot readers probe and a pinned
+/// cursor drains: every observation is a batch-atomic prefix — no call
+/// is ever half-visible, sizes never regress across successive reads,
+/// and the drained cursor equals a prefix frozen at its pin.
+#[test]
+fn concurrent_producers_snapshots_observe_batch_atomic_prefixes() {
+    let containers: Vec<Path> = (1..=8).map(|i| format!("T/c{i}").parse().unwrap()).collect();
+    let sharded = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    // A batch size that does not divide the 5-record calls, so the
+    // committers constantly drain partial calls and the epoch's
+    // boundary discipline is what keeps reads atomic.
+    let pipe = Arc::new(PipelinedStore::spawn(Arc::new(sharded), PipelineConfig::batched(8)));
+    let snap = pipe.snapshot_reader();
+
+    let writers = 4usize;
+    let batches = 60usize;
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let pipe = Arc::clone(&pipe);
+            let containers = &containers;
+            scope.spawn(move || {
+                for b in 0..batches {
+                    pipe.insert_batch(&producer_batch(containers, w, b)).unwrap();
+                }
+            });
+        }
+        // Snapshot probes racing the producers: batch-atomic, monotone.
+        for _ in 0..2 {
+            let reader = pipe.snapshot_reader();
+            scope.spawn(move || {
+                let mut last = 0usize;
+                for _ in 0..40 {
+                    let rows = reader.all().unwrap();
+                    let seen = assert_batch_atomic(&rows, "racing all()");
+                    assert!(seen >= last, "visible prefix regressed: {seen} < {last}");
+                    last = seen;
+                }
+            });
+        }
+        // A cursor pinned mid-stream: drains a frozen prefix.
+        {
+            let reader = pipe.snapshot_reader();
+            scope.spawn(move || {
+                let rows = drain(reader.scan_loc_prefix(&Path::epsilon(), 16).unwrap());
+                assert!(
+                    rows.windows(2).all(|p| p[0].loc.key() <= p[1].loc.key()),
+                    "cursor pages arrive in key order"
+                );
+                assert_batch_atomic(&rows, "pinned cursor");
+            });
+        }
+    });
+
+    pipe.flush().unwrap();
+    assert_eq!(snap.epoch(), (writers * batches * 5) as u64);
+    let rows = snap.all().unwrap();
+    assert_eq!(assert_batch_atomic(&rows, "final"), writers * batches);
+    assert_eq!(sorted(rows), sorted(pipe.all().unwrap()), "final snapshot equals flushed store");
+}
+
+/// Snapshot reads never flush: with the committer's batch threshold
+/// out of reach, queued records stay queued across any number of
+/// snapshot probes — and remain invisible to them — until a
+/// read-your-writes read forces the drain.
+#[test]
+fn snapshot_reads_leave_the_queue_alone() {
+    let inner = Arc::new(MemStore::new());
+    let pipe = PipelinedStore::spawn(inner.clone(), PipelineConfig::batched(1_000_000));
+    let snap = pipe.snapshot_reader();
+    let records: Vec<ProvRecord> =
+        (0..64).map(|i| ProvRecord::insert(Tid(i), format!("T/c{i}").parse().unwrap())).collect();
+    for chunk in records.chunks(4) {
+        pipe.insert_batch(chunk).unwrap();
+    }
+    for _ in 0..10 {
+        assert!(snap.all().unwrap().is_empty(), "unadmitted records are invisible");
+        assert!(snap.by_loc_prefix(&"T".parse().unwrap()).unwrap().is_empty());
+        assert_eq!(inner.len(), 0, "snapshot probes must not drain the queue");
+        assert_eq!(pipe.pending(), 64);
+    }
+    // Read-your-writes drains; the snapshot catches up.
+    assert_eq!(pipe.all().unwrap().len(), 64);
+    assert_eq!(snap.all().unwrap().len(), 64);
+}

@@ -1,0 +1,474 @@
+//! # cpdb-serve — the multi-session serving front
+//!
+//! The paper's setting is one curator at one terminal; a provenance
+//! *service* has many: curators appending through the write pipeline,
+//! analysts running `Hist`/`Mod` sweeps, auditors draining whole
+//! subtrees — all over **one shared store**. This crate is that front:
+//!
+//! * [`Database`] — owns one shared [`PipelinedStore`] (typically
+//!   sharded and durable underneath) and a registry of **tenant
+//!   archives**: named, isolated key spaces, one subtree per tenant.
+//! * [`Session`] — a cheap per-caller handle onto one archive. Each
+//!   session picks a [`Consistency`] mode at open time:
+//!   [`Consistency::ReadYourWrites`] binds reads to the store itself
+//!   (probes flush the commit queue first — the curator's view), while
+//!   [`Consistency::Snapshot`] binds them to a
+//!   [`cpdb_core::SnapshotReader`] pinned to the committers' published
+//!   **commit epoch** — reads never flush, never wait on writers, and
+//!   observe a batch-atomic prefix of the commit stream.
+//!
+//! Writes always go through the session's archive-guarded store:
+//! a record whose `Loc` lies outside the session's archive is rejected
+//! before it reaches the pipeline (`Src` may point anywhere — copies
+//! *from* other archives are provenance, not tenancy violations).
+//!
+//! The session lifecycle is observable: `serve.sessions` gauges the
+//! sessions currently open, and the snapshot side's
+//! `serve.snapshot_reads` / `serve.epoch_lag` are recorded by the
+//! core reader every session shares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use cpdb_core::federation::Federation;
+use cpdb_core::{
+    CoreError, PipelinedStore, ProvRecord, ProvStore, QueryEngine, ReadArc, RecordCursor, Result,
+    Strategy, Tid, Tracker,
+};
+use cpdb_tree::{Label, Path};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Serving-front telemetry: the number of currently open sessions.
+struct ServeObs {
+    sessions: cpdb_obs::Gauge,
+}
+
+fn serve_obs() -> &'static ServeObs {
+    static OBS: OnceLock<ServeObs> = OnceLock::new();
+    OBS.get_or_init(|| ServeObs { sessions: cpdb_obs::global().register_gauge("serve.sessions") })
+}
+
+/// Which records a session's reads observe.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Consistency {
+    /// Reads pin the last committed epoch and **never flush** the
+    /// write pipeline: concurrent writers stay invisible (batch-
+    /// atomically — a snapshot never sees part of a commit) and the
+    /// reader never serializes behind the write stream. The session's
+    /// own just-written records become visible once the committers
+    /// catch up.
+    Snapshot,
+    /// Reads flush the commit queue before touching the store and see
+    /// every record enqueued so far — the single-curator view the
+    /// tracker and editor were built on.
+    ReadYourWrites,
+}
+
+/// Per-archive registration state.
+#[derive(Copy, Clone)]
+struct ArchiveMeta {
+    hierarchical: bool,
+}
+
+/// A served provenance database: one shared write-pipelined store,
+/// many tenant archives, many concurrent [`Session`]s.
+pub struct Database {
+    store: Arc<PipelinedStore>,
+    tenants: RwLock<BTreeMap<Label, ArchiveMeta>>,
+}
+
+impl Database {
+    /// Serves `store`. The store is shared: every session's writes
+    /// funnel into its commit queue, and its committers publish the
+    /// epoch that snapshot sessions pin.
+    pub fn new(store: Arc<PipelinedStore>) -> Database {
+        Database { store, tenants: RwLock::labeled("serve.tenants", BTreeMap::new()) }
+    }
+
+    /// Registers a tenant archive: an isolated key space rooted at
+    /// `Label/…`. `hierarchical` declares which record shape the
+    /// archive's trackers store (it parameterizes the query engines
+    /// handed to sessions). Fails if the name is taken.
+    pub fn create_archive(&self, name: impl Into<Label>, hierarchical: bool) -> Result<()> {
+        let name = name.into();
+        let mut tenants = self.tenants.write();
+        if tenants.contains_key(&name) {
+            return Err(CoreError::Editor { reason: format!("archive {name} already exists") });
+        }
+        tenants.insert(name, ArchiveMeta { hierarchical });
+        Ok(())
+    }
+
+    /// The registered archive names.
+    pub fn archives(&self) -> Vec<Label> {
+        self.tenants.read().keys().copied().collect()
+    }
+
+    /// Opens a session onto `archive` at the chosen consistency mode.
+    /// Sessions are independent: open as many as there are callers,
+    /// over the same shared store.
+    pub fn session(&self, archive: impl Into<Label>, consistency: Consistency) -> Result<Session> {
+        let archive = archive.into();
+        let Some(meta) = self.tenants.read().get(&archive).copied() else {
+            return Err(CoreError::Editor { reason: format!("unknown archive {archive}") });
+        };
+        let reads = match consistency {
+            Consistency::Snapshot => ReadArc::from(self.store.snapshot_reader()),
+            Consistency::ReadYourWrites => {
+                ReadArc::from(Arc::clone(&self.store) as Arc<dyn ProvStore>)
+            }
+        };
+        let root = Path::single(archive);
+        let writes: Arc<dyn ProvStore> =
+            Arc::new(ArchiveStore { inner: Arc::clone(&self.store), root: root.clone() });
+        Ok(Session {
+            archive,
+            root,
+            hierarchical: meta.hierarchical,
+            consistency,
+            reads,
+            writes,
+            _live: LiveSession::open(),
+        })
+    }
+
+    /// The monotone commit epoch the committers have published — what
+    /// a snapshot session opened now would pin.
+    pub fn commit_epoch(&self) -> u64 {
+        self.store.commit_epoch()
+    }
+
+    /// The shared store behind every session.
+    pub fn store(&self) -> &Arc<PipelinedStore> {
+        &self.store
+    }
+
+    /// A [`Federation`] over every archive, each member reading
+    /// through its own snapshot handle pinned at registration time —
+    /// cross-archive `Own`/`Hist` chains resolve without ever flushing
+    /// the shared write pipeline. `tnow` is the last transaction the
+    /// federation should consider in each archive's numbering.
+    pub fn federation(&self, tnow: Tid) -> Federation {
+        let mut fed = Federation::new();
+        for (name, meta) in self.tenants.read().iter() {
+            fed.register(*name, self.store.snapshot_reader(), meta.hierarchical, tnow);
+        }
+        fed
+    }
+}
+
+/// Decrements `serve.sessions` when the session drops, however it
+/// ends.
+struct LiveSession;
+
+impl LiveSession {
+    fn open() -> LiveSession {
+        serve_obs().sessions.add(1);
+        LiveSession
+    }
+}
+
+impl Drop for LiveSession {
+    fn drop(&mut self) {
+        serve_obs().sessions.add(-1);
+    }
+}
+
+/// One caller's handle onto one archive of a [`Database`], bound to a
+/// [`Consistency`] mode. Reads go through [`Session::reads`] (or the
+/// [`QueryEngine`] built on it); writes go through the archive guard,
+/// which rejects records outside the session's key space.
+pub struct Session {
+    archive: Label,
+    root: Path,
+    hierarchical: bool,
+    consistency: Consistency,
+    reads: ReadArc,
+    writes: Arc<dyn ProvStore>,
+    _live: LiveSession,
+}
+
+impl Session {
+    /// The archive this session is bound to.
+    pub fn archive(&self) -> Label {
+        self.archive
+    }
+
+    /// The archive's key-space root (`Label` as a one-segment path).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The consistency mode fixed at open time.
+    pub fn consistency(&self) -> Consistency {
+        self.consistency
+    }
+
+    /// The session's read handle — snapshot-pinned or
+    /// read-your-writes per [`Session::consistency`]. Pass it anywhere
+    /// a [`cpdb_core::ReadHandle`] is accepted.
+    pub fn reads(&self) -> &ReadArc {
+        &self.reads
+    }
+
+    /// The archive-guarded write store: accepts only records whose
+    /// `Loc` lies under this archive's root. Writes are always
+    /// pipelined through the shared commit queue regardless of the
+    /// session's read mode.
+    pub fn store(&self) -> &Arc<dyn ProvStore> {
+        &self.writes
+    }
+
+    /// Appends one record to the archive.
+    pub fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.writes.insert(record)
+    }
+
+    /// Appends a batch to the archive in one enqueue call — snapshot
+    /// readers observe it all-or-nothing.
+    pub fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        self.writes.insert_batch(records)
+    }
+
+    /// A query engine over this session's read handle, targeting the
+    /// archive — `get_src` / `get_hist` / `get_mod` at the session's
+    /// consistency mode.
+    pub fn query_engine(&self) -> QueryEngine {
+        QueryEngine::new(self.reads.clone(), self.hierarchical, self.archive)
+    }
+
+    /// A tracker writing into this archive, starting at `first_tid`.
+    /// Trackers read their own writes by construction (the
+    /// hierarchical insert probe asks about the open transaction), so
+    /// the tracker binds to the guarded store, not to the session's
+    /// possibly-snapshot read handle. The strategy's record shape must
+    /// match the archive's registration.
+    pub fn tracker(&self, strategy: Strategy, first_tid: Tid) -> Result<Tracker> {
+        if strategy.is_hierarchical() != self.hierarchical {
+            return Err(CoreError::Editor {
+                reason: format!(
+                    "archive {} is {}hierarchical but strategy {strategy} is not compatible",
+                    self.archive,
+                    if self.hierarchical { "" } else { "non-" },
+                ),
+            });
+        }
+        Ok(Tracker::new(strategy, Arc::clone(&self.writes), first_tid))
+    }
+}
+
+/// The tenancy write guard: a [`ProvStore`] view of the shared
+/// pipelined store that admits only records anchored inside one
+/// archive's subtree. Reads delegate untouched (read-your-writes);
+/// metering and pipeline plumbing pass through so the guard is
+/// cost-transparent.
+struct ArchiveStore {
+    inner: Arc<PipelinedStore>,
+    root: Path,
+}
+
+impl ArchiveStore {
+    fn admit(&self, record: &ProvRecord) -> Result<()> {
+        if record.loc.starts_with(&self.root) {
+            return Ok(());
+        }
+        Err(CoreError::Editor {
+            reason: format!(
+                "record at {} is outside archive {} — sessions write only their own key space",
+                record.loc, self.root
+            ),
+        })
+    }
+}
+
+impl ProvStore for ArchiveStore {
+    fn insert(&self, record: &ProvRecord) -> Result<()> {
+        self.admit(record)?;
+        self.inner.insert(record)
+    }
+
+    fn insert_batch(&self, records: &[ProvRecord]) -> Result<()> {
+        for r in records {
+            self.admit(r)?;
+        }
+        self.inner.insert_batch(records)
+    }
+
+    fn all(&self) -> Result<Vec<ProvRecord>> {
+        self.inner.all()
+    }
+
+    fn at(&self, tid: Tid, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.inner.at(tid, loc)
+    }
+
+    fn by_loc(&self, loc: &Path) -> Result<Vec<ProvRecord>> {
+        self.inner.by_loc(loc)
+    }
+
+    fn by_tid(&self, tid: Tid) -> Result<Vec<ProvRecord>> {
+        self.inner.by_tid(tid)
+    }
+
+    fn by_loc_prefix(&self, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.inner.by_loc_prefix(prefix)
+    }
+
+    fn by_tid_loc_prefix(&self, tid: Tid, prefix: &Path) -> Result<Vec<ProvRecord>> {
+        self.inner.by_tid_loc_prefix(tid, prefix)
+    }
+
+    fn by_loc_chain(&self, loc: &Path, min_depth: usize) -> Result<Vec<ProvRecord>> {
+        self.inner.by_loc_chain(loc, min_depth)
+    }
+
+    fn scan_loc_prefix(&self, prefix: &Path, batch: usize) -> Result<RecordCursor<'_>> {
+        self.inner.scan_loc_prefix(prefix, batch)
+    }
+
+    fn scan_tid_loc_prefix(
+        &self,
+        tid: Tid,
+        prefix: &Path,
+        batch: usize,
+    ) -> Result<RecordCursor<'_>> {
+        self.inner.scan_tid_loc_prefix(tid, prefix, batch)
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        self.inner.checkpoint()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        self.inner.physical_bytes()
+    }
+
+    fn live_bytes(&self) -> Result<u64> {
+        self.inner.live_bytes()
+    }
+
+    fn read_trips(&self) -> u64 {
+        self.inner.read_trips()
+    }
+
+    fn write_trips(&self) -> u64 {
+        self.inner.write_trips()
+    }
+
+    fn reset_trips(&self) {
+        self.inner.reset_trips()
+    }
+
+    fn set_latency(&self, read: Duration, write: Duration) {
+        self.inner.set_latency(read, write)
+    }
+
+    fn set_batch_row_latency(&self, per_row: Duration) {
+        self.inner.set_batch_row_latency(per_row)
+    }
+
+    fn commit_lanes(&self) -> usize {
+        self.inner.commit_lanes()
+    }
+
+    fn commit_lane(&self, record: &ProvRecord) -> usize {
+        self.inner.commit_lane(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpdb_core::{MemStore, PipelineConfig};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn served() -> Database {
+        let inner: Arc<dyn ProvStore> = Arc::new(MemStore::new());
+        let db = Database::new(Arc::new(PipelinedStore::spawn(inner, PipelineConfig::batched(4))));
+        db.create_archive("T", false).unwrap();
+        db.create_archive("U", true).unwrap();
+        db
+    }
+
+    #[test]
+    fn sessions_are_archive_scoped_on_writes() {
+        let db = served();
+        let t = db.session("T", Consistency::ReadYourWrites).unwrap();
+        t.insert(&ProvRecord::insert(Tid(1), p("T/a"))).unwrap();
+        // Cross-archive Loc is rejected; cross-archive Src is fine.
+        assert!(t.insert(&ProvRecord::insert(Tid(1), p("U/a"))).is_err());
+        t.insert(&ProvRecord::copy(Tid(2), p("T/b"), p("U/x"))).unwrap();
+        assert_eq!(t.reads().by_loc_prefix(&p("T")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_sessions_lag_and_catch_up() {
+        let db = served();
+        let writer = db.session("T", Consistency::ReadYourWrites).unwrap();
+        let snap = db.session("T", Consistency::Snapshot).unwrap();
+        writer.insert_batch(&[ProvRecord::insert(Tid(1), p("T/a"))]).unwrap();
+        // Nothing flushed or committed yet: the snapshot may see 0; the
+        // writer's own read flushes and must see 1.
+        assert_eq!(writer.reads().by_loc(&p("T/a")).unwrap().len(), 1);
+        db.store().flush().unwrap();
+        // A *new* snapshot session pins the advanced epoch.
+        let snap2 = db.session("T", Consistency::Snapshot).unwrap();
+        assert_eq!(snap2.reads().by_loc(&p("T/a")).unwrap().len(), 1);
+        drop(snap);
+    }
+
+    #[test]
+    fn session_gauge_tracks_lifecycle() {
+        let db = served();
+        let before = cpdb_obs::global().snapshot().gauge("serve.sessions").unwrap_or(0);
+        let s1 = db.session("T", Consistency::Snapshot).unwrap();
+        let s2 = db.session("U", Consistency::ReadYourWrites).unwrap();
+        assert_eq!(cpdb_obs::global().snapshot().gauge("serve.sessions"), Some(before + 2));
+        drop(s1);
+        drop(s2);
+        assert_eq!(cpdb_obs::global().snapshot().gauge("serve.sessions"), Some(before));
+    }
+
+    #[test]
+    fn trackers_and_engines_bind_to_the_archive() {
+        let db = served();
+        let session = db.session("U", Consistency::ReadYourWrites).unwrap();
+        assert!(session.tracker(Strategy::Naive, Tid(1)).is_err(), "shape mismatch");
+        let mut tracker = session.tracker(Strategy::Hierarchical, Tid(1)).unwrap();
+        let mut ws = cpdb_update::Workspace::new(cpdb_tree::Database::new(
+            "U",
+            cpdb_tree::tree! { "src" => { "x" => 1 } },
+        ));
+        let e = ws.apply(&cpdb_update::AtomicUpdate::copy(p("U/src"), p("U/dst"))).unwrap();
+        tracker.track(&e).unwrap();
+        tracker.commit().unwrap();
+        let engine = session.query_engine();
+        assert_eq!(engine.get_hist(&p("U/dst/x"), Tid(1)).unwrap(), vec![Tid(1)]);
+    }
+
+    #[test]
+    fn federation_spans_archives_through_snapshots() {
+        let db = served();
+        let t = db.session("T", Consistency::ReadYourWrites).unwrap();
+        let u = db.session("U", Consistency::ReadYourWrites).unwrap();
+        // U/entry copied from T/orig; T/orig inserted locally.
+        t.insert(&ProvRecord::insert(Tid(1), p("T/orig"))).unwrap();
+        u.insert(&ProvRecord::copy(Tid(1), p("U/entry"), p("T/orig"))).unwrap();
+        db.store().flush().unwrap();
+        let fed = db.federation(Tid(1));
+        let own = fed.own(&p("U/entry")).unwrap();
+        let dbs: Vec<&str> = own.iter().map(|s| s.db.as_str()).collect();
+        assert_eq!(dbs, vec!["U", "T"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The `store_equiv` probe matrix, run through the [`Session`] front:
+//! a serving [`Database`] over a pipelined 4-shard parallel store must
+//! answer every read method exactly like a synchronous oracle — in
+//! both consistency modes. Read-your-writes sessions see the oracle's
+//! contents immediately; snapshot sessions see them once the store
+//! quiesces, and only batch-atomic prefixes before that.
+
+use cpdb_core::{
+    MemStore, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore, Tid,
+};
+use cpdb_serve::{Consistency, Database};
+use cpdb_tree::Path;
+use cpdb_update::AtomicUpdate;
+use cpdb_workload::{generate, GenConfig, UpdatePattern, Workload};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Provenance records the seeded workload's script would produce (the
+/// `store_equiv` derivation: one record per update plus a child-level
+/// record per copy).
+fn records_from(wl: &Workload) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    for (i, u) in wl.script.iter().enumerate() {
+        let tid = Tid(1 + (i / 5) as u64);
+        match u {
+            AtomicUpdate::Insert { target, label, .. } => {
+                out.push(ProvRecord::insert(tid, target.child(*label)));
+            }
+            AtomicUpdate::Delete { target, label } => {
+                out.push(ProvRecord::delete(tid, target.child(*label)));
+            }
+            AtomicUpdate::Copy { src, target } => {
+                out.push(ProvRecord::copy(tid, target.clone(), src.clone()));
+                out.push(ProvRecord::copy(tid, target.child("x"), src.child("x")));
+            }
+        }
+    }
+    out
+}
+
+fn containers_of(records: &[ProvRecord]) -> Vec<Path> {
+    let set: BTreeSet<Path> = records
+        .iter()
+        .filter(|r| r.loc.len() >= 2)
+        .map(|r| Path::from(&r.loc.segments()[..2]))
+        .collect();
+    set.into_iter().collect()
+}
+
+fn sorted(mut v: Vec<ProvRecord>) -> Vec<ProvRecord> {
+    v.sort();
+    v
+}
+
+fn drain(mut cur: cpdb_core::RecordCursor<'_>) -> Vec<ProvRecord> {
+    let mut out = Vec::new();
+    while let Some(chunk) = cur.next_batch().unwrap() {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[test]
+fn sessions_answer_the_probe_matrix_like_a_synchronous_oracle() {
+    let wl = generate(&GenConfig::for_length(UpdatePattern::Mix, 500, 42), 500);
+    let records = records_from(&wl);
+    // The archive guard admits only records located under the archive
+    // root; the workload derivation occasionally targets the root
+    // itself (a whole-database copy record), which is fine — but keep
+    // only target-rooted records so the oracle and the sessions load
+    // the identical set.
+    let target_root = Path::single(wl.target_name);
+    let records: Vec<ProvRecord> =
+        records.into_iter().filter(|r| r.loc.starts_with(&target_root)).collect();
+    let containers = containers_of(&records);
+    assert!(containers.len() >= 8);
+
+    let sharded = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    let pipe = Arc::new(PipelinedStore::spawn(Arc::new(sharded), PipelineConfig::batched(16)));
+    let db = Database::new(Arc::clone(&pipe));
+    db.create_archive(wl.target_name, false).unwrap();
+
+    let writer = db.session(wl.target_name, Consistency::ReadYourWrites).unwrap();
+    let snap = db.session(wl.target_name, Consistency::Snapshot).unwrap();
+    let ryw = db.session(wl.target_name, Consistency::ReadYourWrites).unwrap();
+    let oracle = MemStore::new();
+
+    // Load through the session front: singles and batches interleaved.
+    for (i, chunk) in records.chunks(7).enumerate() {
+        if i % 2 == 0 {
+            writer.insert_batch(chunk).unwrap();
+            oracle.insert_batch(chunk).unwrap();
+        } else {
+            for r in chunk {
+                writer.insert(r).unwrap();
+                oracle.insert(r).unwrap();
+            }
+        }
+    }
+    // Quiesce so the snapshot session's epoch covers the whole load.
+    pipe.flush().unwrap();
+    assert_eq!(db.commit_epoch(), records.len() as u64);
+
+    let fronts: [(&str, &cpdb_core::ReadArc); 2] =
+        [("snapshot", snap.reads()), ("ryw", ryw.reads())];
+    for (name, reads) in fronts {
+        assert_eq!(sorted(reads.all().unwrap()), sorted(oracle.all().unwrap()), "{name}: all");
+
+        let max_tid = 1 + (records.len() / 5) as u64;
+        for tid in (0..=max_tid + 1).map(Tid) {
+            assert_eq!(
+                sorted(reads.by_tid(tid).unwrap()),
+                sorted(oracle.by_tid(tid).unwrap()),
+                "{name}: by_tid {tid:?}"
+            );
+        }
+
+        let mut prefixes = containers.clone();
+        prefixes.push(target_root.clone());
+        prefixes.push(Path::epsilon());
+        prefixes.push("T/zzz/nope".parse().unwrap());
+        for prefix in &prefixes {
+            assert_eq!(
+                sorted(reads.by_loc_prefix(prefix).unwrap()),
+                sorted(oracle.by_loc_prefix(prefix).unwrap()),
+                "{name}: by_loc_prefix {prefix}"
+            );
+            for tid in [Tid(1), Tid(17), Tid(9999)] {
+                assert_eq!(
+                    sorted(reads.by_tid_loc_prefix(tid, prefix).unwrap()),
+                    sorted(oracle.by_tid_loc_prefix(tid, prefix).unwrap()),
+                    "{name}: by_tid_loc_prefix {tid:?} {prefix}"
+                );
+            }
+            for batch in [1usize, 64, usize::MAX] {
+                assert_eq!(
+                    sorted(drain(reads.scan_loc_prefix(prefix, batch).unwrap())),
+                    sorted(oracle.by_loc_prefix(prefix).unwrap()),
+                    "{name}: scan_loc_prefix {prefix} b{batch}"
+                );
+            }
+            assert_eq!(
+                sorted(drain(reads.scan_tid_loc_prefix(Tid(1), prefix, 8).unwrap())),
+                sorted(oracle.by_tid_loc_prefix(Tid(1), prefix).unwrap()),
+                "{name}: scan_tid_loc_prefix {prefix}"
+            );
+        }
+
+        for r in records.iter().step_by(13) {
+            assert_eq!(
+                sorted(reads.at(r.tid, &r.loc).unwrap()),
+                sorted(oracle.at(r.tid, &r.loc).unwrap()),
+                "{name}: at"
+            );
+            assert_eq!(
+                sorted(reads.by_loc(&r.loc).unwrap()),
+                sorted(oracle.by_loc(&r.loc).unwrap()),
+                "{name}: by_loc"
+            );
+            for min_depth in [0usize, 1, 2] {
+                assert_eq!(
+                    sorted(reads.by_loc_chain(&r.loc, min_depth).unwrap()),
+                    sorted(oracle.by_loc_chain(&r.loc, min_depth).unwrap()),
+                    "{name}: by_loc_chain {min_depth}"
+                );
+            }
+        }
+    }
+}
+
+/// Mid-stream, the two consistency modes diverge exactly as specified:
+/// a read-your-writes session drains the queue and sees everything; a
+/// snapshot session opened before the writes sees only the committed
+/// prefix — and never a torn `insert_batch` call.
+#[test]
+fn consistency_modes_diverge_mid_stream_and_converge_at_quiesce() {
+    let containers: Vec<Path> = (1..=8).map(|i| format!("T/c{i}").parse().unwrap()).collect();
+    let sharded = ShardedStore::in_memory(ShardedStore::split_points(&containers, 4), true)
+        .unwrap()
+        .with_parallel_executor();
+    let pipe = Arc::new(PipelinedStore::spawn(Arc::new(sharded), PipelineConfig::batched(1_000)));
+    let db = Database::new(Arc::clone(&pipe));
+    db.create_archive("T", false).unwrap();
+
+    let writer = db.session("T", Consistency::ReadYourWrites).unwrap();
+    let snap = db.session("T", Consistency::Snapshot).unwrap();
+
+    // One five-record transactional commit, queued (batch threshold is
+    // out of reach, nothing commits on its own).
+    let batch: Vec<ProvRecord> = (0..5)
+        .map(|j| {
+            ProvRecord::insert(Tid(1), containers[j % containers.len()].child(format!("r{j}")))
+        })
+        .collect();
+    writer.insert_batch(&batch).unwrap();
+    assert!(snap.reads().all().unwrap().is_empty(), "queued call invisible to snapshots");
+    assert_eq!(db.commit_epoch(), 0);
+
+    // A read-your-writes read drains the queue; the snapshot session
+    // now sees the whole call — five records or none, never a slice.
+    let ryw = db.session("T", Consistency::ReadYourWrites).unwrap();
+    assert_eq!(ryw.reads().all().unwrap().len(), 5);
+    assert_eq!(db.commit_epoch(), 5);
+    assert_eq!(snap.reads().all().unwrap().len(), 5, "snapshot converges at the call boundary");
+}

@@ -1,0 +1,273 @@
+//! Serving-front bench: one shared 4-shard durable pipelined store,
+//! eight tenant archives, and 1,024 concurrent [`Session`]s with a
+//! mixed profile — curators (read-your-writes writers), query clients
+//! (snapshot provenance queries), and auditors (snapshot cursor
+//! drains) — followed by a head-to-head sweep showing why snapshot
+//! consistency exists: under a concurrent write stream, snapshot reads
+//! never flush the pipeline, read-your-writes reads must.
+//!
+//! Asserted in-process and recorded to `BENCH_serving.json` (gated by
+//! the `serving` CI job against `ci/bench-baselines/serving/`):
+//!
+//! * `sessions` — the `serve.sessions` gauge while all are open;
+//! * `snapshot_flushes` — explicit pipeline flushes during the
+//!   snapshot sweep (**must be 0**: that is the serving contract);
+//! * `curate_records` — records visible once the store quiesces;
+//! * the snapshot-vs-RYW wall-clock ratio (info; asserted ≥ 1.5× here,
+//!   wall clock itself is never gated).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! [`Session`]: cpdb::serve::Session
+
+use cpdb::core::{
+    DurabilityMode, PipelineConfig, PipelinedStore, ProvRecord, ProvStore, ShardedStore, Tid,
+};
+use cpdb::serve::{Consistency, Database, Session};
+use cpdb::storage::{DiskBackend, Wal};
+use cpdb::tree::Path;
+use cpdb_bench::metrics::BenchMetrics;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 8;
+const SESSIONS: usize = 1024;
+const WORKERS: usize = 16;
+const CURATE_BATCHES: usize = 4;
+const BATCH_LEN: usize = 8;
+const SWEEP_READS: usize = 64;
+
+fn tenant_name(t: usize) -> String {
+    format!("t{t}")
+}
+
+/// The tenant and root path serving session `i` (profiles rotate
+/// within each tenant, so every tenant gets curators, query clients,
+/// and auditors).
+fn tenant_of(i: usize) -> (String, Path) {
+    let t = (i / 4) % TENANTS;
+    let name = tenant_name(t);
+    (name.clone(), name.parse().unwrap())
+}
+
+/// The records curate session `j` writes: four transactional batches
+/// of eight, half copies (with provenance chains into the source
+/// database `S`) and half inserts.
+fn curate_batch(root: &Path, j: usize, b: usize) -> Vec<ProvRecord> {
+    let tid = Tid((1_000 + j * CURATE_BATCHES + b) as u64);
+    let container = root.child(format!("c{}", (j / 32) % 4)).child(format!("s{j}"));
+    (0..BATCH_LEN)
+        .map(|k| {
+            let loc = container.child(format!("b{b}")).child(format!("r{k}"));
+            if k % 2 == 0 {
+                ProvRecord::copy(tid, loc, format!("S/a{k}").parse().unwrap())
+            } else {
+                ProvRecord::insert(tid, loc)
+            }
+        })
+        .collect()
+}
+
+fn run_profile(i: usize, session: &Session, root: &Path) {
+    match i % 4 {
+        // Curator: read-your-writes writer, four transactional batches.
+        0 => {
+            for b in 0..CURATE_BATCHES {
+                session.insert_batch(&curate_batch(root, i, b)).unwrap();
+            }
+        }
+        // Auditor: drain a snapshot cursor over the whole tenant —
+        // never flushes anyone's pipeline, sees a batch-atomic prefix.
+        1 => {
+            let mut cursor = session.reads().scan_loc_prefix(root, 128).unwrap();
+            let mut drained = 0usize;
+            while let Some(page) = cursor.next_batch().unwrap() {
+                drained += page.len();
+            }
+            let _ = drained;
+        }
+        // Query client: snapshot provenance queries against the curate
+        // stream (results depend on what has committed — the point is
+        // that the probes are non-flushing and safe mid-stream).
+        _ => {
+            let j = i - (i % 4);
+            let loc = root
+                .child(format!("c{}", (j / 32) % 4))
+                .child(format!("s{j}"))
+                .child("b0")
+                .child("r1");
+            let engine = session.query_engine();
+            let _ = engine.get_src(&loc, Tid(1_000_000)).unwrap();
+            let _ = engine.get_hist(&loc, Tid(1_000_000)).unwrap();
+            let _ = session.reads().by_loc_prefix(&root.child("c0")).unwrap();
+        }
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("cpdb-serving-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let reg = cpdb::obs::global();
+    reg.reset();
+
+    // --- One shared 4-shard durable store behind one pipeline. ------
+    let containers: Vec<Path> = (0..TENANTS).map(|t| tenant_name(t).parse().unwrap()).collect();
+    let boundaries = ShardedStore::split_points(&containers, 4);
+    let sharded = Arc::new(
+        ShardedStore::on_disk(dir.join("store"), boundaries, true)
+            .unwrap()
+            .with_parallel_executor(),
+    );
+    let wal = Wal::open(Arc::new(DiskBackend::open(dir.join("prov.wal")).unwrap())).unwrap();
+    let pipe = Arc::new(
+        PipelinedStore::spawn_with_durability(
+            sharded,
+            PipelineConfig::batched(64),
+            DurabilityMode::Wal(wal),
+        )
+        .unwrap(),
+    );
+    let db = Database::new(Arc::clone(&pipe));
+    for t in 0..TENANTS {
+        db.create_archive(tenant_name(t).as_str(), false).unwrap();
+    }
+
+    let mut metrics = BenchMetrics::new("serving", "smoke");
+    metrics.count("tenants", TENANTS as u64);
+
+    // --- Phase 1: 1,024 concurrent sessions, mixed profile. ---------
+    let sessions: Vec<Session> = (0..SESSIONS)
+        .map(|i| {
+            let (name, _) = tenant_of(i);
+            let consistency =
+                if i % 4 == 0 { Consistency::ReadYourWrites } else { Consistency::Snapshot };
+            db.session(name.as_str(), consistency).unwrap()
+        })
+        .collect();
+    let open = cpdb::obs::snapshot().gauge("serve.sessions").unwrap_or(0);
+    assert_eq!(open, SESSIONS as i64, "every session is live at once");
+    metrics.count("sessions", open as u64);
+
+    let t0 = Instant::now();
+    let chunk = SESSIONS / WORKERS;
+    std::thread::scope(|s| {
+        for (c, part) in sessions.chunks(chunk).enumerate() {
+            s.spawn(move || {
+                for (k, session) in part.iter().enumerate() {
+                    let i = c * chunk + k;
+                    let (_, root) = tenant_of(i);
+                    run_profile(i, session, &root);
+                }
+            });
+        }
+    });
+    let phase1 = t0.elapsed();
+    pipe.flush().unwrap();
+
+    let curated = (SESSIONS / 4) * CURATE_BATCHES * BATCH_LEN;
+    assert_eq!(db.commit_epoch(), curated as u64, "quiesced epoch covers every curated record");
+    let audit = db.session(tenant_name(0).as_str(), Consistency::Snapshot).unwrap();
+    let visible: usize = (0..TENANTS)
+        .map(|t| {
+            let root: Path = tenant_name(t).parse().unwrap();
+            audit.reads().by_loc_prefix(&root).unwrap().len()
+        })
+        .sum();
+    assert_eq!(visible, curated, "snapshots see the full quiesced store");
+    metrics.count("curate_records", curated as u64);
+    metrics.info("phase1_wall_us", phase1.as_secs_f64() * 1e6);
+    println!(
+        "phase 1: {SESSIONS} sessions ({} curate / {} audit / {} query) over {TENANTS} tenants, \
+         {curated} records, {phase1:?}",
+        SESSIONS / 4,
+        SESSIONS / 4,
+        SESSIONS / 2,
+    );
+
+    // A quiesced provenance query answers through the session front.
+    let engine = audit.query_engine();
+    let probe: Path = "t0/c0/s0/b0/r1".parse().unwrap();
+    assert_eq!(engine.get_src(&probe, Tid(1_000_000)).unwrap(), Some(Tid(1_000)));
+
+    // --- Phase 2: snapshot vs read-your-writes under writes. --------
+    // Paper-like simulated latencies make the flush asymmetry visible:
+    // a read-your-writes read must drain the queue (90 µs per write
+    // statement), a snapshot read goes straight to the inner store.
+    pipe.set_latency(Duration::from_micros(25), Duration::from_micros(90));
+    pipe.set_batch_row_latency(Duration::from_micros(9));
+
+    let writer = db.session(tenant_name(0).as_str(), Consistency::ReadYourWrites).unwrap();
+    let snap_session = db.session(tenant_name(1).as_str(), Consistency::Snapshot).unwrap();
+    let ryw_session = db.session(tenant_name(1).as_str(), Consistency::ReadYourWrites).unwrap();
+    let stream_root: Path = tenant_name(0).parse().unwrap();
+    let mut written = 0u64;
+    // The write stream is interleaved deterministically — one insert
+    // into tenant `t0` before every read of tenant `t1` — so both
+    // sweeps face the identical pattern and the comparison is exact: a
+    // read-your-writes read must drain the queued stranger's write
+    // first (cross-tenant interference through the shared pipeline), a
+    // snapshot read goes straight through.
+    let stream_write = |written: &mut u64| {
+        let loc = stream_root.child("stream").child(format!("w{written}"));
+        writer.insert(&ProvRecord::insert(Tid(2_000_000 + *written), loc)).unwrap();
+        *written += 1;
+    };
+
+    let prefix: Path = tenant_name(1).parse().unwrap();
+    // Snapshot sweep: must perform zero explicit pipeline flushes.
+    let flushes_before = cpdb::obs::snapshot().counter("pipeline.flush.explicit").unwrap_or(0);
+    let t = Instant::now();
+    for k in 0..SWEEP_READS {
+        stream_write(&mut written);
+        let _ = snap_session.reads().by_loc_prefix(&prefix.child(format!("c{}", k % 4))).unwrap();
+    }
+    let snap_wall = t.elapsed();
+    let flushes_after = cpdb::obs::snapshot().counter("pipeline.flush.explicit").unwrap_or(0);
+    let snapshot_flushes = flushes_after - flushes_before;
+    metrics.count("snapshot_flushes", snapshot_flushes);
+    assert_eq!(snapshot_flushes, 0, "snapshot reads must never flush the pipeline");
+
+    // Read-your-writes sweep: every read drains the queue first.
+    let t = Instant::now();
+    for k in 0..SWEEP_READS {
+        stream_write(&mut written);
+        let _ = ryw_session.reads().by_loc_prefix(&prefix.child(format!("c{}", k % 4))).unwrap();
+    }
+    let ryw_wall = t.elapsed();
+    pipe.flush().unwrap();
+
+    let ratio = ryw_wall.as_secs_f64() / snap_wall.as_secs_f64().max(1e-9);
+    println!(
+        "phase 2: {SWEEP_READS} reads each under an interleaved write stream \
+         ({written} records written): snapshot {snap_wall:?}, read-your-writes {ryw_wall:?} \
+         ({ratio:.1}x slower)",
+    );
+    assert!(
+        ratio >= 1.5,
+        "read-your-writes must pay a measurable flush cost under writes \
+         (snapshot {snap_wall:?} vs ryw {ryw_wall:?}, ratio {ratio:.2})"
+    );
+    metrics.count("snapshot_sweep_reads", SWEEP_READS as u64);
+    metrics.info("snapshot_sweep_us", snap_wall.as_secs_f64() * 1e6);
+    metrics.info("ryw_sweep_us", ryw_wall.as_secs_f64() * 1e6);
+    metrics.info("ryw_over_snapshot_ratio", ratio);
+    metrics.info("stream_records", written as f64);
+
+    // Session lifecycle: the gauge returns to the pre-fleet level.
+    drop(sessions);
+    drop((audit, writer, snap_session, ryw_session));
+    assert_eq!(cpdb::obs::snapshot().gauge("serve.sessions"), Some(0));
+    let reads = cpdb::obs::snapshot().counter("serve.snapshot_reads").unwrap_or(0);
+    assert!(reads >= SWEEP_READS as u64, "snapshot telemetry recorded the sweep");
+
+    let path = metrics.write().unwrap();
+    println!("metrics written to {}", path.display());
+    drop(db);
+    drop(pipe);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,6 +9,8 @@
 //! * [`xmldb`] — the native tree database (target/source substrate);
 //! * [`datalog`] — the Datalog evaluator for the paper's query rules;
 //! * [`core`] — provenance records, trackers, queries, and the editor;
+//! * [`serve`] — the multi-session serving front (per-tenant archives,
+//!   snapshot / read-your-writes sessions over one shared store);
 //! * [`archive`] — version-stamped archiving of the target database;
 //! * [`workload`] — synthetic databases and the evaluation's workloads.
 //!
@@ -23,6 +25,7 @@ pub use cpdb_archive as archive;
 pub use cpdb_core as core;
 pub use cpdb_datalog as datalog;
 pub use cpdb_obs as obs;
+pub use cpdb_serve as serve;
 pub use cpdb_storage as storage;
 pub use cpdb_tree as tree;
 pub use cpdb_update as update;
